@@ -1,0 +1,43 @@
+package stochsyn
+
+import "testing"
+
+func TestSynthesizeCEGIS(t *testing.T) {
+	// Few initial examples force overfitting; the loop must converge
+	// to a validated program.
+	spec := func(in []uint64) uint64 { return in[0] &^ 15 }
+	res, err := SynthesizeCEGIS(spec, 1, 8, 12, Options{Beta: 1, Budget: 5_000_000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("CEGIS did not converge in %d rounds (%d cases, %d iterations)",
+			res.Rounds, res.Cases, res.Iterations)
+	}
+	if res.Cases != 8+len(res.Counterexamples) {
+		t.Errorf("case accounting: %d cases, %d counterexamples", res.Cases, len(res.Counterexamples))
+	}
+	// The final program must agree with the spec broadly.
+	p, err := ParseProgram(res.Program, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []uint64{0, 15, 16, 17, 255, 1 << 63, ^uint64(0)} {
+		got, _ := p.Run(x)
+		if got != spec([]uint64{x}) {
+			t.Errorf("final program wrong on %#x", x)
+		}
+	}
+	t.Logf("converged in %d rounds with %d counterexamples: %s",
+		res.Rounds, len(res.Counterexamples), res.Program)
+}
+
+func TestSynthesizeCEGISErrors(t *testing.T) {
+	spec := func(in []uint64) uint64 { return in[0] }
+	if _, err := SynthesizeCEGIS(spec, 1, 8, 0, Options{}); err == nil {
+		t.Error("accepted zero rounds")
+	}
+	if _, err := SynthesizeCEGIS(spec, MaxInputs+1, 8, 1, Options{}); err == nil {
+		t.Error("accepted too many inputs")
+	}
+}

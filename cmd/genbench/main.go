@@ -1,0 +1,128 @@
+// Command genbench runs the superoptimization benchmark pipeline of
+// Section 6 of the paper end to end: it generates (or reads) an
+// assembly corpus, extracts dataflow-related fragments, deduplicates
+// them by instruction signature, generates test cases, optionally
+// applies the prefix-synthesizability filter, and writes the sampled
+// benchmark.
+//
+// Output is a directory with one .prob file per problem (the fragment
+// listing followed by its test cases) plus an index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"stochsyn/internal/asm"
+	"stochsyn/internal/corpus"
+	"stochsyn/internal/superopt"
+	"stochsyn/internal/sygusif"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "superopt-bench", "output directory")
+		functions = flag.Int("functions", 500, "synthetic corpus size in functions")
+		asmFile   = flag.String("asm", "", "scrape this assembly listing instead of generating a corpus")
+		sample    = flag.Int("sample", 100, "benchmark sample size (paper: 1000)")
+		tests     = flag.Int("tests", 100, "test cases per problem")
+		filter    = flag.Bool("filter", false, "apply the prefix-synthesizability filter (slow)")
+		filterIts = flag.Int64("filterbudget", 20000, "per-prefix filter iteration budget")
+		seed      = flag.Uint64("seed", 1, "pipeline seed")
+		dumpASM   = flag.Bool("dumpasm", false, "also write the generated corpus assembly")
+		emitSL    = flag.Bool("sl", false, "also write each problem in SyGuS-IF .sl format")
+	)
+	flag.Parse()
+
+	opts := superopt.Options{
+		CorpusFunctions: *functions,
+		Seed:            *seed,
+		TestCases:       *tests,
+		SampleSize:      *sample,
+		MinNonTrivial:   2,
+		MaxInsts:        15,
+		MaxInputs:       4,
+		PrefixFilter:    *filter,
+		PrefixBudget:    *filterIts,
+	}
+
+	var problems []*superopt.Problem
+	var stats superopt.Stats
+	var err error
+	if *asmFile != "" {
+		problems, stats, err = buildFromFile(*asmFile, opts)
+	} else {
+		problems, stats, err = superopt.Build(opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("pipeline:", stats)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "genbench:", err)
+		os.Exit(1)
+	}
+	if *dumpASM && *asmFile == "" {
+		src := corpus.Generate(corpus.Options{Functions: *functions, Seed: *seed})
+		if err := os.WriteFile(filepath.Join(*out, "corpus.s"), []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "genbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	var index strings.Builder
+	for _, p := range problems {
+		fmt.Fprintf(&index, "%s\t%d inputs\t%d insts\t%s\n",
+			p.Name, len(p.Frag.Inputs), len(p.Frag.Insts), p.Signature)
+		if err := writeProblem(filepath.Join(*out, p.Name+".prob"), p); err != nil {
+			fmt.Fprintln(os.Stderr, "genbench:", err)
+			os.Exit(1)
+		}
+		if *emitSL {
+			if err := writeSL(filepath.Join(*out, p.Name+".sl"), p); err != nil {
+				fmt.Fprintln(os.Stderr, "genbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if err := os.WriteFile(filepath.Join(*out, "index.txt"), []byte(index.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "genbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d problems to %s\n", len(problems), *out)
+}
+
+// buildFromFile scrapes a user-provided assembly listing. It reuses
+// the pipeline stages by substituting the corpus source.
+func buildFromFile(path string, opts superopt.Options) ([]*superopt.Problem, superopt.Stats, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, superopt.Stats{}, err
+	}
+	funcs, err := asm.ParseText(string(data))
+	if err != nil {
+		return nil, superopt.Stats{}, err
+	}
+	return superopt.BuildFromFuncs(funcs, opts)
+}
+
+// writeProblem writes one problem in the .prob format (see
+// superopt.WriteProb / superopt.ParseProb).
+func writeProblem(path string, p *superopt.Problem) error {
+	return os.WriteFile(path, []byte(superopt.WriteProb(p)), 0o644)
+}
+
+// writeSL writes the problem's examples in SyGuS-IF syntax.
+func writeSL(path string, p *superopt.Problem) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sygusif.Write(f, p.Name, p.Suite)
+}

@@ -1,0 +1,70 @@
+// Command markov runs the popular-state Markov chain analysis of
+// Section 4 of the paper (Figures 4 and 5): it observes many synthesis
+// runs of a model-dialect problem, estimates the transition matrix
+// over the most-visited states, compares the chain's predicted
+// distribution of synthesis times against the measured one, and can
+// emit the state transition diagram as Graphviz DOT.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stochsyn/internal/experiment"
+	"stochsyn/internal/markov"
+)
+
+func main() {
+	var (
+		expr     = flag.String("expr", "or(shl(x), x)", "reference expression (model dialect)")
+		inputs   = flag.Int("inputs", 1, "number of inputs")
+		cases    = flag.Int("cases", 16, "test cases")
+		beta     = flag.Float64("beta", 1, "acceptance temperature")
+		trials   = flag.Int("trials", 100, "synthesis runs to observe")
+		budget   = flag.Int64("budget", 500_000, "iterations per run")
+		topK     = flag.Int("topk", 35, "popular states to retain (paper: 35)")
+		seed     = flag.Uint64("seed", 1, "seed")
+		dotPath  = flag.String("dot", "", "write the Figure 5 transition diagram as DOT to this file")
+		jsonPath = flag.String("save", "", "write the estimated chain (with state info) as JSON to this file")
+	)
+	flag.Parse()
+
+	res, err := experiment.MarkovExperiment(experiment.MarkovConfig{
+		Expr: *expr, NumInputs: *inputs, TestCases: *cases, Beta: *beta,
+		Trials: *trials, Budget: *budget, TopK: *topK, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "markov:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("markov analysis of %s (beta=%g, %d trials)\n", *expr, *beta, *trials)
+	res.Report(os.Stdout)
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "markov:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := markov.WriteDOT(f, res.Empirical.Chain, res.Empirical.States); err != nil {
+			fmt.Fprintln(os.Stderr, "markov:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote transition diagram to %s\n", *dotPath)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "markov:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := markov.WriteJSON(f, res.Empirical.Chain, res.Empirical.States); err != nil {
+			fmt.Fprintln(os.Stderr, "markov:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote chain to %s\n", *jsonPath)
+	}
+}

@@ -1,0 +1,101 @@
+// Command plateau produces the plateau chart (Figures 1, 7, and 11 of
+// the paper) for one synthesis problem: it runs many independent
+// traced searches and bins the cost of every run against the logarithm
+// of the iteration count, rendering an ASCII heat map and optional
+// CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/experiment"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/sygus"
+	"stochsyn/internal/testcase"
+)
+
+func main() {
+	var (
+		expr     = flag.String("expr", "", "reference expression defining the problem")
+		inputs   = flag.Int("inputs", 1, "inputs for -expr")
+		cases    = flag.Int("cases", 100, "test cases for -expr")
+		problem  = flag.String("problem", "", "built-in problem name (e.g. hd05)")
+		costName = flag.String("cost", "hamming", "cost function")
+		beta     = flag.Float64("beta", 1, "acceptance temperature")
+		dialect  = flag.String("dialect", "full", "instruction dialect: full, base, model")
+		runs     = flag.Int("runs", 50, "number of independent runs")
+		budget   = flag.Int64("budget", 2_000_000, "iterations per run")
+		seed     = flag.Uint64("seed", 1, "seed")
+		csvPath  = flag.String("csv", "", "write the density grid as CSV")
+	)
+	flag.Parse()
+
+	var suite *testcase.Suite
+	name := *problem
+	switch {
+	case *expr != "":
+		ref, err := prog.Parse(*expr, *inputs)
+		if err != nil {
+			fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(*seed, 0xc97c50dd3f84d5b5))
+		suite = testcase.Generate(func(in []uint64) uint64 { return ref.Output(in) }, *inputs, *cases, rng)
+		name = *expr
+	case *problem != "":
+		for _, p := range sygus.Standard(sygus.Options{Seed: *seed}) {
+			if p.Name == *problem {
+				suite = p.Suite
+				break
+			}
+		}
+		if suite == nil {
+			fatal(fmt.Errorf("unknown built-in problem %q", *problem))
+		}
+	default:
+		fatal(fmt.Errorf("one of -expr or -problem is required"))
+	}
+
+	kind, err := cost.ParseKind(*costName)
+	if err != nil {
+		fatal(err)
+	}
+	set := prog.FullSet
+	switch *dialect {
+	case "full":
+	case "base":
+		set = prog.BaseSet
+	case "model":
+		set = prog.ModelSet
+	default:
+		fatal(fmt.Errorf("unknown dialect %q", *dialect))
+	}
+
+	fmt.Printf("plateau chart for %s (cost=%s beta=%g, %d runs x %d iters)\n",
+		name, kind, *beta, *runs, *budget)
+	res := experiment.PlateauChart(experiment.PlateauConfig{
+		Problem: experiment.Problem{Name: name, Suite: suite},
+		Set:     set, Cost: kind, Beta: *beta,
+		Runs: *runs, Budget: *budget, Seed: *seed,
+	})
+	res.Report(os.Stdout)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := res.CSV(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plateau:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,235 @@
+// Command synth synthesizes a single program from input/output
+// examples using the stochastic search and restart strategies of the
+// library.
+//
+// The problem comes from one of three sources:
+//
+//	-expr "andq(x, subq(x, 1))" -inputs 1   a reference expression
+//	-spec file.txt                           an examples file
+//	-problem hd03                            a built-in benchmark entry
+//
+// An examples file holds one case per line: the input values followed
+// by the expected output, whitespace-separated, each decimal or 0x
+// hex. Lines starting with # are comments.
+//
+// Example:
+//
+//	synth -expr "orq(andq(x, y), andq(notq(x), z))" -inputs 3 -strategy adaptive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/restart"
+	"stochsyn/internal/search"
+	"stochsyn/internal/sygus"
+	"stochsyn/internal/sygusif"
+	"stochsyn/internal/testcase"
+)
+
+func main() {
+	var (
+		expr     = flag.String("expr", "", "reference expression to synthesize an equivalent of")
+		inputs   = flag.Int("inputs", 1, "number of inputs (with -expr)")
+		cases    = flag.Int("cases", 100, "number of generated test cases (with -expr)")
+		specFile = flag.String("spec", "", "examples file (inputs... output per line)")
+		slFile   = flag.String("sl", "", "SyGuS-IF .sl file (PBE bitvector subset)")
+		problem  = flag.String("problem", "", "built-in benchmark problem name (e.g. hd03)")
+		minimize = flag.Bool("minimize", false, "after solving, keep searching for a smaller program with the remaining budget")
+		costName = flag.String("cost", "hamming", "cost function: hamming, inctests, logdiff")
+		beta     = flag.Float64("beta", 1, "acceptance temperature (normalized to 100 tests)")
+		strategy = flag.String("strategy", "adaptive", "restart strategy spec (naive, luby, adaptive, pluby, fixed:N, exp:T0:Z, innerouter:T0:Z)")
+		budget   = flag.Int64("budget", 10_000_000, "total iteration budget")
+		dialect  = flag.String("dialect", "full", "instruction dialect: full, base, model")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		verbose  = flag.Bool("v", false, "print progress and the solution's details")
+	)
+	flag.Parse()
+
+	suite, desc, err := loadProblem(*expr, *inputs, *cases, *specFile, *slFile, *problem, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synth:", err)
+		os.Exit(1)
+	}
+	kind, err := cost.ParseKind(*costName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synth:", err)
+		os.Exit(1)
+	}
+	set, redundancy, err := pickDialect(*dialect)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synth:", err)
+		os.Exit(1)
+	}
+	strat, err := restart.New(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synth:", err)
+		os.Exit(1)
+	}
+
+	if *verbose {
+		fmt.Printf("problem: %s (%d inputs, %d cases)\n", desc, suite.NumInputs, suite.Len())
+		fmt.Printf("strategy=%s cost=%s beta=%g dialect=%s budget=%d seed=%d\n",
+			strat.Name(), kind, *beta, *dialect, *budget, *seed)
+	}
+
+	factory := search.NewFactory(suite, search.Options{
+		Set: set, Cost: kind, Beta: *beta, Redundancy: redundancy, Seed: *seed,
+	})
+	start := time.Now()
+	res := strat.Run(factory, *budget)
+	elapsed := time.Since(start)
+
+	if !res.Solved {
+		fmt.Printf("FAILED after %d iterations (%d searches, %v)\n",
+			res.Iterations, res.Searches, elapsed.Round(time.Millisecond))
+		os.Exit(2)
+	}
+	sol := res.Winner.(*search.Run).Solution()
+	if *verbose {
+		rate := float64(res.Iterations) / elapsed.Seconds()
+		fmt.Printf("solved in %d iterations (%d searches, %v, %.0f iters/sec)\n",
+			res.Iterations, res.Searches, elapsed.Round(time.Millisecond), rate)
+		fmt.Printf("program size: %d nodes\n", sol.BodyLen())
+	}
+	if *minimize {
+		if remaining := *budget - res.Iterations; remaining > 0 {
+			opt := search.New(suite, search.Options{
+				Set: set, Cost: kind, Beta: *beta, Redundancy: redundancy,
+				Seed: *seed ^ 0xabcdef, Init: sol, MinimizeSize: true,
+			})
+			opt.Step(remaining)
+			if best := opt.Best(); best != nil && best.BodyLen() < sol.BodyLen() {
+				if *verbose {
+					fmt.Printf("minimized: %d -> %d nodes\n", sol.BodyLen(), best.BodyLen())
+				}
+				sol = best
+			}
+		}
+	}
+	fmt.Println(sol)
+}
+
+// loadProblem resolves the problem source flags into a suite.
+func loadProblem(expr string, inputs, cases int, specFile, slFile, problem string, seed uint64) (*testcase.Suite, string, error) {
+	sources := 0
+	for _, s := range []string{expr, specFile, slFile, problem} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, "", fmt.Errorf("exactly one of -expr, -spec, -sl, -problem is required")
+	}
+	switch {
+	case slFile != "":
+		data, err := os.ReadFile(slFile)
+		if err != nil {
+			return nil, "", err
+		}
+		p, err := sygusif.Parse(string(data))
+		if err != nil {
+			return nil, "", err
+		}
+		return p.Suite, fmt.Sprintf("%s: synth-fun %s/%d", slFile, p.Name, len(p.Args)), nil
+	case expr != "":
+		ref, err := prog.Parse(expr, inputs)
+		if err != nil {
+			return nil, "", err
+		}
+		rng := rand.New(rand.NewPCG(seed, 0xbe5466cf34e90c6c))
+		suite := testcase.Generate(func(in []uint64) uint64 { return ref.Output(in) }, inputs, cases, rng)
+		return suite, expr, nil
+	case specFile != "":
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, "", err
+		}
+		suite, err := parseSpec(string(data))
+		if err != nil {
+			return nil, "", err
+		}
+		return suite, specFile, nil
+	default:
+		for _, p := range sygus.Standard(sygus.Options{Seed: seed}) {
+			if p.Name == problem {
+				return p.Suite, p.Name + ": " + p.Desc, nil
+			}
+		}
+		return nil, "", fmt.Errorf("unknown built-in problem %q (try hd01..hd20, bv01..bv15)", problem)
+	}
+}
+
+// parseSpec parses the examples file format.
+func parseSpec(src string) (*testcase.Suite, error) {
+	suite := &testcase.Suite{NumInputs: -1}
+	for lineno, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("line %d: need at least one input and an output", lineno+1)
+		}
+		vals := make([]uint64, len(fields))
+		for i, f := range fields {
+			v, err := parseWord(f)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineno+1, err)
+			}
+			vals[i] = v
+		}
+		n := len(vals) - 1
+		if suite.NumInputs == -1 {
+			suite.NumInputs = n
+		} else if suite.NumInputs != n {
+			return nil, fmt.Errorf("line %d: %d inputs, earlier lines had %d", lineno+1, n, suite.NumInputs)
+		}
+		suite.Cases = append(suite.Cases, testcase.Case{Inputs: vals[:n], Output: vals[n]})
+	}
+	if err := suite.Validate(); err != nil {
+		return nil, err
+	}
+	return suite, nil
+}
+
+func parseWord(s string) (uint64, error) {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if neg {
+		v = -v
+	}
+	return v, err
+}
+
+func pickDialect(name string) (*prog.OpSet, bool, error) {
+	switch name {
+	case "full":
+		return prog.FullSet, false, nil
+	case "base":
+		return prog.BaseSet, false, nil
+	case "model":
+		return prog.ModelSet, true, nil
+	}
+	return nil, false, fmt.Errorf("unknown dialect %q", name)
+}

@@ -1,0 +1,46 @@
+package stochsyn_test
+
+import (
+	"fmt"
+
+	"stochsyn"
+)
+
+// Synthesize a program equivalent to clearing the lowest set bit,
+// specified purely by examples.
+func ExampleSynthesize() {
+	problem, _ := stochsyn.ProblemFromFunc(func(in []uint64) uint64 {
+		return in[0] & (in[0] - 1)
+	}, 1, 100, 42)
+	res, _ := stochsyn.Synthesize(problem, stochsyn.Options{
+		Beta:   2,
+		Budget: 10_000_000,
+		Seed:   1,
+	})
+	p, _ := stochsyn.ParseProgram(res.Program, 1)
+	out, _ := p.Run(0b1100)
+	fmt.Println(res.Solved, out)
+	// Output: true 8
+}
+
+// Parse and run a program written in the textual notation.
+func ExampleParseProgram() {
+	p, _ := stochsyn.ParseProgram("orq(andq(x, y), andq(notq(x), z))", 3)
+	out, _ := p.Run(0xFF00, 0x1234, 0x5678)
+	fmt.Printf("%#x (size %d)\n", out, p.Size())
+	// Output: 0x1278 (size 4)
+}
+
+// Shrink a known-correct but bloated program.
+func ExampleOptimize() {
+	problem, _ := stochsyn.ProblemFromFunc(func(in []uint64) uint64 {
+		return in[0] * 3
+	}, 1, 60, 10)
+	res, _ := stochsyn.Optimize(problem, "addq(addq(x, x), mulq(x, 1))", stochsyn.Options{
+		Beta:   1,
+		Budget: 2_000_000,
+		Seed:   3,
+	})
+	fmt.Println(res.StartSize > res.Size)
+	// Output: true
+}

@@ -1,0 +1,62 @@
+// Superoptimization proper: scrape fragments from a binary corpus,
+// translate each into the dataflow dialect (an exact, known-correct
+// starting program), then run the search in size-minimization mode to
+// find smaller equivalents — the STOKE-style two-phase workflow that
+// motivates the paper's superoptimization benchmark.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stochsyn"
+	"stochsyn/internal/superopt"
+)
+
+func main() {
+	opts := superopt.DefaultOptions(21)
+	opts.CorpusFunctions = 150
+	opts.SampleSize = 8
+	opts.TestCases = 60
+	problems, stats, err := superopt.Build(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pipeline:", stats)
+
+	totalBefore, totalAfter := 0, 0
+	for _, sp := range problems {
+		if sp.Reference == nil {
+			continue
+		}
+		var cases []stochsyn.Case
+		for _, c := range sp.Suite.Cases {
+			cases = append(cases, stochsyn.Case{Inputs: c.Inputs, Output: c.Output})
+		}
+		problem, err := stochsyn.NewProblem(sp.Suite.NumInputs, cases)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		res, err := stochsyn.Optimize(problem, sp.Reference.String(), stochsyn.Options{
+			Beta:   1,
+			Budget: 1_500_000,
+			Seed:   5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalBefore += res.StartSize
+		totalAfter += res.Size
+		marker := " "
+		if res.Improved {
+			marker = "*"
+		}
+		fmt.Printf("%s %-8s %2d -> %2d nodes  %s\n",
+			marker, sp.Name, res.StartSize, res.Size, res.Program)
+	}
+	if totalBefore > 0 {
+		fmt.Printf("\ntotal: %d -> %d nodes (%.0f%% saved)\n",
+			totalBefore, totalAfter, 100*(1-float64(totalAfter)/float64(totalBefore)))
+	}
+}

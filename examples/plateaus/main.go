@@ -1,0 +1,71 @@
+// Plateau analysis of the Section 4 model problem or(shl(x), x):
+// reproduce the plateau chart of Figure 1, detect each run's plateaus,
+// fit the distribution of synthesis times (geometric vs gamma vs
+// log-normal, Figure 6), and estimate the popular-state Markov chain
+// whose sampled absorption times predict the measured distribution
+// (Figure 4).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/experiment"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/stats"
+	"stochsyn/internal/testcase"
+)
+
+func main() {
+	// The model problem over the reduced dialect.
+	ref := prog.MustParse("or(shl(x), x)", 1)
+	rng := rand.New(rand.NewPCG(5, 0xd1310ba698dfb5ac))
+	suite := testcase.Generate(func(in []uint64) uint64 { return ref.Output(in) }, 1, 16, rng)
+	problem := experiment.Problem{Name: "or(shl(x),x)", Suite: suite}
+
+	// 1. Plateau chart (Figure 1): many runs' costs against
+	// log-iterations.
+	fmt.Println("== plateau chart ==")
+	pres := experiment.PlateauChart(experiment.PlateauConfig{
+		Problem: problem,
+		Set:     prog.ModelSet,
+		Cost:    cost.Hamming,
+		Beta:    1,
+		Runs:    60,
+		Budget:  200_000,
+		Seed:    5,
+	})
+	pres.Report(os.Stdout)
+
+	// 2. Distribution of synthesis times and its best-fit family
+	// (Figure 6's analysis applied to this problem).
+	fmt.Println("\n== synthesis-time distribution ==")
+	var times []float64
+	for _, run := range pres.Runs {
+		if run.Finished {
+			times = append(times, float64(run.FinishIter))
+		}
+	}
+	if len(times) < 10 {
+		log.Fatal("too few finished runs to fit")
+	}
+	fmt.Printf("finished %d/%d runs; mean/median (tail ratio) = %.2f\n",
+		len(times), len(pres.Runs), stats.TailRatio(times))
+	for _, fit := range stats.FitAll(times) {
+		fmt.Printf("  %-36s KS distance %.3f\n", fit.Dist, fit.KS)
+	}
+
+	// 3. Popular-state Markov chain (Figures 4 and 5): the estimated
+	// chain's absorption times track the measured synthesis times.
+	fmt.Println("\n== popular-state Markov chain ==")
+	mres, err := experiment.MarkovExperiment(experiment.MarkovConfig{
+		Trials: 80, Budget: 200_000, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mres.Report(os.Stdout)
+}

@@ -1,0 +1,63 @@
+// Quickstart: synthesize the bitwise-select program of Figure 2 of the
+// paper — orq(andq(x, y), andq(notq(x), z)) — from input/output
+// examples alone, using the public API with the adaptive restart
+// strategy, then parse the result back and run it on fresh inputs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stochsyn"
+)
+
+func main() {
+	// The specification: for inputs x, y, z, select y's bits where x
+	// is 1 and z's bits where x is 0. One hundred generated test
+	// cases (corner values, random words, skewed Hamming weights).
+	spec := func(in []uint64) uint64 {
+		x, y, z := in[0], in[1], in[2]
+		return (x & y) | (^x & z)
+	}
+	problem, err := stochsyn.ProblemFromFunc(spec, 3, 100, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesizing from %d examples over %d inputs...\n",
+		problem.NumCases(), problem.NumInputs())
+
+	res, err := stochsyn.Synthesize(problem, stochsyn.Options{
+		Strategy: "adaptive", // the paper's headline algorithm
+		Cost:     stochsyn.Hamming,
+		Beta:     2,
+		Budget:   20_000_000,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Solved {
+		log.Fatalf("no solution within %d iterations", res.Iterations)
+	}
+	fmt.Printf("solved in %d iterations across %d searches:\n  %s\n",
+		res.Iterations, res.Searches, res.Program)
+
+	// Parse the textual solution back into a runnable program and try
+	// it on inputs that were not in the test set.
+	prog, err := stochsyn.ParseProgram(res.Program, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, y, z := uint64(0xF0F0), uint64(0x1234), uint64(0x5678)
+	got, err := prog.Run(x, y, z)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := spec([]uint64{x, y, z})
+	fmt.Printf("select(%#x, %#x, %#x) = %#x (want %#x, program size %d)\n",
+		x, y, z, got, want, prog.Size())
+	if got != want {
+		fmt.Println("note: the program matches all test cases but not this input;")
+		fmt.Println("add more test cases to tighten the specification")
+	}
+}

@@ -1,0 +1,77 @@
+// Superoptimization end to end: generate a synthetic binary corpus,
+// scrape dataflow-related straight-line fragments from its basic
+// blocks (Section 6 of the paper), turn one fragment into a
+// programming-by-example problem, and synthesize an equivalent — often
+// shorter — dataflow program with the adaptive restart strategy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stochsyn"
+	"stochsyn/internal/superopt"
+)
+
+func main() {
+	// Run the scraping pipeline at a small scale: ~200 synthetic
+	// functions, sampled down to 10 problems after signature dedup.
+	opts := superopt.DefaultOptions(7)
+	opts.CorpusFunctions = 200
+	opts.SampleSize = 10
+	problems, stats, err := superopt.Build(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pipeline:", stats)
+	if len(problems) == 0 {
+		log.Fatal("pipeline produced no problems")
+	}
+
+	solved := 0
+	for _, sp := range problems[:min(4, len(problems))] {
+		fmt.Printf("\n=== %s (signature %s) ===\n%s", sp.Name, sp.Signature, sp.Frag)
+
+		// Re-express the scraped suite through the public API: the
+		// search sees only input/output pairs.
+		var cases []stochsyn.Case
+		for _, c := range sp.Suite.Cases {
+			cases = append(cases, stochsyn.Case{Inputs: c.Inputs, Output: c.Output})
+		}
+		problem, err := stochsyn.NewProblem(sp.Suite.NumInputs, cases)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		res, err := stochsyn.Synthesize(problem, stochsyn.Options{
+			Strategy: "adaptive",
+			Beta:     2,
+			Budget:   8_000_000,
+			Seed:     11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Solved {
+			fmt.Printf("no solution within %d iterations\n", res.Iterations)
+			continue
+		}
+		solved++
+		p, err := stochsyn.ParseProgram(res.Program, problem.NumInputs())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("synthesized in %d iterations (%d searches):\n  %s\n",
+			res.Iterations, res.Searches, res.Program)
+		fmt.Printf("original: %d instructions -> synthesized: %d nodes\n",
+			len(sp.Frag.Insts), p.Size())
+	}
+	fmt.Printf("\nsolved %d problems\n", solved)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+// SyGuS interchange: write a programming-by-example problem in
+// SyGuS-IF syntax (the format of the competition's PBE bitvector
+// track, the paper's first benchmark), parse it back, synthesize a
+// solution, and validate the result beyond the examples with the
+// randomized equivalence checker.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"strings"
+
+	"stochsyn"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/sygusif"
+	"stochsyn/internal/testcase"
+	"stochsyn/internal/verify"
+)
+
+func main() {
+	// The target: round x down to a multiple of 16 (x & ~15).
+	spec := func(in []uint64) uint64 { return in[0] &^ 15 }
+	rng := rand.New(rand.NewPCG(7, 8))
+	suite := testcase.Generate(spec, 1, 12, rng)
+
+	// Emit the problem as a .sl file (shown truncated).
+	var sl strings.Builder
+	if err := sygusif.Write(&sl, "align16", suite); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.Split(sl.String(), "\n")
+	for _, l := range lines[:min(6, len(lines))] {
+		fmt.Println(l)
+	}
+	fmt.Printf("... (%d lines total)\n\n", len(lines))
+
+	// Parse it back and synthesize from the parsed examples alone.
+	parsed, err := sygusif.Parse(sl.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cases []stochsyn.Case
+	for _, c := range parsed.Suite.Cases {
+		cases = append(cases, stochsyn.Case{Inputs: c.Inputs, Output: c.Output})
+	}
+	problem, err := stochsyn.NewProblem(len(parsed.Args), cases)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := stochsyn.Synthesize(problem, stochsyn.Options{
+		Strategy: "adaptive", Beta: 1, Budget: 5_000_000, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Solved {
+		log.Fatalf("not solved in %d iterations", res.Iterations)
+	}
+	fmt.Printf("synthesized %s in %d iterations: %s\n", parsed.Name, res.Iterations, res.Program)
+
+	// The examples only constrain 12 inputs; check the program against
+	// the true spec on thousands more.
+	p, err := prog.Parse(res.Program, len(parsed.Args))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cx := verify.Against(p, spec, 4096, 9); cx != nil {
+		fmt.Printf("counterexample beyond the examples: %s\n\n", cx)
+		// Counterexample-guided refinement: re-synthesize with each
+		// counterexample folded back into the examples until the
+		// result survives validation.
+		cres, err := stochsyn.SynthesizeCEGIS(stochsyn.Spec(spec), 1, 12, 10, stochsyn.Options{
+			Beta: 1, Budget: 5_000_000, Seed: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("CEGIS: %d rounds, %d counterexamples added, solved=%v\n",
+			cres.Rounds, len(cres.Counterexamples), cres.Solved)
+		if cres.Solved {
+			fmt.Printf("validated program: %s\n", cres.Program)
+		}
+	} else {
+		fmt.Println("no counterexample in 4096 random + corner probes")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

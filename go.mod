@@ -1,0 +1,3 @@
+module stochsyn
+
+go 1.24

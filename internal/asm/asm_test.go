@@ -1,0 +1,240 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseReg(t *testing.T) {
+	cases := []struct {
+		name  string
+		reg   Reg
+		width int
+	}{
+		{"rax", RAX, 64},
+		{"eax", RAX, 32},
+		{"ax", RAX, 16},
+		{"al", RAX, 8},
+		{"r14", R14, 64},
+		{"r14d", R14, 32},
+		{"r14w", R14, 16},
+		{"r14b", R14, 8},
+		{"ebp", RBP, 32},
+		{"sil", RSI, 8},
+		{"rip", RIP, 64},
+	}
+	for _, tc := range cases {
+		r, w, err := ParseReg(tc.name)
+		if err != nil || r != tc.reg || w != tc.width {
+			t.Errorf("ParseReg(%q) = (%v, %d, %v), want (%v, %d)", tc.name, r, w, err, tc.reg, tc.width)
+		}
+	}
+	if _, _, err := ParseReg("xmm1"); err == nil {
+		t.Error("ParseReg accepted xmm1")
+	}
+	if IsSupportedRegName("ymm0") {
+		t.Error("ymm0 claimed supported")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if RAX.Name(64) != "rax" || RAX.Name(32) != "eax" || RAX.Name(8) != "al" {
+		t.Error("rax naming broken")
+	}
+	if R8.Name(32) != "r8d" || R8.Name(16) != "r8w" || R8.Name(8) != "r8b" {
+		t.Error("r8 naming broken")
+	}
+}
+
+func TestRegSet(t *testing.T) {
+	s := RegSet(0).Add(RAX).Add(R14)
+	if !s.Has(RAX) || !s.Has(R14) || s.Has(RBX) {
+		t.Error("RegSet membership broken")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	s = s.Remove(RAX)
+	if s.Has(RAX) {
+		t.Error("Remove failed")
+	}
+	// Pseudo-registers are ignored.
+	if s.Add(NoReg) != s || s.Add(RIP) != s {
+		t.Error("pseudo-register added to set")
+	}
+	if got := s.String(); !strings.Contains(got, "r14") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestParseInstForms(t *testing.T) {
+	cases := []struct {
+		line      string
+		mnemonic  string
+		operands  int
+		supported bool
+	}{
+		{"addl %r14d, %ebp", "addl", 2, true},
+		{"movq $-1, %rax", "movq", 2, true},
+		{"shll $0x3, %eax", "shll", 2, true},
+		{"leal (%rax,%rax,4), %edx", "leal", 2, true},
+		{"movsd 0x2f251(%rip), %xmm2", "movsd", 2, false},
+		{"pxor %xmm1, %xmm1", "pxor", 2, false},
+		{"movq 16(%rsp), %rbx", "movq", 2, true},
+		{"notq %rdi", "notq", 1, true},
+		{"ret", "ret", 0, true},
+		{"movzbl %al, %ecx", "movzbl", 2, true},
+		{"imulq %rbx, %rcx", "imulq", 2, true},
+		{"cmpq %rax, %rbx", "cmpq", 2, true},
+	}
+	for _, tc := range cases {
+		in, err := ParseInst(tc.line, 1)
+		if err != nil {
+			t.Errorf("ParseInst(%q): %v", tc.line, err)
+			continue
+		}
+		if in.Mnemonic != tc.mnemonic || len(in.Operands) != tc.operands || in.Supported != tc.supported {
+			t.Errorf("ParseInst(%q) = {%s %d ops supported=%v}, want {%s %d %v}",
+				tc.line, in.Mnemonic, len(in.Operands), in.Supported,
+				tc.mnemonic, tc.operands, tc.supported)
+		}
+	}
+}
+
+func TestParseInstJump(t *testing.T) {
+	in, err := ParseInst("je .L1_2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Target != ".L1_2" || !in.IsControl() {
+		t.Errorf("jump parse: %+v", in)
+	}
+	if in.IsUnconditionalTransfer() {
+		t.Error("je is not unconditional")
+	}
+	jmp, _ := ParseInst("jmp .L0_1", 1)
+	if !jmp.IsUnconditionalTransfer() {
+		t.Error("jmp is unconditional")
+	}
+}
+
+func TestParseMemOperand(t *testing.T) {
+	in, err := ParseInst("movq -8(%rbp,%rcx,4), %rax", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := in.Operands[0]
+	if m.Kind != OpMem || m.Mem.Base != RBP || m.Mem.Index != RCX || m.Mem.Scale != 4 || m.Mem.Disp != -8 {
+		t.Errorf("mem operand: %+v", m.Mem)
+	}
+}
+
+func TestInstDefUses(t *testing.T) {
+	// addl %r14d, %ebp: reads r14 and rbp, writes rbp.
+	in, _ := ParseInst("addl %r14d, %ebp", 1)
+	val, addr := in.Uses()
+	if !val.Has(R14) || !val.Has(RBP) || addr != 0 {
+		t.Errorf("addl uses: val=%v addr=%v", val, addr)
+	}
+	if in.Def() != RBP {
+		t.Errorf("addl def = %v", in.Def())
+	}
+
+	// movq (%rbx), %rax: address use rbx, def rax, memory read.
+	ld, _ := ParseInst("movq (%rbx), %rax", 1)
+	val, addr = ld.Uses()
+	if val.Has(RBX) || !addr.Has(RBX) {
+		t.Errorf("load uses: val=%v addr=%v", val, addr)
+	}
+	if ld.Def() != RAX || ld.MemSrc() != 0 {
+		t.Errorf("load def=%v memsrc=%d", ld.Def(), ld.MemSrc())
+	}
+
+	// movq %rax, (%rbx): store, no def, writes memory.
+	st, _ := ParseInst("movq %rax, (%rbx)", 1)
+	if st.Def() != NoReg || !st.WritesMemory() || st.MemSrc() != -1 {
+		t.Errorf("store: def=%v writes=%v memsrc=%d", st.Def(), st.WritesMemory(), st.MemSrc())
+	}
+
+	// leaq 4(%rbp,%r9,8), %rbp: address registers are VALUE uses.
+	lea, _ := ParseInst("leaq 4(%rbp,%r9,8), %rbp", 1)
+	val, addr = lea.Uses()
+	if !val.Has(RBP) || !val.Has(R9) || addr != 0 {
+		t.Errorf("lea uses: val=%v addr=%v", val, addr)
+	}
+	if lea.MemSrc() != -1 {
+		t.Error("lea flagged as memory read")
+	}
+
+	// cmpq writes only flags.
+	cmp, _ := ParseInst("cmpq %rax, %rbx", 1)
+	if cmp.Def() != NoReg {
+		t.Error("cmp defines a register")
+	}
+}
+
+const sampleFunc = `
+	.text
+f:
+	movq %rdi, %rax
+	addq %rsi, %rax
+	cmpq %rdx, %rax
+	je .Lskip
+	imulq %rdx, %rax
+.Lskip:
+	ret
+`
+
+func TestParseTextBlocks(t *testing.T) {
+	funcs, err := ParseText(sampleFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) != 1 || funcs[0].Name != "f" {
+		t.Fatalf("parsed %d funcs", len(funcs))
+	}
+	f := funcs[0]
+	if len(f.Blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(f.Blocks))
+	}
+	// Block 0 ends with je: successors are .Lskip and fallthrough.
+	if len(f.Blocks[0].Succs) != 2 {
+		t.Errorf("block 0 succs: %v", f.Blocks[0].Succs)
+	}
+	// Block 2 is the ret block with no successors.
+	if len(f.Blocks[2].Succs) != 0 {
+		t.Errorf("ret block succs: %v", f.Blocks[2].Succs)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	funcs, err := ParseText(sampleFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := funcs[0]
+	// rax is live out of block 0 (read in both successors' paths to
+	// the return) and rdx is live out of block 0 (used by imulq).
+	lo := f.Blocks[0].LiveOut
+	if !lo.Has(RAX) {
+		t.Errorf("block 0 live-out %v missing rax", lo)
+	}
+	if !lo.Has(RDX) {
+		t.Errorf("block 0 live-out %v missing rdx", lo)
+	}
+	// rdi is not live out of block 0 (fully consumed).
+	if lo.Has(RDI) {
+		t.Errorf("block 0 live-out %v should not include rdi", lo)
+	}
+}
+
+func TestCommentsAndDirectivesIgnored(t *testing.T) {
+	src := "f:\n# full comment line\n\taddq %rsi, %rdi # trailing comment\n\t.p2align 4\n\tret\n"
+	funcs, err := ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(funcs[0].Blocks[0].Insts); n != 2 { // addq, ret
+		t.Errorf("got %d instructions, want 2", n)
+	}
+}

@@ -1,0 +1,209 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Block is a basic block: a maximal straight-line instruction sequence
+// with a single entry and exits only at the end.
+type Block struct {
+	// Label is the block's leading label, if any.
+	Label string
+	Insts []*Inst
+	// Succs indexes the block's successors within the function.
+	Succs []int
+	// LiveOut is the set of registers live at the block's end, filled
+	// in by Func.ComputeLiveness.
+	LiveOut RegSet
+}
+
+// Func is one function: a named sequence of basic blocks forming a
+// control-flow graph.
+type Func struct {
+	Name   string
+	Blocks []*Block
+}
+
+// callerSaved is the x86-64 SysV caller-saved register set, treated as
+// defined (clobbered) by calls.
+var callerSaved = RegSet(0).
+	Add(RAX).Add(RCX).Add(RDX).Add(RSI).Add(RDI).
+	Add(R8).Add(R9).Add(R10).Add(R11)
+
+// argRegs is the SysV integer argument register set, treated as used
+// by calls.
+var argRegs = RegSet(0).
+	Add(RDI).Add(RSI).Add(RDX).Add(RCX).Add(R8).Add(R9)
+
+// returnRegs is the set live at function exit (the integer return
+// register).
+var returnRegs = RegSet(0).Add(RAX)
+
+// ParseText parses an assembly listing into functions. Conventions
+// follow GNU as output: lines may carry comments introduced by '#';
+// directives (leading '.') are ignored; labels ending in ':' introduce
+// functions (global labels) or blocks (.L-prefixed local labels).
+func ParseText(src string) ([]*Func, error) {
+	var funcs []*Func
+	var cur *Func
+	var curBlock *Block
+
+	flushBlock := func() {
+		if cur != nil && curBlock != nil && (len(curBlock.Insts) > 0 || curBlock.Label != "") {
+			cur.Blocks = append(cur.Blocks, curBlock)
+		}
+		curBlock = nil
+	}
+	ensure := func(label string) {
+		if cur == nil {
+			cur = &Func{Name: fmt.Sprintf("anon%d", len(funcs))}
+		}
+		if curBlock == nil {
+			curBlock = &Block{Label: label}
+		}
+	}
+
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			label := strings.TrimSuffix(line, ":")
+			if strings.HasPrefix(label, ".") {
+				// Local label: starts a new block in the current
+				// function.
+				flushBlock()
+				ensure(label)
+			} else {
+				// Global label: starts a new function.
+				flushBlock()
+				if cur != nil {
+					funcs = append(funcs, cur)
+				}
+				cur = &Func{Name: label}
+				curBlock = &Block{}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			continue // directive
+		}
+		in, err := ParseInst(line, lineno+1)
+		if err != nil {
+			return nil, err
+		}
+		ensure("")
+		curBlock.Insts = append(curBlock.Insts, in)
+		if in.IsControl() && in.info().class != classCall {
+			flushBlock()
+		}
+	}
+	flushBlock()
+	if cur != nil {
+		funcs = append(funcs, cur)
+	}
+	for _, f := range funcs {
+		f.buildCFG()
+		f.ComputeLiveness()
+	}
+	return funcs, nil
+}
+
+// buildCFG links blocks by label targets and fallthrough.
+func (f *Func) buildCFG() {
+	byLabel := map[string]int{}
+	for i, b := range f.Blocks {
+		if b.Label != "" {
+			byLabel[b.Label] = i
+		}
+	}
+	for i, b := range f.Blocks {
+		b.Succs = b.Succs[:0]
+		var last *Inst
+		if len(b.Insts) > 0 {
+			last = b.Insts[len(b.Insts)-1]
+		}
+		if last != nil && last.info().class == classJump {
+			if t, ok := byLabel[last.Target]; ok {
+				b.Succs = append(b.Succs, t)
+			}
+		}
+		if (last == nil || !last.IsUnconditionalTransfer()) && i+1 < len(f.Blocks) {
+			b.Succs = append(b.Succs, i+1)
+		}
+	}
+}
+
+// instDefUse returns the def set and use set of one instruction for
+// liveness purposes (address registers count as uses; calls clobber
+// the caller-saved set and read the argument registers; unsupported
+// instructions conservatively neither define nor use GPRs — fragments
+// touching them are rejected by the slicer anyway).
+func instDefUse(in *Inst) (def, use RegSet) {
+	switch in.info().class {
+	case classCall:
+		return callerSaved, argRegs
+	case classRet:
+		return 0, returnRegs
+	case classJump, classNop, classUnknown:
+		return 0, 0
+	}
+	if !in.Supported {
+		return 0, 0
+	}
+	value, addr := in.Uses()
+	if d := in.Def(); d != NoReg {
+		def = def.Add(d)
+	}
+	return def, value.Union(addr)
+}
+
+// ComputeLiveness runs the standard backward dataflow fixpoint over
+// the function's CFG and fills each block's LiveOut. Exit blocks (and
+// blocks with no known successors) are seeded with the ABI return
+// register.
+func (f *Func) ComputeLiveness() {
+	n := len(f.Blocks)
+	use := make([]RegSet, n) // upward-exposed uses
+	def := make([]RegSet, n) // defined before any use
+	liveIn := make([]RegSet, n)
+	liveOut := make([]RegSet, n)
+
+	for i, b := range f.Blocks {
+		var bUse, bDef RegSet
+		for _, in := range b.Insts {
+			d, u := instDefUse(in)
+			bUse = bUse.Union(u &^ bDef)
+			bDef = bDef.Union(d)
+		}
+		use[i], def[i] = bUse, bDef
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			var out RegSet
+			if len(b.Succs) == 0 {
+				out = returnRegs
+			}
+			for _, s := range b.Succs {
+				out = out.Union(liveIn[s])
+			}
+			in := use[i].Union(out &^ def[i])
+			if out != liveOut[i] || in != liveIn[i] {
+				liveOut[i], liveIn[i] = out, in
+				changed = true
+			}
+		}
+	}
+	for i, b := range f.Blocks {
+		b.LiveOut = liveOut[i]
+	}
+}

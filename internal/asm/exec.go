@@ -1,0 +1,310 @@
+package asm
+
+import (
+	"fmt"
+	mathbits "math/bits"
+)
+
+// RegFile is a concrete x86-64 general-purpose register file.
+type RegFile [NumRegs]uint64
+
+// Get reads register r at the given width, zero-extended to 64 bits
+// except that 8/16-bit reads return the low bits only.
+func (rf *RegFile) Get(r Reg, width int) uint64 {
+	v := rf[r]
+	switch width {
+	case 32:
+		return uint64(uint32(v))
+	case 16:
+		return uint64(uint16(v))
+	case 8:
+		return uint64(uint8(v))
+	}
+	return v
+}
+
+// Set writes register r at the given width with x86 semantics: 64-bit
+// writes replace the register, 32-bit writes zero-extend, and 8/16-bit
+// writes merge into the low bits.
+func (rf *RegFile) Set(r Reg, width int, v uint64) {
+	switch width {
+	case 64:
+		rf[r] = v
+	case 32:
+		rf[r] = uint64(uint32(v))
+	case 16:
+		rf[r] = rf[r]&^0xFFFF | v&0xFFFF
+	case 8:
+		rf[r] = rf[r]&^0xFF | v&0xFF
+	}
+}
+
+// Execute runs the fragment on the given input values (one per entry
+// of fr.Inputs, in order) and returns the value of the output register
+// at the end, zero-extended from the output width. It returns an error
+// if the fragment contains an instruction the evaluator cannot model;
+// pipeline-produced fragments never do.
+func (fr *Fragment) Execute(inputs []uint64) (uint64, error) {
+	if len(inputs) != len(fr.Inputs) {
+		return 0, fmt.Errorf("asm: fragment takes %d inputs, got %d", len(fr.Inputs), len(inputs))
+	}
+	var rf RegFile
+	for i, r := range fr.Inputs {
+		rf[r] = inputs[i]
+	}
+	for _, in := range fr.Insts {
+		if err := step(&rf, in); err != nil {
+			return 0, err
+		}
+	}
+	out := rf.Get(fr.Output, fr.OutputWidth)
+	return out, nil
+}
+
+// operandValue reads the value of a non-memory source operand.
+func operandValue(rf *RegFile, o *Operand) (uint64, error) {
+	switch o.Kind {
+	case OpReg:
+		w := o.Width
+		if w == 0 {
+			w = 64
+		}
+		return rf.Get(o.Reg, w), nil
+	case OpImm:
+		return uint64(o.Imm), nil
+	}
+	return 0, fmt.Errorf("asm: cannot evaluate %s operand", o)
+}
+
+// step executes one instruction against the register file.
+func step(rf *RegFile, in *Inst) error {
+	mi := in.info()
+	if !in.Supported || mi.class == classUnknown {
+		return fmt.Errorf("asm: cannot execute unsupported instruction %q", in.String())
+	}
+	width := func(dst *Operand) int {
+		if mi.width != 0 {
+			return mi.width
+		}
+		if dst != nil && dst.Kind == OpReg && dst.Width != 0 {
+			return dst.Width
+		}
+		return 64
+	}
+	switch mi.class {
+	case classNop, classFlags, classJump, classRet, classCall:
+		return nil
+
+	case classMov:
+		src, dst := in.srcDst()
+		if src == nil || dst == nil || dst.Kind != OpReg {
+			return fmt.Errorf("asm: cannot execute %q", in.String())
+		}
+		v, err := operandValue(rf, src)
+		if err != nil {
+			return err
+		}
+		rf.Set(dst.Reg, width(dst), v)
+		return nil
+
+	case classLea:
+		src, dst := in.srcDst()
+		if src == nil || dst == nil || src.Kind != OpMem || dst.Kind != OpReg {
+			return fmt.Errorf("asm: cannot execute %q", in.String())
+		}
+		addr := uint64(src.Mem.Disp)
+		if src.Mem.Base != NoReg && src.Mem.Base != RIP {
+			addr += rf[src.Mem.Base]
+		}
+		if src.Mem.Index != NoReg {
+			addr += rf[src.Mem.Index] * uint64(src.Mem.Scale)
+		}
+		rf.Set(dst.Reg, width(dst), addr)
+		return nil
+
+	case classExt:
+		src, dst := in.srcDst()
+		if src == nil || dst == nil || dst.Kind != OpReg {
+			return fmt.Errorf("asm: cannot execute %q", in.String())
+		}
+		v, err := operandValue(rf, src)
+		if err != nil {
+			return err
+		}
+		rf.Set(dst.Reg, width(dst), extend(in.Mnemonic, v))
+		return nil
+
+	case classUn1:
+		src, dst := in.srcDst()
+		if src == nil || dst == nil || dst.Kind != OpReg {
+			return fmt.Errorf("asm: cannot execute %q", in.String())
+		}
+		v, err := operandValue(rf, src)
+		if err != nil {
+			return err
+		}
+		w := width(dst)
+		var out uint64
+		switch trimSuffix(in.Mnemonic) {
+		case "popcnt":
+			out = uint64(mathbits.OnesCount64(maskTo(v, w)))
+		case "lzcnt":
+			if w == 32 {
+				out = uint64(mathbits.LeadingZeros32(uint32(v)))
+			} else {
+				out = uint64(mathbits.LeadingZeros64(v))
+			}
+		case "tzcnt":
+			if w == 32 {
+				out = uint64(mathbits.TrailingZeros32(uint32(v)))
+			} else {
+				out = uint64(mathbits.TrailingZeros64(v))
+			}
+		default:
+			return fmt.Errorf("asm: cannot execute %q", in.String())
+		}
+		rf.Set(dst.Reg, w, out)
+		return nil
+
+	case classALU1:
+		if len(in.Operands) != 1 || in.Operands[0].Kind != OpReg {
+			return fmt.Errorf("asm: cannot execute %q", in.String())
+		}
+		dst := &in.Operands[0]
+		w := width(dst)
+		v := rf.Get(dst.Reg, w)
+		var out uint64
+		switch trimSuffix(in.Mnemonic) {
+		case "not":
+			out = ^v
+		case "neg":
+			out = -v
+		case "inc":
+			out = v + 1
+		case "dec":
+			out = v - 1
+		case "bswap":
+			if w == 32 {
+				out = uint64(mathbits.ReverseBytes32(uint32(v)))
+			} else {
+				out = mathbits.ReverseBytes64(v)
+			}
+		default:
+			return fmt.Errorf("asm: cannot execute %q", in.String())
+		}
+		rf.Set(dst.Reg, w, out)
+		return nil
+
+	case classALU2:
+		src, dst := in.srcDst()
+		if src == nil || dst == nil || dst.Kind != OpReg {
+			return fmt.Errorf("asm: cannot execute %q", in.String())
+		}
+		w := width(dst)
+		a := rf.Get(dst.Reg, w)
+		b, err := operandValue(rf, src)
+		if err != nil {
+			return err
+		}
+		out, err := alu2(trimSuffix(in.Mnemonic), w, a, b)
+		if err != nil {
+			return fmt.Errorf("asm: cannot execute %q: %v", in.String(), err)
+		}
+		rf.Set(dst.Reg, w, out)
+		return nil
+	}
+	return fmt.Errorf("asm: cannot execute %q", in.String())
+}
+
+// alu2 evaluates a two-operand ALU operation at the given width; a is
+// the destination's old value, b the source.
+func alu2(op string, w int, a, b uint64) (uint64, error) {
+	shiftMask := uint64(63)
+	if w == 32 {
+		shiftMask = 31
+	}
+	switch op {
+	case "add":
+		return a + b, nil
+	case "sub":
+		return a - b, nil
+	case "imul":
+		return a * b, nil
+	case "and":
+		return a & b, nil
+	case "or":
+		return a | b, nil
+	case "xor":
+		return a ^ b, nil
+	case "shl", "sal":
+		return a << (b & shiftMask), nil
+	case "shr":
+		return maskTo(a, w) >> (b & shiftMask), nil
+	case "sar":
+		if w == 32 {
+			return uint64(uint32(int32(a) >> (b & shiftMask))), nil
+		}
+		return uint64(int64(a) >> (b & shiftMask)), nil
+	case "rol":
+		if w == 32 {
+			return uint64(mathbits.RotateLeft32(uint32(a), int(b&31))), nil
+		}
+		return mathbits.RotateLeft64(a, int(b&63)), nil
+	case "ror":
+		if w == 32 {
+			return uint64(mathbits.RotateLeft32(uint32(a), -int(b&31))), nil
+		}
+		return mathbits.RotateLeft64(a, -int(b&63)), nil
+	case "bts":
+		return a | 1<<(b&shiftMask), nil
+	case "btr":
+		return a &^ (1 << (b & shiftMask)), nil
+	case "btc":
+		return a ^ 1<<(b&shiftMask), nil
+	}
+	return 0, fmt.Errorf("unknown ALU op %q", op)
+}
+
+// extend implements the movzx/movsx family.
+func extend(mnem string, v uint64) uint64 {
+	switch mnem {
+	case "movzbl", "movzbq":
+		return uint64(uint8(v))
+	case "movzwl", "movzwq":
+		return uint64(uint16(v))
+	case "movsbl", "movsbq":
+		return uint64(int64(int8(v)))
+	case "movswl", "movswq":
+		return uint64(int64(int16(v)))
+	case "movslq":
+		return uint64(int64(int32(v)))
+	}
+	return v
+}
+
+// maskTo truncates v to the low w bits (w = 32 or 64).
+func maskTo(v uint64, w int) uint64 {
+	if w == 32 {
+		return uint64(uint32(v))
+	}
+	return v
+}
+
+// trimSuffix drops a trailing width suffix (q/l) from a mnemonic.
+func trimSuffix(m string) string {
+	if n := len(m); n > 1 && (m[n-1] == 'q' || m[n-1] == 'l') {
+		// Keep mnemonics that are not suffixed forms intact.
+		switch m {
+		case "imul", "rol", "ror", "sal", "shl", "shr", "sar":
+			return m
+		}
+		base := m[:n-1]
+		switch base {
+		case "add", "sub", "imul", "and", "or", "xor", "shl", "sal",
+			"shr", "sar", "rol", "ror", "not", "neg", "inc", "dec",
+			"bswap", "popcnt", "lzcnt", "tzcnt", "bts", "btr", "btc":
+			return base
+		}
+	}
+	return m
+}

@@ -1,0 +1,29 @@
+package asm
+
+import "testing"
+
+// FuzzParseText exercises the assembly front end with arbitrary
+// listings: parsing must never panic, and parsed functions must
+// survive fragment extraction.
+func FuzzParseText(f *testing.F) {
+	f.Add(sampleFunc)
+	f.Add(figure12)
+	f.Add("f:\n\taddq %rax, %rbx\n\tret\n")
+	f.Add("f:\n\tbogus %xyz\n")
+	f.Add(".L1:\n\tjmp .L1\n")
+	f.Add("f:\n\tmovq 8(%rsp,%rax,4), %rbx\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		funcs, err := ParseText(src)
+		if err != nil {
+			return
+		}
+		for _, fn := range funcs {
+			for _, fr := range Fragments(fn, 1) {
+				in := make([]uint64, len(fr.Inputs))
+				if _, err := fr.Execute(in); err != nil {
+					t.Fatalf("extracted fragment fails to execute: %v\n%s", err, fr)
+				}
+			}
+		}
+	})
+}

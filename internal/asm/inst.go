@@ -1,0 +1,542 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OperandKind classifies an operand.
+type OperandKind uint8
+
+const (
+	OpNone OperandKind = iota
+	OpReg              // register
+	OpImm              // immediate
+	OpMem              // memory reference
+)
+
+// MemRef is an x86 addressing expression disp(base, index, scale).
+type MemRef struct {
+	Disp  int64
+	Base  Reg // NoReg when absent
+	Index Reg // NoReg when absent
+	Scale int // 1, 2, 4, or 8
+}
+
+// Operand is one instruction operand.
+type Operand struct {
+	Kind  OperandKind
+	Reg   Reg
+	Width int // register width in bits
+	Imm   int64
+	Mem   MemRef
+}
+
+// String renders the operand in AT&T syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpReg:
+		return "%" + o.Reg.Name(o.Width)
+	case OpImm:
+		return fmt.Sprintf("$%#x", o.Imm)
+	case OpMem:
+		var sb strings.Builder
+		if o.Mem.Disp != 0 {
+			fmt.Fprintf(&sb, "%#x", o.Mem.Disp)
+		}
+		sb.WriteByte('(')
+		if o.Mem.Base != NoReg {
+			sb.WriteString("%" + o.Mem.Base.String())
+		}
+		if o.Mem.Index != NoReg {
+			fmt.Fprintf(&sb, ",%%%s,%d", o.Mem.Index.String(), o.Mem.Scale)
+		}
+		sb.WriteByte(')')
+		return sb.String()
+	}
+	return "?"
+}
+
+// Inst is one parsed instruction. Operands are in AT&T order (source
+// first, destination last).
+type Inst struct {
+	Mnemonic string
+	Operands []Operand
+	// Target is the label operand of a jump or call.
+	Target string
+	// Supported reports whether the instruction's semantics are
+	// modeled; unsupported instructions still parse (so basic blocks
+	// stay intact) but poison any slice that includes them.
+	Supported bool
+	// Line is the 1-based source line, for diagnostics.
+	Line int
+}
+
+// String renders the instruction in AT&T syntax.
+func (in *Inst) String() string {
+	if len(in.Operands) == 0 && in.Target == "" {
+		return in.Mnemonic
+	}
+	if in.Target != "" {
+		return in.Mnemonic + " " + in.Target
+	}
+	parts := make([]string, len(in.Operands))
+	for i, o := range in.Operands {
+		parts[i] = o.String()
+	}
+	return in.Mnemonic + " " + strings.Join(parts, ", ")
+}
+
+// kindSig returns a short operand-kind signature like "ri" (register,
+// immediate) used by the semantics tables.
+func (in *Inst) kindSig() string {
+	var sb strings.Builder
+	for _, o := range in.Operands {
+		switch o.Kind {
+		case OpReg:
+			sb.WriteByte('r')
+		case OpImm:
+			sb.WriteByte('i')
+		case OpMem:
+			sb.WriteByte('m')
+		}
+	}
+	return sb.String()
+}
+
+// instClass groups mnemonics by their def/use shape.
+type instClass uint8
+
+const (
+	classUnknown instClass = iota
+	classMov               // dst := src
+	classALU2              // dst := dst OP src
+	classALU1              // dst := OP dst
+	classLea               // dst := address of mem operand
+	classExt               // dst := extend(src) (movzx/movsx family)
+	classUn1               // dst := OP src (one-source one-dest, e.g. popcnt)
+	classFlags             // writes flags only (cmp, test)
+	classJump              // control transfer
+	classRet
+	classCall
+	classNop
+)
+
+// mnemonicInfo describes a supported mnemonic: its class and operand
+// width (0 = derived from operands).
+type mnemonicInfo struct {
+	class instClass
+	width int
+}
+
+// mnemonics is the supported instruction subset: enough to model the
+// dataflow fragments the benchmark pipeline extracts. Suffix-less
+// forms take their width from the register operands.
+var mnemonics = map[string]mnemonicInfo{
+	"movq":   {classMov, 64},
+	"movl":   {classMov, 32},
+	"movw":   {classMov, 16},
+	"movb":   {classMov, 8},
+	"mov":    {classMov, 0},
+	"movabs": {classMov, 64},
+
+	"addq": {classALU2, 64}, "addl": {classALU2, 32}, "add": {classALU2, 0},
+	"subq": {classALU2, 64}, "subl": {classALU2, 32}, "sub": {classALU2, 0},
+	"andq": {classALU2, 64}, "andl": {classALU2, 32}, "and": {classALU2, 0},
+	"orq": {classALU2, 64}, "orl": {classALU2, 32}, "or": {classALU2, 0},
+	"xorq": {classALU2, 64}, "xorl": {classALU2, 32}, "xor": {classALU2, 0},
+	"imulq": {classALU2, 64}, "imull": {classALU2, 32}, "imul": {classALU2, 0},
+	"shlq": {classALU2, 64}, "shll": {classALU2, 32}, "shl": {classALU2, 0},
+	"salq": {classALU2, 64}, "sall": {classALU2, 32},
+	"shrq": {classALU2, 64}, "shrl": {classALU2, 32}, "shr": {classALU2, 0},
+	"sarq": {classALU2, 64}, "sarl": {classALU2, 32}, "sar": {classALU2, 0},
+	"rolq": {classALU2, 64}, "roll": {classALU2, 32},
+	"rorq": {classALU2, 64}, "rorl": {classALU2, 32},
+
+	"notq": {classALU1, 64}, "notl": {classALU1, 32}, "not": {classALU1, 0},
+	"negq": {classALU1, 64}, "negl": {classALU1, 32}, "neg": {classALU1, 0},
+	"incq": {classALU1, 64}, "incl": {classALU1, 32}, "inc": {classALU1, 0},
+	"decq": {classALU1, 64}, "decl": {classALU1, 32}, "dec": {classALU1, 0},
+	"bswapq": {classALU1, 64}, "bswapl": {classALU1, 32}, "bswap": {classALU1, 0},
+
+	"leaq": {classLea, 64}, "leal": {classLea, 32}, "lea": {classLea, 0},
+
+	"movzbl": {classExt, 32}, "movzbq": {classExt, 64},
+	"movzwl": {classExt, 32}, "movzwq": {classExt, 64},
+	"movsbl": {classExt, 32}, "movsbq": {classExt, 64},
+	"movswl": {classExt, 32}, "movswq": {classExt, 64},
+	"movslq": {classExt, 64},
+
+	"popcntq": {classUn1, 64}, "popcntl": {classUn1, 32}, "popcnt": {classUn1, 0},
+	"lzcntq": {classUn1, 64}, "lzcntl": {classUn1, 32},
+	"tzcntq": {classUn1, 64}, "tzcntl": {classUn1, 32},
+
+	"btsq": {classALU2, 64}, "btrq": {classALU2, 64}, "btcq": {classALU2, 64},
+
+	"cmpq": {classFlags, 64}, "cmpl": {classFlags, 32}, "cmp": {classFlags, 0},
+	"testq": {classFlags, 64}, "testl": {classFlags, 32}, "test": {classFlags, 0},
+
+	"jmp": {classJump, 0},
+	"je":  {classJump, 0}, "jne": {classJump, 0}, "jz": {classJump, 0}, "jnz": {classJump, 0},
+	"jl": {classJump, 0}, "jle": {classJump, 0}, "jg": {classJump, 0}, "jge": {classJump, 0},
+	"jb": {classJump, 0}, "jbe": {classJump, 0}, "ja": {classJump, 0}, "jae": {classJump, 0},
+	"js": {classJump, 0}, "jns": {classJump, 0},
+
+	"ret":   {classRet, 0},
+	"retq":  {classRet, 0},
+	"call":  {classCall, 0},
+	"callq": {classCall, 0},
+	"nop":   {classNop, 0},
+}
+
+// info returns the mnemonic's class info, defaulting to classUnknown.
+func (in *Inst) info() mnemonicInfo {
+	if mi, ok := mnemonics[in.Mnemonic]; ok {
+		return mi
+	}
+	return mnemonicInfo{classUnknown, 0}
+}
+
+// IsControl reports whether the instruction ends a basic block.
+func (in *Inst) IsControl() bool {
+	switch in.info().class {
+	case classJump, classRet, classCall:
+		return true
+	}
+	return false
+}
+
+// IsUnconditionalTransfer reports whether fallthrough is impossible.
+func (in *Inst) IsUnconditionalTransfer() bool {
+	c := in.info().class
+	return c == classRet || in.Mnemonic == "jmp"
+}
+
+// srcDst returns the source and destination operands of a two-operand
+// instruction (AT&T order).
+func (in *Inst) srcDst() (src, dst *Operand) {
+	if len(in.Operands) != 2 {
+		return nil, nil
+	}
+	return &in.Operands[0], &in.Operands[1]
+}
+
+// Uses returns the registers whose values the instruction reads,
+// excluding registers appearing only in address expressions of memory
+// *reads* (those reads are replaced by fresh inputs during slicing).
+// addrUses receives the address-expression registers separately.
+func (in *Inst) Uses() (value RegSet, addr RegSet) {
+	add := func(set RegSet, o *Operand) RegSet {
+		if o != nil && o.Kind == OpReg {
+			set = set.Add(o.Reg)
+		}
+		return set
+	}
+	addAddr := func(set RegSet, o *Operand) RegSet {
+		if o != nil && o.Kind == OpMem {
+			set = set.Add(o.Mem.Base).Add(o.Mem.Index)
+		}
+		return set
+	}
+	switch in.info().class {
+	case classMov, classExt, classUn1:
+		src, dst := in.srcDst()
+		value = add(value, src)
+		addr = addAddr(addr, src)
+		addr = addAddr(addr, dst) // memory write address
+	case classALU2:
+		src, dst := in.srcDst()
+		value = add(value, src)
+		value = add(value, dst) // read-modify-write
+		addr = addAddr(addr, src)
+		addr = addAddr(addr, dst)
+	case classALU1:
+		if len(in.Operands) == 1 {
+			value = add(value, &in.Operands[0])
+			addr = addAddr(addr, &in.Operands[0])
+		}
+	case classLea:
+		// lea computes the address: the address registers are value
+		// uses, not memory accesses.
+		src, _ := in.srcDst()
+		if src != nil && src.Kind == OpMem {
+			value = value.Add(src.Mem.Base).Add(src.Mem.Index)
+		}
+	case classFlags:
+		src, dst := in.srcDst()
+		value = add(value, src)
+		value = add(value, dst)
+		addr = addAddr(addr, src)
+		addr = addAddr(addr, dst)
+	}
+	return value, addr
+}
+
+// Def returns the register the instruction writes, or NoReg. Memory
+// writes and flag writes do not count as register definitions.
+func (in *Inst) Def() Reg {
+	switch in.info().class {
+	case classMov, classALU2, classLea, classExt, classUn1:
+		if _, dst := in.srcDst(); dst != nil && dst.Kind == OpReg {
+			return dst.Reg
+		}
+	case classALU1:
+		if len(in.Operands) == 1 && in.Operands[0].Kind == OpReg {
+			return in.Operands[0].Reg
+		}
+	}
+	return NoReg
+}
+
+// MemSrc returns the instruction's memory-read operand index, or -1.
+// lea does not read memory.
+func (in *Inst) MemSrc() int {
+	switch in.info().class {
+	case classMov, classALU2, classExt, classUn1, classFlags:
+		for i := range in.Operands {
+			// In AT&T syntax at most one operand is memory; for
+			// two-operand forms a memory *destination* is a write,
+			// not a read, except ALU2 read-modify-write.
+			o := &in.Operands[i]
+			if o.Kind != OpMem {
+				continue
+			}
+			isDst := i == len(in.Operands)-1 && len(in.Operands) == 2
+			cls := in.info().class
+			if isDst && (cls == classMov || cls == classExt || cls == classUn1) {
+				continue // pure store
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+// WritesMemory reports whether the instruction stores to memory.
+func (in *Inst) WritesMemory() bool {
+	if len(in.Operands) == 0 {
+		return false
+	}
+	last := &in.Operands[len(in.Operands)-1]
+	if last.Kind != OpMem {
+		return false
+	}
+	switch in.info().class {
+	case classMov, classALU2, classALU1, classExt, classUn1:
+		return true
+	}
+	return false
+}
+
+// ParseInst parses one instruction line (without label or directive).
+func ParseInst(line string, lineno int) (*Inst, error) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil, fmt.Errorf("asm: empty instruction at line %d", lineno)
+	}
+	var mnem, rest string
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	} else {
+		mnem = line
+	}
+	mnem = strings.ToLower(mnem)
+	in := &Inst{Mnemonic: mnem, Line: lineno}
+	mi, known := mnemonics[mnem]
+	in.Supported = known
+
+	if known && (mi.class == classJump || mi.class == classCall) {
+		in.Target = rest
+		return in, nil
+	}
+	if rest != "" {
+		ops, supported, err := parseOperands(rest)
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %v", lineno, err)
+		}
+		in.Operands = ops
+		if !supported {
+			in.Supported = false
+		}
+	}
+	if in.Supported && !validShape(in, mi.class) {
+		// Structurally malformed for its class (e.g. "lea $0, %eax"):
+		// treat like an unsupported instruction so downstream slicing
+		// rejects rather than mis-executes it.
+		in.Supported = false
+	}
+	return in, nil
+}
+
+// validShape checks that the instruction's operands match its class's
+// expected form.
+func validShape(in *Inst, cls instClass) bool {
+	ops := in.Operands
+	memCount := 0
+	for i := range ops {
+		if ops[i].Kind == OpMem {
+			memCount++
+		}
+	}
+	dstOK := func() bool {
+		d := &ops[len(ops)-1]
+		return d.Kind == OpReg || d.Kind == OpMem
+	}
+	switch cls {
+	case classMov, classALU2, classFlags:
+		return len(ops) == 2 && memCount <= 1 && dstOK()
+	case classExt, classUn1:
+		// Source must not be an immediate; destination is a register.
+		return len(ops) == 2 && memCount <= 1 &&
+			ops[0].Kind != OpImm && ops[1].Kind == OpReg
+	case classALU1:
+		return len(ops) == 1 && dstOK()
+	case classLea:
+		return len(ops) == 2 && ops[0].Kind == OpMem && ops[1].Kind == OpReg
+	case classRet, classNop:
+		return len(ops) == 0
+	}
+	return true
+}
+
+// parseOperands splits and parses a comma-separated operand list. The
+// supported result is false when an operand mentions an unsupported
+// register class (e.g. xmm).
+func parseOperands(s string) (ops []Operand, supported bool, err error) {
+	supported = true
+	depth := 0
+	start := 0
+	var fields []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				fields = append(fields, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	fields = append(fields, s[start:])
+	for _, f := range fields {
+		op, ok, err := parseOperand(strings.TrimSpace(f))
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			supported = false
+		}
+		ops = append(ops, op)
+	}
+	return ops, supported, nil
+}
+
+// parseOperand parses a single operand. ok is false for operands
+// referencing unsupported register classes.
+func parseOperand(s string) (Operand, bool, error) {
+	if s == "" {
+		return Operand{}, false, fmt.Errorf("empty operand")
+	}
+	switch {
+	case s[0] == '$':
+		v, err := parseImm(s[1:])
+		if err != nil {
+			return Operand{}, false, err
+		}
+		return Operand{Kind: OpImm, Imm: v}, true, nil
+	case s[0] == '%':
+		name := s[1:]
+		if !IsSupportedRegName(name) {
+			return Operand{Kind: OpReg, Reg: NoReg}, false, nil
+		}
+		r, w, err := ParseReg(name)
+		if err != nil {
+			return Operand{}, false, err
+		}
+		return Operand{Kind: OpReg, Reg: r, Width: w}, true, nil
+	case strings.Contains(s, "("):
+		return parseMem(s)
+	default:
+		// Bare displacement (absolute address).
+		v, err := parseImm(s)
+		if err != nil {
+			return Operand{}, false, fmt.Errorf("cannot parse operand %q", s)
+		}
+		return Operand{Kind: OpMem, Mem: MemRef{Disp: v, Base: NoReg, Index: NoReg, Scale: 1}}, true, nil
+	}
+}
+
+// parseMem parses disp(base,index,scale) forms.
+func parseMem(s string) (Operand, bool, error) {
+	open := strings.IndexByte(s, '(')
+	closeP := strings.LastIndexByte(s, ')')
+	if closeP < open {
+		return Operand{}, false, fmt.Errorf("malformed memory operand %q", s)
+	}
+	m := MemRef{Base: NoReg, Index: NoReg, Scale: 1}
+	if d := strings.TrimSpace(s[:open]); d != "" {
+		v, err := parseImm(d)
+		if err != nil {
+			return Operand{}, false, fmt.Errorf("bad displacement in %q", s)
+		}
+		m.Disp = v
+	}
+	supported := true
+	parts := strings.Split(s[open+1:closeP], ",")
+	reg := func(p string) (Reg, bool) {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return NoReg, true
+		}
+		if !strings.HasPrefix(p, "%") || !IsSupportedRegName(p[1:]) {
+			return NoReg, false
+		}
+		r, _, _ := ParseReg(p[1:])
+		return r, true
+	}
+	if len(parts) >= 1 {
+		r, ok := reg(parts[0])
+		m.Base = r
+		supported = supported && ok
+	}
+	if len(parts) >= 2 {
+		r, ok := reg(parts[1])
+		m.Index = r
+		supported = supported && ok
+	}
+	if len(parts) >= 3 {
+		sc, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+			return Operand{}, false, fmt.Errorf("bad scale in %q", s)
+		}
+		m.Scale = sc
+	}
+	return Operand{Kind: OpMem, Mem: m}, supported, nil
+}
+
+// parseImm parses decimal or 0x hex immediates with optional sign.
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}

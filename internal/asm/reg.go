@@ -1,0 +1,221 @@
+// Package asm is the binary-scraping front end of the
+// superoptimization benchmark (Section 6 of the paper): a parser for a
+// subset of x86-64 assembly in AT&T syntax, basic-block construction,
+// intra-procedural liveness, backward dataflow slices for live-out
+// registers ("dataflow-related subsequences"), replacement of memory
+// reads by moves from fresh registers, and a concrete evaluator for
+// the resulting straight-line fragments.
+//
+// As with the paper's disassembler, only a subset of the instruction
+// set is supported; fragments touching unsupported instructions
+// (vector registers, memory writes, cmov, ...) are discarded by the
+// pipeline.
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg identifies one of the sixteen x86-64 general-purpose registers.
+// Sub-register names (eax, ax, al, ...) alias their full register.
+type Reg uint8
+
+// General-purpose registers in encoding order.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	NumRegs
+
+	// NoReg marks an absent base/index register in memory operands.
+	NoReg Reg = 0xFF
+	// RIP marks the instruction-pointer pseudo-register allowed only
+	// as a memory base (rip-relative addressing).
+	RIP Reg = 0xFE
+)
+
+var regNames = [NumRegs]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+// String returns the 64-bit name of the register.
+func (r Reg) String() string {
+	switch {
+	case r < NumRegs:
+		return regNames[r]
+	case r == RIP:
+		return "rip"
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// Name returns the conventional register name at the given width in
+// bits (64, 32, 16, or 8, the latter meaning the low byte).
+func (r Reg) Name(width int) string {
+	if r >= NumRegs {
+		return r.String()
+	}
+	base := regNames[r]
+	if r >= R8 {
+		switch width {
+		case 64:
+			return base
+		case 32:
+			return base + "d"
+		case 16:
+			return base + "w"
+		case 8:
+			return base + "b"
+		}
+		return base
+	}
+	// Legacy registers.
+	switch width {
+	case 64:
+		return base
+	case 32:
+		return "e" + base[1:]
+	case 16:
+		return base[1:]
+	case 8:
+		switch r {
+		case RAX:
+			return "al"
+		case RBX:
+			return "bl"
+		case RCX:
+			return "cl"
+		case RDX:
+			return "dl"
+		case RSP:
+			return "spl"
+		case RBP:
+			return "bpl"
+		case RSI:
+			return "sil"
+		case RDI:
+			return "dil"
+		}
+	}
+	return base
+}
+
+// regByName maps every supported register spelling to (register,
+// width).
+var regByName = func() map[string]struct {
+	reg   Reg
+	width int
+} {
+	m := make(map[string]struct {
+		reg   Reg
+		width int
+	})
+	add := func(name string, r Reg, w int) {
+		m[name] = struct {
+			reg   Reg
+			width int
+		}{r, w}
+	}
+	for r := RAX; r < NumRegs; r++ {
+		for _, w := range []int{64, 32, 16, 8} {
+			add(r.Name(w), r, w)
+		}
+	}
+	// Alternate high-byte names of the legacy registers; we model them
+	// at width 8 like the low byte, which is adequate for slicing (the
+	// corpus generator never emits them).
+	add("ah", RAX, 8)
+	add("bh", RBX, 8)
+	add("ch", RCX, 8)
+	add("dh", RDX, 8)
+	add("rip", RIP, 64)
+	return m
+}()
+
+// ParseReg parses a register name without the leading %.
+func ParseReg(name string) (Reg, int, error) {
+	if e, ok := regByName[strings.ToLower(name)]; ok {
+		return e.reg, e.width, nil
+	}
+	return 0, 0, fmt.Errorf("asm: unknown register %%%s", name)
+}
+
+// IsSupportedRegName reports whether the name is a GPR (or rip); xmm,
+// ymm, segment registers, etc. are unsupported.
+func IsSupportedRegName(name string) bool {
+	_, ok := regByName[strings.ToLower(name)]
+	return ok
+}
+
+// RegSet is a bitset of general-purpose registers.
+type RegSet uint16
+
+// Add returns the set with r added (no-op for pseudo-registers).
+func (s RegSet) Add(r Reg) RegSet {
+	if r >= NumRegs {
+		return s
+	}
+	return s | 1<<r
+}
+
+// Remove returns the set with r removed.
+func (s RegSet) Remove(r Reg) RegSet {
+	if r >= NumRegs {
+		return s
+	}
+	return s &^ (1 << r)
+}
+
+// Has reports membership.
+func (s RegSet) Has(r Reg) bool {
+	return r < NumRegs && s&(1<<r) != 0
+}
+
+// Union returns the union of two sets.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// Len returns the number of registers in the set.
+func (s RegSet) Len() int {
+	n := 0
+	for r := RAX; r < NumRegs; r++ {
+		if s.Has(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Regs lists the registers in encoding order.
+func (s RegSet) Regs() []Reg {
+	var out []Reg
+	for r := RAX; r < NumRegs; r++ {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders the set for diagnostics.
+func (s RegSet) String() string {
+	names := make([]string, 0, s.Len())
+	for _, r := range s.Regs() {
+		names = append(names, r.String())
+	}
+	return "{" + strings.Join(names, ",") + "}"
+}

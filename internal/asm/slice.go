@@ -1,0 +1,268 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fragment is one synthesis problem candidate: the backward dataflow
+// slice of a basic block for one live-out register, with memory reads
+// rewritten to moves from fresh registers (Section 6, Figure 12).
+type Fragment struct {
+	// Insts is the slice in original program order. Memory-read
+	// operands have been replaced with fresh register operands.
+	Insts []*Inst
+	// Output is the register whose live-out value the fragment
+	// computes, with its width.
+	Output      Reg
+	OutputWidth int
+	// Inputs lists the registers whose initial values the fragment
+	// reads: live-in registers first (in encoding order), then the
+	// fresh registers introduced for memory reads (in order of
+	// introduction).
+	Inputs []Reg
+	// FreshInputs is the number of trailing Inputs that replaced
+	// memory reads.
+	FreshInputs int
+	// Source identifies the function and block the fragment came from.
+	Source string
+}
+
+// String renders the fragment as an assembly listing.
+func (fr *Fragment) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s -> %%%s; inputs:", fr.Source, fr.Output.Name(fr.OutputWidth))
+	for _, r := range fr.Inputs {
+		fmt.Fprintf(&sb, " %%%s", r)
+	}
+	sb.WriteByte('\n')
+	for _, in := range fr.Insts {
+		sb.WriteString("\t" + in.String() + "\n")
+	}
+	return sb.String()
+}
+
+// NonTrivialCount returns the number of instructions that are not
+// simple data movement (plain mov between registers or of an
+// immediate). The pipeline keeps fragments with at least two
+// non-trivial instructions.
+func (fr *Fragment) NonTrivialCount() int {
+	n := 0
+	for _, in := range fr.Insts {
+		if !isDataMovement(in) {
+			n++
+		}
+	}
+	return n
+}
+
+// isDataMovement reports whether the instruction is a plain move
+// (mov family, not the extending movzx/movsx forms).
+func isDataMovement(in *Inst) bool {
+	return in.info().class == classMov
+}
+
+// Signature returns the fragment's instruction signature: the sequence
+// of mnemonics with registers and arguments ignored, and simple
+// data-movement instructions dropped (Section 6.1). Fragments with
+// equal signatures are treated as variants of the same behavior when
+// sampling the benchmark.
+func (fr *Fragment) Signature() string {
+	var parts []string
+	for _, in := range fr.Insts {
+		if isDataMovement(in) {
+			continue
+		}
+		parts = append(parts, in.Mnemonic)
+	}
+	return strings.Join(parts, ";")
+}
+
+// SliceError explains why a slice could not be extracted.
+type SliceError struct{ Reason string }
+
+func (e *SliceError) Error() string { return "asm: " + e.Reason }
+
+// SliceBlock computes the backward dataflow slice of block b (within
+// function f, for diagnostics) for live-out register r. It returns an
+// error when the slice would include an unsupported instruction or is
+// otherwise unusable.
+func SliceBlock(f *Func, b *Block, r Reg) (*Fragment, error) {
+	needed := RegSet(0).Add(r)
+	selected := make([]bool, len(b.Insts))
+	outputWidth := 64
+	widthSet := false
+
+	for i := len(b.Insts) - 1; i >= 0; i-- {
+		in := b.Insts[i]
+		cls := in.info().class
+		if cls == classJump || cls == classRet || cls == classNop || cls == classFlags {
+			continue
+		}
+		if cls == classCall {
+			// A call defines the caller-saved registers; if any needed
+			// register is among them, the value comes from outside the
+			// block's straight-line code and the slice is unusable.
+			if needed&callerSaved != 0 {
+				return nil, &SliceError{Reason: "needed value produced by a call"}
+			}
+			continue
+		}
+		if !in.Supported {
+			// Unsupported instructions (vector ops, ...) are safe to
+			// skip only if they cannot define a needed GPR. If the
+			// destination operand is a GPR or unparsable, give up.
+			if mightDefineGPR(in, needed) {
+				return nil, &SliceError{Reason: "unsupported instruction may define needed register: " + in.String()}
+			}
+			continue
+		}
+		d := in.Def()
+		if d == NoReg || !needed.Has(d) {
+			continue
+		}
+		selected[i] = true
+		// Determine whether the write kills the full register: 32-bit
+		// and 64-bit destinations do (x86 zero-extends 32-bit writes);
+		// 8/16-bit destinations merge, so the old value remains
+		// needed.
+		kills := true
+		if _, dst := in.srcDst(); dst != nil && dst.Kind == OpReg && dst.Width < 32 {
+			kills = false
+		}
+		if len(in.Operands) == 1 && in.Operands[0].Kind == OpReg && in.Operands[0].Width < 32 {
+			kills = false
+		}
+		if kills {
+			needed = needed.Remove(d)
+		}
+		value, _ := in.Uses()
+		needed = needed.Union(value)
+		// Record the output width from the defining instruction
+		// closest to the block end (the first one seen walking
+		// backward).
+		if d == r && !widthSet {
+			widthSet = true
+			if _, dst := in.srcDst(); dst != nil && dst.Kind == OpReg {
+				outputWidth = dst.Width
+			}
+		}
+	}
+
+	// Collect the slice in order and rewrite memory reads.
+	used := needed // live-in registers the fragment reads
+	var insts []*Inst
+	for i, sel := range selected {
+		if sel {
+			insts = append(insts, b.Insts[i])
+		}
+	}
+	if len(insts) == 0 {
+		return nil, &SliceError{Reason: "empty slice"}
+	}
+
+	// Registers mentioned anywhere in the slice (so fresh registers do
+	// not collide).
+	mentioned := used
+	for _, in := range insts {
+		v, a := in.Uses()
+		mentioned = mentioned.Union(v).Union(a)
+		if d := in.Def(); d != NoReg {
+			mentioned = mentioned.Add(d)
+		}
+	}
+
+	frag := &Fragment{
+		Output:      r,
+		OutputWidth: outputWidth,
+		Source:      fmt.Sprintf("%s/%s", f.Name, b.Label),
+	}
+	for _, reg := range used.Regs() {
+		frag.Inputs = append(frag.Inputs, reg)
+	}
+
+	// Rewrite each memory read to a fresh, otherwise-unused register.
+	fresh := func() (Reg, bool) {
+		for reg := RAX; reg < NumRegs; reg++ {
+			if reg == RSP || mentioned.Has(reg) {
+				continue
+			}
+			mentioned = mentioned.Add(reg)
+			return reg, true
+		}
+		return NoReg, false
+	}
+	for _, in := range insts {
+		cp := &Inst{
+			Mnemonic:  in.Mnemonic,
+			Operands:  append([]Operand(nil), in.Operands...),
+			Supported: true,
+			Line:      in.Line,
+		}
+		if mi := cp.MemSrc(); mi >= 0 {
+			reg, ok := fresh()
+			if !ok {
+				return nil, &SliceError{Reason: "no free register for memory-read replacement"}
+			}
+			w := 64
+			if _, dst := cp.srcDst(); dst != nil && dst.Kind == OpReg {
+				w = dst.Width
+			}
+			cp.Operands[mi] = Operand{Kind: OpReg, Reg: reg, Width: w}
+			frag.Inputs = append(frag.Inputs, reg)
+			frag.FreshInputs++
+		}
+		frag.Insts = append(frag.Insts, cp)
+	}
+	return frag, nil
+}
+
+// mightDefineGPR conservatively decides whether an unsupported
+// instruction could write one of the needed general-purpose registers:
+// true when its last operand is a needed GPR or when its operands
+// could not be classified at all.
+func mightDefineGPR(in *Inst, needed RegSet) bool {
+	if len(in.Operands) == 0 {
+		return true // unknown shape; be conservative
+	}
+	last := in.Operands[len(in.Operands)-1]
+	switch last.Kind {
+	case OpReg:
+		return last.Reg < NumRegs && needed.Has(last.Reg)
+	case OpMem:
+		return false // memory destination cannot define a register
+	case OpImm:
+		return true // malformed; be conservative
+	}
+	return true
+}
+
+// Fragments extracts every candidate fragment of the function: for
+// each basic block and each live-out register defined in the block, a
+// backward slice with at least minNonTrivial non-trivial instructions.
+// Slices that fail to extract are skipped, mirroring the paper's lossy
+// scraping process.
+func Fragments(f *Func, minNonTrivial int) []*Fragment {
+	var out []*Fragment
+	for _, b := range f.Blocks {
+		var defs RegSet
+		for _, in := range b.Insts {
+			d, _ := instDefUse(in)
+			defs = defs.Union(d)
+		}
+		for _, r := range b.LiveOut.Regs() {
+			if !defs.Has(r) {
+				continue // live-through value, nothing to synthesize
+			}
+			frag, err := SliceBlock(f, b, r)
+			if err != nil {
+				continue
+			}
+			if frag.NonTrivialCount() < minNonTrivial {
+				continue
+			}
+			out = append(out, frag)
+		}
+	}
+	return out
+}

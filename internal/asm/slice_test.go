@@ -1,0 +1,340 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure12 is the paper's Figure 12 basic block. The slice for %edx
+// consists of the starred instructions:
+//
+//	*addl %r14d, %ebp
+//	*addl %ebp, %eax
+//	*leal (%rax,%rax,4), %edx
+//	*shll $0x3, %edx
+//
+// while the xmm instructions and the unrelated %eax recomputation are
+// excluded.
+const figure12 = `
+g:
+	addl %r14d, %ebp
+	pxor %xmm1, %xmm1
+	addl %ebp, %eax
+	movsd 0x2f251(%rip), %xmm2
+	leal (%rax,%rax,4), %edx
+	leal (%r14,%r14,4), %eax
+	movsd 0x2f24a(%rip), %xmm0
+	shll $0x3, %eax
+	shll $0x3, %edx
+	ret
+`
+
+func TestFigure12Slice(t *testing.T) {
+	funcs, err := ParseText(figure12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := funcs[0].Blocks[0]
+	frag, err := SliceBlock(funcs[0], b, RDX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frag.Insts) != 4 {
+		t.Fatalf("slice has %d instructions, want 4:\n%s", len(frag.Insts), frag)
+	}
+	wantMnemonics := []string{"addl", "addl", "leal", "shll"}
+	for i, in := range frag.Insts {
+		if in.Mnemonic != wantMnemonics[i] {
+			t.Errorf("slice[%d] = %s, want %s", i, in.Mnemonic, wantMnemonics[i])
+		}
+	}
+	// Inputs: r14, rbp, rax (initial values feeding the dataflow).
+	var want RegSet
+	want = want.Add(R14).Add(RBP).Add(RAX)
+	var got RegSet
+	for _, r := range frag.Inputs {
+		got = got.Add(r)
+	}
+	if got != want {
+		t.Errorf("inputs %v, want %v", got, want)
+	}
+	if frag.Output != RDX || frag.OutputWidth != 32 {
+		t.Errorf("output %v/%d, want edx/32", frag.Output, frag.OutputWidth)
+	}
+	if frag.FreshInputs != 0 {
+		t.Errorf("unexpected fresh inputs: %d", frag.FreshInputs)
+	}
+}
+
+func TestFigure12Execute(t *testing.T) {
+	funcs, _ := ParseText(figure12)
+	frag, err := SliceBlock(funcs[0], funcs[0].Blocks[0], RDX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference semantics for the %edx slice:
+	// ebp' = ebp + r14; eax' = eax + ebp'; edx = (eax' * 5) << 3,
+	// everything computed in 32 bits and zero-extended.
+	ref := func(r14, rbp, rax uint64) uint64 {
+		ebp := uint32(rbp) + uint32(r14)
+		eax := uint32(rax) + ebp
+		edx := (eax + eax*4) << 3
+		return uint64(edx)
+	}
+	// Map fragment input order to values.
+	vals := map[Reg]uint64{RAX: 1000, RBP: 7, R14: 123456789}
+	in := make([]uint64, len(frag.Inputs))
+	for i, r := range frag.Inputs {
+		in[i] = vals[r]
+	}
+	got, err := frag.Execute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref(vals[R14], vals[RBP], vals[RAX]); got != want {
+		t.Errorf("Execute = %#x, want %#x", got, want)
+	}
+}
+
+func TestSliceMemoryReadReplaced(t *testing.T) {
+	src := `
+h:
+	movq 16(%rsp), %rbx
+	addq %rdi, %rbx
+	movq %rbx, %rax
+	ret
+`
+	funcs, err := ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, err := SliceBlock(funcs[0], funcs[0].Blocks[0], RAX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.FreshInputs != 1 {
+		t.Fatalf("fresh inputs = %d, want 1:\n%s", frag.FreshInputs, frag)
+	}
+	// The rewritten load must read a register, not memory.
+	for _, in := range frag.Insts {
+		for _, o := range in.Operands {
+			if o.Kind == OpMem {
+				t.Errorf("memory operand survived rewriting: %s", in)
+			}
+		}
+	}
+	// Semantics: output = mem + rdi, with mem supplied via the fresh
+	// input (last input by convention).
+	in := make([]uint64, len(frag.Inputs))
+	for i := range in {
+		in[i] = uint64(i+1) * 111
+	}
+	got, err := frag.Execute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rdiVal, fresh uint64
+	for i, r := range frag.Inputs {
+		if r == RDI {
+			rdiVal = in[i]
+		} else {
+			fresh = in[i]
+		}
+	}
+	if got != rdiVal+fresh {
+		t.Errorf("Execute = %d, want %d", got, rdiVal+fresh)
+	}
+}
+
+func TestSliceRejectsCallDependence(t *testing.T) {
+	src := `
+k:
+	call helper_1
+	addq %rdi, %rax
+	ret
+`
+	funcs, _ := ParseText(src)
+	if _, err := SliceBlock(funcs[0], funcs[0].Blocks[0], RAX); err == nil {
+		t.Error("slice through a call result was accepted")
+	}
+}
+
+func TestSliceRejectsUnsupportedDef(t *testing.T) {
+	// cvtsd2si would write a GPR but is unsupported: the slice must be
+	// rejected rather than silently wrong.
+	src := `
+m:
+	cvttsd2si %xmm0, %rax
+	addq %rdi, %rax
+	ret
+`
+	funcs, _ := ParseText(src)
+	if _, err := SliceBlock(funcs[0], funcs[0].Blocks[0], RAX); err == nil {
+		t.Error("slice with unsupported defining instruction was accepted")
+	}
+}
+
+func TestSliceSkipsIrrelevantUnsupported(t *testing.T) {
+	// Vector instructions that cannot define the sliced GPR are
+	// skipped, as in Figure 12.
+	src := `
+n:
+	pxor %xmm1, %xmm1
+	addq %rdi, %rsi
+	movq %rsi, %rax
+	ret
+`
+	funcs, _ := ParseText(src)
+	frag, err := SliceBlock(funcs[0], funcs[0].Blocks[0], RAX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range frag.Insts {
+		if in.Mnemonic == "pxor" {
+			t.Error("unsupported instruction included in slice")
+		}
+	}
+}
+
+func TestNonTrivialCountAndSignature(t *testing.T) {
+	src := `
+p:
+	movq %rdi, %rax
+	addq %rsi, %rax
+	shlq $2, %rax
+	ret
+`
+	funcs, _ := ParseText(src)
+	frag, err := SliceBlock(funcs[0], funcs[0].Blocks[0], RAX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := frag.NonTrivialCount(); got != 2 {
+		t.Errorf("NonTrivialCount = %d, want 2 (mov excluded)", got)
+	}
+	if sig := frag.Signature(); sig != "addq;shlq" {
+		t.Errorf("Signature = %q, want addq;shlq", sig)
+	}
+}
+
+func TestFragments(t *testing.T) {
+	funcs, _ := ParseText(figure12)
+	frags := Fragments(funcs[0], 2)
+	if len(frags) == 0 {
+		t.Fatal("no fragments extracted")
+	}
+	foundEdx := false
+	for _, fr := range frags {
+		if fr.Output == RDX {
+			foundEdx = true
+		}
+		if fr.NonTrivialCount() < 2 {
+			t.Errorf("fragment below non-trivial threshold: %s", fr)
+		}
+	}
+	// rdx is not live-out of a ret block seeded with {rax}, so the
+	// edx fragment is only extracted when liveness says so; the rax
+	// slice must be present.
+	_ = foundEdx
+	foundRax := false
+	for _, fr := range frags {
+		if fr.Output == RAX {
+			foundRax = true
+		}
+	}
+	if !foundRax {
+		t.Error("no fragment for the live-out rax")
+	}
+}
+
+func TestExecuteWidthSemantics(t *testing.T) {
+	// 32-bit writes zero-extend; 8/16-bit writes merge.
+	var rf RegFile
+	rf[RAX] = 0xFFFFFFFFFFFFFFFF
+	rf.Set(RAX, 32, 0x1234)
+	if rf[RAX] != 0x1234 {
+		t.Errorf("32-bit write = %#x, want zero-extended 0x1234", rf[RAX])
+	}
+	rf[RAX] = 0xFFFFFFFFFFFFFFFF
+	rf.Set(RAX, 16, 0x1234)
+	if rf[RAX] != 0xFFFFFFFFFFFF1234 {
+		t.Errorf("16-bit write = %#x", rf[RAX])
+	}
+	rf[RAX] = 0xFFFFFFFFFFFFFFFF
+	rf.Set(RAX, 8, 0x34)
+	if rf[RAX] != 0xFFFFFFFFFFFFFF34 {
+		t.Errorf("8-bit write = %#x", rf[RAX])
+	}
+}
+
+func TestExecuteInstructionMix(t *testing.T) {
+	src := `
+q:
+	movl $100, %eax
+	negl %eax
+	movslq %eax, %rbx
+	notq %rbx
+	leaq 3(%rbx,%rbx,2), %rcx
+	sarq $1, %rcx
+	movq %rcx, %rax
+	ret
+`
+	funcs, err := ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, err := SliceBlock(funcs[0], funcs[0].Blocks[0], RAX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := frag.Execute(make([]uint64, len(frag.Inputs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eax = -100 (as uint32); rbx = sign-extended -100 -> ^(-100) = 99;
+	// rcx = 3*99 + 3 = 300; sar 1 -> 150.
+	if got != 150 {
+		t.Errorf("Execute = %d, want 150", got)
+	}
+}
+
+func TestFragmentString(t *testing.T) {
+	funcs, _ := ParseText(figure12)
+	frag, err := SliceBlock(funcs[0], funcs[0].Blocks[0], RDX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := frag.String()
+	if !strings.Contains(s, "addl") || !strings.Contains(s, "inputs:") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestBitTestInstructions(t *testing.T) {
+	src := `
+bt:
+	movq %rdi, %rax
+	btsq $5, %rax
+	btrq $0, %rax
+	btcq $63, %rax
+	ret
+`
+	funcs, err := ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, err := SliceBlock(funcs[0], funcs[0].Blocks[0], RAX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []uint64{0, ^uint64(0), 0x1234} {
+		got, err := frag.Execute([]uint64{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ((x | 1<<5) &^ 1) ^ 1<<63
+		if got != want {
+			t.Errorf("bt chain on %#x = %#x, want %#x", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package bits provides 64-bit word utilities shared by the cost
+// functions, test-case generators, and benchmark pipeline: Hamming
+// weights and distances, the log-difference metric of the paper's
+// log-difference cost function, and random word generators for the
+// corner-case / random / skewed-Hamming-weight test inputs described
+// in Section 6.1 of the paper.
+package bits
+
+import (
+	"math"
+	mathbits "math/bits"
+	"math/rand/v2"
+)
+
+// Weight returns the Hamming weight (number of set bits) of x.
+func Weight(x uint64) int {
+	return mathbits.OnesCount64(x)
+}
+
+// Distance returns the Hamming distance between a and b, i.e. the
+// number of bit positions at which they differ.
+func Distance(a, b uint64) int {
+	return mathbits.OnesCount64(a ^ b)
+}
+
+// LogDiff returns the log-difference cost contribution for a candidate
+// output a against a desired output b, both interpreted as 64-bit
+// signed integers: 0 if they are equal and 1 + log2(|a-b|) otherwise.
+//
+// The absolute difference is computed without overflow even when the
+// true difference does not fit in int64 (e.g. MaxInt64 - MinInt64).
+func LogDiff(a, b uint64) float64 {
+	if a == b {
+		return 0
+	}
+	return 1 + math.Log2(float64(absDiff(int64(a), int64(b))))
+}
+
+// absDiff returns |a-b| as a uint64, exact for all int64 inputs.
+func absDiff(a, b int64) uint64 {
+	if a >= b {
+		return uint64(a) - uint64(b)
+	}
+	return uint64(b) - uint64(a)
+}
+
+// RandomWeighted returns a uniformly random 64-bit word conditioned on
+// having exactly w set bits. It panics if w is outside [0, 64].
+func RandomWeighted(rng *rand.Rand, w int) uint64 {
+	if w < 0 || w > 64 {
+		panic("bits: weight out of range")
+	}
+	// Reservoir-style selection of w distinct bit positions.
+	var x uint64
+	chosen := 0
+	for pos := 0; pos < 64; pos++ {
+		remaining := 64 - pos
+		need := w - chosen
+		if need == 0 {
+			break
+		}
+		if rng.IntN(remaining) < need {
+			x |= 1 << uint(pos)
+			chosen++
+		}
+	}
+	return x
+}
+
+// RandomLowWeight returns a random word with a low Hamming weight
+// (between 1 and 8 set bits), used for "bit patterns with low Hamming
+// weight" test inputs.
+func RandomLowWeight(rng *rand.Rand) uint64 {
+	return RandomWeighted(rng, 1+rng.IntN(8))
+}
+
+// RandomHighWeight returns a random word with a high Hamming weight
+// (between 56 and 63 set bits), used for "bit patterns with high
+// Hamming weight" test inputs.
+func RandomHighWeight(rng *rand.Rand) uint64 {
+	return RandomWeighted(rng, 56+rng.IntN(8))
+}
+
+// CornerCases is the set of important corner-case input values used by
+// the benchmark test-case generator: 0, 1, and -1 (all ones), per
+// Section 6.1, extended with the extreme signed values and a couple of
+// byte-boundary patterns that exercise sign handling.
+var CornerCases = []uint64{
+	0,
+	1,
+	^uint64(0),                  // -1
+	1 << 63,                     // math.MinInt64
+	(1 << 63) - 1,               // math.MaxInt64
+	0x00000000FFFFFFFF,          // low-half mask
+	0xFFFFFFFF00000000,          // high-half mask
+	0x8000000000000001,          // sign bit plus low bit
+	0x5555555555555555,          // alternating 01
+	0xAAAAAAAAAAAAAAAA,          // alternating 10
+	0x00FF00FF00FF00FF,          // byte stripes
+	0x0123456789ABCDEF,          // ascending nibbles
+	2, 3, 4, 7, 8, 15, 16, 0x80, // small values and powers of two
+}
+
+// InterestingConstant draws a random constant from a distribution that
+// favors values useful in low-level code: corner cases, small signed
+// integers, single bits, contiguous masks, and occasionally a fully
+// random word. The instruction move uses this when materializing new
+// constant operands.
+func InterestingConstant(rng *rand.Rand) uint64 {
+	switch rng.IntN(6) {
+	case 0: // a corner case
+		return CornerCases[rng.IntN(len(CornerCases))]
+	case 1: // small signed integer in [-16, 16]
+		return uint64(int64(rng.IntN(33) - 16))
+	case 2: // a single set bit
+		return 1 << uint(rng.IntN(64))
+	case 3: // contiguous low mask of 1..64 bits
+		n := 1 + rng.IntN(64)
+		if n == 64 {
+			return ^uint64(0)
+		}
+		return (uint64(1) << uint(n)) - 1
+	case 4: // negated single bit (all ones with a hole)
+		return ^(uint64(1) << uint(rng.IntN(64)))
+	default: // uniform random word
+		return rng.Uint64()
+	}
+}

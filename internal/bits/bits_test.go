@@ -1,0 +1,150 @@
+package bits
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeight(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{^uint64(0), 64},
+		{0xFF, 8},
+		{0x8000000000000001, 2},
+	}
+	for _, tc := range cases {
+		if got := Weight(tc.x); got != tc.want {
+			t.Errorf("Weight(%#x) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if got := Distance(0, ^uint64(0)); got != 64 {
+		t.Errorf("Distance(0, ~0) = %d, want 64", got)
+	}
+	if got := Distance(0b1100, 0b1010); got != 2 {
+		t.Errorf("Distance = %d, want 2", got)
+	}
+}
+
+func TestPropertyDistanceMetric(t *testing.T) {
+	// Symmetry, identity, and triangle inequality.
+	f := func(a, b, c uint64) bool {
+		return Distance(a, b) == Distance(b, a) &&
+			Distance(a, a) == 0 &&
+			Distance(a, c) <= Distance(a, b)+Distance(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogDiff(t *testing.T) {
+	if got := LogDiff(5, 5); got != 0 {
+		t.Errorf("LogDiff(5,5) = %g, want 0", got)
+	}
+	if got := LogDiff(5, 4); got != 1 { // 1 + log2(1) = 1
+		t.Errorf("LogDiff(5,4) = %g, want 1", got)
+	}
+	if got := LogDiff(0, 4); got != 3 { // 1 + log2(4) = 3
+		t.Errorf("LogDiff(0,4) = %g, want 3", got)
+	}
+	// Extreme difference must not overflow: MaxInt64 - MinInt64.
+	big := LogDiff(uint64(math.MaxInt64), 1<<63)
+	if big < 64 || big > 66 || math.IsInf(big, 0) || math.IsNaN(big) {
+		t.Errorf("LogDiff extreme = %g, want ~65", big)
+	}
+}
+
+func TestPropertyLogDiffSymmetricPositive(t *testing.T) {
+	f := func(a, b uint64) bool {
+		d := LogDiff(a, b)
+		if a == b {
+			return d == 0
+		}
+		return d >= 1 && d == LogDiff(b, a) && !math.IsNaN(d) && !math.IsInf(d, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomWeighted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, w := range []int{0, 1, 7, 32, 63, 64} {
+		for i := 0; i < 50; i++ {
+			x := RandomWeighted(rng, w)
+			if got := Weight(x); got != w {
+				t.Fatalf("RandomWeighted(%d) produced weight %d", w, got)
+			}
+		}
+	}
+}
+
+func TestRandomWeightedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for weight 65")
+		}
+	}()
+	RandomWeighted(rand.New(rand.NewPCG(1, 1)), 65)
+}
+
+func TestRandomWeightedVariety(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[RandomWeighted(rng, 32)] = true
+	}
+	if len(seen) < 90 {
+		t.Errorf("weight-32 words show little variety: %d/100 distinct", len(seen))
+	}
+}
+
+func TestSkewedWeights(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 100; i++ {
+		if w := Weight(RandomLowWeight(rng)); w < 1 || w > 8 {
+			t.Fatalf("RandomLowWeight weight %d out of [1, 8]", w)
+		}
+		if w := Weight(RandomHighWeight(rng)); w < 56 || w > 63 {
+			t.Fatalf("RandomHighWeight weight %d out of [56, 63]", w)
+		}
+	}
+}
+
+func TestCornerCasesContainEssentials(t *testing.T) {
+	want := map[uint64]bool{0: true, 1: true, ^uint64(0): true}
+	for _, c := range CornerCases {
+		delete(want, c)
+	}
+	if len(want) != 0 {
+		t.Errorf("CornerCases missing %v", want)
+	}
+}
+
+func TestInterestingConstantCoversClasses(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	sawZero, sawOnes, sawPow2 := false, false, false
+	for i := 0; i < 2000; i++ {
+		c := InterestingConstant(rng)
+		switch {
+		case c == 0:
+			sawZero = true
+		case c == ^uint64(0):
+			sawOnes = true
+		case c != 0 && c&(c-1) == 0:
+			sawPow2 = true
+		}
+	}
+	if !sawZero || !sawOnes || !sawPow2 {
+		t.Errorf("constant classes missing: zero=%v ones=%v pow2=%v", sawZero, sawOnes, sawPow2)
+	}
+}

@@ -1,0 +1,276 @@
+// Package corpus generates a synthetic x86-64 assembly corpus that
+// stands in for the Ubuntu 16.04 binaries the paper scrapes
+// (Section 6). The generator emits functions of basic blocks with a
+// realistic compiler-output instruction mix — mov-heavy data movement,
+// address arithmetic (lea), ALU chains with dataflow locality,
+// comparisons and branches, calls, memory accesses, and a sprinkling
+// of vector instructions the disassembler does not support — so the
+// scraping pipeline in internal/asm and internal/superopt is exercised
+// on the same kinds of inputs (and losses) the paper describes.
+//
+// Generation is deterministic given the seed.
+package corpus
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"stochsyn/internal/asm"
+)
+
+// Options configures corpus generation.
+type Options struct {
+	// Functions is the number of functions to emit.
+	Functions int
+	// Seed makes generation reproducible.
+	Seed uint64
+	// MaxBlocks bounds the number of basic blocks per function
+	// (default 4).
+	MaxBlocks int
+	// MaxInsts bounds the instructions per block (default 18).
+	MaxInsts int
+}
+
+func (o *Options) defaults() Options {
+	out := *o
+	if out.MaxBlocks <= 0 {
+		out.MaxBlocks = 4
+	}
+	if out.MaxInsts <= 0 {
+		out.MaxInsts = 18
+	}
+	return out
+}
+
+// Generate emits the corpus as one assembly listing.
+func Generate(opts Options) string {
+	o := opts.defaults()
+	rng := rand.New(rand.NewPCG(o.Seed, 0x243f6a8885a308d3))
+	var sb strings.Builder
+	sb.WriteString("\t.text\n")
+	for i := 0; i < o.Functions; i++ {
+		genFunc(&sb, rng, i, o)
+	}
+	return sb.String()
+}
+
+// workRegs are the registers the generator allocates from; rsp is
+// excluded as the stack pointer.
+var workRegs = []asm.Reg{
+	asm.RAX, asm.RBX, asm.RCX, asm.RDX, asm.RSI, asm.RDI, asm.RBP,
+	asm.R8, asm.R9, asm.R10, asm.R11, asm.R12, asm.R13, asm.R14, asm.R15,
+}
+
+// condJumps is the pool of conditional jump mnemonics.
+var condJumps = []string{"je", "jne", "jl", "jle", "jg", "jge", "jb", "ja", "js", "jns"}
+
+// genFunc writes one function.
+func genFunc(sb *strings.Builder, rng *rand.Rand, idx int, o Options) {
+	name := fmt.Sprintf("func_%04d", idx)
+	fmt.Fprintf(sb, "%s:\n", name)
+	nblocks := 1 + rng.IntN(o.MaxBlocks)
+	g := &blockGen{rng: rng}
+	// Seed a few registers as "holding values" (the incoming
+	// arguments) so early instructions have sources to read.
+	g.written = append(g.written, asm.RDI, asm.RSI, asm.RDX, asm.RCX)
+
+	for b := 0; b < nblocks; b++ {
+		if b > 0 {
+			fmt.Fprintf(sb, ".L%d_%d:\n", idx, b)
+		}
+		ninsts := 3 + rng.IntN(o.MaxInsts-2)
+		for k := 0; k < ninsts; k++ {
+			sb.WriteString("\t" + g.inst() + "\n")
+		}
+		last := b == nblocks-1
+		switch {
+		case last:
+			// Make sure the return value depends on computed state.
+			fmt.Fprintf(sb, "\tmovq %%%s, %%rax\n", g.srcReg())
+			sb.WriteString("\tret\n")
+		case rng.IntN(3) == 0:
+			// Conditional branch to a random later block.
+			target := b + 1 + rng.IntN(nblocks-b-1)
+			fmt.Fprintf(sb, "\tcmpq %%%s, %%%s\n", g.srcReg(), g.srcReg())
+			fmt.Fprintf(sb, "\t%s .L%d_%d\n", condJumps[rng.IntN(len(condJumps))], idx, target)
+		}
+	}
+}
+
+// blockGen tracks dataflow locality: instructions prefer to read
+// recently written registers, producing the connected dataflow slices
+// real code exhibits.
+type blockGen struct {
+	rng     *rand.Rand
+	written []asm.Reg
+}
+
+// srcReg picks a source register, biased toward recent writes.
+func (g *blockGen) srcReg() string {
+	if len(g.written) > 0 && g.rng.IntN(4) != 0 {
+		// Recency bias: sample from the last few writes.
+		k := len(g.written)
+		lo := 0
+		if k > 6 {
+			lo = k - 6
+		}
+		return g.written[lo+g.rng.IntN(k-lo)].String()
+	}
+	return workRegs[g.rng.IntN(len(workRegs))].String()
+}
+
+// dstReg picks a destination register and records the write.
+func (g *blockGen) dstReg() string {
+	r := workRegs[g.rng.IntN(len(workRegs))]
+	g.written = append(g.written, r)
+	if len(g.written) > 64 {
+		g.written = g.written[32:]
+	}
+	return r.String()
+}
+
+// reg32 converts a 64-bit register name to its 32-bit form.
+func reg32(name string) string {
+	r, _, _ := asm.ParseReg(name)
+	return r.Name(32)
+}
+
+// imm draws a small-ish immediate with occasional large values.
+func (g *blockGen) imm() string {
+	switch g.rng.IntN(5) {
+	case 0:
+		return fmt.Sprintf("$%d", g.rng.IntN(16))
+	case 1:
+		return fmt.Sprintf("$%#x", 1<<uint(g.rng.IntN(16)))
+	case 2:
+		return fmt.Sprintf("$%d", -(1 + g.rng.IntN(64)))
+	case 3:
+		return fmt.Sprintf("$%#x", g.rng.Uint64()>>uint(32+g.rng.IntN(24)))
+	default:
+		return fmt.Sprintf("$%d", g.rng.IntN(256))
+	}
+}
+
+// mem draws a memory operand: stack slot, rip-relative, or indexed.
+func (g *blockGen) mem() string {
+	switch g.rng.IntN(3) {
+	case 0:
+		return fmt.Sprintf("%d(%%rsp)", 8*g.rng.IntN(16))
+	case 1:
+		return fmt.Sprintf("%#x(%%rip)", 0x1000+g.rng.IntN(0x40000))
+	default:
+		return fmt.Sprintf("(%%%s,%%%s,%d)", g.srcReg(), g.srcReg(), []int{1, 2, 4, 8}[g.rng.IntN(4)])
+	}
+}
+
+// inst generates one instruction with a compiler-like mnemonic mix.
+func (g *blockGen) inst() string {
+	r := g.rng.IntN(100)
+	switch {
+	case r < 14: // mov reg->reg
+		src := g.srcReg()
+		if g.rng.IntN(2) == 0 {
+			return fmt.Sprintf("movl %%%s, %%%s", reg32(src), reg32(g.dstReg()))
+		}
+		return fmt.Sprintf("movq %%%s, %%%s", src, g.dstReg())
+	case r < 22: // mov imm->reg
+		if g.rng.IntN(2) == 0 {
+			return fmt.Sprintf("movl %s, %%%s", g.imm(), reg32(g.dstReg()))
+		}
+		return fmt.Sprintf("movq %s, %%%s", g.imm(), g.dstReg())
+	case r < 30: // load from memory
+		if g.rng.IntN(2) == 0 {
+			return fmt.Sprintf("movl %s, %%%s", g.mem(), reg32(g.dstReg()))
+		}
+		return fmt.Sprintf("movq %s, %%%s", g.mem(), g.dstReg())
+	case r < 34: // store to memory
+		return fmt.Sprintf("movq %%%s, %s", g.srcReg(), g.mem())
+	case r < 52: // two-operand ALU
+		ops := []string{"add", "sub", "and", "or", "xor"}
+		op := ops[g.rng.IntN(len(ops))]
+		if g.rng.IntN(2) == 0 {
+			if g.rng.IntN(3) == 0 {
+				return fmt.Sprintf("%sl %s, %%%s", op, g.imm(), reg32(g.dstReg()))
+			}
+			return fmt.Sprintf("%sl %%%s, %%%s", op, reg32(g.srcReg()), reg32(g.dstReg()))
+		}
+		if g.rng.IntN(3) == 0 {
+			return fmt.Sprintf("%sq %s, %%%s", op, g.imm(), g.dstReg())
+		}
+		return fmt.Sprintf("%sq %%%s, %%%s", op, g.srcReg(), g.dstReg())
+	case r < 58: // shifts by immediate
+		ops := []string{"shl", "shr", "sar"}
+		op := ops[g.rng.IntN(len(ops))]
+		sh := 1 + g.rng.IntN(31)
+		if g.rng.IntN(2) == 0 {
+			return fmt.Sprintf("%sl $%d, %%%s", op, sh%32, reg32(g.dstReg()))
+		}
+		return fmt.Sprintf("%sq $%d, %%%s", op, sh, g.dstReg())
+	case r < 64: // lea address arithmetic
+		scale := []int{1, 2, 4, 8}[g.rng.IntN(4)]
+		disp := g.rng.IntN(64)
+		if g.rng.IntN(2) == 0 {
+			return fmt.Sprintf("leal %d(%%%s,%%%s,%d), %%%s",
+				disp, g.srcReg(), g.srcReg(), scale, reg32(g.dstReg()))
+		}
+		return fmt.Sprintf("leaq %d(%%%s,%%%s,%d), %%%s",
+			disp, g.srcReg(), g.srcReg(), scale, g.dstReg())
+	case r < 68: // imul
+		if g.rng.IntN(2) == 0 {
+			return fmt.Sprintf("imull %%%s, %%%s", reg32(g.srcReg()), reg32(g.dstReg()))
+		}
+		return fmt.Sprintf("imulq %%%s, %%%s", g.srcReg(), g.dstReg())
+	case r < 73: // one-operand ALU
+		ops := []string{"notq", "negq", "incq", "decq", "notl", "negl"}
+		op := ops[g.rng.IntN(len(ops))]
+		dst := g.dstReg()
+		if strings.HasSuffix(op, "l") {
+			return fmt.Sprintf("%s %%%s", op, reg32(dst))
+		}
+		return fmt.Sprintf("%s %%%s", op, dst)
+	case r < 78: // extensions
+		ops := []string{"movzbl", "movzwl", "movsbl", "movslq"}
+		op := ops[g.rng.IntN(len(ops))]
+		src := g.srcReg()
+		dst := g.dstReg()
+		sr, _, _ := asm.ParseReg(src)
+		switch op {
+		case "movzbl", "movsbl":
+			return fmt.Sprintf("%s %%%s, %%%s", op, sr.Name(8), reg32(dst))
+		case "movzwl":
+			return fmt.Sprintf("%s %%%s, %%%s", op, sr.Name(16), reg32(dst))
+		default: // movslq
+			return fmt.Sprintf("movslq %%%s, %%%s", sr.Name(32), dst)
+		}
+	case r < 84: // compares and tests (flags only)
+		if g.rng.IntN(2) == 0 {
+			return fmt.Sprintf("cmpq %%%s, %%%s", g.srcReg(), g.srcReg())
+		}
+		return fmt.Sprintf("testl %%%s, %%%s", reg32(g.srcReg()), reg32(g.srcReg()))
+	case r < 88: // bit-manipulation extensions
+		ops := []string{"popcntq", "lzcntq", "tzcntq"}
+		op := ops[g.rng.IntN(len(ops))]
+		return fmt.Sprintf("%s %%%s, %%%s", op, g.srcReg(), g.dstReg())
+	case r < 94: // unsupported vector instructions (disassembler gaps)
+		switch g.rng.IntN(3) {
+		case 0:
+			n := g.rng.IntN(8)
+			return fmt.Sprintf("pxor %%xmm%d, %%xmm%d", n, n)
+		case 1:
+			return fmt.Sprintf("movsd %#x(%%rip), %%xmm%d", 0x2000+g.rng.IntN(0x40000), g.rng.IntN(8))
+		default:
+			return fmt.Sprintf("cvtsi2sd %%%s, %%xmm%d", g.srcReg(), g.rng.IntN(8))
+		}
+	case r < 97: // call (clobbers caller-saved registers)
+		g.written = append(g.written, asm.RAX)
+		return fmt.Sprintf("call helper_%d", g.rng.IntN(32))
+	default: // rotates and bit test-and-modify
+		if g.rng.IntN(2) == 0 {
+			op := []string{"rolq", "rorq"}[g.rng.IntN(2)]
+			return fmt.Sprintf("%s $%d, %%%s", op, 1+g.rng.IntN(63), g.dstReg())
+		}
+		op := []string{"btsq", "btrq", "btcq"}[g.rng.IntN(3)]
+		return fmt.Sprintf("%s $%d, %%%s", op, g.rng.IntN(64), g.dstReg())
+	}
+}

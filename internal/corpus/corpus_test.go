@@ -1,0 +1,88 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"stochsyn/internal/asm"
+)
+
+func TestGenerateParses(t *testing.T) {
+	src := Generate(Options{Functions: 50, Seed: 1})
+	funcs, err := asm.ParseText(src)
+	if err != nil {
+		t.Fatalf("generated corpus does not parse: %v", err)
+	}
+	if len(funcs) != 50 {
+		t.Errorf("parsed %d functions, want 50", len(funcs))
+	}
+	for _, f := range funcs {
+		if len(f.Blocks) == 0 {
+			t.Errorf("function %s has no blocks", f.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Options{Functions: 10, Seed: 42})
+	b := Generate(Options{Functions: 10, Seed: 42})
+	if a != b {
+		t.Error("same seed produced different corpora")
+	}
+	c := Generate(Options{Functions: 10, Seed: 43})
+	if a == c {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateEndsWithRet(t *testing.T) {
+	src := Generate(Options{Functions: 20, Seed: 7})
+	funcs, err := asm.ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range funcs {
+		last := f.Blocks[len(f.Blocks)-1]
+		if n := len(last.Insts); n == 0 || last.Insts[n-1].Mnemonic != "ret" {
+			t.Errorf("function %s does not end with ret", f.Name)
+		}
+	}
+}
+
+func TestGenerateInstructionMix(t *testing.T) {
+	src := Generate(Options{Functions: 100, Seed: 3})
+	// The corpus must include the major instruction classes, including
+	// unsupported vector instructions that exercise the pipeline's
+	// lossy paths.
+	for _, want := range []string{"movq", "movl", "addq", "leal", "shll", "imul", "xmm", "call", "cmpq", "movzbl"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("corpus lacks %q instructions", want)
+		}
+	}
+}
+
+func TestGenerateYieldsFragments(t *testing.T) {
+	src := Generate(Options{Functions: 60, Seed: 5})
+	funcs, err := asm.ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, f := range funcs {
+		total += len(asm.Fragments(f, 2))
+	}
+	if total < 20 {
+		t.Errorf("corpus produced only %d fragments", total)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{Functions: 1}
+	d := o.defaults()
+	if d.MaxBlocks <= 0 || d.MaxInsts <= 0 {
+		t.Error("defaults not applied")
+	}
+	if o.MaxBlocks != 0 {
+		t.Error("defaults mutated the receiver")
+	}
+}

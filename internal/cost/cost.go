@@ -1,0 +1,138 @@
+// Package cost implements the three cost functions of Section 3.2 of
+// the paper — Hamming, incorrect test cases, and log-difference — and
+// the β normalization rule β' = β·|test cases|/100. Every cost
+// function is zero exactly when the candidate output matches the
+// desired output on every test case.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"stochsyn/internal/bits"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/testcase"
+)
+
+// inf is the rejection sentinel returned by OfBounded.
+var inf = math.Inf(1)
+
+// Kind selects a cost function.
+type Kind uint8
+
+const (
+	// Hamming is the total number of incorrect bits across all test
+	// cases: the Hamming weight of the XOR of desired and candidate
+	// outputs.
+	Hamming Kind = iota
+	// IncorrectTests counts the test cases that are not entirely
+	// correct (differ in at least one bit). It avoids artifacts of the
+	// Hamming cost but provides less signal.
+	IncorrectTests
+	// LogDiff interprets outputs as 64-bit signed integers a and b and
+	// charges 1 + log2(|a-b|) per differing case. Most useful when the
+	// output is numeric.
+	LogDiff
+
+	numKinds
+)
+
+// Kinds lists all cost function kinds, in the order the paper's
+// evaluation presents them.
+var Kinds = []Kind{Hamming, IncorrectTests, LogDiff}
+
+// String returns the evaluation section's name for the cost function.
+func (k Kind) String() string {
+	switch k {
+	case Hamming:
+		return "hamming"
+	case IncorrectTests:
+		return "inctests"
+	case LogDiff:
+		return "logdiff"
+	}
+	return fmt.Sprintf("cost(%d)", uint8(k))
+}
+
+// ParseKind maps a name (as produced by String) to a Kind.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "hamming":
+		return Hamming, nil
+	case "inctests", "incorrect", "inc":
+		return IncorrectTests, nil
+	case "logdiff", "log":
+		return LogDiff, nil
+	}
+	return 0, fmt.Errorf("cost: unknown cost function %q", name)
+}
+
+// PerCase returns the cost contribution of a single test case given
+// the candidate output got and desired output want.
+func (k Kind) PerCase(got, want uint64) float64 {
+	switch k {
+	case Hamming:
+		return float64(bits.Distance(got, want))
+	case IncorrectTests:
+		if got != want {
+			return 1
+		}
+		return 0
+	case LogDiff:
+		return bits.LogDiff(got, want)
+	}
+	panic("cost: invalid kind")
+}
+
+// Of evaluates program p on every case of suite s and returns the
+// total cost. vals must have length >= p.Len(); it is scratch space so
+// the hot loop performs no allocation.
+func (k Kind) Of(p *prog.Program, s *testcase.Suite, vals []uint64) float64 {
+	total := 0.0
+	for i := range s.Cases {
+		c := &s.Cases[i]
+		got := p.Eval(c.Inputs, vals)
+		total += k.PerCase(got, c.Output)
+	}
+	return total
+}
+
+// OfBounded is Of with an early abort: because per-case costs are
+// non-negative, once the partial sum exceeds bound the proposal is
+// certain to be rejected, so evaluation stops and +Inf is returned.
+// The search draws its acceptance threshold before evaluating, which
+// makes this optimization exact (it never changes accept/reject
+// decisions) while skipping most of the work for bad proposals.
+func (k Kind) OfBounded(p *prog.Program, s *testcase.Suite, vals []uint64, bound float64) float64 {
+	total := 0.0
+	for i := range s.Cases {
+		c := &s.Cases[i]
+		got := p.Eval(c.Inputs, vals)
+		total += k.PerCase(got, c.Output)
+		if total > bound {
+			return inf
+		}
+	}
+	return total
+}
+
+// Solves reports whether p produces the desired output on every case.
+// It is equivalent to Of(...) == 0 for any Kind but short-circuits on
+// the first failing case.
+func Solves(p *prog.Program, s *testcase.Suite) bool {
+	var vals [prog.MaxNodes]uint64
+	for i := range s.Cases {
+		c := &s.Cases[i]
+		if p.Eval(c.Inputs, vals[:]) != c.Output {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalizeBeta scales a user-facing β, which is expressed relative to
+// a 100-test-case problem, to the problem's actual test-case count:
+// β' = β·|tests|/100 (Section 3.2).
+func NormalizeBeta(beta float64, numTests int) float64 {
+	return beta * float64(numTests) / 100
+}

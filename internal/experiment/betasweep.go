@@ -1,0 +1,235 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/textplot"
+)
+
+// BetaSweepConfig configures the Figure 13 experiment: for each
+// algorithm, cost function, and β, run Trials synthesis trials per
+// problem and measure the fraction that fail to finish within Budget
+// iterations.
+type BetaSweepConfig struct {
+	Bench *Benchmark
+	// Algorithms are restart strategy specs (see restart.New).
+	Algorithms []string
+	// Costs are the cost functions to sweep.
+	Costs []cost.Kind
+	// Betas is the β grid. The paper plots β in log space with an
+	// extra β = 0 point; include 0 here to reproduce the "×" marks.
+	Betas []float64
+	// Trials per (problem, algorithm, cost, β).
+	Trials int
+	// Budget is the per-trial iteration cutoff (the paper uses 100M).
+	Budget int64
+	// Seed drives all trials.
+	Seed uint64
+	// Parallelism bounds concurrent trials (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// BetaCurve is the failure-rate curve of one (algorithm, cost) pair.
+type BetaCurve struct {
+	Algorithm string
+	Cost      cost.Kind
+	Betas     []float64
+	// FailRate[i] is the fraction of trials at Betas[i] that did not
+	// finish within the budget (lower is better).
+	FailRate []float64
+	// MeanIters[i] is the mean iterations consumed by successful
+	// trials at Betas[i] (NaN when none succeeded).
+	MeanIters []float64
+}
+
+// OptimalBeta returns the β minimizing the failure rate, breaking ties
+// toward fewer mean iterations (this populates Table 1).
+func (c *BetaCurve) OptimalBeta() float64 {
+	best := 0
+	for i := range c.Betas {
+		switch {
+		case c.FailRate[i] < c.FailRate[best]:
+			best = i
+		case c.FailRate[i] == c.FailRate[best]:
+			mi, mb := c.MeanIters[i], c.MeanIters[best]
+			if !math.IsNaN(mi) && (math.IsNaN(mb) || mi < mb) {
+				best = i
+			}
+		}
+	}
+	return c.Betas[best]
+}
+
+// BetaSweepResult holds the full sweep.
+type BetaSweepResult struct {
+	Bench  string
+	Curves []BetaCurve
+}
+
+// Curve returns the curve for (algorithm, cost), or nil.
+func (r *BetaSweepResult) Curve(algo string, kind cost.Kind) *BetaCurve {
+	for i := range r.Curves {
+		if r.Curves[i].Algorithm == algo && r.Curves[i].Cost == kind {
+			return &r.Curves[i]
+		}
+	}
+	return nil
+}
+
+// BetaSweep runs the experiment.
+func BetaSweep(cfg BetaSweepConfig) *BetaSweepResult {
+	res := &BetaSweepResult{Bench: cfg.Bench.Name}
+	type cell struct {
+		failures int
+		succ     []float64
+	}
+	// One result cell per (algo, cost, beta); each cell aggregates
+	// Trials × problems outcomes.
+	cells := make([]cell, len(cfg.Algorithms)*len(cfg.Costs)*len(cfg.Betas))
+	var tasks []task
+	var cellMu sync.Mutex
+	for ai, algo := range cfg.Algorithms {
+		for ci, kind := range cfg.Costs {
+			for bi, beta := range cfg.Betas {
+				idx := (ai*len(cfg.Costs)+ci)*len(cfg.Betas) + bi
+				for _, p := range cfg.Bench.Problems {
+					for t := 0; t < cfg.Trials; t++ {
+						p, algo, kind, beta, t := p, algo, kind, beta, t
+						tasks = append(tasks, func() {
+							seed := trialSeed(cfg.Seed, p.Name, algo, kind, t) ^ math.Float64bits(beta)
+							r := Trial(p, algo, cfg.Bench.Set, kind, beta, cfg.Budget, seed)
+							cellMu.Lock()
+							if r.Solved {
+								cells[idx].succ = append(cells[idx].succ, float64(r.Iterations))
+							} else {
+								cells[idx].failures++
+							}
+							cellMu.Unlock()
+						})
+					}
+				}
+			}
+		}
+	}
+	runParallel(cfg.Parallelism, tasks)
+
+	for ai, algo := range cfg.Algorithms {
+		for ci, kind := range cfg.Costs {
+			curve := BetaCurve{Algorithm: algo, Cost: kind, Betas: cfg.Betas}
+			for bi := range cfg.Betas {
+				idx := (ai*len(cfg.Costs)+ci)*len(cfg.Betas) + bi
+				c := &cells[idx]
+				total := c.failures + len(c.succ)
+				rate := math.NaN()
+				if total > 0 {
+					rate = float64(c.failures) / float64(total)
+				}
+				curve.FailRate = append(curve.FailRate, rate)
+				curve.MeanIters = append(curve.MeanIters, mean(c.succ))
+			}
+			res.Curves = append(res.Curves, curve)
+		}
+	}
+	return res
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// OptimalBetaTable renders Table 1: the optimal β per (cost,
+// algorithm) for this benchmark.
+func (r *BetaSweepResult) OptimalBetaTable(w io.Writer) {
+	rows := [][]string{{"cost", "benchmark", "algorithm", "optimal beta"}}
+	for i := range r.Curves {
+		c := &r.Curves[i]
+		rows = append(rows, []string{
+			c.Cost.String(), r.Bench, c.Algorithm,
+			textplot.FormatFloat(c.OptimalBeta()),
+		})
+	}
+	textplot.Table(w, rows)
+}
+
+// Plot renders the Figure 13 panel for one cost function: failure rate
+// against β (log x) for each algorithm.
+func (r *BetaSweepResult) Plot(w io.Writer, kind cost.Kind, width, height int) {
+	var series []textplot.Series
+	for i := range r.Curves {
+		c := &r.Curves[i]
+		if c.Cost != kind {
+			continue
+		}
+		s := textplot.Series{Name: c.Algorithm}
+		for j, b := range c.Betas {
+			if b <= 0 {
+				continue // β = 0 cannot be plotted on a log axis
+			}
+			s.X = append(s.X, b)
+			s.Y = append(s.Y, c.FailRate[j])
+		}
+		series = append(series, s)
+	}
+	fmt.Fprintf(w, "failure rate vs beta, %s / %s:\n", r.Bench, kind)
+	textplot.Lines(w, series, width, height, true, false, "beta", "failure rate")
+	for i := range r.Curves {
+		c := &r.Curves[i]
+		if c.Cost != kind {
+			continue
+		}
+		for j, b := range c.Betas {
+			if b == 0 {
+				fmt.Fprintf(w, "   %s at beta=0: failure rate %s (the x mark)\n",
+					c.Algorithm, textplot.FormatFloat(c.FailRate[j]))
+			}
+		}
+	}
+}
+
+// CSV emits the sweep as rows: bench, cost, algorithm, beta, failrate,
+// mean iterations.
+func (r *BetaSweepResult) CSV(w io.Writer) error {
+	rows := [][]string{{"bench", "cost", "algorithm", "beta", "fail_rate", "mean_iters"}}
+	for i := range r.Curves {
+		c := &r.Curves[i]
+		for j := range c.Betas {
+			rows = append(rows, []string{
+				r.Bench, c.Cost.String(), c.Algorithm,
+				textplot.FormatFloat(c.Betas[j]),
+				textplot.FormatFloat(c.FailRate[j]),
+				textplot.FormatFloat(c.MeanIters[j]),
+			})
+		}
+	}
+	return textplot.CSV(w, rows)
+}
+
+// DefaultBetaGrid returns the β grid used by the sweep experiments:
+// zero plus a log-spaced range. The incorrect-test-cases cost uses a
+// lower range reflecting its different scale (Section 7.1).
+func DefaultBetaGrid(kind cost.Kind, points int) []float64 {
+	if points < 2 {
+		points = 2
+	}
+	lo, hi := 0.1, 20.0
+	if kind == cost.IncorrectTests {
+		lo, hi = 0.001, 2.0
+	}
+	out := []float64{0}
+	for i := 0; i < points; i++ {
+		f := float64(i) / float64(points-1)
+		out = append(out, lo*math.Pow(hi/lo, f))
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/stats"
+	"stochsyn/internal/textplot"
+)
+
+// CompareConfig configures the main evaluation (Section 7.3): many
+// trials of each algorithm and cost function on every benchmark
+// problem at the algorithm's optimal β, summarized by penalized mean
+// times.
+type CompareConfig struct {
+	Bench      *Benchmark
+	Algorithms []string
+	Costs      []cost.Kind
+	// Beta returns the β for (algorithm, cost); use the β sweep's
+	// optima (Table 1) for a fair comparison.
+	Beta func(algo string, kind cost.Kind) float64
+	// Trials per (problem, algorithm, cost); the paper runs 50.
+	Trials int
+	// Budget is the per-trial iteration cutoff C (the paper uses 100M);
+	// it is also the penalty unit of the Section 7.2 estimator.
+	Budget int64
+	// Seed drives all trials.
+	Seed uint64
+	// Parallelism bounds concurrent trials (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// ProblemResult is one (problem, algorithm, cost) cell.
+type ProblemResult struct {
+	Problem   string
+	Algorithm string
+	Cost      cost.Kind
+	// SuccessTimes holds the iteration counts of successful trials.
+	SuccessTimes []float64
+	Trials       int
+	// Mean is the penalized mean estimate of Section 7.2.
+	Mean float64
+}
+
+// CompareResult is the full comparison.
+type CompareResult struct {
+	Bench   string
+	Budget  int64
+	Trials  int
+	Results []ProblemResult
+}
+
+// Compare runs the experiment.
+func Compare(cfg CompareConfig) *CompareResult {
+	res := &CompareResult{Bench: cfg.Bench.Name, Budget: cfg.Budget, Trials: cfg.Trials}
+	cells := make([]ProblemResult, 0, len(cfg.Bench.Problems)*len(cfg.Algorithms)*len(cfg.Costs))
+	for _, p := range cfg.Bench.Problems {
+		for _, algo := range cfg.Algorithms {
+			for _, kind := range cfg.Costs {
+				cells = append(cells, ProblemResult{
+					Problem: p.Name, Algorithm: algo, Cost: kind, Trials: cfg.Trials,
+				})
+			}
+		}
+	}
+	var mu sync.Mutex
+	var tasks []task
+	ci := 0
+	for _, p := range cfg.Bench.Problems {
+		for _, algo := range cfg.Algorithms {
+			for _, kind := range cfg.Costs {
+				idx := ci
+				ci++
+				beta := 1.0
+				if cfg.Beta != nil {
+					beta = cfg.Beta(algo, kind)
+				}
+				for t := 0; t < cfg.Trials; t++ {
+					p, algo, kind, beta, t := p, algo, kind, beta, t
+					tasks = append(tasks, func() {
+						seed := trialSeed(cfg.Seed, p.Name, algo, kind, t)
+						r := Trial(p, algo, cfg.Bench.Set, kind, beta, cfg.Budget, seed)
+						if r.Solved {
+							mu.Lock()
+							cells[idx].SuccessTimes = append(cells[idx].SuccessTimes, float64(r.Iterations))
+							mu.Unlock()
+						}
+					})
+				}
+			}
+		}
+	}
+	runParallel(cfg.Parallelism, tasks)
+	for i := range cells {
+		sort.Float64s(cells[i].SuccessTimes)
+		cells[i].Mean = stats.PenalizedMean(cells[i].SuccessTimes, cfg.Trials, float64(cfg.Budget))
+	}
+	res.Results = cells
+	return res
+}
+
+// Cactus returns the sorted penalized means of one (algorithm, cost)
+// pair: the y-values of the cactus plots of Figures 14-16, where x is
+// the ordinal rank of the problem (each algorithm's problems sorted by
+// its own means).
+func (r *CompareResult) Cactus(algo string, kind cost.Kind) []float64 {
+	var means []float64
+	for i := range r.Results {
+		c := &r.Results[i]
+		if c.Algorithm == algo && c.Cost == kind {
+			means = append(means, c.Mean)
+		}
+	}
+	sort.Float64s(means)
+	return means
+}
+
+// SpeedupAt implements Table 2: the speedup of algorithm "base"
+// relative to algorithm "against" at ordinal rank (1-based), computed
+// as the geometric mean of the ratio over a window of ranks to reduce
+// noise. It returns NaN when timeouts prevent computing a ratio.
+func (r *CompareResult) SpeedupAt(against, base string, kind cost.Kind, rank, window int) float64 {
+	a := r.Cactus(against, kind)
+	b := r.Cactus(base, kind)
+	var ratios []float64
+	for i := rank - 1 - window/2; i <= rank-1+window/2; i++ {
+		if i < 0 || i >= len(a) || i >= len(b) {
+			continue
+		}
+		if math.IsInf(a[i], 1) || math.IsInf(b[i], 1) || b[i] == 0 {
+			continue
+		}
+		ratios = append(ratios, a[i]/b[i])
+	}
+	if len(ratios) == 0 {
+		return math.NaN()
+	}
+	return stats.GeoMean(ratios)
+}
+
+// UnsolvedFraction implements Table 3: the fraction of problems whose
+// penalized expected time exceeds the budget (equivalently, where the
+// cactus curve crosses the dashed cutoff line).
+func (r *CompareResult) UnsolvedFraction(algo string, kind cost.Kind) float64 {
+	means := r.Cactus(algo, kind)
+	if len(means) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, m := range means {
+		if m > float64(r.Budget) || math.IsInf(m, 1) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(means))
+}
+
+// SolvedAtLeastOnce returns the fraction of problems solved in at
+// least one trial by any of the given algorithms and costs (the
+// paper's 97% headline for the superoptimization benchmark).
+func (r *CompareResult) SolvedAtLeastOnce() float64 {
+	solved := map[string]bool{}
+	problems := map[string]bool{}
+	for i := range r.Results {
+		c := &r.Results[i]
+		problems[c.Problem] = true
+		if len(c.SuccessTimes) > 0 {
+			solved[c.Problem] = true
+		}
+	}
+	if len(problems) == 0 {
+		return math.NaN()
+	}
+	return float64(len(solved)) / float64(len(problems))
+}
+
+// PlotCactus renders the cactus plot for one cost function.
+func (r *CompareResult) PlotCactus(w io.Writer, kind cost.Kind, algorithms []string, width, height int) {
+	var series []textplot.Series
+	for _, algo := range algorithms {
+		means := r.Cactus(algo, kind)
+		s := textplot.Series{Name: algo}
+		for i, m := range means {
+			if math.IsInf(m, 1) || m <= 0 {
+				continue
+			}
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, m)
+		}
+		series = append(series, s)
+	}
+	fmt.Fprintf(w, "cactus plot (%s / %s); horizontal cutoff at %d iterations:\n", r.Bench, kind, r.Budget)
+	textplot.Lines(w, series, width, height, false, true, "rank", "mean iterations")
+}
+
+// SpeedupTable renders Table 2 for this benchmark: the speedup of the
+// last algorithm in algorithms (the adaptive baseline) over each other
+// algorithm at the given ordinal ranks.
+func (r *CompareResult) SpeedupTable(w io.Writer, algorithms []string, kinds []cost.Kind, ranks []int, window int) {
+	if len(algorithms) == 0 {
+		return
+	}
+	base := algorithms[len(algorithms)-1]
+	header := []string{"cost", "algorithm"}
+	for _, rank := range ranks {
+		header = append(header, fmt.Sprintf("rank %d", rank))
+	}
+	rows := [][]string{header}
+	for _, kind := range kinds {
+		for _, algo := range algorithms {
+			row := []string{kind.String(), algo}
+			for _, rank := range ranks {
+				if algo == base {
+					row = append(row, "1")
+					continue
+				}
+				sp := r.SpeedupAt(algo, base, kind, rank, window)
+				if math.IsNaN(sp) {
+					row = append(row, "-")
+				} else {
+					row = append(row, fmt.Sprintf("%.2f", sp))
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	textplot.Table(w, rows)
+}
+
+// UnsolvedTable renders Table 3 for this benchmark.
+func (r *CompareResult) UnsolvedTable(w io.Writer, algorithms []string, kinds []cost.Kind) {
+	rows := [][]string{{"cost", "algorithm", "unsolved"}}
+	for _, kind := range kinds {
+		for _, algo := range algorithms {
+			rows = append(rows, []string{
+				kind.String(), algo,
+				fmt.Sprintf("%.1f%%", 100*r.UnsolvedFraction(algo, kind)),
+			})
+		}
+	}
+	textplot.Table(w, rows)
+}
+
+// CSV emits every cell: problem, algorithm, cost, successes, trials,
+// penalized mean.
+func (r *CompareResult) CSV(w io.Writer) error {
+	rows := [][]string{{"bench", "problem", "algorithm", "cost", "successes", "trials", "penalized_mean"}}
+	for i := range r.Results {
+		c := &r.Results[i]
+		rows = append(rows, []string{
+			r.Bench, c.Problem, c.Algorithm, c.Cost.String(),
+			fmt.Sprint(len(c.SuccessTimes)), fmt.Sprint(c.Trials),
+			textplot.FormatFloat(c.Mean),
+		})
+	}
+	return textplot.CSV(w, rows)
+}

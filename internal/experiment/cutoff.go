@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/stats"
+	"stochsyn/internal/textplot"
+)
+
+// CutoffConfig configures the Section 5.1 ablation: estimate the
+// distribution-optimal fixed cutoff t* for each problem from pilot
+// naive runs, then compare the fixed(t*) strategy — the best possible
+// black-box restart strategy for that distribution — against Luby and
+// adaptive, which need no per-problem tuning.
+type CutoffConfig struct {
+	Bench *Benchmark
+	Cost  cost.Kind
+	Beta  float64
+	// PilotRuns is the number of naive runs used to estimate t*.
+	PilotRuns int
+	// Trials per strategy for the comparison.
+	Trials int
+	// Budget bounds every run.
+	Budget int64
+	Seed   uint64
+	// Parallelism bounds concurrent trials.
+	Parallelism int
+}
+
+// CutoffResult summarizes one problem.
+type CutoffResult struct {
+	Problem string
+	// TStar is the estimated optimal cutoff (NaN when too few pilot
+	// runs finished).
+	TStar float64
+	// Predicted is the estimator's expected total time at TStar.
+	Predicted float64
+	// Mean penalized time per strategy.
+	Fixed, Luby, Adaptive, Naive float64
+}
+
+// CutoffAblation runs the experiment.
+func CutoffAblation(cfg CutoffConfig) []CutoffResult {
+	results := make([]CutoffResult, len(cfg.Bench.Problems))
+
+	// Phase 1: pilot runs to estimate per-problem t*.
+	pilots := make([][]float64, len(cfg.Bench.Problems))
+	var mu sync.Mutex
+	var tasks []task
+	for pi, p := range cfg.Bench.Problems {
+		results[pi].Problem = p.Name
+		for t := 0; t < cfg.PilotRuns; t++ {
+			pi, p, t := pi, p, t
+			tasks = append(tasks, func() {
+				r := Trial(p, "naive", cfg.Bench.Set, cfg.Cost, cfg.Beta, cfg.Budget,
+					trialSeed(cfg.Seed, p.Name, "pilot", cfg.Cost, t))
+				if r.Solved {
+					mu.Lock()
+					pilots[pi] = append(pilots[pi], float64(r.Iterations))
+					mu.Unlock()
+				}
+			})
+		}
+	}
+	runParallel(cfg.Parallelism, tasks)
+	for pi := range pilots {
+		if len(pilots[pi]) >= 3 {
+			results[pi].TStar, results[pi].Predicted = stats.OptimalCutoff(pilots[pi])
+		} else {
+			results[pi].TStar, results[pi].Predicted = math.NaN(), math.NaN()
+		}
+	}
+
+	// Phase 2: head-to-head at the estimated cutoffs.
+	type cell struct{ times []float64 }
+	cells := make(map[string]*cell)
+	key := func(pi int, algo string) string { return fmt.Sprint(pi, "|", algo) }
+	tasks = nil
+	for pi, p := range cfg.Bench.Problems {
+		specs := map[string]string{
+			"naive":    "naive",
+			"luby":     "luby",
+			"adaptive": "adaptive",
+		}
+		if !math.IsNaN(results[pi].TStar) && results[pi].TStar >= 1 {
+			specs["fixed"] = fmt.Sprintf("fixed:%d", int64(results[pi].TStar))
+		}
+		for algo, spec := range specs {
+			cells[key(pi, algo)] = &cell{}
+			for t := 0; t < cfg.Trials; t++ {
+				pi, p, algo, spec, t := pi, p, algo, spec, t
+				tasks = append(tasks, func() {
+					r := Trial(p, spec, cfg.Bench.Set, cfg.Cost, cfg.Beta, cfg.Budget,
+						trialSeed(cfg.Seed, p.Name, algo+"-cmp", cfg.Cost, t))
+					if r.Solved {
+						mu.Lock()
+						c := cells[key(pi, algo)]
+						c.times = append(c.times, float64(r.Iterations))
+						mu.Unlock()
+					}
+				})
+			}
+		}
+	}
+	runParallel(cfg.Parallelism, tasks)
+	for pi := range cfg.Bench.Problems {
+		get := func(algo string) float64 {
+			c, ok := cells[key(pi, algo)]
+			if !ok {
+				return math.NaN()
+			}
+			return stats.PenalizedMean(c.times, cfg.Trials, float64(cfg.Budget))
+		}
+		results[pi].Fixed = get("fixed")
+		results[pi].Luby = get("luby")
+		results[pi].Adaptive = get("adaptive")
+		results[pi].Naive = get("naive")
+	}
+	return results
+}
+
+// ReportCutoff renders the ablation table.
+func ReportCutoff(w io.Writer, results []CutoffResult) {
+	rows := [][]string{{"problem", "t*", "predicted", "fixed(t*)", "luby", "adaptive", "naive"}}
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Problem,
+			textplot.FormatFloat(r.TStar),
+			textplot.FormatFloat(r.Predicted),
+			textplot.FormatFloat(r.Fixed),
+			textplot.FormatFloat(r.Luby),
+			textplot.FormatFloat(r.Adaptive),
+			textplot.FormatFloat(r.Naive),
+		})
+	}
+	textplot.Table(w, rows)
+	fmt.Fprintln(w, "fixed(t*) is tuned per problem from pilot runs; luby and adaptive are untuned.")
+}

@@ -1,0 +1,170 @@
+// Package experiment implements the evaluation harness of Section 7 of
+// the paper: the β sweep (Figure 13, Table 1), the main algorithm
+// comparison with penalized mean times and cactus plots (Figures
+// 14-16), ordinal-rank speedups (Table 2), unsolved fractions
+// (Table 3), the distribution-family census (Figure 6), the model
+// Markov-chain comparison (Figure 10, Section 5.2.1), the
+// measured-versus-predicted experiment (Figure 4), and plateau charts
+// (Figures 1, 7, and 11).
+//
+// Every experiment is deterministic given its seed and scales from
+// smoke-test size to paper scale through its config.
+package experiment
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/restart"
+	"stochsyn/internal/search"
+	"stochsyn/internal/superopt"
+	"stochsyn/internal/sygus"
+	"stochsyn/internal/testcase"
+)
+
+// Problem is one named synthesis problem.
+type Problem struct {
+	Name  string
+	Suite *testcase.Suite
+}
+
+// Benchmark is a named list of problems.
+type Benchmark struct {
+	Name     string
+	Problems []Problem
+	// Set is the dialect problems of this benchmark are synthesized
+	// in.
+	Set *prog.OpSet
+}
+
+// SyGuSBenchmark builds the SyGuS-style benchmark with n problems
+// (curated tasks first, generated ones after).
+func SyGuSBenchmark(seed uint64, n int) *Benchmark {
+	extra := 0
+	if n > 35 {
+		extra = n - 35
+	}
+	probs := sygus.Standard(sygus.Options{Seed: seed, RandomProblems: extra})
+	if n > 0 && len(probs) > n {
+		probs = probs[:n]
+	}
+	b := &Benchmark{Name: "sygus", Set: prog.FullSet}
+	for _, p := range probs {
+		b.Problems = append(b.Problems, Problem{Name: p.Name, Suite: p.Suite})
+	}
+	return b
+}
+
+// SuperoptBenchmark builds the superoptimization benchmark with n
+// problems via the scraping pipeline.
+func SuperoptBenchmark(seed uint64, n int) (*Benchmark, superopt.Stats, error) {
+	opts := superopt.DefaultOptions(seed)
+	if n > 0 {
+		opts.SampleSize = n
+		// Scale the corpus so the signature pool comfortably covers
+		// the requested sample.
+		opts.CorpusFunctions = 60 + 8*n
+	}
+	probs, stats, err := superopt.Build(opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	b := &Benchmark{Name: "superopt", Set: prog.FullSet}
+	for _, p := range probs {
+		b.Problems = append(b.Problems, Problem{Name: p.Name, Suite: p.Suite})
+	}
+	return b, stats, nil
+}
+
+// Trial runs one strategy on one problem with one cost function and β,
+// under the given iteration budget, deterministically in the seed.
+func Trial(p Problem, spec string, set *prog.OpSet, kind cost.Kind, beta float64, budget int64, seed uint64) restart.Result {
+	strat := restart.MustNew(spec)
+	factory := search.NewFactory(p.Suite, search.Options{
+		Set:  set,
+		Cost: kind,
+		Beta: beta,
+		Seed: seed,
+	})
+	return strat.Run(factory, budget)
+}
+
+// task is one unit of parallel work.
+type task func()
+
+// runParallel executes tasks over a bounded worker pool. Tasks must be
+// independent; each writes to its own result slot.
+func runParallel(parallelism int, tasks []task) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(tasks) {
+		parallelism = len(tasks)
+	}
+	if parallelism <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan task)
+	for i := 0; i < parallelism; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				t()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// trialSeed derives a deterministic seed for (experiment seed,
+// problem, algorithm, cost, trial).
+func trialSeed(seed uint64, problem, spec string, kind cost.Kind, trial int) uint64 {
+	h := seed
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 0x100000001b3
+		}
+	}
+	mix(problem)
+	mix(spec)
+	mix(kind.String())
+	h ^= uint64(trial+1) * 0x9e3779b97f4a7c15
+	return h
+}
+
+// Subset deterministically samples a fraction of the benchmark's
+// problems (the β sweep runs on a randomly selected 10% subset).
+func (b *Benchmark) Subset(frac float64, seed uint64) *Benchmark {
+	if frac >= 1 || len(b.Problems) == 0 {
+		return b
+	}
+	n := int(float64(len(b.Problems)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xbe5466cf34e90c6c))
+	idx := rng.Perm(len(b.Problems))[:n]
+	out := &Benchmark{Name: b.Name, Set: b.Set}
+	for _, i := range idx {
+		out.Problems = append(out.Problems, b.Problems[i])
+	}
+	return out
+}
+
+// String summarizes the benchmark.
+func (b *Benchmark) String() string {
+	return fmt.Sprintf("%s(%d problems)", b.Name, len(b.Problems))
+}

@@ -1,0 +1,373 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+)
+
+func TestSyGuSBenchmark(t *testing.T) {
+	b := SyGuSBenchmark(1, 8)
+	if len(b.Problems) != 8 {
+		t.Fatalf("got %d problems", len(b.Problems))
+	}
+	if b.Name != "sygus" || b.Set != prog.FullSet {
+		t.Error("benchmark metadata wrong")
+	}
+	// Requesting more than the curated list appends generated
+	// problems.
+	big := SyGuSBenchmark(1, 40)
+	if len(big.Problems) != 40 {
+		t.Errorf("big benchmark has %d problems", len(big.Problems))
+	}
+}
+
+func TestSuperoptBenchmark(t *testing.T) {
+	b, stats, err := SuperoptBenchmark(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Problems) == 0 || len(b.Problems) > 6 {
+		t.Fatalf("got %d problems (stats %v)", len(b.Problems), stats)
+	}
+	if b.Name != "superopt" {
+		t.Error("benchmark name wrong")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	b := SyGuSBenchmark(1, 20)
+	s := b.Subset(0.25, 7)
+	if len(s.Problems) != 5 {
+		t.Errorf("subset has %d problems, want 5", len(s.Problems))
+	}
+	// Deterministic.
+	s2 := b.Subset(0.25, 7)
+	for i := range s.Problems {
+		if s.Problems[i].Name != s2.Problems[i].Name {
+			t.Error("subset not deterministic")
+		}
+	}
+	// Fraction 1 returns the benchmark itself.
+	if full := b.Subset(1, 7); len(full.Problems) != 20 {
+		t.Error("full subset truncated")
+	}
+}
+
+func TestTrialDeterministic(t *testing.T) {
+	b := SyGuSBenchmark(1, 1)
+	p := b.Problems[0]
+	r1 := Trial(p, "naive", b.Set, cost.Hamming, 2, 50_000, 123)
+	r2 := Trial(p, "naive", b.Set, cost.Hamming, 2, 50_000, 123)
+	if r1.Solved != r2.Solved || r1.Iterations != r2.Iterations {
+		t.Error("identical trials diverged")
+	}
+}
+
+func TestTrialSeedsDiffer(t *testing.T) {
+	s1 := trialSeed(1, "p", "naive", cost.Hamming, 0)
+	s2 := trialSeed(1, "p", "naive", cost.Hamming, 1)
+	s3 := trialSeed(1, "p", "luby", cost.Hamming, 0)
+	s4 := trialSeed(1, "q", "naive", cost.Hamming, 0)
+	if s1 == s2 || s1 == s3 || s1 == s4 {
+		t.Error("trial seeds collide across dimensions")
+	}
+}
+
+func TestBetaSweepSmall(t *testing.T) {
+	b := SyGuSBenchmark(1, 2)
+	res := BetaSweep(BetaSweepConfig{
+		Bench:      b,
+		Algorithms: []string{"naive", "adaptive"},
+		Costs:      []cost.Kind{cost.Hamming},
+		Betas:      []float64{0, 1, 4},
+		Trials:     2,
+		Budget:     300_000,
+		Seed:       1,
+	})
+	if len(res.Curves) != 2 {
+		t.Fatalf("got %d curves", len(res.Curves))
+	}
+	for _, c := range res.Curves {
+		if len(c.FailRate) != 3 {
+			t.Fatalf("curve has %d points", len(c.FailRate))
+		}
+		for _, fr := range c.FailRate {
+			if fr < 0 || fr > 1 {
+				t.Errorf("failure rate %g out of range", fr)
+			}
+		}
+		// OptimalBeta must come from the grid.
+		ob := c.OptimalBeta()
+		if ob != 0 && ob != 1 && ob != 4 {
+			t.Errorf("optimal beta %g not on grid", ob)
+		}
+	}
+	if res.Curve("naive", cost.Hamming) == nil {
+		t.Error("Curve lookup failed")
+	}
+	if res.Curve("bogus", cost.Hamming) != nil {
+		t.Error("Curve lookup returned a phantom")
+	}
+
+	var report strings.Builder
+	res.OptimalBetaTable(&report)
+	res.Plot(&report, cost.Hamming, 40, 8)
+	if err := res.CSV(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "naive") {
+		t.Error("reports missing algorithm names")
+	}
+}
+
+func TestCompareSmall(t *testing.T) {
+	b := SyGuSBenchmark(1, 3)
+	res := Compare(CompareConfig{
+		Bench:      b,
+		Algorithms: []string{"naive", "adaptive"},
+		Costs:      []cost.Kind{cost.Hamming},
+		Beta:       func(string, cost.Kind) float64 { return 2 },
+		Trials:     3,
+		Budget:     400_000,
+		Seed:       2,
+	})
+	if len(res.Results) != 3*2*1 {
+		t.Fatalf("got %d cells", len(res.Results))
+	}
+	cac := res.Cactus("adaptive", cost.Hamming)
+	if len(cac) != 3 {
+		t.Fatalf("cactus has %d points", len(cac))
+	}
+	for i := 1; i < len(cac); i++ {
+		if cac[i] < cac[i-1] {
+			t.Error("cactus not sorted")
+		}
+	}
+	uf := res.UnsolvedFraction("adaptive", cost.Hamming)
+	if uf < 0 || uf > 1 {
+		t.Errorf("unsolved fraction %g", uf)
+	}
+	if sa := res.SolvedAtLeastOnce(); sa < 0 || sa > 1 {
+		t.Errorf("solved-at-least-once %g", sa)
+	}
+
+	var report strings.Builder
+	res.PlotCactus(&report, cost.Hamming, []string{"naive", "adaptive"}, 40, 8)
+	res.SpeedupTable(&report, []string{"naive", "adaptive"}, []cost.Kind{cost.Hamming}, []int{2}, 1)
+	res.UnsolvedTable(&report, []string{"naive", "adaptive"}, []cost.Kind{cost.Hamming})
+	if err := res.CSV(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "cactus") {
+		t.Error("cactus header missing")
+	}
+}
+
+func TestSpeedupAtHandlesTimeouts(t *testing.T) {
+	res := &CompareResult{Bench: "x", Budget: 100}
+	res.Results = []ProblemResult{
+		{Problem: "p", Algorithm: "a", Cost: cost.Hamming, Mean: math.Inf(1)},
+		{Problem: "p", Algorithm: "b", Cost: cost.Hamming, Mean: 50},
+	}
+	if sp := res.SpeedupAt("a", "b", cost.Hamming, 1, 1); !math.IsNaN(sp) {
+		t.Errorf("speedup with timeout = %g, want NaN", sp)
+	}
+}
+
+func TestModelChainsExperiment(t *testing.T) {
+	results := ModelChains(ModelChainConfig{
+		Algorithms: []string{"luby:100", "adaptive:100"},
+		Trials:     15,
+		Budget:     1_500_000,
+		Seed:       1,
+	})
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	means := map[string]float64{}
+	for _, r := range results {
+		if r.Solved == 0 {
+			t.Errorf("%s on %s never solved", r.Algorithm, r.Chain)
+		}
+		means[r.Chain+"|"+r.Algorithm] = r.MeanIters
+	}
+	// The Section 5.2.1 directional claims.
+	if !(means["a (cost aligns with exit rate)|adaptive:100"] < means["a (cost aligns with exit rate)|luby:100"]) {
+		t.Error("adaptive not faster than luby on chain (a)")
+	}
+	if !(means["b (correlation reversed)|adaptive:100"] > means["b (correlation reversed)|luby:100"]) {
+		t.Error("adaptive not slower than luby on chain (b)")
+	}
+	var sb strings.Builder
+	ReportModelChains(&sb, results)
+	if !strings.Contains(sb.String(), "adaptive/luby mean ratio") {
+		t.Error("report missing ratio lines")
+	}
+}
+
+func TestMarkovExperimentSmall(t *testing.T) {
+	res, err := MarkovExperiment(MarkovConfig{Trials: 25, Budget: 150_000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Measured) < 15 || len(res.Predicted) < 15 {
+		t.Fatalf("too few samples: %d measured, %d predicted", len(res.Measured), len(res.Predicted))
+	}
+	if res.KS < 0 || res.KS > 1 {
+		t.Errorf("KS = %g", res.KS)
+	}
+	// The prediction should be in the right ballpark (Figure 4 shows
+	// close agreement; we allow a loose factor at this tiny scale).
+	mm := mean(res.Measured)
+	pm := mean(res.Predicted)
+	if ratio := mm / pm; ratio < 0.25 || ratio > 4 {
+		t.Errorf("measured mean %g vs predicted %g", mm, pm)
+	}
+	var sb strings.Builder
+	res.Report(&sb)
+	if !strings.Contains(sb.String(), "KS distance") {
+		t.Error("report incomplete")
+	}
+}
+
+func TestPlateauChartExperiment(t *testing.T) {
+	b := SyGuSBenchmark(1, 1)
+	res := PlateauChart(PlateauConfig{
+		Problem: b.Problems[0],
+		Set:     b.Set,
+		Cost:    cost.Hamming,
+		Beta:    1,
+		Runs:    8,
+		Budget:  150_000,
+		Seed:    3,
+	})
+	if len(res.Runs) != 8 {
+		t.Fatalf("got %d runs", len(res.Runs))
+	}
+	if res.Chart == nil || res.Chart.Density == nil {
+		t.Fatal("no chart produced")
+	}
+	if len(res.Plateaus) != 8 {
+		t.Errorf("plateau decompositions: %d", len(res.Plateaus))
+	}
+	var sb strings.Builder
+	res.Report(&sb)
+	if err := res.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "plateau chart") {
+		t.Error("report incomplete")
+	}
+}
+
+func TestFitsExperiment(t *testing.T) {
+	b := SyGuSBenchmark(1, 3)
+	res := Fits(FitConfig{
+		Bench:        b,
+		Problems:     2,
+		Cost:         cost.Hamming,
+		Beta:         2,
+		Trials:       12,
+		Budget:       300_000,
+		Seed:         5,
+		MinSuccesses: 8,
+	})
+	if len(res.Fits) != 2 {
+		t.Fatalf("got %d problem fits", len(res.Fits))
+	}
+	census := res.Census()
+	total := 0
+	for _, n := range census {
+		total += n
+	}
+	if total != 2 {
+		t.Errorf("census covers %d problems", total)
+	}
+	var sb strings.Builder
+	res.Report(&sb)
+	if err := res.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "best-fit family census") {
+		t.Error("report incomplete")
+	}
+}
+
+func TestDefaultBetaGrid(t *testing.T) {
+	g := DefaultBetaGrid(cost.Hamming, 5)
+	if g[0] != 0 {
+		t.Error("grid must start with the beta=0 point")
+	}
+	if len(g) != 6 {
+		t.Errorf("grid has %d points", len(g))
+	}
+	for i := 2; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Error("grid not increasing")
+		}
+	}
+	inc := DefaultBetaGrid(cost.IncorrectTests, 5)
+	if inc[len(inc)-1] >= g[len(g)-1] {
+		t.Error("incorrect-tests grid should use a lower range")
+	}
+}
+
+func TestRunParallelExecutesAll(t *testing.T) {
+	n := 100
+	hits := make([]bool, n)
+	var tasks []task
+	for i := 0; i < n; i++ {
+		i := i
+		tasks = append(tasks, func() { hits[i] = true })
+	}
+	runParallel(4, tasks)
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("task %d not executed", i)
+		}
+	}
+	// Sequential path.
+	done := false
+	runParallel(1, []task{func() { done = true }})
+	if !done {
+		t.Error("sequential path skipped task")
+	}
+}
+
+func TestCutoffAblation(t *testing.T) {
+	b := SyGuSBenchmark(1, 2)
+	results := CutoffAblation(CutoffConfig{
+		Bench:     b,
+		Cost:      cost.Hamming,
+		Beta:      2,
+		PilotRuns: 8,
+		Trials:    4,
+		Budget:    400_000,
+		Seed:      7,
+	})
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Problem == "" {
+			t.Error("missing problem name")
+		}
+		// With 8 pilot runs on easy problems t* should be estimated.
+		if math.IsNaN(r.TStar) {
+			t.Logf("%s: t* not estimated (few pilot finishes)", r.Problem)
+			continue
+		}
+		if r.TStar <= 0 || r.TStar > 400_000 {
+			t.Errorf("%s: t* = %g out of range", r.Problem, r.TStar)
+		}
+	}
+	var sb strings.Builder
+	ReportCutoff(&sb, results)
+	if !strings.Contains(sb.String(), "fixed(t*)") {
+		t.Error("report incomplete")
+	}
+}

@@ -1,0 +1,190 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/superopt"
+	"stochsyn/internal/textplot"
+)
+
+// This file implements the Section 7.4 analysis: classify why some
+// benchmark problems never synthesize. The paper manually reviewed its
+// 28 never-synthesized superoptimization problems and attributed 16 to
+// non-trivial constants, 7 to heavy shift use, and 5 to other causes;
+// with reference translations available, the same classification can
+// be computed automatically.
+
+// FailureCategory labels why a problem is hard.
+type FailureCategory string
+
+const (
+	// FailConstants marks problems whose reference uses constants that
+	// the constant generator is unlikely to guess.
+	FailConstants FailureCategory = "non-trivial constants"
+	// FailShifts marks problems whose reference is shift-heavy (the
+	// cost functions are not smooth under shifts).
+	FailShifts FailureCategory = "many shifts"
+	// FailOther covers the rest.
+	FailOther FailureCategory = "other"
+)
+
+// Classify attributes a reference program to a failure category using
+// the paper's two leading causes: it reports FailConstants when the
+// reference contains a constant outside the generator's "interesting"
+// classes, FailShifts when at least a third of its instructions are
+// shifts or rotates, and FailOther otherwise.
+func Classify(ref *prog.Program) FailureCategory {
+	shifts, instrs := 0, 0
+	for i := ref.NumInputs; i < len(ref.Nodes); i++ {
+		nd := ref.Nodes[i]
+		switch nd.Op {
+		case prog.OpConst:
+			if !trivialConstant(nd.Val) {
+				return FailConstants
+			}
+		case prog.OpShl, prog.OpShr, prog.OpSar, prog.OpRol, prog.OpRor,
+			prog.OpShl32, prog.OpShr32, prog.OpSar32,
+			prog.OpMShl, prog.OpMShr:
+			shifts++
+			instrs++
+		default:
+			if nd.Op.IsInstruction() {
+				instrs++
+			}
+		}
+	}
+	if instrs > 0 && shifts*3 >= instrs && shifts >= 2 {
+		return FailShifts
+	}
+	return FailOther
+}
+
+// trivialConstant reports whether the constant generator produces v
+// with non-negligible probability: corner values, small signed
+// integers, single bits and their complements, and contiguous masks.
+func trivialConstant(v uint64) bool {
+	if int64(v) >= -16 && int64(v) <= 16 {
+		return true
+	}
+	if v&(v-1) == 0 { // single bit (or zero)
+		return true
+	}
+	if n := ^v; n&(n-1) == 0 { // all ones with a hole
+		return true
+	}
+	if v != 0 && (v+1)&v == 0 { // contiguous low mask
+		return true
+	}
+	for _, c := range [...]uint64{
+		0x00000000FFFFFFFF, 0xFFFFFFFF00000000, 0x5555555555555555,
+		0xAAAAAAAAAAAAAAAA, 0x00FF00FF00FF00FF, 0x0123456789ABCDEF,
+		0x8000000000000001,
+	} {
+		if v == c {
+			return true
+		}
+	}
+	return false
+}
+
+// FailureConfig configures the Section 7.4 experiment on the
+// superoptimization benchmark.
+type FailureConfig struct {
+	// Problems is the superopt benchmark with references.
+	Problems []*superopt.Problem
+	// Trials and Budget define "never synthesized": a problem counts
+	// as unsolved when no trial of the adaptive strategy finishes.
+	Trials int
+	Budget int64
+	Beta   float64
+	Seed   uint64
+	// Parallelism bounds concurrent trials.
+	Parallelism int
+}
+
+// FailureResult is the outcome.
+type FailureResult struct {
+	Total    int
+	Unsolved []*superopt.Problem
+	// Census counts unsolved problems per category.
+	Census map[FailureCategory]int
+}
+
+// FailureAnalysis runs the experiment.
+func FailureAnalysis(cfg FailureConfig) *FailureResult {
+	res := &FailureResult{Total: len(cfg.Problems), Census: map[FailureCategory]int{}}
+	solved := make([]bool, len(cfg.Problems))
+	var mu sync.Mutex
+	var tasks []task
+	for pi, p := range cfg.Problems {
+		for t := 0; t < cfg.Trials; t++ {
+			pi, p, t := pi, p, t
+			tasks = append(tasks, func() {
+				mu.Lock()
+				already := solved[pi]
+				mu.Unlock()
+				if already {
+					return
+				}
+				r := Trial(Problem{Name: p.Name, Suite: p.Suite}, "adaptive",
+					prog.FullSet, cost.Hamming, cfg.Beta, cfg.Budget,
+					trialSeed(cfg.Seed, p.Name, "fail", cost.Hamming, t))
+				if r.Solved {
+					mu.Lock()
+					solved[pi] = true
+					mu.Unlock()
+				}
+			})
+		}
+	}
+	runParallel(cfg.Parallelism, tasks)
+	for pi, p := range cfg.Problems {
+		if solved[pi] {
+			continue
+		}
+		res.Unsolved = append(res.Unsolved, p)
+		cat := FailOther
+		if p.Reference != nil {
+			cat = Classify(p.Reference)
+		}
+		res.Census[cat]++
+	}
+	return res
+}
+
+// Report renders the census in the style of Section 7.4.
+func (r *FailureResult) Report(w io.Writer) {
+	fmt.Fprintf(w, "unsolved: %d of %d problems (%.1f%%)\n",
+		len(r.Unsolved), r.Total, 100*float64(len(r.Unsolved))/float64(maxInt(r.Total, 1)))
+	labels := []string{string(FailConstants), string(FailShifts), string(FailOther)}
+	counts := []int{
+		r.Census[FailConstants], r.Census[FailShifts], r.Census[FailOther],
+	}
+	textplot.Histogram(w, labels, counts)
+	for _, p := range r.Unsolved {
+		ref := "-"
+		if p.Reference != nil {
+			ref = p.Reference.String()
+		}
+		fmt.Fprintf(w, "  %s [%s]: %s\n", p.Name, ClassifyName(p), ref)
+	}
+}
+
+// ClassifyName is Classify with a nil guard, for reports.
+func ClassifyName(p *superopt.Problem) FailureCategory {
+	if p.Reference == nil {
+		return FailOther
+	}
+	return Classify(p.Reference)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

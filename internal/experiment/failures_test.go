@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"stochsyn/internal/prog"
+	"stochsyn/internal/superopt"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		src  string
+		want FailureCategory
+	}{
+		{"addq(x, 0x1234567890ab)", FailConstants},
+		{"addq(x, 7)", FailOther},
+		{"addq(x, 0xff)", FailOther},               // contiguous mask
+		{"addq(x, 0x8000000000000000)", FailOther}, // single bit
+		{"shlq(shrq(x, 3), 5)", FailShifts},
+		{"shlq(addq(shrq(x, 3), sarq(x, 2)), 5)", FailShifts},
+		{"addq(mulq(x, x), x)", FailOther},
+		{"shlq(x, 1)", FailOther}, // one shift is not "many"
+	}
+	for _, tc := range cases {
+		ref := prog.MustParse(tc.src, 1)
+		if got := Classify(ref); got != tc.want {
+			t.Errorf("Classify(%q) = %s, want %s", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestFailureAnalysisSmall(t *testing.T) {
+	opts := superopt.DefaultOptions(3)
+	opts.CorpusFunctions = 60
+	opts.SampleSize = 5
+	opts.TestCases = 40
+	probs, _, err := superopt.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately tiny budget so some problems stay unsolved and
+	// the census is exercised.
+	res := FailureAnalysis(FailureConfig{
+		Problems: probs, Trials: 2, Budget: 5_000, Beta: 2, Seed: 1,
+	})
+	if res.Total != len(probs) {
+		t.Errorf("total = %d", res.Total)
+	}
+	censusTotal := 0
+	for _, n := range res.Census {
+		censusTotal += n
+	}
+	if censusTotal != len(res.Unsolved) {
+		t.Errorf("census covers %d, unsolved %d", censusTotal, len(res.Unsolved))
+	}
+	var sb strings.Builder
+	res.Report(&sb)
+	if !strings.Contains(sb.String(), "unsolved:") {
+		t.Error("report incomplete")
+	}
+}

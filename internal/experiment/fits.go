@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/search"
+	"stochsyn/internal/stats"
+	"stochsyn/internal/textplot"
+)
+
+// FitConfig configures the Figure 6 experiment: for a selection of
+// benchmark problems, run many naive synthesis trials and fit the
+// distribution of finishing times against the geometric, gamma, and
+// log-normal families.
+type FitConfig struct {
+	Bench *Benchmark
+	// Problems is the number of problems to sample from the benchmark
+	// (the paper shows ten).
+	Problems int
+	Cost     cost.Kind
+	Beta     float64
+	// Trials is the number of synthesis runs per problem.
+	Trials int
+	// Budget is the per-run iteration cutoff.
+	Budget int64
+	Seed   uint64
+	// MinSuccesses is the minimum number of finished runs needed to
+	// attempt a fit (default 10).
+	MinSuccesses int
+	Parallelism  int
+}
+
+// ProblemFit is one problem's distribution analysis.
+type ProblemFit struct {
+	Problem string
+	// Times are the finishing times of successful runs.
+	Times []float64
+	// Fits are the per-family fits sorted best-first; nil when too few
+	// runs finished.
+	Fits []stats.Fit
+	// TailRatio is mean/median, the heavy-tail diagnostic.
+	TailRatio float64
+}
+
+// Best returns the best-fit family name, or "insufficient".
+func (p *ProblemFit) Best() string {
+	if len(p.Fits) == 0 {
+		return "insufficient"
+	}
+	return p.Fits[0].Dist.Name()
+}
+
+// FitResult is the census over problems.
+type FitResult struct {
+	Bench string
+	Fits  []ProblemFit
+}
+
+// Census counts the best-fit families, the Figure 6 headline (the
+// prevalence of log-normal-like distributions).
+func (r *FitResult) Census() map[string]int {
+	out := map[string]int{}
+	for i := range r.Fits {
+		out[r.Fits[i].Best()]++
+	}
+	return out
+}
+
+// Fits runs the experiment.
+func Fits(cfg FitConfig) *FitResult {
+	if cfg.MinSuccesses <= 0 {
+		cfg.MinSuccesses = 10
+	}
+	problems := cfg.Bench.Problems
+	if cfg.Problems > 0 && len(problems) > cfg.Problems {
+		problems = cfg.Bench.Subset(float64(cfg.Problems)/float64(len(problems)), cfg.Seed).Problems
+	}
+	res := &FitResult{Bench: cfg.Bench.Name}
+	res.Fits = make([]ProblemFit, len(problems))
+	var mu sync.Mutex
+	var tasks []task
+	for pi, p := range problems {
+		res.Fits[pi].Problem = p.Name
+		for t := 0; t < cfg.Trials; t++ {
+			pi, p, t := pi, p, t
+			tasks = append(tasks, func() {
+				seed := trialSeed(cfg.Seed, p.Name, "naive-fit", cfg.Cost, t)
+				run := search.New(p.Suite, search.Options{
+					Set: cfg.Bench.Set, Cost: cfg.Cost, Beta: cfg.Beta, Seed: seed,
+				})
+				used, done := run.Step(cfg.Budget)
+				if done {
+					mu.Lock()
+					res.Fits[pi].Times = append(res.Fits[pi].Times, float64(used))
+					mu.Unlock()
+				}
+			})
+		}
+	}
+	runParallel(cfg.Parallelism, tasks)
+	for i := range res.Fits {
+		pf := &res.Fits[i]
+		sort.Float64s(pf.Times)
+		pf.TailRatio = stats.TailRatio(pf.Times)
+		if len(pf.Times) >= cfg.MinSuccesses {
+			pf.Fits = stats.FitAll(pf.Times)
+		}
+	}
+	return res
+}
+
+// Report renders the per-problem fits and the family census.
+func (r *FitResult) Report(w io.Writer) {
+	rows := [][]string{{"problem", "finished", "best fit", "KS", "mean/median"}}
+	for i := range r.Fits {
+		pf := &r.Fits[i]
+		ks := math.NaN()
+		best := pf.Best()
+		if len(pf.Fits) > 0 {
+			ks = pf.Fits[0].KS
+			best = pf.Fits[0].Dist.String()
+		}
+		rows = append(rows, []string{
+			pf.Problem, fmt.Sprint(len(pf.Times)), best,
+			textplot.FormatFloat(ks), textplot.FormatFloat(pf.TailRatio),
+		})
+	}
+	textplot.Table(w, rows)
+	fmt.Fprintln(w)
+	census := r.Census()
+	labels := textplot.SortedKeys(census)
+	counts := make([]int, len(labels))
+	for i, l := range labels {
+		counts[i] = census[l]
+	}
+	fmt.Fprintln(w, "best-fit family census:")
+	textplot.Histogram(w, labels, counts)
+}
+
+// CSV emits per-problem rows.
+func (r *FitResult) CSV(w io.Writer) error {
+	rows := [][]string{{"bench", "problem", "finished", "best_fit", "ks", "tail_ratio"}}
+	for i := range r.Fits {
+		pf := &r.Fits[i]
+		ks := ""
+		if len(pf.Fits) > 0 {
+			ks = textplot.FormatFloat(pf.Fits[0].KS)
+		}
+		rows = append(rows, []string{
+			r.Bench, pf.Problem, fmt.Sprint(len(pf.Times)), pf.Best(), ks,
+			textplot.FormatFloat(pf.TailRatio),
+		})
+	}
+	return textplot.CSV(w, rows)
+}

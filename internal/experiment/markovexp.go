@@ -1,0 +1,173 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/markov"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/search"
+	"stochsyn/internal/stats"
+	"stochsyn/internal/testcase"
+	"stochsyn/internal/textplot"
+)
+
+// MarkovConfig configures the Figure 4/5 experiment: estimate the
+// popular-state Markov chain of the model problem or(shl(x), x) and
+// compare the chain's predicted distribution of synthesis times with
+// the measured one.
+type MarkovConfig struct {
+	// Expr is the reference program source (default "or(shl(x), x)").
+	Expr string
+	// NumInputs for the reference program (default 1).
+	NumInputs int
+	// TestCases in the generated suite (default 16).
+	TestCases int
+	// Beta for the model search (default 1).
+	Beta float64
+	// Trials used both to estimate the chain and to measure times.
+	Trials int
+	// Budget bounds each run.
+	Budget int64
+	// TopK popular states (the paper uses 35).
+	TopK int
+	Seed uint64
+}
+
+func (c MarkovConfig) defaults() MarkovConfig {
+	if c.Expr == "" {
+		c.Expr = "or(shl(x), x)"
+	}
+	if c.NumInputs <= 0 {
+		c.NumInputs = 1
+	}
+	if c.TestCases <= 0 {
+		c.TestCases = 16
+	}
+	if c.Beta == 0 {
+		c.Beta = 1
+	}
+	if c.TopK <= 0 {
+		c.TopK = 35
+	}
+	return c
+}
+
+// MarkovResult holds the estimated chain and the two distributions.
+type MarkovResult struct {
+	Empirical *markov.Empirical
+	// Measured are the finishing times of real synthesis runs.
+	Measured []float64
+	// Predicted are absorption times sampled from the estimated chain.
+	Predicted []float64
+	// KS is the Kolmogorov-Smirnov distance between the two samples'
+	// empirical distributions.
+	KS float64
+}
+
+// MarkovExperiment runs the experiment.
+func MarkovExperiment(cfg MarkovConfig) (*MarkovResult, error) {
+	c := cfg.defaults()
+	ref, err := prog.Parse(c.Expr, c.NumInputs)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: bad reference expression: %v", err)
+	}
+	rng := rand.New(rand.NewPCG(c.Seed, 0xc0ac29b7c97c50dd))
+	suite := testcase.Generate(func(in []uint64) uint64 { return ref.Output(in) },
+		c.NumInputs, c.TestCases, rng)
+
+	opts := search.Options{
+		Set:        prog.ModelSet,
+		Cost:       cost.Hamming,
+		Beta:       c.Beta,
+		Redundancy: true,
+		Seed:       c.Seed,
+	}
+	emp, err := markov.Build(suite, markov.BuildOptions{
+		Search: opts, Trials: c.Trials, MaxIters: c.Budget, TopK: c.TopK,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MarkovResult{Empirical: emp}
+	// Measured distribution: independent runs with fresh seeds.
+	for t := 0; t < c.Trials; t++ {
+		o := opts
+		o.Seed = c.Seed ^ uint64(t+7919)*0xff51afd7ed558ccd
+		run := search.New(suite, o)
+		if used, done := run.Step(c.Budget); done {
+			res.Measured = append(res.Measured, float64(used))
+		}
+	}
+	// Predicted distribution: chain absorption samples.
+	res.Predicted = emp.Chain.SampleAbsorption(c.Trials, c.Budget, c.Seed^0x9216d5d98979fb1b)
+	sort.Float64s(res.Measured)
+	sort.Float64s(res.Predicted)
+	res.KS = twoSampleKS(res.Measured, res.Predicted)
+	return res, nil
+}
+
+// twoSampleKS computes the two-sample Kolmogorov-Smirnov statistic for
+// sorted samples.
+func twoSampleKS(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	i, j := 0, 0
+	maxD := 0.0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		d := float64(i)/float64(len(a)) - float64(j)/float64(len(b))
+		if d < 0 {
+			d = -d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// Report renders the comparison: per-quantile measured versus
+// predicted times, the KS distance, and chain diagnostics.
+func (r *MarkovResult) Report(w io.Writer) {
+	fmt.Fprintf(w, "popular states: %d (coverage %.1f%% of visits), %d/%d trials solved\n",
+		len(r.Empirical.States), 100*r.Empirical.Coverage, r.Empirical.Solved, r.Empirical.Trials)
+	rows := [][]string{{"quantile", "measured iters", "predicted iters"}}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", q*100),
+			textplot.FormatFloat(stats.QuantileSorted(r.Measured, q)),
+			textplot.FormatFloat(stats.QuantileSorted(r.Predicted, q)),
+		})
+	}
+	rows = append(rows, []string{"mean",
+		textplot.FormatFloat(stats.Mean(r.Measured)),
+		textplot.FormatFloat(stats.Mean(r.Predicted))})
+	textplot.Table(w, rows)
+	fmt.Fprintf(w, "two-sample KS distance: %.3f\n", r.KS)
+
+	fmt.Fprintln(w, "\nmost significant states (visits, cost, expected remaining time):")
+	states := append([]markov.StateInfo(nil), r.Empirical.States...)
+	sort.Slice(states, func(i, j int) bool { return states[i].Visits > states[j].Visits })
+	n := len(states)
+	if n > 10 {
+		n = 10
+	}
+	srows := [][]string{{"state", "visits", "cost", "E[T]"}}
+	for _, s := range states[:n] {
+		srows = append(srows, []string{
+			s.Canon, fmt.Sprint(s.Visits),
+			textplot.FormatFloat(s.Cost), textplot.FormatFloat(s.ExpectedTime),
+		})
+	}
+	textplot.Table(w, srows)
+}

@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/plateau"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/search"
+	"stochsyn/internal/textplot"
+)
+
+// PlateauConfig configures the plateau-chart experiments (Figures 1,
+// 7, and 11): many traced runs of one problem binned into a cost ×
+// log-iteration density chart.
+type PlateauConfig struct {
+	Problem Problem
+	Set     *prog.OpSet
+	Cost    cost.Kind
+	Beta    float64
+	// Runs is the number of independent traced searches.
+	Runs int
+	// Budget bounds each run.
+	Budget int64
+	Seed   uint64
+	// XBins and YBins set the chart resolution (defaults 72x20).
+	XBins, YBins int
+	Parallelism  int
+}
+
+// PlateauResult holds the chart and per-run plateau decompositions.
+type PlateauResult struct {
+	Chart *plateau.Chart
+	// Runs holds each run's trace summary.
+	Runs []plateau.RunTrace
+	// Plateaus holds each run's detected plateaus.
+	Plateaus [][]plateau.Plateau
+	// Finished counts runs that reached cost zero.
+	Finished int
+}
+
+// PlateauChart runs the experiment.
+func PlateauChart(cfg PlateauConfig) *PlateauResult {
+	if cfg.XBins <= 0 {
+		cfg.XBins = 72
+	}
+	if cfg.YBins <= 0 {
+		cfg.YBins = 20
+	}
+	runs := make([]plateau.RunTrace, cfg.Runs)
+	var tasks []task
+	var mu sync.Mutex
+	for i := 0; i < cfg.Runs; i++ {
+		i := i
+		tasks = append(tasks, func() {
+			seed := trialSeed(cfg.Seed, cfg.Problem.Name, "plateau", cfg.Cost, i)
+			r := search.New(cfg.Problem.Suite, search.Options{
+				Set: cfg.Set, Cost: cfg.Cost, Beta: cfg.Beta,
+				Seed: seed, TraceCosts: true,
+			})
+			used, done := r.Step(cfg.Budget)
+			mu.Lock()
+			runs[i] = plateau.RunTrace{
+				Trace:      r.Trace(),
+				Finished:   done,
+				FinishIter: used,
+			}
+			mu.Unlock()
+		})
+	}
+	runParallel(cfg.Parallelism, tasks)
+
+	res := &PlateauResult{Runs: runs}
+	for i := range runs {
+		if runs[i].Finished {
+			res.Finished++
+		}
+		res.Plateaus = append(res.Plateaus, plateau.Detect(runs[i].Trace, cfg.Budget/1000))
+	}
+	res.Chart = plateau.BuildChart(runs, cfg.XBins, cfg.YBins)
+	return res
+}
+
+// Report renders the chart and a plateau summary.
+func (r *PlateauResult) Report(w io.Writer) {
+	fmt.Fprintf(w, "plateau chart (%d runs, %d finished):\n", len(r.Runs), r.Finished)
+	textplot.Heat(w, r.Chart.Density, "log10(iterations)", "cost (low at bottom)")
+	// Plateau census: how many plateaus per run.
+	counts := map[int]int{}
+	maxP := 0
+	for _, ps := range r.Plateaus {
+		counts[len(ps)]++
+		if len(ps) > maxP {
+			maxP = len(ps)
+		}
+	}
+	labels := make([]string, 0, maxP+1)
+	vals := make([]int, 0, maxP+1)
+	for n := 0; n <= maxP; n++ {
+		if counts[n] > 0 {
+			labels = append(labels, fmt.Sprintf("%d plateaus", n))
+			vals = append(vals, counts[n])
+		}
+	}
+	fmt.Fprintln(w, "plateaus per run:")
+	textplot.Histogram(w, labels, vals)
+
+	// Per-level exit statistics (the Section 4.1 quantities): how long
+	// the search dwells at each cost level and how geometric the dwell
+	// times look.
+	tol := (r.Chart.CostMax - r.Chart.CostMin) / 50
+	levels := plateau.Levels(r.Plateaus, tol)
+	if len(levels) > 0 {
+		fmt.Fprintln(w, "plateau levels (dwell times and exit rates):")
+		rows := [][]string{{"cost", "visits", "mean dwell", "median", "exit prob", "geom KS"}}
+		max := len(levels)
+		if max > 8 {
+			max = 8
+		}
+		for _, l := range levels[:max] {
+			rows = append(rows, []string{
+				textplot.FormatFloat(l.Cost), fmt.Sprint(l.Count),
+				textplot.FormatFloat(l.MeanLen), textplot.FormatFloat(l.MedianLen),
+				textplot.FormatFloat(l.ExitProb), textplot.FormatFloat(l.GeomKS),
+			})
+		}
+		textplot.Table(w, rows)
+	}
+}
+
+// CSV emits the density grid.
+func (r *PlateauResult) CSV(w io.Writer) error {
+	rows := [][]string{{"ybin", "xbin", "count"}}
+	for y, row := range r.Chart.Density {
+		for x, d := range row {
+			rows = append(rows, []string{fmt.Sprint(y), fmt.Sprint(x), fmt.Sprint(d)})
+		}
+	}
+	return textplot.CSV(w, rows)
+}

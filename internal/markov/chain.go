@@ -1,0 +1,257 @@
+// Package markov provides the Markov-chain machinery of Sections 3.3,
+// 4, and 5.2.1 of the paper: explicit finite chains with per-state
+// costs (including the two model chains of Figure 10), chain walks
+// that implement the search.Search interface so restart strategies can
+// be run on them directly, estimation of an empirical popular-state
+// chain from real synthesis runs (Figures 4 and 5), expected
+// absorption times, and DOT export of the state transition diagram.
+package markov
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"stochsyn/internal/search"
+)
+
+// Chain is a finite Markov chain with a cost attached to each state.
+// States with cost zero are absorbing: reaching one ends the search
+// (Section 3.3). Trans must be row-stochastic; rows of absorbing
+// states are ignored.
+type Chain struct {
+	// Costs holds the cost of each state; zero marks absorbing goal
+	// states.
+	Costs []float64
+	// Trans is the transition matrix: Trans[i][j] is the probability
+	// of moving from state i to state j (including self-loops).
+	Trans [][]float64
+	// Start is the initial state.
+	Start int
+	// Labels optionally names the states (canonical programs for
+	// empirical chains).
+	Labels []string
+}
+
+// Validate checks the chain's shape and stochasticity (rows of
+// non-absorbing states must sum to 1 within tolerance).
+func (c *Chain) Validate() error {
+	n := len(c.Costs)
+	if n == 0 {
+		return fmt.Errorf("markov: empty chain")
+	}
+	if len(c.Trans) != n {
+		return fmt.Errorf("markov: %d states but %d transition rows", n, len(c.Trans))
+	}
+	if c.Start < 0 || c.Start >= n {
+		return fmt.Errorf("markov: start state %d out of range", c.Start)
+	}
+	if c.Labels != nil && len(c.Labels) != n {
+		return fmt.Errorf("markov: %d states but %d labels", n, len(c.Labels))
+	}
+	for i, row := range c.Trans {
+		if len(row) != n {
+			return fmt.Errorf("markov: row %d has %d entries, want %d", i, len(row), n)
+		}
+		if c.Costs[i] == 0 {
+			continue
+		}
+		sum := 0.0
+		for j, p := range row {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("markov: transition [%d][%d] = %g out of range", i, j, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("markov: row %d sums to %g, want 1", i, sum)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of states.
+func (c *Chain) Len() int { return len(c.Costs) }
+
+// Absorbing reports whether state i is absorbing (cost zero).
+func (c *Chain) Absorbing(i int) bool { return c.Costs[i] == 0 }
+
+// Walk is a random walk on a chain; it implements search.Search, with
+// one chain step per iteration.
+type Walk struct {
+	chain *Chain
+	rng   *rand.Rand
+	state int
+	steps int64
+	done  bool
+}
+
+var _ search.Search = (*Walk)(nil)
+
+// NewWalk starts a walk at the chain's start state.
+func (c *Chain) NewWalk(seed uint64) *Walk {
+	w := &Walk{chain: c, rng: rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb)), state: c.Start}
+	w.done = c.Absorbing(w.state)
+	return w
+}
+
+// Factory returns a search.Factory producing independent walks, so
+// restart strategies can be evaluated on model chains exactly as on
+// real synthesis searches (Section 5.2.1).
+func (c *Chain) Factory(baseSeed uint64) search.Factory {
+	return func(id uint64) search.Search {
+		return c.NewWalk(baseSeed ^ (id+1)*0x9e3779b97f4a7c15)
+	}
+}
+
+// Step implements search.Search.
+func (w *Walk) Step(budget int64) (int64, bool) {
+	if w.done || budget <= 0 {
+		return 0, w.done
+	}
+	row := w.chain.Trans[w.state]
+	var used int64
+	for used < budget {
+		used++
+		w.steps++
+		u := w.rng.Float64()
+		acc := 0.0
+		next := w.state
+		for j, p := range row {
+			acc += p
+			if u < acc {
+				next = j
+				break
+			}
+		}
+		if next != w.state {
+			w.state = next
+			if w.chain.Absorbing(next) {
+				w.done = true
+				return used, true
+			}
+			row = w.chain.Trans[w.state]
+		}
+	}
+	return used, false
+}
+
+// Cost implements search.Search.
+func (w *Walk) Cost() float64 { return w.chain.Costs[w.state] }
+
+// State returns the current state index.
+func (w *Walk) State() int { return w.state }
+
+// Steps returns the number of steps taken.
+func (w *Walk) Steps() int64 { return w.steps }
+
+// SampleAbsorption runs n independent walks, each for at most maxSteps
+// steps, and returns the absorption times of the walks that finished.
+func (c *Chain) SampleAbsorption(n int, maxSteps int64, seed uint64) []float64 {
+	var times []float64
+	for i := 0; i < n; i++ {
+		w := c.NewWalk(seed ^ uint64(i+1)*0xbf58476d1ce4e5b9)
+		used, done := w.Step(maxSteps)
+		if done {
+			times = append(times, float64(used))
+		}
+	}
+	return times
+}
+
+// AbsorbTimes returns the expected number of steps to reach an
+// absorbing state from each state, computed by solving the linear
+// system (I - Q) t = 1 over the transient states that can reach an
+// absorbing state. States that cannot reach absorption get +Inf.
+func (c *Chain) AbsorbTimes() []float64 {
+	n := c.Len()
+	// Reachability to absorbing states over the reversed graph.
+	canReach := make([]bool, n)
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if c.Absorbing(i) {
+			canReach[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		j := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for i := 0; i < n; i++ {
+			if !canReach[i] && c.Trans[i][j] > 0 {
+				canReach[i] = true
+				queue = append(queue, i)
+			}
+		}
+	}
+
+	// Index the transient reachable states.
+	idx := make([]int, n)
+	var tstates []int
+	for i := 0; i < n; i++ {
+		idx[i] = -1
+		if canReach[i] && !c.Absorbing(i) {
+			idx[i] = len(tstates)
+			tstates = append(tstates, i)
+		}
+	}
+	m := len(tstates)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case c.Absorbing(i):
+			out[i] = 0
+		case !canReach[i]:
+			out[i] = math.Inf(1)
+		}
+	}
+	if m == 0 {
+		return out
+	}
+
+	// Build (I - Q) | 1 and solve by Gaussian elimination with
+	// partial pivoting. Transitions to unreachable states are dropped,
+	// which conditions the expectation on eventual absorption.
+	a := make([][]float64, m)
+	for r, i := range tstates {
+		a[r] = make([]float64, m+1)
+		a[r][r] = 1
+		for s, j := range tstates {
+			a[r][s] -= c.Trans[i][j]
+		}
+		a[r][m] = 1
+	}
+	for col := 0; col < m; col++ {
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		if math.Abs(a[col][col]) < 1e-14 {
+			// Degenerate (should not happen for a reachable transient
+			// set); mark affected states infinite.
+			for _, i := range tstates {
+				out[i] = math.Inf(1)
+			}
+			return out
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for s := col; s <= m; s++ {
+				a[r][s] -= f * a[col][s]
+			}
+		}
+	}
+	for r, i := range tstates {
+		out[i] = a[r][m] / a[r][r]
+	}
+	return out
+}

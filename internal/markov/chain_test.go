@@ -1,0 +1,284 @@
+package markov
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stochsyn/internal/restart"
+	"stochsyn/internal/stats"
+)
+
+// twoState returns a simple chain: state 0 (cost 5) exits to the goal
+// with probability p per step.
+func twoState(p float64) *Chain {
+	return &Chain{
+		Costs: []float64{5, 0},
+		Trans: [][]float64{
+			{1 - p, p},
+			{0, 0},
+		},
+		Start: 0,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := twoState(0.1).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := twoState(0.1)
+	bad.Trans[0][0] = 0.5 // row no longer sums to 1
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted non-stochastic row")
+	}
+	bad2 := twoState(0.1)
+	bad2.Start = 7
+	if err := bad2.Validate(); err == nil {
+		t.Error("accepted out-of-range start")
+	}
+	empty := &Chain{}
+	if err := empty.Validate(); err == nil {
+		t.Error("accepted empty chain")
+	}
+	mislabeled := twoState(0.1)
+	mislabeled.Labels = []string{"only-one"}
+	if err := mislabeled.Validate(); err == nil {
+		t.Error("accepted label/state count mismatch")
+	}
+}
+
+func TestWalkAbsorbs(t *testing.T) {
+	c := twoState(0.05)
+	w := c.NewWalk(1)
+	used, done := w.Step(1_000_000)
+	if !done {
+		t.Fatal("walk never absorbed")
+	}
+	if w.Cost() != 0 {
+		t.Errorf("absorbed with cost %g", w.Cost())
+	}
+	if used <= 0 || w.Steps() != used {
+		t.Errorf("used=%d steps=%d", used, w.Steps())
+	}
+	// Further steps are no-ops.
+	if u, d := w.Step(100); u != 0 || !d {
+		t.Error("Step after absorption did work")
+	}
+}
+
+func TestWalkMeanMatchesTheory(t *testing.T) {
+	// Mean absorption time of twoState(p) is 1/p.
+	c := twoState(0.02)
+	times := c.SampleAbsorption(3000, 1_000_000, 7)
+	if len(times) != 3000 {
+		t.Fatalf("only %d/3000 absorbed", len(times))
+	}
+	mean := stats.Mean(times)
+	if mean < 40 || mean > 60 {
+		t.Errorf("empirical mean %g, want ~50", mean)
+	}
+}
+
+func TestAbsorbTimesLinearSolve(t *testing.T) {
+	// Expected steps: state0 -> 1/p.
+	c := twoState(0.1)
+	times := c.AbsorbTimes()
+	if !almostEq(times[0], 10, 1e-9) {
+		t.Errorf("E[T0] = %g, want 10", times[0])
+	}
+	if times[1] != 0 {
+		t.Errorf("goal E[T] = %g, want 0", times[1])
+	}
+}
+
+func TestAbsorbTimesChainOfPlateaus(t *testing.T) {
+	// A path 0 -> 1 -> goal with exit rates 0.1 then 0.05:
+	// E[T0] = 10 + 20 = 30.
+	c := &Chain{
+		Costs: []float64{10, 5, 0},
+		Trans: [][]float64{
+			{0.9, 0.1, 0},
+			{0, 0.95, 0.05},
+			{0, 0, 0},
+		},
+		Start: 0,
+	}
+	times := c.AbsorbTimes()
+	if !almostEq(times[0], 30, 1e-9) || !almostEq(times[1], 20, 1e-9) {
+		t.Errorf("times = %v, want [30 20 0]", times)
+	}
+}
+
+func TestAbsorbTimesUnreachable(t *testing.T) {
+	// State 2 cannot reach the goal.
+	c := &Chain{
+		Costs: []float64{10, 0, 7},
+		Trans: [][]float64{
+			{0.5, 0.5, 0},
+			{0, 0, 0},
+			{0, 0, 1},
+		},
+		Start: 0,
+	}
+	times := c.AbsorbTimes()
+	if !math.IsInf(times[2], 1) {
+		t.Errorf("unreachable state E[T] = %g, want +Inf", times[2])
+	}
+	if !almostEq(times[0], 2, 1e-9) {
+		t.Errorf("E[T0] = %g, want 2", times[0])
+	}
+}
+
+func TestModelChainsShape(t *testing.T) {
+	for _, c := range []*Chain{ModelChainA(), ModelChainB()} {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		times := c.AbsorbTimes()
+		if math.IsInf(times[ModelStart], 1) {
+			t.Error("start cannot reach goal")
+		}
+	}
+	// In chain A the low-cost middle state is closer to the goal; in
+	// chain B it is farther.
+	ta := ModelChainA().AbsorbTimes()
+	tb := ModelChainB().AbsorbTimes()
+	if !(ta[ModelMidLow] < ta[ModelMidHigh]) {
+		t.Errorf("chain A: E[low]=%g E[high]=%g, want low < high", ta[ModelMidLow], ta[ModelMidHigh])
+	}
+	if !(tb[ModelMidLow] > tb[ModelMidHigh]) {
+		t.Errorf("chain B: E[low]=%g E[high]=%g, want low > high", tb[ModelMidLow], tb[ModelMidHigh])
+	}
+}
+
+func TestAdaptiveVsLubyOnModelChains(t *testing.T) {
+	// The Section 5.2.1 claim: adaptive beats Luby on chain (a) and
+	// loses on chain (b). Means are estimated over repeated strategy
+	// runs with a penalized-mean correction for timeouts.
+	mean := func(c *Chain, spec string) float64 {
+		strat := restart.MustNew(spec)
+		var times []float64
+		const trials = 30
+		for i := 0; i < trials; i++ {
+			res := strat.Run(c.Factory(uint64(i)*7919+1), 2_000_000)
+			if res.Solved {
+				times = append(times, float64(res.Iterations))
+			}
+		}
+		return stats.PenalizedMean(times, trials, 2_000_000)
+	}
+	a, b := ModelChainA(), ModelChainB()
+	lubyA, adaptA := mean(a, "luby:100"), mean(a, "adaptive:100")
+	lubyB, adaptB := mean(b, "luby:100"), mean(b, "adaptive:100")
+	if !(adaptA < lubyA) {
+		t.Errorf("chain A: adaptive %g not faster than luby %g", adaptA, lubyA)
+	}
+	if !(adaptB > lubyB) {
+		t.Errorf("chain B: adaptive %g not slower than luby %g", adaptB, lubyB)
+	}
+}
+
+func TestFactoryDeterminism(t *testing.T) {
+	c := ModelChainA()
+	f := c.Factory(99)
+	w1 := f(0)
+	w2 := f(0)
+	u1, d1 := w1.Step(10_000)
+	u2, d2 := w2.Step(10_000)
+	if u1 != u2 || d1 != d2 {
+		t.Error("factory not deterministic per id")
+	}
+}
+
+func TestPropertyWalkRespectsBudget(t *testing.T) {
+	c := ModelChainA()
+	f := func(seed uint64, budgetRaw uint16) bool {
+		budget := int64(budgetRaw) + 1
+		w := c.NewWalk(seed)
+		used, _ := w.Step(budget)
+		return used <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var sb strings.Builder
+	c := ModelChainA()
+	info := []StateInfo{
+		{Canon: "start", Cost: 100, Visits: 100, ExpectedTime: 500},
+		{Canon: "low", Cost: 10, Visits: 50, ExpectedTime: 100},
+		{Canon: "high", Cost: 50, Visits: 50, ExpectedTime: math.Inf(1)},
+		{Canon: "goal", Cost: 0, Visits: 1, ExpectedTime: 0},
+	}
+	if err := WriteDOT(&sb, c, info); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "style=dotted", "E[T]=inf", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestWriteDOTEscapes(t *testing.T) {
+	var sb strings.Builder
+	c := twoState(0.5)
+	c.Labels = []string{`quo"te\back`, "goal"}
+	if err := WriteDOT(&sb, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `quo\"te\\back`) {
+		t.Error("DOT labels not escaped")
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := ModelChainA()
+	info := []StateInfo{
+		{Canon: "start", Cost: 100, Visits: 10, ExpectedTime: 500},
+		{Canon: "low", Cost: 10, Visits: 5, ExpectedTime: 100},
+		{Canon: "high", Cost: 50, Visits: 5, ExpectedTime: 1000},
+		{Canon: "goal", Cost: 0, Visits: 1, ExpectedTime: 0},
+	}
+	var buf strings.Builder
+	if err := WriteJSON(&buf, c, info); err != nil {
+		t.Fatal(err)
+	}
+	c2, info2, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != c.Len() || c2.Start != c.Start {
+		t.Error("chain shape changed")
+	}
+	for i := range c.Costs {
+		if c2.Costs[i] != c.Costs[i] {
+			t.Error("costs changed")
+		}
+		for j := range c.Trans[i] {
+			if c2.Trans[i][j] != c.Trans[i][j] {
+				t.Error("transitions changed")
+			}
+		}
+	}
+	if len(info2) != len(info) || info2[1].Canon != "low" {
+		t.Error("state info changed")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+	// A non-stochastic chain must be rejected by validation.
+	bad := `{"costs":[5,0],"transitions":[[0.5,0.1],[0,0]],"start":0}`
+	if _, _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("accepted non-stochastic chain")
+	}
+}

@@ -1,0 +1,89 @@
+package markov
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteDOT renders the chain as a Graphviz digraph in the style of
+// Figure 5 of the paper: node area scales with visit significance
+// (when info is available), node labels carry the program, cost, and
+// expected remaining synthesis time, edge width scales with traversal
+// frequency, and edges into goal states are dotted. info may be nil
+// when rendering a hand-built chain.
+func WriteDOT(w io.Writer, c *Chain, info []StateInfo) error {
+	var maxVisits int64 = 1
+	for _, s := range info {
+		if s.Visits > maxVisits {
+			maxVisits = s.Visits
+		}
+	}
+	if _, err := fmt.Fprintln(w, "digraph chain {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=ellipse, fontsize=10];")
+	for i := range c.Costs {
+		label := fmt.Sprintf("s%d", i)
+		if c.Labels != nil {
+			label = c.Labels[i]
+		}
+		extra := fmt.Sprintf("cost=%.3g", c.Costs[i])
+		size := 0.8
+		if info != nil {
+			s := info[i]
+			if math.IsInf(s.ExpectedTime, 1) {
+				extra += ", E[T]=inf"
+			} else {
+				extra += fmt.Sprintf(", E[T]=%.3g", s.ExpectedTime)
+			}
+			// Area proportional to visit share, clamped to a readable
+			// range.
+			frac := float64(s.Visits) / float64(maxVisits)
+			size = 0.5 + 1.5*math.Sqrt(frac)
+		}
+		shape := ""
+		if c.Absorbing(i) {
+			shape = ", peripheries=2"
+		}
+		start := ""
+		if i == c.Start {
+			start = ", style=bold"
+		}
+		fmt.Fprintf(w, "  n%d [label=\"%s\\n%s\", width=%.2f%s%s];\n",
+			i, dotEscape(label), extra, size, shape, start)
+	}
+	for i, row := range c.Trans {
+		if c.Absorbing(i) {
+			continue
+		}
+		for j, p := range row {
+			if p == 0 || i == j {
+				continue
+			}
+			style := ""
+			if c.Absorbing(j) {
+				style = ", style=dotted"
+			}
+			// Edge width proportional to probability mass on a log-ish
+			// scale so rare exits stay visible.
+			width := 0.3 + 4*math.Sqrt(p)
+			fmt.Fprintf(w, "  n%d -> n%d [penwidth=%.2f, label=\"%.2g\"%s];\n",
+				i, j, width, p, style)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func dotEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

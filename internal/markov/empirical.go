@@ -1,0 +1,225 @@
+package markov
+
+import (
+	"fmt"
+	"sort"
+
+	"stochsyn/internal/prog"
+	"stochsyn/internal/search"
+	"stochsyn/internal/testcase"
+)
+
+// StateInfo describes one popular state of an empirical chain.
+type StateInfo struct {
+	// Canon is the canonical program for the state.
+	Canon string
+	// Cost is the state's cost under the analysis's cost function.
+	Cost float64
+	// Visits is the number of iterations spent in the state across all
+	// trials.
+	Visits int64
+	// ExpectedTime is the expected number of steps to absorption from
+	// this state under the estimated chain (+Inf if it cannot reach
+	// a goal state within the popular set).
+	ExpectedTime float64
+}
+
+// Empirical is a popular-state Markov chain estimated from real
+// synthesis runs, following Section 4 of the paper: the most
+// frequently visited states are retained and transition probabilities
+// are estimated conditioned on staying within that popular set. The
+// imprecision of ignoring rarer states is small when their aggregate
+// probability is low, as is the case for the model problems.
+type Empirical struct {
+	States []StateInfo
+	Chain  *Chain
+	// Coverage is the fraction of all state visits that fall in the
+	// popular set, a diagnostic of how faithful the reduced chain is.
+	Coverage float64
+	// Trials and Solved count the synthesis runs used for estimation.
+	Trials, Solved int
+}
+
+// BuildOptions configures empirical chain estimation.
+type BuildOptions struct {
+	// Search configures the underlying synthesis runs (dialect, cost
+	// function, beta, redundancy move, base seed).
+	Search search.Options
+	// Trials is the number of synthesis runs to observe.
+	Trials int
+	// MaxIters bounds each run.
+	MaxIters int64
+	// TopK is the number of popular states to retain (the paper
+	// uses 35).
+	TopK int
+}
+
+// Build estimates an empirical popular-state chain for a synthesis
+// problem. It makes two passes with identical seeds: the first counts
+// state visits to select the popular set, the second records
+// transitions between popular states.
+func Build(suite *testcase.Suite, opts BuildOptions) (*Empirical, error) {
+	if opts.Trials <= 0 || opts.MaxIters <= 0 || opts.TopK <= 0 {
+		return nil, fmt.Errorf("markov: Trials, MaxIters, and TopK must be positive")
+	}
+
+	// Pass 1: visit counts. The hook canonizes the current program
+	// each iteration; maps are capped to keep pathological problems
+	// bounded.
+	const maxTracked = 1 << 17
+	visits := make(map[string]int64)
+	costOf := make(map[string]float64)
+	finals := make(map[string]bool)
+
+	runTrial := func(trial int, hook func(p *prog.Program)) (*search.Run, bool) {
+		o := opts.Search
+		o.Seed = opts.Search.Seed ^ uint64(trial+1)*0x9e3779b97f4a7c15
+		o.StateHook = hook
+		r := search.New(suite, o)
+		_, done := r.Step(opts.MaxIters)
+		return r, done
+	}
+
+	var scratchVals [prog.MaxNodes]uint64
+	solved := 0
+	for t := 0; t < opts.Trials; t++ {
+		r, done := runTrial(t, func(p *prog.Program) {
+			key := p.Canon()
+			if _, ok := visits[key]; !ok && len(visits) >= maxTracked {
+				return
+			}
+			visits[key]++
+			if _, ok := costOf[key]; !ok {
+				costOf[key] = opts.Search.Cost.Of(p, suite, scratchVals[:])
+			}
+		})
+		if done {
+			solved++
+			finals[r.Solution().Canon()] = true
+		}
+	}
+	if len(visits) == 0 {
+		return nil, fmt.Errorf("markov: no states observed")
+	}
+
+	// Popular set: top-K by visits, plus every observed final state so
+	// the chain has its absorbing goal(s).
+	type kv struct {
+		key string
+		n   int64
+	}
+	all := make([]kv, 0, len(visits))
+	var totalVisits int64
+	for k, n := range visits {
+		all = append(all, kv{k, n})
+		totalVisits += n
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].key < all[j].key
+	})
+	index := make(map[string]int)
+	var states []StateInfo
+	addState := func(key string) {
+		if _, ok := index[key]; ok {
+			return
+		}
+		index[key] = len(states)
+		states = append(states, StateInfo{Canon: key, Cost: costOf[key], Visits: visits[key]})
+	}
+	for i := 0; i < len(all) && i < opts.TopK; i++ {
+		addState(all[i].key)
+	}
+	for k := range finals {
+		addState(k)
+	}
+	// The start state is part of every trajectory (Figure 5 plots it
+	// as the leftmost node) but often gets too few visits to rank;
+	// include it explicitly.
+	startProg := prog.NewZero(suite.NumInputs)
+	if opts.Search.Init != nil {
+		startProg = opts.Search.Init
+	}
+	if startKey := startProg.Canon(); visits[startKey] > 0 {
+		addState(startKey)
+	}
+
+	var popularVisits int64
+	for i := range states {
+		popularVisits += states[i].Visits
+	}
+
+	// Pass 2: transition counts between popular states, conditioned on
+	// staying within the set. Reruns use the same seeds, so the
+	// trajectories are identical to pass 1.
+	n := len(states)
+	counts := make([][]int64, n)
+	for i := range counts {
+		counts[i] = make([]int64, n)
+	}
+	for t := 0; t < opts.Trials; t++ {
+		prev := -1
+		runTrial(t, func(p *prog.Program) {
+			key := p.Canon()
+			cur, ok := index[key]
+			if !ok {
+				prev = -1 // left the popular set; restart conditioning
+				return
+			}
+			if prev >= 0 {
+				counts[prev][cur]++
+			}
+			prev = cur
+		})
+	}
+
+	// Normalize rows into a stochastic matrix. Goal states keep their
+	// (ignored) rows zero; dangling transient rows become self-loops.
+	trans := make([][]float64, n)
+	costs := make([]float64, n)
+	labels := make([]string, n)
+	for i := range states {
+		costs[i] = states[i].Cost
+		labels[i] = states[i].Canon
+		trans[i] = make([]float64, n)
+		if costs[i] == 0 {
+			continue
+		}
+		var row int64
+		for j := 0; j < n; j++ {
+			row += counts[i][j]
+		}
+		if row == 0 {
+			trans[i][i] = 1
+			continue
+		}
+		for j := 0; j < n; j++ {
+			trans[i][j] = float64(counts[i][j]) / float64(row)
+		}
+	}
+
+	// Start state: the constant-zero program (or the configured Init),
+	// added to the popular set above.
+	startIdx, ok := index[startProg.Canon()]
+	if !ok {
+		return nil, fmt.Errorf("markov: start state %q never observed", startProg.Canon())
+	}
+
+	chain := &Chain{Costs: costs, Trans: trans, Start: startIdx, Labels: labels}
+	if err := chain.Validate(); err != nil {
+		return nil, err
+	}
+	times := chain.AbsorbTimes()
+	for i := range states {
+		states[i].ExpectedTime = times[i]
+	}
+	return &Empirical{
+		States:   states,
+		Chain:    chain,
+		Coverage: float64(popularVisits) / float64(totalVisits),
+		Trials:   opts.Trials,
+		Solved:   solved,
+	}, nil
+}

@@ -1,0 +1,148 @@
+package markov
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/search"
+	"stochsyn/internal/stats"
+	"stochsyn/internal/testcase"
+)
+
+// modelSuite builds the or(shl(x), x) suite used throughout Section 4.
+func modelSuite(t *testing.T) *testcase.Suite {
+	t.Helper()
+	ref := prog.MustParse("or(shl(x), x)", 1)
+	rng := rand.New(rand.NewPCG(77, 78))
+	return testcase.Generate(func(in []uint64) uint64 { return ref.Output(in) }, 1, 16, rng)
+}
+
+func buildOpts(seed uint64) BuildOptions {
+	return BuildOptions{
+		Search: search.Options{
+			Set:        prog.ModelSet,
+			Cost:       cost.Hamming,
+			Beta:       1,
+			Redundancy: true,
+			Seed:       seed,
+		},
+		Trials:   40,
+		MaxIters: 200_000,
+		TopK:     35,
+	}
+}
+
+func TestBuildEmpirical(t *testing.T) {
+	suite := modelSuite(t)
+	emp, err := Build(suite, buildOpts(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emp.Chain.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(emp.States) < 10 {
+		t.Errorf("only %d popular states", len(emp.States))
+	}
+	if emp.Coverage <= 0.3 {
+		t.Errorf("popular-state coverage %g suspiciously low", emp.Coverage)
+	}
+	if emp.Solved == 0 {
+		t.Error("no trials solved the model problem")
+	}
+	// The start state (constant zero) must be present and transient.
+	start := emp.Chain.Start
+	if emp.Chain.Absorbing(start) {
+		t.Error("start state is absorbing")
+	}
+	// At least one absorbing (cost 0) state must exist.
+	hasGoal := false
+	for i := range emp.Chain.Costs {
+		if emp.Chain.Absorbing(i) {
+			hasGoal = true
+		}
+	}
+	if !hasGoal {
+		t.Error("no absorbing goal state in the estimated chain")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	suite := modelSuite(t)
+	a, err := Build(suite, buildOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(suite, buildOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.States) != len(b.States) || a.Coverage != b.Coverage {
+		t.Error("Build is not deterministic for equal seeds")
+	}
+}
+
+func TestEmpiricalPredictsMeasured(t *testing.T) {
+	// The Figure 4 claim: absorption times sampled from the estimated
+	// chain approximate the real distribution of synthesis times. We
+	// check that the means agree within a factor of two (the paper
+	// shows close visual agreement).
+	suite := modelSuite(t)
+	opts := buildOpts(5)
+	emp, err := Build(suite, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var measured []float64
+	for i := 0; i < 40; i++ {
+		o := opts.Search
+		o.Seed = 1000 + uint64(i)*31
+		r := search.New(suite, o)
+		if used, done := r.Step(opts.MaxIters); done {
+			measured = append(measured, float64(used))
+		}
+	}
+	predicted := emp.Chain.SampleAbsorption(200, opts.MaxIters, 321)
+	if len(measured) < 20 || len(predicted) < 100 {
+		t.Fatalf("too few samples: measured %d predicted %d", len(measured), len(predicted))
+	}
+	mm, pm := stats.Mean(measured), stats.Mean(predicted)
+	if ratio := mm / pm; ratio < 0.5 || ratio > 2 {
+		t.Errorf("measured mean %g vs predicted %g (ratio %g)", mm, pm, ratio)
+	}
+}
+
+func TestBuildRejectsBadOptions(t *testing.T) {
+	suite := modelSuite(t)
+	bad := buildOpts(1)
+	bad.Trials = 0
+	if _, err := Build(suite, bad); err == nil {
+		t.Error("accepted zero trials")
+	}
+	bad = buildOpts(1)
+	bad.TopK = 0
+	if _, err := Build(suite, bad); err == nil {
+		t.Error("accepted zero TopK")
+	}
+}
+
+func TestStateInfoExpectedTimes(t *testing.T) {
+	suite := modelSuite(t)
+	emp, err := Build(suite, buildOpts(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Goal states have expected time 0; the start state has a
+	// positive finite expected time (the problem is solvable).
+	for _, s := range emp.States {
+		if s.Cost == 0 && s.ExpectedTime != 0 {
+			t.Errorf("goal state %q has E[T] = %g", s.Canon, s.ExpectedTime)
+		}
+	}
+	start := emp.States[emp.Chain.Start]
+	if !(start.ExpectedTime > 0) {
+		t.Errorf("start state E[T] = %g, want > 0", start.ExpectedTime)
+	}
+}

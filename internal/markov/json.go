@@ -1,0 +1,50 @@
+package markov
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chainJSON is the serialized form of an estimated chain, including
+// the per-state bookkeeping the experiments report.
+type chainJSON struct {
+	Costs  []float64   `json:"costs"`
+	Trans  [][]float64 `json:"transitions"`
+	Start  int         `json:"start"`
+	Labels []string    `json:"labels,omitempty"`
+	States []StateInfo `json:"states,omitempty"`
+}
+
+// WriteJSON serializes a chain (and optional per-state info) so
+// external tooling can re-analyze or re-plot it.
+func WriteJSON(w io.Writer, c *Chain, info []StateInfo) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(chainJSON{
+		Costs:  c.Costs,
+		Trans:  c.Trans,
+		Start:  c.Start,
+		Labels: c.Labels,
+		States: info,
+	})
+}
+
+// ReadJSON reads a chain written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Chain, []StateInfo, error) {
+	var cj chainJSON
+	if err := json.NewDecoder(r).Decode(&cj); err != nil {
+		return nil, nil, fmt.Errorf("markov: decode: %w", err)
+	}
+	c := &Chain{Costs: cj.Costs, Trans: cj.Trans, Start: cj.Start, Labels: cj.Labels}
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cj.States != nil && len(cj.States) != c.Len() {
+		return nil, nil, fmt.Errorf("markov: %d states but %d info entries", c.Len(), len(cj.States))
+	}
+	return c, cj.States, nil
+}

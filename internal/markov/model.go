@@ -1,0 +1,88 @@
+package markov
+
+// This file defines the two model Markov chains of Figure 10 of the
+// paper, used to demonstrate when the adaptive algorithm outperforms
+// classic Luby (costs correlate with time-to-finish) and when it is
+// hurt (the correlation is reversed).
+//
+// The figure's topology: a start state that transitions to one of two
+// middle states, each of which can transition to the goal; there are
+// no transitions between middle states or back to the start. The
+// chains are symmetric except for the costs of the middle states and
+// their probabilities of finishing. In chain (a) the lower-cost middle
+// state is 10x more likely to reach the goal per step; in chain (b)
+// the probabilities are swapped so that low cost does not predict
+// proximity to the goal (the situation of the upper-right plateau of
+// Figure 5).
+//
+// The paper's figure prints concrete transition probabilities that are
+// not recoverable from the text; the constants below are a faithful
+// reconstruction of the described structure: the start state leaves
+// quickly and splits evenly, and the middle states' exit rates differ
+// by the stated factor of 10. The qualitative claim (adaptive beats
+// Luby on (a), loses on (b)) is insensitive to the exact rates; the
+// experiment for Figure 10 reports the measured percentages alongside
+// the paper's 31%/46%.
+
+// Model chain state layout.
+const (
+	ModelStart   = iota
+	ModelMidLow  // the middle state with the LOWER cost
+	ModelMidHigh // the middle state with the HIGHER cost
+	ModelGoal
+	modelStates
+)
+
+// Per-step transition rates of the model chains.
+const (
+	modelLeaveStart = 0.02   // probability per step of leaving the start state
+	modelFastExit   = 0.001  // per-step goal probability of the "close" middle state
+	modelSlowExit   = 0.0001 // per-step goal probability of the "far" middle state
+)
+
+// modelChain builds the shared topology; lowIsFast selects whether the
+// low-cost middle state is the one with the fast exit.
+func modelChain(lowIsFast bool) *Chain {
+	costs := make([]float64, modelStates)
+	costs[ModelStart] = 100
+	costs[ModelMidLow] = 10
+	costs[ModelMidHigh] = 50
+	costs[ModelGoal] = 0
+
+	fastState, slowState := ModelMidLow, ModelMidHigh
+	if !lowIsFast {
+		fastState, slowState = ModelMidHigh, ModelMidLow
+	}
+
+	t := make([][]float64, modelStates)
+	for i := range t {
+		t[i] = make([]float64, modelStates)
+	}
+	t[ModelStart][ModelMidLow] = modelLeaveStart / 2
+	t[ModelStart][ModelMidHigh] = modelLeaveStart / 2
+	t[ModelStart][ModelStart] = 1 - modelLeaveStart
+	t[fastState][ModelGoal] = modelFastExit
+	t[fastState][fastState] = 1 - modelFastExit
+	t[slowState][ModelGoal] = modelSlowExit
+	t[slowState][slowState] = 1 - modelSlowExit
+
+	labels := make([]string, modelStates)
+	labels[ModelStart] = "start(c=100)"
+	labels[ModelMidLow] = "mid-low(c=10)"
+	labels[ModelMidHigh] = "mid-high(c=50)"
+	labels[ModelGoal] = "goal(c=0)"
+
+	return &Chain{Costs: costs, Trans: t, Start: ModelStart, Labels: labels}
+}
+
+// ModelChainA returns the Figure 10(a) chain, where cost aligns with
+// the probability of finishing: the low-cost middle state is 10x more
+// likely to reach the goal. The adaptive algorithm outperforms Luby
+// here.
+func ModelChainA() *Chain { return modelChain(true) }
+
+// ModelChainB returns the Figure 10(b) chain, where the correlation is
+// reversed: the low-cost state is the one that rarely finishes. The
+// adaptive algorithm spends its effort on the wrong searches and loses
+// to Luby here.
+func ModelChainB() *Chain { return modelChain(false) }

@@ -1,0 +1,75 @@
+package plateau
+
+import (
+	"math"
+	"sort"
+
+	"stochsyn/internal/stats"
+)
+
+// Level aggregates the plateaus observed at one cost level across many
+// runs of the same problem, quantifying the Section 4.1 analysis: the
+// time to leave a plateau is approximately geometric, so the level's
+// exit probability is estimated as 1/mean(duration), and the KS
+// distance of the durations against that geometric reports how well
+// the single-exit-rate model fits.
+type Level struct {
+	// Cost is the plateau cost level.
+	Cost float64
+	// Count is the number of plateau visits observed at this level.
+	Count int
+	// MeanLen and MedianLen summarize visit durations in iterations.
+	MeanLen, MedianLen float64
+	// ExitProb is the estimated per-iteration probability of leaving
+	// the plateau (1/MeanLen).
+	ExitProb float64
+	// GeomKS is the Kolmogorov-Smirnov distance of the durations
+	// against Geometric(ExitProb); NaN with fewer than 5 visits.
+	GeomKS float64
+}
+
+// Levels groups the detected plateaus of many runs by cost level
+// (levels closer than tol merge, taking the first-seen representative
+// cost) and returns per-level statistics sorted by descending cost.
+// The final zero-cost "plateau" (the absorbing solution) is excluded.
+func Levels(plateaus [][]Plateau, tol float64) []Level {
+	reps := []float64{}
+	durations := map[int][]float64{}
+	find := func(c float64) int {
+		for i, r := range reps {
+			if math.Abs(r-c) <= tol {
+				return i
+			}
+		}
+		reps = append(reps, c)
+		return len(reps) - 1
+	}
+	for _, runPs := range plateaus {
+		for _, p := range runPs {
+			if p.Cost == 0 {
+				continue
+			}
+			i := find(p.Cost)
+			durations[i] = append(durations[i], float64(p.Len())+1)
+		}
+	}
+	out := make([]Level, 0, len(reps))
+	for i, c := range reps {
+		d := durations[i]
+		mean := stats.Mean(d)
+		lvl := Level{
+			Cost:      c,
+			Count:     len(d),
+			MeanLen:   mean,
+			MedianLen: stats.Median(d),
+			ExitProb:  1 / mean,
+			GeomKS:    math.NaN(),
+		}
+		if len(d) >= 5 {
+			lvl.GeomKS = stats.KSDistance(d, stats.Geometric{P: lvl.ExitProb})
+		}
+		out = append(out, lvl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cost > out[j].Cost })
+	return out
+}

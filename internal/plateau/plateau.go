@@ -1,0 +1,189 @@
+// Package plateau analyzes the plateau structure of stochastic
+// searches (Section 4 of the paper): detection of plateaus — periods
+// of a search that fluctuate around a fixed cost — from recorded cost
+// traces, and construction of plateau charts (Figures 1, 7, and 11),
+// which bin the cost of many independent runs against the logarithm of
+// the iteration count.
+package plateau
+
+import (
+	"math"
+
+	"stochsyn/internal/search"
+)
+
+// Plateau is one detected plateau of a single run.
+type Plateau struct {
+	// Cost is the plateau's level: the best cost achieved during it.
+	Cost float64
+	// Start and End are the first and last iteration of the span.
+	Start, End int64
+}
+
+// Len returns the plateau's length in iterations.
+func (p Plateau) Len() int64 { return p.End - p.Start }
+
+// Detect segments a cost trace into plateaus. A plateau is a maximal
+// span during which the best-so-far cost does not improve; upward
+// fluctuations (temporarily accepted cost increases) are attributed to
+// the plateau they depart from, matching the paper's description of
+// searches that "fluctuate around a fixed cost". Spans shorter than
+// minLen iterations are merged into their successor, so brief
+// transitional costs do not register as plateaus.
+func Detect(trace []search.TracePoint, minLen int64) []Plateau {
+	if len(trace) == 0 {
+		return nil
+	}
+	var out []Plateau
+	best := math.Inf(1)
+	for i, tp := range trace {
+		if tp.Cost >= best {
+			continue // still on the current plateau
+		}
+		// Strict improvement: close the previous plateau and open a
+		// new one at this cost.
+		if n := len(out); n > 0 {
+			out[n-1].End = tp.Iteration
+		}
+		best = tp.Cost
+		out = append(out, Plateau{Cost: best, Start: tp.Iteration, End: tp.Iteration})
+		if i == len(trace)-1 {
+			break
+		}
+	}
+	if n := len(out); n > 0 && out[n-1].End < trace[len(trace)-1].Iteration {
+		out[n-1].End = trace[len(trace)-1].Iteration
+	}
+	// Merge too-short plateaus into their successors (they were
+	// transitional).
+	if minLen > 0 {
+		w := 0
+		for i := 0; i < len(out); i++ {
+			if out[i].Len() >= minLen || i == len(out)-1 {
+				out[w] = out[i]
+				w++
+			}
+		}
+		out = out[:w]
+	}
+	return out
+}
+
+// CostAt evaluates a trace as a step function: the cost in effect at
+// the given iteration (the cost of the latest trace point at or before
+// it). It returns NaN before the first point.
+func CostAt(trace []search.TracePoint, iter int64) float64 {
+	cost := math.NaN()
+	for _, tp := range trace {
+		if tp.Iteration > iter {
+			break
+		}
+		cost = tp.Cost
+	}
+	return cost
+}
+
+// RunTrace is one run's input to a plateau chart.
+type RunTrace struct {
+	Trace []search.TracePoint
+	// Finished reports whether the run reached cost zero; FinishIter
+	// is the iteration at which it did.
+	Finished   bool
+	FinishIter int64
+}
+
+// Chart is a binned plateau chart: Density[y][x] counts how many runs
+// had a cost in bin y at (log-scaled) iteration bin x, with y = 0 the
+// lowest cost. Finish marks, one per finished run, give the chart's
+// dots (the successful ends of synthesis runs).
+type Chart struct {
+	XBins, YBins int
+	// LogMin and LogMax bound the x axis in log10(iterations).
+	LogMin, LogMax float64
+	// CostMin and CostMax bound the y axis.
+	CostMin, CostMax float64
+	Density          [][]int
+	// Finishes holds log10(finish iteration) for each finished run.
+	Finishes []float64
+}
+
+// BuildChart bins many runs' traces into a plateau chart with the
+// given resolution. Runs with empty traces are skipped.
+func BuildChart(runs []RunTrace, xBins, yBins int) *Chart {
+	ch := &Chart{XBins: xBins, YBins: yBins}
+	ch.LogMin, ch.LogMax = math.Inf(1), math.Inf(-1)
+	ch.CostMin, ch.CostMax = math.Inf(1), math.Inf(-1)
+	any := false
+	for _, r := range runs {
+		if len(r.Trace) == 0 {
+			continue
+		}
+		any = true
+		last := r.Trace[len(r.Trace)-1].Iteration
+		if r.Finished && r.FinishIter > last {
+			last = r.FinishIter
+		}
+		ch.LogMax = math.Max(ch.LogMax, math.Log10(float64(maxI64(last, 1))))
+		ch.LogMin = math.Min(ch.LogMin, 0) // iteration 1
+		for _, tp := range r.Trace {
+			ch.CostMin = math.Min(ch.CostMin, tp.Cost)
+			ch.CostMax = math.Max(ch.CostMax, tp.Cost)
+		}
+	}
+	if !any {
+		return ch
+	}
+	if ch.CostMax == ch.CostMin {
+		ch.CostMax = ch.CostMin + 1
+	}
+	if ch.LogMax <= ch.LogMin {
+		ch.LogMax = ch.LogMin + 1
+	}
+	ch.Density = make([][]int, yBins)
+	for y := range ch.Density {
+		ch.Density[y] = make([]int, xBins)
+	}
+	for _, r := range runs {
+		if len(r.Trace) == 0 {
+			continue
+		}
+		end := r.Trace[len(r.Trace)-1].Iteration
+		if r.Finished {
+			end = r.FinishIter
+			ch.Finishes = append(ch.Finishes, math.Log10(float64(maxI64(end, 1))))
+		}
+		for x := 0; x < xBins; x++ {
+			// Midpoint of the x bin in log space.
+			lg := ch.LogMin + (ch.LogMax-ch.LogMin)*(float64(x)+0.5)/float64(xBins)
+			iter := int64(math.Pow(10, lg))
+			if iter > end {
+				break
+			}
+			c := CostAt(r.Trace, iter)
+			if math.IsNaN(c) {
+				continue
+			}
+			y := ch.costBin(c)
+			ch.Density[y][x]++
+		}
+	}
+	return ch
+}
+
+func (ch *Chart) costBin(c float64) int {
+	y := int(float64(ch.YBins) * (c - ch.CostMin) / (ch.CostMax - ch.CostMin))
+	if y < 0 {
+		y = 0
+	}
+	if y >= ch.YBins {
+		y = ch.YBins - 1
+	}
+	return y
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,208 @@
+package plateau
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"stochsyn/internal/search"
+)
+
+func tp(iter int64, cost float64) search.TracePoint {
+	return search.TracePoint{Iteration: iter, Cost: cost}
+}
+
+func TestDetectSinglePlateau(t *testing.T) {
+	trace := []search.TracePoint{tp(1, 100), tp(5000, 0)}
+	ps := Detect(trace, 0)
+	if len(ps) != 2 {
+		t.Fatalf("got %d plateaus, want 2", len(ps))
+	}
+	if ps[0].Cost != 100 || ps[0].Start != 1 || ps[0].End != 5000 {
+		t.Errorf("first plateau %+v", ps[0])
+	}
+	if ps[1].Cost != 0 {
+		t.Errorf("final plateau cost %g", ps[1].Cost)
+	}
+}
+
+func TestDetectIgnoresUpwardFluctuations(t *testing.T) {
+	// Cost wiggles up and back down around 50 before improving: the
+	// fluctuation must not split the plateau.
+	trace := []search.TracePoint{
+		tp(1, 100), tp(10, 50), tp(20, 55), tp(30, 50),
+		tp(4000, 10), tp(9000, 0),
+	}
+	ps := Detect(trace, 0)
+	var costs []float64
+	for _, p := range ps {
+		costs = append(costs, p.Cost)
+	}
+	want := []float64{100, 50, 10, 0}
+	if len(costs) != len(want) {
+		t.Fatalf("plateau costs %v, want %v", costs, want)
+	}
+	for i := range want {
+		if costs[i] != want[i] {
+			t.Fatalf("plateau costs %v, want %v", costs, want)
+		}
+	}
+	// The cost-50 plateau spans through the fluctuation.
+	if ps[1].Start != 10 || ps[1].End != 4000 {
+		t.Errorf("fluctuating plateau %+v, want span [10, 4000]", ps[1])
+	}
+}
+
+func TestDetectMergesShortPlateaus(t *testing.T) {
+	// Transitional costs shorter than minLen disappear.
+	trace := []search.TracePoint{
+		tp(1, 100), tp(1000, 60), tp(1005, 40), tp(5000, 0),
+	}
+	ps := Detect(trace, 100)
+	for _, p := range ps[:len(ps)-1] {
+		if p.Len() < 100 {
+			t.Errorf("short plateau survived: %+v", p)
+		}
+	}
+}
+
+func TestDetectEmpty(t *testing.T) {
+	if ps := Detect(nil, 10); ps != nil {
+		t.Errorf("Detect(nil) = %v", ps)
+	}
+}
+
+func TestCostAt(t *testing.T) {
+	trace := []search.TracePoint{tp(10, 100), tp(50, 30), tp(90, 0)}
+	cases := []struct {
+		iter int64
+		want float64
+	}{
+		{5, math.NaN()},
+		{10, 100},
+		{49, 100},
+		{50, 30},
+		{89, 30},
+		{90, 0},
+		{1000, 0},
+	}
+	for _, tc := range cases {
+		got := CostAt(trace, tc.iter)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("CostAt(%d) = %g, want NaN", tc.iter, got)
+			}
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("CostAt(%d) = %g, want %g", tc.iter, got, tc.want)
+		}
+	}
+}
+
+func TestBuildChart(t *testing.T) {
+	runs := []RunTrace{
+		{Trace: []search.TracePoint{tp(1, 100), tp(100, 50), tp(1000, 0)}, Finished: true, FinishIter: 1000},
+		{Trace: []search.TracePoint{tp(1, 100), tp(10000, 80)}, Finished: false},
+	}
+	ch := BuildChart(runs, 30, 10)
+	if ch.Density == nil {
+		t.Fatal("no density grid")
+	}
+	if len(ch.Density) != 10 || len(ch.Density[0]) != 30 {
+		t.Fatalf("grid is %dx%d", len(ch.Density), len(ch.Density[0]))
+	}
+	total := 0
+	for _, row := range ch.Density {
+		for _, d := range row {
+			total += d
+		}
+	}
+	if total == 0 {
+		t.Error("empty density")
+	}
+	if len(ch.Finishes) != 1 {
+		t.Errorf("%d finish marks, want 1", len(ch.Finishes))
+	}
+	if ch.CostMin != 0 || ch.CostMax != 100 {
+		t.Errorf("cost range [%g, %g], want [0, 100]", ch.CostMin, ch.CostMax)
+	}
+}
+
+func TestBuildChartEmpty(t *testing.T) {
+	ch := BuildChart(nil, 10, 10)
+	if ch.Density != nil {
+		t.Error("expected nil density for no runs")
+	}
+	ch2 := BuildChart([]RunTrace{{}}, 10, 10)
+	if ch2.Density != nil {
+		t.Error("expected nil density for empty traces")
+	}
+}
+
+func TestChartCostBinClamped(t *testing.T) {
+	ch := &Chart{YBins: 10, CostMin: 0, CostMax: 100}
+	if b := ch.costBin(-5); b != 0 {
+		t.Errorf("costBin(-5) = %d", b)
+	}
+	if b := ch.costBin(500); b != 9 {
+		t.Errorf("costBin(500) = %d", b)
+	}
+	if b := ch.costBin(55); b != 5 {
+		t.Errorf("costBin(55) = %d", b)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	// Three runs over two cost levels (100 and 50), with slightly
+	// jittered costs that must merge under the tolerance.
+	plateaus := [][]Plateau{
+		{{Cost: 100, Start: 1, End: 101}, {Cost: 50, Start: 101, End: 301}, {Cost: 0, Start: 301, End: 301}},
+		{{Cost: 100.4, Start: 1, End: 201}, {Cost: 49.8, Start: 201, End: 501}},
+		{{Cost: 100, Start: 1, End: 151}},
+	}
+	levels := Levels(plateaus, 1.0)
+	if len(levels) != 2 {
+		t.Fatalf("got %d levels: %+v", len(levels), levels)
+	}
+	if levels[0].Cost != 100 || levels[0].Count != 3 {
+		t.Errorf("level 0: %+v", levels[0])
+	}
+	if levels[1].Count != 2 {
+		t.Errorf("level 1: %+v", levels[1])
+	}
+	// Exit probability is the reciprocal of the mean duration.
+	wantMean := (101.0 + 201 + 151) / 3
+	if math.Abs(levels[0].MeanLen-wantMean) > 1e-9 {
+		t.Errorf("mean len %g, want %g", levels[0].MeanLen, wantMean)
+	}
+	if math.Abs(levels[0].ExitProb-1/wantMean) > 1e-12 {
+		t.Errorf("exit prob %g", levels[0].ExitProb)
+	}
+	// Zero-cost plateaus are excluded.
+	for _, l := range levels {
+		if l.Cost == 0 {
+			t.Error("absorbing level included")
+		}
+	}
+}
+
+func TestLevelsGeometricFit(t *testing.T) {
+	// Durations drawn from a geometric distribution should fit well.
+	rng := rand.New(rand.NewPCG(5, 6))
+	var plateaus [][]Plateau
+	for i := 0; i < 200; i++ {
+		d := int64(1)
+		for rng.Float64() > 0.01 {
+			d++
+		}
+		plateaus = append(plateaus, []Plateau{{Cost: 10, Start: 0, End: d}})
+	}
+	levels := Levels(plateaus, 0.5)
+	if len(levels) != 1 {
+		t.Fatalf("got %d levels", len(levels))
+	}
+	if levels[0].GeomKS > 0.1 {
+		t.Errorf("geometric KS %g too large for geometric data", levels[0].GeomKS)
+	}
+}

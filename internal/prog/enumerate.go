@@ -1,0 +1,200 @@
+package prog
+
+// Enumeration of small programs. Section 4 of the paper chooses the
+// reduced model dialect specifically because it is "simple enough to
+// analyze fully"; this file provides that full analysis: an exhaustive
+// generator of all programs up to a body-size bound, deduplicated by
+// canonical form, which the tests and the Markov experiments use to
+// ground-truth the search space (e.g. that a minimal solution of
+// or(shl(x), x) needs exactly two instructions).
+
+// Enumerate yields every structurally distinct program over the
+// dialect with at most maxBody body nodes (instructions plus
+// constants), deduplicated by canonical form, in approximately
+// nondecreasing body size (programs whose subterm sharing makes them
+// smaller than their construction level are yielded at that level).
+// Constants are drawn from consts (e.g. 0 and ^0 for the model
+// dialect). Enumeration stops early when yield returns false.
+//
+// The generator works bottom-up: level 0 holds the inputs and the
+// constant pool; each subsequent candidate applies an opcode to
+// previously produced programs, merging their node sets with
+// structural deduplication. Exponential in maxBody — intended for
+// maxBody <= 4 on small dialects.
+func Enumerate(set *OpSet, numInputs int, maxBody int, consts []uint64, yield func(*Program) bool) {
+	if maxBody < 0 {
+		return
+	}
+	seen := map[string]bool{}
+	stop := false
+	// emit yields fresh programs; it returns whether p was new.
+	emit := func(p *Program) bool {
+		key := p.Canon()
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		if !yield(p) {
+			stop = true
+		}
+		return true
+	}
+
+	// pool holds all distinct programs found so far, grouped by actual
+	// body size; programs are combined across groups to build larger
+	// ones.
+	pool := make([][]*Program, maxBody+1)
+
+	// Size-0 programs: the bare inputs.
+	for i := 0; i < numInputs; i++ {
+		p := NewInput(numInputs, i)
+		if emit(p) {
+			pool[0] = append(pool[0], p)
+		}
+		if stop {
+			return
+		}
+	}
+	// Size-1 constants.
+	if maxBody >= 1 {
+		for _, v := range consts {
+			p := NewConst(numInputs, v)
+			if emit(p) {
+				pool[1] = append(pool[1], p)
+			}
+			if stop {
+				return
+			}
+		}
+	}
+
+	// Construction levels run past maxBody because subterm sharing can
+	// make a program's body smaller than the sum of its children's
+	// (worst case: both children are the same size-(m-1) term, so a
+	// body-m program may need level 2m-1).
+	maxLevel := 2*maxBody - 1
+	for level := 1; level <= maxLevel; level++ {
+		for _, op := range set.Ops() {
+			switch op.Arity() {
+			case 1:
+				if level-1 > maxBody {
+					continue
+				}
+				for _, child := range pool[level-1] {
+					p := applyUnary(op, child)
+					if p == nil || p.BodyLen() > maxBody {
+						continue
+					}
+					if emit(p) {
+						pool[p.BodyLen()] = append(pool[p.BodyLen()], p)
+					}
+					if stop {
+						return
+					}
+				}
+			case 2:
+				for aSize := 0; aSize <= level-1 && aSize <= maxBody; aSize++ {
+					bSize := level - 1 - aSize
+					if bSize < 0 || bSize > maxBody {
+						continue
+					}
+					for _, a := range pool[aSize] {
+						for _, b := range pool[bSize] {
+							p := applyBinary(op, a, b)
+							if p == nil || p.BodyLen() > maxBody {
+								continue
+							}
+							if emit(p) {
+								pool[p.BodyLen()] = append(pool[p.BodyLen()], p)
+							}
+							if stop {
+								return
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// applyUnary builds op(child) as a fresh program.
+func applyUnary(op Op, child *Program) *Program {
+	p := child.Clone()
+	p.Nodes = append(p.Nodes, Node{Op: op, Args: [MaxArity]int32{p.Root}})
+	p.Root = int32(len(p.Nodes) - 1)
+	p.Invalidate()
+	if p.BodyLen() > MaxBody {
+		return nil
+	}
+	return p
+}
+
+// applyBinary builds op(a, b), merging b's node graph into a's with
+// structural deduplication so common subterms are shared.
+func applyBinary(op Op, a, b *Program) *Program {
+	if a.NumInputs != b.NumInputs {
+		return nil
+	}
+	p := a.Clone()
+	bRoot := mergeInto(p, b, b.Root, map[int32]int32{})
+	p.Nodes = append(p.Nodes, Node{Op: op, Args: [MaxArity]int32{p.Root, bRoot}})
+	p.Root = int32(len(p.Nodes) - 1)
+	p.Invalidate()
+	p.GC()
+	if p.BodyLen() > MaxBody {
+		return nil
+	}
+	return p
+}
+
+// mergeInto copies node idx of src (and its reachable arguments) into
+// dst, reusing structurally identical nodes already present, and
+// returns the corresponding index in dst.
+func mergeInto(dst, src *Program, idx int32, memo map[int32]int32) int32 {
+	if mapped, ok := memo[idx]; ok {
+		return mapped
+	}
+	nd := src.Nodes[idx]
+	if nd.Op == OpInput {
+		memo[idx] = int32(nd.Val)
+		return int32(nd.Val)
+	}
+	var args [MaxArity]int32
+	for a := 0; a < nd.Op.Arity(); a++ {
+		args[a] = mergeInto(dst, src, nd.Args[a], memo)
+	}
+	// Structural dedup: reuse an identical node if present.
+	for i := dst.NumInputs; i < len(dst.Nodes); i++ {
+		cand := dst.Nodes[i]
+		if cand.Op != nd.Op || cand.Val != nd.Val {
+			continue
+		}
+		match := true
+		for a := 0; a < nd.Op.Arity(); a++ {
+			if cand.Args[a] != args[a] {
+				match = false
+				break
+			}
+		}
+		if match {
+			memo[idx] = int32(i)
+			return int32(i)
+		}
+	}
+	dst.Nodes = append(dst.Nodes, Node{Op: nd.Op, Args: args, Val: nd.Val})
+	out := int32(len(dst.Nodes) - 1)
+	memo[idx] = out
+	return out
+}
+
+// CountPrograms returns the number of canonical programs up to
+// maxBody, a convenience over Enumerate for analyses and tests.
+func CountPrograms(set *OpSet, numInputs, maxBody int, consts []uint64) int {
+	n := 0
+	Enumerate(set, numInputs, maxBody, consts, func(*Program) bool {
+		n++
+		return true
+	})
+	return n
+}

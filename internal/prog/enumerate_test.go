@@ -1,0 +1,133 @@
+package prog
+
+import (
+	"testing"
+)
+
+var modelConsts = []uint64{0, ^uint64(0)}
+
+func TestEnumerateSmall(t *testing.T) {
+	// Size 0: just x. Size <= 1: x, 0, -1, and the six unary/binary...
+	// Size 1 adds the two constants plus not(x), shl(x), shr(x), and
+	// the binaries over x alone: and(x,x), or(x,x), xor(x,x).
+	var canons []string
+	Enumerate(ModelSet, 1, 1, modelConsts, func(p *Program) bool {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("enumerated invalid program: %v", err)
+		}
+		canons = append(canons, p.Canon())
+		return true
+	})
+	want := map[string]bool{
+		"x": true, "0": true, "-1": true,
+		"not(x)": true, "shl(x)": true, "shr(x)": true,
+		"and(x, x)": true, "or(x, x)": true, "xor(x, x)": true,
+	}
+	if len(canons) != len(want) {
+		t.Fatalf("enumerated %d programs %v, want %d", len(canons), canons, len(want))
+	}
+	for _, c := range canons {
+		if !want[c] {
+			t.Errorf("unexpected program %q", c)
+		}
+	}
+}
+
+func TestEnumerateNoDuplicates(t *testing.T) {
+	seen := map[string]bool{}
+	Enumerate(ModelSet, 1, 3, modelConsts, func(p *Program) bool {
+		c := p.Canon()
+		if seen[c] {
+			t.Fatalf("duplicate canonical program %q", c)
+		}
+		seen[c] = true
+		return true
+	})
+	if len(seen) < 50 {
+		t.Errorf("only %d programs up to size 3", len(seen))
+	}
+}
+
+func TestEnumerateRespectsSizeBound(t *testing.T) {
+	Enumerate(ModelSet, 1, 3, modelConsts, func(p *Program) bool {
+		if p.BodyLen() > 3 {
+			t.Fatalf("enumerated %q with body %d > bound 3", p.Canon(), p.BodyLen())
+		}
+		return true
+	})
+}
+
+func TestEnumerateFindsModelSolution(t *testing.T) {
+	// The minimal solution of the Section 4 problem or(shl(x), x)
+	// needs exactly two instructions; exhaustive enumeration must find
+	// a semantically equivalent program at body size 2 and none at
+	// size <= 1.
+	target := func(x uint64) uint64 { return (x << 1) | x }
+	probes := []uint64{0, 1, 2, 5, 0xFF, 0x8000000000000000, ^uint64(0), 0x123456789abcdef}
+	matches := func(p *Program) bool {
+		for _, x := range probes {
+			if p.Output([]uint64{x}) != target(x) {
+				return false
+			}
+		}
+		return true
+	}
+	bestSize := 1 << 30
+	Enumerate(ModelSet, 1, 2, modelConsts, func(p *Program) bool {
+		if matches(p) && p.BodyLen() < bestSize {
+			bestSize = p.BodyLen()
+		}
+		return true
+	})
+	if bestSize != 2 {
+		t.Errorf("minimal model solution found at size %d, want 2", bestSize)
+	}
+	// And no solution exists with a single body node.
+	Enumerate(ModelSet, 1, 1, modelConsts, func(p *Program) bool {
+		if matches(p) {
+			t.Errorf("impossible size-1 solution %q", p.Canon())
+		}
+		return true
+	})
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	n := 0
+	Enumerate(ModelSet, 1, 3, modelConsts, func(*Program) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop ignored: saw %d programs", n)
+	}
+}
+
+func TestCountProgramsGrowth(t *testing.T) {
+	c1 := CountPrograms(ModelSet, 1, 1, modelConsts)
+	c2 := CountPrograms(ModelSet, 1, 2, modelConsts)
+	c3 := CountPrograms(ModelSet, 1, 3, modelConsts)
+	if !(c1 < c2 && c2 < c3) {
+		t.Errorf("counts not growing: %d, %d, %d", c1, c2, c3)
+	}
+	t.Logf("model dialect, 1 input: %d / %d / %d canonical programs at size 1/2/3", c1, c2, c3)
+}
+
+func TestEnumerateSharedSubterms(t *testing.T) {
+	// Programs like xor(shl(x), shl(x)) share the shl node; the merge
+	// must deduplicate it so the body size is 2, not 3, and such
+	// programs therefore appear at size 2.
+	found := false
+	Enumerate(ModelSet, 1, 2, modelConsts, func(p *Program) bool {
+		if p.Canon() == "xor(shl(x), shl(x))" {
+			found = true
+			if p.BodyLen() != 2 {
+				t.Errorf("shared subterm program has body %d, want 2", p.BodyLen())
+			}
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Error("xor(shl(x), shl(x)) not enumerated at size 2")
+	}
+}

@@ -1,0 +1,34 @@
+package prog
+
+import "testing"
+
+// FuzzParse exercises the expression parser with arbitrary input: it
+// must never panic, and anything it accepts must be a valid program
+// whose printed form re-parses to the same semantics.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"x", "addq(x, y)", "a = notq(x); addq(a, a)",
+		"orq(andq(x, y), andq(notq(x), z))", "0xdeadbeef", "-1",
+		"and(or(x, x), shl(x))", "mulq(in4, in5)",
+		"a = 1; b = 2; addq(a, b)", "addq(x,", "))((", "q = 3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src, 6)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted invalid program: %v", err)
+		}
+		q, err := Parse(p.String(), 6)
+		if err != nil {
+			t.Fatalf("printed form %q does not re-parse: %v", p.String(), err)
+		}
+		in := []uint64{1, 2, 3, 4, 5, 6}
+		if p.Output(in) != q.Output(in) {
+			t.Fatalf("round trip changed semantics for %q", src)
+		}
+	})
+}

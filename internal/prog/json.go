@@ -1,0 +1,79 @@
+package prog
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encoding preserves the exact node array (order included), which
+// the textual notation does not: search checkpoints require exact
+// state so the resumed random walk is bit-identical to an
+// uninterrupted one.
+
+type nodeJSON struct {
+	Op   string  `json:"op"`
+	Args []int32 `json:"args,omitempty"`
+	Val  uint64  `json:"val,omitempty"`
+}
+
+type programJSON struct {
+	NumInputs int        `json:"num_inputs"`
+	Root      int32      `json:"root"`
+	Body      []nodeJSON `json:"body"`
+}
+
+// MarshalJSON implements json.Marshaler with the exact graph layout.
+// Only body nodes are serialized; the permanent input nodes are
+// implied by num_inputs.
+func (p *Program) MarshalJSON() ([]byte, error) {
+	pj := programJSON{NumInputs: p.NumInputs, Root: p.Root}
+	for _, nd := range p.Nodes[p.NumInputs:] {
+		nj := nodeJSON{Op: nd.Op.String(), Val: nd.Val}
+		for a := 0; a < nd.Op.Arity(); a++ {
+			nj.Args = append(nj.Args, nd.Args[a])
+		}
+		if nd.Op == OpConst {
+			nj.Op = "const"
+		}
+		pj.Body = append(pj.Body, nj)
+	}
+	return json.Marshal(pj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler; the result is validated.
+func (p *Program) UnmarshalJSON(data []byte) error {
+	var pj programJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	if pj.NumInputs < 0 || pj.NumInputs > MaxInputs {
+		return fmt.Errorf("prog: json input count %d out of range", pj.NumInputs)
+	}
+	q := newBase(pj.NumInputs)
+	for i, nj := range pj.Body {
+		nd := Node{Val: nj.Val}
+		switch nj.Op {
+		case "const":
+			nd.Op = OpConst
+		default:
+			op, ok := OpByName(nj.Op)
+			if !ok || !op.IsInstruction() {
+				return fmt.Errorf("prog: json body node %d has unknown op %q", i, nj.Op)
+			}
+			nd.Op = op
+			if len(nj.Args) != op.Arity() {
+				return fmt.Errorf("prog: json body node %d: %s takes %d args, got %d",
+					i, op, op.Arity(), len(nj.Args))
+			}
+			copy(nd.Args[:], nj.Args)
+		}
+		q.Nodes = append(q.Nodes, nd)
+	}
+	q.Root = pj.Root
+	q.Invalidate()
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	*p = *q
+	return nil
+}

@@ -1,0 +1,148 @@
+package prog
+
+import "math/rand/v2"
+
+// ConstPolicy controls how the instruction move materializes new
+// constant operands for a given dialect.
+type ConstPolicy uint8
+
+const (
+	// ConstsInteresting draws constants from a distribution favoring
+	// corner cases, small integers, single bits, and masks (the full
+	// dialect's policy).
+	ConstsInteresting ConstPolicy = iota
+	// ConstsZeroOnes draws only 0 and ^0, matching the zero and ones
+	// constant operations of the Section 4 model dialect.
+	ConstsZeroOnes
+)
+
+// OpSet is a dialect: the instruction opcodes available to the search
+// plus the policy for generating constants. OpSets are immutable after
+// construction.
+type OpSet struct {
+	name   string
+	ops    []Op
+	byAr   [MaxArity + 1][]Op // ops grouped by arity
+	consts ConstPolicy
+}
+
+// NewOpSet builds an OpSet from a list of instruction opcodes. It
+// panics if any opcode is not an instruction, so malformed dialects
+// fail fast at construction.
+func NewOpSet(name string, consts ConstPolicy, ops ...Op) *OpSet {
+	s := &OpSet{name: name, consts: consts}
+	seen := map[Op]bool{}
+	for _, op := range ops {
+		if !op.IsInstruction() {
+			panic("prog: OpSet includes non-instruction opcode " + op.String())
+		}
+		if seen[op] {
+			continue
+		}
+		seen[op] = true
+		s.ops = append(s.ops, op)
+		s.byAr[op.Arity()] = append(s.byAr[op.Arity()], op)
+	}
+	if len(s.ops) == 0 {
+		panic("prog: empty OpSet")
+	}
+	return s
+}
+
+// Name returns the dialect name.
+func (s *OpSet) Name() string { return s.name }
+
+// Ops returns the opcodes in the set. Callers must not mutate the
+// returned slice.
+func (s *OpSet) Ops() []Op { return s.ops }
+
+// Contains reports whether op is in the set.
+func (s *OpSet) Contains(op Op) bool {
+	for _, o := range s.ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomOp draws a uniformly random opcode from the set.
+func (s *OpSet) RandomOp(rng *rand.Rand) Op {
+	return s.ops[rng.IntN(len(s.ops))]
+}
+
+// RandomOpArity draws a uniformly random opcode with the given arity,
+// or OpInvalid and false if the set has none (the opcode move uses
+// this to replace an opcode by another of the same arity).
+func (s *OpSet) RandomOpArity(rng *rand.Rand, arity int) (Op, bool) {
+	group := s.byAr[arity]
+	if len(group) == 0 {
+		return OpInvalid, false
+	}
+	return group[rng.IntN(len(group))], true
+}
+
+// RandomConst draws a constant according to the set's policy.
+func (s *OpSet) RandomConst(rng *rand.Rand) uint64 {
+	if s.consts == ConstsZeroOnes {
+		if rng.IntN(2) == 0 {
+			return 0
+		}
+		return ^uint64(0)
+	}
+	return interestingConst(rng)
+}
+
+// interestingConst mirrors bits.InterestingConstant; it is duplicated
+// here (rather than importing internal/bits) to keep prog dependency-
+// free, and the two are cross-checked by tests.
+func interestingConst(rng *rand.Rand) uint64 {
+	switch rng.IntN(6) {
+	case 0:
+		corners := [...]uint64{0, 1, ^uint64(0), 1 << 63, (1 << 63) - 1,
+			0x00000000FFFFFFFF, 0xFFFFFFFF00000000, 0x5555555555555555,
+			0xAAAAAAAAAAAAAAAA, 2, 4, 8, 16, 0x80}
+		return corners[rng.IntN(len(corners))]
+	case 1:
+		return uint64(int64(rng.IntN(33) - 16))
+	case 2:
+		return 1 << uint(rng.IntN(64))
+	case 3:
+		n := 1 + rng.IntN(64)
+		if n == 64 {
+			return ^uint64(0)
+		}
+		return (uint64(1) << uint(n)) - 1
+	case 4:
+		return ^(uint64(1) << uint(rng.IntN(64)))
+	default:
+		return rng.Uint64()
+	}
+}
+
+// FullSet is the x86-flavoured dialect used for the SyGuS-style and
+// superoptimization benchmarks.
+var FullSet = NewOpSet("full", ConstsInteresting,
+	OpAdd, OpSub, OpMul, OpDivU, OpRemU, OpDivS, OpRemS,
+	OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar, OpRol, OpRor,
+	OpEq, OpUlt, OpSlt,
+	OpNot, OpNeg, OpBswap, OpPopcnt, OpClz, OpCtz,
+	OpSext8, OpSext16, OpSext32, OpZext8, OpZext16, OpZext32,
+	OpAdd32, OpSub32, OpMul32, OpAnd32, OpOr32, OpXor32,
+	OpShl32, OpShr32, OpSar32, OpNot32, OpNeg32,
+)
+
+// ModelSet is the reduced dialect of Section 4 (and, or, xor, not,
+// one-bit shifts, plus the zero/ones constants via the constant
+// policy), small enough to analyze its search space exhaustively.
+var ModelSet = NewOpSet("model", ConstsZeroOnes,
+	OpMAnd, OpMOr, OpMXor, OpMNot, OpMShl, OpMShr,
+)
+
+// BaseSet is the dialect without the 32-bit variants or bit-scan
+// extensions: a middle ground matching the instruction coverage of
+// classic superoptimizers, used by some ablation experiments.
+var BaseSet = NewOpSet("base", ConstsInteresting,
+	OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
+	OpShl, OpShr, OpSar, OpNot, OpNeg,
+)

@@ -1,0 +1,120 @@
+package prog
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestOpSetArityGroups(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for arity := 1; arity <= 2; arity++ {
+		op, ok := FullSet.RandomOpArity(rng, arity)
+		if !ok {
+			t.Fatalf("FullSet has no arity-%d ops", arity)
+		}
+		if op.Arity() != arity {
+			t.Errorf("RandomOpArity(%d) returned %s with arity %d", arity, op, op.Arity())
+		}
+	}
+	if _, ok := FullSet.RandomOpArity(rng, 0); ok {
+		t.Error("FullSet claims to have arity-0 instructions")
+	}
+}
+
+func TestOpSetContains(t *testing.T) {
+	if !FullSet.Contains(OpAdd) {
+		t.Error("FullSet missing addq")
+	}
+	if FullSet.Contains(OpMAnd) {
+		t.Error("FullSet contains model op")
+	}
+	if !ModelSet.Contains(OpMShl) {
+		t.Error("ModelSet missing shl")
+	}
+	if ModelSet.Contains(OpAdd) {
+		t.Error("ModelSet contains full-set op")
+	}
+}
+
+func TestModelSetConstPolicy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 200; i++ {
+		c := ModelSet.RandomConst(rng)
+		if c != 0 && c != ^uint64(0) {
+			t.Fatalf("ModelSet produced constant %#x, want only 0 or ones", c)
+		}
+	}
+}
+
+func TestFullSetConstVariety(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	seen := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		seen[FullSet.RandomConst(rng)] = true
+	}
+	if len(seen) < 20 {
+		t.Errorf("FullSet constants show little variety: %d distinct in 500 draws", len(seen))
+	}
+}
+
+func TestNewOpSetRejectsPseudoOps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewOpSet accepted a pseudo-op")
+		}
+	}()
+	NewOpSet("bad", ConstsInteresting, OpConst)
+}
+
+func TestNewOpSetRejectsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewOpSet accepted an empty set")
+		}
+	}()
+	NewOpSet("empty", ConstsInteresting)
+}
+
+func TestNewOpSetDedupes(t *testing.T) {
+	s := NewOpSet("dup", ConstsInteresting, OpAdd, OpAdd, OpSub)
+	if len(s.Ops()) != 2 {
+		t.Errorf("duplicate ops not removed: %v", s.Ops())
+	}
+}
+
+func TestOpByName(t *testing.T) {
+	for _, name := range []string{"addq", "orq", "notq", "and", "shl", "sextbq", "addl"} {
+		op, ok := OpByName(name)
+		if !ok {
+			t.Errorf("OpByName(%q) not found", name)
+			continue
+		}
+		if op.String() != name {
+			t.Errorf("OpByName(%q).String() = %q", name, op.String())
+		}
+	}
+	if _, ok := OpByName("nope"); ok {
+		t.Error("OpByName accepted an unknown name")
+	}
+}
+
+func TestOpArityConsistency(t *testing.T) {
+	// Every instruction opcode must have arity 1 or 2 and a nonempty
+	// distinct name.
+	names := map[string]Op{}
+	for op := Op(1); int(op) < NumOps; op++ {
+		name := op.String()
+		if name == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+		if prev, dup := names[name]; dup {
+			t.Errorf("ops %d and %d share name %q", prev, op, name)
+		}
+		names[name] = op
+		if op.IsInstruction() {
+			if a := op.Arity(); a < 1 || a > MaxArity {
+				t.Errorf("instruction %s has arity %d", op, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package prog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxBody is the maximum number of body nodes (instructions and
+// constants) in a program, the size limit of Section 3.2. Moves that
+// would grow a program past this limit are rejected, which bounds the
+// per-iteration evaluation cost of the search.
+const MaxBody = 16
+
+// MaxInputs is the maximum number of program inputs. Input nodes are
+// permanent — one per input, always present so that moves can wire
+// operands to them — and do not count against MaxBody.
+const MaxInputs = 8
+
+// MaxNodes bounds the total node count (inputs plus body); fixed-size
+// scratch buffers are dimensioned by it.
+const MaxNodes = MaxInputs + MaxBody
+
+// maxTransient bounds the node count of programs under construction by
+// the parser, which may briefly exceed MaxBody before unused bindings
+// are collected; the graph algorithms size their scratch space for it.
+const maxTransient = 64
+
+// Node is one vertex of the dataflow graph. For instruction nodes the
+// first Op.Arity() entries of Args index the argument nodes; for
+// OpInput nodes Val is the input index; for OpConst nodes Val is the
+// constant value.
+type Node struct {
+	Op   Op
+	Args [MaxArity]int32
+	Val  uint64
+}
+
+// Program is a rooted dataflow DAG. The first NumInputs entries of
+// Nodes are the permanent input nodes (input i at index i); the
+// remaining body nodes (instructions and constants) are stored in
+// arbitrary order. Root indexes the node whose value is the program's
+// result. The exported invariants (checked by Validate) are:
+//
+//   - Nodes begins with the NumInputs input nodes in order,
+//   - the body holds between 1 and MaxBody nodes,
+//   - the graph is acyclic,
+//   - every body node is reachable from the root (no dead code;
+//     input nodes are exempt so that moves can always wire to them),
+//   - argument indices are in range and argument counts match arity.
+//
+// Programs are mutable; the search mutates a scratch copy and swaps it
+// in on acceptance.
+type Program struct {
+	Nodes     []Node
+	Root      int32
+	NumInputs int
+
+	// order caches a topological order (arguments before users),
+	// recomputed lazily after structural changes. A nil slice means
+	// the cache is invalid.
+	order []int32
+}
+
+// newBase returns a program containing only the permanent input nodes.
+func newBase(numInputs int) *Program {
+	if numInputs < 0 || numInputs > MaxInputs {
+		panic("prog: input count out of range")
+	}
+	p := &Program{NumInputs: numInputs}
+	for i := 0; i < numInputs; i++ {
+		p.Nodes = append(p.Nodes, Node{Op: OpInput, Val: uint64(i)})
+	}
+	return p
+}
+
+// NewZero returns the constant-zero program with the given number of
+// inputs; this is the initial state of every search.
+func NewZero(numInputs int) *Program { return NewConst(numInputs, 0) }
+
+// NewConst returns the program computing the constant v.
+func NewConst(numInputs int, v uint64) *Program {
+	p := newBase(numInputs)
+	p.Nodes = append(p.Nodes, Node{Op: OpConst, Val: v})
+	p.Root = int32(len(p.Nodes) - 1)
+	return p
+}
+
+// NewInput returns the identity program over input i: the input node
+// as root with an empty body.
+func NewInput(numInputs, i int) *Program {
+	if i < 0 || i >= numInputs {
+		panic("prog: input index out of range")
+	}
+	p := newBase(numInputs)
+	p.Root = int32(i)
+	return p
+}
+
+// Len returns the total number of nodes, inputs included.
+func (p *Program) Len() int { return len(p.Nodes) }
+
+// BodyLen returns the number of body nodes (instructions and
+// constants), the count limited by MaxBody.
+func (p *Program) BodyLen() int { return len(p.Nodes) - p.NumInputs }
+
+// Clone returns a deep copy of p.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Nodes:     append([]Node(nil), p.Nodes...),
+		Root:      p.Root,
+		NumInputs: p.NumInputs,
+	}
+	if p.order != nil {
+		q.order = append([]int32(nil), p.order...)
+	}
+	return q
+}
+
+// CopyFrom overwrites p with the contents of src, reusing p's backing
+// storage. It is the allocation-free analogue of Clone used by the
+// search's double-buffered proposal loop.
+func (p *Program) CopyFrom(src *Program) {
+	p.Nodes = append(p.Nodes[:0], src.Nodes...)
+	p.Root = src.Root
+	p.NumInputs = src.NumInputs
+	if src.order != nil {
+		p.order = append(p.order[:0], src.order...)
+	} else {
+		p.order = p.order[:0]
+		p.order = nil
+	}
+}
+
+// Invalidate drops the cached topological order. Mutators must call it
+// after any structural change.
+func (p *Program) Invalidate() { p.order = nil }
+
+// TopoOrder returns a topological order of the node indices with
+// arguments ordered before their users. The returned slice is owned by
+// p and valid until the next structural change. It panics if the graph
+// contains a cycle (which Validate reports as an error instead).
+func (p *Program) TopoOrder() []int32 {
+	if p.order != nil {
+		return p.order
+	}
+	// With at most MaxNodes (16) nodes, a quadratic ready-scan is both
+	// simpler and faster than Kahn's algorithm, and allocation-free
+	// once the order slice has been grown.
+	n := len(p.Nodes)
+	order := p.order
+	if cap(order) < n {
+		order = make([]int32, 0, MaxNodes)
+	}
+	order = order[:0]
+	var placed uint64 // bitmask of nodes already in the order
+	for len(order) < n {
+		progress := false
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if placed&bit != 0 {
+				continue
+			}
+			nd := &p.Nodes[i]
+			ready := true
+			for a := 0; a < nd.Op.Arity(); a++ {
+				if placed&(uint64(1)<<uint(nd.Args[a])) == 0 {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				order = append(order, int32(i))
+				placed |= bit
+				progress = true
+			}
+		}
+		if !progress {
+			panic("prog: cycle in program graph")
+		}
+	}
+	p.order = order
+	return order
+}
+
+// Eval evaluates the program on one input vector, writing every node's
+// value into vals (which must have length >= Len()) and returning the
+// root value. It performs no heap allocation once the topological
+// order is cached.
+func (p *Program) Eval(inputs []uint64, vals []uint64) uint64 {
+	order := p.TopoOrder()
+	for _, i := range order {
+		nd := &p.Nodes[i]
+		switch nd.Op {
+		case OpInput:
+			vals[i] = inputs[nd.Val]
+		case OpConst:
+			vals[i] = nd.Val
+		default:
+			var a, b uint64
+			a = vals[nd.Args[0]]
+			if nd.Op.Arity() == 2 {
+				b = vals[nd.Args[1]]
+			}
+			vals[i] = evalOp(nd.Op, a, b)
+		}
+	}
+	return vals[p.Root]
+}
+
+// Output evaluates the program on one input vector and returns only
+// the root value, allocating a scratch buffer internally. Convenient
+// for non-hot-path callers.
+func (p *Program) Output(inputs []uint64) uint64 {
+	var vals [MaxNodes]uint64
+	return p.Eval(inputs, vals[:])
+}
+
+// Reachable computes the set of nodes reachable from the root as a
+// bitmask (bit i set means node i is reachable).
+func (p *Program) Reachable() uint64 {
+	return p.reachableFrom(p.Root)
+}
+
+// reachableFrom computes the set of nodes reachable from start
+// (inclusive) following argument edges, as a bitmask.
+func (p *Program) reachableFrom(start int32) uint64 {
+	var mask uint64
+	var stack [maxTransient]int32
+	sp := 0
+	stack[sp] = start
+	sp++
+	for sp > 0 {
+		sp--
+		v := stack[sp]
+		bit := uint64(1) << uint(v)
+		if mask&bit != 0 {
+			continue
+		}
+		mask |= bit
+		nd := &p.Nodes[v]
+		for a := 0; a < nd.Op.Arity(); a++ {
+			stack[sp] = nd.Args[a]
+			sp++
+		}
+	}
+	return mask
+}
+
+// ReachesFrom reports whether node to is reachable from node from by
+// following argument edges (including from == to). Redirecting an
+// argument of node u to point at node v creates a cycle exactly when u
+// is reachable from v.
+func (p *Program) ReachesFrom(from, to int32) bool {
+	return p.reachableFrom(from)&(uint64(1)<<uint(to)) != 0
+}
+
+// GC removes body nodes unreachable from the root, compacting Nodes
+// and remapping indices; the permanent input nodes are always kept. It
+// returns the number of nodes removed. Mutators call it after
+// redirecting edges so the no-dead-code invariant holds.
+func (p *Program) GC() int {
+	mask := p.Reachable()
+	n := len(p.Nodes)
+	full := (uint64(1) << uint(n)) - 1
+	inputMask := (uint64(1) << uint(p.NumInputs)) - 1
+	mask |= inputMask // inputs are permanent
+	if mask == full {
+		return 0
+	}
+	var remap [maxTransient]int32
+	w := 0
+	for i := 0; i < n; i++ {
+		if mask&(uint64(1)<<uint(i)) != 0 {
+			remap[i] = int32(w)
+			p.Nodes[w] = p.Nodes[i]
+			w++
+		} else {
+			remap[i] = -1
+		}
+	}
+	removed := n - w
+	p.Nodes = p.Nodes[:w]
+	for i := 0; i < w; i++ {
+		nd := &p.Nodes[i]
+		for a := 0; a < nd.Op.Arity(); a++ {
+			nd.Args[a] = remap[nd.Args[a]]
+		}
+	}
+	p.Root = remap[p.Root]
+	p.Invalidate()
+	return removed
+}
+
+// Validate checks all structural invariants and returns a descriptive
+// error for the first violation found.
+func (p *Program) Validate() error {
+	n := len(p.Nodes)
+	if p.NumInputs < 0 || p.NumInputs > MaxInputs {
+		return fmt.Errorf("prog: input count %d out of range [0, %d]", p.NumInputs, MaxInputs)
+	}
+	if n < p.NumInputs {
+		return errors.New("prog: missing permanent input nodes")
+	}
+	if body := n - p.NumInputs; body > MaxBody {
+		return fmt.Errorf("prog: %d body nodes exceeds limit %d", body, MaxBody)
+	}
+	if p.Root < 0 || int(p.Root) >= n {
+		return fmt.Errorf("prog: root index %d out of range", p.Root)
+	}
+	for i, nd := range p.Nodes {
+		switch {
+		case i < p.NumInputs:
+			if nd.Op != OpInput || nd.Val != uint64(i) {
+				return fmt.Errorf("prog: node %d must be the permanent input %d node", i, i)
+			}
+			continue
+		case nd.Op == OpInput:
+			return fmt.Errorf("prog: body node %d duplicates input %d", i, nd.Val)
+		case nd.Op == OpInvalid || int(nd.Op) >= NumOps:
+			return fmt.Errorf("prog: node %d has invalid opcode %d", i, nd.Op)
+		}
+		for a := 0; a < nd.Op.Arity(); a++ {
+			if nd.Args[a] < 0 || int(nd.Args[a]) >= n {
+				return fmt.Errorf("prog: node %d argument %d index %d out of range", i, a, nd.Args[a])
+			}
+		}
+	}
+	// Acyclicity: topological sort must cover all nodes.
+	if err := p.checkAcyclic(); err != nil {
+		return err
+	}
+	// No dead code among body nodes.
+	mask := p.Reachable() | (uint64(1)<<uint(p.NumInputs) - 1)
+	if full := (uint64(1) << uint(n)) - 1; mask != full {
+		return fmt.Errorf("prog: dead body nodes present (reachable mask %#x of %#x)", mask, full)
+	}
+	return nil
+}
+
+// checkAcyclic is a non-panicking cycle check.
+func (p *Program) checkAcyclic() error {
+	n := len(p.Nodes)
+	var state [maxTransient]uint8 // 0 unvisited, 1 on stack, 2 done
+	var visit func(int32) error
+	visit = func(v int32) error {
+		switch state[v] {
+		case 1:
+			return fmt.Errorf("prog: cycle through node %d", v)
+		case 2:
+			return nil
+		}
+		state[v] = 1
+		nd := &p.Nodes[v]
+		for a := 0; a < nd.Op.Arity(); a++ {
+			if err := visit(nd.Args[a]); err != nil {
+				return err
+			}
+		}
+		state[v] = 2
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := visit(int32(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Equal reports structural equality of two programs (same nodes in the
+// same order with the same root). Semantically equal programs may
+// compare unequal; use Canon for a structure-insensitive key.
+func (p *Program) Equal(q *Program) bool {
+	if p.Root != q.Root || p.NumInputs != q.NumInputs || len(p.Nodes) != len(q.Nodes) {
+		return false
+	}
+	for i := range p.Nodes {
+		a, b := p.Nodes[i], q.Nodes[i]
+		if a.Op != b.Op || a.Val != b.Val {
+			return false
+		}
+		for k := 0; k < a.Op.Arity(); k++ {
+			if a.Args[k] != b.Args[k] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,206 @@
+package restart
+
+import (
+	"sort"
+	"testing"
+
+	"stochsyn/internal/search"
+)
+
+// countingFactory records how many searches were created and their
+// total run lengths.
+type countingFactory struct {
+	searches []*fakeSearch
+	finishAt func(id uint64) int64
+	costOf   func(id uint64) float64
+}
+
+func (c *countingFactory) factory() search.Factory {
+	return func(id uint64) search.Search {
+		fs := &fakeSearch{finishAt: c.finishAt(id), cost: c.costOf(id)}
+		c.searches = append(c.searches, fs)
+		return fs
+	}
+}
+
+func TestParallelLubyMatchesSequentialSchedule(t *testing.T) {
+	// With searches that never finish, after the budget is consumed
+	// the multiset of per-search runtimes must equal the sequential
+	// Luby schedule's (t0 * Luby(i) for the completed prefix).
+	cf := &countingFactory{
+		finishAt: func(uint64) int64 { return -1 },
+		costOf:   func(uint64) float64 { return 10 },
+	}
+	t0 := int64(10)
+	// Budget for exactly the first 3 doublings: sequential Luby visits
+	// 1,1,2 then 1,1,2,4 ... choose the total of L2 = <1,1,2,1,1,2,4>:
+	// 12 units * 10 = 120.
+	res := NewParallelLuby(t0).Run(cf.factory(), 120)
+	if res.Solved {
+		t.Fatal("unsolvable searches solved")
+	}
+	if res.Iterations != 120 {
+		t.Fatalf("consumed %d of 120", res.Iterations)
+	}
+	var got []int64
+	for _, s := range cf.searches {
+		got = append(got, s.ran)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	// Sequential Luby with 120 units: cutoffs 10,10,20,10,10,20,40 ->
+	// sorted 10,10,10,10,20,20,40.
+	want := []int64{10, 10, 10, 10, 20, 20, 40}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d searches, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("runtime multiset %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAdaptiveFindsFastSearch(t *testing.T) {
+	// Search id 3 finishes quickly; others never do.
+	cf := &countingFactory{
+		finishAt: func(id uint64) int64 {
+			if id == 3 {
+				return 25
+			}
+			return -1
+		},
+		costOf: func(uint64) float64 { return 10 },
+	}
+	res := NewAdaptive(10).Run(cf.factory(), 10_000)
+	if !res.Solved {
+		t.Fatal("adaptive never finished the fast search")
+	}
+}
+
+func TestAdaptivePrioritizesLowCost(t *testing.T) {
+	// Two kinds of searches: "promising" ones with low cost that
+	// finish after 200 more iterations, and high-cost ones that never
+	// finish. The adaptive algorithm should finish sooner than
+	// parallel Luby because it promotes the promising searches into
+	// big allocations.
+	newFactory := func() search.Factory {
+		return func(id uint64) search.Search {
+			if id%4 == 1 {
+				return &fakeSearch{finishAt: 200, cost: 1}
+			}
+			return &fakeSearch{finishAt: -1, cost: 100}
+		}
+	}
+	adaptive := NewAdaptive(10).Run(newFactory(), 100_000)
+	pluby := NewParallelLuby(10).Run(newFactory(), 100_000)
+	if !adaptive.Solved || !pluby.Solved {
+		t.Fatalf("adaptive solved=%v, pluby solved=%v", adaptive.Solved, pluby.Solved)
+	}
+	if adaptive.Iterations >= pluby.Iterations {
+		t.Errorf("adaptive (%d iters) not faster than parallel luby (%d iters)",
+			adaptive.Iterations, pluby.Iterations)
+	}
+}
+
+func TestAdaptiveMisledByWrongCosts(t *testing.T) {
+	// Reversed correlation (the Figure 10(b) situation): the quick
+	// finishers carry HIGH cost, while low-cost searches take 100x
+	// longer. The adaptive algorithm pours iterations into the
+	// misleading low-cost searches and mostly ends up finishing one of
+	// THOSE, well after parallel Luby (which ignores costs) has hit a
+	// quick finisher.
+	newFactory := func() search.Factory {
+		return func(id uint64) search.Search {
+			if id%2 == 1 {
+				return &fakeSearch{finishAt: 60, cost: 100}
+			}
+			return &fakeSearch{finishAt: 6000, cost: 1}
+		}
+	}
+	adaptive := NewAdaptive(10).Run(newFactory(), 2_000_000)
+	pluby := NewParallelLuby(10).Run(newFactory(), 2_000_000)
+	if !adaptive.Solved || !pluby.Solved {
+		t.Fatalf("adaptive solved=%v, pluby solved=%v", adaptive.Solved, pluby.Solved)
+	}
+	if adaptive.Iterations <= pluby.Iterations {
+		t.Errorf("expected adaptive (%d) to be slower than parallel luby (%d) under reversed costs",
+			adaptive.Iterations, pluby.Iterations)
+	}
+}
+
+func TestTreeRespectsBudget(t *testing.T) {
+	for _, budget := range []int64{1, 7, 100, 12345} {
+		res := NewAdaptive(10).Run(fixedFactory(-1), budget)
+		if res.Iterations > budget {
+			t.Errorf("budget %d exceeded: %d", budget, res.Iterations)
+		}
+		if res.Solved {
+			t.Error("unsolvable factory solved")
+		}
+	}
+}
+
+func TestTreeNames(t *testing.T) {
+	if got := NewAdaptive(10).Name(); got != "adaptive" {
+		t.Errorf("adaptive name = %q", got)
+	}
+	if got := NewParallelLuby(10).Name(); got != "pluby" {
+		t.Errorf("parallel luby name = %q", got)
+	}
+}
+
+func TestTreeGrowth(t *testing.T) {
+	// After a large budget the number of searches should grow roughly
+	// like the sequential algorithm's search count (powers of two per
+	// doubling), not explode or stall.
+	cf := &countingFactory{
+		finishAt: func(uint64) int64 { return -1 },
+		costOf:   func(uint64) float64 { return 10 },
+	}
+	NewParallelLuby(1).Run(cf.factory(), 1<<14)
+	n := len(cf.searches)
+	// With budget 2^14 and t0=1 the doubling count is ~10, so the tree
+	// has between 2^9 and 2^13 nodes.
+	if n < 1<<9 || n > 1<<13 {
+		t.Errorf("tree grew to %d searches", n)
+	}
+}
+
+func TestTreeMaxSearches(t *testing.T) {
+	cf := &countingFactory{
+		finishAt: func(uint64) int64 { return -1 },
+		costOf:   func(uint64) float64 { return 10 },
+	}
+	strat := &Tree{T0: 1, Adaptive: true, MaxSearches: 16}
+	res := strat.Run(cf.factory(), 1<<14)
+	if res.Searches > 16 {
+		t.Errorf("cap ignored: %d searches", res.Searches)
+	}
+	if res.Iterations != 1<<14 {
+		t.Errorf("budget not fully consumed: %d", res.Iterations)
+	}
+	// Existing searches must keep accumulating time after the cap.
+	var maxRan int64
+	for _, s := range cf.searches {
+		if s.ran > maxRan {
+			maxRan = s.ran
+		}
+	}
+	if maxRan < 1<<10 {
+		t.Errorf("capped tree stopped growing allocations: max ran %d", maxRan)
+	}
+}
+
+func TestRegistrySearchCap(t *testing.T) {
+	s := MustNew("adaptive:10:32").(*Tree)
+	if s.T0 != 10 || !s.Adaptive || s.MaxSearches != 32 {
+		t.Errorf("spec parsed wrong: %+v", s)
+	}
+	p := MustNew("pluby:10:32").(*Tree)
+	if p.MaxSearches != 32 || p.Adaptive {
+		t.Errorf("pluby spec parsed wrong: %+v", p)
+	}
+	if _, err := New("adaptive:10:x"); err == nil {
+		t.Error("bad cap accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package restart
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DefaultT0 is the default base cutoff, in iterations, for the Luby
+// and tree strategies. The paper does not fix t0; anything small
+// relative to typical synthesis times works because the Luby schedule
+// rescales itself, and this default keeps the doubling tree's memory
+// footprint modest at our budgets.
+const DefaultT0 = 1000
+
+// New constructs a strategy from a textual spec. Recognized forms:
+//
+//	naive
+//	luby | luby:<t0>
+//	adaptive | adaptive:<t0> | adaptive:<t0>:<maxSearches>
+//	pluby | pluby:<t0> | pluby:<t0>:<maxSearches>
+//	fixed:<cutoff>
+//	exp:<t0>:<z>
+//	innerouter:<t0>:<z>
+//
+// It returns an error for unknown names or malformed parameters.
+func New(spec string) (Strategy, error) {
+	parts := strings.Split(spec, ":")
+	name := parts[0]
+	argInt := func(i int, def int64) (int64, error) {
+		if len(parts) <= i {
+			return def, nil
+		}
+		v, err := strconv.ParseInt(parts[i], 10, 64)
+		if err == nil && v <= 0 {
+			return 0, fmt.Errorf("must be positive, got %d", v)
+		}
+		return v, err
+	}
+	argFloat := func(i int, def float64) (float64, error) {
+		if len(parts) <= i {
+			return def, nil
+		}
+		v, err := strconv.ParseFloat(parts[i], 64)
+		if err == nil && v <= 1 {
+			return 0, fmt.Errorf("must be > 1, got %g", v)
+		}
+		return v, err
+	}
+	switch name {
+	case "naive":
+		return Naive{}, nil
+	case "luby":
+		t0, err := argInt(1, DefaultT0)
+		if err != nil {
+			return nil, fmt.Errorf("restart: bad t0 in %q: %v", spec, err)
+		}
+		return NewLuby(t0), nil
+	case "adaptive":
+		t0, err := argInt(1, DefaultT0)
+		if err != nil {
+			return nil, fmt.Errorf("restart: bad t0 in %q: %v", spec, err)
+		}
+		max, err := argInt(2, 0)
+		if err != nil {
+			return nil, fmt.Errorf("restart: bad search cap in %q: %v", spec, err)
+		}
+		return &Tree{T0: t0, Adaptive: true, MaxSearches: int(max)}, nil
+	case "pluby":
+		t0, err := argInt(1, DefaultT0)
+		if err != nil {
+			return nil, fmt.Errorf("restart: bad t0 in %q: %v", spec, err)
+		}
+		max, err := argInt(2, 0)
+		if err != nil {
+			return nil, fmt.Errorf("restart: bad search cap in %q: %v", spec, err)
+		}
+		return &Tree{T0: t0, MaxSearches: int(max)}, nil
+	case "fixed":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("restart: fixed requires a cutoff, e.g. fixed:10000")
+		}
+		cut, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil || cut <= 0 {
+			return nil, fmt.Errorf("restart: bad cutoff in %q", spec)
+		}
+		return NewFixed(cut), nil
+	case "exp":
+		t0, err := argInt(1, DefaultT0)
+		if err != nil {
+			return nil, fmt.Errorf("restart: bad t0 in %q: %v", spec, err)
+		}
+		z, err := argFloat(2, 2)
+		if err != nil {
+			return nil, fmt.Errorf("restart: bad z in %q: %v", spec, err)
+		}
+		return NewExponential(t0, z), nil
+	case "innerouter":
+		t0, err := argInt(1, DefaultT0)
+		if err != nil {
+			return nil, fmt.Errorf("restart: bad t0 in %q: %v", spec, err)
+		}
+		z, err := argFloat(2, 2)
+		if err != nil {
+			return nil, fmt.Errorf("restart: bad z in %q: %v", spec, err)
+		}
+		return NewInnerOuter(t0, z), nil
+	}
+	return nil, fmt.Errorf("restart: unknown strategy %q", name)
+}
+
+// MustNew is New for tests and internal tables; it panics on error.
+func MustNew(spec string) Strategy {
+	s, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

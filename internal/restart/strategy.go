@@ -1,0 +1,194 @@
+// Package restart implements the restart strategies of Section 5 of
+// the paper: the naive (never-restart) baseline, classic black-box
+// strategies driven by cutoff sequences (fixed optimal cutoff, the
+// Luby sequence, exponentially increasing cutoffs, and the inner-outer
+// geometric strategy of PicoSAT), the parallel reformulation of Luby
+// that keeps searches alive in a doubling tree (Figure 8), and the
+// paper's adaptive restart algorithm (Figure 9), which swaps low-cost
+// searches toward the root of the tree so the most promising runs
+// receive the largest iteration allocations.
+//
+// All strategies account their work in search-loop iterations against
+// a single global budget, the paper's hardware-independent unit.
+package restart
+
+import (
+	"fmt"
+
+	"stochsyn/internal/search"
+)
+
+// Result summarizes one strategy execution.
+type Result struct {
+	// Solved reports whether any search finished within the budget.
+	Solved bool
+	// Iterations is the total number of iterations consumed across
+	// all searches (the paper's measure of synthesis time).
+	Iterations int64
+	// Searches is the number of searches created.
+	Searches int
+	// Winner is the search that finished, or nil. Callers may
+	// type-assert it (e.g. to *search.Run) to retrieve the solution.
+	Winner search.Search
+}
+
+// Strategy drives searches created by a factory under a total
+// iteration budget and reports the outcome. Implementations must be
+// deterministic given the factory.
+type Strategy interface {
+	Name() string
+	Run(f search.Factory, budget int64) Result
+}
+
+// Naive is the baseline algorithm that never restarts: it runs a
+// single search until it completes or the budget times out.
+type Naive struct{}
+
+// Name implements Strategy.
+func (Naive) Name() string { return "naive" }
+
+// Run implements Strategy.
+func (Naive) Run(f search.Factory, budget int64) Result {
+	s := f(0)
+	used, done := s.Step(budget)
+	res := Result{Solved: done, Iterations: used, Searches: 1}
+	if done {
+		res.Winner = s
+	}
+	return res
+}
+
+// Sequential is a classic black-box restart strategy defined by a
+// cutoff sequence: search i runs for Cutoff(i) iterations (1-based)
+// and is abandoned if it has not finished.
+type Sequential struct {
+	// StrategyName names the strategy for reports.
+	StrategyName string
+	// Cutoff returns the iteration cutoff for the i-th search, i >= 1.
+	Cutoff func(i int) int64
+}
+
+// Name implements Strategy.
+func (s *Sequential) Name() string { return s.StrategyName }
+
+// Run implements Strategy.
+func (s *Sequential) Run(f search.Factory, budget int64) Result {
+	var res Result
+	for i := 1; res.Iterations < budget; i++ {
+		cut := s.Cutoff(i)
+		if remaining := budget - res.Iterations; cut > remaining {
+			cut = remaining
+		}
+		run := f(uint64(i - 1))
+		res.Searches++
+		used, done := run.Step(cut)
+		res.Iterations += used
+		if done {
+			res.Solved = true
+			res.Winner = run
+			return res
+		}
+	}
+	return res
+}
+
+// NewFixed returns the fixed-cutoff strategy: restart every cutoff
+// iterations. With the distribution-optimal cutoff t* this is the best
+// possible black-box strategy (Section 5.1).
+func NewFixed(cutoff int64) *Sequential {
+	if cutoff <= 0 {
+		panic("restart: fixed cutoff must be positive")
+	}
+	return &Sequential{
+		StrategyName: fmt.Sprintf("fixed(%d)", cutoff),
+		Cutoff:       func(int) int64 { return cutoff },
+	}
+}
+
+// NewLuby returns the classic Luby restart strategy with base cutoff
+// t0: search i runs t0 * Luby(i) iterations.
+func NewLuby(t0 int64) *Sequential {
+	if t0 <= 0 {
+		panic("restart: luby base cutoff must be positive")
+	}
+	return &Sequential{
+		StrategyName: "luby",
+		Cutoff:       func(i int) int64 { return t0 * Luby(i) },
+	}
+}
+
+// NewExponential returns the exponentially increasing cutoff strategy
+// t0 * z^k for k = 0, 1, 2, ... (Section 5.1).
+func NewExponential(t0 int64, z float64) *Sequential {
+	if t0 <= 0 || z <= 1 {
+		panic("restart: exponential strategy requires t0 > 0 and z > 1")
+	}
+	return &Sequential{
+		StrategyName: fmt.Sprintf("exp(z=%g)", z),
+		Cutoff: func(i int) int64 {
+			c := float64(t0)
+			for k := 1; k < i; k++ {
+				c *= z
+				if c > 1e18 {
+					break
+				}
+			}
+			return int64(c)
+		},
+	}
+}
+
+// NewInnerOuter returns the inner-outer geometric strategy of PicoSAT:
+// cutoffs t0 * z^k with k = 0, 1, 0, 1, 2, 0, 1, 2, 3, ...
+func NewInnerOuter(t0 int64, z float64) *Sequential {
+	if t0 <= 0 || z <= 1 {
+		panic("restart: inner-outer strategy requires t0 > 0 and z > 1")
+	}
+	return &Sequential{
+		StrategyName: fmt.Sprintf("innerouter(z=%g)", z),
+		Cutoff: func(i int) int64 {
+			k := innerOuterK(i)
+			c := float64(t0)
+			for j := 0; j < k; j++ {
+				c *= z
+				if c > 1e18 {
+					break
+				}
+			}
+			return int64(c)
+		},
+	}
+}
+
+// innerOuterK maps the 1-based search index to the exponent sequence
+// 0, 1, 0, 1, 2, 0, 1, 2, 3, ...: round r (1-based) consists of the
+// exponents 0..r.
+func innerOuterK(i int) int {
+	i-- // 0-based position
+	r := 1
+	for {
+		if i < r+1 {
+			return i
+		}
+		i -= r + 1
+		r++
+	}
+}
+
+// Luby returns the i-th element (1-based) of the Luby sequence
+// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+func Luby(i int) int64 {
+	if i < 1 {
+		panic("restart: Luby index must be >= 1")
+	}
+	// If i == 2^k - 1 the value is 2^(k-1); otherwise recurse on the
+	// position within the trailing copy of the previous block.
+	for k := 1; ; k++ {
+		if i == 1<<k-1 {
+			return int64(1) << (k - 1)
+		}
+		if i < 1<<k-1 {
+			return Luby(i - (1<<(k-1) - 1))
+		}
+	}
+}

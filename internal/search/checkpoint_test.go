@@ -1,0 +1,125 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+)
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	suite := suiteFor(t, "mulq(addq(x, 3), x)", 1, 60)
+	opts := Options{Set: prog.FullSet, Cost: cost.Hamming, Beta: 2, Seed: 42}
+
+	// Reference: run 30k iterations straight through.
+	ref := New(suite, opts)
+	refUsed, refDone := ref.Step(30_000)
+
+	// Checkpointed: run 12k, snapshot, restore into a fresh run, run
+	// the remaining 18k.
+	a := New(suite, opts)
+	a.Step(12_000)
+	var buf strings.Builder
+	if err := a.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := New(suite, opts)
+	if err := b.Restore(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	if b.Iterations() != 12_000 {
+		t.Fatalf("restored iterations = %d", b.Iterations())
+	}
+	bUsed, bDone := b.Step(18_000)
+
+	if refDone != bDone {
+		t.Fatalf("done mismatch: ref %v, resumed %v", refDone, bDone)
+	}
+	if refDone {
+		if ref.Iterations() != b.Iterations() || refUsed != 12_000+bUsed {
+			t.Fatalf("finish iteration mismatch: ref %d (+%d), resumed %d (+%d)",
+				ref.Iterations(), refUsed, b.Iterations(), bUsed)
+		}
+		if ref.Solution().String() != b.Solution().String() {
+			t.Fatalf("solutions differ:\nref:     %s\nresumed: %s", ref.Solution(), b.Solution())
+		}
+	} else {
+		if ref.Cost() != b.Cost() {
+			t.Fatalf("costs differ: ref %g, resumed %g", ref.Cost(), b.Cost())
+		}
+		if !ref.Program().Equal(b.Program()) {
+			t.Fatalf("programs differ:\nref:     %s\nresumed: %s", ref.Program(), b.Program())
+		}
+	}
+}
+
+func TestCheckpointDoneRun(t *testing.T) {
+	suite := suiteFor(t, "x", 1, 10)
+	r := New(suite, Options{Set: prog.ModelSet, Cost: cost.Hamming, Beta: 1, Seed: 2})
+	if _, done := r.Step(200_000); !done {
+		t.Skip("identity not found")
+	}
+	var buf strings.Builder
+	if err := r.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := New(suite, Options{Set: prog.ModelSet, Cost: cost.Hamming, Beta: 1, Seed: 2})
+	if err := b.Restore(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Done() || b.Solution() == nil {
+		t.Error("done state lost in checkpoint")
+	}
+	if u, d := b.Step(100); u != 0 || !d {
+		t.Error("restored done run did work")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	suite := suiteFor(t, "x", 1, 10)
+	r := New(suite, Options{Set: prog.ModelSet, Cost: cost.Hamming, Seed: 1})
+	if err := r.Restore(strings.NewReader("{bad")); err == nil {
+		t.Error("accepted malformed checkpoint")
+	}
+	if err := r.Restore(strings.NewReader(`{"version":99,"rng":""}`)); err == nil {
+		t.Error("accepted wrong version")
+	}
+	// Arity mismatch.
+	other := suiteFor(t, "addq(x, y)", 2, 10)
+	r2 := New(other, Options{Set: prog.FullSet, Cost: cost.Hamming, Seed: 1})
+	var buf strings.Builder
+	if err := r2.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Restore(strings.NewReader(buf.String())); err == nil {
+		t.Error("accepted checkpoint with wrong arity")
+	}
+}
+
+func TestCheckpointMinimizeMode(t *testing.T) {
+	suite := suiteFor(t, "mulq(x, 3)", 1, 40)
+	init := prog.MustParse("addq(addq(x, x), mulq(x, 1))", 1)
+	r := New(suite, Options{
+		Set: prog.FullSet, Cost: cost.Hamming, Beta: 1, Seed: 6,
+		Init: init, MinimizeSize: true,
+	})
+	r.Step(50_000)
+	var buf strings.Builder
+	if err := r.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := New(suite, Options{
+		Set: prog.FullSet, Cost: cost.Hamming, Beta: 1, Seed: 6,
+		Init: init, MinimizeSize: true,
+	})
+	if err := b.Restore(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	if b.Best() == nil {
+		t.Fatal("best program lost in checkpoint")
+	}
+	if b.Best().BodyLen() != r.Best().BodyLen() {
+		t.Error("best program size changed")
+	}
+}

@@ -1,0 +1,308 @@
+// Package search implements the stochastic synthesis main loop of
+// Figure 3 of the paper: a Metropolis-style search over dataflow
+// programs that proposes a random change each iteration and accepts it
+// when c' <= c - beta*ln(random(0,1)).
+//
+// The package also defines the Search interface, the minimal view of a
+// step-bounded randomized search that the restart strategies in
+// package restart schedule. Both real synthesis runs (Run) and the
+// model Markov chains of Section 5.2.1 implement it, so strategy code
+// is shared between the evaluation and the analytical experiments.
+package search
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/mutate"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/testcase"
+)
+
+// Search is one restartable randomized search. Restart strategies
+// treat searches as step-bounded processes that expose their current
+// cost; the cost is the only non-black-box information the adaptive
+// algorithm uses.
+type Search interface {
+	// Step runs at most budget iterations, returning the number
+	// actually consumed and whether the search has finished. Once
+	// finished, further Step calls consume nothing.
+	Step(budget int64) (used int64, done bool)
+	// Cost returns the current cost; zero means finished.
+	Cost() float64
+}
+
+// Factory creates independent searches. Each restart draws a fresh
+// search; id is a distinct per-search value the factory should fold
+// into its random seed.
+type Factory func(id uint64) Search
+
+// Options configures a synthesis run.
+type Options struct {
+	// Set is the instruction dialect; defaults to prog.FullSet.
+	Set *prog.OpSet
+	// Cost selects the cost function (default Hamming).
+	Cost cost.Kind
+	// Beta is the user-facing acceptance temperature, expressed
+	// relative to a 100-test-case problem; it is normalized to the
+	// suite's test count per Section 3.2. Zero means greedy
+	// (only cost-preserving or -decreasing moves are accepted).
+	Beta float64
+	// Redundancy enables the canonicalizing redundancy move of
+	// Section 4 (used with the model dialect).
+	Redundancy bool
+	// Seed seeds the search's private random stream.
+	Seed uint64
+	// TraceCosts, when true, records a thinned (iteration, cost)
+	// trace of accepted-cost changes for plateau analysis.
+	TraceCosts bool
+	// StateHook, when non-nil, is invoked with the current program
+	// after every iteration. It is used by the Markov-chain analysis;
+	// it slows the loop considerably.
+	StateHook func(p *prog.Program)
+	// Init, when non-nil, is the initial program instead of the
+	// constant zero. The benchmark pipeline's prefix-synthesizability
+	// filter uses this to start from the previous prefix's solution.
+	Init *prog.Program
+	// MinimizeSize enables superoptimization mode: the acceptance cost
+	// becomes correctness + SizeWeight*size, the search never
+	// finishes, and Best tracks the smallest correct program seen.
+	// Usually combined with Init set to a known-correct program.
+	MinimizeSize bool
+	// SizeWeight is the per-node cost in MinimizeSize mode
+	// (default 1, in the cost function's units).
+	SizeWeight float64
+	// MoveWeights optionally skews move-type selection (nil = the
+	// paper's uniform choice). Keys are mutate.Move values; moves with
+	// missing or non-positive weight are never proposed.
+	MoveWeights map[mutate.Move]float64
+}
+
+// TracePoint is one entry of a cost trace.
+type TracePoint struct {
+	Iteration int64
+	Cost      float64
+}
+
+// Run is a synthesis search over one test suite; it implements Search.
+type Run struct {
+	suite  *testcase.Suite
+	opts   Options
+	kind   cost.Kind
+	beta   float64 // normalized
+	rng    *rand.Rand
+	rngSrc *rand.PCG
+	mut    *mutate.Mutator
+
+	cur     *prog.Program
+	scratch *prog.Program
+	cost    float64 // correctness cost, plus the size term in MinimizeSize mode
+	iters   int64
+	done    bool
+	sol     *prog.Program
+
+	minimize   bool
+	sizeWeight float64
+	best       *prog.Program
+
+	stats Stats
+
+	vals  [prog.MaxNodes]uint64
+	trace []TracePoint
+	gap   int64 // minimum iteration gap between trace points
+}
+
+var _ Search = (*Run)(nil)
+
+// New creates a synthesis run for the suite. The suite must be valid
+// (see testcase.Suite.Validate); New panics otherwise since this
+// indicates a programming error in the caller.
+func New(suite *testcase.Suite, opts Options) *Run {
+	if err := suite.Validate(); err != nil {
+		panic(err)
+	}
+	if opts.Set == nil {
+		opts.Set = prog.FullSet
+	}
+	src := rand.NewPCG(opts.Seed, 0x5f3759df)
+	r := &Run{
+		suite:  suite,
+		opts:   opts,
+		kind:   opts.Cost,
+		beta:   cost.NormalizeBeta(opts.Beta, suite.Len()),
+		rng:    rand.New(src),
+		rngSrc: src,
+		mut:    mutate.New(opts.Set, suite, opts.Redundancy),
+		gap:    1,
+	}
+	if opts.MoveWeights != nil {
+		r.mut.SetWeights(opts.MoveWeights)
+	}
+	if opts.Init != nil {
+		r.cur = opts.Init.Clone()
+	} else {
+		r.cur = prog.NewZero(suite.NumInputs)
+	}
+	r.scratch = r.cur.Clone()
+	r.minimize = opts.MinimizeSize
+	r.sizeWeight = opts.SizeWeight
+	if r.minimize && r.sizeWeight <= 0 {
+		r.sizeWeight = 1
+	}
+	c := r.kind.Of(r.cur, r.suite, r.vals[:])
+	if r.minimize {
+		if c == 0 {
+			r.noteBest(r.cur)
+		}
+		r.cost = r.effective(c, r.cur)
+		r.recordTrace()
+		return r
+	}
+	r.cost = c
+	r.recordTrace()
+	if r.cost == 0 {
+		r.finish()
+	}
+	return r
+}
+
+// Step implements Search. Each loop iteration counts against the
+// budget whether or not the proposed change was valid, matching the
+// iteration counter in Figure 3.
+func (r *Run) Step(budget int64) (int64, bool) {
+	if r.done || budget <= 0 {
+		return 0, r.done
+	}
+	var used int64
+	for used < budget {
+		used++
+		r.iters++
+		r.scratch.CopyFrom(r.cur)
+		mv, ok := r.mut.Apply(r.scratch, r.rng)
+		r.stats.Proposed[mv]++
+		if ok {
+			// Draw the acceptance threshold before evaluating so the
+			// cost computation can abort early (exactly) once the
+			// partial sum exceeds it. In minimize mode the size term
+			// is known up front, so it tightens the correctness bound.
+			bound := r.threshold()
+			if r.minimize {
+				bound -= r.sizeWeight * float64(r.scratch.BodyLen())
+			}
+			c := r.kind.OfBounded(r.scratch, r.suite, r.vals[:], bound)
+			if c <= bound {
+				r.stats.Accepted[mv]++
+				r.cur, r.scratch = r.scratch, r.cur
+				eff := c
+				if r.minimize {
+					eff = r.effective(c, r.cur)
+					if c == 0 {
+						r.noteBest(r.cur)
+					}
+				}
+				if eff != r.cost {
+					r.cost = eff
+					r.recordTrace()
+				}
+				if c == 0 && !r.minimize {
+					r.finish()
+					if r.opts.StateHook != nil {
+						r.opts.StateHook(r.cur)
+					}
+					return used, true
+				}
+			}
+		}
+		if r.opts.StateHook != nil {
+			r.opts.StateHook(r.cur)
+		}
+	}
+	return used, false
+}
+
+// threshold draws the acceptance threshold c - beta*ln(U) with U
+// uniform on (0, 1] (Figure 3, line 8). A proposal with cost c' is
+// accepted iff c' <= threshold; since -ln(U) >= 0, cost-preserving and
+// cost-decreasing proposals are always accepted, and with beta == 0
+// nothing else is.
+func (r *Run) threshold() float64 {
+	if r.beta == 0 {
+		return r.cost
+	}
+	u := 1 - r.rng.Float64() // (0, 1]
+	return r.cost - r.beta*math.Log(u)
+}
+
+func (r *Run) finish() {
+	r.done = true
+	r.sol = r.cur.Clone()
+}
+
+// recordTrace appends a trace point, thinning the trace by doubling
+// the minimum recording gap whenever it grows past a bound so that
+// arbitrarily long runs keep bounded memory.
+func (r *Run) recordTrace() {
+	if !r.opts.TraceCosts {
+		return
+	}
+	const maxTrace = 4096
+	if n := len(r.trace); n > 0 && r.iters-r.trace[n-1].Iteration < r.gap {
+		// Overwrite the most recent point so the trace always ends
+		// with the latest cost.
+		r.trace[n-1] = TracePoint{Iteration: r.iters, Cost: r.cost}
+		return
+	}
+	r.trace = append(r.trace, TracePoint{Iteration: r.iters, Cost: r.cost})
+	if len(r.trace) >= maxTrace {
+		w := 0
+		for i := 0; i < len(r.trace); i += 2 {
+			r.trace[w] = r.trace[i]
+			w++
+		}
+		r.trace = r.trace[:w]
+		r.gap *= 2
+	}
+}
+
+// Cost implements Search.
+func (r *Run) Cost() float64 { return r.cost }
+
+// Done reports whether the search found a solution.
+func (r *Run) Done() bool { return r.done }
+
+// Iterations returns the number of iterations executed so far.
+func (r *Run) Iterations() int64 { return r.iters }
+
+// Program returns the current program. The caller must not mutate it.
+func (r *Run) Program() *prog.Program { return r.cur }
+
+// Solution returns the zero-cost program found, or nil if the search
+// has not finished.
+func (r *Run) Solution() *prog.Program { return r.sol }
+
+// Trace returns the recorded cost trace (nil unless TraceCosts).
+func (r *Run) Trace() []TracePoint { return r.trace }
+
+// Suite returns the suite the run synthesizes against.
+func (r *Run) Suite() *testcase.Suite { return r.suite }
+
+// NewFactory returns a Factory producing independent runs of the same
+// problem and options, folding the per-search id into the seed.
+func NewFactory(suite *testcase.Suite, opts Options) Factory {
+	base := opts.Seed
+	return func(id uint64) Search {
+		o := opts
+		o.Seed = base ^ (id+1)*0x9e3779b97f4a7c15
+		return New(suite, o)
+	}
+}
+
+// RunToCompletion drives a single search until it finishes or the
+// budget is exhausted, returning the iterations consumed and whether
+// it finished. This is the "naive" algorithm when given the full
+// budget.
+func RunToCompletion(s Search, budget int64) (int64, bool) {
+	used, done := s.Step(budget)
+	return used, done
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// OptimalCutoff estimates the distribution-optimal fixed restart
+// cutoff t* of Section 5.1 of the paper (after Luby, Sinclair, and
+// Zuckerman): for a restart-every-t strategy over a run-time
+// distribution with CDF F, the expected total time is
+//
+//	E[T_t] = ( E[min(T, t)] ) / F(t)
+//	       = ( sum_{x_i <= t} x_i + (n - k) * t ) / k          (empirical)
+//
+// where k is the number of samples at or below t. The optimum over t
+// is attained at one of the sample points, so the estimator evaluates
+// the formula at each sorted sample and returns the minimizing cutoff
+// and its expected total time.
+//
+// To avoid the selection bias of minimizing over very noisy
+// small-sample candidates (which would spuriously suggest tiny cutoffs
+// even for memoryless distributions, where restarts cannot help),
+// cutoffs with fewer than max(5, n/50) samples at or below them are
+// not considered.
+//
+// times must be the observed completion times of *finished* runs; the
+// estimate is only meaningful when the sample is not heavily censored.
+// NaN/NaN is returned for an empty sample.
+func OptimalCutoff(times []float64) (cutoff, expected float64) {
+	if len(times) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	s := append([]float64(nil), times...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	minK := len(s) / 50
+	if minK < 5 {
+		minK = 5
+	}
+	if minK > len(s) {
+		minK = len(s)
+	}
+	bestT, bestE := s[len(s)-1], math.Inf(1)
+	prefix := 0.0
+	for i, t := range s {
+		prefix += t
+		if i+1 < minK {
+			continue
+		}
+		k := float64(i + 1)
+		e := (prefix + (n-k)*t) / k
+		if e < bestE {
+			bestE, bestT = e, t
+		}
+	}
+	return bestT, bestE
+}
+
+// RestartExpectation evaluates the empirical expected total time of a
+// restart-every-cutoff strategy over observed completion times,
+// returning +Inf when no sample finishes within the cutoff.
+func RestartExpectation(times []float64, cutoff float64) float64 {
+	if len(times) == 0 {
+		return math.NaN()
+	}
+	var within, sum float64
+	for _, t := range times {
+		if t <= cutoff {
+			within++
+			sum += t
+		} else {
+			sum += cutoff
+		}
+	}
+	if within == 0 {
+		return math.Inf(1)
+	}
+	return sum / within
+}

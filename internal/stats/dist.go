@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist is a continuous(ized) distribution of synthesis times. The
+// paper analyzes three families: geometric (single dominant plateau),
+// gamma (a path of comparable plateaus), and log-normal (a mixture of
+// paths whose means vary over orders of magnitude).
+type Dist interface {
+	// Name identifies the family.
+	Name() string
+	// CDF returns P[X <= x].
+	CDF(x float64) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+	// String renders the family with its parameters.
+	String() string
+}
+
+// Geometric models the time to leave a single dominant plateau with
+// per-iteration exit probability P. For the iteration counts involved
+// it is treated continuously (support x >= 0).
+type Geometric struct{ P float64 }
+
+// Name implements Dist.
+func (Geometric) Name() string { return "geometric" }
+
+// CDF implements Dist: P[X <= x] = 1 - (1-p)^x.
+func (g Geometric) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return 1 - math.Exp(x*math.Log1p(-g.P))
+}
+
+// Mean implements Dist.
+func (g Geometric) Mean() float64 { return 1 / g.P }
+
+func (g Geometric) String() string { return fmt.Sprintf("geometric(p=%.3g)", g.P) }
+
+// FitGeometric fits by MLE: p = 1/mean.
+func FitGeometric(xs []float64) Geometric {
+	m := Mean(xs)
+	if m < 1 {
+		m = 1
+	}
+	return Geometric{P: 1 / m}
+}
+
+// LogNormal is the log-normal distribution with location Mu and scale
+// Sigma of the underlying normal.
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Name implements Dist.
+func (LogNormal) Name() string { return "lognormal" }
+
+// CDF implements Dist.
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * math.Erfc(-(math.Log(x)-l.Mu)/(l.Sigma*math.Sqrt2))
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+func (l LogNormal) String() string {
+	return fmt.Sprintf("lognormal(mu=%.3g, sigma=%.3g)", l.Mu, l.Sigma)
+}
+
+// FitLogNormal fits by MLE on the logs of the (positive) samples.
+func FitLogNormal(xs []float64) LogNormal {
+	logs := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			logs = append(logs, math.Log(x))
+		}
+	}
+	sigma := StdDev(logs)
+	if math.IsNaN(sigma) || sigma == 0 {
+		sigma = 1e-9
+	}
+	return LogNormal{Mu: Mean(logs), Sigma: sigma}
+}
+
+// Gamma is the gamma distribution with shape K and scale Theta; a sum
+// of comparable geometric plateau times is approximately gamma.
+type Gamma struct{ K, Theta float64 }
+
+// Name implements Dist.
+func (Gamma) Name() string { return "gamma" }
+
+// CDF implements Dist: the regularized lower incomplete gamma
+// P(k, x/theta).
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGamma(g.K, x/g.Theta)
+}
+
+// Mean implements Dist.
+func (g Gamma) Mean() float64 { return g.K * g.Theta }
+
+func (g Gamma) String() string { return fmt.Sprintf("gamma(k=%.3g, theta=%.3g)", g.K, g.Theta) }
+
+// FitGamma fits by the method of moments: k = mean^2/var,
+// theta = var/mean. (Moment fitting is standard for gamma when a
+// closed-form MLE is unavailable; it suffices for the family census of
+// Figure 6.)
+func FitGamma(xs []float64) Gamma {
+	m := Mean(xs)
+	v := Variance(xs)
+	if !(v > 0) || !(m > 0) {
+		return Gamma{K: 1, Theta: math.Max(m, 1)}
+	}
+	return Gamma{K: m * m / v, Theta: v / m}
+}
+
+// regIncGamma computes the regularized lower incomplete gamma function
+// P(a, x) using the series expansion for x < a+1 and the continued
+// fraction for x >= a+1 (Numerical Recipes gammp).
+func regIncGamma(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series representation.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-12 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	}
+	// Continued fraction for Q(a, x); P = 1 - Q.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-12 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lg) * h
+	return 1 - q
+}
+
+// KSDistance returns the Kolmogorov-Smirnov statistic between the
+// empirical distribution of xs and d: the maximum absolute difference
+// between the empirical CDF and d's CDF.
+func KSDistance(xs []float64, d Dist) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	maxD := 0.0
+	for i, x := range s {
+		f := d.CDF(x)
+		lo := math.Abs(f - float64(i)/n)
+		hi := math.Abs(f - float64(i+1)/n)
+		if lo > maxD {
+			maxD = lo
+		}
+		if hi > maxD {
+			maxD = hi
+		}
+	}
+	return maxD
+}
+
+// Fit is the result of fitting one family to a sample.
+type Fit struct {
+	Dist Dist
+	KS   float64
+}
+
+// FitAll fits the geometric, gamma, and log-normal families to xs and
+// returns the fits sorted by ascending KS distance; the first entry is
+// the best fit. This is the census run for Figure 6.
+func FitAll(xs []float64) []Fit {
+	fits := []Fit{
+		{Dist: FitGeometric(xs)},
+		{Dist: FitGamma(xs)},
+		{Dist: FitLogNormal(xs)},
+	}
+	for i := range fits {
+		fits[i].KS = KSDistance(xs, fits[i].Dist)
+	}
+	sort.Slice(fits, func(i, j int) bool { return fits[i].KS < fits[j].KS })
+	return fits
+}
+
+// BestFit returns the family with the smallest KS distance.
+func BestFit(xs []float64) Fit { return FitAll(xs)[0] }

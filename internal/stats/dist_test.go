@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// sampleGeometric draws from a geometric distribution with success
+// probability p (continuous inverse-CDF approximation).
+func sampleGeometric(rng *rand.Rand, p float64) float64 {
+	return math.Log(1-rng.Float64()) / math.Log1p(-p)
+}
+
+// sampleLogNormal draws from a log-normal.
+func sampleLogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}
+
+// sampleGamma draws from a gamma with integer shape (sum of
+// exponentials).
+func sampleGamma(rng *rand.Rand, k int, theta float64) float64 {
+	s := 0.0
+	for i := 0; i < k; i++ {
+		s += -math.Log(1-rng.Float64()) * theta
+	}
+	return s
+}
+
+func TestGeometricBasics(t *testing.T) {
+	g := Geometric{P: 0.01}
+	if !almostEqual(g.Mean(), 100, 1e-9) {
+		t.Errorf("Mean = %g, want 100", g.Mean())
+	}
+	if g.CDF(-1) != 0 {
+		t.Error("CDF(-1) != 0")
+	}
+	if got := g.CDF(math.Inf(1)); got != 1 {
+		t.Errorf("CDF(inf) = %g", got)
+	}
+	// CDF(mean) = 1 - (1-p)^(1/p) ~ 1 - 1/e.
+	if got := g.CDF(100); !almostEqual(got, 1-math.Pow(0.99, 100), 1e-9) {
+		t.Errorf("CDF(100) = %g", got)
+	}
+}
+
+func TestLogNormalBasics(t *testing.T) {
+	l := LogNormal{Mu: 0, Sigma: 1}
+	if got := l.CDF(1); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("CDF(median) = %g, want 0.5", got)
+	}
+	if l.CDF(0) != 0 || l.CDF(-5) != 0 {
+		t.Error("CDF must be 0 for non-positive x")
+	}
+	if got := l.Mean(); !almostEqual(got, math.Exp(0.5), 1e-12) {
+		t.Errorf("Mean = %g, want e^0.5", got)
+	}
+}
+
+func TestGammaBasics(t *testing.T) {
+	g := Gamma{K: 1, Theta: 10} // exponential with mean 10
+	if got := g.Mean(); got != 10 {
+		t.Errorf("Mean = %g, want 10", got)
+	}
+	// Exponential CDF check: 1 - e^(-x/theta).
+	for _, x := range []float64{1, 5, 10, 50} {
+		want := 1 - math.Exp(-x/10)
+		if got := g.CDF(x); !almostEqual(got, want, 1e-9) {
+			t.Errorf("CDF(%g) = %g, want %g", x, got, want)
+		}
+	}
+	// Shape 3 at its mean should be near 0.58.
+	g3 := Gamma{K: 3, Theta: 1}
+	if got := g3.CDF(3); !almostEqual(got, 0.5768, 1e-3) {
+		t.Errorf("gamma(3).CDF(3) = %g, want ~0.577", got)
+	}
+}
+
+func TestPropertyCDFMonotone(t *testing.T) {
+	dists := []Dist{
+		Geometric{P: 0.02},
+		LogNormal{Mu: 3, Sigma: 1.5},
+		Gamma{K: 2.5, Theta: 40},
+	}
+	f := func(aRaw, bRaw uint32) bool {
+		a := float64(aRaw) / 1000
+		b := float64(bRaw) / 1000
+		if a > b {
+			a, b = b, a
+		}
+		for _, d := range dists {
+			ca, cb := d.CDF(a), d.CDF(b)
+			if ca > cb+1e-12 || ca < 0 || cb > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitGeometricRecoversP(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	var xs []float64
+	for i := 0; i < 5000; i++ {
+		xs = append(xs, sampleGeometric(rng, 0.005))
+	}
+	g := FitGeometric(xs)
+	if g.P < 0.004 || g.P > 0.006 {
+		t.Errorf("fit p = %g, want ~0.005", g.P)
+	}
+}
+
+func TestFitLogNormalRecoversParams(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	var xs []float64
+	for i := 0; i < 5000; i++ {
+		xs = append(xs, sampleLogNormal(rng, 5, 1.5))
+	}
+	l := FitLogNormal(xs)
+	if !almostEqual(l.Mu, 5, 0.1) || !almostEqual(l.Sigma, 1.5, 0.1) {
+		t.Errorf("fit = %v, want mu=5 sigma=1.5", l)
+	}
+}
+
+func TestFitGammaRecoversParams(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	var xs []float64
+	for i := 0; i < 5000; i++ {
+		xs = append(xs, sampleGamma(rng, 4, 25))
+	}
+	g := FitGamma(xs)
+	if !almostEqual(g.K, 4, 0.5) || !almostEqual(g.Theta, 25, 4) {
+		t.Errorf("fit = %v, want k=4 theta=25", g)
+	}
+}
+
+func TestKSDistanceSelf(t *testing.T) {
+	// KS distance of a large sample against its generating
+	// distribution should be small.
+	rng := rand.New(rand.NewPCG(4, 4))
+	var xs []float64
+	for i := 0; i < 3000; i++ {
+		xs = append(xs, sampleGeometric(rng, 0.01))
+	}
+	if d := KSDistance(xs, Geometric{P: 0.01}); d > 0.05 {
+		t.Errorf("self KS = %g, want < 0.05", d)
+	}
+	// And large against a very different distribution.
+	if d := KSDistance(xs, LogNormal{Mu: 10, Sigma: 0.1}); d < 0.5 {
+		t.Errorf("mismatched KS = %g, want > 0.5", d)
+	}
+}
+
+func TestBestFitIdentifiesFamilies(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	cases := []struct {
+		name   string
+		sample func() float64
+		want   string
+	}{
+		{"geometric", func() float64 { return sampleGeometric(rng, 0.01) }, "geometric"},
+		{"lognormal", func() float64 { return sampleLogNormal(rng, 6, 2) }, "lognormal"},
+	}
+	for _, tc := range cases {
+		var xs []float64
+		for i := 0; i < 4000; i++ {
+			xs = append(xs, tc.sample())
+		}
+		got := BestFit(xs)
+		if got.Dist.Name() != tc.want {
+			t.Errorf("%s sample best fit = %s (KS %g)", tc.name, got.Dist, got.KS)
+		}
+	}
+}
+
+func TestFitAllSorted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	var xs []float64
+	for i := 0; i < 500; i++ {
+		xs = append(xs, sampleLogNormal(rng, 4, 1))
+	}
+	fits := FitAll(xs)
+	if len(fits) != 3 {
+		t.Fatalf("FitAll returned %d fits", len(fits))
+	}
+	for i := 1; i < len(fits); i++ {
+		if fits[i].KS < fits[i-1].KS {
+			t.Error("FitAll not sorted by KS")
+		}
+	}
+}
+
+func TestRegIncGammaBoundaries(t *testing.T) {
+	if got := regIncGamma(2, 0); got != 0 {
+		t.Errorf("P(2, 0) = %g, want 0", got)
+	}
+	if got := regIncGamma(2, 1e9); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("P(2, huge) = %g, want 1", got)
+	}
+	if !math.IsNaN(regIncGamma(-1, 2)) {
+		t.Error("P(-1, 2) should be NaN")
+	}
+}

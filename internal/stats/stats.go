@@ -1,0 +1,168 @@
+// Package stats provides the statistical machinery used by the
+// evaluation: summary statistics, quantiles and geometric means, the
+// penalized mean-time estimator of Section 7.2 of the paper, heavy-
+// tail diagnostics, and the three distribution families the paper
+// identifies in synthesis-time data (geometric, gamma, and log-normal)
+// together with fitting and Kolmogorov-Smirnov goodness measures.
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance, or NaN for fewer than
+// two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the sample median, or NaN for empty input.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear
+// interpolation between order statistics. It copies and sorts the
+// input; NaN is returned for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// QuantileSorted is Quantile for already-sorted input, without
+// copying.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// GeoMean returns the geometric mean of xs. All values must be
+// positive; NaN is returned otherwise or for empty input.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// TailRatio returns the heavy-tail diagnostic the paper uses: the
+// ratio of mean to median. For the paper's purposes a distribution is
+// heavy-tailed when the mean is much greater than the median.
+func TailRatio(xs []float64) float64 {
+	return Mean(xs) / Median(xs)
+}
+
+// PenalizedMean implements the estimator of Section 7.2: given the
+// times of successful trials out of `trials` total runs each capped at
+// C iterations, it returns the mean of the successes plus the penalty
+// P = (1/ps - 1) * C, where ps is the empirical success probability.
+// This equals the expected time of a meta-restart strategy that resets
+// after C iterations. It returns +Inf when no trial succeeded.
+func PenalizedMean(successTimes []float64, trials int, c float64) float64 {
+	if trials <= 0 {
+		return math.NaN()
+	}
+	if len(successTimes) == 0 {
+		return math.Inf(1)
+	}
+	ps := float64(len(successTimes)) / float64(trials)
+	return Mean(successTimes) + (1/ps-1)*c
+}
+
+// Histogram bins xs into n equal-width bins over [min, max] and
+// returns the bin counts. Values outside the range are clamped to the
+// end bins. Used by the text plots.
+func Histogram(xs []float64, min, max float64, n int) []int {
+	counts := make([]int, n)
+	if len(xs) == 0 || n == 0 || max <= min {
+		return counts
+	}
+	w := (max - min) / float64(n)
+	for _, x := range xs {
+		b := int((x - min) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// BootstrapCI estimates a confidence interval for the mean of xs by
+// the percentile bootstrap: resamples of xs with replacement, conf in
+// (0, 1) (e.g. 0.95). Deterministic given the seed. NaN bounds are
+// returned for empty input.
+func BootstrapCI(xs []float64, conf float64, resamples int, seed uint64) (lo, hi float64) {
+	if len(xs) == 0 || conf <= 0 || conf >= 1 || resamples <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	means := make([]float64, resamples)
+	for r := range means {
+		s := 0.0
+		for i := 0; i < len(xs); i++ {
+			s += xs[rng.IntN(len(xs))]
+		}
+		means[r] = s / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	return QuantileSorted(means, alpha), QuantileSorted(means, 1-alpha)
+}

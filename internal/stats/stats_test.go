@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %g", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Error("empty/short inputs should yield NaN")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if got := Median(xs); got != 3 {
+		t.Errorf("Median = %g, want 3", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("Q0 = %g, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("Q1 = %g, want 5", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("Q.25 = %g, want 2", got)
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated median = %g, want 5", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := QuantileSorted(xs, 0.5); got != 2.5 {
+		t.Errorf("QuantileSorted = %g, want 2.5", got)
+	}
+}
+
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		xs := make([]float64, 1+rng.IntN(50))
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("GeoMean = %g, want 10", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Error("GeoMean with zero should be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean of empty should be NaN")
+	}
+}
+
+func TestTailRatio(t *testing.T) {
+	// Symmetric data: ratio ~1. Heavy tail: ratio >> 1.
+	sym := []float64{1, 2, 3, 4, 5}
+	if got := TailRatio(sym); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("symmetric TailRatio = %g, want 1", got)
+	}
+	heavy := []float64{1, 1, 1, 1, 10000}
+	if got := TailRatio(heavy); got < 100 {
+		t.Errorf("heavy TailRatio = %g, want >> 1", got)
+	}
+}
+
+func TestPenalizedMean(t *testing.T) {
+	// All trials succeed: plain mean.
+	if got := PenalizedMean([]float64{10, 20}, 2, 100); got != 15 {
+		t.Errorf("all-success = %g, want 15", got)
+	}
+	// Half succeed: penalty (1/0.5 - 1)*C = C.
+	if got := PenalizedMean([]float64{10, 20}, 4, 100); got != 115 {
+		t.Errorf("half-success = %g, want 15 + 100", got)
+	}
+	// None succeed.
+	if !math.IsInf(PenalizedMean(nil, 10, 100), 1) {
+		t.Error("no-success should be +Inf")
+	}
+	if !math.IsNaN(PenalizedMean(nil, 0, 100)) {
+		t.Error("zero trials should be NaN")
+	}
+}
+
+func TestPropertyPenalizedMeanAtLeastSampleMean(t *testing.T) {
+	f := func(seed uint64, extraRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		n := 1 + rng.IntN(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		trials := n + int(extraRaw)%10
+		pm := PenalizedMean(xs, trials, 1000)
+		return pm >= Mean(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts := Histogram([]float64{0, 1, 2, 3, 9.9, -5, 100}, 0, 10, 5)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 7 {
+		t.Errorf("histogram lost values: total %d", total)
+	}
+	if counts[0] != 3 { // 0, 1, and clamped -5
+		t.Errorf("first bin = %d, want 3", counts[0])
+	}
+	if counts[4] != 2 { // 9.9 and clamped 100
+		t.Errorf("last bin = %d, want 2", counts[4])
+	}
+}
+
+func TestOptimalCutoffGeometric(t *testing.T) {
+	// For a memoryless (geometric/exponential) distribution restarts
+	// cannot help: the optimal cutoff is effectively "never restart"
+	// (the largest sample) and the expected time stays near the mean.
+	rng := rand.New(rand.NewPCG(11, 12))
+	var xs []float64
+	for i := 0; i < 4000; i++ {
+		xs = append(xs, -math.Log(1-rng.Float64())*1000)
+	}
+	cutoff, expected := OptimalCutoff(xs)
+	if expected > 1.2*Mean(xs) || expected < 0.8*Mean(xs) {
+		t.Errorf("geometric: expected %g vs mean %g", expected, Mean(xs))
+	}
+	_ = cutoff
+}
+
+func TestOptimalCutoffHeavyTail(t *testing.T) {
+	// A bimodal mixture (10% fast at ~10, 90% slow at ~100000) has an
+	// optimal cutoff just above the fast mode, with expected time
+	// around cutoff/p_fast << mean.
+	rng := rand.New(rand.NewPCG(13, 14))
+	var xs []float64
+	for i := 0; i < 5000; i++ {
+		if rng.IntN(10) == 0 {
+			xs = append(xs, 5+10*rng.Float64())
+		} else {
+			xs = append(xs, 90000+20000*rng.Float64())
+		}
+	}
+	cutoff, expected := OptimalCutoff(xs)
+	if cutoff > 100 {
+		t.Errorf("cutoff %g should sit near the fast mode", cutoff)
+	}
+	if expected > Mean(xs)/10 {
+		t.Errorf("restarting should win big: expected %g vs mean %g", expected, Mean(xs))
+	}
+	// Cross-check against the direct evaluation.
+	if e := RestartExpectation(xs, cutoff); math.Abs(e-expected) > 1e-9 {
+		t.Errorf("RestartExpectation(cutoff) = %g, OptimalCutoff said %g", e, expected)
+	}
+}
+
+func TestOptimalCutoffEmpty(t *testing.T) {
+	c, e := OptimalCutoff(nil)
+	if !math.IsNaN(c) || !math.IsNaN(e) {
+		t.Error("empty input should yield NaN")
+	}
+	if !math.IsNaN(RestartExpectation(nil, 5)) {
+		t.Error("empty RestartExpectation should be NaN")
+	}
+}
+
+func TestRestartExpectationNoFinishers(t *testing.T) {
+	if !math.IsInf(RestartExpectation([]float64{10, 20}, 5), 1) {
+		t.Error("cutoff below all samples should be +Inf")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 50 + 10*rng.NormFloat64()
+	}
+	lo, hi := BootstrapCI(xs, 0.95, 500, 7)
+	m := Mean(xs)
+	if !(lo < m && m < hi) {
+		t.Errorf("CI [%g, %g] does not bracket mean %g", lo, hi, m)
+	}
+	// The CI half-width should be near 1.96*sigma/sqrt(n) ~ 1.
+	if hi-lo < 0.5 || hi-lo > 4 {
+		t.Errorf("CI width %g implausible", hi-lo)
+	}
+	// Deterministic.
+	lo2, hi2 := BootstrapCI(xs, 0.95, 500, 7)
+	if lo != lo2 || hi != hi2 {
+		t.Error("bootstrap not deterministic given seed")
+	}
+	if l, h := BootstrapCI(nil, 0.95, 100, 1); !math.IsNaN(l) || !math.IsNaN(h) {
+		t.Error("empty input should yield NaN bounds")
+	}
+}

@@ -1,0 +1,20 @@
+package superopt
+
+import "testing"
+
+// FuzzParseProb exercises the .prob reader with arbitrary input.
+func FuzzParseProb(f *testing.F) {
+	f.Add("inputs 1\ncase 0x1 -> 0x2\n")
+	f.Add("# problem p\n# comment\ninputs 2\ncase 0x1 0x2 -> 0x3\n")
+	f.Add("inputs x")
+	f.Add("case before inputs")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, suite, err := ParseProb(src)
+		if err != nil {
+			return
+		}
+		if err := suite.Validate(); err != nil {
+			t.Fatalf("accepted invalid suite: %v", err)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package superopt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"stochsyn/internal/testcase"
+)
+
+// This file implements the .prob problem format written by
+// cmd/genbench: a commented header describing the source fragment,
+// an "inputs N" line, and one "case in... -> out" line per test case.
+// Loading ignores the comments (the fragment listing is documentation;
+// the cases are the specification).
+
+// WriteProb renders a problem in .prob format.
+func WriteProb(p *Problem) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# problem %s\n# signature %s\n", p.Name, p.Signature)
+	for _, line := range strings.Split(strings.TrimRight(p.Frag.String(), "\n"), "\n") {
+		fmt.Fprintf(&sb, "# %s\n", strings.TrimPrefix(line, "\t"))
+	}
+	if p.Reference != nil {
+		fmt.Fprintf(&sb, "# reference %s\n", p.Reference)
+	}
+	fmt.Fprintf(&sb, "inputs %d\n", p.Suite.NumInputs)
+	for _, c := range p.Suite.Cases {
+		sb.WriteString("case")
+		for _, in := range c.Inputs {
+			fmt.Fprintf(&sb, " %#x", in)
+		}
+		fmt.Fprintf(&sb, " -> %#x\n", c.Output)
+	}
+	return sb.String()
+}
+
+// ParseProb parses the .prob format into a name and suite. The
+// fragment itself is not reconstructed (the suite is the
+// specification).
+func ParseProb(src string) (name string, suite *testcase.Suite, err error) {
+	suite = &testcase.Suite{NumInputs: -1}
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# problem "):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "# problem "))
+		case strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "inputs "):
+			n, convErr := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "inputs ")))
+			if convErr != nil || n < 0 {
+				return "", nil, fmt.Errorf("superopt: line %d: bad inputs count", lineno+1)
+			}
+			suite.NumInputs = n
+		case strings.HasPrefix(line, "case "):
+			if suite.NumInputs < 0 {
+				return "", nil, fmt.Errorf("superopt: line %d: case before inputs", lineno+1)
+			}
+			parts := strings.Split(strings.TrimPrefix(line, "case "), "->")
+			if len(parts) != 2 {
+				return "", nil, fmt.Errorf("superopt: line %d: missing '->'", lineno+1)
+			}
+			inFields := strings.Fields(parts[0])
+			if len(inFields) != suite.NumInputs {
+				return "", nil, fmt.Errorf("superopt: line %d: %d inputs, want %d",
+					lineno+1, len(inFields), suite.NumInputs)
+			}
+			c := testcase.Case{}
+			for _, f := range inFields {
+				v, convErr := parseHexWord(f)
+				if convErr != nil {
+					return "", nil, fmt.Errorf("superopt: line %d: %v", lineno+1, convErr)
+				}
+				c.Inputs = append(c.Inputs, v)
+			}
+			out, convErr := parseHexWord(strings.TrimSpace(parts[1]))
+			if convErr != nil {
+				return "", nil, fmt.Errorf("superopt: line %d: %v", lineno+1, convErr)
+			}
+			c.Output = out
+			suite.Cases = append(suite.Cases, c)
+		default:
+			return "", nil, fmt.Errorf("superopt: line %d: unrecognized line %q", lineno+1, line)
+		}
+	}
+	if err := suite.Validate(); err != nil {
+		return "", nil, err
+	}
+	return name, suite, nil
+}
+
+func parseHexWord(s string) (uint64, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// LoadDir reads every .prob file in a directory (as written by
+// cmd/genbench), returning name/suite pairs sorted by name.
+func LoadDir(dir string) (names []string, suites []*testcase.Suite, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type entry struct {
+		name  string
+		suite *testcase.Suite
+	}
+	var out []entry
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".prob") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, nil, err
+		}
+		name, suite, err := ParseProb(string(data))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %v", e.Name(), err)
+		}
+		if name == "" {
+			name = strings.TrimSuffix(e.Name(), ".prob")
+		}
+		out = append(out, entry{name, suite})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for _, e := range out {
+		names = append(names, e.name)
+		suites = append(suites, e.suite)
+	}
+	return names, suites, nil
+}

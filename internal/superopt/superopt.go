@@ -1,0 +1,293 @@
+// Package superopt builds the superoptimization synthesis benchmark of
+// Section 6 of the paper: it scrapes dataflow-related straight-line
+// fragments from an assembly corpus, deduplicates them by instruction
+// signature, generates test cases (corner cases, random bit patterns,
+// and skewed Hamming weights), filters out fragments that are unlikely
+// to be expressible in the synthesis dialect via the incremental
+// prefix-synthesis check, and samples a standard benchmark.
+package superopt
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"stochsyn/internal/asm"
+	"stochsyn/internal/corpus"
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/search"
+	"stochsyn/internal/testcase"
+)
+
+// Problem is one benchmark entry: a fragment together with the test
+// suite that specifies it.
+type Problem struct {
+	// Name identifies the problem within the benchmark.
+	Name string
+	// Frag is the scraped fragment (the reference semantics).
+	Frag *asm.Fragment
+	// Suite is the input/output specification the search sees.
+	Suite *testcase.Suite
+	// Signature is the fragment's instruction signature.
+	Signature string
+	// Reference is the fragment translated into the synthesis dialect
+	// (a known solution), or nil when the translation exceeds the
+	// program size limit. When Options.RequireReference is set, every
+	// benchmark problem has a non-nil Reference, making the benchmark
+	// synthesizable by construction.
+	Reference *prog.Program
+}
+
+// Options configures the pipeline.
+type Options struct {
+	// CorpusFunctions is the number of synthetic functions to scrape
+	// (the stand-in for the paper's 187K-fragment Ubuntu scan).
+	CorpusFunctions int
+	// Seed drives every random choice in the pipeline.
+	Seed uint64
+	// TestCases is the number of test cases per problem (the paper's
+	// benchmark uses about 100).
+	TestCases int
+	// SampleSize is the number of problems in the final benchmark
+	// (the paper samples 1000).
+	SampleSize int
+	// MinNonTrivial is the minimum number of non-data-movement
+	// instructions per fragment (the paper uses 2).
+	MinNonTrivial int
+	// MaxInsts caps the fragment length (the paper's fragments run 2
+	// to 15 instructions).
+	MaxInsts int
+	// PrefixFilter enables the incremental prefix-synthesizability
+	// check of Section 6.1 (the paper's stochastic filter).
+	PrefixFilter bool
+	// PrefixBudget is the per-prefix iteration budget of the filter.
+	PrefixBudget int64
+	// RequireReference keeps only fragments that translate exactly
+	// into the synthesis dialect within the size limit — a
+	// constructive, deterministic alternative to the prefix filter
+	// that guarantees every problem is expressible.
+	RequireReference bool
+	// MaxInputs drops fragments with more inputs than this (very wide
+	// fragments make poor synthesis problems); 0 means no limit.
+	MaxInputs int
+}
+
+// DefaultOptions returns pipeline options scaled for interactive use.
+func DefaultOptions(seed uint64) Options {
+	return Options{
+		CorpusFunctions:  300,
+		Seed:             seed,
+		TestCases:        100,
+		SampleSize:       50,
+		MinNonTrivial:    2,
+		MaxInsts:         15,
+		PrefixFilter:     false,
+		PrefixBudget:     20000,
+		RequireReference: true,
+		MaxInputs:        4,
+	}
+}
+
+// Stats reports the attrition at each pipeline stage, mirroring the
+// counts the paper gives for its scrape.
+type Stats struct {
+	Functions     int // functions parsed
+	Fragments     int // raw fragments extracted
+	AfterLimits   int // fragments within size/input limits
+	Signatures    int // distinct instruction signatures
+	FilterDropped int // dropped by the prefix-synthesizability check
+	Final         int // problems in the sampled benchmark
+}
+
+// String renders the attrition report.
+func (s Stats) String() string {
+	return fmt.Sprintf("functions=%d fragments=%d within-limits=%d signatures=%d filter-dropped=%d final=%d",
+		s.Functions, s.Fragments, s.AfterLimits, s.Signatures, s.FilterDropped, s.Final)
+}
+
+// Build runs the full pipeline on a freshly generated synthetic corpus
+// and returns the benchmark problems in a deterministic order.
+func Build(opts Options) ([]*Problem, Stats, error) {
+	src := corpus.Generate(corpus.Options{Functions: opts.CorpusFunctions, Seed: opts.Seed})
+	funcs, err := asm.ParseText(src)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("superopt: corpus parse: %v", err)
+	}
+	return BuildFromFuncs(funcs, opts)
+}
+
+// BuildFromFuncs runs the pipeline stages (fragment extraction, size
+// limits, signature dedup, test generation, optional prefix filter,
+// sampling) on already-parsed functions — e.g. a real disassembly
+// listing supplied by the user.
+func BuildFromFuncs(funcs []*asm.Func, opts Options) ([]*Problem, Stats, error) {
+	var st Stats
+	st.Functions = len(funcs)
+
+	// Stage 1: extract fragments.
+	var frags []*asm.Fragment
+	for _, f := range funcs {
+		frags = append(frags, asm.Fragments(f, opts.MinNonTrivial)...)
+	}
+	st.Fragments = len(frags)
+
+	// Stage 2: size and input limits.
+	var limited []*asm.Fragment
+	for _, fr := range frags {
+		if opts.MaxInsts > 0 && len(fr.Insts) > opts.MaxInsts {
+			continue
+		}
+		if opts.MaxInputs > 0 && len(fr.Inputs) > opts.MaxInputs {
+			continue
+		}
+		if len(fr.Inputs) == 0 {
+			continue // constant fragments make degenerate problems
+		}
+		limited = append(limited, fr)
+	}
+	st.AfterLimits = len(limited)
+
+	// Stage 3: group by instruction signature and sample one
+	// representative per class.
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x13198a2e03707344))
+	bySig := map[string][]*asm.Fragment{}
+	var sigs []string
+	for _, fr := range limited {
+		sig := fr.Signature()
+		if _, ok := bySig[sig]; !ok {
+			sigs = append(sigs, sig)
+		}
+		bySig[sig] = append(bySig[sig], fr)
+	}
+	sort.Strings(sigs)
+	st.Signatures = len(sigs)
+
+	var reps []*asm.Fragment
+	for _, sig := range sigs {
+		group := bySig[sig]
+		reps = append(reps, group[rng.IntN(len(group))])
+	}
+
+	// Stage 4: generate test cases and apply the expressibility
+	// filters (the exact translation check and, optionally, the
+	// paper's stochastic prefix filter).
+	var problems []*Problem
+	for i, fr := range reps {
+		suite := suiteFor(fr, opts.TestCases, rng)
+		if suite == nil {
+			continue
+		}
+		ref, refErr := Translate(fr)
+		if opts.RequireReference && refErr != nil {
+			st.FilterDropped++
+			continue
+		}
+		if opts.PrefixFilter && !prefixSynthesizable(fr, opts, rng.Uint64()) {
+			st.FilterDropped++
+			continue
+		}
+		problems = append(problems, &Problem{
+			Name:      fmt.Sprintf("so%04d", i),
+			Frag:      fr,
+			Suite:     suite,
+			Signature: fr.Signature(),
+			Reference: ref,
+		})
+	}
+
+	// Stage 5: sample the standard benchmark.
+	rng.Shuffle(len(problems), func(i, j int) { problems[i], problems[j] = problems[j], problems[i] })
+	if opts.SampleSize > 0 && len(problems) > opts.SampleSize {
+		problems = problems[:opts.SampleSize]
+	}
+	sort.Slice(problems, func(i, j int) bool { return problems[i].Name < problems[j].Name })
+	st.Final = len(problems)
+	return problems, st, nil
+}
+
+// suiteFor generates the problem's test suite by executing the
+// fragment; it returns nil for fragments whose execution fails or
+// whose output is constant across all generated cases (degenerate
+// specifications).
+func suiteFor(fr *asm.Fragment, n int, rng *rand.Rand) *testcase.Suite {
+	ok := true
+	f := func(in []uint64) uint64 {
+		out, err := fr.Execute(in)
+		if err != nil {
+			ok = false
+			return 0
+		}
+		return out
+	}
+	suite := testcase.Generate(f, len(fr.Inputs), n, rng)
+	if !ok {
+		return nil
+	}
+	constant := true
+	for _, c := range suite.Cases[1:] {
+		if c.Output != suite.Cases[0].Output {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		return nil
+	}
+	return suite
+}
+
+// prefixSynthesizable implements the incremental filter of Section
+// 6.1: synthesize the length-n prefix starting from the solution of
+// the length-(n-1) prefix. A fragment passes if every prefix
+// synthesizes within the per-prefix budget. Prefixes whose final
+// instruction defines no register (stores, flag writes) are skipped.
+func prefixSynthesizable(fr *asm.Fragment, opts Options, seed uint64) bool {
+	rng := rand.New(rand.NewPCG(seed, 0xa4093822299f31d0))
+	var init *prog.Program
+	for k := 1; k <= len(fr.Insts); k++ {
+		pf := prefixFragment(fr, k)
+		if pf == nil {
+			continue
+		}
+		suite := suiteFor(pf, 32, rng)
+		if suite == nil {
+			continue
+		}
+		run := search.New(suite, search.Options{
+			Set:  prog.FullSet,
+			Cost: cost.Hamming,
+			Beta: 2,
+			Seed: seed ^ uint64(k)*0x9e3779b97f4a7c15,
+			Init: init,
+		})
+		if _, done := run.Step(opts.PrefixBudget); !done {
+			return false
+		}
+		init = run.Solution()
+	}
+	return true
+}
+
+// prefixFragment builds the fragment consisting of the first k
+// instructions, with the k-th instruction's destination as output. It
+// returns nil when that instruction defines no register.
+func prefixFragment(fr *asm.Fragment, k int) *asm.Fragment {
+	last := fr.Insts[k-1]
+	d := last.Def()
+	if d == asm.NoReg {
+		return nil
+	}
+	width := 64
+	if ops := last.Operands; len(ops) > 0 && ops[len(ops)-1].Kind == asm.OpReg {
+		width = ops[len(ops)-1].Width
+	}
+	return &asm.Fragment{
+		Insts:       fr.Insts[:k],
+		Output:      d,
+		OutputWidth: width,
+		Inputs:      fr.Inputs,
+		FreshInputs: fr.FreshInputs,
+		Source:      fr.Source,
+	}
+}

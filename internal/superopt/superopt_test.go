@@ -1,0 +1,318 @@
+package superopt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stochsyn/internal/asm"
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/search"
+)
+
+func smallOptions(seed uint64) Options {
+	o := DefaultOptions(seed)
+	o.CorpusFunctions = 80
+	o.SampleSize = 15
+	o.TestCases = 40
+	return o
+}
+
+func TestBuildPipeline(t *testing.T) {
+	probs, stats, err := Build(smallOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Functions != 80 {
+		t.Errorf("functions = %d", stats.Functions)
+	}
+	if stats.Fragments == 0 || stats.Signatures == 0 {
+		t.Errorf("empty pipeline stages: %v", stats)
+	}
+	if stats.Signatures > stats.AfterLimits {
+		t.Errorf("more signatures than fragments: %v", stats)
+	}
+	if len(probs) == 0 || len(probs) > 15 {
+		t.Errorf("sampled %d problems", len(probs))
+	}
+	for _, p := range probs {
+		if err := p.Suite.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.Suite.NumInputs != len(p.Frag.Inputs) {
+			t.Errorf("%s: suite arity %d != fragment arity %d",
+				p.Name, p.Suite.NumInputs, len(p.Frag.Inputs))
+		}
+		if p.Signature != p.Frag.Signature() {
+			t.Errorf("%s: stored signature mismatch", p.Name)
+		}
+		// The suite must reflect the fragment's semantics.
+		for i, c := range p.Suite.Cases {
+			got, err := p.Frag.Execute(c.Inputs)
+			if err != nil {
+				t.Fatalf("%s case %d: %v", p.Name, i, err)
+			}
+			if got != c.Output {
+				t.Fatalf("%s case %d: suite says %#x, fragment computes %#x",
+					p.Name, i, c.Output, got)
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, _, err := Build(smallOptions(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Build(smallOptions(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("problem counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Signature != b[i].Signature {
+			t.Errorf("problem %d differs across identical builds", i)
+		}
+	}
+}
+
+func TestSignaturesDistinct(t *testing.T) {
+	probs, _, err := Build(smallOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for _, p := range probs {
+		if prev, dup := seen[p.Signature]; dup {
+			t.Errorf("problems %s and %s share signature %q", prev, p.Name, p.Signature)
+		}
+		seen[p.Signature] = p.Name
+	}
+}
+
+func TestLimitsApplied(t *testing.T) {
+	o := smallOptions(3)
+	o.MaxInsts = 4
+	o.MaxInputs = 2
+	probs, _, err := Build(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		if len(p.Frag.Insts) > 4 {
+			t.Errorf("%s has %d instructions", p.Name, len(p.Frag.Insts))
+		}
+		if len(p.Frag.Inputs) > 2 {
+			t.Errorf("%s has %d inputs", p.Name, len(p.Frag.Inputs))
+		}
+	}
+}
+
+func TestProblemsAreSynthesizable(t *testing.T) {
+	// A sanity check that the benchmark is usable: at least one small
+	// problem synthesizes within a modest budget.
+	probs, _, err := Build(smallOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		if len(p.Frag.Insts) > 3 {
+			continue
+		}
+		r := search.New(p.Suite, search.Options{
+			Set: prog.FullSet, Cost: cost.Hamming, Beta: 2, Seed: 5,
+		})
+		if _, done := r.Step(2_000_000); done {
+			return // success
+		}
+	}
+	t.Skip("no small problem synthesized within budget (stochastic)")
+}
+
+func TestPrefixFilter(t *testing.T) {
+	o := smallOptions(5)
+	o.SampleSize = 5
+	o.PrefixFilter = true
+	o.PrefixBudget = 30_000
+	probs, stats, err := Build(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The filter ran; most synthetic fragments are expressible, so
+	// some problems must survive.
+	if len(probs) == 0 {
+		t.Errorf("prefix filter dropped everything: %v", stats)
+	}
+}
+
+func TestBuildFromFuncs(t *testing.T) {
+	src := `
+f:
+	movq %rdi, %rax
+	addq %rsi, %rax
+	xorq %rdx, %rax
+	ret
+`
+	funcs, err := asm.ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions(1)
+	o.TestCases = 30
+	probs, stats, err := BuildFromFuncs(funcs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Functions != 1 || len(probs) != 1 {
+		t.Fatalf("stats %v, %d problems", stats, len(probs))
+	}
+	p := probs[0]
+	// (rdi + rsi) ^ rdx with inputs in encoding order rdx, rsi, rdi.
+	for _, c := range p.Suite.Cases {
+		got, _ := p.Frag.Execute(c.Inputs)
+		if got != c.Output {
+			t.Fatal("suite does not match fragment")
+		}
+	}
+}
+
+func TestPrefixFragment(t *testing.T) {
+	src := `
+g:
+	addq %rsi, %rdi
+	shlq $3, %rdi
+	movq %rdi, %rax
+	ret
+`
+	funcs, _ := asm.ParseText(src)
+	frag, err := asm.SliceBlock(funcs[0], funcs[0].Blocks[0], asm.RAX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := prefixFragment(frag, 1)
+	if pf == nil {
+		t.Fatal("prefix of length 1 is nil")
+	}
+	if pf.Output != asm.RDI {
+		t.Errorf("prefix output = %v, want rdi", pf.Output)
+	}
+	out, err := pf.Execute(make([]uint64, len(pf.Inputs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = out
+}
+
+func TestReferencesMatchSuites(t *testing.T) {
+	probs, _, err := Build(smallOptions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRef := 0
+	for _, p := range probs {
+		if p.Reference == nil {
+			t.Errorf("%s has no reference (RequireReference is on)", p.Name)
+			continue
+		}
+		withRef++
+		for i, c := range p.Suite.Cases {
+			if got := p.Reference.Output(c.Inputs); got != c.Output {
+				t.Fatalf("%s case %d: reference computes %#x, suite says %#x",
+					p.Name, i, got, c.Output)
+			}
+		}
+	}
+	if withRef == 0 {
+		t.Fatal("no problems with references")
+	}
+}
+
+func TestProbRoundTrip(t *testing.T) {
+	probs, _, err := Build(smallOptions(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) == 0 {
+		t.Fatal("no problems")
+	}
+	p := probs[0]
+	src := WriteProb(p)
+	name, suite, err := ParseProb(src)
+	if err != nil {
+		t.Fatalf("ParseProb: %v\n%s", err, src)
+	}
+	if name != p.Name {
+		t.Errorf("name %q, want %q", name, p.Name)
+	}
+	if suite.NumInputs != p.Suite.NumInputs || suite.Len() != p.Suite.Len() {
+		t.Fatalf("shape mismatch")
+	}
+	for i := range suite.Cases {
+		if suite.Cases[i].Output != p.Suite.Cases[i].Output {
+			t.Fatalf("case %d output differs", i)
+		}
+		for j := range suite.Cases[i].Inputs {
+			if suite.Cases[i].Inputs[j] != p.Suite.Cases[i].Inputs[j] {
+				t.Fatalf("case %d input %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestParseProbErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"case 0x1 -> 0x2\n", "case before inputs"},
+		{"inputs 1\ncase 0x1 0x2 -> 0x3\n", "want 1"},
+		{"inputs 1\ncase 0x1 0x2\n", "missing '->'"},
+		{"inputs x\n", "bad inputs count"},
+		{"garbage\n", "unrecognized"},
+		{"inputs 1\ncase zz -> 0x0\n", "invalid syntax"},
+		{"inputs 1\n", "empty suite"},
+	}
+	for _, tc := range cases {
+		_, _, err := ParseProb(tc.src)
+		if err == nil {
+			t.Errorf("ParseProb accepted %q", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseProb(%q) = %v, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	probs, _, err := Build(smallOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 3
+	if len(probs) < n {
+		n = len(probs)
+	}
+	for _, p := range probs[:n] {
+		if err := os.WriteFile(filepath.Join(dir, p.Name+".prob"), []byte(WriteProb(p)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A non-prob file must be ignored.
+	os.WriteFile(filepath.Join(dir, "index.txt"), []byte("x"), 0o644)
+	names, suites, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != n || len(suites) != n {
+		t.Fatalf("loaded %d problems, want %d", len(names), n)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Error("names not sorted")
+		}
+	}
+}

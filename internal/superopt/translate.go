@@ -1,0 +1,463 @@
+package superopt
+
+import (
+	"fmt"
+
+	"stochsyn/internal/asm"
+	"stochsyn/internal/prog"
+)
+
+// Translate converts a scraped fragment into an equivalent dataflow
+// program in the synthesis language by symbolic forward execution:
+// each register maps to the node currently holding its value, and each
+// instruction appends the nodes computing its effect (including the
+// zero-extension and merge semantics of sub-64-bit writes).
+//
+// The translation is the pipeline's ground truth: it proves the
+// fragment expressible in the dialect (a constructive version of the
+// prefix-synthesizability argument of Section 6.1) and provides a
+// known solution for optimization-mode searches. Fragments whose
+// translation would exceed the program size limit return an error.
+func Translate(fr *asm.Fragment) (*prog.Program, error) {
+	if len(fr.Inputs) > prog.MaxInputs {
+		return nil, fmt.Errorf("superopt: fragment has %d inputs, limit %d", len(fr.Inputs), prog.MaxInputs)
+	}
+	tr := &translator{
+		p:      prog.NewZero(len(fr.Inputs)),
+		regs:   map[asm.Reg]int32{},
+		consts: map[uint64]int32{},
+		clean:  map[int32]bool{},
+	}
+	// The zero seed node is node NumInputs; reuse it as the constant-0
+	// pool entry (it is garbage collected if unused).
+	tr.consts[0] = int32(len(fr.Inputs))
+	for i, r := range fr.Inputs {
+		tr.regs[r] = int32(i)
+	}
+	for _, in := range fr.Insts {
+		if err := tr.step(in); err != nil {
+			return nil, err
+		}
+	}
+	out, ok := tr.regs[fr.Output]
+	if !ok {
+		return nil, fmt.Errorf("superopt: output register %s never defined", fr.Output)
+	}
+	tr.p.Root = tr.truncate(out, fr.OutputWidth)
+	tr.p.Invalidate()
+	tr.p.GC()
+	if body := tr.p.BodyLen(); body > prog.MaxBody {
+		return nil, fmt.Errorf("superopt: translation needs %d nodes, limit %d", body, prog.MaxBody)
+	}
+	if err := tr.p.Validate(); err != nil {
+		return nil, fmt.Errorf("superopt: internal translation error: %v", err)
+	}
+	return tr.p, nil
+}
+
+type translator struct {
+	p      *prog.Program
+	regs   map[asm.Reg]int32
+	consts map[uint64]int32
+	// clean records nodes known to have zero upper 32 bits, so
+	// 32-bit truncations of them can be skipped.
+	clean map[int32]bool
+}
+
+// node appends an instruction node, recording whether its result is
+// known to fit in 32 bits.
+func (t *translator) node(op prog.Op, args ...int32) int32 {
+	nd := prog.Node{Op: op}
+	copy(nd.Args[:], args)
+	t.p.Nodes = append(t.p.Nodes, nd)
+	idx := int32(len(t.p.Nodes) - 1)
+	switch op {
+	case prog.OpZext8, prog.OpZext16, prog.OpZext32,
+		prog.OpAdd32, prog.OpSub32, prog.OpMul32, prog.OpAnd32,
+		prog.OpOr32, prog.OpXor32, prog.OpShl32, prog.OpShr32,
+		prog.OpSar32, prog.OpNot32, prog.OpNeg32,
+		prog.OpPopcnt, prog.OpClz, prog.OpCtz,
+		prog.OpEq, prog.OpUlt, prog.OpSlt:
+		t.clean[idx] = true
+	}
+	return idx
+}
+
+// constant returns a node for the value, pooling duplicates.
+func (t *translator) constant(v uint64) int32 {
+	if idx, ok := t.consts[v]; ok {
+		return idx
+	}
+	t.p.Nodes = append(t.p.Nodes, prog.Node{Op: prog.OpConst, Val: v})
+	idx := int32(len(t.p.Nodes) - 1)
+	t.consts[v] = idx
+	if v < 1<<32 {
+		t.clean[idx] = true
+	}
+	return idx
+}
+
+// reg reads the register's current 64-bit node (0 if never written:
+// registers outside the input set start at zero in Execute, matching
+// an all-zero register file).
+func (t *translator) reg(r asm.Reg) int32 {
+	if idx, ok := t.regs[r]; ok {
+		return idx
+	}
+	return t.constant(0)
+}
+
+// truncate returns a node holding the low `width` bits of n,
+// zero-extended.
+func (t *translator) truncate(n int32, width int) int32 {
+	switch width {
+	case 64:
+		return n
+	case 32:
+		if t.clean[n] {
+			return n
+		}
+		return t.node(prog.OpZext32, n)
+	case 16:
+		return t.node(prog.OpZext16, n)
+	case 8:
+		return t.node(prog.OpZext8, n)
+	}
+	return n
+}
+
+// write stores value into the register at the given width with x86
+// semantics (64-bit replaces, 32-bit zero-extends, 8/16-bit merges).
+func (t *translator) write(r asm.Reg, width int, value int32) {
+	switch width {
+	case 64:
+		t.regs[r] = value
+	case 32:
+		t.regs[r] = t.truncate(value, 32)
+	case 16, 8:
+		mask := uint64(0xFFFF)
+		if width == 8 {
+			mask = 0xFF
+		}
+		old := t.reg(r)
+		keep := t.node(prog.OpAnd, old, t.constant(^mask))
+		low := t.node(prog.OpAnd, value, t.constant(mask))
+		t.regs[r] = t.node(prog.OpOr, keep, low)
+	}
+}
+
+// operand resolves a source operand to a node holding its (width-
+// truncated, zero-extended) value.
+func (t *translator) operand(o *asm.Operand) (int32, error) {
+	switch o.Kind {
+	case asm.OpReg:
+		w := o.Width
+		if w == 0 {
+			w = 64
+		}
+		return t.truncate(t.reg(o.Reg), w), nil
+	case asm.OpImm:
+		return t.constant(uint64(o.Imm)), nil
+	}
+	return 0, fmt.Errorf("superopt: cannot translate %s operand", o)
+}
+
+// operandRaw resolves a source operand without truncation, for use
+// with the self-truncating 32-bit opcodes.
+func (t *translator) operandRaw(o *asm.Operand) (int32, error) {
+	switch o.Kind {
+	case asm.OpReg:
+		return t.reg(o.Reg), nil
+	case asm.OpImm:
+		return t.constant(uint64(o.Imm)), nil
+	}
+	return 0, fmt.Errorf("superopt: cannot translate %s operand", o)
+}
+
+// alu32Ops maps base ALU mnemonics to the zero-extending 32-bit
+// opcodes.
+var alu32Ops = map[string]prog.Op{
+	"add": prog.OpAdd32, "sub": prog.OpSub32, "imul": prog.OpMul32,
+	"and": prog.OpAnd32, "or": prog.OpOr32, "xor": prog.OpXor32,
+}
+
+// alu2Ops maps base ALU mnemonics to 64-bit opcodes; 32-bit variants
+// use alu32Ops or explicit truncation, matching the evaluator's
+// semantics.
+var alu2Ops = map[string]prog.Op{
+	"add": prog.OpAdd, "sub": prog.OpSub, "imul": prog.OpMul,
+	"and": prog.OpAnd, "or": prog.OpOr, "xor": prog.OpXor,
+	"shl": prog.OpShl, "sal": prog.OpShl, "shr": prog.OpShr, "sar": prog.OpSar,
+	"rol": prog.OpRol, "ror": prog.OpRor,
+}
+
+// step translates one instruction.
+func (t *translator) step(in *asm.Inst) error {
+	base := trimWidthSuffix(in.Mnemonic)
+	ops := in.Operands
+	dst := func() *asm.Operand { return &ops[len(ops)-1] }
+	width := func() int {
+		d := dst()
+		if d.Kind == asm.OpReg && d.Width != 0 {
+			return d.Width
+		}
+		return 64
+	}
+
+	switch base {
+	case "mov", "movabs":
+		src, err := t.operand(&ops[0])
+		if err != nil {
+			return err
+		}
+		t.write(dst().Reg, width(), src)
+		return nil
+
+	case "add", "sub", "imul", "and", "or", "xor":
+		w := width()
+		if w == 32 {
+			// The 32-bit opcodes truncate their inputs and
+			// zero-extend their result, so raw values suffice.
+			a := t.reg(dst().Reg)
+			b, err := t.operandRaw(&ops[0])
+			if err != nil {
+				return err
+			}
+			t.regs[dst().Reg] = t.node(alu32Ops[base], a, b)
+			return nil
+		}
+		a := t.truncate(t.reg(dst().Reg), w)
+		b, err := t.operand(&ops[0])
+		if err != nil {
+			return err
+		}
+		res := t.node(alu2Ops[base], a, b)
+		t.write(dst().Reg, w, res)
+		return nil
+
+	case "shl", "sal", "shr", "sar", "rol", "ror":
+		w := width()
+		a := t.truncate(t.reg(dst().Reg), w)
+		b, err := t.operand(&ops[0])
+		if err != nil {
+			return err
+		}
+		op := alu2Ops[base]
+		if w == 32 {
+			// The 32-bit shift opcodes truncate internally.
+			a = t.reg(dst().Reg)
+			switch base {
+			case "shl", "sal":
+				op = prog.OpShl32
+			case "shr":
+				op = prog.OpShr32
+			case "sar":
+				op = prog.OpSar32
+			case "rol", "ror":
+				a = t.truncate(a, 32)
+				// 32-bit rotates: express via 64-bit ops on the
+				// truncated value: rol32(a, k) = zext32(a<<k | a>>(32-k)).
+				k := t.node(prog.OpAnd, b, t.constant(31))
+				k2 := t.node(prog.OpSub, t.constant(32), k)
+				var hi, lo int32
+				if base == "rol" {
+					hi = t.node(prog.OpShl, a, k)
+					lo = t.node(prog.OpShr, a, k2)
+				} else {
+					hi = t.node(prog.OpShr, a, k)
+					lo = t.node(prog.OpShl, a, k2)
+				}
+				t.write(dst().Reg, 32, t.node(prog.OpOr, hi, lo))
+				return nil
+			}
+		}
+		res := t.node(op, a, b)
+		t.write(dst().Reg, w, res)
+		return nil
+
+	case "not", "neg", "inc", "dec", "bswap":
+		w := width()
+		a := t.truncate(t.reg(dst().Reg), w)
+		var res int32
+		switch base {
+		case "not":
+			if w == 32 {
+				res = t.node(prog.OpNot32, t.reg(dst().Reg))
+			} else {
+				res = t.node(prog.OpNot, a)
+			}
+		case "neg":
+			if w == 32 {
+				res = t.node(prog.OpNeg32, t.reg(dst().Reg))
+			} else {
+				res = t.node(prog.OpNeg, a)
+			}
+		case "inc":
+			if w == 32 {
+				res = t.node(prog.OpAdd32, t.reg(dst().Reg), t.constant(1))
+			} else {
+				res = t.node(prog.OpAdd, a, t.constant(1))
+			}
+		case "dec":
+			if w == 32 {
+				res = t.node(prog.OpSub32, t.reg(dst().Reg), t.constant(1))
+			} else {
+				res = t.node(prog.OpSub, a, t.constant(1))
+			}
+		case "bswap":
+			if w == 32 {
+				// bswap32(a) = bswap64(a) >> 32 for a zero-extended a.
+				full := t.node(prog.OpBswap, a)
+				res = t.node(prog.OpShr, full, t.constant(32))
+			} else {
+				res = t.node(prog.OpBswap, a)
+			}
+		}
+		t.write(dst().Reg, w, res)
+		return nil
+
+	case "lea":
+		src := &ops[0]
+		if src.Kind != asm.OpMem {
+			return fmt.Errorf("superopt: lea without memory operand")
+		}
+		acc := t.constant(uint64(src.Mem.Disp))
+		if src.Mem.Base != asm.NoReg && src.Mem.Base != asm.RIP {
+			acc = t.node(prog.OpAdd, acc, t.reg(src.Mem.Base))
+		}
+		if src.Mem.Index != asm.NoReg {
+			idx := t.reg(src.Mem.Index)
+			if src.Mem.Scale > 1 {
+				idx = t.node(prog.OpMul, idx, t.constant(uint64(src.Mem.Scale)))
+			}
+			acc = t.node(prog.OpAdd, acc, idx)
+		}
+		t.write(dst().Reg, width(), acc)
+		return nil
+
+	case "movzbl", "movzbq":
+		return t.extend(in, prog.OpZext8)
+	case "movzwl", "movzwq":
+		return t.extend(in, prog.OpZext16)
+	case "movsbl", "movsbq":
+		return t.extendMaybe32(in, prog.OpSext8)
+	case "movswl", "movswq":
+		return t.extendMaybe32(in, prog.OpSext16)
+	case "movslq":
+		return t.extend(in, prog.OpSext32)
+
+	case "bts", "btr", "btc":
+		// Bit test-and-modify: dst op= (1 << (src & 63)).
+		a := t.reg(dst().Reg)
+		b, err := t.operandRaw(&ops[0])
+		if err != nil {
+			return err
+		}
+		bit := t.node(prog.OpShl, t.constant(1), b)
+		var res int32
+		switch base {
+		case "bts":
+			res = t.node(prog.OpOr, a, bit)
+		case "btr":
+			res = t.node(prog.OpAnd, a, t.node(prog.OpNot, bit))
+		case "btc":
+			res = t.node(prog.OpXor, a, bit)
+		}
+		t.regs[dst().Reg] = res
+		return nil
+
+	case "popcnt":
+		return t.unary(in, prog.OpPopcnt)
+	case "lzcnt":
+		return t.scan(in, prog.OpClz)
+	case "tzcnt":
+		return t.scan(in, prog.OpCtz)
+
+	case "cmp", "test", "nop":
+		return nil // flags only
+	}
+	return fmt.Errorf("superopt: cannot translate %q", in.String())
+}
+
+// extend translates a zero/sign extension instruction.
+func (t *translator) extend(in *asm.Inst, op prog.Op) error {
+	src, err := t.operand(&in.Operands[0])
+	if err != nil {
+		return err
+	}
+	dst := &in.Operands[1]
+	w := dst.Width
+	if w == 0 {
+		w = 64
+	}
+	t.write(dst.Reg, w, t.node(op, src))
+	return nil
+}
+
+// extendMaybe32 handles sign extensions into 32-bit destinations,
+// where the result is additionally zero-extended by the write.
+func (t *translator) extendMaybe32(in *asm.Inst, op prog.Op) error {
+	return t.extend(in, op)
+}
+
+// unary translates one-source/one-dest ops like popcnt.
+func (t *translator) unary(in *asm.Inst, op prog.Op) error {
+	w := 64
+	if d := &in.Operands[1]; d.Kind == asm.OpReg && d.Width != 0 {
+		w = d.Width
+	}
+	src, err := t.operand(&in.Operands[0])
+	if err != nil {
+		return err
+	}
+	t.write(in.Operands[1].Reg, w, t.node(op, src))
+	return nil
+}
+
+// scan translates lzcnt/tzcnt, whose 32-bit forms count within 32
+// bits.
+func (t *translator) scan(in *asm.Inst, op prog.Op) error {
+	d := &in.Operands[1]
+	w := 64
+	if d.Kind == asm.OpReg && d.Width != 0 {
+		w = d.Width
+	}
+	src, err := t.operand(&in.Operands[0])
+	if err != nil {
+		return err
+	}
+	var res int32
+	if w == 32 {
+		if op == prog.OpClz {
+			// lzcnt32(a) = lzcnt64(zext32 a) - 32.
+			full := t.node(prog.OpClz, src)
+			res = t.node(prog.OpSub, full, t.constant(32))
+		} else {
+			// tzcnt32(a) = min(tzcnt64(a), 32); realize via
+			// tzcnt64(a | 2^32), which caps the count at 32.
+			forced := t.node(prog.OpOr, src, t.constant(1<<32))
+			res = t.node(prog.OpCtz, forced)
+		}
+	} else {
+		res = t.node(op, src)
+	}
+	t.write(d.Reg, w, res)
+	return nil
+}
+
+// trimWidthSuffix strips a trailing q/l width suffix from mnemonics
+// that have one (mirroring the evaluator's table).
+func trimWidthSuffix(m string) string {
+	if n := len(m); n > 1 && (m[n-1] == 'q' || m[n-1] == 'l') {
+		base := m[:n-1]
+		switch base {
+		case "mov", "add", "sub", "imul", "and", "or", "xor",
+			"shl", "sal", "shr", "sar", "rol", "ror",
+			"not", "neg", "inc", "dec", "bswap", "lea",
+			"popcnt", "lzcnt", "tzcnt", "cmp", "test",
+			"bts", "btr", "btc":
+			return base
+		}
+	}
+	return m
+}

@@ -1,0 +1,251 @@
+// Package sygus provides the SyGuS-style programming-by-example
+// bitvector benchmark. The paper evaluates on the 600 input/output
+// bitvector problems of the SyGuS 2017 competition; that dataset is
+// not redistributable here, so this package substitutes a suite with
+// the same shape: classic Hacker's-Delight bit-manipulation tasks
+// (the lineage of the SyGuS PBE-BV track) plus a seeded generator of
+// random bitvector problems, all specified purely by input/output
+// pairs with the low test-case counts characteristic of SyGuS (which
+// matter for the incorrect-test-cases cost function's behavior).
+package sygus
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"stochsyn/internal/prog"
+	"stochsyn/internal/testcase"
+)
+
+// Problem is one benchmark entry.
+type Problem struct {
+	// Name identifies the problem.
+	Name string
+	// Desc is a human-readable statement of the target function.
+	Desc string
+	// Suite is the input/output specification.
+	Suite *testcase.Suite
+}
+
+// named is a curated task: a reference function over 64-bit words.
+type named struct {
+	name   string
+	desc   string
+	inputs int
+	f      testcase.Func
+}
+
+// curated is the fixed task list, in the tradition of the
+// Hacker's-Delight / Gulwani et al. loop-free program suite that seeded
+// the SyGuS PBE bitvector track.
+var curated = []named{
+	{"hd01", "turn off the rightmost 1 bit: x & (x-1)", 1,
+		func(in []uint64) uint64 { return in[0] & (in[0] - 1) }},
+	{"hd02", "test: x & (x+1)", 1,
+		func(in []uint64) uint64 { return in[0] & (in[0] + 1) }},
+	{"hd03", "isolate the rightmost 1 bit: x & -x", 1,
+		func(in []uint64) uint64 { return in[0] & -in[0] }},
+	{"hd04", "mask for trailing zeros: ~x & (x-1)", 1,
+		func(in []uint64) uint64 { return ^in[0] & (in[0] - 1) }},
+	{"hd05", "propagate the rightmost 1 bit: x | (x-1)", 1,
+		func(in []uint64) uint64 { return in[0] | (in[0] - 1) }},
+	{"hd06", "turn on the rightmost 0 bit: x | (x+1)", 1,
+		func(in []uint64) uint64 { return in[0] | (in[0] + 1) }},
+	{"hd07", "isolate the rightmost 0 bit: ~x & (x+1)", 1,
+		func(in []uint64) uint64 { return ^in[0] & (in[0] + 1) }},
+	{"hd08", "mask of trailing ones: ~(x | -x)... form x & ~(x+1)", 1,
+		func(in []uint64) uint64 { return in[0] & ^(in[0] + 1) }},
+	{"hd09", "absolute value", 1,
+		func(in []uint64) uint64 {
+			s := in[0] >> 63
+			return (in[0] ^ -s) + s
+		}},
+	{"hd10", "same sign test: (x^y) >= 0 as all-ones/zero mask", 2,
+		func(in []uint64) uint64 {
+			return uint64(int64(in[0]^in[1]) >> 63)
+		}},
+	{"hd11", "sign function (-1, 0, 1)", 1,
+		func(in []uint64) uint64 {
+			x := int64(in[0])
+			return uint64(x>>63) | uint64(uint64(-x)>>63)
+		}},
+	{"hd12", "floor of average without overflow: (x&y) + ((x^y)>>1)", 2,
+		func(in []uint64) uint64 { return (in[0] & in[1]) + ((in[0] ^ in[1]) >> 1) }},
+	{"hd13", "ceiling of average: (x|y) - ((x^y)>>1)", 2,
+		func(in []uint64) uint64 { return (in[0] | in[1]) - ((in[0] ^ in[1]) >> 1) }},
+	{"hd14", "max of two signed integers", 2,
+		func(in []uint64) uint64 {
+			if int64(in[0]) >= int64(in[1]) {
+				return in[0]
+			}
+			return in[1]
+		}},
+	{"hd15", "min of two signed integers", 2,
+		func(in []uint64) uint64 {
+			if int64(in[0]) <= int64(in[1]) {
+				return in[0]
+			}
+			return in[1]
+		}},
+	{"hd16", "swap via xor composition: x ^ y ^ x == y", 2,
+		func(in []uint64) uint64 { return in[0] ^ in[1] ^ in[0] }},
+	{"hd17", "turn off the rightmost string of 1s: ((x | (x-1)) + 1) & x", 1,
+		func(in []uint64) uint64 { return ((in[0] | (in[0] - 1)) + 1) & in[0] }},
+	{"hd18", "parity of the low byte, replicated: popcount(x&255)&1", 1,
+		func(in []uint64) uint64 {
+			x := in[0] & 0xFF
+			x ^= x >> 4
+			x ^= x >> 2
+			x ^= x >> 1
+			return x & 1
+		}},
+	{"hd19", "clear lowest set byte boundary: x & (x << 1)", 1,
+		func(in []uint64) uint64 { return in[0] & (in[0] << 1) }},
+	{"hd20", "round down to a multiple of 8: x & ~7", 1,
+		func(in []uint64) uint64 { return in[0] &^ 7 }},
+	{"bv01", "x + y", 2, func(in []uint64) uint64 { return in[0] + in[1] }},
+	{"bv02", "x - y", 2, func(in []uint64) uint64 { return in[0] - in[1] }},
+	{"bv03", "2x + y", 2, func(in []uint64) uint64 { return 2*in[0] + in[1] }},
+	{"bv04", "x & (y | z)", 3, func(in []uint64) uint64 { return in[0] & (in[1] | in[2]) }},
+	{"bv05", "bitwise select: (x & y) | (~x & z)", 3,
+		func(in []uint64) uint64 { return (in[0] & in[1]) | (^in[0] & in[2]) }},
+	{"bv06", "x * 9 (shift-add form)", 1, func(in []uint64) uint64 { return in[0] * 9 }},
+	{"bv07", "high half to low half: x >> 32", 1, func(in []uint64) uint64 { return in[0] >> 32 }},
+	{"bv08", "byte duplicate of low byte into second byte", 1,
+		func(in []uint64) uint64 { return (in[0] & 0xFF) | (in[0]&0xFF)<<8 }},
+	{"bv09", "difference or zero (doz) unsigned", 2,
+		func(in []uint64) uint64 {
+			if in[0] >= in[1] {
+				return in[0] - in[1]
+			}
+			return 0
+		}},
+	{"bv10", "x rotated left by 8", 1,
+		func(in []uint64) uint64 { return in[0]<<8 | in[0]>>56 }},
+	{"bv11", "sign-extend low 16 bits", 1,
+		func(in []uint64) uint64 { return uint64(int64(int16(in[0]))) }},
+	{"bv12", "zero the odd bits: x & 0x5555...", 1,
+		func(in []uint64) uint64 { return in[0] & 0x5555555555555555 }},
+	{"bv13", "x == y as 0/1", 2,
+		func(in []uint64) uint64 {
+			if in[0] == in[1] {
+				return 1
+			}
+			return 0
+		}},
+	{"bv14", "(x + y) >> 1 truncating (may overflow)", 2,
+		func(in []uint64) uint64 { return (in[0] + in[1]) >> 1 }},
+	{"bv15", "negate if odd: x xor -(x&1) + (x&1)", 1,
+		func(in []uint64) uint64 {
+			m := -(in[0] & 1)
+			return (in[0] ^ m) - m
+		}},
+}
+
+// Options configures suite construction.
+type Options struct {
+	// Seed drives test-case generation and the random problem
+	// generator.
+	Seed uint64
+	// TestCases is the number of cases per curated problem. SyGuS PBE
+	// problems carry few examples; the default is 10.
+	TestCases int
+	// RandomProblems is the number of additional generated problems.
+	RandomProblems int
+	// RandomDepth bounds the expression depth of generated problems
+	// (default 3).
+	RandomDepth int
+}
+
+func (o Options) defaults() Options {
+	if o.TestCases <= 0 {
+		o.TestCases = 10
+	}
+	if o.RandomDepth <= 0 {
+		o.RandomDepth = 3
+	}
+	return o
+}
+
+// Standard returns the benchmark: the curated tasks followed by
+// opts.RandomProblems generated ones. Construction is deterministic
+// given the seed.
+func Standard(opts Options) []*Problem {
+	o := opts.defaults()
+	rng := rand.New(rand.NewPCG(o.Seed, 0x082efa98ec4e6c89))
+	var out []*Problem
+	for _, c := range curated {
+		suite := testcase.Generate(c.f, c.inputs, o.TestCases, rng)
+		out = append(out, &Problem{Name: c.name, Desc: c.desc, Suite: suite})
+	}
+	for i := 0; i < o.RandomProblems; i++ {
+		p := randomProblem(rng, i, o)
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// randomProblem generates one random bitvector PBE problem by sampling
+// a random expression in the full dialect and using it as the
+// reference function. Degenerate expressions (constant on the sampled
+// tests) are discarded and retried a few times.
+func randomProblem(rng *rand.Rand, idx int, o Options) *Problem {
+	for attempt := 0; attempt < 10; attempt++ {
+		numInputs := 1 + rng.IntN(3)
+		p := randomExpr(rng, numInputs, o.RandomDepth)
+		f := func(in []uint64) uint64 { return p.Output(in) }
+		suite := testcase.Generate(f, numInputs, o.TestCases, rng)
+		constant := true
+		for _, c := range suite.Cases[1:] {
+			if c.Output != suite.Cases[0].Output {
+				constant = false
+				break
+			}
+		}
+		if constant {
+			continue
+		}
+		return &Problem{
+			Name:  fmt.Sprintf("rnd%03d", idx),
+			Desc:  "generated: " + p.String(),
+			Suite: suite,
+		}
+	}
+	return nil
+}
+
+// randomExpr samples a random program of bounded depth over the full
+// dialect.
+func randomExpr(rng *rand.Rand, numInputs, depth int) *prog.Program {
+	p := prog.NewZero(numInputs)
+	root := buildExpr(p, rng, numInputs, depth)
+	p.Root = root
+	p.Invalidate()
+	p.GC() // drops the seed constant if unused
+	return p
+}
+
+// buildExpr appends a random expression to p and returns its root
+// index. It keeps the program within the node limit by degrading to
+// leaves when full.
+func buildExpr(p *prog.Program, rng *rand.Rand, numInputs, depth int) int32 {
+	leaf := func() int32 {
+		if rng.IntN(3) > 0 {
+			return int32(rng.IntN(numInputs)) // a permanent input node
+		}
+		p.Nodes = append(p.Nodes, prog.Node{Op: prog.OpConst, Val: prog.FullSet.RandomConst(rng)})
+		return int32(len(p.Nodes) - 1)
+	}
+	if depth <= 0 || p.BodyLen() >= prog.MaxBody-2 || rng.IntN(4) == 0 {
+		return leaf()
+	}
+	op := prog.FullSet.RandomOp(rng)
+	nd := prog.Node{Op: op}
+	for a := 0; a < op.Arity(); a++ {
+		nd.Args[a] = buildExpr(p, rng, numInputs, depth-1)
+	}
+	p.Nodes = append(p.Nodes, nd)
+	return int32(len(p.Nodes) - 1)
+}

@@ -1,0 +1,125 @@
+package sygus
+
+import (
+	"testing"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/search"
+)
+
+func TestStandardSuite(t *testing.T) {
+	probs := Standard(Options{Seed: 1})
+	if len(probs) != len(curated) {
+		t.Fatalf("got %d problems, want %d", len(probs), len(curated))
+	}
+	names := map[string]bool{}
+	for _, p := range probs {
+		if names[p.Name] {
+			t.Errorf("duplicate problem name %q", p.Name)
+		}
+		names[p.Name] = true
+		if err := p.Suite.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.Suite.Len() != 10 {
+			t.Errorf("%s has %d cases, want the SyGuS-like default 10", p.Name, p.Suite.Len())
+		}
+	}
+}
+
+func TestCuratedSemantics(t *testing.T) {
+	// Spot-check some curated reference functions against known
+	// closed forms.
+	for _, tc := range []struct {
+		name string
+		in   []uint64
+		want uint64
+	}{
+		{"hd01", []uint64{0b1100}, 0b1000},
+		{"hd03", []uint64{0b101000}, 0b1000},
+		{"hd09", []uint64{^uint64(4) + 1}, 4}, // |-4| = 4
+		{"hd12", []uint64{10, 20}, 15},
+		{"hd14", []uint64{^uint64(0), 3}, 3}, // max(-1, 3) = 3
+		{"hd15", []uint64{^uint64(0), 3}, ^uint64(0)},
+		{"bv13", []uint64{7, 7}, 1},
+		{"bv13", []uint64{7, 8}, 0},
+	} {
+		var f named
+		found := false
+		for _, c := range curated {
+			if c.name == tc.name {
+				f = c
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no curated problem %q", tc.name)
+		}
+		if got := f.f(tc.in); got != tc.want {
+			t.Errorf("%s(%v) = %d, want %d", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRandomProblemsGenerated(t *testing.T) {
+	probs := Standard(Options{Seed: 2, RandomProblems: 15})
+	got := 0
+	for _, p := range probs {
+		if len(p.Name) > 3 && p.Name[:3] == "rnd" {
+			got++
+			// Generated problems must not be constant.
+			first := p.Suite.Cases[0].Output
+			constant := true
+			for _, c := range p.Suite.Cases[1:] {
+				if c.Output != first {
+					constant = false
+				}
+			}
+			if constant {
+				t.Errorf("%s is constant", p.Name)
+			}
+		}
+	}
+	if got == 0 {
+		t.Error("no random problems generated")
+	}
+}
+
+func TestStandardDeterministic(t *testing.T) {
+	a := Standard(Options{Seed: 5, RandomProblems: 5})
+	b := Standard(Options{Seed: 5, RandomProblems: 5})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Suite.Len() != b[i].Suite.Len() {
+			t.Errorf("problem %d differs", i)
+		}
+		for j := range a[i].Suite.Cases {
+			if a[i].Suite.Cases[j].Output != b[i].Suite.Cases[j].Output {
+				t.Errorf("problem %d case %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestEasyProblemsSynthesize(t *testing.T) {
+	// hd01 and bv01 should synthesize quickly; this keeps the suite
+	// honest end to end.
+	probs := Standard(Options{Seed: 3, TestCases: 32})
+	for _, name := range []string{"hd01", "bv01"} {
+		for _, p := range probs {
+			if p.Name != name {
+				continue
+			}
+			r := search.New(p.Suite, search.Options{
+				Set: prog.FullSet, Cost: cost.Hamming, Beta: 2, Seed: 17,
+			})
+			if _, done := r.Step(2_000_000); !done {
+				t.Errorf("%s did not synthesize in 2M iterations", name)
+			}
+		}
+	}
+}

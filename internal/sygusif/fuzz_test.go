@@ -1,0 +1,26 @@
+package sygusif
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the SyGuS-IF reader: it must never
+// panic, and accepted problems must carry a valid suite.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("(set-logic BV)")
+	f.Add("(synth-fun f ((x (_ BitVec 64))) (_ BitVec 64))(constraint (= (f #x1) #x2))(check-synth)")
+	f.Add("; comment only")
+	f.Add("((((")
+	f.Add(`("str)`)
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := p.Suite.Validate(); err != nil {
+			t.Fatalf("accepted problem with invalid suite: %v", err)
+		}
+		if p.Name == "" || len(p.Args) != p.Suite.NumInputs {
+			t.Fatalf("inconsistent problem: %+v", p)
+		}
+	})
+}

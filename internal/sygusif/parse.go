@@ -1,0 +1,191 @@
+package sygusif
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"stochsyn/internal/testcase"
+)
+
+// Problem is a parsed PBE synthesis problem.
+type Problem struct {
+	// Name is the synth-fun's name.
+	Name string
+	// Args are the argument names, in declaration order.
+	Args []string
+	// Width is the bit width of the function's sort (<= 64). Values
+	// are stored zero-extended in 64-bit words.
+	Width int
+	// Suite holds the input/output examples.
+	Suite *testcase.Suite
+}
+
+// Parse reads one .sl source and extracts its PBE problem. It errors
+// on files without a synth-fun, with non-bitvector sorts wider than 64
+// bits, or with constraints that are not input/output examples.
+func Parse(src string) (*Problem, error) {
+	exprs, err := parseSexprs(src)
+	if err != nil {
+		return nil, err
+	}
+	var prob *Problem
+	var cases []testcase.Case
+	for _, e := range exprs {
+		if e.isAtom() || len(e.List) == 0 {
+			continue
+		}
+		switch e.atomAt(0) {
+		case "set-logic", "check-synth", "set-option", "declare-var", "set-info":
+			// Accepted and ignored. declare-var only matters for
+			// universally quantified constraints, which the PBE subset
+			// does not use.
+		case "synth-fun":
+			if prob != nil {
+				return nil, fmt.Errorf("sygusif: multiple synth-fun commands")
+			}
+			prob, err = parseSynthFun(e)
+			if err != nil {
+				return nil, err
+			}
+		case "constraint":
+			if prob == nil {
+				return nil, fmt.Errorf("sygusif: constraint before synth-fun")
+			}
+			c, err := parseConstraint(e, prob)
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, *c)
+		case "define-fun":
+			// Helper definitions are beyond the PBE subset; reject so
+			// the caller can skip the file rather than mis-synthesize.
+			return nil, fmt.Errorf("sygusif: define-fun is not supported in the PBE subset")
+		default:
+			return nil, fmt.Errorf("sygusif: unsupported command %q", e.atomAt(0))
+		}
+	}
+	if prob == nil {
+		return nil, fmt.Errorf("sygusif: no synth-fun found")
+	}
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("sygusif: no input/output constraints found")
+	}
+	prob.Suite = &testcase.Suite{NumInputs: len(prob.Args), Cases: cases}
+	if err := prob.Suite.Validate(); err != nil {
+		return nil, err
+	}
+	return prob, nil
+}
+
+// parseSynthFun handles (synth-fun name ((arg sort)...) sort grammar?).
+func parseSynthFun(e *sexpr) (*Problem, error) {
+	if len(e.List) < 4 {
+		return nil, fmt.Errorf("sygusif: malformed synth-fun")
+	}
+	name := e.atomAt(1)
+	if name == "" {
+		return nil, fmt.Errorf("sygusif: synth-fun without a name")
+	}
+	argsList := e.List[2]
+	if argsList.isAtom() {
+		return nil, fmt.Errorf("sygusif: synth-fun arguments must be a list")
+	}
+	p := &Problem{Name: name}
+	for _, arg := range argsList.List {
+		if arg.isAtom() || len(arg.List) != 2 || !arg.List[0].isAtom() {
+			return nil, fmt.Errorf("sygusif: malformed argument declaration %s", arg)
+		}
+		w, err := bitvecWidth(arg.List[1])
+		if err != nil {
+			return nil, err
+		}
+		_ = w // argument widths may differ from the return width
+		p.Args = append(p.Args, arg.List[0].Atom)
+	}
+	w, err := bitvecWidth(e.List[3])
+	if err != nil {
+		return nil, err
+	}
+	p.Width = w
+	return p, nil
+}
+
+// bitvecWidth accepts (_ BitVec n) and (BitVec n) sorts up to 64 bits.
+func bitvecWidth(s *sexpr) (int, error) {
+	if s.isAtom() {
+		return 0, fmt.Errorf("sygusif: unsupported sort %q", s.Atom)
+	}
+	var widthAtom string
+	switch {
+	case len(s.List) == 3 && s.atomAt(0) == "_" && s.atomAt(1) == "BitVec":
+		widthAtom = s.atomAt(2)
+	case len(s.List) == 2 && s.atomAt(0) == "BitVec":
+		widthAtom = s.atomAt(1)
+	default:
+		return 0, fmt.Errorf("sygusif: unsupported sort %s", s)
+	}
+	w, err := strconv.Atoi(widthAtom)
+	if err != nil || w <= 0 || w > 64 {
+		return 0, fmt.Errorf("sygusif: unsupported bitvector width %q", widthAtom)
+	}
+	return w, nil
+}
+
+// parseConstraint handles (constraint (= (f lit...) lit)) in either
+// orientation.
+func parseConstraint(e *sexpr, p *Problem) (*testcase.Case, error) {
+	if len(e.List) != 2 || e.List[1].isAtom() {
+		return nil, fmt.Errorf("sygusif: unsupported constraint %s", e)
+	}
+	eq := e.List[1]
+	if eq.atomAt(0) != "=" || len(eq.List) != 3 {
+		return nil, fmt.Errorf("sygusif: constraint is not an equality example: %s", e)
+	}
+	lhs, rhs := eq.List[1], eq.List[2]
+	// Accept (= (f args) out) or (= out (f args)).
+	if lhs.isAtom() || lhs.atomAt(0) != p.Name {
+		lhs, rhs = rhs, lhs
+	}
+	if lhs.isAtom() || lhs.atomAt(0) != p.Name {
+		return nil, fmt.Errorf("sygusif: constraint does not apply %s: %s", p.Name, e)
+	}
+	if len(lhs.List)-1 != len(p.Args) {
+		return nil, fmt.Errorf("sygusif: %s takes %d arguments, constraint passes %d",
+			p.Name, len(p.Args), len(lhs.List)-1)
+	}
+	c := &testcase.Case{}
+	for _, arg := range lhs.List[1:] {
+		v, err := literal(arg)
+		if err != nil {
+			return nil, fmt.Errorf("sygusif: non-literal argument in example: %v", err)
+		}
+		c.Inputs = append(c.Inputs, v)
+	}
+	out, err := literal(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("sygusif: non-literal output in example: %v", err)
+	}
+	c.Output = out
+	return c, nil
+}
+
+// literal parses #xHEX, #bBIN, decimal, and (_ bvN width) constants.
+func literal(s *sexpr) (uint64, error) {
+	if s.isAtom() {
+		a := s.Atom
+		switch {
+		case strings.HasPrefix(a, "#x"):
+			return strconv.ParseUint(a[2:], 16, 64)
+		case strings.HasPrefix(a, "#b"):
+			return strconv.ParseUint(a[2:], 2, 64)
+		default:
+			return strconv.ParseUint(a, 10, 64)
+		}
+	}
+	// (_ bvN width)
+	if len(s.List) == 3 && s.atomAt(0) == "_" && strings.HasPrefix(s.atomAt(1), "bv") {
+		return strconv.ParseUint(s.atomAt(1)[2:], 10, 64)
+	}
+	return 0, fmt.Errorf("cannot parse literal %s", s)
+}

@@ -1,0 +1,145 @@
+// Package sygusif reads and writes the programming-by-example subset
+// of the SyGuS interchange format (the .sl files of the SyGuS
+// competition's PBE bitvector track, which the paper's first benchmark
+// is drawn from). Supported input shape:
+//
+//	(set-logic BV)
+//	(synth-fun f ((x (_ BitVec 64)) (y (_ BitVec 64))) (_ BitVec 64) ...)
+//	(constraint (= (f #x00000000000000ff #x0000000000000001) #x00000000000000fe))
+//	(check-synth)
+//
+// Only input/output-example constraints are accepted — exactly the
+// problems amenable to stochastic synthesis (Section 2.1 of the
+// paper); any other constraint shape is reported as an error so the
+// caller can skip the file. Both the (_ BitVec n) and (BitVec n) sort
+// spellings and #x/#b/(_ bvN w) literals are understood.
+package sygusif
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// sexpr is an S-expression: either an atom (List == nil) or a list.
+type sexpr struct {
+	Atom string
+	List []*sexpr
+	// pos is the byte offset for error messages.
+	pos int
+}
+
+func (s *sexpr) isAtom() bool { return s.List == nil }
+
+// atomAt returns the i-th element if it is an atom, else "".
+func (s *sexpr) atomAt(i int) string {
+	if i < len(s.List) && s.List[i].isAtom() {
+		return s.List[i].Atom
+	}
+	return ""
+}
+
+// String renders the expression back to source form.
+func (s *sexpr) String() string {
+	if s.isAtom() {
+		return s.Atom
+	}
+	parts := make([]string, len(s.List))
+	for i, e := range s.List {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// parseSexprs parses a whole file into its top-level expressions.
+// Line comments start with ';'.
+func parseSexprs(src string) ([]*sexpr, error) {
+	p := &sparser{src: src}
+	var out []*sexpr
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return out, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}
+
+type sparser struct {
+	src string
+	pos int
+}
+
+func (p *sparser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == ';':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		case unicode.IsSpace(rune(c)):
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *sparser) expr() (*sexpr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("sygusif: unexpected end of input")
+	}
+	start := p.pos
+	switch p.src[p.pos] {
+	case '(':
+		p.pos++
+		node := &sexpr{List: []*sexpr{}, pos: start}
+		for {
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("sygusif: unclosed '(' at offset %d", start)
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				return node, nil
+			}
+			child, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			node.List = append(node.List, child)
+		}
+	case ')':
+		return nil, fmt.Errorf("sygusif: unexpected ')' at offset %d", p.pos)
+	case '"':
+		// String literal (kept verbatim, quotes included).
+		end := p.pos + 1
+		for end < len(p.src) && p.src[end] != '"' {
+			end++
+		}
+		if end >= len(p.src) {
+			return nil, fmt.Errorf("sygusif: unterminated string at offset %d", p.pos)
+		}
+		atom := p.src[p.pos : end+1]
+		p.pos = end + 1
+		return &sexpr{Atom: atom, pos: start}, nil
+	default:
+		end := p.pos
+		for end < len(p.src) && !isDelim(p.src[end]) {
+			end++
+		}
+		atom := p.src[p.pos:end]
+		p.pos = end
+		return &sexpr{Atom: atom, pos: start}, nil
+	}
+}
+
+func isDelim(c byte) bool {
+	return c == '(' || c == ')' || c == ';' || c == '"' || unicode.IsSpace(rune(c))
+}

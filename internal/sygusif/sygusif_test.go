@@ -1,0 +1,169 @@
+package sygusif
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stochsyn/internal/testcase"
+)
+
+const sample = `
+; turn off the rightmost 1 bit
+(set-logic BV)
+(synth-fun f ((x (_ BitVec 64))) (_ BitVec 64))
+(constraint (= (f #x0000000000000003) #x0000000000000002))
+(constraint (= (f #b0000000000000000000000000000000000000000000000000000000000001100) #x0000000000000008))
+(constraint (= (f (_ bv5 64)) (_ bv4 64)))
+(constraint (= #x0000000000000000 (f #x0000000000000001)))
+(check-synth)
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "f" || len(p.Args) != 1 || p.Width != 64 {
+		t.Fatalf("problem header: %+v", p)
+	}
+	if p.Suite.Len() != 4 {
+		t.Fatalf("got %d cases", p.Suite.Len())
+	}
+	want := []testcase.Case{
+		{Inputs: []uint64{3}, Output: 2},
+		{Inputs: []uint64{12}, Output: 8},
+		{Inputs: []uint64{5}, Output: 4},
+		{Inputs: []uint64{1}, Output: 0},
+	}
+	for i, c := range p.Suite.Cases {
+		if c.Inputs[0] != want[i].Inputs[0] || c.Output != want[i].Output {
+			t.Errorf("case %d = %v, want %v", i, c, want[i])
+		}
+	}
+}
+
+func TestParseMultiArg(t *testing.T) {
+	src := `
+(set-logic BV)
+(synth-fun max2 ((a (BitVec 64)) (b (BitVec 64))) (BitVec 64))
+(constraint (= (max2 #x0000000000000001 #x0000000000000002) #x0000000000000002))
+(check-synth)
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Args) != 2 || p.Args[0] != "a" || p.Args[1] != "b" {
+		t.Errorf("args = %v", p.Args)
+	}
+	if p.Suite.Cases[0].Inputs[1] != 2 {
+		t.Error("second input wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"", "no synth-fun"},
+		{"(set-logic BV)(check-synth)", "no synth-fun"},
+		{"(synth-fun f ((x (_ BitVec 64))) (_ BitVec 64))", "no input/output constraints"},
+		{"(synth-fun f ((x (_ BitVec 128))) (_ BitVec 64))", "width"},
+		{"(synth-fun f ((x (_ BitVec 64))) (_ BitVec 64))(constraint (bvult (f #x0) #x5))(check-synth)",
+			"not an equality"},
+		{"(synth-fun f ((x (_ BitVec 64))) (_ BitVec 64))(constraint (= (f x) #x0000000000000000))",
+			"non-literal"},
+		{"(constraint (= (f #x0) #x0))", "before synth-fun"},
+		{"(synth-fun f ((x (_ BitVec 64))) (_ BitVec 64))(synth-fun g ((x (_ BitVec 64))) (_ BitVec 64))",
+			"multiple synth-fun"},
+		{"(define-fun helper ((x (_ BitVec 64))) (_ BitVec 64) x)", "define-fun"},
+		{"(frobnicate)", "unsupported command"},
+		{"(synth-fun f ((x (_ BitVec 64))) (_ BitVec 64))(constraint (= (f #x1 #x2) #x3))",
+			"takes 1 arguments"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse accepted %q", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) error %q, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestParseSexprErrors(t *testing.T) {
+	for _, src := range []string{"(", ")", "(a (b)", `("unterminated`} {
+		if _, err := parseSexprs(src); err == nil {
+			t.Errorf("parseSexprs accepted %q", src)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	suite := testcase.Generate(func(in []uint64) uint64 { return in[0] &^ in[1] }, 2, 12, rng)
+	var sb strings.Builder
+	if err := Write(&sb, "g", suite); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(sb.String())
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, sb.String())
+	}
+	if p.Name != "g" || p.Suite.Len() != suite.Len() {
+		t.Fatalf("round trip mismatch: %+v", p)
+	}
+	for i := range suite.Cases {
+		if p.Suite.Cases[i].Output != suite.Cases[i].Output {
+			t.Fatalf("case %d output differs", i)
+		}
+		for j := range suite.Cases[i].Inputs {
+			if p.Suite.Cases[i].Inputs[j] != suite.Cases[i].Inputs[j] {
+				t.Fatalf("case %d input %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestPropertyWriteParseRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%3
+		rng := rand.New(rand.NewPCG(seed, 9))
+		suite := testcase.GenerateUniform(func(in []uint64) uint64 {
+			v := uint64(0)
+			for _, x := range in {
+				v ^= x
+			}
+			return v
+		}, n, 5, rng)
+		var sb strings.Builder
+		if err := Write(&sb, "h", suite); err != nil {
+			return false
+		}
+		p, err := Parse(sb.String())
+		if err != nil || p.Suite.Len() != 5 || p.Suite.NumInputs != n {
+			return false
+		}
+		for i := range suite.Cases {
+			if p.Suite.Cases[i].Output != suite.Cases[i].Output {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	src := "; header comment\n" + sample + "\n; trailing"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package sygusif
+
+import (
+	"fmt"
+	"io"
+
+	"stochsyn/internal/testcase"
+)
+
+// Write renders a PBE problem in SyGuS-IF syntax, the inverse of
+// Parse. Values are emitted as 64-bit #x literals.
+func Write(w io.Writer, name string, suite *testcase.Suite) error {
+	if err := suite.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "(set-logic BV)"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(synth-fun %s (", name)
+	for i := 0; i < suite.NumInputs; i++ {
+		if i > 0 {
+			fmt.Fprint(w, " ")
+		}
+		fmt.Fprintf(w, "(%s (_ BitVec 64))", argName(i))
+	}
+	fmt.Fprintln(w, ") (_ BitVec 64))")
+	for _, c := range suite.Cases {
+		fmt.Fprintf(w, "(constraint (= (%s", name)
+		for _, in := range c.Inputs {
+			fmt.Fprintf(w, " #x%016x", in)
+		}
+		fmt.Fprintf(w, ") #x%016x))\n", c.Output)
+	}
+	_, err := fmt.Fprintln(w, "(check-synth)")
+	return err
+}
+
+// argName yields x, y, z, w, a4, a5, ... for argument positions.
+func argName(i int) string {
+	names := []string{"x", "y", "z", "w"}
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("a%d", i)
+}

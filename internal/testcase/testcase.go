@@ -1,0 +1,148 @@
+// Package testcase defines the input/output test cases that specify a
+// synthesis problem and the generators that produce them: important
+// corner cases (0, 1, -1, ...), uniformly random bit patterns, and bit
+// patterns with high and low Hamming weight, per Section 6.1 of the
+// paper.
+package testcase
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"stochsyn/internal/bits"
+)
+
+// Case is one test case: an input vector and the desired output.
+type Case struct {
+	Inputs []uint64
+	Output uint64
+}
+
+// Suite is the full specification of a synthesis problem: a fixed
+// number of inputs and a list of cases. A program solves the suite
+// when its output equals Output on every case.
+type Suite struct {
+	NumInputs int
+	Cases     []Case
+}
+
+// Validate checks that every case has exactly NumInputs inputs.
+func (s *Suite) Validate() error {
+	if s.NumInputs < 0 {
+		return fmt.Errorf("testcase: negative input count %d", s.NumInputs)
+	}
+	if len(s.Cases) == 0 {
+		return fmt.Errorf("testcase: empty suite")
+	}
+	for i, c := range s.Cases {
+		if len(c.Inputs) != s.NumInputs {
+			return fmt.Errorf("testcase: case %d has %d inputs, want %d", i, len(c.Inputs), s.NumInputs)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of cases.
+func (s *Suite) Len() int { return len(s.Cases) }
+
+// Clone returns a deep copy of the suite.
+func (s *Suite) Clone() *Suite {
+	out := &Suite{NumInputs: s.NumInputs, Cases: make([]Case, len(s.Cases))}
+	for i, c := range s.Cases {
+		out.Cases[i] = Case{Inputs: append([]uint64(nil), c.Inputs...), Output: c.Output}
+	}
+	return out
+}
+
+// Func is a reference semantics for a synthesis problem, used to
+// compute desired outputs when generating suites.
+type Func func(inputs []uint64) uint64
+
+// Generate builds a suite of n cases for a reference function with
+// numInputs inputs. The input vectors mix three sources in roughly the
+// proportions the benchmark uses: corner-case values on each input,
+// uniformly random words, and words with skewed (high or low) Hamming
+// weight. Generation is deterministic given the rng.
+func Generate(f Func, numInputs, n int, rng *rand.Rand) *Suite {
+	s := &Suite{NumInputs: numInputs}
+	seen := make(map[string]bool, n)
+	add := func(in []uint64) bool {
+		key := fmt.Sprint(in)
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		s.Cases = append(s.Cases, Case{Inputs: in, Output: f(in)})
+		return true
+	}
+	// fill draws vectors from gen until the suite reaches target cases
+	// or the generator keeps producing duplicates (possible when the
+	// value pool is small relative to the target, e.g. corner cases
+	// with a single input); misses is the consecutive-duplicate bound.
+	fill := func(target int, gen func(in []uint64)) {
+		const maxMisses = 64
+		misses := 0
+		for len(s.Cases) < target && misses < maxMisses {
+			in := make([]uint64, numInputs)
+			gen(in)
+			if add(in) {
+				misses = 0
+			} else {
+				misses++
+			}
+		}
+	}
+
+	// Corner-case vectors first: all inputs drawn from the corner
+	// list, starting with the uniform vectors (all zero, all one, all
+	// minus-one) and then mixed assignments.
+	for _, v := range []uint64{0, 1, ^uint64(0)} {
+		if len(s.Cases) >= n {
+			break
+		}
+		in := make([]uint64, numInputs)
+		for i := range in {
+			in[i] = v
+		}
+		add(in)
+	}
+	fill(n/3, func(in []uint64) {
+		for i := range in {
+			in[i] = bits.CornerCases[rng.IntN(len(bits.CornerCases))]
+		}
+	})
+
+	// Skewed Hamming-weight vectors.
+	fill(2*n/3, func(in []uint64) {
+		for i := range in {
+			if rng.IntN(2) == 0 {
+				in[i] = bits.RandomLowWeight(rng)
+			} else {
+				in[i] = bits.RandomHighWeight(rng)
+			}
+		}
+	})
+
+	// Uniformly random vectors for the remainder.
+	fill(n, func(in []uint64) {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+	})
+	return s
+}
+
+// GenerateUniform builds a suite of n cases whose inputs are all
+// uniformly random words. Some SyGuS-style problems use purely random
+// examples; this generator reproduces that shape.
+func GenerateUniform(f Func, numInputs, n int, rng *rand.Rand) *Suite {
+	s := &Suite{NumInputs: numInputs}
+	for len(s.Cases) < n {
+		in := make([]uint64, numInputs)
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		s.Cases = append(s.Cases, Case{Inputs: in, Output: f(in)})
+	}
+	return s
+}

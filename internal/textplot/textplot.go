@@ -1,0 +1,260 @@
+// Package textplot renders the experiment outputs as plain text: line
+// charts for the β sweeps and cactus plots, density heat maps for the
+// plateau charts, histograms for the distribution fits, and CSV
+// writers so external tooling can re-plot everything.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// shades orders the density glyphs from sparse to dense.
+var shades = []rune{' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'}
+
+// Heat renders a density grid (rows indexed bottom-up) as an ASCII
+// heat map with the given axis labels. Density[y][x] with y = 0 at the
+// bottom of the plot.
+func Heat(w io.Writer, density [][]int, xlabel, ylabel string) {
+	if len(density) == 0 {
+		fmt.Fprintln(w, "(empty chart)")
+		return
+	}
+	maxD := 0
+	for _, row := range density {
+		for _, d := range row {
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if maxD == 0 {
+		maxD = 1
+	}
+	for y := len(density) - 1; y >= 0; y-- {
+		var sb strings.Builder
+		sb.WriteString("  |")
+		for _, d := range density[y] {
+			idx := 0
+			if d > 0 {
+				idx = 1 + int(float64(len(shades)-2)*math.Log1p(float64(d))/math.Log1p(float64(maxD)))
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			sb.WriteRune(shades[idx])
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", len(density[0])))
+	fmt.Fprintf(w, "   x: %s, y: %s, peak density %d\n", xlabel, ylabel, maxD)
+}
+
+// Series is one named line of a Lines chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Lines renders multiple series on a shared log-or-linear grid of the
+// given size. Points are marked with the series' index glyph; the
+// legend maps glyphs to names. NaN and Inf points are skipped.
+func Lines(w io.Writer, series []Series, width, height int, logX, logY bool, xlabel, ylabel string) {
+	glyphs := "abcdefghijklmnopqrstuvwxyz"
+	tx := func(v float64) float64 {
+		if logX {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if logY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	usable := false
+	for _, s := range series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			usable = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if !usable {
+		fmt.Fprintln(w, "(no finite points)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			cx := int(float64(width-1) * (x - minX) / (maxX - minX))
+			cy := int(float64(height-1) * (y - minY) / (maxY - minY))
+			grid[cy][cx] = g
+		}
+	}
+	for y := height - 1; y >= 0; y-- {
+		fmt.Fprintf(w, "  |%s\n", string(grid[y]))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "   x: %s [%.3g, %.3g]%s, y: %s [%.3g, %.3g]%s\n",
+		xlabel, untx(minX, logX), untx(maxX, logX), logSuffix(logX),
+		ylabel, untx(minY, logY), untx(maxY, logY), logSuffix(logY))
+	for si, s := range series {
+		fmt.Fprintf(w, "   %c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func untx(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func logSuffix(log bool) string {
+	if log {
+		return " (log)"
+	}
+	return ""
+}
+
+// Histogram renders counts as a horizontal bar chart with bucket
+// labels.
+func Histogram(w io.Writer, labels []string, counts []int) {
+	maxC := 0
+	maxL := 0
+	for i, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxC == 0 {
+		maxC = 1
+	}
+	for i, c := range counts {
+		bar := strings.Repeat("#", int(math.Round(40*float64(c)/float64(maxC))))
+		fmt.Fprintf(w, "  %-*s %6d %s\n", maxL, labels[i], c, bar)
+	}
+}
+
+// Table renders rows with aligned columns; the first row is treated as
+// the header.
+func Table(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var sb strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		if ri == 0 {
+			fmt.Fprintln(w, strings.Repeat("-", lineWidth(widths)))
+		}
+	}
+}
+
+func lineWidth(widths []int) int {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	return total + 2*(len(widths)-1)
+}
+
+// CSV writes rows as comma-separated values, quoting cells that need
+// it. It is intentionally minimal (no embedded newlines expected).
+func CSV(w io.Writer, rows [][]string) error {
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			cells[i] = c
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatFloat renders a float compactly for tables.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "-"
+	case v != 0 && (math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return strconv(v)
+	}
+}
+
+// strconv trims trailing zeros from a fixed rendering.
+func strconv(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// SortedKeys returns map keys in sorted order (a small convenience for
+// deterministic report output).
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,131 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeat(t *testing.T) {
+	var sb strings.Builder
+	density := [][]int{
+		{0, 1, 2},
+		{3, 0, 0},
+	}
+	Heat(&sb, density, "iters", "cost")
+	out := sb.String()
+	if !strings.Contains(out, "peak density 3") {
+		t.Errorf("missing peak annotation:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Two rows + separator + label line.
+	if len(lines) != 4 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestHeatEmpty(t *testing.T) {
+	var sb strings.Builder
+	Heat(&sb, nil, "x", "y")
+	if !strings.Contains(sb.String(), "empty") {
+		t.Error("empty chart not flagged")
+	}
+}
+
+func TestLines(t *testing.T) {
+	var sb strings.Builder
+	Lines(&sb, []Series{
+		{Name: "one", X: []float64{1, 10, 100}, Y: []float64{0.9, 0.5, 0.1}},
+		{Name: "two", X: []float64{1, 10, 100}, Y: []float64{0.8, 0.4, 0.2}},
+	}, 40, 10, true, false, "beta", "fail rate")
+	out := sb.String()
+	if !strings.Contains(out, "a = one") || !strings.Contains(out, "b = two") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(log)") {
+		t.Error("log axis annotation missing")
+	}
+}
+
+func TestLinesSkipsNonFinite(t *testing.T) {
+	var sb strings.Builder
+	Lines(&sb, []Series{
+		{Name: "bad", X: []float64{1, 2}, Y: []float64{math.Inf(1), math.NaN()}},
+	}, 20, 5, false, false, "x", "y")
+	if !strings.Contains(sb.String(), "no finite points") {
+		t.Error("all-non-finite series not flagged")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var sb strings.Builder
+	Histogram(&sb, []string{"geometric", "lognormal"}, []int{2, 8})
+	out := sb.String()
+	if !strings.Contains(out, "geometric") || !strings.Contains(out, "########") {
+		t.Errorf("histogram malformed:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, [][]string{
+		{"name", "value"},
+		{"alpha", "1"},
+		{"bb", "22"},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "name") || !strings.Contains(out, "alpha") {
+		t.Errorf("table missing cells:\n%s", out)
+	}
+	// Header separator present.
+	if !strings.Contains(out, "---") {
+		t.Error("missing header rule")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	err := CSV(&sb, [][]string{
+		{"a", "b"},
+		{"plain", `quo"ted,value`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"quo\"\"ted,value\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1.5, "1.5"},
+		{1.50001, "1.5"},
+		{math.Inf(1), "inf"},
+		{math.Inf(-1), "-inf"},
+		{math.NaN(), "-"},
+		{1234567, "1.23e+06"},
+		{0.0001, "0.0001"},
+	}
+	for _, tc := range cases {
+		if got := FormatFloat(tc.v); got != tc.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedKeys = %v", got)
+		}
+	}
+}

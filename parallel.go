@@ -1,0 +1,106 @@
+package stochsyn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/search"
+)
+
+// SynthesizeParallel runs `workers` independent searches concurrently
+// (each with its own seed derived from Options.Seed) and returns as
+// soon as any of them solves the problem. The budget is shared: the
+// total iterations across all workers never exceed Options.Budget, so
+// results remain comparable with Synthesize in the paper's
+// iteration-count terms while using multiple cores for wall-clock
+// speed.
+//
+// Unlike Synthesize, the winning program may depend on goroutine
+// scheduling (whichever worker finds a solution first wins); iteration
+// accounting and correctness do not. workers <= 0 uses GOMAXPROCS.
+func SynthesizeParallel(p *Problem, opts Options, workers int) (Result, error) {
+	o, err := opts.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	kind, err := cost.ParseKind(string(o.Cost))
+	if err != nil {
+		return Result{}, err
+	}
+	set, redundancy, err := dialectSet(o.Dialect)
+	if err != nil {
+		return Result{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 64 {
+		workers = 64
+	}
+
+	// Shared iteration pool and stop flag. Workers draw budget in
+	// chunks; the first solver flips the flag and everyone drains.
+	var pool atomic.Int64
+	pool.Store(o.Budget)
+	var solved atomic.Bool
+	var spent atomic.Int64
+
+	type winner struct {
+		program  string
+		searches int
+	}
+	var mu sync.Mutex
+	var best *winner
+
+	const chunk = 8192
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run := search.New(p.suite, search.Options{
+				Set:        set,
+				Cost:       kind,
+				Beta:       o.Beta,
+				Redundancy: redundancy,
+				Seed:       o.Seed ^ (uint64(w)+1)*0x2545f4914f6cdd1d,
+			})
+			for !solved.Load() {
+				// Acquire a chunk from the shared pool.
+				n := pool.Add(-chunk)
+				grant := int64(chunk)
+				if n < 0 {
+					grant += n // partial final chunk
+					if grant <= 0 {
+						return
+					}
+				}
+				used, done := run.Step(grant)
+				spent.Add(used)
+				if returned := grant - used; returned > 0 {
+					pool.Add(returned)
+				}
+				if done {
+					mu.Lock()
+					if best == nil {
+						best = &winner{program: run.Solution().String()}
+					}
+					mu.Unlock()
+					solved.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := Result{Iterations: spent.Load(), Searches: workers}
+	if best != nil {
+		res.Solved = true
+		res.Program = best.program
+	}
+	return res, nil
+}

@@ -1,0 +1,356 @@
+// Package stochsyn is a library for program synthesis from
+// input/output examples via stochastic search, implementing the
+// algorithms of "Adaptive Restarts for Stochastic Synthesis" (Koenig,
+// Padon, Aiken; PLDI 2021).
+//
+// The search explores rooted dataflow graphs over 64-bit operations
+// with a Metropolis-style acceptance rule controlled by a temperature
+// Beta, guided by one of three cost functions (Hamming distance,
+// incorrect test cases, or log difference). On top of the basic search
+// the library provides the full family of restart strategies analyzed
+// in the paper — including the adaptive restart algorithm, which runs
+// searches in a Luby doubling tree and promotes low-cost searches
+// toward the root — which speeds up synthesis by up to an order of
+// magnitude on heavy-tailed problems.
+//
+// Basic use:
+//
+//	problem, _ := stochsyn.ProblemFromFunc(
+//		func(in []uint64) uint64 { return in[0] & (in[0] - 1) }, // spec
+//		1, 100, 42)
+//	res, _ := stochsyn.Synthesize(problem, stochsyn.Options{})
+//	if res.Solved {
+//		fmt.Println(res.Program) // e.g. "andq(x, subq(x, 1))"
+//	}
+package stochsyn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/restart"
+	"stochsyn/internal/search"
+	"stochsyn/internal/testcase"
+)
+
+// Case is one input/output example.
+type Case struct {
+	Inputs []uint64
+	Output uint64
+}
+
+// Problem is a synthesis problem: a set of input/output examples over
+// a fixed number of inputs. Any program matching every example is a
+// solution.
+type Problem struct {
+	suite *testcase.Suite
+}
+
+// NewProblem builds a problem from explicit examples. All cases must
+// have exactly numInputs inputs, and numInputs must be at most
+// MaxInputs.
+func NewProblem(numInputs int, cases []Case) (*Problem, error) {
+	if numInputs > MaxInputs {
+		return nil, fmt.Errorf("stochsyn: %d inputs exceeds the limit of %d", numInputs, MaxInputs)
+	}
+	s := &testcase.Suite{NumInputs: numInputs}
+	for _, c := range cases {
+		s.Cases = append(s.Cases, testcase.Case{
+			Inputs: append([]uint64(nil), c.Inputs...),
+			Output: c.Output,
+		})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Problem{suite: s}, nil
+}
+
+// ProblemFromFunc builds a problem by sampling numCases test inputs
+// (corner cases, random words, and skewed Hamming weights) and
+// computing outputs with the reference function. Generation is
+// deterministic in seed.
+func ProblemFromFunc(f func(inputs []uint64) uint64, numInputs, numCases int, seed uint64) (*Problem, error) {
+	if numInputs > MaxInputs {
+		return nil, fmt.Errorf("stochsyn: %d inputs exceeds the limit of %d", numInputs, MaxInputs)
+	}
+	if numCases <= 0 {
+		return nil, errors.New("stochsyn: numCases must be positive")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x452821e638d01377))
+	s := testcase.Generate(testcase.Func(f), numInputs, numCases, rng)
+	return &Problem{suite: s}, nil
+}
+
+// NumInputs returns the problem's input arity.
+func (p *Problem) NumInputs() int { return p.suite.NumInputs }
+
+// NumCases returns the number of examples.
+func (p *Problem) NumCases() int { return p.suite.Len() }
+
+// Cases returns a copy of the problem's examples.
+func (p *Problem) Cases() []Case {
+	out := make([]Case, 0, p.suite.Len())
+	for _, c := range p.suite.Cases {
+		out = append(out, Case{Inputs: append([]uint64(nil), c.Inputs...), Output: c.Output})
+	}
+	return out
+}
+
+// Limits of the program representation (Section 3 of the paper).
+const (
+	// MaxInputs is the maximum number of problem inputs.
+	MaxInputs = prog.MaxInputs
+	// MaxProgramSize is the maximum number of instructions and
+	// constants in a synthesized program.
+	MaxProgramSize = prog.MaxBody
+)
+
+// CostFunction selects the search's cost function.
+type CostFunction string
+
+// The three cost functions of the paper.
+const (
+	// Hamming counts incorrect bits across all test cases (default).
+	Hamming CostFunction = "hamming"
+	// IncorrectTests counts test cases with at least one wrong bit.
+	IncorrectTests CostFunction = "inctests"
+	// LogDiff charges 1 + log2 of the numeric difference per case.
+	LogDiff CostFunction = "logdiff"
+)
+
+// Dialect selects the instruction set available to the search.
+type Dialect string
+
+// Available dialects.
+const (
+	// Full is the x86-flavoured 64-bit set with 32-bit variants
+	// (default).
+	Full Dialect = "full"
+	// Base is the classic superoptimizer set (no 32-bit variants or
+	// bit-scan operations).
+	Base Dialect = "base"
+	// Model is the reduced analysis set of Section 4 of the paper
+	// (and, or, xor, not, 1-bit shifts, zero/ones constants); it also
+	// enables the canonicalizing redundancy move.
+	Model Dialect = "model"
+)
+
+// Options configures Synthesize. The zero value is a reasonable
+// default: the adaptive restart strategy, Hamming cost, Beta 1, full
+// dialect, and a 10M-iteration budget.
+type Options struct {
+	// Cost is the cost function (default Hamming).
+	Cost CostFunction
+	// Beta is the acceptance temperature, expressed relative to a
+	// 100-test-case problem as in the paper (default 1). Larger values
+	// accept more cost-increasing moves; 0 is greedy descent.
+	Beta float64
+	// Strategy is a restart strategy spec: "adaptive" (default),
+	// "luby", "naive", "pluby", "fixed:<n>", "exp:<t0>:<z>", or
+	// "innerouter:<t0>:<z>"; "adaptive:<t0>" and "luby:<t0>" override
+	// the base cutoff.
+	Strategy string
+	// Budget is the total iteration budget across all restarts
+	// (default 10,000,000).
+	Budget int64
+	// Dialect selects the instruction set (default Full).
+	Dialect Dialect
+	// Seed makes the synthesis deterministic (default 1).
+	Seed uint64
+}
+
+// Result reports a synthesis outcome.
+type Result struct {
+	// Solved reports whether a program matching every example was
+	// found within the budget.
+	Solved bool
+	// Program is the textual form of the solution (empty when not
+	// solved); parse it back with ParseProgram.
+	Program string
+	// Iterations is the total number of search iterations consumed.
+	Iterations int64
+	// Searches is the number of independent searches the strategy ran.
+	Searches int
+}
+
+func (o Options) normalize() (Options, error) {
+	if o.Cost == "" {
+		o.Cost = Hamming
+	}
+	if o.Beta == 0 {
+		o.Beta = 1
+	}
+	if o.Strategy == "" {
+		o.Strategy = "adaptive"
+	}
+	if o.Budget == 0 {
+		o.Budget = 10_000_000
+	}
+	if o.Budget < 0 {
+		return o, errors.New("stochsyn: negative budget")
+	}
+	if o.Dialect == "" {
+		o.Dialect = Full
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o, nil
+}
+
+// dialectSet resolves a Dialect to its OpSet and redundancy-move flag.
+func dialectSet(d Dialect) (*prog.OpSet, bool, error) {
+	switch d {
+	case Full:
+		return prog.FullSet, false, nil
+	case Base:
+		return prog.BaseSet, false, nil
+	case Model:
+		return prog.ModelSet, true, nil
+	}
+	return nil, false, fmt.Errorf("stochsyn: unknown dialect %q", d)
+}
+
+// Synthesize searches for a program matching every example of the
+// problem, using the configured restart strategy under a global
+// iteration budget. It is deterministic given Options.Seed.
+func Synthesize(p *Problem, opts Options) (Result, error) {
+	o, err := opts.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	kind, err := cost.ParseKind(string(o.Cost))
+	if err != nil {
+		return Result{}, err
+	}
+	set, redundancy, err := dialectSet(o.Dialect)
+	if err != nil {
+		return Result{}, err
+	}
+	strat, err := restart.New(o.Strategy)
+	if err != nil {
+		return Result{}, err
+	}
+	factory := search.NewFactory(p.suite, search.Options{
+		Set:        set,
+		Cost:       kind,
+		Beta:       o.Beta,
+		Redundancy: redundancy,
+		Seed:       o.Seed,
+	})
+	res := strat.Run(factory, o.Budget)
+	out := Result{
+		Solved:     res.Solved,
+		Iterations: res.Iterations,
+		Searches:   res.Searches,
+	}
+	if res.Solved {
+		if run, ok := res.Winner.(*search.Run); ok {
+			out.Program = run.Solution().String()
+		}
+	}
+	return out, nil
+}
+
+// OptimizeResult reports a superoptimization outcome.
+type OptimizeResult struct {
+	// Program is the smallest correct program found (the starting
+	// program when no improvement was found).
+	Program string
+	// Size and StartSize count instructions and constants of the best
+	// and starting programs.
+	Size, StartSize int
+	// Improved reports whether a smaller equivalent was found.
+	Improved bool
+	// Iterations is the number of search iterations consumed.
+	Iterations int64
+}
+
+// Optimize performs STOKE-style superoptimization: starting from a
+// known-correct program (e.g. a Synthesize result or a translated
+// machine-code fragment), it searches for a smaller program that still
+// matches every example, using the same Metropolis search with a size
+// term added to the cost. The start program must match the problem.
+func Optimize(p *Problem, start string, opts Options) (OptimizeResult, error) {
+	o, err := opts.normalize()
+	if err != nil {
+		return OptimizeResult{}, err
+	}
+	kind, err := cost.ParseKind(string(o.Cost))
+	if err != nil {
+		return OptimizeResult{}, err
+	}
+	set, redundancy, err := dialectSet(o.Dialect)
+	if err != nil {
+		return OptimizeResult{}, err
+	}
+	init, err := prog.Parse(start, p.suite.NumInputs)
+	if err != nil {
+		return OptimizeResult{}, fmt.Errorf("stochsyn: bad start program: %w", err)
+	}
+	if !cost.Solves(init, p.suite) {
+		return OptimizeResult{}, errors.New("stochsyn: start program does not match the problem")
+	}
+	run := search.New(p.suite, search.Options{
+		Set:          set,
+		Cost:         kind,
+		Beta:         o.Beta,
+		Redundancy:   redundancy,
+		Seed:         o.Seed,
+		Init:         init,
+		MinimizeSize: true,
+	})
+	used, _ := run.Step(o.Budget)
+	best := run.Best()
+	res := OptimizeResult{
+		Program:    best.String(),
+		Size:       best.BodyLen(),
+		StartSize:  init.BodyLen(),
+		Iterations: used,
+	}
+	res.Improved = res.Size < res.StartSize
+	return res, nil
+}
+
+// Program is a parsed synthesized program, runnable on new inputs.
+type Program struct {
+	p *prog.Program
+}
+
+// ParseProgram parses the textual program notation (as produced in
+// Result.Program), e.g. "orq(andq(x, y), andq(notq(x), z))" or the
+// sharing form "a = notq(x); addq(a, a)".
+func ParseProgram(src string, numInputs int) (*Program, error) {
+	p, err := prog.Parse(src, numInputs)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{p: p}, nil
+}
+
+// Run evaluates the program on one input vector.
+func (pr *Program) Run(inputs ...uint64) (uint64, error) {
+	if len(inputs) != pr.p.NumInputs {
+		return 0, fmt.Errorf("stochsyn: program takes %d inputs, got %d", pr.p.NumInputs, len(inputs))
+	}
+	return pr.p.Output(inputs), nil
+}
+
+// String returns the program's textual form.
+func (pr *Program) String() string { return pr.p.String() }
+
+// Size returns the number of instructions and constants.
+func (pr *Program) Size() int { return pr.p.BodyLen() }
+
+// Matches reports whether the program satisfies every example of the
+// problem.
+func (pr *Program) Matches(p *Problem) bool {
+	if pr.p.NumInputs != p.suite.NumInputs {
+		return false
+	}
+	return cost.Solves(pr.p, p.suite)
+}

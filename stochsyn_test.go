@@ -1,0 +1,333 @@
+package stochsyn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func selectSpec(in []uint64) uint64 {
+	return (in[0] & in[1]) | (^in[0] & in[2])
+}
+
+func TestProblemFromFunc(t *testing.T) {
+	p, err := ProblemFromFunc(selectSpec, 3, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInputs() != 3 || p.NumCases() != 50 {
+		t.Errorf("problem shape: %d inputs, %d cases", p.NumInputs(), p.NumCases())
+	}
+	for _, c := range p.Cases() {
+		if c.Output != selectSpec(c.Inputs) {
+			t.Fatal("case output mismatch")
+		}
+	}
+}
+
+func TestProblemFromFuncErrors(t *testing.T) {
+	if _, err := ProblemFromFunc(selectSpec, MaxInputs+1, 10, 1); err == nil {
+		t.Error("accepted too many inputs")
+	}
+	if _, err := ProblemFromFunc(selectSpec, 3, 0, 1); err == nil {
+		t.Error("accepted zero cases")
+	}
+}
+
+func TestNewProblem(t *testing.T) {
+	p, err := NewProblem(2, []Case{
+		{Inputs: []uint64{1, 2}, Output: 3},
+		{Inputs: []uint64{5, 5}, Output: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCases() != 2 {
+		t.Error("case count wrong")
+	}
+	// Arity mismatch.
+	if _, err := NewProblem(2, []Case{{Inputs: []uint64{1}, Output: 0}}); err == nil {
+		t.Error("accepted wrong-arity case")
+	}
+	if _, err := NewProblem(2, nil); err == nil {
+		t.Error("accepted empty problem")
+	}
+}
+
+func TestCasesCopied(t *testing.T) {
+	cases := []Case{{Inputs: []uint64{1, 2}, Output: 3}}
+	p, err := NewProblem(2, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases[0].Inputs[0] = 99
+	if p.Cases()[0].Inputs[0] == 99 {
+		t.Error("NewProblem aliases caller storage")
+	}
+	got := p.Cases()
+	got[0].Inputs[0] = 77
+	if p.Cases()[0].Inputs[0] == 77 {
+		t.Error("Cases returns aliased storage")
+	}
+}
+
+func TestSynthesizeDefaults(t *testing.T) {
+	p, err := ProblemFromFunc(func(in []uint64) uint64 { return in[0] ^ in[1] }, 2, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("xor not synthesized in %d iterations", res.Iterations)
+	}
+	prog, err := ParseProgram(res.Program, 2)
+	if err != nil {
+		t.Fatalf("solution %q does not parse: %v", res.Program, err)
+	}
+	if !prog.Matches(p) {
+		t.Error("solution does not match the problem")
+	}
+}
+
+func TestSynthesizeStrategies(t *testing.T) {
+	p, err := ProblemFromFunc(func(in []uint64) uint64 { return in[0] & (in[0] - 1) }, 1, 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []string{"naive", "luby", "adaptive", "pluby", "fixed:50000", "exp:1000:2", "innerouter:1000:2"} {
+		res, err := Synthesize(p, Options{Strategy: strat, Beta: 2, Budget: 4_000_000, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if !res.Solved {
+			t.Errorf("%s failed to synthesize hd01", strat)
+			continue
+		}
+		prog, err := ParseProgram(res.Program, 1)
+		if err != nil {
+			t.Fatalf("%s solution unparsable: %v", strat, err)
+		}
+		if !prog.Matches(p) {
+			t.Errorf("%s solution does not match", strat)
+		}
+	}
+}
+
+func TestSynthesizeModelDialect(t *testing.T) {
+	p, err := ProblemFromFunc(func(in []uint64) uint64 { return (in[0] << 1) | in[0] }, 1, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(p, Options{Dialect: Model, Budget: 1_000_000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("model dialect failed on or(shl(x), x)")
+	}
+	if strings.ContainsAny(res.Program, "q") {
+		// Model mnemonics (and/or/xor/not/shl/shr) contain no 'q'.
+		t.Errorf("model solution uses full-dialect ops: %s", res.Program)
+	}
+}
+
+func TestSynthesizeCostFunctions(t *testing.T) {
+	p, err := ProblemFromFunc(func(in []uint64) uint64 { return in[0] | in[1] }, 2, 60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cf := range []CostFunction{Hamming, IncorrectTests, LogDiff} {
+		beta := 1.0
+		if cf == IncorrectTests {
+			beta = 0.05 // the incorrect-tests scale is much smaller
+		}
+		res, err := Synthesize(p, Options{Cost: cf, Beta: beta, Budget: 4_000_000, Seed: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", cf, err)
+		}
+		if !res.Solved {
+			t.Errorf("cost %s failed on x|y", cf)
+		}
+	}
+}
+
+func TestSynthesizeOptionErrors(t *testing.T) {
+	p, _ := ProblemFromFunc(func(in []uint64) uint64 { return in[0] }, 1, 10, 1)
+	if _, err := Synthesize(p, Options{Cost: "bogus"}); err == nil {
+		t.Error("accepted bogus cost")
+	}
+	if _, err := Synthesize(p, Options{Strategy: "bogus"}); err == nil {
+		t.Error("accepted bogus strategy")
+	}
+	if _, err := Synthesize(p, Options{Dialect: "bogus"}); err == nil {
+		t.Error("accepted bogus dialect")
+	}
+	if _, err := Synthesize(p, Options{Budget: -1}); err == nil {
+		t.Error("accepted negative budget")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	p, _ := ProblemFromFunc(func(in []uint64) uint64 { return in[0] + in[1] }, 2, 40, 9)
+	r1, err := Synthesize(p, Options{Seed: 5, Budget: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Synthesize(p, Options{Seed: 5, Budget: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Iterations != r2.Iterations || r1.Program != r2.Program {
+		t.Error("same-seed synthesis diverged")
+	}
+}
+
+func TestParseProgramAndRun(t *testing.T) {
+	prog, err := ParseProgram("orq(andq(x, y), andq(notq(x), z))", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prog.Run(0xF0, 0xAA, 0x55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := selectSpec([]uint64{0xF0, 0xAA, 0x55})
+	if got != want {
+		t.Errorf("Run = %#x, want %#x", got, want)
+	}
+	if prog.Size() != 4 {
+		t.Errorf("Size = %d, want 4", prog.Size())
+	}
+	if _, err := prog.Run(1, 2); err == nil {
+		t.Error("accepted wrong arity")
+	}
+	if _, err := ParseProgram("frob(x)", 1); err == nil {
+		t.Error("accepted bogus program text")
+	}
+}
+
+func TestMatchesArityGuard(t *testing.T) {
+	p1, _ := ProblemFromFunc(func(in []uint64) uint64 { return in[0] }, 1, 10, 1)
+	prog, _ := ParseProgram("addq(x, y)", 2)
+	if prog.Matches(p1) {
+		t.Error("arity-mismatched program matched")
+	}
+}
+
+func TestPropertySolutionsAlwaysMatch(t *testing.T) {
+	// Whatever Synthesize returns as solved must verify against the
+	// problem.
+	f := func(seed uint64) bool {
+		p, err := ProblemFromFunc(func(in []uint64) uint64 { return in[0] &^ in[1] }, 2, 30, seed)
+		if err != nil {
+			return false
+		}
+		res, err := Synthesize(p, Options{Seed: seed%100 + 1, Budget: 1_000_000})
+		if err != nil {
+			return false
+		}
+		if !res.Solved {
+			return true // timeouts are legitimate
+		}
+		prog, err := ParseProgram(res.Program, 2)
+		if err != nil {
+			return false
+		}
+		return prog.Matches(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizeShrinksProgram(t *testing.T) {
+	// Specify x*3 via a deliberately bloated but correct start
+	// program; optimization should find something smaller, and the
+	// result must stay correct.
+	p, err := ProblemFromFunc(func(in []uint64) uint64 { return in[0] * 3 }, 1, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := "addq(addq(x, x), mulq(x, 1))" // 4 body nodes
+	res, err := Optimize(p, start, Options{Beta: 1, Budget: 2_000_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StartSize != 4 {
+		t.Errorf("StartSize = %d, want 4", res.StartSize)
+	}
+	if res.Size > res.StartSize {
+		t.Errorf("optimization grew the program: %d -> %d", res.StartSize, res.Size)
+	}
+	best, err := ParseProgram(res.Program, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Matches(p) {
+		t.Error("optimized program no longer matches")
+	}
+	if res.Improved && res.Size >= 4 {
+		t.Error("Improved flag inconsistent with sizes")
+	}
+}
+
+func TestOptimizeRejectsWrongStart(t *testing.T) {
+	p, _ := ProblemFromFunc(func(in []uint64) uint64 { return in[0] * 3 }, 1, 30, 10)
+	if _, err := Optimize(p, "addq(x, 1)", Options{}); err == nil {
+		t.Error("accepted a non-matching start program")
+	}
+	if _, err := Optimize(p, "frob(x)", Options{}); err == nil {
+		t.Error("accepted an unparsable start program")
+	}
+}
+
+func TestSynthesizeParallel(t *testing.T) {
+	p, err := ProblemFromFunc(func(in []uint64) uint64 { return in[0] ^ in[1] }, 2, 60, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SynthesizeParallel(p, Options{Beta: 2, Budget: 8_000_000, Seed: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("parallel synthesis failed in %d iterations", res.Iterations)
+	}
+	if res.Iterations > 8_000_000 {
+		t.Errorf("budget exceeded: %d", res.Iterations)
+	}
+	prog, err := ParseProgram(res.Program, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Matches(p) {
+		t.Error("parallel solution does not match")
+	}
+}
+
+func TestSynthesizeParallelRespectsBudgetWhenUnsolvable(t *testing.T) {
+	// A spec needing more than the tiny budget: all workers must stop
+	// once the shared pool is drained, with total <= budget.
+	p, err := ProblemFromFunc(func(in []uint64) uint64 {
+		return in[0]*in[0]*in[0] + 17*in[0] + in[1]*in[1]
+	}, 2, 80, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SynthesizeParallel(p, Options{Beta: 1, Budget: 50_000, Seed: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Skip("surprisingly solved")
+	}
+	if res.Iterations > 50_000 {
+		t.Errorf("iterations %d exceed the 50k budget", res.Iterations)
+	}
+	if res.Iterations < 40_000 {
+		t.Errorf("iterations %d suspiciously below the budget", res.Iterations)
+	}
+}
