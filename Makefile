@@ -1,0 +1,31 @@
+# Developer entry points. `make ci` is the gate every change must
+# pass: it builds everything, vets, and runs the full test suite under
+# the race detector (the concurrent tree executor and the parallel
+# naive pool are exercised heavily there).
+
+GO ?= go
+
+.PHONY: ci build vet test race short bench-exec
+
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+# Print the concurrent executor's counters on a couple of benchmark
+# problems (sequential-vs-concurrent wall clock, speculation, swaps,
+# pool utilization).
+bench-exec:
+	$(GO) run ./cmd/bench -exp exec -problems 4 -budget 2000000

@@ -11,6 +11,7 @@
 //	bench -exp fits       -bench sygus            Figure 6
 //	bench -exp model                              Figure 10 / Section 5.2.1
 //	bench -exp markov                             Figure 4
+//	bench -exp exec      -workers 8               concurrent tree executor counters
 //	bench -exp all                                everything at smoke scale
 //
 // The defaults are sized to finish in minutes on a laptop; raise
@@ -23,17 +24,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"stochsyn/internal/cost"
 	"stochsyn/internal/experiment"
 	"stochsyn/internal/prog"
+	"stochsyn/internal/restart"
+	"stochsyn/internal/search"
 	"stochsyn/internal/superopt"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: betasweep, compare, plateau, fits, model, markov, all")
+		exp      = flag.String("exp", "all", "experiment: betasweep, compare, plateau, fits, model, markov, exec, all")
 		benchSel = flag.String("bench", "sygus", "benchmark: sygus or superopt")
 		problems = flag.Int("problems", 12, "number of benchmark problems")
 		names    = flag.String("names", "", "comma-separated problem names to keep (after loading)")
@@ -48,6 +53,7 @@ func main() {
 		runs     = flag.Int("runs", 40, "runs for plateau chart")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		par      = flag.Int("parallelism", 0, "max concurrent trials (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "worker pool size for -exp exec (0 = GOMAXPROCS)")
 		csvPath  = flag.String("csv", "", "also write CSV to this file")
 	)
 	flag.Parse()
@@ -81,7 +87,7 @@ func main() {
 		benchSel: *benchSel, problems: *problems, trials: *trials,
 		budget: *budget, betaPts: *betaPts, algos: algoList, costs: costList,
 		problem: *problem, beta: *beta, costSel: *costSel, runs: *runs,
-		seed: *seed, par: *par, csv: csvw, names: *names,
+		seed: *seed, par: *par, csv: csvw, names: *names, workers: *workers,
 	}
 
 	switch *exp {
@@ -101,6 +107,8 @@ func main() {
 		runCutoff(cfg)
 	case "failures":
 		runFailures(cfg)
+	case "exec":
+		runExec(cfg)
 	case "all":
 		fmt.Println("== model chains (Figure 10) ==")
 		runModel(cfg)
@@ -133,6 +141,7 @@ type benchConfig struct {
 	runs     int
 	seed     uint64
 	par      int
+	workers  int
 	csv      io.Writer
 	names    string
 }
@@ -391,6 +400,67 @@ func runFailures(cfg benchConfig) {
 		Beta: cfg.beta, Seed: cfg.seed, Parallelism: cfg.par,
 	})
 	res.Report(os.Stdout)
+}
+
+// runExec compares the sequential doubling-tree oracle with the
+// concurrent executor on real benchmark problems and prints the
+// executor's counters (ExecStats). The Result columns must agree
+// exactly between the two — the executor reproduces the sequential
+// schedule bit for bit — so the interesting output is the wall-clock
+// ratio and the speculation/utilization accounting.
+func runExec(cfg benchConfig) {
+	bench := loadBench(cfg)
+	kind, err := cost.ParseKind(cfg.costSel)
+	if err != nil {
+		fatal(err)
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("concurrent tree executor on %s: workers=%d budget=%d cost=%s beta=%g t0=%d\n",
+		bench, workers, cfg.budget, kind, cfg.beta, restart.DefaultT0)
+	fmt.Printf("%-12s %-8s  %6s %9s %5s  %8s %8s  %6s %6s %6s  %9s %9s %9s %6s %5s\n",
+		"problem", "algo", "solved", "iters", "srch",
+		"seq", "conc", "passes", "steps", "skip",
+		"spent", "spec", "strand", "swaps", "util")
+	for i := range bench.Problems {
+		p := bench.Problems[i]
+		factory := search.NewFactory(p.Suite, search.Options{
+			Set:  bench.Set,
+			Cost: kind,
+			Beta: cfg.beta,
+			Seed: cfg.seed,
+		})
+		for _, adaptive := range []bool{true, false} {
+			algo := "pluby"
+			if adaptive {
+				algo = "adaptive"
+			}
+			t0 := time.Now()
+			seq := (&restart.Tree{T0: restart.DefaultT0, Adaptive: adaptive}).
+				Run(factory, cfg.budget)
+			seqDur := time.Since(t0)
+			t0 = time.Now()
+			conc := (&restart.Tree{T0: restart.DefaultT0, Adaptive: adaptive, Workers: workers}).
+				Run(factory, cfg.budget)
+			concDur := time.Since(t0)
+			if seq.Solved != conc.Solved || seq.Iterations != conc.Iterations || seq.Searches != conc.Searches {
+				fatal(fmt.Errorf("%s/%s: concurrent result diverged from sequential oracle:\n  seq  %+v\n  conc %+v",
+					p.Name, algo, seq, conc))
+			}
+			st := conc.Exec
+			if st == nil {
+				fatal(fmt.Errorf("%s/%s: concurrent run reported no executor stats", p.Name, algo))
+			}
+			fmt.Printf("%-12s %-8s  %6v %9d %5d  %8s %8s  %6d %6d %6d  %9d %9d %9d %6d %4.0f%%\n",
+				p.Name, algo, conc.Solved, conc.Iterations, conc.Searches,
+				seqDur.Round(time.Millisecond), concDur.Round(time.Millisecond),
+				st.Passes, st.Steps, st.Skipped,
+				st.BudgetSpent, st.Speculated, st.BudgetStranded,
+				st.Swaps, 100*st.Utilization)
+		}
+	}
 }
 
 func runMarkov(cfg benchConfig) {

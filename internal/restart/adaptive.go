@@ -39,6 +39,13 @@ type Tree struct {
 	// while labels keep doubling so existing searches still receive
 	// exponentially growing allocations.
 	MaxSearches int
+	// Workers selects the executor: 0 or 1 runs the doubling tree
+	// sequentially on the calling goroutine (the reference oracle);
+	// larger values dispatch sibling subtree visits onto a bounded
+	// pool of that many workers (see treeexec.go). Both executors
+	// produce bit-identical Results for a deterministic factory, so
+	// Workers trades wall-clock time only, never reproducibility.
+	Workers int
 }
 
 // Name implements Strategy.
@@ -70,6 +77,9 @@ type treeRun struct {
 func (t *Tree) Run(f search.Factory, budget int64) Result {
 	if t.T0 <= 0 {
 		panic("restart: tree base cutoff must be positive")
+	}
+	if t.Workers > 1 {
+		return t.runConcurrent(f, budget)
 	}
 	r := &treeRun{cfg: t, factory: f, budget: budget}
 

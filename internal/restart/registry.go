@@ -17,11 +17,15 @@ const DefaultT0 = 1000
 //
 //	naive
 //	luby | luby:<t0>
-//	adaptive | adaptive:<t0> | adaptive:<t0>:<maxSearches>
-//	pluby | pluby:<t0> | pluby:<t0>:<maxSearches>
+//	adaptive | adaptive:<t0> | adaptive:<t0>:<maxSearches> | adaptive:<t0>:<maxSearches>:<workers>
+//	pluby | pluby:<t0> | pluby:<t0>:<maxSearches> | pluby:<t0>:<maxSearches>:<workers>
 //	fixed:<cutoff>
 //	exp:<t0>:<z>
 //	innerouter:<t0>:<z>
+//
+// maxSearches 0 means unlimited; workers 0 or 1 selects the
+// sequential executor, larger values the concurrent one (the Results
+// are identical either way; see Tree.Workers).
 //
 // It returns an error for unknown names or malformed parameters.
 func New(spec string) (Strategy, error) {
@@ -34,6 +38,16 @@ func New(spec string) (Strategy, error) {
 		v, err := strconv.ParseInt(parts[i], 10, 64)
 		if err == nil && v <= 0 {
 			return 0, fmt.Errorf("must be positive, got %d", v)
+		}
+		return v, err
+	}
+	argNonNeg := func(i int, def int64) (int64, error) {
+		if len(parts) <= i {
+			return def, nil
+		}
+		v, err := strconv.ParseInt(parts[i], 10, 64)
+		if err == nil && v < 0 {
+			return 0, fmt.Errorf("must be non-negative, got %d", v)
 		}
 		return v, err
 	}
@@ -56,26 +70,25 @@ func New(spec string) (Strategy, error) {
 			return nil, fmt.Errorf("restart: bad t0 in %q: %v", spec, err)
 		}
 		return NewLuby(t0), nil
-	case "adaptive":
+	case "adaptive", "pluby":
 		t0, err := argInt(1, DefaultT0)
 		if err != nil {
 			return nil, fmt.Errorf("restart: bad t0 in %q: %v", spec, err)
 		}
-		max, err := argInt(2, 0)
+		max, err := argNonNeg(2, 0)
 		if err != nil {
 			return nil, fmt.Errorf("restart: bad search cap in %q: %v", spec, err)
 		}
-		return &Tree{T0: t0, Adaptive: true, MaxSearches: int(max)}, nil
-	case "pluby":
-		t0, err := argInt(1, DefaultT0)
+		workers, err := argNonNeg(3, 0)
 		if err != nil {
-			return nil, fmt.Errorf("restart: bad t0 in %q: %v", spec, err)
+			return nil, fmt.Errorf("restart: bad worker count in %q: %v", spec, err)
 		}
-		max, err := argInt(2, 0)
-		if err != nil {
-			return nil, fmt.Errorf("restart: bad search cap in %q: %v", spec, err)
-		}
-		return &Tree{T0: t0, MaxSearches: int(max)}, nil
+		return &Tree{
+			T0:          t0,
+			Adaptive:    name == "adaptive",
+			MaxSearches: int(max),
+			Workers:     int(workers),
+		}, nil
 	case "fixed":
 		if len(parts) < 2 {
 			return nil, fmt.Errorf("restart: fixed requires a cutoff, e.g. fixed:10000")

@@ -30,6 +30,10 @@ type Result struct {
 	// Winner is the search that finished, or nil. Callers may
 	// type-assert it (e.g. to *search.Run) to retrieve the solution.
 	Winner search.Search
+	// Exec holds executor counters when the strategy ran on the
+	// concurrent tree executor (Tree.Workers > 1), and is nil
+	// otherwise. It never influences the fields above.
+	Exec *ExecStats
 }
 
 // Strategy drives searches created by a factory under a total
@@ -71,11 +75,16 @@ type Sequential struct {
 // Name implements Strategy.
 func (s *Sequential) Name() string { return s.StrategyName }
 
-// Run implements Strategy.
+// Run implements Strategy. It panics if the Cutoff function returns a
+// non-positive value: a zero cutoff consumes no budget, so tolerating
+// it would spin forever without making progress.
 func (s *Sequential) Run(f search.Factory, budget int64) Result {
 	var res Result
 	for i := 1; res.Iterations < budget; i++ {
 		cut := s.Cutoff(i)
+		if cut <= 0 {
+			panic(fmt.Sprintf("restart: %s cutoff for search %d is %d, must be positive", s.StrategyName, i, cut))
+		}
 		if remaining := budget - res.Iterations; cut > remaining {
 			cut = remaining
 		}

@@ -1,0 +1,394 @@
+package restart
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stochsyn/internal/search"
+)
+
+// This file implements the multi-core executor for the doubling-tree
+// strategies (parallel Luby and adaptive). The sequential Tree.Run in
+// adaptive.go is kept unchanged as the reference oracle; the executor
+// is required to produce a bit-identical Result for any deterministic
+// factory, and treeexec_test.go enforces that seed for seed.
+//
+// # Why the schedule is deterministic
+//
+// The doubling pass of Figures 8/9 visits the tree in depth-first
+// post-order. Two observations make a deterministic parallel execution
+// possible:
+//
+//  1. The iteration grant of every visit is positional: it depends
+//     only on the tree shape, node labels, and the remaining budget —
+//     never on search costs. Adaptive swaps exchange the searches
+//     attached to two nodes, not the nodes' labels. So the entire
+//     pass schedule (which node steps, for how many iterations, in
+//     what post-order position, and which fresh leaves are created
+//     with which factory ids) can be planned up front on one
+//     goroutine, before any search steps.
+//
+//  2. Search state only flows between subtrees at the post-order swap
+//     points. A node's own run uses whatever search sits at the node
+//     after all of its children's swaps, and a child's swap decision
+//     reads the parent's current search; sibling subtrees are
+//     otherwise independent. Executing sibling subtrees concurrently
+//     and applying the parent swaps at the join point, in child
+//     order, therefore reproduces the sequential interleaving
+//     exactly.
+//
+// Early solves are reconciled by post-order position: workers keep a
+// monotonically decreasing "first finished step" index, steps beyond
+// it are skipped, and the Result is reconstructed from the earliest
+// finishing step — the one the sequential oracle would have stopped
+// at. Any work executed past that point is speculation; it burns
+// wall-clock on otherwise idle cores but never leaks into the Result
+// (speculative iterations are reported separately in ExecStats).
+//
+// The executor assumes the search.Search contract that Step consumes
+// its full budget unless the search finishes; both search.Run and
+// markov.Walk satisfy it. It additionally requires what the
+// sequential oracle already requires for determinism: the factory
+// must be deterministic in the id it is given.
+
+// ExecStats reports counters from one concurrent tree execution,
+// surfaced through cmd/bench. All iteration counts are in the paper's
+// search-loop iteration unit.
+type ExecStats struct {
+	// Workers is the size of the worker pool used.
+	Workers int
+	// Passes is the number of doubling passes executed, counting the
+	// initial root run as the first pass.
+	Passes int
+	// SearchesLive is the number of searches alive in the tree at
+	// exit. On an early solve this can exceed Result.Searches: leaves
+	// planned after the winning step are speculative.
+	SearchesLive int
+	// Steps and Skipped count Step dispatches actually executed and
+	// steps skipped because an earlier post-order step had already
+	// finished.
+	Steps, Skipped int64
+	// BudgetSpent is the number of iterations actually consumed by
+	// Step calls, including speculative work past the winning step.
+	BudgetSpent int64
+	// BudgetStranded is the portion of the budget never consumed
+	// (nonzero only when a search finishes early).
+	BudgetStranded int64
+	// Speculated is the part of BudgetSpent that the sequential
+	// oracle would not have run (BudgetSpent - Result.Iterations).
+	Speculated int64
+	// Swaps is the number of adaptive parent swaps performed.
+	Swaps int64
+	// Utilization is the busy fraction of the worker pool over the
+	// run's wall-clock time, in [0, 1].
+	Utilization float64
+}
+
+// planStep is one scheduled Step call of a doubling pass. The plan
+// fields are written single-threaded before execution; the exec
+// fields are written by the one goroutine that runs the step and read
+// only after the pass joins.
+type planStep struct {
+	node  *treeNode
+	grant int64 // iterations to request (0 when the budget wall was hit)
+	index int   // post-order position within the pass
+	// searchesAfter is the sequential Result.Searches value at the
+	// moment this step completes (counting the leaf creations that
+	// precede it in post-order).
+	searchesAfter int
+	// terminal marks the step at which the sequential pass ends with
+	// an exhausted budget; its post-run swap must not be applied.
+	terminal bool
+
+	s       search.Search // the search actually stepped
+	used    int64
+	done    bool
+	skipped bool
+}
+
+// execNode mirrors one doubling-tree node for a single pass: the
+// child tasks to run (and then swap into this node, in order) before
+// the node's own step.
+type execNode struct {
+	node *treeNode
+	kids []*execNode
+	step *planStep // nil when the pass's budget ran out before this visit
+}
+
+// treeExec carries the state of one concurrent strategy execution.
+type treeExec struct {
+	cfg     *Tree
+	factory search.Factory
+	budget  int64
+
+	// Planner state (single goroutine).
+	planned  int64 // iterations scheduled so far == sequential res.Iterations
+	searches int   // factory calls so far == sequential res.Searches
+	stopped  bool  // the current pass hit the budget wall
+
+	// Executor state.
+	sem     chan struct{} // bounded worker pool: one slot per Step call
+	minDone atomic.Int64  // earliest post-order index observed finished
+	pool    atomic.Int64  // unclaimed budget (telemetry; grants are claimed from it)
+	spent   atomic.Int64  // iterations consumed by executed steps
+	steps   atomic.Int64
+	skipped atomic.Int64
+	swaps   atomic.Int64
+	busy    atomic.Int64 // cumulative Step nanoseconds across workers
+}
+
+// runConcurrent executes the tree strategy on a bounded worker pool.
+// Called from Tree.Run when Workers > 1.
+func (t *Tree) runConcurrent(f search.Factory, budget int64) Result {
+	workers := t.Workers
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &treeExec{
+		cfg:     t,
+		factory: f,
+		budget:  budget,
+		sem:     make(chan struct{}, workers),
+	}
+	e.minDone.Store(math.MaxInt64)
+	e.pool.Store(budget)
+	start := time.Now()
+
+	var res Result
+	passes := 0
+
+	// The initial tree is a single 1-labeled node run for t0; treat it
+	// as a one-step pass.
+	root := e.newLeaf()
+	var steps []*planStep
+	rootTask := &execNode{node: root}
+	rootTask.step = e.planStep(root, 1, &steps)
+	passes++
+	e.execSubtree(rootTask)
+	finished := e.settle(steps, 0, &res)
+
+	// Doubling passes until the budget is exhausted or a search
+	// finishes. Each pass is planned in full (deterministically, on
+	// this goroutine), then executed concurrently, then settled.
+	for !finished && e.planned < e.budget {
+		e.stopped = false
+		prev := e.planned
+		var passSteps []*planStep
+		task := e.planPass(root, &passSteps)
+		passes++
+		e.execSubtree(task)
+		finished = e.settle(passSteps, prev, &res)
+	}
+
+	wall := time.Since(start)
+	stats := &ExecStats{
+		Workers:        workers,
+		Passes:         passes,
+		SearchesLive:   e.searches,
+		Steps:          e.steps.Load(),
+		Skipped:        e.skipped.Load(),
+		BudgetSpent:    e.spent.Load(),
+		BudgetStranded: budget - e.spent.Load(),
+		Speculated:     e.spent.Load() - res.Iterations,
+		Swaps:          e.swaps.Load(),
+	}
+	if stats.BudgetStranded < 0 {
+		stats.BudgetStranded = 0
+	}
+	if wall > 0 {
+		stats.Utilization = float64(e.busy.Load()) / (float64(wall) * float64(workers))
+	}
+	res.Exec = stats
+	return res
+}
+
+// newLeaf mirrors treeRun.newLeaf: factory ids are assigned in
+// traversal order, which the planner visits exactly as the sequential
+// oracle does.
+func (e *treeExec) newLeaf() *treeNode {
+	s := e.factory(uint64(e.searches))
+	e.searches++
+	return &treeNode{label: 1, s: s}
+}
+
+// planStep schedules one Step call, mirroring treeRun.run's budget
+// arithmetic: the grant is clipped to the remaining budget, and a
+// clipped (or zero) grant ends the pass.
+func (e *treeExec) planStep(n *treeNode, units int64, steps *[]*planStep) *planStep {
+	iters := units * e.cfg.T0
+	if remaining := e.budget - e.planned; iters >= remaining {
+		iters = remaining
+		e.stopped = true
+	}
+	if iters < 0 {
+		iters = 0
+	}
+	e.planned += iters
+	st := &planStep{
+		node:          n,
+		grant:         iters,
+		index:         len(*steps),
+		searchesAfter: e.searches,
+		terminal:      e.stopped,
+	}
+	*steps = append(*steps, st)
+	return st
+}
+
+// planPass builds the execution DAG for one doubling pass over the
+// subtree rooted at n, mirroring treeRun.visit: pre-existing leaves
+// sprout up to two fresh 1-labeled leaves (stopping at the search
+// cap), children are visited in order, and the node itself then runs
+// for label*t0 and doubles its label. Planning stops at the budget
+// wall exactly where the sequential traversal would unwind.
+func (e *treeExec) planPass(n *treeNode, steps *[]*planStep) *execNode {
+	en := &execNode{node: n}
+	if len(n.children) == 0 {
+		for i := 0; i < 2 && !e.stopped; i++ {
+			if e.cfg.MaxSearches > 0 && e.searches >= e.cfg.MaxSearches {
+				break
+			}
+			c := e.newLeaf()
+			n.children = append(n.children, c)
+			kid := &execNode{node: c}
+			kid.step = e.planStep(c, 1, steps)
+			en.kids = append(en.kids, kid)
+		}
+	} else {
+		for _, c := range n.children {
+			if e.stopped {
+				break
+			}
+			en.kids = append(en.kids, e.planPass(c, steps))
+		}
+	}
+	if e.stopped {
+		return en // the sequential pass unwinds without running n
+	}
+	en.step = e.planStep(n, n.label, steps)
+	n.label *= 2
+	return en
+}
+
+// execSubtree runs one pass subtree: child tasks concurrently, then
+// their parent swaps in child order at the join point, then the
+// node's own step. The WaitGroup join gives the swap reads a
+// happens-before edge over every child step.
+func (e *treeExec) execSubtree(en *execNode) {
+	if len(en.kids) > 0 {
+		if rest := en.kids[1:]; len(rest) > 0 {
+			var wg sync.WaitGroup
+			wg.Add(len(rest))
+			for _, k := range rest {
+				go func(k *execNode) {
+					defer wg.Done()
+					e.execSubtree(k)
+				}(k)
+			}
+			e.execSubtree(en.kids[0]) // first child on this goroutine
+			wg.Wait()
+		} else {
+			e.execSubtree(en.kids[0])
+		}
+		for _, k := range en.kids {
+			// A child whose visit did not complete (budget wall) is
+			// not swapped, matching the sequential unwind.
+			if k.step == nil || k.step.terminal {
+				continue
+			}
+			e.applySwap(k.node, en.node)
+		}
+	}
+	if en.step != nil {
+		e.runStep(en.step)
+	}
+}
+
+// applySwap applies the adaptive rule at a join point; it is always
+// invoked by the single goroutine that owns the parent's subtree at
+// that moment, so the pointer exchange needs no lock.
+func (e *treeExec) applySwap(n, parent *treeNode) {
+	if !e.cfg.Adaptive || parent == nil {
+		return
+	}
+	if parent.s.Cost() > n.s.Cost() {
+		parent.s, n.s = n.s, parent.s
+		e.swaps.Add(1)
+	}
+}
+
+// runStep claims a worker slot and executes one scheduled Step. Steps
+// whose post-order index lies beyond an already-finished step are
+// skipped: their outcome cannot change the reconstructed Result
+// (minDone only ever decreases, so everything at or before the final
+// winner always executes with the exact sequential search state).
+func (e *treeExec) runStep(st *planStep) {
+	if st.grant <= 0 {
+		return
+	}
+	if int64(st.index) > e.minDone.Load() {
+		st.skipped = true
+		e.skipped.Add(1)
+		return
+	}
+	e.sem <- struct{}{}
+	if int64(st.index) > e.minDone.Load() { // re-check after the wait
+		<-e.sem
+		st.skipped = true
+		e.skipped.Add(1)
+		return
+	}
+	st.s = st.node.s
+	e.pool.Add(-st.grant)
+	begin := time.Now()
+	used, done := st.s.Step(st.grant)
+	e.busy.Add(int64(time.Since(begin)))
+	<-e.sem
+
+	st.used, st.done = used, done
+	e.steps.Add(1)
+	e.spent.Add(used)
+	if returned := st.grant - used; returned > 0 {
+		e.pool.Add(returned)
+	}
+	if done {
+		for {
+			cur := e.minDone.Load()
+			if int64(st.index) >= cur || e.minDone.CompareAndSwap(cur, int64(st.index)) {
+				break
+			}
+		}
+	}
+}
+
+// settle reconstructs the sequential Result for one executed pass and
+// reports whether the strategy run is over. prev is the cumulative
+// iteration count before the pass.
+func (e *treeExec) settle(steps []*planStep, prev int64, res *Result) bool {
+	j := e.minDone.Load()
+	if j == math.MaxInt64 {
+		// No search finished: every scheduled grant was consumed, so
+		// the sequential totals are the planner's.
+		res.Iterations = e.planned
+		res.Searches = e.searches
+		return e.planned >= e.budget
+	}
+	// The earliest finishing step in post-order is where the
+	// sequential oracle stops. Steps before it all executed in full
+	// (none finished, and the Search contract makes Step consume its
+	// whole grant otherwise); the winner contributes its actual used
+	// count.
+	win := steps[j]
+	iters := prev
+	for _, st := range steps[:j] {
+		iters += st.used
+	}
+	res.Iterations = iters + win.used
+	res.Searches = win.searchesAfter
+	res.Solved = true
+	res.Winner = win.s
+	return true
+}

@@ -1,0 +1,239 @@
+package restart
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/search"
+	"stochsyn/internal/testcase"
+)
+
+// dynSearch is a deterministic fake whose cost falls as it runs, so
+// adaptive swap decisions change over time and the executor's
+// join-point ordering is actually exercised. It satisfies the Search
+// contract (full budget consumption unless finishing).
+type dynSearch struct {
+	id       uint64
+	finishAt int64 // -1: never
+	ran      int64
+	base     float64
+}
+
+func (d *dynSearch) Step(budget int64) (int64, bool) {
+	if d.finishAt >= 0 && d.ran >= d.finishAt {
+		return 0, true
+	}
+	remaining := int64(1 << 62)
+	if d.finishAt >= 0 {
+		remaining = d.finishAt - d.ran
+	}
+	if budget < remaining {
+		d.ran += budget
+		return budget, false
+	}
+	d.ran += remaining
+	return remaining, true
+}
+
+func (d *dynSearch) Cost() float64 {
+	if d.finishAt >= 0 && d.ran >= d.finishAt {
+		return 0
+	}
+	return d.base / (1 + float64(d.ran)/64)
+}
+
+// dynFactory builds a deterministic factory: everything about search
+// id is a pure function of (seed, id), as the Factory contract
+// requires.
+func dynFactory(seed uint64) search.Factory {
+	return func(id uint64) search.Search {
+		rng := rand.New(rand.NewPCG(seed, id))
+		finish := int64(-1)
+		if rng.IntN(4) == 0 {
+			finish = int64(200 + rng.IntN(20000))
+		}
+		return &dynSearch{id: id, finishAt: finish, base: float64(1 + rng.IntN(97))}
+	}
+}
+
+// winnerID extracts the fake winner's id (-1 when unsolved).
+func winnerID(res Result) int64 {
+	if w, ok := res.Winner.(*dynSearch); ok {
+		return int64(w.id)
+	}
+	return -1
+}
+
+func requireEqualResults(t *testing.T, name string, seq, conc Result) {
+	t.Helper()
+	if seq.Solved != conc.Solved || seq.Iterations != conc.Iterations || seq.Searches != conc.Searches {
+		t.Errorf("%s: concurrent executor diverged from sequential oracle:\n  sequential %+v\n  concurrent %+v",
+			name, seq, conc)
+	}
+	if ws, wc := winnerID(seq), winnerID(conc); ws != wc {
+		t.Errorf("%s: winner diverged: sequential id %d, concurrent id %d", name, ws, wc)
+	}
+}
+
+func TestTreeExecMatchesSequentialOracle(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		adaptive bool
+		t0       int64
+		max      int
+		budget   int64
+		workers  int
+		seed     uint64
+	}{
+		{"pluby-small", false, 7, 0, 999, 2, 1},
+		{"pluby-mid", false, 100, 0, 77_777, 3, 2},
+		{"pluby-capped", false, 10, 24, 50_000, 8, 3},
+		{"adaptive-small", true, 7, 0, 999, 2, 4},
+		{"adaptive-mid", true, 100, 0, 77_777, 8, 5},
+		{"adaptive-large", true, 50, 0, 300_000, 8, 6},
+		{"adaptive-capped", true, 10, 24, 120_000, 4, 7},
+		{"adaptive-tiny-budget", true, 1000, 0, 500, 8, 8},
+		{"adaptive-exact-t0", true, 1000, 0, 1000, 8, 9},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := (&Tree{T0: tc.t0, Adaptive: tc.adaptive, MaxSearches: tc.max}).
+				Run(dynFactory(tc.seed), tc.budget)
+			conc := (&Tree{T0: tc.t0, Adaptive: tc.adaptive, MaxSearches: tc.max, Workers: tc.workers}).
+				Run(dynFactory(tc.seed), tc.budget)
+			requireEqualResults(t, tc.name, seq, conc)
+			if seq.Exec != nil {
+				t.Error("sequential oracle reported executor stats")
+			}
+			if conc.Exec == nil {
+				t.Fatal("concurrent executor reported no stats")
+			}
+		})
+	}
+}
+
+func TestTreeExecPropertyEquivalence(t *testing.T) {
+	f := func(seed uint64, budgetRaw uint16, adaptive bool) bool {
+		budget := int64(budgetRaw)%30_000 + 1
+		t0 := int64(seed%37) + 1
+		seq := (&Tree{T0: t0, Adaptive: adaptive}).Run(dynFactory(seed), budget)
+		conc := (&Tree{T0: t0, Adaptive: adaptive, Workers: 4}).Run(dynFactory(seed), budget)
+		return seq.Solved == conc.Solved &&
+			seq.Iterations == conc.Iterations &&
+			seq.Searches == conc.Searches &&
+			winnerID(seq) == winnerID(conc)
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeExecDeterministicAcrossRuns(t *testing.T) {
+	// Two concurrent executions with the same factory seed must agree
+	// with each other (not only with the oracle), whatever the
+	// goroutine interleaving.
+	run := func() Result {
+		return (&Tree{T0: 25, Adaptive: true, Workers: 6}).Run(dynFactory(99), 200_000)
+	}
+	a, b := run(), run()
+	requireEqualResults(t, "repeat", a, b)
+}
+
+// modelFactory builds real synthesis searches on the Section 4 model
+// dialect for the paper's or(shl(x), x) problem.
+func modelFactory(seed uint64) search.Factory {
+	rng := rand.New(rand.NewPCG(11, 17))
+	suite := testcase.Generate(testcase.Func(func(in []uint64) uint64 {
+		return (in[0] << 1) | in[0]
+	}), 1, 16, rng)
+	return search.NewFactory(suite, search.Options{
+		Set:        prog.ModelSet,
+		Cost:       cost.Hamming,
+		Beta:       1,
+		Redundancy: true,
+		Seed:       seed,
+	})
+}
+
+func TestTreeExecMatchesOracleOnModelDialect(t *testing.T) {
+	budget := int64(250_000)
+	if testing.Short() {
+		budget = 60_000
+	}
+	for _, adaptive := range []bool{true, false} {
+		name := "pluby"
+		if adaptive {
+			name = "adaptive"
+		}
+		for _, seed := range []uint64{2, 3} {
+			seq := (&Tree{T0: 300, Adaptive: adaptive}).Run(modelFactory(seed), budget)
+			conc := (&Tree{T0: 300, Adaptive: adaptive, Workers: 4}).Run(modelFactory(seed), budget)
+			requireEqualResults(t, name, seq, conc)
+			if seq.Solved {
+				sp := seq.Winner.(*search.Run).Solution().String()
+				cp := conc.Winner.(*search.Run).Solution().String()
+				if sp != cp {
+					t.Errorf("%s seed %d: winning programs diverged: %q vs %q", name, seed, sp, cp)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeExecStatsConsistent(t *testing.T) {
+	budget := int64(150_000)
+	res := (&Tree{T0: 20, Adaptive: true, Workers: 4}).Run(dynFactory(6), budget)
+	st := res.Exec
+	if st == nil {
+		t.Fatal("no exec stats")
+	}
+	if st.Workers != 4 {
+		t.Errorf("Workers = %d", st.Workers)
+	}
+	if st.Passes < 1 {
+		t.Errorf("Passes = %d", st.Passes)
+	}
+	if st.BudgetSpent < res.Iterations {
+		t.Errorf("BudgetSpent %d < accounted Iterations %d", st.BudgetSpent, res.Iterations)
+	}
+	if st.BudgetSpent > budget {
+		t.Errorf("BudgetSpent %d exceeds budget %d", st.BudgetSpent, budget)
+	}
+	if st.Speculated != st.BudgetSpent-res.Iterations {
+		t.Errorf("Speculated %d inconsistent with spent %d - iterations %d",
+			st.Speculated, st.BudgetSpent, res.Iterations)
+	}
+	if st.BudgetStranded != budget-st.BudgetSpent {
+		t.Errorf("BudgetStranded %d, want %d", st.BudgetStranded, budget-st.BudgetSpent)
+	}
+	if st.SearchesLive < res.Searches {
+		t.Errorf("SearchesLive %d < accounted Searches %d", st.SearchesLive, res.Searches)
+	}
+	if st.Utilization < 0 || st.Utilization > 1.001 {
+		t.Errorf("Utilization %g out of range", st.Utilization)
+	}
+	if res.Solved && st.Swaps == 0 && st.Steps > 50 {
+		t.Log("note: adaptive run performed no swaps (legal but unusual)")
+	}
+}
+
+func TestTreeExecRespectsBudget(t *testing.T) {
+	for _, budget := range []int64{1, 7, 100, 12345} {
+		res := (&Tree{T0: 10, Adaptive: true, Workers: 4}).Run(fixedFactory(-1), budget)
+		if res.Iterations > budget {
+			t.Errorf("budget %d exceeded: %d", budget, res.Iterations)
+		}
+		if res.Solved {
+			t.Error("unsolvable factory solved")
+		}
+		if res.Exec != nil && res.Exec.BudgetSpent > budget {
+			t.Errorf("budget %d: executor spent %d", budget, res.Exec.BudgetSpent)
+		}
+	}
+}

@@ -24,6 +24,15 @@ import (
 // treat searches as step-bounded processes that expose their current
 // cost; the cost is the only non-black-box information the adaptive
 // algorithm uses.
+//
+// Concurrency contract: a Search is single-threaded state — it must
+// not be stepped from two goroutines at once, and Cost must only be
+// read with a happens-before edge after the last Step. Distinct
+// searches, however, must be independently steppable from different
+// goroutines; the concurrent executors in package restart rely on
+// this. Implementations must also make Step consume its entire
+// budget unless the search finishes (both Run here and markov.Walk
+// do), which the tree executor's budget arithmetic depends on.
 type Search interface {
 	// Step runs at most budget iterations, returning the number
 	// actually consumed and whether the search has finished. Once
@@ -35,7 +44,11 @@ type Search interface {
 
 // Factory creates independent searches. Each restart draws a fresh
 // search; id is a distinct per-search value the factory should fold
-// into its random seed.
+// into its random seed. For a given id the returned search must be
+// deterministic — strategy schedules and the parallel executors'
+// bit-identical replay both hinge on that. The searches it returns
+// must not share mutable state with one another (read-only data such
+// as the test suite or an OpSet may be shared).
 type Factory func(id uint64) Search
 
 // Options configures a synthesis run.
@@ -86,6 +99,13 @@ type TracePoint struct {
 }
 
 // Run is a synthesis search over one test suite; it implements Search.
+//
+// A Run owns all of its mutable state (RNG, mutator, programs,
+// scratch buffers) and holds only read-only references to shared data
+// (the suite and the dialect's OpSet, both immutable during a
+// search), so distinct Runs over the same suite can be stepped
+// concurrently from different goroutines. A single Run is not safe
+// for concurrent use.
 type Run struct {
 	suite  *testcase.Suite
 	opts   Options
@@ -288,7 +308,9 @@ func (r *Run) Trace() []TracePoint { return r.trace }
 func (r *Run) Suite() *testcase.Suite { return r.suite }
 
 // NewFactory returns a Factory producing independent runs of the same
-// problem and options, folding the per-search id into the seed.
+// problem and options, folding the per-search id into the seed. The
+// runs share only the (immutable) suite and OpSet, so they satisfy
+// the Factory independence contract and may be stepped concurrently.
 func NewFactory(suite *testcase.Suite, opts Options) Factory {
 	base := opts.Seed
 	return func(id uint64) Search {

@@ -2,24 +2,35 @@ package stochsyn
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"stochsyn/internal/cost"
+	"stochsyn/internal/restart"
 	"stochsyn/internal/search"
 )
 
-// SynthesizeParallel runs `workers` independent searches concurrently
-// (each with its own seed derived from Options.Seed) and returns as
-// soon as any of them solves the problem. The budget is shared: the
-// total iterations across all workers never exceed Options.Budget, so
-// results remain comparable with Synthesize in the paper's
-// iteration-count terms while using multiple cores for wall-clock
-// speed.
+// SynthesizeParallel runs the configured restart strategy on multiple
+// cores with a shared iteration budget: the total iterations across
+// all workers never exceed Options.Budget, so results remain
+// comparable with Synthesize in the paper's iteration-count terms
+// while using the hardware for wall-clock speed. workers <= 0 uses
+// GOMAXPROCS; Options.Workers is overridden by the explicit argument.
 //
-// Unlike Synthesize, the winning program may depend on goroutine
-// scheduling (whichever worker finds a solution first wins); iteration
-// accounting and correctness do not. workers <= 0 uses GOMAXPROCS.
+// How the strategy is parallelized depends on what it is:
+//
+//   - The doubling-tree strategies ("adaptive", the default, and
+//     "pluby") run on the concurrent tree executor, which dispatches
+//     sibling subtree visits onto a bounded worker pool while
+//     reproducing the sequential schedule bit for bit — the Result
+//     (Solved, Iterations, Searches, Program) is identical to
+//     Synthesize's for the same Options.
+//   - "naive" fans out independent searches that draw iteration
+//     grants from a shared budget pool; which search wins may depend
+//     on goroutine scheduling, and Searches reports how many actually
+//     consumed budget.
+//   - The sequential cutoff strategies ("luby", "fixed", "exp",
+//     "innerouter") have no parallel form — each restart depends on
+//     the previous one finishing — and run on one goroutine exactly
+//     as under Synthesize.
 func SynthesizeParallel(p *Problem, opts Options, workers int) (Result, error) {
 	o, err := opts.normalize()
 	if err != nil {
@@ -39,68 +50,35 @@ func SynthesizeParallel(p *Problem, opts Options, workers int) (Result, error) {
 	if workers > 64 {
 		workers = 64
 	}
-
-	// Shared iteration pool and stop flag. Workers draw budget in
-	// chunks; the first solver flips the flag and everyone drains.
-	var pool atomic.Int64
-	pool.Store(o.Budget)
-	var solved atomic.Bool
-	var spent atomic.Int64
-
-	type winner struct {
-		program  string
-		searches int
+	o.Workers = workers
+	strat, err := o.strategy()
+	if err != nil {
+		return Result{}, err
 	}
-	var mu sync.Mutex
-	var best *winner
-
-	const chunk = 8192
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			run := search.New(p.suite, search.Options{
-				Set:        set,
-				Cost:       kind,
-				Beta:       o.Beta,
-				Redundancy: redundancy,
-				Seed:       o.Seed ^ (uint64(w)+1)*0x2545f4914f6cdd1d,
-			})
-			for !solved.Load() {
-				// Acquire a chunk from the shared pool.
-				n := pool.Add(-chunk)
-				grant := int64(chunk)
-				if n < 0 {
-					grant += n // partial final chunk
-					if grant <= 0 {
-						return
-					}
-				}
-				used, done := run.Step(grant)
-				spent.Add(used)
-				if returned := grant - used; returned > 0 {
-					pool.Add(returned)
-				}
-				if done {
-					mu.Lock()
-					if best == nil {
-						best = &winner{program: run.Solution().String()}
-					}
-					mu.Unlock()
-					solved.Store(true)
-					return
-				}
-			}
-		}()
+	if tree, ok := strat.(*restart.Tree); ok {
+		tree.Workers = workers // the explicit argument wins over the spec
 	}
-	wg.Wait()
-
-	res := Result{Iterations: spent.Load(), Searches: workers}
-	if best != nil {
-		res.Solved = true
-		res.Program = best.program
+	if _, ok := strat.(restart.Naive); ok {
+		strat = &restart.ParallelNaive{Workers: workers}
 	}
-	return res, nil
+
+	factory := search.NewFactory(p.suite, search.Options{
+		Set:        set,
+		Cost:       kind,
+		Beta:       o.Beta,
+		Redundancy: redundancy,
+		Seed:       o.Seed,
+	})
+	res := strat.Run(factory, o.Budget)
+	out := Result{
+		Solved:     res.Solved,
+		Iterations: res.Iterations,
+		Searches:   res.Searches,
+	}
+	if res.Solved {
+		if run, ok := res.Winner.(*search.Run); ok {
+			out.Program = run.Solution().String()
+		}
+	}
+	return out, nil
 }

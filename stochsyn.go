@@ -146,9 +146,16 @@ type Options struct {
 	// Cost is the cost function (default Hamming).
 	Cost CostFunction
 	// Beta is the acceptance temperature, expressed relative to a
-	// 100-test-case problem as in the paper (default 1). Larger values
-	// accept more cost-increasing moves; 0 is greedy descent.
+	// 100-test-case problem as in the paper (default 1). Larger
+	// values accept more cost-increasing moves. Zero selects the
+	// default; for pure greedy descent set Greedy instead (a zero
+	// temperature cannot be expressed here because the zero Options
+	// value must mean "defaults").
 	Beta float64
+	// Greedy selects greedy descent (temperature zero): only
+	// cost-preserving or cost-decreasing moves are ever accepted.
+	// Combining Greedy with a non-zero Beta is an error.
+	Greedy bool
 	// Strategy is a restart strategy spec: "adaptive" (default),
 	// "luby", "naive", "pluby", "fixed:<n>", "exp:<t0>:<z>", or
 	// "innerouter:<t0>:<z>"; "adaptive:<t0>" and "luby:<t0>" override
@@ -161,6 +168,16 @@ type Options struct {
 	Dialect Dialect
 	// Seed makes the synthesis deterministic (default 1).
 	Seed uint64
+	// Workers sets the number of worker goroutines used to execute
+	// the doubling-tree strategies ("adaptive" and "pluby"): 0 or 1
+	// runs sequentially, larger values fan sibling subtree visits
+	// out across that many cores. The concurrent executor reproduces
+	// the sequential schedule bit for bit, so Results stay
+	// deterministic in Seed regardless of Workers. Strategies that
+	// are inherently sequential (naive, luby, fixed, exp,
+	// innerouter) ignore this knob under Synthesize; see
+	// SynthesizeParallel for the multi-core naive path.
+	Workers int
 }
 
 // Result reports a synthesis outcome.
@@ -181,8 +198,20 @@ func (o Options) normalize() (Options, error) {
 	if o.Cost == "" {
 		o.Cost = Hamming
 	}
-	if o.Beta == 0 {
+	if o.Beta < 0 {
+		return o, errors.New("stochsyn: negative beta")
+	}
+	switch {
+	case o.Greedy && o.Beta != 0:
+		return o, errors.New("stochsyn: Greedy and a non-zero Beta are mutually exclusive")
+	case o.Greedy:
+		// Beta stays 0: the search layer treats a zero temperature as
+		// greedy descent.
+	case o.Beta == 0:
 		o.Beta = 1
+	}
+	if o.Workers < 0 {
+		return o, errors.New("stochsyn: negative workers")
 	}
 	if o.Strategy == "" {
 		o.Strategy = "adaptive"
@@ -231,7 +260,7 @@ func Synthesize(p *Problem, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	strat, err := restart.New(o.Strategy)
+	strat, err := o.strategy()
 	if err != nil {
 		return Result{}, err
 	}
@@ -254,6 +283,20 @@ func Synthesize(p *Problem, opts Options) (Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// strategy resolves the normalized options to a restart strategy,
+// applying the Workers knob to the doubling-tree strategies (the only
+// ones with a deterministic concurrent executor).
+func (o Options) strategy() (restart.Strategy, error) {
+	strat, err := restart.New(o.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if tree, ok := strat.(*restart.Tree); ok && o.Workers > 1 && tree.Workers == 0 {
+		tree.Workers = o.Workers
+	}
+	return strat, nil
 }
 
 // OptimizeResult reports a superoptimization outcome.

@@ -4,6 +4,10 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/search"
 )
 
 func selectSpec(in []uint64) uint64 {
@@ -284,6 +288,98 @@ func TestOptimizeRejectsWrongStart(t *testing.T) {
 	}
 }
 
+func TestOptionsNormalize(t *testing.T) {
+	o, err := Options{}.normalize()
+	if err != nil || o.Beta != 1 {
+		t.Errorf("zero options: beta %g, err %v (want default 1)", o.Beta, err)
+	}
+	o, err = (Options{Greedy: true}).normalize()
+	if err != nil || o.Beta != 0 || !o.Greedy {
+		t.Errorf("greedy options: beta %g, err %v (want beta 0)", o.Beta, err)
+	}
+	if _, err := (Options{Greedy: true, Beta: 2}).normalize(); err == nil {
+		t.Error("accepted Greedy together with a non-zero Beta")
+	}
+	if _, err := (Options{Beta: -1}).normalize(); err == nil {
+		t.Error("accepted a negative beta")
+	}
+	if _, err := (Options{Workers: -1}).normalize(); err == nil {
+		t.Error("accepted negative workers")
+	}
+}
+
+func TestGreedyReachableFromPublicAPI(t *testing.T) {
+	// Regression: Options once documented Beta == 0 as greedy descent
+	// but normalize() silently remapped it to 1, so greedy was
+	// unreachable through the public API. Options.Greedy must plumb a
+	// zero temperature all the way into the search: a naive greedy
+	// synthesis must replay the beta-0 search exactly.
+	p, err := ProblemFromFunc(func(in []uint64) uint64 { return in[0] & in[1] }, 2, 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget, seed = 50_000, 9
+	res, err := Synthesize(p, Options{Greedy: true, Strategy: "naive", Budget: budget, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := search.NewFactory(p.suite, search.Options{
+		Set: prog.FullSet, Cost: cost.Hamming, Beta: 0, Seed: seed,
+	})
+	oracle := factory(0).(*search.Run)
+	used, done := oracle.Step(budget)
+	if res.Iterations != used || res.Solved != done {
+		t.Errorf("greedy synthesis (iters %d, solved %v) does not replay the beta-0 search (iters %d, solved %v)",
+			res.Iterations, res.Solved, used, done)
+	}
+}
+
+func TestGreedyNeverAcceptsCostIncrease(t *testing.T) {
+	// The defining property of greedy descent, checked on the same
+	// search configuration the public greedy path constructs.
+	p, err := ProblemFromFunc(selectSpec, 3, 50, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := (Options{Greedy: true}).normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := search.New(p.suite, search.Options{
+		Set: prog.FullSet, Cost: cost.Hamming, Beta: o.Beta, Seed: 13, TraceCosts: true,
+	})
+	run.Step(150_000)
+	trace := run.Trace()
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Cost > trace[i-1].Cost {
+			t.Fatalf("greedy run accepted a cost increase: %g -> %g", trace[i-1].Cost, trace[i].Cost)
+		}
+	}
+}
+
+func TestSynthesizeWorkersDeterministic(t *testing.T) {
+	// The concurrent tree executor must reproduce the sequential
+	// result bit for bit through the public API.
+	p, err := ProblemFromFunc(func(in []uint64) uint64 { return (in[0] << 1) | in[0] }, 1, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Dialect: Model, Budget: 1_000_000, Seed: 2}
+	seq, err := Synthesize(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWorkers := base
+	withWorkers.Workers = 4
+	conc, err := Synthesize(p, withWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != conc {
+		t.Errorf("Workers changed the result:\n  sequential %+v\n  concurrent %+v", seq, conc)
+	}
+}
+
 func TestSynthesizeParallel(t *testing.T) {
 	p, err := ProblemFromFunc(func(in []uint64) uint64 { return in[0] ^ in[1] }, 2, 60, 12)
 	if err != nil {
@@ -329,5 +425,53 @@ func TestSynthesizeParallelRespectsBudgetWhenUnsolvable(t *testing.T) {
 	}
 	if res.Iterations < 40_000 {
 		t.Errorf("iterations %d suspiciously below the budget", res.Iterations)
+	}
+}
+
+func TestSynthesizeParallelMatchesSequential(t *testing.T) {
+	// For the tree strategies, SynthesizeParallel is a pure wall-clock
+	// optimization: the Result must equal Synthesize's exactly.
+	p, err := ProblemFromFunc(func(in []uint64) uint64 { return (in[0] << 1) | in[0] }, 1, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Dialect: Model, Budget: 1_000_000, Seed: 2}
+	seq, err := Synthesize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SynthesizeParallel(p, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Errorf("parallel adaptive diverged from sequential:\n  %+v\n  %+v", seq, par)
+	}
+}
+
+func TestSynthesizeParallelNaive(t *testing.T) {
+	p, err := ProblemFromFunc(func(in []uint64) uint64 { return in[0] ^ in[1] }, 2, 60, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SynthesizeParallel(p, Options{Strategy: "naive", Beta: 2, Budget: 8_000_000, Seed: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("parallel naive failed in %d iterations", res.Iterations)
+	}
+	if res.Iterations > 8_000_000 {
+		t.Errorf("budget exceeded: %d", res.Iterations)
+	}
+	if res.Searches < 1 || res.Searches > 4 {
+		t.Errorf("Searches = %d, want between 1 and the 4 workers", res.Searches)
+	}
+	prog, err := ParseProgram(res.Program, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Matches(p) {
+		t.Error("parallel naive solution does not match")
 	}
 }
