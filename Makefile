@@ -5,15 +5,20 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race short bench-exec
+.PHONY: ci build vet fmt test race short bench-exec server-smoke
 
-ci: build vet race
+ci: build vet fmt race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; echo "$$out"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -29,3 +34,8 @@ short:
 # pool utilization).
 bench-exec:
 	$(GO) run ./cmd/bench -exp exec -problems 4 -budget 2000000
+
+# Boot synthd on an ephemeral port, submit a small SyGuS job through
+# `synth -remote`, and assert the server returns a solution.
+server-smoke:
+	sh scripts/server_smoke.sh

@@ -15,21 +15,34 @@
 // Example:
 //
 //	synth -expr "orq(andq(x, y), andq(notq(x), z))" -inputs 3 -strategy adaptive
+//
+// With -remote the problem is submitted to a running synthd daemon
+// instead of being solved in-process:
+//
+//	synth -remote http://127.0.0.1:8731 -sl problem.sl
+//
+// Ctrl-C cancels cleanly in both modes (remotely, the job is
+// cancelled on the server before exiting).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"stochsyn/internal/cost"
 	"stochsyn/internal/prog"
 	"stochsyn/internal/restart"
 	"stochsyn/internal/search"
+	"stochsyn/internal/server"
+	"stochsyn/internal/server/client"
 	"stochsyn/internal/sygus"
 	"stochsyn/internal/sygusif"
 	"stochsyn/internal/testcase"
@@ -50,9 +63,23 @@ func main() {
 		budget   = flag.Int64("budget", 10_000_000, "total iteration budget")
 		dialect  = flag.String("dialect", "full", "instruction dialect: full, base, model")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		remote   = flag.String("remote", "", "synthd base URL; submit the job to a server instead of solving locally")
 		verbose  = flag.Bool("v", false, "print progress and the solution's details")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *remote != "" {
+		if *minimize {
+			fmt.Fprintln(os.Stderr, "synth: -minimize is not supported with -remote")
+			os.Exit(1)
+		}
+		runRemote(ctx, *remote, *expr, *inputs, *cases, *specFile, *slFile, *problem,
+			*costName, *beta, *strategy, *budget, *dialect, *seed, *verbose)
+		return
+	}
 
 	suite, desc, err := loadProblem(*expr, *inputs, *cases, *specFile, *slFile, *problem, *seed)
 	if err != nil {
@@ -82,12 +109,17 @@ func main() {
 	}
 
 	factory := search.NewFactory(suite, search.Options{
-		Set: set, Cost: kind, Beta: *beta, Redundancy: redundancy, Seed: *seed,
+		Set: set, Cost: kind, Beta: *beta, Redundancy: redundancy, Seed: *seed, Ctx: ctx,
 	})
 	start := time.Now()
-	res := strat.Run(factory, *budget)
+	res := strat.RunContext(ctx, factory, *budget)
 	elapsed := time.Since(start)
 
+	if res.Cancelled {
+		fmt.Printf("cancelled after %d iterations (%d searches, %v)\n",
+			res.Iterations, res.Searches, elapsed.Round(time.Millisecond))
+		os.Exit(130)
+	}
 	if !res.Solved {
 		fmt.Printf("FAILED after %d iterations (%d searches, %v)\n",
 			res.Iterations, res.Searches, elapsed.Round(time.Millisecond))
@@ -220,6 +252,126 @@ func parseWord(s string) (uint64, error) {
 		v = -v
 	}
 	return v, err
+}
+
+// runRemote submits the problem to a synthd server and waits for the
+// verdict. Expression problems are sent as expr specs (the server
+// samples the cases, deterministically in -seed); .sl files are sent
+// as raw SyGuS text; spec files and built-in problems are resolved
+// locally and sent as explicit examples. On Ctrl-C the job is
+// cancelled on the server before exiting.
+func runRemote(ctx context.Context, baseURL, expr string, inputs, cases int, specFile, slFile, problem, costName string, beta float64, strategy string, budget int64, dialect string, seed uint64, verbose bool) {
+	pspec, desc, err := remoteProblemSpec(expr, inputs, cases, specFile, slFile, problem, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synth:", err)
+		os.Exit(1)
+	}
+	spec := server.JobSpec{
+		Problem: pspec,
+		Options: server.OptionsSpec{
+			Cost:     costName,
+			Beta:     beta,
+			Strategy: strategy,
+			Budget:   budget,
+			Dialect:  dialect,
+			Seed:     seed,
+		},
+	}
+
+	c := client.New(baseURL)
+	v, err := c.Submit(ctx, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synth:", err)
+		os.Exit(1)
+	}
+	if verbose {
+		fmt.Printf("problem: %s\nsubmitted as job %s to %s (status %s)\n", desc, v.ID, baseURL, v.Status)
+	}
+	if !v.Status.Terminal() {
+		v, err = c.Wait(ctx, v.ID, 0)
+		if ctx.Err() != nil {
+			// Interrupted: cancel the job server-side with a fresh
+			// context (ours is already dead), then report.
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if _, cerr := c.Cancel(cctx, v.ID); cerr != nil {
+				fmt.Fprintln(os.Stderr, "synth: interrupted; cancel failed:", cerr)
+			} else {
+				fmt.Fprintf(os.Stderr, "synth: interrupted; job %s cancelled on server\n", v.ID)
+			}
+			os.Exit(130)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synth:", err)
+			os.Exit(1)
+		}
+	}
+
+	switch v.Status {
+	case server.StatusCompleted:
+		r := v.Result
+		if !r.Solved {
+			fmt.Printf("FAILED after %d iterations (%d searches, %.0fms)\n",
+				r.Iterations, r.Searches, r.DurationMS)
+			os.Exit(2)
+		}
+		if verbose {
+			note := ""
+			if v.Cached {
+				note = ", cached"
+			}
+			fmt.Printf("solved in %d iterations (%d searches, %.0fms, seed %d%s)\n",
+				r.Iterations, r.Searches, r.DurationMS, r.Seed, note)
+		}
+		fmt.Println(r.Program)
+	case server.StatusCancelled:
+		fmt.Println("cancelled on server")
+		os.Exit(130)
+	case server.StatusFailed:
+		fmt.Fprintln(os.Stderr, "synth: job failed:", v.Error)
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "synth: unexpected job status:", v.Status)
+		os.Exit(1)
+	}
+}
+
+// remoteProblemSpec maps the problem-source flags to a wire
+// ProblemSpec plus a human description.
+func remoteProblemSpec(expr string, inputs, cases int, specFile, slFile, problem string, seed uint64) (server.ProblemSpec, string, error) {
+	sources := 0
+	for _, s := range []string{expr, specFile, slFile, problem} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return server.ProblemSpec{}, "", fmt.Errorf("exactly one of -expr, -spec, -sl, -problem is required")
+	}
+	switch {
+	case expr != "":
+		// Let the server sample the cases; same generator, same seed,
+		// same suite as a local run.
+		return server.ProblemSpec{Expr: expr, Inputs: inputs, NumCases: cases, CaseSeed: seed}, expr, nil
+	case slFile != "":
+		data, err := os.ReadFile(slFile)
+		if err != nil {
+			return server.ProblemSpec{}, "", err
+		}
+		return server.ProblemSpec{Sygus: string(data)}, slFile, nil
+	default:
+		// Spec files and built-in problems resolve locally to explicit
+		// examples.
+		suite, desc, err := loadProblem("", 0, 0, specFile, "", problem, seed)
+		if err != nil {
+			return server.ProblemSpec{}, "", err
+		}
+		ps := server.ProblemSpec{Inputs: suite.NumInputs}
+		for _, c := range suite.Cases {
+			ps.Examples = append(ps.Examples, server.Example{Inputs: c.Inputs, Output: c.Output})
+		}
+		return ps, desc, nil
+	}
 }
 
 func pickDialect(name string) (*prog.OpSet, bool, error) {

@@ -1,0 +1,106 @@
+// Command synthd serves synthesis as a service: a JSON-over-HTTP API
+// to submit stochastic-synthesis jobs, poll and cancel them, backed
+// by a bounded job queue, a worker-pool scheduler, and an LRU result
+// cache (see internal/server).
+//
+//	synthd -addr :8731 -workers 8
+//
+// Endpoints:
+//
+//	POST   /v1/jobs      submit a job (problem + options + budget)
+//	GET    /v1/jobs      list jobs (?status= filters)
+//	GET    /v1/jobs/{id} poll a job
+//	DELETE /v1/jobs/{id} cancel a job
+//	GET    /healthz      liveness probe
+//	GET    /statsz       queue/cache/worker snapshot
+//
+// On SIGINT/SIGTERM the daemon stops accepting jobs and drains
+// running ones, cancelling whatever is still unfinished at the drain
+// deadline. Use -addr 127.0.0.1:0 to bind an ephemeral port; the
+// chosen address is printed on stdout as "synthd: listening on ...".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stochsyn/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8731", "listen address (host:port; port 0 picks one)")
+		workers = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+		budget  = flag.Int("worker-budget", 0, "global budget of per-job search goroutines (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 256, "bounded job queue depth")
+		cacheSz = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
+		verbose = flag.Bool("v", false, "log requests")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		WorkerBudget: *budget,
+		QueueDepth:   *queue,
+		CacheSize:    *cacheSz,
+		DrainTimeout: *drain,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synthd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("synthd: listening on %s\n", ln.Addr())
+
+	var handler http.Handler = srv.Handler()
+	if *verbose {
+		handler = logRequests(handler)
+	}
+	hs := &http.Server{Handler: handler}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("synthd: %v: draining (deadline %v)\n", sig, *drain)
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "synthd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop taking requests, then drain the job scheduler.
+	_ = hs.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Printf("synthd: drain deadline hit, cancelled remaining jobs (%v)\n", err)
+		return
+	}
+	fmt.Println("synthd: drained cleanly")
+}
+
+// logRequests is a minimal request logger.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		fmt.Printf("synthd: %s %s (%v)\n", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

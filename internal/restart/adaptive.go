@@ -1,6 +1,10 @@
 package restart
 
-import "stochsyn/internal/search"
+import (
+	"context"
+
+	"stochsyn/internal/search"
+)
 
 // Tree implements the parallel Luby algorithm and, when Adaptive is
 // set, the paper's adaptive restart algorithm (Section 5.2, Figures 8
@@ -69,19 +73,28 @@ type treeNode struct {
 type treeRun struct {
 	cfg     *Tree
 	factory search.Factory
+	ctx     context.Context
 	budget  int64
 	res     Result
 }
 
 // Run implements Strategy.
 func (t *Tree) Run(f search.Factory, budget int64) Result {
+	return t.RunContext(context.Background(), f, budget)
+}
+
+// RunContext implements Strategy. Cancellation is polled between
+// steps of the doubling pass and, via chunked stepping, inside each
+// node's iteration grant; a cancelled pass unwinds without applying
+// further swaps or label doublings.
+func (t *Tree) RunContext(ctx context.Context, f search.Factory, budget int64) Result {
 	if t.T0 <= 0 {
 		panic("restart: tree base cutoff must be positive")
 	}
 	if t.Workers > 1 {
-		return t.runConcurrent(f, budget)
+		return t.runConcurrent(ctx, f, budget)
 	}
-	r := &treeRun{cfg: t, factory: f, budget: budget}
+	r := &treeRun{cfg: t, factory: f, ctx: ctx, budget: budget}
 
 	// The initial tree is a single 1-labeled node; run it for t0.
 	root := r.newLeaf()
@@ -107,7 +120,7 @@ func (r *treeRun) newLeaf() *treeNode {
 
 // run executes n's search for units*T0 iterations (clipped to the
 // remaining budget) and returns true if the strategy is finished
-// (solved or out of budget).
+// (solved, cancelled, or out of budget).
 func (r *treeRun) run(n *treeNode, units int64) bool {
 	iters := units * r.cfg.T0
 	if remaining := r.budget - r.res.Iterations; iters > remaining {
@@ -116,11 +129,15 @@ func (r *treeRun) run(n *treeNode, units int64) bool {
 	if iters <= 0 {
 		return r.res.Iterations >= r.budget
 	}
-	used, done := n.s.Step(iters)
+	used, done, cancelled := stepCtx(r.ctx, n.s, iters)
 	r.res.Iterations += used
 	if done {
 		r.res.Solved = true
 		r.res.Winner = n.s
+		return true
+	}
+	if cancelled {
+		r.res.Cancelled = true
 		return true
 	}
 	return r.res.Iterations >= r.budget

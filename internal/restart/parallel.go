@@ -1,6 +1,7 @@
 package restart
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -33,6 +34,15 @@ func (p *ParallelNaive) Name() string { return "pnaive" }
 
 // Run implements Strategy.
 func (p *ParallelNaive) Run(f search.Factory, budget int64) Result {
+	return p.RunContext(context.Background(), f, budget)
+}
+
+// RunContext implements Strategy. Cancelling the context closes the
+// shared budget pool, which wakes any blocked workers and denies
+// further grants; workers mid-grant observe the cancellation through
+// their search's own context or at the next grant boundary. The
+// Result counts exactly the iterations that were executed.
+func (p *ParallelNaive) RunContext(ctx context.Context, f search.Factory, budget int64) Result {
 	if p.Workers <= 0 {
 		panic(fmt.Sprintf("restart: ParallelNaive requires positive Workers, got %d", p.Workers))
 	}
@@ -41,6 +51,8 @@ func (p *ParallelNaive) Run(f search.Factory, budget int64) Result {
 		chunk = 8192
 	}
 	pool := newBudgetPool(budget)
+	stop := context.AfterFunc(ctx, pool.close)
+	defer stop()
 
 	type outcome struct {
 		spent int64
@@ -55,7 +67,7 @@ func (p *ParallelNaive) Run(f search.Factory, budget int64) Result {
 		go func(w int) {
 			defer wg.Done()
 			run := f(uint64(w))
-			for {
+			for ctx.Err() == nil {
 				grant := pool.acquire(chunk)
 				if grant <= 0 {
 					return
@@ -67,6 +79,11 @@ func (p *ParallelNaive) Run(f search.Factory, budget int64) Result {
 					outcomes[w].won = true
 					outcomes[w].s = run
 					pool.close()
+					return
+				}
+				if used < grant {
+					// An early unfinished return means the search saw
+					// its context cancelled; stop drawing grants.
 					return
 				}
 			}
@@ -84,6 +101,9 @@ func (p *ParallelNaive) Run(f search.Factory, budget int64) Result {
 			res.Solved = true
 			res.Winner = o.s
 		}
+	}
+	if !res.Solved && ctx.Err() != nil {
+		res.Cancelled = true
 	}
 	return res
 }

@@ -1,7 +1,9 @@
 package restart
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -13,6 +15,12 @@ import (
 // footprint modest at our budgets.
 const DefaultT0 = 1000
 
+// ErrBadSpec tags every strategy-spec parse error returned by New, so
+// callers can distinguish "the user wrote a bad spec" from other
+// failures with errors.Is(err, ErrBadSpec) and map it to an input
+// error (the HTTP API returns 400, the CLIs print a clean message).
+var ErrBadSpec = errors.New("bad restart strategy spec")
+
 // New constructs a strategy from a textual spec. Recognized forms:
 //
 //	naive
@@ -20,106 +28,161 @@ const DefaultT0 = 1000
 //	adaptive | adaptive:<t0> | adaptive:<t0>:<maxSearches> | adaptive:<t0>:<maxSearches>:<workers>
 //	pluby | pluby:<t0> | pluby:<t0>:<maxSearches> | pluby:<t0>:<maxSearches>:<workers>
 //	fixed:<cutoff>
-//	exp:<t0>:<z>
-//	innerouter:<t0>:<z>
+//	exp | exp:<t0> | exp:<t0>:<z>
+//	innerouter | innerouter:<t0> | innerouter:<t0>:<z>
 //
 // maxSearches 0 means unlimited; workers 0 or 1 selects the
 // sequential executor, larger values the concurrent one (the Results
 // are identical either way; see Tree.Workers).
 //
-// It returns an error for unknown names or malformed parameters.
+// Malformed specs — unknown names, empty fields (trailing or doubled
+// colons), surplus fields, out-of-range values — return an error
+// wrapping ErrBadSpec; New never panics and never silently ignores
+// part of a spec.
 func New(spec string) (Strategy, error) {
-	parts := strings.Split(spec, ":")
-	name := parts[0]
-	argInt := func(i int, def int64) (int64, error) {
-		if len(parts) <= i {
-			return def, nil
-		}
-		v, err := strconv.ParseInt(parts[i], 10, 64)
-		if err == nil && v <= 0 {
-			return 0, fmt.Errorf("must be positive, got %d", v)
-		}
-		return v, err
+	p, err := newParser(spec)
+	if err != nil {
+		return nil, err
 	}
-	argNonNeg := func(i int, def int64) (int64, error) {
-		if len(parts) <= i {
-			return def, nil
-		}
-		v, err := strconv.ParseInt(parts[i], 10, 64)
-		if err == nil && v < 0 {
-			return 0, fmt.Errorf("must be non-negative, got %d", v)
-		}
-		return v, err
-	}
-	argFloat := func(i int, def float64) (float64, error) {
-		if len(parts) <= i {
-			return def, nil
-		}
-		v, err := strconv.ParseFloat(parts[i], 64)
-		if err == nil && v <= 1 {
-			return 0, fmt.Errorf("must be > 1, got %g", v)
-		}
-		return v, err
-	}
-	switch name {
+	switch p.name {
 	case "naive":
-		return Naive{}, nil
+		return p.done(Naive{})
 	case "luby":
-		t0, err := argInt(1, DefaultT0)
+		t0, err := p.posInt("t0", DefaultT0)
 		if err != nil {
-			return nil, fmt.Errorf("restart: bad t0 in %q: %v", spec, err)
+			return nil, err
 		}
-		return NewLuby(t0), nil
+		return p.done(NewLuby(t0))
 	case "adaptive", "pluby":
-		t0, err := argInt(1, DefaultT0)
+		t0, err := p.posInt("t0", DefaultT0)
 		if err != nil {
-			return nil, fmt.Errorf("restart: bad t0 in %q: %v", spec, err)
+			return nil, err
 		}
-		max, err := argNonNeg(2, 0)
+		max, err := p.nonNegInt("search cap", 0)
 		if err != nil {
-			return nil, fmt.Errorf("restart: bad search cap in %q: %v", spec, err)
+			return nil, err
 		}
-		workers, err := argNonNeg(3, 0)
+		workers, err := p.nonNegInt("worker count", 0)
 		if err != nil {
-			return nil, fmt.Errorf("restart: bad worker count in %q: %v", spec, err)
+			return nil, err
 		}
-		return &Tree{
+		return p.done(&Tree{
 			T0:          t0,
-			Adaptive:    name == "adaptive",
+			Adaptive:    p.name == "adaptive",
 			MaxSearches: int(max),
 			Workers:     int(workers),
-		}, nil
+		})
 	case "fixed":
-		if len(parts) < 2 {
-			return nil, fmt.Errorf("restart: fixed requires a cutoff, e.g. fixed:10000")
+		if len(p.args) == 0 {
+			return nil, fmt.Errorf("restart: %w: %q: fixed requires a cutoff, e.g. fixed:10000", ErrBadSpec, spec)
 		}
-		cut, err := strconv.ParseInt(parts[1], 10, 64)
-		if err != nil || cut <= 0 {
-			return nil, fmt.Errorf("restart: bad cutoff in %q", spec)
-		}
-		return NewFixed(cut), nil
-	case "exp":
-		t0, err := argInt(1, DefaultT0)
+		cut, err := p.posInt("cutoff", 0)
 		if err != nil {
-			return nil, fmt.Errorf("restart: bad t0 in %q: %v", spec, err)
+			return nil, err
 		}
-		z, err := argFloat(2, 2)
+		return p.done(NewFixed(cut))
+	case "exp", "innerouter":
+		t0, err := p.posInt("t0", DefaultT0)
 		if err != nil {
-			return nil, fmt.Errorf("restart: bad z in %q: %v", spec, err)
+			return nil, err
 		}
-		return NewExponential(t0, z), nil
-	case "innerouter":
-		t0, err := argInt(1, DefaultT0)
+		z, err := p.growthFloat("z", 2)
 		if err != nil {
-			return nil, fmt.Errorf("restart: bad t0 in %q: %v", spec, err)
+			return nil, err
 		}
-		z, err := argFloat(2, 2)
-		if err != nil {
-			return nil, fmt.Errorf("restart: bad z in %q: %v", spec, err)
+		if p.name == "exp" {
+			return p.done(NewExponential(t0, z))
 		}
-		return NewInnerOuter(t0, z), nil
+		return p.done(NewInnerOuter(t0, z))
 	}
-	return nil, fmt.Errorf("restart: unknown strategy %q", name)
+	return nil, fmt.Errorf("restart: %w: unknown strategy %q", ErrBadSpec, p.name)
+}
+
+// specParser consumes the colon-separated fields of a strategy spec
+// in order, validating each and rejecting leftovers at the end.
+type specParser struct {
+	spec string
+	name string
+	args []string
+	next int
+}
+
+func newParser(spec string) (*specParser, error) {
+	parts := strings.Split(spec, ":")
+	for i, f := range parts {
+		if f == "" {
+			if i == 0 {
+				return nil, fmt.Errorf("restart: %w: empty strategy name in %q", ErrBadSpec, spec)
+			}
+			return nil, fmt.Errorf("restart: %w: empty field %d in %q (trailing or doubled colon?)", ErrBadSpec, i, spec)
+		}
+	}
+	return &specParser{spec: spec, name: parts[0], args: parts[1:]}, nil
+}
+
+// take returns the next argument field, or ok=false when the spec
+// supplied fewer fields (the parameter's default applies).
+func (p *specParser) take() (string, bool) {
+	if p.next >= len(p.args) {
+		return "", false
+	}
+	f := p.args[p.next]
+	p.next++
+	return f, true
+}
+
+func (p *specParser) posInt(what string, def int64) (int64, error) {
+	f, ok := p.take()
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(f, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("restart: %w: bad %s %q in %q: not an integer", ErrBadSpec, what, f, p.spec)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("restart: %w: bad %s in %q: must be positive, got %d", ErrBadSpec, what, p.spec, v)
+	}
+	return v, nil
+}
+
+func (p *specParser) nonNegInt(what string, def int64) (int64, error) {
+	f, ok := p.take()
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(f, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("restart: %w: bad %s %q in %q: not an integer", ErrBadSpec, what, f, p.spec)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("restart: %w: bad %s in %q: must be non-negative, got %d", ErrBadSpec, what, p.spec, v)
+	}
+	return v, nil
+}
+
+func (p *specParser) growthFloat(what string, def float64) (float64, error) {
+	f, ok := p.take()
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(f, 64)
+	if err != nil {
+		return 0, fmt.Errorf("restart: %w: bad %s %q in %q: not a number", ErrBadSpec, what, f, p.spec)
+	}
+	if v <= 1 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, fmt.Errorf("restart: %w: bad %s in %q: must be a finite value > 1, got %g", ErrBadSpec, what, p.spec, v)
+	}
+	return v, nil
+}
+
+// done rejects surplus fields and returns the built strategy.
+func (p *specParser) done(s Strategy) (Strategy, error) {
+	if p.next < len(p.args) {
+		return nil, fmt.Errorf("restart: %w: %q: surplus field %q (%s takes at most %d parameters)",
+			ErrBadSpec, p.spec, p.args[p.next], p.name, p.next)
+	}
+	return s, nil
 }
 
 // MustNew is New for tests and internal tables; it panics on error.

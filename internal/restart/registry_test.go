@@ -1,0 +1,126 @@
+package restart
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNewValidSpecs(t *testing.T) {
+	tests := []struct {
+		spec string
+		name string // expected Strategy.Name()
+		chk  func(t *testing.T, s Strategy)
+	}{
+		{spec: "naive", name: "naive"},
+		{spec: "luby", name: "luby"},
+		{spec: "luby:500", name: "luby"},
+		{spec: "adaptive", name: "adaptive", chk: func(t *testing.T, s Strategy) {
+			tr := s.(*Tree)
+			if tr.T0 != DefaultT0 || !tr.Adaptive || tr.MaxSearches != 0 || tr.Workers != 0 {
+				t.Errorf("adaptive defaults: %+v", tr)
+			}
+		}},
+		{spec: "adaptive:250", name: "adaptive", chk: func(t *testing.T, s Strategy) {
+			if tr := s.(*Tree); tr.T0 != 250 {
+				t.Errorf("T0 = %d, want 250", tr.T0)
+			}
+		}},
+		{spec: "adaptive:250:64", name: "adaptive", chk: func(t *testing.T, s Strategy) {
+			if tr := s.(*Tree); tr.MaxSearches != 64 {
+				t.Errorf("MaxSearches = %d, want 64", tr.MaxSearches)
+			}
+		}},
+		{spec: "adaptive:250:0:8", name: "adaptive", chk: func(t *testing.T, s Strategy) {
+			tr := s.(*Tree)
+			if tr.MaxSearches != 0 || tr.Workers != 8 {
+				t.Errorf("cap/workers: %+v", tr)
+			}
+		}},
+		{spec: "pluby:100:10:2", name: "pluby", chk: func(t *testing.T, s Strategy) {
+			if tr := s.(*Tree); tr.Adaptive {
+				t.Error("pluby spec produced an adaptive tree")
+			}
+		}},
+		{spec: "fixed:10000", name: "fixed(10000)"},
+		{spec: "exp", name: "exp(z=2)"},
+		{spec: "exp:100", name: "exp(z=2)"},
+		{spec: "exp:100:1.5", name: "exp(z=1.5)"},
+		{spec: "innerouter:100:3", name: "innerouter(z=3)"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			s, err := New(tt.spec)
+			if err != nil {
+				t.Fatalf("New(%q): %v", tt.spec, err)
+			}
+			if s.Name() != tt.name {
+				t.Errorf("Name() = %q, want %q", s.Name(), tt.name)
+			}
+			if tt.chk != nil {
+				tt.chk(t, s)
+			}
+		})
+	}
+}
+
+func TestNewMalformedSpecs(t *testing.T) {
+	tests := []struct {
+		spec string
+		frag string // substring expected in the error message
+	}{
+		// Unknown names and empty fields.
+		{"", "empty strategy name"},
+		{"bogus", "unknown strategy"},
+		{":100", "empty strategy name"},
+		{"adaptive:", "trailing or doubled colon"},
+		{"adaptive::4", "trailing or doubled colon"},
+		{"luby:1000:", "trailing or doubled colon"},
+		{"fixed:", "trailing or doubled colon"},
+		// Missing required fields.
+		{"fixed", "requires a cutoff"},
+		// Non-numeric and out-of-range values.
+		{"luby:abc", "not an integer"},
+		{"luby:0", "must be positive"},
+		{"luby:-3", "must be positive"},
+		{"adaptive:-1", "must be positive"},
+		{"adaptive:100:-1", "must be non-negative"},
+		{"adaptive:100:0:-2", "must be non-negative"}, // negative workers
+		{"adaptive:100:0:two", "not an integer"},
+		{"fixed:0", "must be positive"},
+		{"fixed:-5", "must be positive"},
+		{"fixed:1e6", "not an integer"},
+		{"exp:100:1", "must be a finite value > 1"},
+		{"exp:100:0.5", "must be a finite value > 1"},
+		{"exp:100:+Inf", "must be a finite value > 1"},
+		{"exp:100:NaN", "must be a finite value > 1"},
+		{"innerouter:100:z", "not a number"},
+		{"luby:99999999999999999999", "not an integer"}, // int64 overflow
+		// Surplus fields (previously ignored silently).
+		{"naive:5", "surplus field"},
+		{"luby:1000:7", "surplus field"},
+		{"fixed:100:100", "surplus field"},
+		{"exp:100:2:3", "surplus field"},
+		{"innerouter:100:2:3", "surplus field"},
+		{"adaptive:100:0:4:9", "surplus field"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("New(%q) panicked: %v", tt.spec, p)
+				}
+			}()
+			s, err := New(tt.spec)
+			if err == nil {
+				t.Fatalf("New(%q) = %v (%s), want error", tt.spec, s, s.Name())
+			}
+			if !errors.Is(err, ErrBadSpec) {
+				t.Errorf("New(%q) error does not wrap ErrBadSpec: %v", tt.spec, err)
+			}
+			if !strings.Contains(err.Error(), tt.frag) {
+				t.Errorf("New(%q) error %q does not mention %q", tt.spec, err, tt.frag)
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@
 package restart
 
 import (
+	"context"
 	"fmt"
 
 	"stochsyn/internal/search"
@@ -23,13 +24,20 @@ type Result struct {
 	// Solved reports whether any search finished within the budget.
 	Solved bool
 	// Iterations is the total number of iterations consumed across
-	// all searches (the paper's measure of synthesis time).
+	// all searches (the paper's measure of synthesis time). Under
+	// cancellation this is the exact number of iterations that were
+	// executed before the run stopped.
 	Iterations int64
 	// Searches is the number of searches created.
 	Searches int
 	// Winner is the search that finished, or nil. Callers may
 	// type-assert it (e.g. to *search.Run) to retrieve the solution.
 	Winner search.Search
+	// Cancelled reports that the run was stopped by context
+	// cancellation before it either solved the problem or exhausted
+	// its budget. A run that solves just as its context expires
+	// reports Solved, not Cancelled.
+	Cancelled bool
 	// Exec holds executor counters when the strategy ran on the
 	// concurrent tree executor (Tree.Workers > 1), and is nil
 	// otherwise. It never influences the fields above.
@@ -41,7 +49,54 @@ type Result struct {
 // deterministic given the factory.
 type Strategy interface {
 	Name() string
+	// Run is RunContext under a background (never-cancelled) context.
 	Run(f search.Factory, budget int64) Result
+	// RunContext runs the strategy until it solves, exhausts the
+	// budget, or ctx is cancelled — whichever comes first. With a
+	// context that never expires the Result is bit-identical to
+	// Run's; on cancellation the strategy returns promptly with
+	// Result.Cancelled set and exact iteration accounting (every
+	// iteration actually executed is counted, and nothing else).
+	RunContext(ctx context.Context, f search.Factory, budget int64) Result
+}
+
+// stepChunk is the largest single grant handed to a Search when it is
+// driven under a cancellable context: strategies step searches in
+// chunks of at most this many iterations and poll the context between
+// chunks, so even searches that do not observe a context themselves
+// (e.g. the model Markov chains) are cancelled within one chunk.
+// Chunked stepping is observationally identical to a single Step call
+// for any Search honoring the resumability contract, so results stay
+// bit-identical to the monolithic schedule.
+const stepChunk = 1 << 16
+
+// stepCtx drives s for up to budget iterations under ctx, stepping in
+// chunks of stepChunk and polling ctx between chunks. It returns the
+// iterations consumed, whether the search finished, and whether the
+// run was cancelled. A Step that returns early (contractually allowed
+// only under a cancelled context) is reported as cancelled.
+func stepCtx(ctx context.Context, s search.Search, budget int64) (used int64, done, cancelled bool) {
+	background := ctx == nil || ctx.Done() == nil
+	for used < budget {
+		if !background && ctx.Err() != nil {
+			return used, false, true
+		}
+		grant := budget - used
+		if !background && grant > stepChunk {
+			grant = stepChunk
+		}
+		u, stepDone := s.Step(grant)
+		used += u
+		if stepDone {
+			return used, true, false
+		}
+		if u < grant {
+			// The Search contract permits an early unfinished return
+			// only under a cancelled context.
+			return used, false, true
+		}
+	}
+	return used, false, false
 }
 
 // Naive is the baseline algorithm that never restarts: it runs a
@@ -52,10 +107,15 @@ type Naive struct{}
 func (Naive) Name() string { return "naive" }
 
 // Run implements Strategy.
-func (Naive) Run(f search.Factory, budget int64) Result {
+func (n Naive) Run(f search.Factory, budget int64) Result {
+	return n.RunContext(context.Background(), f, budget)
+}
+
+// RunContext implements Strategy.
+func (Naive) RunContext(ctx context.Context, f search.Factory, budget int64) Result {
 	s := f(0)
-	used, done := s.Step(budget)
-	res := Result{Solved: done, Iterations: used, Searches: 1}
+	used, done, cancelled := stepCtx(ctx, s, budget)
+	res := Result{Solved: done, Iterations: used, Searches: 1, Cancelled: cancelled}
 	if done {
 		res.Winner = s
 	}
@@ -79,6 +139,12 @@ func (s *Sequential) Name() string { return s.StrategyName }
 // non-positive value: a zero cutoff consumes no budget, so tolerating
 // it would spin forever without making progress.
 func (s *Sequential) Run(f search.Factory, budget int64) Result {
+	return s.RunContext(context.Background(), f, budget)
+}
+
+// RunContext implements Strategy: cancellation is polled between
+// restarts and, via chunked stepping, inside each cutoff.
+func (s *Sequential) RunContext(ctx context.Context, f search.Factory, budget int64) Result {
 	var res Result
 	for i := 1; res.Iterations < budget; i++ {
 		cut := s.Cutoff(i)
@@ -90,11 +156,15 @@ func (s *Sequential) Run(f search.Factory, budget int64) Result {
 		}
 		run := f(uint64(i - 1))
 		res.Searches++
-		used, done := run.Step(cut)
+		used, done, cancelled := stepCtx(ctx, run, cut)
 		res.Iterations += used
 		if done {
 			res.Solved = true
 			res.Winner = run
+			return res
+		}
+		if cancelled {
+			res.Cancelled = true
 			return res
 		}
 	}

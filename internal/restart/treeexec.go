@@ -1,6 +1,7 @@
 package restart
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -122,6 +123,7 @@ type execNode struct {
 type treeExec struct {
 	cfg     *Tree
 	factory search.Factory
+	ctx     context.Context
 	budget  int64
 
 	// Planner state (single goroutine).
@@ -141,8 +143,12 @@ type treeExec struct {
 }
 
 // runConcurrent executes the tree strategy on a bounded worker pool.
-// Called from Tree.Run when Workers > 1.
-func (t *Tree) runConcurrent(f search.Factory, budget int64) Result {
+// Called from Tree.RunContext when Workers > 1. Cancellation is
+// observed at step dispatch (pending steps are skipped) and inside
+// in-flight steps (chunked stepping); a cancelled execution settles
+// with exact spent-iteration accounting instead of the planner's
+// totals.
+func (t *Tree) runConcurrent(ctx context.Context, f search.Factory, budget int64) Result {
 	workers := t.Workers
 	if workers <= 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -150,6 +156,7 @@ func (t *Tree) runConcurrent(f search.Factory, budget int64) Result {
 	e := &treeExec{
 		cfg:     t,
 		factory: f,
+		ctx:     ctx,
 		budget:  budget,
 		sem:     make(chan struct{}, workers),
 	}
@@ -170,10 +177,11 @@ func (t *Tree) runConcurrent(f search.Factory, budget int64) Result {
 	e.execSubtree(rootTask)
 	finished := e.settle(steps, 0, &res)
 
-	// Doubling passes until the budget is exhausted or a search
-	// finishes. Each pass is planned in full (deterministically, on
-	// this goroutine), then executed concurrently, then settled.
-	for !finished && e.planned < e.budget {
+	// Doubling passes until the budget is exhausted, a search
+	// finishes, or the context is cancelled. Each pass is planned in
+	// full (deterministically, on this goroutine), then executed
+	// concurrently, then settled.
+	for !finished && e.planned < e.budget && ctx.Err() == nil {
 		e.stopped = false
 		prev := e.planned
 		var passSteps []*planStep
@@ -181,6 +189,11 @@ func (t *Tree) runConcurrent(f search.Factory, budget int64) Result {
 		passes++
 		e.execSubtree(task)
 		finished = e.settle(passSteps, prev, &res)
+	}
+	if !res.Solved && !res.Cancelled && ctx.Err() != nil {
+		// Cancelled between passes: the last settled pass ran to
+		// completion, so its accounting stands; only flag the outcome.
+		res.Cancelled = true
 	}
 
 	wall := time.Since(start)
@@ -325,17 +338,19 @@ func (e *treeExec) applySwap(n, parent *treeNode) {
 // skipped: their outcome cannot change the reconstructed Result
 // (minDone only ever decreases, so everything at or before the final
 // winner always executes with the exact sequential search state).
+// Steps pending when the context is cancelled are skipped outright;
+// in-flight steps observe the cancellation through chunked stepping.
 func (e *treeExec) runStep(st *planStep) {
 	if st.grant <= 0 {
 		return
 	}
-	if int64(st.index) > e.minDone.Load() {
+	if int64(st.index) > e.minDone.Load() || e.ctx.Err() != nil {
 		st.skipped = true
 		e.skipped.Add(1)
 		return
 	}
 	e.sem <- struct{}{}
-	if int64(st.index) > e.minDone.Load() { // re-check after the wait
+	if int64(st.index) > e.minDone.Load() || e.ctx.Err() != nil { // re-check after the wait
 		<-e.sem
 		st.skipped = true
 		e.skipped.Add(1)
@@ -344,7 +359,7 @@ func (e *treeExec) runStep(st *planStep) {
 	st.s = st.node.s
 	e.pool.Add(-st.grant)
 	begin := time.Now()
-	used, done := st.s.Step(st.grant)
+	used, done, _ := stepCtx(e.ctx, st.s, st.grant)
 	e.busy.Add(int64(time.Since(begin)))
 	<-e.sem
 
@@ -369,6 +384,23 @@ func (e *treeExec) runStep(st *planStep) {
 // iteration count before the pass.
 func (e *treeExec) settle(steps []*planStep, prev int64, res *Result) bool {
 	j := e.minDone.Load()
+	if cancelled := e.ctx.Err() != nil; cancelled {
+		// Cancellation forfeits the bit-identical replay (steps may
+		// have been skipped or cut short mid-grant), so report the
+		// exact work performed instead of the planner's totals. A
+		// solve that raced the cancellation still wins.
+		res.Iterations = e.spent.Load()
+		res.Searches = e.searches
+		if j != math.MaxInt64 {
+			win := steps[j]
+			res.Solved = true
+			res.Winner = win.s
+			res.Searches = win.searchesAfter
+		} else {
+			res.Cancelled = true
+		}
+		return true
+	}
 	if j == math.MaxInt64 {
 		// No search finished: every scheduled grant was consumed, so
 		// the sequential totals are the planner's.

@@ -11,6 +11,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 
@@ -32,7 +33,12 @@ import (
 // goroutines; the concurrent executors in package restart rely on
 // this. Implementations must also make Step consume its entire
 // budget unless the search finishes (both Run here and markov.Walk
-// do), which the tree executor's budget arithmetic depends on.
+// do), which the tree executor's budget arithmetic depends on — with
+// one sanctioned exception: a search created with a cancellable
+// Options.Ctx may return early from Step, unfinished and with budget
+// left, once that context is cancelled. The restart strategies treat
+// an early return under a cancelled context as "the run was
+// cancelled", never as ordinary completion.
 type Search interface {
 	// Step runs at most budget iterations, returning the number
 	// actually consumed and whether the search has finished. Once
@@ -51,6 +57,13 @@ type Search interface {
 // as the test suite or an OpSet may be shared).
 type Factory func(id uint64) Search
 
+// CancelCheckEvery is the iteration interval at which Run.Step polls
+// its context for cancellation. At the search loop's typical
+// throughput (hundreds of thousands of iterations per second per
+// core) this bounds the cancellation latency of an in-flight Step to
+// a few tens of milliseconds while keeping the poll cost invisible.
+const CancelCheckEvery = 8192
+
 // Options configures a synthesis run.
 type Options struct {
 	// Set is the instruction dialect; defaults to prog.FullSet.
@@ -67,6 +80,13 @@ type Options struct {
 	Redundancy bool
 	// Seed seeds the search's private random stream.
 	Seed uint64
+	// Ctx, when non-nil, allows cancelling a run mid-Step: the inner
+	// loop polls the context every CancelCheckEvery iterations and
+	// returns early (unfinished, with budget left) once it is
+	// cancelled. Polling never touches the random stream, so a run
+	// driven under a context that never expires is bit-identical to
+	// one with a nil Ctx.
+	Ctx context.Context
 	// TraceCosts, when true, records a thinned (iteration, cost)
 	// trace of accepted-cost changes for plateau analysis.
 	TraceCosts bool
@@ -109,6 +129,7 @@ type TracePoint struct {
 type Run struct {
 	suite  *testcase.Suite
 	opts   Options
+	ctx    context.Context // nil when the run is not cancellable
 	kind   cost.Kind
 	beta   float64 // normalized
 	rng    *rand.Rand
@@ -149,6 +170,7 @@ func New(suite *testcase.Suite, opts Options) *Run {
 	r := &Run{
 		suite:  suite,
 		opts:   opts,
+		ctx:    opts.Ctx,
 		kind:   opts.Cost,
 		beta:   cost.NormalizeBeta(opts.Beta, suite.Len()),
 		rng:    rand.New(src),
@@ -190,12 +212,24 @@ func New(suite *testcase.Suite, opts Options) *Run {
 // Step implements Search. Each loop iteration counts against the
 // budget whether or not the proposed change was valid, matching the
 // iteration counter in Figure 3.
+//
+// When the run was created with a cancellable Options.Ctx, Step polls
+// it every CancelCheckEvery iterations (at fixed global iteration
+// numbers, so chunked and monolithic stepping observe the same poll
+// points) and returns early — unfinished, reporting only the
+// iterations actually executed — once the context is cancelled.
 func (r *Run) Step(budget int64) (int64, bool) {
 	if r.done || budget <= 0 {
 		return 0, r.done
 	}
+	if r.ctx != nil && r.ctx.Err() != nil {
+		return 0, false
+	}
 	var used int64
 	for used < budget {
+		if r.ctx != nil && r.iters&(CancelCheckEvery-1) == 0 && used > 0 && r.ctx.Err() != nil {
+			return used, false
+		}
 		used++
 		r.iters++
 		r.scratch.CopyFrom(r.cur)

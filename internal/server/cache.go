@@ -1,0 +1,81 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"stochsyn"
+)
+
+// resultCache is a fixed-capacity LRU map from canonical job keys
+// (see CacheKey) to completed synthesis results. It is safe for
+// concurrent use. Only completed, non-cancelled results are cached
+// (the scheduler enforces that); a cancelled run's partial counters
+// would not be reproducible and must never satisfy a later identical
+// submission.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res stochsyn.Result
+}
+
+// newResultCache returns a cache holding up to capacity results;
+// capacity <= 0 disables caching (every lookup misses, every store is
+// dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key, marking it most recently
+// used.
+func (c *resultCache) get(key string) (stochsyn.Result, bool) {
+	if c.cap <= 0 {
+		return stochsyn.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return stochsyn.Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a result under key, evicting the least recently used
+// entry when full.
+func (c *resultCache) put(key string, res stochsyn.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for len(c.entries) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"stochsyn"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(3)
+	res := func(i int64) stochsyn.Result { return stochsyn.Result{Iterations: i} }
+
+	c.put("a", res(1))
+	c.put("b", res(2))
+	c.put("c", res(3))
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+
+	// Touch "a" so "b" becomes least recently used, then overflow.
+	if r, ok := c.get("a"); !ok || r.Iterations != 1 {
+		t.Fatalf("get(a) = %+v, %v", r, ok)
+	}
+	c.put("d", res(4))
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction; want LRU evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s missing after eviction", k)
+		}
+	}
+
+	// Updating an existing key refreshes both value and recency.
+	c.put("c", res(30))
+	c.put("e", res(5)) // evicts "a" (oldest after the gets above touched a,c,d)
+	if r, ok := c.get("c"); !ok || r.Iterations != 30 {
+		t.Errorf("get(c) after update = %+v, %v", r, ok)
+	}
+	if c.len() != 3 {
+		t.Errorf("len = %d, want 3", c.len())
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.put("a", stochsyn.Result{Iterations: 1})
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Errorf("disabled cache len = %d", c.len())
+	}
+}
+
+func TestCacheKeyCanonicalization(t *testing.T) {
+	p, err := stochsyn.ProblemFromFunc(func(in []uint64) uint64 { return in[0] ^ in[1] }, 2, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := stochsyn.Options{Budget: 1_000_000, Seed: 3}
+	key := func(o stochsyn.Options) string {
+		t.Helper()
+		k, err := CacheKey(p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	// Workers never fragments the cache: the executors are
+	// bit-identical for any worker count.
+	w := base
+	w.Workers = 8
+	if key(base) != key(w) {
+		t.Error("Workers changed the cache key")
+	}
+
+	// Explicit defaults hash like implicit ones.
+	expl := base
+	expl.Cost, expl.Strategy, expl.Dialect, expl.Beta = stochsyn.Hamming, "adaptive", stochsyn.Full, 1
+	if key(base) != key(expl) {
+		t.Error("normalized defaults produced a different key than zero values")
+	}
+
+	// Every search-relevant knob must fragment the key.
+	variants := map[string]stochsyn.Options{}
+	for i, mod := range []func(*stochsyn.Options){
+		func(o *stochsyn.Options) { o.Seed = 4 },
+		func(o *stochsyn.Options) { o.Budget = 2_000_000 },
+		func(o *stochsyn.Options) { o.Strategy = "luby" },
+		func(o *stochsyn.Options) { o.Beta = 2 },
+		func(o *stochsyn.Options) { o.Greedy = true },
+	} {
+		o := base
+		mod(&o)
+		variants[fmt.Sprint(i)] = o
+	}
+	baseKey := key(base)
+	seen := map[string]string{"base": baseKey}
+	for name, o := range variants {
+		k := key(o)
+		if k == baseKey {
+			t.Errorf("variant %s produced the base key", name)
+		}
+		for prev, pk := range seen {
+			if pk == k {
+				t.Errorf("variants %s and %s collide", name, prev)
+			}
+		}
+		seen[name] = k
+	}
+
+	// A different problem (different cases) changes the key.
+	p2, err := stochsyn.ProblemFromFunc(func(in []uint64) uint64 { return in[0] ^ in[1] }, 2, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := CacheKey(p2, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 == baseKey {
+		t.Error("different problem hashed to the same key")
+	}
+}

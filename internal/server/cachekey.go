@@ -1,0 +1,71 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"stochsyn"
+)
+
+// CacheKey returns the canonical cache key for running opts against
+// p: a SHA-256 over the problem's exact example set and the
+// normalized options. Two submissions collide exactly when a
+// synthesis run could not tell them apart:
+//
+//   - the examples are hashed in order with explicit lengths, so no
+//     two distinct suites serialize alike;
+//   - options are normalized first (defaults filled in), so "empty
+//     strategy" and "adaptive" share a key;
+//   - Workers is excluded: the doubling-tree executor is
+//     bit-identical for any worker count, so parallelism must not
+//     fragment the cache.
+//
+// The textual strategy spec participates verbatim (after
+// normalization of the empty spec), so "adaptive" and
+// "adaptive:1000" hash differently even though they configure the
+// same tree — a conservative choice that can only cause extra
+// misses, never wrong hits.
+func CacheKey(p *stochsyn.Problem, opts stochsyn.Options) (string, error) {
+	o, err := opts.Normalized()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	buf := make([]byte, 8)
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	writeStr := func(s string) {
+		writeU64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	writeStr("stochsyn-job-v1")
+	writeU64(uint64(p.NumInputs()))
+	cases := p.Cases()
+	writeU64(uint64(len(cases)))
+	for _, c := range cases {
+		writeU64(uint64(len(c.Inputs)))
+		for _, in := range c.Inputs {
+			writeU64(in)
+		}
+		writeU64(c.Output)
+	}
+
+	writeStr(string(o.Cost))
+	writeU64(math.Float64bits(o.Beta))
+	if o.Greedy {
+		writeU64(1)
+	} else {
+		writeU64(0)
+	}
+	writeStr(o.Strategy)
+	writeU64(uint64(o.Budget))
+	writeStr(string(o.Dialect))
+	writeU64(o.Seed)
+
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

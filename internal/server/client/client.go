@@ -1,0 +1,170 @@
+// Package client is the Go client for the synthd HTTP API
+// (internal/server). It is used by cmd/synth's -remote mode and by
+// the end-to-end tests; it speaks exactly the wire types the server
+// defines, so the two cannot drift apart.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"stochsyn/internal/server"
+)
+
+// Client talks to one synthd instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8731".
+	BaseURL string
+	// HTTPClient is the transport; nil uses http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("synthd: %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out (which
+// may be nil to discard the body).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ae server.APIError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit enqueues a job and returns its initial view (status "queued",
+// or "completed" when served from the result cache).
+func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (*server.JobView, error) {
+	var v server.JobView
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Job polls one job.
+func (c *Client) Job(ctx context.Context, id string) (*server.JobView, error) {
+	var v server.JobView
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Jobs lists jobs, optionally filtered by status ("" = all).
+func (c *Client) Jobs(ctx context.Context, status server.Status) ([]server.JobView, error) {
+	path := "/v1/jobs"
+	if status != "" {
+		path += "?status=" + url.QueryEscape(string(status))
+	}
+	var vs []server.JobView
+	if err := c.do(ctx, http.MethodGet, path, nil, &vs); err != nil {
+		return nil, err
+	}
+	return vs, nil
+}
+
+// Cancel requests cancellation of a job. The returned view may still
+// show "running": cancellation is asynchronous; poll (or Wait) for
+// the terminal state.
+func (c *Client) Cancel(ctx context.Context, id string) (*server.JobView, error) {
+	var v server.JobView
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Wait polls the job every poll interval (default 50ms) until it
+// reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*server.JobView, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if v.Status.Terminal() {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Stats fetches the /statsz snapshot.
+func (c *Client) Stats(ctx context.Context) (*server.Stats, error) {
+	var st server.Stats
+	if err := c.do(ctx, http.MethodGet, "/statsz", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

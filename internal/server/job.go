@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"stochsyn"
+)
+
+// Status is a job's lifecycle state. Transitions:
+//
+//	queued → running → {completed, cancelled, failed}
+//	queued → cancelled                    (cancelled before a worker picked it up)
+//	         completed                    (cache hit: born completed)
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusCompleted Status = "completed" // ran to a verdict: solved or budget exhausted
+	StatusCancelled Status = "cancelled" // DELETE /v1/jobs/{id}, job timeout, or server drain
+	StatusFailed    Status = "failed"    // internal error while running
+)
+
+// Terminal reports whether s is a final state.
+func (s Status) Terminal() bool {
+	return s == StatusCompleted || s == StatusCancelled || s == StatusFailed
+}
+
+// job is the server-side state of one submission. The mutable fields
+// are guarded by mu; the identity fields (id, spec, problem, opts,
+// key, ctx/cancel) are set once at submission and read-only after.
+type job struct {
+	id      string
+	spec    JobSpec
+	problem *stochsyn.Problem
+	opts    stochsyn.Options // normalized, with Workers already capped
+	key     string           // canonical cache key
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	status   Status
+	cached   bool
+	errMsg   string
+	result   *stochsyn.Result
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{} // closed on entering a terminal state
+}
+
+// claim moves a queued job to running; it returns false if the job is
+// no longer claimable (cancelled while queued).
+func (j *job) claim() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish moves the job to a terminal state; it is a no-op if the job
+// already is terminal.
+func (j *job) finish(status Status, res *stochsyn.Result, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return
+	}
+	j.status = status
+	j.result = res
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// requestCancel cancels the job's context and, if the job has not
+// started yet, finalizes it immediately (the scheduler will skip it).
+func (j *job) requestCancel() {
+	j.cancel()
+	j.mu.Lock()
+	queued := j.status == StatusQueued
+	j.mu.Unlock()
+	if queued {
+		j.finish(StatusCancelled, nil, "")
+	}
+}
+
+// snapshot returns the job's wire view.
+func (j *job) snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		Status:    j.status,
+		Cached:    j.cached,
+		Error:     j.errMsg,
+		CreatedAt: j.created,
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = &j.started
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = &j.finished
+	}
+	if j.result != nil {
+		v.Result = &ResultView{
+			Solved:     j.result.Solved,
+			Program:    j.result.Program,
+			Iterations: j.result.Iterations,
+			Searches:   j.result.Searches,
+			Seed:       j.result.Seed,
+			DurationMS: float64(j.result.Duration) / float64(time.Millisecond),
+		}
+	}
+	return v
+}
+
+// JobView is the wire form of a job, returned by every /v1/jobs
+// endpoint.
+type JobView struct {
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+	// Cached marks a job whose result was served from the result
+	// cache without running a search.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Result is set once the job completes (and for cancelled jobs
+	// that got far enough to have partial counters).
+	Result     *ResultView `json:"result,omitempty"`
+	CreatedAt  time.Time   `json:"created_at"`
+	StartedAt  *time.Time  `json:"started_at,omitempty"`
+	FinishedAt *time.Time  `json:"finished_at,omitempty"`
+}
+
+// ResultView is the wire form of a stochsyn.Result. Together with the
+// submitted spec it makes the run reproducible: re-running the same
+// problem and options with Seed yields bit-identical counters and
+// program.
+type ResultView struct {
+	Solved     bool    `json:"solved"`
+	Program    string  `json:"program,omitempty"`
+	Iterations int64   `json:"iterations"`
+	Searches   int     `json:"searches"`
+	Seed       uint64  `json:"seed"`
+	DurationMS float64 `json:"duration_ms"`
+}

@@ -1,0 +1,518 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stochsyn"
+)
+
+// Config sizes the server. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the number of scheduler goroutines, i.e. the number
+	// of jobs that run concurrently (default GOMAXPROCS).
+	Workers int
+	// WorkerBudget is the global budget of search goroutines across
+	// all running jobs: a job asking for Options.Workers inner
+	// workers (doubling-tree parallelism) is capped at
+	// WorkerBudget/Workers, so full load never oversubscribes the
+	// machine by more than the budget (default GOMAXPROCS).
+	WorkerBudget int
+	// QueueDepth bounds the number of jobs waiting to run; submits
+	// beyond it are rejected with 503 (default 256).
+	QueueDepth int
+	// CacheSize is the LRU result cache capacity in entries; 0
+	// selects the default (1024), negative disables caching.
+	CacheSize int
+	// DrainTimeout bounds Close's graceful drain (default 30s); see
+	// Shutdown for the semantics.
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.WorkerBudget <= 0 {
+		c.WorkerBudget = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the synthesis service: an HTTP handler (Handler) in front
+// of a bounded job queue, a pool of scheduler workers, and an LRU
+// result cache. Create one with New, serve Handler, and stop it with
+// Shutdown or Close.
+type Server struct {
+	cfg        Config
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *job
+	cache      *resultCache
+	wg         sync.WaitGroup
+	started    time.Time
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []*job
+	nextID    int
+	accepting bool
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	submitted   atomic.Int64
+	rejected    atomic.Int64
+	busyWorkers atomic.Int64
+	busyNanos   atomic.Int64
+}
+
+// New creates a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		cache:      newResultCache(cfg.CacheSize),
+		started:    time.Now(),
+		jobs:       make(map[string]*job),
+		accepting:  true,
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Shutdown gracefully stops the server: it rejects new submissions,
+// cancels jobs still waiting in the queue, and drains running jobs
+// until they finish or ctx expires — at which point their contexts
+// are cancelled and the drain completes promptly (cancellation is
+// plumbed down to the search inner loops). It returns ctx.Err() when
+// the deadline cut running jobs short, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.accepting {
+		s.accepting = false
+		close(s.queue)
+	}
+	pending := make([]*job, len(s.order))
+	copy(pending, s.order)
+	s.mu.Unlock()
+
+	for _, j := range pending {
+		j.mu.Lock()
+		queued := j.status == StatusQueued
+		j.mu.Unlock()
+		if queued {
+			j.requestCancel()
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // cut running jobs loose; they observe it promptly
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close is Shutdown bounded by Config.DrainTimeout.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// worker pulls jobs off the queue until the queue is closed and
+// drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: claim, re-check the cache,
+// synthesize under the job's context, finalize, and (for completed
+// runs) populate the cache.
+func (s *Server) runJob(j *job) {
+	if !j.claim() {
+		return // cancelled while queued
+	}
+	defer j.cancel() // release the context's resources
+	s.busyWorkers.Add(1)
+	begin := time.Now()
+	defer func() {
+		s.busyNanos.Add(int64(time.Since(begin)))
+		s.busyWorkers.Add(-1)
+	}()
+
+	// An identical job may have completed while this one waited.
+	if res, ok := s.cache.get(j.key); ok {
+		s.cacheHits.Add(1)
+		j.mu.Lock()
+		j.cached = true
+		j.mu.Unlock()
+		j.finish(StatusCompleted, &res, "")
+		return
+	}
+
+	ctx := j.ctx
+	if j.spec.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.spec.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := stochsyn.SynthesizeContext(ctx, j.problem, j.opts)
+	switch {
+	case err != nil:
+		j.finish(StatusFailed, nil, err.Error())
+	case res.Cancelled:
+		j.finish(StatusCancelled, &res, "")
+	default:
+		s.cache.put(j.key, res)
+		j.finish(StatusCompleted, &res, "")
+	}
+}
+
+// submit registers a new job for the spec, serving it from the cache
+// when possible. It returns the job and whether it was accepted;
+// rejections (queue full or server draining) are reported as an
+// httpError.
+func (s *Server) submit(spec JobSpec) (*job, error) {
+	problem, opts, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Cap per-job parallelism by the global worker budget. The cap
+	// never changes results (the tree executor is bit-identical for
+	// any worker count), so it does not participate in the cache key.
+	if maxPerJob := s.cfg.WorkerBudget / s.cfg.Workers; opts.Workers > maxPerJob {
+		opts.Workers = maxPerJob
+		if opts.Workers < 1 {
+			opts.Workers = 1
+		}
+	}
+	key, err := CacheKey(problem, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.submitted.Add(1)
+
+	if res, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		j := s.newJob(spec, problem, opts, key)
+		j.ctx, j.cancel = nil, func() {}
+		j.cached = true
+		j.status = StatusCompleted
+		j.result = &res
+		j.finished = time.Now()
+		close(j.done)
+		s.register(j)
+		return j, nil
+	}
+	s.cacheMisses.Add(1)
+
+	j := s.newJob(spec, problem, opts, key)
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		j.cancel()
+		return nil, &httpError{code: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+	select {
+	case s.queue <- j:
+		s.registerLocked(j)
+		s.mu.Unlock()
+		return j, nil
+	default:
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		j.cancel()
+		return nil, &httpError{code: http.StatusServiceUnavailable, msg: fmt.Sprintf("job queue full (depth %d)", s.cfg.QueueDepth)}
+	}
+}
+
+func (s *Server) newJob(spec JobSpec, problem *stochsyn.Problem, opts stochsyn.Options, key string) *job {
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	s.mu.Unlock()
+	return &job{
+		id:      id,
+		spec:    spec,
+		problem: problem,
+		opts:    opts,
+		key:     key,
+		status:  StatusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+}
+
+func (s *Server) register(j *job) {
+	s.mu.Lock()
+	s.registerLocked(j)
+	s.mu.Unlock()
+}
+
+func (s *Server) registerLocked(j *job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+}
+
+// lookup returns the job with the given id, or nil.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Stats is the /statsz snapshot.
+type Stats struct {
+	UptimeMS      int64      `json:"uptime_ms"`
+	QueueDepth    int        `json:"queue_depth"`
+	QueueCapacity int        `json:"queue_capacity"`
+	Submitted     int64      `json:"submitted"`
+	Rejected      int64      `json:"rejected"`
+	Jobs          JobCounts  `json:"jobs"`
+	Cache         CacheStats `json:"cache"`
+	Workers       PoolStats  `json:"workers"`
+}
+
+// JobCounts breaks the registered jobs down by status.
+type JobCounts struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Completed int `json:"completed"`
+	Cancelled int `json:"cancelled"`
+	Failed    int `json:"failed"`
+	Total     int `json:"total"`
+}
+
+// CacheStats reports result-cache effectiveness.
+type CacheStats struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// PoolStats reports scheduler utilization.
+type PoolStats struct {
+	Total        int   `json:"total"`
+	Busy         int64 `json:"busy"`
+	WorkerBudget int   `json:"worker_budget"`
+	// Utilization is the time-averaged busy fraction of the pool
+	// since the server started, in [0, 1].
+	Utilization float64 `json:"utilization"`
+}
+
+// Snapshot assembles the current Stats.
+func (s *Server) Snapshot() Stats {
+	st := Stats{
+		UptimeMS:      time.Since(s.started).Milliseconds(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
+		Submitted:     s.submitted.Load(),
+		Rejected:      s.rejected.Load(),
+	}
+	s.mu.Lock()
+	for _, j := range s.order {
+		j.mu.Lock()
+		status := j.status
+		j.mu.Unlock()
+		switch status {
+		case StatusQueued:
+			st.Jobs.Queued++
+		case StatusRunning:
+			st.Jobs.Running++
+		case StatusCompleted:
+			st.Jobs.Completed++
+		case StatusCancelled:
+			st.Jobs.Cancelled++
+		case StatusFailed:
+			st.Jobs.Failed++
+		}
+	}
+	st.Jobs.Total = len(s.order)
+	s.mu.Unlock()
+
+	st.Cache = CacheStats{
+		Hits:     s.cacheHits.Load(),
+		Misses:   s.cacheMisses.Load(),
+		Entries:  s.cache.len(),
+		Capacity: s.cfg.CacheSize,
+	}
+	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
+		st.Cache.HitRate = float64(st.Cache.Hits) / float64(lookups)
+	}
+	st.Workers = PoolStats{
+		Total:        s.cfg.Workers,
+		Busy:         s.busyWorkers.Load(),
+		WorkerBudget: s.cfg.WorkerBudget,
+	}
+	if up := time.Since(s.started); up > 0 {
+		st.Workers.Utilization = float64(s.busyNanos.Load()) / (float64(up) * float64(s.cfg.Workers))
+	}
+	return st
+}
+
+// httpError carries a status code chosen by the layer that detected
+// the problem.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// errorStatus maps an error to its HTTP status: spec and validation
+// errors are the client's fault (400), scheduling rejections carry
+// their own code, everything else is a 500.
+func errorStatus(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.code
+	case errors.Is(err, ErrBadSpec),
+		errors.Is(err, stochsyn.ErrInvalidOptions),
+		errors.Is(err, stochsyn.ErrInvalidProblem):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/jobs      submit a job (JobSpec body) → JobView
+//	GET    /v1/jobs      list jobs (optional ?status= filter) → []JobView
+//	GET    /v1/jobs/{id} poll one job → JobView
+//	DELETE /v1/jobs/{id} cancel a job → JobView
+//	GET    /healthz      liveness probe
+//	GET    /statsz       Stats snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	j, err := s.submit(spec)
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	v := j.snapshot()
+	code := http.StatusAccepted
+	if v.Status.Terminal() {
+		code = http.StatusOK // served from cache
+	}
+	writeJSON(w, code, v)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := Status(r.URL.Query().Get("status"))
+	s.mu.Lock()
+	jobs := make([]*job, len(s.order))
+	copy(jobs, s.order)
+	s.mu.Unlock()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		v := j.snapshot()
+		if filter != "" && v.Status != filter {
+			continue
+		}
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// APIError is the JSON body of every non-2xx response.
+type APIError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, APIError{Error: msg})
+}

@@ -1,0 +1,344 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"stochsyn/internal/server"
+	"stochsyn/internal/server/client"
+)
+
+// easySpec is a job the search solves in well under a second; distinct
+// seeds give distinct cache keys.
+func easySpec(seed uint64) server.JobSpec {
+	return server.JobSpec{
+		Problem: server.ProblemSpec{Expr: "xorq(x, y)", Inputs: 2, NumCases: 40, CaseSeed: 11},
+		Options: server.OptionsSpec{Budget: 2_000_000, Seed: seed, Workers: 2},
+	}
+}
+
+// hardSpec is a job that will not be solved in the lifetime of a test:
+// a five-operation multiplicative hash with an effectively unlimited
+// budget. Used as the target for cancellation and timeout tests.
+func hardSpec(seed uint64) server.JobSpec {
+	return server.JobSpec{
+		Problem: server.ProblemSpec{
+			Expr:   "subq(xorq(mull(x, x), shrq(x, 9)), orq(x, 0x5bd1e995))",
+			Inputs: 1, NumCases: 50, CaseSeed: 3,
+		},
+		Options: server.OptionsSpec{Budget: 1 << 40, Seed: seed},
+	}
+}
+
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server, *client.Client) {
+	t.Helper()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	c := client.New(ts.URL)
+	c.HTTPClient = ts.Client()
+	return srv, ts, c
+}
+
+// TestEndToEnd is the subsystem's acceptance test: many concurrent
+// jobs through the HTTP client, one cancelled mid-run, the rest
+// solved, a repeat submission served from the result cache, and no
+// goroutine leaks after drain. Run it under -race.
+func TestEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	goroutinesBefore := runtime.NumGoroutine()
+
+	srv, ts, c := newTestServer(t, server.Config{
+		Workers: 4, WorkerBudget: 8, QueueDepth: 32, CacheSize: 64,
+		DrainTimeout: 10 * time.Second,
+	})
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	// One hard job (the cancellation target) and 8 easy jobs, all in
+	// flight concurrently.
+	hard, err := c.Submit(ctx, hardSpec(99))
+	if err != nil {
+		t.Fatalf("submit hard: %v", err)
+	}
+	ids := make([]string, 8)
+	for i := range ids {
+		v, err := c.Submit(ctx, easySpec(uint64(i)+1))
+		if err != nil {
+			t.Fatalf("submit easy %d: %v", i, err)
+		}
+		if v.Status.Terminal() {
+			t.Fatalf("easy job %d terminal at submit: %+v", i, v)
+		}
+		ids[i] = v.ID
+	}
+
+	// Cancel the hard job once it is running.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, err := c.Job(ctx, hard.ID)
+		if err != nil {
+			t.Fatalf("poll hard: %v", err)
+		}
+		if v.Status == server.StatusRunning {
+			break
+		}
+		if v.Status.Terminal() {
+			t.Fatalf("hard job terminal before cancel: %+v", v)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hard job did not start running within 10s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Cancel(ctx, hard.ID); err != nil {
+		t.Fatalf("cancel hard: %v", err)
+	}
+	wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+	hv, err := c.Wait(wctx, hard.ID, 10*time.Millisecond)
+	wcancel()
+	if err != nil {
+		t.Fatalf("wait for cancelled job: %v", err)
+	}
+	if hv.Status != server.StatusCancelled {
+		t.Fatalf("cancelled job status = %s, want cancelled: %+v", hv.Status, hv)
+	}
+	if hv.Result == nil || hv.Result.Iterations <= 0 || hv.Result.Solved {
+		t.Errorf("cancelled job should report partial unsolved counters: %+v", hv.Result)
+	}
+
+	// The easy jobs all solve.
+	for i, id := range ids {
+		wctx, wcancel := context.WithTimeout(ctx, 60*time.Second)
+		v, err := c.Wait(wctx, id, 0)
+		wcancel()
+		if err != nil {
+			t.Fatalf("wait easy %d: %v", i, err)
+		}
+		if v.Status != server.StatusCompleted || v.Result == nil || !v.Result.Solved {
+			t.Fatalf("easy job %d: %+v", i, v)
+		}
+		if v.Result.Program == "" || v.Result.Seed != uint64(i)+1 {
+			t.Errorf("easy job %d result: %+v", i, v.Result)
+		}
+		if v.Cached {
+			t.Errorf("easy job %d served from cache on first submission", i)
+		}
+	}
+
+	// Resubmitting an identical spec is served from the cache: born
+	// completed, flagged cached, same program.
+	first, err := c.Job(ctx, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeat, err := c.Submit(ctx, easySpec(1))
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if repeat.Status != server.StatusCompleted || !repeat.Cached {
+		t.Fatalf("repeat submission not served from cache: %+v", repeat)
+	}
+	if repeat.Result == nil || repeat.Result.Program != first.Result.Program ||
+		repeat.Result.Iterations != first.Result.Iterations {
+		t.Errorf("cached result differs from original:\n%+v\n%+v", repeat.Result, first.Result)
+	}
+
+	// Stats reflect all of the above.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	if st.Submitted != 10 {
+		t.Errorf("stats.submitted = %d, want 10", st.Submitted)
+	}
+	if st.Cache.Hits < 1 {
+		t.Errorf("stats.cache.hits = %d, want >= 1", st.Cache.Hits)
+	}
+	if st.Jobs.Completed < 9 || st.Jobs.Cancelled < 1 || st.Jobs.Total != 10 {
+		t.Errorf("stats.jobs = %+v", st.Jobs)
+	}
+	if st.Workers.Total != 4 {
+		t.Errorf("stats.workers.total = %d, want 4", st.Workers.Total)
+	}
+
+	// Status filter.
+	cancelled, err := c.Jobs(ctx, server.StatusCancelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cancelled) != 1 || cancelled[0].ID != hard.ID {
+		t.Errorf("jobs?status=cancelled = %+v", cancelled)
+	}
+
+	// Clean drain, then check for leaked goroutines.
+	if err := srv.Close(); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+	ts.Close()
+	settle := time.Now().Add(5 * time.Second)
+	for time.Now().Before(settle) {
+		if runtime.NumGoroutine() <= goroutinesBefore+3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d before, %d after shutdown", goroutinesBefore, runtime.NumGoroutine())
+}
+
+// TestJobTimeout submits a hard job bounded by timeout_ms and expects
+// it to finish cancelled on its own.
+func TestJobTimeout(t *testing.T) {
+	ctx := context.Background()
+	srv, ts, c := newTestServer(t, server.Config{Workers: 2, WorkerBudget: 2})
+	defer ts.Close()
+	defer srv.Close()
+
+	spec := hardSpec(7)
+	spec.TimeoutMS = 150
+	v, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	v, err = c.Wait(wctx, v.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != server.StatusCancelled {
+		t.Fatalf("timed-out job status = %s, want cancelled: %+v", v.Status, v)
+	}
+}
+
+// TestBadRequests checks the HTTP error mapping for malformed specs.
+func TestBadRequests(t *testing.T) {
+	ctx := context.Background()
+	srv, ts, c := newTestServer(t, server.Config{Workers: 1, WorkerBudget: 1})
+	defer ts.Close()
+	defer srv.Close()
+
+	for name, spec := range map[string]server.JobSpec{
+		"no-problem-source": {},
+		"two-sources": {Problem: server.ProblemSpec{
+			Expr: "xorq(x, y)", Inputs: 2, Sygus: "(set-logic BV)",
+		}},
+		"bad-expr":     {Problem: server.ProblemSpec{Expr: "frobq(x)", Inputs: 1}},
+		"bad-cost":     {Problem: server.ProblemSpec{Expr: "xorq(x, y)", Inputs: 2}, Options: server.OptionsSpec{Cost: "bogus"}},
+		"bad-strategy": {Problem: server.ProblemSpec{Expr: "xorq(x, y)", Inputs: 2}, Options: server.OptionsSpec{Strategy: "fixed:-1"}},
+		"bad-timeout":  {Problem: server.ProblemSpec{Expr: "xorq(x, y)", Inputs: 2}, TimeoutMS: -5},
+	} {
+		_, err := c.Submit(ctx, spec)
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.StatusCode != 400 {
+			t.Errorf("%s: err = %v, want 400 APIError", name, err)
+		}
+	}
+
+	_, err := c.Job(ctx, "j999999")
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 404 {
+		t.Errorf("unknown job: err = %v, want 404 APIError", err)
+	}
+}
+
+// TestQueueFullAndDrain fills a depth-1 queue, expects a 503, and then
+// shuts the server down with an already-expired context: the running
+// job must be cancelled promptly rather than holding the drain.
+func TestQueueFullAndDrain(t *testing.T) {
+	ctx := context.Background()
+	srv, ts, c := newTestServer(t, server.Config{Workers: 1, WorkerBudget: 1, QueueDepth: 1})
+	defer ts.Close()
+
+	first, err := c.Submit(ctx, hardSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first job occupies the worker so the queue slot is
+	// free for exactly one more.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, err := c.Job(ctx, first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == server.StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job did not start")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	queued, err := c.Submit(ctx, hardSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, hardSpec(3))
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 503 {
+		t.Fatalf("overflow submit: err = %v, want 503 APIError", err)
+	}
+
+	// Drain with an expired deadline: running jobs are cancelled.
+	expired, cancel := context.WithDeadline(context.Background(), time.Now())
+	defer cancel()
+	if err := srv.Shutdown(expired); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Shutdown with expired ctx = %v, want DeadlineExceeded", err)
+	}
+	for _, id := range []string{first.ID, queued.ID} {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != server.StatusCancelled {
+			t.Errorf("job %s after forced drain: status %s, want cancelled", id, v.Status)
+		}
+	}
+
+	// Submissions after shutdown are rejected with 503.
+	_, err = c.Submit(ctx, easySpec(1))
+	if !errors.As(err, &ae) || ae.StatusCode != 503 {
+		t.Errorf("submit after shutdown: err = %v, want 503 APIError", err)
+	}
+}
+
+// TestSygusJob exercises the third problem source end to end.
+func TestSygusJob(t *testing.T) {
+	ctx := context.Background()
+	srv, ts, c := newTestServer(t, server.Config{Workers: 1, WorkerBudget: 1})
+	defer ts.Close()
+	defer srv.Close()
+
+	const sl = `
+(set-logic BV)
+(synth-fun f ((x (_ BitVec 64)) (y (_ BitVec 64))) (_ BitVec 64))
+(constraint (= (f #x0000000000000001 #x0000000000000003) #x0000000000000002))
+(constraint (= (f #x000000000000000f #x0000000000000005) #x000000000000000a))
+(constraint (= (f #x0000000000000000 #x0000000000000000) #x0000000000000000))
+(constraint (= (f #xffffffffffffffff #x0000000000000000) #xffffffffffffffff))
+(constraint (= (f #x00000000000000ff #x00000000000000f0) #x000000000000000f))
+(check-synth)
+`
+	v, err := c.Submit(ctx, server.JobSpec{
+		Problem: server.ProblemSpec{Sygus: sl},
+		Options: server.OptionsSpec{Budget: 4_000_000, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	v, err = c.Wait(wctx, v.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != server.StatusCompleted || v.Result == nil || !v.Result.Solved {
+		t.Fatalf("sygus job: %+v", v)
+	}
+}

@@ -1,7 +1,9 @@
 package stochsyn
 
 import (
+	"context"
 	"runtime"
+	"time"
 
 	"stochsyn/internal/cost"
 	"stochsyn/internal/restart"
@@ -32,8 +34,19 @@ import (
 //     the previous one finishing — and run on one goroutine exactly
 //     as under Synthesize.
 func SynthesizeParallel(p *Problem, opts Options, workers int) (Result, error) {
+	return SynthesizeParallelContext(context.Background(), p, opts, workers)
+}
+
+// SynthesizeParallelContext is SynthesizeParallel under a context:
+// cancelling ctx stops every worker promptly and returns the partial
+// Result with Cancelled set and exact iteration accounting. See
+// SynthesizeContext for the cancellation semantics.
+func SynthesizeParallelContext(ctx context.Context, p *Problem, opts Options, workers int) (Result, error) {
 	o, err := opts.normalize()
 	if err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	kind, err := cost.ParseKind(string(o.Cost))
@@ -62,18 +75,30 @@ func SynthesizeParallel(p *Problem, opts Options, workers int) (Result, error) {
 		strat = &restart.ParallelNaive{Workers: workers}
 	}
 
+	sctx := ctx
+	if sctx != nil && sctx.Done() == nil {
+		sctx = nil // never-cancelled: skip the inner-loop polls entirely
+	}
 	factory := search.NewFactory(p.suite, search.Options{
 		Set:        set,
 		Cost:       kind,
 		Beta:       o.Beta,
 		Redundancy: redundancy,
 		Seed:       o.Seed,
+		Ctx:        sctx,
 	})
-	res := strat.Run(factory, o.Budget)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	res := strat.RunContext(ctx, factory, o.Budget)
 	out := Result{
 		Solved:     res.Solved,
 		Iterations: res.Iterations,
 		Searches:   res.Searches,
+		Cancelled:  res.Cancelled,
+		Seed:       o.Seed,
+		Duration:   time.Since(start),
 	}
 	if res.Solved {
 		if run, ok := res.Winner.(*search.Run); ok {

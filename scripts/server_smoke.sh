@@ -1,0 +1,63 @@
+#!/bin/sh
+# server_smoke.sh boots synthd on an ephemeral port, submits a small
+# SyGuS job through `synth -remote`, and checks the server solves it.
+# Run via `make server-smoke`.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+cat > "$tmp/xor.sl" <<'EOF'
+(set-logic BV)
+(synth-fun f ((x (_ BitVec 64)) (y (_ BitVec 64))) (_ BitVec 64))
+(constraint (= (f #x0000000000000001 #x0000000000000003) #x0000000000000002))
+(constraint (= (f #x000000000000000f #x0000000000000005) #x000000000000000a))
+(constraint (= (f #x0000000000000000 #x0000000000000000) #x0000000000000000))
+(constraint (= (f #xffffffffffffffff #x0000000000000000) #xffffffffffffffff))
+(constraint (= (f #x00000000000000ff #x00000000000000f0) #x000000000000000f))
+(constraint (= (f #x0123456789abcdef #x0000000000000000) #x0123456789abcdef))
+(check-synth)
+EOF
+
+$GO build -o "$tmp/synthd" ./cmd/synthd
+$GO build -o "$tmp/synth" ./cmd/synth
+
+"$tmp/synthd" -addr 127.0.0.1:0 -workers 2 > "$tmp/synthd.log" 2>&1 &
+pid=$!
+
+# The daemon prints "synthd: listening on <addr>" once bound.
+addr=
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's/^synthd: listening on //p' "$tmp/synthd.log" | head -n 1)
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "server-smoke: synthd did not start" >&2
+	cat "$tmp/synthd.log" >&2
+	exit 1
+fi
+
+out=$("$tmp/synth" -remote "http://$addr" -sl "$tmp/xor.sl" -budget 8000000 -v)
+echo "$out"
+case "$out" in
+*"solved in"*) ;;
+*)
+	echo "server-smoke: expected a solved response from the server" >&2
+	exit 1
+	;;
+esac
+
+kill -TERM "$pid"
+wait "$pid" 2>/dev/null || true
+pid=
+echo "server-smoke: OK"

@@ -25,9 +25,11 @@
 package stochsyn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"time"
 
 	"stochsyn/internal/cost"
 	"stochsyn/internal/prog"
@@ -54,7 +56,7 @@ type Problem struct {
 // MaxInputs.
 func NewProblem(numInputs int, cases []Case) (*Problem, error) {
 	if numInputs > MaxInputs {
-		return nil, fmt.Errorf("stochsyn: %d inputs exceeds the limit of %d", numInputs, MaxInputs)
+		return nil, fmt.Errorf("stochsyn: %w: %d inputs exceeds the limit of %d", ErrInvalidProblem, numInputs, MaxInputs)
 	}
 	s := &testcase.Suite{NumInputs: numInputs}
 	for _, c := range cases {
@@ -64,7 +66,7 @@ func NewProblem(numInputs int, cases []Case) (*Problem, error) {
 		})
 	}
 	if err := s.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("stochsyn: %w: %v", ErrInvalidProblem, err)
 	}
 	return &Problem{suite: s}, nil
 }
@@ -75,10 +77,10 @@ func NewProblem(numInputs int, cases []Case) (*Problem, error) {
 // deterministic in seed.
 func ProblemFromFunc(f func(inputs []uint64) uint64, numInputs, numCases int, seed uint64) (*Problem, error) {
 	if numInputs > MaxInputs {
-		return nil, fmt.Errorf("stochsyn: %d inputs exceeds the limit of %d", numInputs, MaxInputs)
+		return nil, fmt.Errorf("stochsyn: %w: %d inputs exceeds the limit of %d", ErrInvalidProblem, numInputs, MaxInputs)
 	}
 	if numCases <= 0 {
-		return nil, errors.New("stochsyn: numCases must be positive")
+		return nil, fmt.Errorf("stochsyn: %w: numCases must be positive", ErrInvalidProblem)
 	}
 	rng := rand.New(rand.NewPCG(seed, 0x452821e638d01377))
 	s := testcase.Generate(testcase.Func(f), numInputs, numCases, rng)
@@ -192,18 +194,37 @@ type Result struct {
 	Iterations int64
 	// Searches is the number of independent searches the strategy ran.
 	Searches int
+	// Cancelled reports that the run was stopped early because the
+	// context passed to SynthesizeContext was cancelled or its
+	// deadline expired, before the problem was solved or the budget
+	// exhausted. Iterations and Searches still account exactly for
+	// the work performed up to that point.
+	Cancelled bool
+	// Seed is the resolved random seed the run actually used
+	// (Options.Seed, with 0 mapped to the default of 1). Together
+	// with the other Options fields it makes the run reproducible
+	// from the Result alone.
+	Seed uint64
+	// Duration is the wall-clock time the synthesis call took.
+	Duration time.Duration
 }
 
+// normalize validates o and fills in defaults. Every validation
+// failure wraps ErrInvalidOptions so callers can classify it with
+// errors.Is (see Options.Validate).
 func (o Options) normalize() (Options, error) {
 	if o.Cost == "" {
 		o.Cost = Hamming
 	}
+	if _, err := cost.ParseKind(string(o.Cost)); err != nil {
+		return o, fmt.Errorf("stochsyn: %w: %v", ErrInvalidOptions, err)
+	}
 	if o.Beta < 0 {
-		return o, errors.New("stochsyn: negative beta")
+		return o, fmt.Errorf("stochsyn: %w: negative beta %g", ErrInvalidOptions, o.Beta)
 	}
 	switch {
 	case o.Greedy && o.Beta != 0:
-		return o, errors.New("stochsyn: Greedy and a non-zero Beta are mutually exclusive")
+		return o, fmt.Errorf("stochsyn: %w: Greedy and a non-zero Beta are mutually exclusive", ErrInvalidOptions)
 	case o.Greedy:
 		// Beta stays 0: the search layer treats a zero temperature as
 		// greedy descent.
@@ -211,25 +232,38 @@ func (o Options) normalize() (Options, error) {
 		o.Beta = 1
 	}
 	if o.Workers < 0 {
-		return o, errors.New("stochsyn: negative workers")
+		return o, fmt.Errorf("stochsyn: %w: negative workers %d", ErrInvalidOptions, o.Workers)
 	}
 	if o.Strategy == "" {
 		o.Strategy = "adaptive"
+	}
+	if _, err := restart.New(o.Strategy); err != nil {
+		return o, fmt.Errorf("stochsyn: %w: %v", ErrInvalidOptions, err)
 	}
 	if o.Budget == 0 {
 		o.Budget = 10_000_000
 	}
 	if o.Budget < 0 {
-		return o, errors.New("stochsyn: negative budget")
+		return o, fmt.Errorf("stochsyn: %w: negative budget %d", ErrInvalidOptions, o.Budget)
 	}
 	if o.Dialect == "" {
 		o.Dialect = Full
+	}
+	if _, _, err := dialectSet(o.Dialect); err != nil {
+		return o, fmt.Errorf("stochsyn: %w: %v", ErrInvalidOptions, err)
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
 	return o, nil
 }
+
+// Normalized returns o with every default filled in (the exact
+// options a Synthesize call would run with), or an error wrapping
+// ErrInvalidOptions. Services use the normalized form to build
+// canonical cache keys: two specs that normalize identically run
+// identically.
+func (o Options) Normalized() (Options, error) { return o.normalize() }
 
 // dialectSet resolves a Dialect to its OpSet and redundancy-move flag.
 func dialectSet(d Dialect) (*prog.OpSet, bool, error) {
@@ -248,8 +282,23 @@ func dialectSet(d Dialect) (*prog.OpSet, bool, error) {
 // problem, using the configured restart strategy under a global
 // iteration budget. It is deterministic given Options.Seed.
 func Synthesize(p *Problem, opts Options) (Result, error) {
+	return SynthesizeContext(context.Background(), p, opts)
+}
+
+// SynthesizeContext is Synthesize under a context: cancelling ctx (or
+// exceeding its deadline) stops the search promptly — including
+// mid-restart, inside the doubling-tree executor, and across worker
+// goroutines — and returns the partial Result with Cancelled set and
+// exact iteration accounting. The error remains nil on cancellation;
+// errors report invalid inputs only. With a context that never
+// expires the Result is bit-identical to Synthesize's for the same
+// Options.
+func SynthesizeContext(ctx context.Context, p *Problem, opts Options) (Result, error) {
 	o, err := opts.normalize()
 	if err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	kind, err := cost.ParseKind(string(o.Cost))
@@ -264,18 +313,30 @@ func Synthesize(p *Problem, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	sctx := ctx
+	if sctx != nil && sctx.Done() == nil {
+		sctx = nil // never-cancelled: skip the inner-loop polls entirely
+	}
 	factory := search.NewFactory(p.suite, search.Options{
 		Set:        set,
 		Cost:       kind,
 		Beta:       o.Beta,
 		Redundancy: redundancy,
 		Seed:       o.Seed,
+		Ctx:        sctx,
 	})
-	res := strat.Run(factory, o.Budget)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	res := strat.RunContext(ctx, factory, o.Budget)
 	out := Result{
 		Solved:     res.Solved,
 		Iterations: res.Iterations,
 		Searches:   res.Searches,
+		Cancelled:  res.Cancelled,
+		Seed:       o.Seed,
+		Duration:   time.Since(start),
 	}
 	if res.Solved {
 		if run, ok := res.Winner.(*search.Run); ok {

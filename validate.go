@@ -1,0 +1,48 @@
+package stochsyn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel validation errors. Every error produced by
+// Options.Validate and Problem.Validate (and by Synthesize's own
+// input checks) wraps one of these, so callers can classify a failure
+// with errors.Is and map it to the right reaction — the synthd HTTP
+// API returns 400 Bad Request instead of 500, and the CLIs print a
+// clean one-line message instead of a stack of internals.
+var (
+	// ErrInvalidOptions tags malformed Options: negative budgets or
+	// temperatures, unknown cost functions, dialects, or restart
+	// strategy specs, contradictory Greedy/Beta settings.
+	ErrInvalidOptions = errors.New("invalid options")
+	// ErrInvalidProblem tags malformed problems: nil problems, arity
+	// limits exceeded, empty or inconsistent example sets.
+	ErrInvalidProblem = errors.New("invalid problem")
+)
+
+// Validate checks the options without running anything. It returns
+// nil when a Synthesize call with these options would accept them,
+// and an error wrapping ErrInvalidOptions otherwise.
+func (o Options) Validate() error {
+	_, err := o.normalize()
+	return err
+}
+
+// Validate checks that the problem is well-formed: non-nil, within
+// the arity limit, with at least one example and consistent input
+// counts. Problems built by NewProblem and ProblemFromFunc always
+// validate; the method exists so services deserializing problem specs
+// can check them up front. Errors wrap ErrInvalidProblem.
+func (p *Problem) Validate() error {
+	if p == nil || p.suite == nil {
+		return fmt.Errorf("stochsyn: %w: nil problem", ErrInvalidProblem)
+	}
+	if p.suite.NumInputs > MaxInputs {
+		return fmt.Errorf("stochsyn: %w: %d inputs exceeds the limit of %d", ErrInvalidProblem, p.suite.NumInputs, MaxInputs)
+	}
+	if err := p.suite.Validate(); err != nil {
+		return fmt.Errorf("stochsyn: %w: %v", ErrInvalidProblem, err)
+	}
+	return nil
+}
