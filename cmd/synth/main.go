@@ -29,6 +29,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"os"
 	"os/signal"
@@ -38,6 +39,8 @@ import (
 	"time"
 
 	"stochsyn/internal/cost"
+	"stochsyn/internal/mutate"
+	"stochsyn/internal/obs"
 	"stochsyn/internal/prog"
 	"stochsyn/internal/restart"
 	"stochsyn/internal/search"
@@ -46,6 +49,7 @@ import (
 	"stochsyn/internal/sygus"
 	"stochsyn/internal/sygusif"
 	"stochsyn/internal/testcase"
+	"stochsyn/internal/textplot"
 )
 
 func main() {
@@ -64,6 +68,8 @@ func main() {
 		dialect  = flag.String("dialect", "full", "instruction dialect: full, base, model")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		remote   = flag.String("remote", "", "synthd base URL; submit the job to a server instead of solving locally")
+		stats    = flag.Bool("stats", false, "print end-of-run telemetry (move acceptance rates, restarts, plateaus, cost sparkline) to stderr")
+		traceTo  = flag.String("trace", "", "write trace events to this file as JSONL")
 		verbose  = flag.Bool("v", false, "print progress and the solution's details")
 	)
 	flag.Parse()
@@ -74,6 +80,10 @@ func main() {
 	if *remote != "" {
 		if *minimize {
 			fmt.Fprintln(os.Stderr, "synth: -minimize is not supported with -remote")
+			os.Exit(1)
+		}
+		if *stats || *traceTo != "" {
+			fmt.Fprintln(os.Stderr, "synth: -stats and -trace are not supported with -remote (use the server's /metrics and /tracez)")
 			os.Exit(1)
 		}
 		runRemote(ctx, *remote, *expr, *inputs, *cases, *specFile, *slFile, *problem,
@@ -108,13 +118,36 @@ func main() {
 			strat.Name(), kind, *beta, *dialect, *budget, *seed)
 	}
 
-	factory := search.NewFactory(suite, search.Options{
+	// Observability never changes the search: hooks batch off the hot
+	// path and the instrumented run is bit-identical to a bare one, so
+	// -stats/-trace are safe to attach to any reproduction run.
+	var o *obs.Obs
+	sopts := search.Options{
 		Set: set, Cost: kind, Beta: *beta, Redundancy: redundancy, Seed: *seed, Ctx: ctx,
-	})
+	}
+	if *stats || *traceTo != "" {
+		o = obs.New()
+		if *traceTo != "" {
+			f, err := os.Create(*traceTo)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "synth:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			o.Tracer.SetSink(f)
+		}
+		sopts.Obs = search.NewObsHooks(o.Reg, o.Tracer)
+		strat = restart.Instrument(strat, restart.NewObsHooks(o.Reg, o.Tracer, strat.Name()))
+	}
+
+	factory := search.NewFactory(suite, sopts)
 	start := time.Now()
 	res := strat.RunContext(ctx, factory, *budget)
 	elapsed := time.Since(start)
 
+	if *stats {
+		printRunStats(os.Stderr, o, res, elapsed)
+	}
 	if res.Cancelled {
 		fmt.Printf("cancelled after %d iterations (%d searches, %v)\n",
 			res.Iterations, res.Searches, elapsed.Round(time.Millisecond))
@@ -148,6 +181,54 @@ func main() {
 		}
 	}
 	fmt.Println(sol)
+}
+
+// printRunStats renders the -stats report from the run's obs sink:
+// totals and throughput, per-move acceptance rates (registry
+// counters), plateau count, and the sampled cost trajectory as a
+// sparkline (flush-granularity samples across all searches, in
+// emission order).
+func printRunStats(w io.Writer, o *obs.Obs, res restart.Result, elapsed time.Duration) {
+	fmt.Fprintln(w, "-- run telemetry --")
+	rate := float64(res.Iterations) / elapsed.Seconds()
+	fmt.Fprintf(w, "iterations: %d in %v (%.0f iters/sec)\n",
+		res.Iterations, elapsed.Round(time.Millisecond), rate)
+	restarts := res.Searches
+	note := ""
+	if res.Exec != nil {
+		restarts = res.Exec.SearchesLive
+		note = fmt.Sprintf(" (%d speculative iterations on %d workers)",
+			res.Exec.Speculated, res.Exec.Workers)
+	}
+	fmt.Fprintf(w, "restarts:   %d searches%s\n", restarts, note)
+	fmt.Fprintf(w, "plateaus:   %.0f\n", o.Reg.Counter("stochsyn_search_plateaus_total").Value())
+
+	rows := [][]string{{"move", "proposed", "accepted", "rate"}}
+	for m := 0; m < mutate.NumMoves; m++ {
+		name := mutate.Move(m).String()
+		p := o.Reg.Counter("stochsyn_moves_proposed_total", "move", name).Value()
+		a := o.Reg.Counter("stochsyn_moves_accepted_total", "move", name).Value()
+		acc := "-"
+		if p > 0 {
+			acc = fmt.Sprintf("%.1f%%", 100*a/p)
+		}
+		rows = append(rows, []string{name,
+			fmt.Sprintf("%.0f", p), fmt.Sprintf("%.0f", a), acc})
+	}
+	textplot.Table(w, rows)
+
+	var costs []float64
+	for _, ev := range o.Tracer.Events() {
+		if ev.Name == "search_cost" {
+			if c, ok := ev.Attrs["cost"].(float64); ok {
+				costs = append(costs, c)
+			}
+		}
+	}
+	if len(costs) > 0 {
+		fmt.Fprintf(w, "cost trajectory (%d samples): %s\n",
+			len(costs), textplot.Spark(costs, 60))
+	}
 }
 
 // loadProblem resolves the problem source flags into a suite.

@@ -13,6 +13,12 @@
 //	DELETE /v1/jobs/{id} cancel a job
 //	GET    /healthz      liveness probe
 //	GET    /statsz       queue/cache/worker snapshot
+//	GET    /metrics      Prometheus text exposition
+//	GET    /tracez       recent trace events as JSONL
+//	GET    /debug/pprof/ runtime profiles
+//
+// -trace FILE additionally tees every trace event to FILE as JSONL as
+// it happens (the /tracez ring only keeps the most recent events).
 //
 // On SIGINT/SIGTERM the daemon stops accepting jobs and drains
 // running ones, cancelling whatever is still unfinished at the drain
@@ -32,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"stochsyn/internal/obs"
 	"stochsyn/internal/server"
 )
 
@@ -43,9 +50,23 @@ func main() {
 		queue   = flag.Int("queue", 256, "bounded job queue depth")
 		cacheSz = flag.Int("cache", 1024, "result cache entries (negative disables)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
+		traceTo = flag.String("trace", "", "tee trace events to this file as JSONL")
 		verbose = flag.Bool("v", false, "log requests")
 	)
 	flag.Parse()
+
+	// The server owns its obs sink by default; building it here lets
+	// the -trace flag attach a file sink before any event fires.
+	o := obs.New()
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synthd:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		o.Tracer.SetSink(f)
+	}
 
 	srv := server.New(server.Config{
 		Workers:      *workers,
@@ -53,6 +74,7 @@ func main() {
 		QueueDepth:   *queue,
 		CacheSize:    *cacheSz,
 		DrainTimeout: *drain,
+		Obs:          o,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket atomic histogram. Observations are two
+// atomic adds plus a CAS float add for the sum — no locks — so
+// concurrent observers scale. Bucket bounds are fixed at creation
+// (log-scale by convention: see ExpBuckets); exposition follows the
+// Prometheus cumulative-bucket form with an implicit +Inf bucket.
+//
+// Concurrent scrapes may observe a sum/count that is slightly ahead
+// of or behind the bucket counts; that is the standard tradeoff of
+// lock-free histograms and harmless for monitoring.
+type Histogram struct {
+	labels string
+	upper  []float64       // ascending upper bounds, +Inf excluded
+	counts []atomic.Uint64 // len(upper)+1: last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(labels string, upper []float64) *Histogram {
+	return &Histogram{
+		labels: labels,
+		upper:  upper,
+		counts: make([]atomic.Uint64, len(upper)+1),
+	}
+}
+
+// normalizeBuckets validates and copies bucket bounds: they must be
+// finite, strictly ascending, and non-empty. A trailing +Inf is
+// stripped (it is implicit).
+func normalizeBuckets(name string, buckets []float64) []float64 {
+	if n := len(buckets); n > 0 && math.IsInf(buckets[n-1], 1) {
+		buckets = buckets[:n-1]
+	}
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one finite bucket", name))
+	}
+	out := make([]float64, len(buckets))
+	prev := math.Inf(-1)
+	for i, b := range buckets {
+		if math.IsNaN(b) || math.IsInf(b, 0) || b <= prev {
+			panic(fmt.Sprintf("obs: histogram %q buckets must be finite and strictly ascending, got %v", name, buckets))
+		}
+		out[i] = b
+		prev = b
+	}
+	return out
+}
+
+// Observe records v. Nil-safe; NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Upper bounds are inclusive (le): the first bucket with v <= upper.
+	i := sort.SearchFloat64s(h.upper, v)
+	// SearchFloat64s finds the first index with upper[i] >= v, which
+	// is exactly the le-inclusive bucket; equality lands in-bucket.
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Snapshot returns the bucket upper bounds (ending with +Inf) and the
+// cumulative counts per bucket.
+func (h *Histogram) Snapshot() (upper []float64, cumulative []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	upper = append(append([]float64{}, h.upper...), math.Inf(1))
+	cumulative = make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		cumulative[i] = cum
+	}
+	return upper, cumulative
+}
+
+// write emits the series in exposition form: one cumulative _bucket
+// line per bound plus +Inf, then _sum and _count.
+func (h *Histogram) write(sb *strings.Builder, name, labels string) {
+	upper, cum := h.Snapshot()
+	for i, u := range upper {
+		le := formatValue(u)
+		sb.WriteString(name)
+		sb.WriteString("_bucket")
+		sb.WriteString(mergeLabels(labels, `le="`+le+`"`))
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatUint(cum[i], 10))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(name)
+	sb.WriteString("_sum")
+	sb.WriteString(labels)
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(h.Sum()))
+	sb.WriteByte('\n')
+	sb.WriteString(name)
+	sb.WriteString("_count")
+	sb.WriteString(labels)
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatUint(h.Count(), 10))
+	sb.WriteByte('\n')
+}
+
+// mergeLabels appends extra (already rendered k="v") into a rendered
+// label set.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// ExpBuckets returns n log-scale bucket upper bounds starting at
+// start and growing by factor: start, start*factor, ... — the fixed
+// log-scale bucket scheme used throughout the stochsyn_* metrics.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: ExpBuckets(%g, %g, %d): need start > 0, factor > 1, n >= 1", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefTimeBuckets is the default latency bucket set: 100µs to ~105s
+// in ×2 steps (21 buckets).
+var DefTimeBuckets = ExpBuckets(1e-4, 2, 21)
+
+// IterBuckets is the default bucket set for iteration counts: 1k to
+// ~1B in ×4 steps, matching the scale of search cutoffs and budgets.
+var IterBuckets = ExpBuckets(1000, 4, 11)

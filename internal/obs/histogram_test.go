@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries is the bucket-boundary table test:
+// upper bounds are le-inclusive, values beyond the last bound land in
+// +Inf, and cumulative counts accumulate correctly.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	cases := []struct {
+		value  float64
+		bucket int // index into counts (len(bounds)+1, last = +Inf)
+	}{
+		{math.Inf(-1), 0},
+		{-5, 0},
+		{0, 0},
+		{0.999, 0},
+		{1, 0}, // boundary: le-inclusive
+		{1.0000001, 1},
+		{9.99, 1},
+		{10, 1}, // boundary
+		{10.01, 2},
+		{100, 2}, // boundary
+		{100.01, 3},
+		{1e9, 3},
+		{math.Inf(1), 3},
+	}
+	for _, tc := range cases {
+		h := newHistogram("", bounds)
+		h.Observe(tc.value)
+		for i := range h.counts {
+			want := uint64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if got := h.counts[i].Load(); got != want {
+				t.Errorf("Observe(%g): bucket[%d] = %d, want %d", tc.value, i, got, want)
+			}
+		}
+	}
+
+	h := newHistogram("", bounds)
+	for _, tc := range cases {
+		h.Observe(tc.value)
+	}
+	h.Observe(math.NaN()) // dropped
+	upper, cum := h.Snapshot()
+	if len(upper) != 4 || !math.IsInf(upper[3], 1) {
+		t.Fatalf("snapshot upper = %v", upper)
+	}
+	wantCum := []uint64{5, 8, 10, 13}
+	for i, w := range wantCum {
+		if cum[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	if h.Count() != 13 {
+		t.Errorf("count = %d, want 13", h.Count())
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_lat_seconds", []float64{0.5, 2}, "route", "/x")
+	h.Observe(0.5)
+	h.Observe(1)
+	h.Observe(99)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		`test_lat_seconds_bucket{route="/x",le="0.5"} 1`,
+		`test_lat_seconds_bucket{route="/x",le="2"} 2`,
+		`test_lat_seconds_bucket{route="/x",le="+Inf"} 3`,
+		`test_lat_seconds_sum{route="/x"} 100.5`,
+		`test_lat_seconds_count{route="/x"} 3`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1e-4, 2, 4)
+	want := []float64{1e-4, 2e-4, 4e-4, 8e-4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExpBuckets with factor <= 1 did not panic")
+		}
+	}()
+	ExpBuckets(1, 1, 3)
+}
+
+func TestBucketValidation(t *testing.T) {
+	// Trailing +Inf is stripped, not rejected.
+	if got := normalizeBuckets("x", []float64{1, 2, math.Inf(1)}); len(got) != 2 {
+		t.Fatalf("trailing +Inf not stripped: %v", got)
+	}
+	for _, bad := range [][]float64{
+		{},
+		{2, 1},
+		{1, 1},
+		{math.NaN()},
+		{math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("buckets %v did not panic", bad)
+				}
+			}()
+			normalizeBuckets("x", bad)
+		}()
+	}
+}

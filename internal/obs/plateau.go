@@ -1,0 +1,75 @@
+package obs
+
+// PlateauDetector is a windowed cost-delta detector for search cost
+// trajectories: when the observed cost has not changed for at least
+// Window iterations, the search is declared to be on a plateau; the
+// next cost change exits it. It deliberately works on *sampled*
+// observations (the search loop feeds it at its amortized flush
+// points, every few thousand iterations), so entry/exit iteration
+// numbers are accurate to one flush interval — plenty for plateau
+// dwell times, which the paper shows dominate synthesis time
+// (Section 4.1).
+//
+// The detector is plain single-goroutine state owned by one search;
+// it allocates nothing and is safe to embed in hot-loop structs.
+type PlateauDetector struct {
+	// Window is the minimum number of iterations without a cost
+	// change before a plateau is declared. Zero selects
+	// DefaultPlateauWindow.
+	Window int64
+
+	init       bool
+	lastCost   float64
+	lastChange int64 // iteration of the last observed cost change
+	in         bool
+	enteredAt  int64
+	count      int64
+}
+
+// DefaultPlateauWindow is the default plateau window in iterations.
+const DefaultPlateauWindow = 1 << 16
+
+// Observe feeds one sampled (iteration, cost) point. It reports
+// whether this observation entered a plateau, whether it exited one,
+// and — on exit — the plateau's dwell time in iterations.
+func (d *PlateauDetector) Observe(iter int64, cost float64) (entered, exited bool, dwell int64) {
+	w := d.Window
+	if w <= 0 {
+		w = DefaultPlateauWindow
+	}
+	if !d.init {
+		d.init = true
+		d.lastCost = cost
+		d.lastChange = iter
+		return false, false, 0
+	}
+	if cost != d.lastCost {
+		if d.in {
+			exited = true
+			dwell = iter - d.enteredAt
+			d.in = false
+		}
+		d.lastCost = cost
+		d.lastChange = iter
+		return false, exited, dwell
+	}
+	if !d.in && iter-d.lastChange >= w {
+		d.in = true
+		// The plateau began at the last cost change, not at the
+		// detection point.
+		d.enteredAt = d.lastChange
+		d.count++
+		return true, false, 0
+	}
+	return false, false, 0
+}
+
+// InPlateau reports whether the detector currently sees a plateau.
+func (d *PlateauDetector) InPlateau() bool { return d.in }
+
+// Count returns the number of plateaus entered so far.
+func (d *PlateauDetector) Count() int64 { return d.count }
+
+// Cost returns the cost level of the current or last plateau state
+// (the last observed cost).
+func (d *PlateauDetector) Cost() float64 { return d.lastCost }

@@ -1,0 +1,67 @@
+package obs
+
+import "testing"
+
+func TestPlateauDetector(t *testing.T) {
+	d := PlateauDetector{Window: 100}
+
+	// Initial observation establishes the baseline; no plateau yet.
+	if e, x, _ := d.Observe(0, 50); e || x {
+		t.Fatal("initial observation flagged a transition")
+	}
+	// Cost still changing: no plateau.
+	if e, _, _ := d.Observe(40, 48); e {
+		t.Fatal("entered a plateau while the cost was moving")
+	}
+	// Unchanged but inside the window: not yet.
+	if e, _, _ := d.Observe(80, 48); e {
+		t.Fatal("entered a plateau before the window elapsed")
+	}
+	// Window elapsed with no change: plateau entry.
+	e, x, _ := d.Observe(140, 48)
+	if !e || x {
+		t.Fatalf("want entry at iter 140, got entered=%v exited=%v", e, x)
+	}
+	if !d.InPlateau() || d.Count() != 1 {
+		t.Fatalf("InPlateau=%v Count=%d", d.InPlateau(), d.Count())
+	}
+	// Still flat: no repeated entry.
+	if e, _, _ := d.Observe(500, 48); e {
+		t.Fatal("re-entered an ongoing plateau")
+	}
+	// Cost change: exit, with dwell measured from the last change
+	// (iter 40) to the exit observation.
+	e, x, dwell := d.Observe(700, 30)
+	if e || !x {
+		t.Fatalf("want exit, got entered=%v exited=%v", e, x)
+	}
+	if dwell != 700-40 {
+		t.Fatalf("dwell = %d, want %d", dwell, 700-40)
+	}
+	if d.InPlateau() {
+		t.Fatal("still in plateau after exit")
+	}
+
+	// Second plateau: entry counts accumulate. The last change was at
+	// the exit (iter 700), so by iter 900 the window has elapsed.
+	if e, _, _ := d.Observe(900, 30); !e {
+		t.Fatal("second plateau not detected")
+	}
+	if d.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", d.Count())
+	}
+	if d.Cost() != 30 {
+		t.Fatalf("Cost = %g, want 30", d.Cost())
+	}
+}
+
+func TestPlateauDetectorDefaultWindow(t *testing.T) {
+	var d PlateauDetector // zero value: default window
+	d.Observe(0, 10)
+	if e, _, _ := d.Observe(DefaultPlateauWindow-1, 10); e {
+		t.Fatal("entered before the default window")
+	}
+	if e, _, _ := d.Observe(DefaultPlateauWindow, 10); !e {
+		t.Fatal("default window did not trigger")
+	}
+}

@@ -1,0 +1,471 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a lock-sharded metrics registry. Metric handles are
+// get-or-create: asking twice for the same name and label set returns
+// the same handle, so callers typically resolve handles once and keep
+// them. Handle updates are lock-free atomics; the per-shard locks
+// guard only family creation, series creation, and collection.
+//
+// A metric family (one name) has a single type — counter, gauge, or
+// histogram — and one time series per distinct label set. Requesting
+// an existing family with a different type panics: that is a
+// programming error, and silently aliasing two types would corrupt
+// the exposition.
+type Registry struct {
+	shards [numShards]shard
+}
+
+const numShards = 16
+
+type shard struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+type metricType uint8
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	case histogramType:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one metric name with its type, help text, and series.
+type family struct {
+	name    string
+	typ     metricType
+	buckets []float64 // histogram families only; fixed at creation
+
+	mu     sync.RWMutex
+	help   string
+	series map[string]any // label key → *Counter | *Gauge | *Histogram | gaugeFn
+}
+
+// gaugeFn is a gauge series whose value is computed at collection
+// time (used for cheap "current state" metrics like queue depth).
+type gaugeFn struct {
+	labels string
+	fn     func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].fams = make(map[string]*family)
+	}
+	return r
+}
+
+// Counter returns the counter series for name and the given label
+// pairs ("k1", "v1", "k2", "v2", ...), creating family and series as
+// needed. Counters are monotonically non-decreasing floats.
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, counterType, nil)
+	key := renderLabels(labelPairs)
+	if m, ok := f.get(key); ok {
+		return m.(*Counter)
+	}
+	return f.getOrCreate(key, &Counter{labels: key}).(*Counter)
+}
+
+// Gauge returns the gauge series for name and labels, creating it as
+// needed. A fresh gauge starts at NaN ("no observation yet"), which
+// SetMin treats as replaceable.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, gaugeType, nil)
+	key := renderLabels(labelPairs)
+	if m, ok := f.get(key); ok {
+		return m.(*Gauge)
+	}
+	g := &Gauge{labels: key}
+	g.bits.Store(math.Float64bits(math.NaN()))
+	return f.getOrCreate(key, g).(*Gauge)
+}
+
+// GaugeFunc registers a gauge series whose value is fn(), evaluated
+// at every collection. Re-registering the same series replaces fn.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labelPairs ...string) {
+	if r == nil {
+		return
+	}
+	f := r.family(name, gaugeType, nil)
+	key := renderLabels(labelPairs)
+	f.mu.Lock()
+	f.series[key] = &gaugeFn{labels: key, fn: fn}
+	f.mu.Unlock()
+}
+
+// Histogram returns the histogram series for name and labels. buckets
+// are the ascending upper bounds (a final +Inf bucket is implicit);
+// the family's buckets are fixed by its first registration and the
+// argument is ignored afterwards. A nil buckets slice selects
+// DefTimeBuckets, the log-scale seconds buckets.
+func (r *Registry) Histogram(name string, buckets []float64, labelPairs ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefTimeBuckets
+	}
+	f := r.family(name, histogramType, buckets)
+	key := renderLabels(labelPairs)
+	if m, ok := f.get(key); ok {
+		return m.(*Histogram)
+	}
+	return f.getOrCreate(key, newHistogram(key, f.buckets)).(*Histogram)
+}
+
+// SetHelp attaches a HELP line to the family (created lazily as a
+// typeless placeholder is not supported: the family must exist).
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	sh := &r.shards[shardOf(name)]
+	sh.mu.RLock()
+	f := sh.fams[name]
+	sh.mu.RUnlock()
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.help = help
+	f.mu.Unlock()
+}
+
+// family returns the family for name, creating it with the given type
+// when absent and panicking on a type conflict.
+func (r *Registry) family(name string, typ metricType, buckets []float64) *family {
+	mustValidName(name)
+	sh := &r.shards[shardOf(name)]
+	sh.mu.RLock()
+	f := sh.fams[name]
+	sh.mu.RUnlock()
+	if f == nil {
+		sh.mu.Lock()
+		f = sh.fams[name]
+		if f == nil {
+			f = &family{name: name, typ: typ, series: make(map[string]any)}
+			if typ == histogramType {
+				f.buckets = normalizeBuckets(name, buckets)
+			}
+			sh.fams[name] = f
+		}
+		sh.mu.Unlock()
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) get(key string) (any, bool) {
+	f.mu.RLock()
+	m, ok := f.series[key]
+	f.mu.RUnlock()
+	return m, ok
+}
+
+func (f *family) getOrCreate(key string, fresh any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	f.series[key] = fresh
+	return fresh
+}
+
+func shardOf(name string) uint32 {
+	h := fnv.New32a()
+	io.WriteString(h, name)
+	return h.Sum32() % numShards
+}
+
+// mustValidName enforces the Prometheus metric/label name grammar.
+func mustValidName(name string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		letter := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels canonicalizes label pairs into the exposition form
+// `{k1="v1",k2="v2"}` with keys sorted, or "" for no labels. It
+// panics on an odd pair count or an invalid label name.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label pair count %d", len(pairs)))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		if !validName(pairs[i]) || strings.Contains(pairs[i], ":") {
+			panic(fmt.Sprintf("obs: invalid label name %q", pairs[i]))
+		}
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(p.v))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}
+
+// Counter is a monotonically non-decreasing metric. The zero value
+// of its value is 0; updates are atomic CAS float adds, cheap enough
+// for batched use (hot loops should still batch, see package search).
+type Counter struct {
+	labels string
+	bits   atomic.Uint64 // float64 bits
+}
+
+// Add increases the counter by v (negative or NaN values are
+// ignored; counters never decrease). Nil-safe.
+func (c *Counter) Add(v float64) {
+	if c == nil || !(v > 0) {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a metric that can go up and down. A fresh gauge reads NaN
+// until the first Set/Add/SetMin ("no observation yet").
+type Gauge struct {
+	labels string
+	bits   atomic.Uint64
+}
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds v to the gauge; a NaN gauge is treated as 0. Nil-safe.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if math.IsNaN(cur) {
+			cur = 0
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// SetMin lowers the gauge to v if v is smaller than the current value
+// (or if the gauge is still NaN). Used for best-cost tracking.
+func (g *Gauge) SetMin(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if !math.IsNaN(cur) && cur <= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (NaN for a nil or untouched gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return math.NaN()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// WriteProm writes the registry contents in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one
+// TYPE line each, series sorted by label key — so the output is
+// deterministic and free of duplicate series.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var fams []*family
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, f := range sh.fams {
+			fams = append(fams, f)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var sb strings.Builder
+	for _, f := range fams {
+		f.write(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func (f *family) write(sb *strings.Builder) {
+	f.mu.RLock()
+	help := f.help
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.RUnlock()
+
+	if help != "" {
+		fmt.Fprintf(sb, "# HELP %s %s\n", f.name, strings.ReplaceAll(help, "\n", " "))
+	}
+	fmt.Fprintf(sb, "# TYPE %s %s\n", f.name, f.typ)
+	for i, m := range series {
+		switch m := m.(type) {
+		case *Counter:
+			writeSample(sb, f.name, keys[i], m.Value())
+		case *Gauge:
+			writeSample(sb, f.name, keys[i], m.Value())
+		case *gaugeFn:
+			writeSample(sb, f.name, keys[i], m.fn())
+		case *Histogram:
+			m.write(sb, f.name, keys[i])
+		}
+	}
+}
+
+func writeSample(sb *strings.Builder, name, labels string, v float64) {
+	sb.WriteString(name)
+	sb.WriteString(labels)
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(v))
+	sb.WriteByte('\n')
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the exposition at GET.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}

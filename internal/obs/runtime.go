@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime gauges: goroutine count, heap, and GC pause totals, in the
+// conventional go_* namespace. Values are computed at scrape time
+// through a shared sampler that caches runtime.ReadMemStats for a
+// second, so a scrape costs one ReadMemStats however many go_* gauges
+// it reads, and scrape storms cannot hammer the stop-the-world stats
+// path.
+
+// runtimeSampler caches one MemStats snapshot.
+type runtimeSampler struct {
+	mu   sync.Mutex
+	ms   runtime.MemStats
+	last time.Time
+}
+
+// memStatsMaxAge bounds the staleness of scrape-time MemStats.
+const memStatsMaxAge = time.Second
+
+func (s *runtimeSampler) snapshot() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.last) >= memStatsMaxAge {
+		runtime.ReadMemStats(&s.ms)
+		s.last = now
+	}
+	return s.ms
+}
+
+// RegisterRuntimeMetrics registers the go_* runtime gauges on r:
+//
+//	go_goroutines              current goroutine count
+//	go_heap_alloc_bytes        live heap bytes
+//	go_heap_objects            live heap objects
+//	go_sys_bytes               total bytes obtained from the OS
+//	go_gc_cycles_total         completed GC cycles
+//	go_gc_pause_seconds_total  cumulative stop-the-world pause time
+//	go_gomaxprocs              GOMAXPROCS
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	s := &runtimeSampler{}
+	r.GaugeFunc("go_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_gomaxprocs", func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("go_heap_alloc_bytes", func() float64 { return float64(s.snapshot().HeapAlloc) })
+	r.GaugeFunc("go_heap_objects", func() float64 { return float64(s.snapshot().HeapObjects) })
+	r.GaugeFunc("go_sys_bytes", func() float64 { return float64(s.snapshot().Sys) })
+	r.GaugeFunc("go_gc_cycles_total", func() float64 { return float64(s.snapshot().NumGC) })
+	r.GaugeFunc("go_gc_pause_seconds_total", func() float64 {
+		return float64(s.snapshot().PauseTotalNs) / 1e9
+	})
+	r.SetHelp("go_goroutines", "Number of goroutines that currently exist.")
+	r.SetHelp("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.")
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. Events serialize as JSONL:
+// one JSON object per line, with a monotone per-tracer sequence
+// number so consumers can detect ring-buffer loss (a gap in seq means
+// the buffer wrapped between drains).
+type Event struct {
+	Seq   uint64         `json:"seq"`
+	TS    time.Time      `json:"ts"`
+	Name  string         `json:"event"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer records events into a fixed-capacity ring buffer, optionally
+// teeing each event to a sink (e.g. a -trace file) as JSONL. All
+// methods are safe for concurrent use and nil-safe: a nil *Tracer
+// drops everything, so instrumentation sites need no guards.
+//
+// Emission takes a mutex; events are rare relative to search
+// iterations (restart fires, plateau transitions, job lifecycle,
+// sampled cost points), so this never shows up in profiles — the hot
+// loop batches through SearchHooks instead of emitting per iteration.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int  // ring write position
+	wrapped bool // buf has wrapped at least once
+	seq     uint64
+	dropped uint64 // events overwritten before ever being drained is not tracked; this counts sink write failures
+	sink    io.Writer
+	enc     *json.Encoder
+}
+
+// NewTracer returns a tracer with the given ring capacity (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// SetSink tees every subsequent event to w as JSONL (nil disables).
+// Writes are best-effort: failures are counted, not propagated.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = w
+	if w != nil {
+		t.enc = json.NewEncoder(w)
+	} else {
+		t.enc = nil
+	}
+}
+
+// Emit records an event with the given name and attributes. The attrs
+// map is retained; callers must not mutate it afterwards.
+func (t *Tracer) Emit(name string, attrs map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev := Event{Seq: t.seq, TS: time.Now(), Name: name, Attrs: attrs}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+		t.wrapped = true
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	if t.enc != nil {
+		if err := t.enc.Encode(ev); err != nil {
+			t.dropped++
+		}
+	}
+}
+
+// Events returns a snapshot of the buffered events, oldest first. The
+// ring is not cleared: /tracez drains are non-destructive, so
+// repeated scrapes overlap (dedupe on Seq).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// SinkErrors reports how many events failed to reach the sink.
+func (t *Tracer) SinkErrors() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSONL writes the buffered events (oldest first) to w, one JSON
+// object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the ring buffer as JSONL at GET (the /tracez
+// endpoint). ?n=K limits the response to the K most recent events.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		events := t.Events()
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+	})
+}

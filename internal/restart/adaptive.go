@@ -3,6 +3,7 @@ package restart
 import (
 	"context"
 
+	"stochsyn/internal/obs"
 	"stochsyn/internal/search"
 )
 
@@ -50,6 +51,12 @@ type Tree struct {
 	// produce bit-identical Results for a deterministic factory, so
 	// Workers trades wall-clock time only, never reproducibility.
 	Workers int
+	// Obs, when non-nil, receives restart telemetry: searches started,
+	// per-visit iteration grants, doubling passes, adaptive swaps, and
+	// the speculative/useful budget split of the concurrent executor
+	// (see Instrument). Instrumentation reads no search state beyond
+	// what the strategy already reads, so Results stay bit-identical.
+	Obs *obs.RestartHooks
 }
 
 // Name implements Strategy.
@@ -95,15 +102,21 @@ func (t *Tree) RunContext(ctx context.Context, f search.Factory, budget int64) R
 		return t.runConcurrent(ctx, f, budget)
 	}
 	r := &treeRun{cfg: t, factory: f, ctx: ctx, budget: budget}
+	if h := t.Obs; h != nil {
+		defer func() { h.UsefulIters.Add(float64(r.res.Iterations)) }()
+	}
 
-	// The initial tree is a single 1-labeled node; run it for t0.
+	// The initial tree is a single 1-labeled node; run it for t0. It
+	// counts as the first pass, matching ExecStats.Passes.
+	r.notePass(1)
 	root := r.newLeaf()
 	if r.run(root, 1) {
 		return r.res
 	}
 	// Repeat doubling passes until the budget is exhausted. Each pass
 	// at least doubles the cumulative work, so the loop terminates.
-	for r.res.Iterations < r.budget {
+	for pass := 2; r.res.Iterations < r.budget; pass++ {
+		r.notePass(pass)
 		if r.visit(root, nil) {
 			return r.res
 		}
@@ -111,10 +124,33 @@ func (t *Tree) RunContext(ctx context.Context, f search.Factory, budget int64) R
 	return r.res
 }
 
+// notePass records the start of a doubling pass with the hooks.
+func (r *treeRun) notePass(pass int) {
+	h := r.cfg.Obs
+	if h == nil {
+		return
+	}
+	h.Passes.Inc()
+	if h.Tracer != nil {
+		h.Tracer.Emit("tree_pass", map[string]any{
+			"strategy": r.cfg.Name(), "pass": pass,
+			"searches": r.res.Searches, "iterations": r.res.Iterations,
+		})
+	}
+}
+
 // newLeaf creates a fresh 1-labeled leaf with a new search.
 func (r *treeRun) newLeaf() *treeNode {
 	s := r.factory(uint64(r.res.Searches))
 	r.res.Searches++
+	if h := r.cfg.Obs; h != nil {
+		h.Restarts.Inc()
+		if h.Tracer != nil {
+			h.Tracer.Emit("restart_fire", map[string]any{
+				"strategy": r.cfg.Name(), "search": uint64(r.res.Searches - 1), "cutoff": r.cfg.T0,
+			})
+		}
+	}
 	return &treeNode{label: 1, s: s}
 }
 
@@ -128,6 +164,9 @@ func (r *treeRun) run(n *treeNode, units int64) bool {
 	}
 	if iters <= 0 {
 		return r.res.Iterations >= r.budget
+	}
+	if h := r.cfg.Obs; h != nil {
+		h.CutoffIters.Observe(float64(iters))
 	}
 	used, done, cancelled := stepCtx(r.ctx, n.s, iters)
 	r.res.Iterations += used
@@ -190,6 +229,15 @@ func (r *treeRun) maybeSwap(n, parent *treeNode) {
 	}
 	if parent.s.Cost() > n.s.Cost() {
 		parent.s, n.s = n.s, parent.s
+		if h := r.cfg.Obs; h != nil {
+			h.Swaps.Inc()
+			if h.Tracer != nil {
+				h.Tracer.Emit("tree_promote", map[string]any{
+					"strategy": r.cfg.Name(),
+					"cost":     parent.s.Cost(), "displaced": n.s.Cost(),
+				})
+			}
+		}
 	}
 }
 

@@ -1,0 +1,83 @@
+package restart
+
+import (
+	"stochsyn/internal/obs"
+)
+
+// NewObsHooks builds the standard restart-strategy metrics on reg for
+// one strategy (labelled by its Name) and wires the tracer in. Series
+// created (DESIGN.md §8):
+//
+//	stochsyn_restarts_total{strategy=...}           searches started
+//	stochsyn_restart_cutoff_iters{strategy=...}     grant-size histogram
+//	stochsyn_tree_swaps_total{strategy=...}         adaptive promotions
+//	stochsyn_tree_passes_total{strategy=...}        doubling passes
+//	stochsyn_speculated_iterations_total{strategy=...}
+//	stochsyn_useful_iterations_total{strategy=...}
+//
+// Both arguments are nil-safe; with a nil registry the returned hooks
+// drop all updates, so callers can attach them unconditionally.
+func NewObsHooks(reg *obs.Registry, tracer *obs.Tracer, strategy string) *obs.RestartHooks {
+	h := &obs.RestartHooks{
+		Restarts:        reg.Counter("stochsyn_restarts_total", "strategy", strategy),
+		CutoffIters:     reg.Histogram("stochsyn_restart_cutoff_iters", obs.IterBuckets, "strategy", strategy),
+		Swaps:           reg.Counter("stochsyn_tree_swaps_total", "strategy", strategy),
+		Passes:          reg.Counter("stochsyn_tree_passes_total", "strategy", strategy),
+		SpeculatedIters: reg.Counter("stochsyn_speculated_iterations_total", "strategy", strategy),
+		UsefulIters:     reg.Counter("stochsyn_useful_iterations_total", "strategy", strategy),
+		Tracer:          tracer,
+	}
+	reg.SetHelp("stochsyn_restarts_total", "Searches started by a restart strategy (the first search counts).")
+	reg.SetHelp("stochsyn_restart_cutoff_iters", "Iteration grants handed to searches: cutoffs for sequential strategies, per-visit grants for the tree.")
+	reg.SetHelp("stochsyn_tree_swaps_total", "Adaptive tree promotions (lower-cost search swapped toward the root).")
+	reg.SetHelp("stochsyn_tree_passes_total", "Doubling passes executed by the tree strategies.")
+	reg.SetHelp("stochsyn_speculated_iterations_total", "Concurrent-executor iterations the sequential oracle would not have run.")
+	reg.SetHelp("stochsyn_useful_iterations_total", "Iterations counted in strategy Results (the paper's synthesis-time unit).")
+	return h
+}
+
+// Instrument returns a copy of s with the observability hooks
+// attached. Strategies the function does not recognize (external
+// Strategy implementations) are returned unchanged; a nil h returns s
+// as-is. The original strategy value is never mutated, so a shared
+// strategy (e.g. from a table) can be instrumented per run.
+func Instrument(s Strategy, h *obs.RestartHooks) Strategy {
+	if h == nil {
+		return s
+	}
+	switch t := s.(type) {
+	case Naive:
+		t.Obs = h
+		return t
+	case *Naive:
+		c := *t
+		c.Obs = h
+		return &c
+	case *Sequential:
+		c := *t
+		c.Obs = h
+		return &c
+	case *Tree:
+		c := *t
+		c.Obs = h
+		return &c
+	}
+	return s
+}
+
+// fire records one search start against the hooks: the restart
+// counter, the grant-size histogram, and a restart_fire trace event.
+// Nil-safe on every level, and never touches search state, so
+// instrumented strategies remain bit-identical.
+func fire(h *obs.RestartHooks, strategy string, searchID uint64, cutoff int64) {
+	if h == nil {
+		return
+	}
+	h.Restarts.Inc()
+	h.CutoffIters.Observe(float64(cutoff))
+	if h.Tracer != nil {
+		h.Tracer.Emit("restart_fire", map[string]any{
+			"strategy": strategy, "search": searchID, "cutoff": cutoff,
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 
+	"stochsyn/internal/obs"
 	"stochsyn/internal/search"
 )
 
@@ -101,7 +102,10 @@ func stepCtx(ctx context.Context, s search.Search, budget int64) (used int64, do
 
 // Naive is the baseline algorithm that never restarts: it runs a
 // single search until it completes or the budget times out.
-type Naive struct{}
+type Naive struct {
+	// Obs, when non-nil, receives restart telemetry (see Instrument).
+	Obs *obs.RestartHooks
+}
 
 // Name implements Strategy.
 func (Naive) Name() string { return "naive" }
@@ -112,12 +116,16 @@ func (n Naive) Run(f search.Factory, budget int64) Result {
 }
 
 // RunContext implements Strategy.
-func (Naive) RunContext(ctx context.Context, f search.Factory, budget int64) Result {
+func (n Naive) RunContext(ctx context.Context, f search.Factory, budget int64) Result {
 	s := f(0)
+	fire(n.Obs, "naive", 0, budget)
 	used, done, cancelled := stepCtx(ctx, s, budget)
 	res := Result{Solved: done, Iterations: used, Searches: 1, Cancelled: cancelled}
 	if done {
 		res.Winner = s
+	}
+	if h := n.Obs; h != nil {
+		h.UsefulIters.Add(float64(res.Iterations))
 	}
 	return res
 }
@@ -130,6 +138,8 @@ type Sequential struct {
 	StrategyName string
 	// Cutoff returns the iteration cutoff for the i-th search, i >= 1.
 	Cutoff func(i int) int64
+	// Obs, when non-nil, receives restart telemetry (see Instrument).
+	Obs *obs.RestartHooks
 }
 
 // Name implements Strategy.
@@ -146,6 +156,9 @@ func (s *Sequential) Run(f search.Factory, budget int64) Result {
 // restarts and, via chunked stepping, inside each cutoff.
 func (s *Sequential) RunContext(ctx context.Context, f search.Factory, budget int64) Result {
 	var res Result
+	if h := s.Obs; h != nil {
+		defer func() { h.UsefulIters.Add(float64(res.Iterations)) }()
+	}
 	for i := 1; res.Iterations < budget; i++ {
 		cut := s.Cutoff(i)
 		if cut <= 0 {
@@ -156,6 +169,7 @@ func (s *Sequential) RunContext(ctx context.Context, f search.Factory, budget in
 		}
 		run := f(uint64(i - 1))
 		res.Searches++
+		fire(s.Obs, s.StrategyName, uint64(i-1), cut)
 		used, done, cancelled := stepCtx(ctx, run, cut)
 		res.Iterations += used
 		if done {

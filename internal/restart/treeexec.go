@@ -169,11 +169,12 @@ func (t *Tree) runConcurrent(ctx context.Context, f search.Factory, budget int64
 
 	// The initial tree is a single 1-labeled node run for t0; treat it
 	// as a one-step pass.
+	passes++
+	e.notePass(passes)
 	root := e.newLeaf()
 	var steps []*planStep
 	rootTask := &execNode{node: root}
 	rootTask.step = e.planStep(root, 1, &steps)
-	passes++
 	e.execSubtree(rootTask)
 	finished := e.settle(steps, 0, &res)
 
@@ -184,9 +185,10 @@ func (t *Tree) runConcurrent(ctx context.Context, f search.Factory, budget int64
 	for !finished && e.planned < e.budget && ctx.Err() == nil {
 		e.stopped = false
 		prev := e.planned
+		passes++
+		e.notePass(passes)
 		var passSteps []*planStep
 		task := e.planPass(root, &passSteps)
-		passes++
 		e.execSubtree(task)
 		finished = e.settle(passSteps, prev, &res)
 	}
@@ -215,15 +217,50 @@ func (t *Tree) runConcurrent(ctx context.Context, f search.Factory, budget int64
 		stats.Utilization = float64(e.busy.Load()) / (float64(wall) * float64(workers))
 	}
 	res.Exec = stats
+	if h := t.Obs; h != nil {
+		// Split the executor's spend into the iterations the sequential
+		// oracle would have run (the Result's count) and pure
+		// speculation past the winning step.
+		h.UsefulIters.Add(float64(res.Iterations))
+		if stats.Speculated > 0 {
+			h.SpeculatedIters.Add(float64(stats.Speculated))
+		}
+	}
 	return res
+}
+
+// notePass mirrors treeRun.notePass for the concurrent executor; it
+// runs on the planning goroutine between passes.
+func (e *treeExec) notePass(pass int) {
+	h := e.cfg.Obs
+	if h == nil {
+		return
+	}
+	h.Passes.Inc()
+	if h.Tracer != nil {
+		h.Tracer.Emit("tree_pass", map[string]any{
+			"strategy": e.cfg.Name(), "pass": pass,
+			"searches": e.searches, "iterations": e.planned,
+		})
+	}
 }
 
 // newLeaf mirrors treeRun.newLeaf: factory ids are assigned in
 // traversal order, which the planner visits exactly as the sequential
-// oracle does.
+// oracle does. The restart_fire events are emitted here, on the
+// single planning goroutine, so their order in the trace matches the
+// sequential schedule.
 func (e *treeExec) newLeaf() *treeNode {
 	s := e.factory(uint64(e.searches))
 	e.searches++
+	if h := e.cfg.Obs; h != nil {
+		h.Restarts.Inc()
+		if h.Tracer != nil {
+			h.Tracer.Emit("restart_fire", map[string]any{
+				"strategy": e.cfg.Name(), "search": uint64(e.searches - 1), "cutoff": e.cfg.T0,
+			})
+		}
+	}
 	return &treeNode{label: 1, s: s}
 }
 
@@ -238,6 +275,9 @@ func (e *treeExec) planStep(n *treeNode, units int64, steps *[]*planStep) *planS
 	}
 	if iters < 0 {
 		iters = 0
+	}
+	if h := e.cfg.Obs; h != nil && iters > 0 {
+		h.CutoffIters.Observe(float64(iters))
 	}
 	e.planned += iters
 	st := &planStep{
@@ -330,6 +370,15 @@ func (e *treeExec) applySwap(n, parent *treeNode) {
 	if parent.s.Cost() > n.s.Cost() {
 		parent.s, n.s = n.s, parent.s
 		e.swaps.Add(1)
+		if h := e.cfg.Obs; h != nil {
+			h.Swaps.Inc()
+			if h.Tracer != nil {
+				h.Tracer.Emit("tree_promote", map[string]any{
+					"strategy": e.cfg.Name(),
+					"cost":     parent.s.Cost(), "displaced": n.s.Cost(),
+				})
+			}
+		}
 	}
 }
 

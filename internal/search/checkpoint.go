@@ -85,5 +85,6 @@ func (r *Run) Restore(rd io.Reader) error {
 	r.best = cj.Best
 	r.trace = nil
 	r.gap = 1
+	r.publish() // refresh the race-free snapshot after the state swap
 	return nil
 }

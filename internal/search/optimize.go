@@ -66,5 +66,14 @@ func (s *Stats) AcceptanceRate() float64 {
 	return float64(s.TotalAccepted()) / float64(p)
 }
 
-// MoveStats returns the run's per-move proposal statistics.
-func (r *Run) MoveStats() Stats { return r.stats }
+// MoveStats returns the run's per-move proposal statistics. Like
+// Iterations, it reads the published snapshot, so it is safe to call
+// from observer goroutines while the owner steps the run: values are
+// exact at Step boundaries and lag by at most CancelCheckEvery
+// iterations mid-Step.
+func (r *Run) MoveStats() Stats {
+	if s := r.pub.Load(); s != nil {
+		return s.stats
+	}
+	return Stats{}
+}

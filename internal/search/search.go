@@ -14,9 +14,11 @@ import (
 	"context"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"stochsyn/internal/cost"
 	"stochsyn/internal/mutate"
+	"stochsyn/internal/obs"
 	"stochsyn/internal/prog"
 	"stochsyn/internal/testcase"
 )
@@ -110,6 +112,14 @@ type Options struct {
 	// paper's uniform choice). Keys are mutate.Move values; moves with
 	// missing or non-positive weight are never proposed.
 	MoveWeights map[mutate.Move]float64
+	// Obs, when non-nil, attaches observability hooks to the run:
+	// iteration and per-move counters, cost gauges, plateau
+	// detection, and sampled cost-trajectory trace events. Updates
+	// are accumulated privately and flushed every CancelCheckEvery
+	// iterations and at every Step boundary, so instrumentation never
+	// touches the random stream (results stay bit-identical) and
+	// costs well under the ~2% overhead budget (see BenchmarkSearchLoop).
+	Obs *obs.SearchHooks
 }
 
 // TracePoint is one entry of a cost trace.
@@ -149,6 +159,19 @@ type Run struct {
 
 	stats Stats
 
+	// Observability state. pub is the race-free snapshot path: the
+	// loop's private counters are copied into a fresh immutable
+	// snapshot at every flush point, so concurrent observers
+	// (tree-executor monitors, the server's samplers) read values
+	// that are mutually consistent (a single pointer load), exact at
+	// Step boundaries, and lagging by at most CancelCheckEvery
+	// iterations mid-Step.
+	pub      atomic.Pointer[snapshot]
+	obsHooks *obs.SearchHooks
+	obsIters int64 // counters already flushed to the registry
+	obsStats Stats
+	plateau  obs.PlateauDetector
+
 	vals  [prog.MaxNodes]uint64
 	trace []TracePoint
 	gap   int64 // minimum iteration gap between trace points
@@ -178,6 +201,11 @@ func New(suite *testcase.Suite, opts Options) *Run {
 		mut:    mutate.New(opts.Set, suite, opts.Redundancy),
 		gap:    1,
 	}
+	r.obsHooks = opts.Obs
+	r.obsIters = -1 // force the first publish even at iteration 0
+	if opts.Obs != nil {
+		r.plateau.Window = opts.Obs.PlateauWindow
+	}
 	if opts.MoveWeights != nil {
 		r.mut.SetWeights(opts.MoveWeights)
 	}
@@ -199,6 +227,7 @@ func New(suite *testcase.Suite, opts Options) *Run {
 		}
 		r.cost = r.effective(c, r.cur)
 		r.recordTrace()
+		r.publish()
 		return r
 	}
 	r.cost = c
@@ -206,6 +235,7 @@ func New(suite *testcase.Suite, opts Options) *Run {
 	if r.cost == 0 {
 		r.finish()
 	}
+	r.publish()
 	return r
 }
 
@@ -225,10 +255,22 @@ func (r *Run) Step(budget int64) (int64, bool) {
 	if r.ctx != nil && r.ctx.Err() != nil {
 		return 0, false
 	}
+	// Publish at every Step boundary so external readers
+	// (Iterations, MoveStats, the metrics registry) are exact
+	// whenever they hold a happens-before edge on the Step call.
+	defer r.publish()
 	var used int64
 	for used < budget {
-		if r.ctx != nil && r.iters&(CancelCheckEvery-1) == 0 && used > 0 && r.ctx.Err() != nil {
-			return used, false
+		if r.iters&(CancelCheckEvery-1) == 0 && used > 0 {
+			// Amortized flush point: mirror the loop's private
+			// counters into the race-free published copies and the
+			// attached hooks. This touches no search state and no
+			// random stream, so instrumented runs stay bit-identical;
+			// the context poll below keeps its original position.
+			r.publish()
+			if r.ctx != nil && r.ctx.Err() != nil {
+				return used, false
+			}
 		}
 		used++
 		r.iters++
@@ -291,6 +333,71 @@ func (r *Run) threshold() float64 {
 func (r *Run) finish() {
 	r.done = true
 	r.sol = r.cur.Clone()
+	if h := r.obsHooks; h != nil && h.Tracer != nil {
+		h.Tracer.Emit("search_solved", map[string]any{
+			"search": h.ID, "iteration": r.iters,
+		})
+	}
+}
+
+// snapshot is the immutable published view of a run's counters; see
+// the pub field. A fresh one is allocated per flush — once every
+// CancelCheckEvery iterations, far off the allocation hot path.
+type snapshot struct {
+	iters int64
+	stats Stats
+}
+
+// publish copies the loop's private counters into a fresh published
+// snapshot and flushes the deltas since the last publish into the
+// attached hooks, feeding the plateau detector and the sampled cost
+// trajectory along the way. It runs at Step boundaries and every
+// CancelCheckEvery iterations; with no hooks attached it is one
+// struct copy and one atomic pointer store.
+func (r *Run) publish() {
+	r.pub.Store(&snapshot{iters: r.iters, stats: r.stats})
+	h := r.obsHooks
+	if h == nil || r.iters == r.obsIters {
+		return // uninstrumented, or nothing new since the last flush
+	}
+	if r.obsIters >= 0 {
+		if d := r.iters - r.obsIters; d > 0 {
+			h.Iterations.Add(float64(d))
+		}
+	}
+	r.obsIters = r.iters
+	for i := range r.stats.Proposed {
+		if d := r.stats.Proposed[i] - r.obsStats.Proposed[i]; d > 0 {
+			h.ProposedFor(i).Add(float64(d))
+		}
+		if d := r.stats.Accepted[i] - r.obsStats.Accepted[i]; d > 0 {
+			h.AcceptedFor(i).Add(float64(d))
+		}
+	}
+	r.obsStats = r.stats
+	h.CurCost.Set(r.cost)
+	h.BestCost.SetMin(r.cost)
+	entered, exited, dwell := r.plateau.Observe(r.iters, r.cost)
+	if h.Tracer != nil {
+		if entered {
+			h.Plateaus.Inc()
+			h.Tracer.Emit("plateau_enter", map[string]any{
+				"search": h.ID, "iteration": r.iters, "cost": r.cost,
+			})
+		}
+		if exited {
+			h.Tracer.Emit("plateau_exit", map[string]any{
+				"search": h.ID, "iteration": r.iters, "cost": r.cost, "dwell": dwell,
+			})
+		}
+		if h.SampleCosts {
+			h.Tracer.Emit("search_cost", map[string]any{
+				"search": h.ID, "iteration": r.iters, "cost": r.cost,
+			})
+		}
+	} else if entered {
+		h.Plateaus.Inc()
+	}
 }
 
 // recordTrace appends a trace point, thinning the trace by doubling
@@ -325,8 +432,18 @@ func (r *Run) Cost() float64 { return r.cost }
 // Done reports whether the search found a solution.
 func (r *Run) Done() bool { return r.done }
 
-// Iterations returns the number of iterations executed so far.
-func (r *Run) Iterations() int64 { return r.iters }
+// Iterations returns the number of iterations executed so far. The
+// value is read from the run's published snapshot, so it is safe to
+// call from a goroutine other than the one stepping the run (e.g. a
+// tree-executor observer): it is exact whenever the reader holds a
+// happens-before edge after a Step call, and lags a concurrent Step
+// by at most CancelCheckEvery iterations otherwise.
+func (r *Run) Iterations() int64 {
+	if s := r.pub.Load(); s != nil {
+		return s.iters
+	}
+	return 0
+}
 
 // Program returns the current program. The caller must not mutate it.
 func (r *Run) Program() *prog.Program { return r.cur }
@@ -350,6 +467,7 @@ func NewFactory(suite *testcase.Suite, opts Options) Factory {
 	return func(id uint64) Search {
 		o := opts
 		o.Seed = base ^ (id+1)*0x9e3779b97f4a7c15
+		o.Obs = opts.Obs.WithID(id) // nil-safe: stamps the search id into trace events
 		return New(suite, o)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"stochsyn"
+	"stochsyn/internal/obs"
 )
 
 // Config sizes the server. The zero value selects sensible defaults.
@@ -34,6 +35,11 @@ type Config struct {
 	// DrainTimeout bounds Close's graceful drain (default 30s); see
 	// Shutdown for the semantics.
 	DrainTimeout time.Duration
+	// Obs, when non-nil, is the observability sink (metrics registry +
+	// event tracer) the server publishes into; nil creates a private
+	// sink. Either way the Handler serves /metrics, /tracez, and
+	// /debug/pprof, and every job run is instrumented.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -74,12 +80,16 @@ type Server struct {
 	nextID    int
 	accepting bool
 
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	submitted   atomic.Int64
-	rejected    atomic.Int64
 	busyWorkers atomic.Int64
 	busyNanos   atomic.Int64
+
+	// obs is the observability sink (never nil after New); metrics
+	// holds the pre-resolved handles the request and job paths use.
+	// Counters that /statsz reports (submitted, rejected, cache
+	// hits/misses) live in the registry rather than in duplicate
+	// atomics; Snapshot reads them back.
+	obs     *obs.Obs
+	metrics serverMetrics
 }
 
 // New creates a server and starts its worker pool.
@@ -95,7 +105,12 @@ func New(cfg Config) *Server {
 		started:    time.Now(),
 		jobs:       make(map[string]*job),
 		accepting:  true,
+		obs:        cfg.Obs,
 	}
+	if s.obs == nil {
+		s.obs = obs.New()
+	}
+	s.initObs()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -170,6 +185,11 @@ func (s *Server) runJob(j *job) {
 	defer j.cancel() // release the context's resources
 	s.busyWorkers.Add(1)
 	begin := time.Now()
+	wait := begin.Sub(j.created)
+	s.metrics.queueWait.Observe(wait.Seconds())
+	s.obs.Trace().Emit("job_started", map[string]any{
+		"id": j.id, "wait_seconds": wait.Seconds(),
+	})
 	defer func() {
 		s.busyNanos.Add(int64(time.Since(begin)))
 		s.busyWorkers.Add(-1)
@@ -177,11 +197,14 @@ func (s *Server) runJob(j *job) {
 
 	// An identical job may have completed while this one waited.
 	if res, ok := s.cache.get(j.key); ok {
-		s.cacheHits.Add(1)
+		s.metrics.cacheHits.Inc()
 		j.mu.Lock()
 		j.cached = true
 		j.mu.Unlock()
 		j.finish(StatusCompleted, &res, "")
+		s.obs.Trace().Emit("job_finished", map[string]any{
+			"id": j.id, "status": string(StatusCompleted), "cached": true,
+		})
 		return
 	}
 
@@ -191,16 +214,29 @@ func (s *Server) runJob(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.spec.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	res, err := stochsyn.SynthesizeContext(ctx, j.problem, j.opts)
+	// Attach the server's observability sink to the run. The sink is
+	// deliberately not part of the cache key: it never changes results.
+	opts := j.opts
+	opts.Obs = s.obs
+	res, err := stochsyn.SynthesizeContext(ctx, j.problem, opts)
+	s.metrics.jobRun.Observe(time.Since(begin).Seconds())
+	var status Status
 	switch {
 	case err != nil:
-		j.finish(StatusFailed, nil, err.Error())
+		status = StatusFailed
+		j.finish(status, nil, err.Error())
 	case res.Cancelled:
-		j.finish(StatusCancelled, &res, "")
+		status = StatusCancelled
+		j.finish(status, &res, "")
 	default:
+		status = StatusCompleted
 		s.cache.put(j.key, res)
-		j.finish(StatusCompleted, &res, "")
+		j.finish(status, &res, "")
 	}
+	s.obs.Trace().Emit("job_finished", map[string]any{
+		"id": j.id, "status": string(status), "solved": res.Solved,
+		"iterations": res.Iterations, "seconds": time.Since(begin).Seconds(),
+	})
 }
 
 // submit registers a new job for the spec, serving it from the cache
@@ -225,10 +261,11 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.submitted.Add(1)
+	s.metrics.submitted.Inc()
 
 	if res, ok := s.cache.get(key); ok {
-		s.cacheHits.Add(1)
+		s.metrics.cacheHits.Inc()
+		s.obs.Trace().Emit("cache_hit", map[string]any{"key": key})
 		j := s.newJob(spec, problem, opts, key)
 		j.ctx, j.cancel = nil, func() {}
 		j.cached = true
@@ -239,7 +276,8 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		s.register(j)
 		return j, nil
 	}
-	s.cacheMisses.Add(1)
+	s.metrics.cacheMisses.Inc()
+	s.obs.Trace().Emit("cache_miss", map[string]any{"key": key})
 
 	j := s.newJob(spec, problem, opts, key)
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
@@ -247,7 +285,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	s.mu.Lock()
 	if !s.accepting {
 		s.mu.Unlock()
-		s.rejected.Add(1)
+		s.metrics.rejected.Inc()
 		j.cancel()
 		return nil, &httpError{code: http.StatusServiceUnavailable, msg: "server is draining"}
 	}
@@ -255,10 +293,11 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	case s.queue <- j:
 		s.registerLocked(j)
 		s.mu.Unlock()
+		s.obs.Trace().Emit("job_submitted", map[string]any{"id": j.id})
 		return j, nil
 	default:
 		s.mu.Unlock()
-		s.rejected.Add(1)
+		s.metrics.rejected.Inc()
 		j.cancel()
 		return nil, &httpError{code: http.StatusServiceUnavailable, msg: fmt.Sprintf("job queue full (depth %d)", s.cfg.QueueDepth)}
 	}
@@ -299,16 +338,24 @@ func (s *Server) lookup(id string) *job {
 	return s.jobs[id]
 }
 
-// Stats is the /statsz snapshot.
+// Stats is the /statsz snapshot. The counters are read back from the
+// obs metrics registry (the single source of truth shared with
+// /metrics); the original fields keep their JSON names so existing
+// consumers are unaffected.
 type Stats struct {
-	UptimeMS      int64      `json:"uptime_ms"`
-	QueueDepth    int        `json:"queue_depth"`
-	QueueCapacity int        `json:"queue_capacity"`
-	Submitted     int64      `json:"submitted"`
-	Rejected      int64      `json:"rejected"`
-	Jobs          JobCounts  `json:"jobs"`
-	Cache         CacheStats `json:"cache"`
-	Workers       PoolStats  `json:"workers"`
+	UptimeMS int64 `json:"uptime_ms"`
+	// UptimeSeconds mirrors the stochsyn_uptime_seconds gauge.
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	QueueDepth    int       `json:"queue_depth"`
+	QueueCapacity int       `json:"queue_capacity"`
+	Submitted     int64     `json:"submitted"`
+	Rejected      int64     `json:"rejected"`
+	Jobs          JobCounts `json:"jobs"`
+	// JobsByState is the Jobs breakdown keyed by state name, matching
+	// the stochsyn_jobs{state=...} gauge series.
+	JobsByState map[string]int `json:"jobs_by_state"`
+	Cache       CacheStats     `json:"cache"`
+	Workers     PoolStats      `json:"workers"`
 }
 
 // JobCounts breaks the registered jobs down by status.
@@ -340,15 +387,10 @@ type PoolStats struct {
 	Utilization float64 `json:"utilization"`
 }
 
-// Snapshot assembles the current Stats.
-func (s *Server) Snapshot() Stats {
-	st := Stats{
-		UptimeMS:      time.Since(s.started).Milliseconds(),
-		QueueDepth:    len(s.queue),
-		QueueCapacity: s.cfg.QueueDepth,
-		Submitted:     s.submitted.Load(),
-		Rejected:      s.rejected.Load(),
-	}
+// jobCounts walks the job table and tallies states. Used by Snapshot
+// and by the stochsyn_jobs{state=...} scrape-time gauges.
+func (s *Server) jobCounts() JobCounts {
+	var c JobCounts
 	s.mu.Lock()
 	for _, j := range s.order {
 		j.mu.Lock()
@@ -356,23 +398,45 @@ func (s *Server) Snapshot() Stats {
 		j.mu.Unlock()
 		switch status {
 		case StatusQueued:
-			st.Jobs.Queued++
+			c.Queued++
 		case StatusRunning:
-			st.Jobs.Running++
+			c.Running++
 		case StatusCompleted:
-			st.Jobs.Completed++
+			c.Completed++
 		case StatusCancelled:
-			st.Jobs.Cancelled++
+			c.Cancelled++
 		case StatusFailed:
-			st.Jobs.Failed++
+			c.Failed++
 		}
 	}
-	st.Jobs.Total = len(s.order)
+	c.Total = len(s.order)
 	s.mu.Unlock()
+	return c
+}
+
+// Snapshot assembles the current Stats.
+func (s *Server) Snapshot() Stats {
+	up := time.Since(s.started)
+	st := Stats{
+		UptimeMS:      up.Milliseconds(),
+		UptimeSeconds: up.Seconds(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
+		Submitted:     int64(s.metrics.submitted.Value()),
+		Rejected:      int64(s.metrics.rejected.Value()),
+	}
+	st.Jobs = s.jobCounts()
+	st.JobsByState = map[string]int{
+		string(StatusQueued):    st.Jobs.Queued,
+		string(StatusRunning):   st.Jobs.Running,
+		string(StatusCompleted): st.Jobs.Completed,
+		string(StatusCancelled): st.Jobs.Cancelled,
+		string(StatusFailed):    st.Jobs.Failed,
+	}
 
 	st.Cache = CacheStats{
-		Hits:     s.cacheHits.Load(),
-		Misses:   s.cacheMisses.Load(),
+		Hits:     int64(s.metrics.cacheHits.Value()),
+		Misses:   int64(s.metrics.cacheMisses.Value()),
 		Entries:  s.cache.len(),
 		Capacity: s.cfg.CacheSize,
 	}
@@ -424,14 +488,23 @@ func errorStatus(err error) int {
 //	DELETE /v1/jobs/{id} cancel a job → JobView
 //	GET    /healthz      liveness probe
 //	GET    /statsz       Stats snapshot
+//	GET    /metrics      Prometheus text exposition
+//	GET    /tracez       recent trace events as JSONL (?n= caps the count)
+//	GET    /debug/pprof/ runtime profiles (net/http/pprof)
+//
+// The /v1, /healthz, and /statsz routes are wrapped with per-route
+// latency histograms and request counters (stochsyn_http_*); the
+// telemetry routes themselves are left unwrapped so scraping does not
+// feed back into the scraped series.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleCancel))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /statsz", s.instrument("/statsz", s.handleStatsz))
+	s.observability(mux)
 	return mux
 }
 

@@ -53,6 +53,63 @@ func Heat(w io.Writer, density [][]int, xlabel, ylabel string) {
 	fmt.Fprintf(w, "   x: %s, y: %s, peak density %d\n", xlabel, ylabel, maxD)
 }
 
+// sparkRunes orders the sparkline glyphs from low to high.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a one-line unicode sparkline scaled to the
+// finite min..max of the series. When width > 0 and the series is
+// longer, it is downsampled to width glyphs by bucket means; width <= 0
+// keeps one glyph per value. Non-finite points render as spaces, and a
+// series with no finite points renders as the empty string. A flat
+// series renders at the lowest glyph.
+func Spark(values []float64, width int) string {
+	if width > 0 && len(values) > width {
+		buckets := make([]float64, width)
+		for b := range buckets {
+			lo, hi := b*len(values)/width, (b+1)*len(values)/width
+			sum, n := 0.0, 0
+			for _, v := range values[lo:hi] {
+				if finite(v) {
+					sum += v
+					n++
+				}
+			}
+			if n == 0 {
+				buckets[b] = math.NaN()
+			} else {
+				buckets[b] = sum / float64(n)
+			}
+		}
+		values = buckets
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if finite(v) {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return ""
+	}
+	span := hi - lo
+	var sb strings.Builder
+	for _, v := range values {
+		switch {
+		case !finite(v):
+			sb.WriteByte(' ')
+		case span == 0:
+			sb.WriteRune(sparkRunes[0])
+		default:
+			idx := int(float64(len(sparkRunes)) * (v - lo) / span)
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+			sb.WriteRune(sparkRunes[idx])
+		}
+	}
+	return sb.String()
+}
+
 // Series is one named line of a Lines chart.
 type Series struct {
 	Name string

@@ -129,3 +129,51 @@ func TestSortedKeys(t *testing.T) {
 		}
 	}
 }
+
+func TestSpark(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		width  int
+		want   string
+	}{
+		{"ramp", []float64{0, 1, 2, 3, 4, 5, 6, 7}, 0, "▁▂▃▄▅▆▇█"},
+		{"descending", []float64{7, 0}, 0, "█▁"},
+		{"flat", []float64{3, 3, 3}, 0, "▁▁▁"},
+		{"single", []float64{42}, 0, "▁"},
+		{"empty", nil, 0, ""},
+		{"all-nan", []float64{math.NaN(), math.Inf(1)}, 0, ""},
+		{"nan-gap", []float64{0, math.NaN(), 7}, 0, "▁ █"},
+	}
+	for _, tc := range cases {
+		if got := Spark(tc.values, tc.width); got != tc.want {
+			t.Errorf("%s: Spark(%v, %d) = %q, want %q", tc.name, tc.values, tc.width, got, tc.want)
+		}
+	}
+}
+
+func TestSparkDownsamples(t *testing.T) {
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	got := Spark(values, 10)
+	if n := len([]rune(got)); n != 10 {
+		t.Fatalf("Spark width = %d glyphs, want 10 (%q)", n, got)
+	}
+	// Bucket means of an ascending ramp ascend, so the glyphs must be
+	// non-decreasing with the extremes at both ends.
+	runes := []rune(got)
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("downsampled ramp not monotone: %q", got)
+		}
+	}
+	if runes[0] != '▁' || runes[len(runes)-1] != '█' {
+		t.Fatalf("ramp extremes wrong: %q", got)
+	}
+	// Short series pass through untouched.
+	if got := Spark([]float64{0, 7}, 10); got != "▁█" {
+		t.Fatalf("short series altered: %q", got)
+	}
+}

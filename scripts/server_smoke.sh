@@ -1,6 +1,7 @@
 #!/bin/sh
 # server_smoke.sh boots synthd on an ephemeral port, submits a small
-# SyGuS job through `synth -remote`, and checks the server solves it.
+# SyGuS job through `synth -remote`, checks the server solves it, and
+# scrapes /metrics to confirm the observability endpoints are live.
 # Run via `make server-smoke`.
 set -eu
 
@@ -56,6 +57,36 @@ case "$out" in
 	exit 1
 	;;
 esac
+
+# The job above ran real searches, so the scrape must carry the core
+# series with non-empty sample lines (name[{labels}] value).
+curl -sf "http://$addr/metrics" > "$tmp/metrics" || {
+	echo "server-smoke: GET /metrics failed" >&2
+	exit 1
+}
+[ -s "$tmp/metrics" ] || { echo "server-smoke: /metrics is empty" >&2; exit 1; }
+for series in \
+	stochsyn_search_iterations_total \
+	stochsyn_restarts_total \
+	stochsyn_job_run_seconds_count \
+	stochsyn_jobs_submitted_total \
+	go_goroutines; do
+	grep -q "^$series" "$tmp/metrics" || {
+		echo "server-smoke: /metrics is missing $series" >&2
+		cat "$tmp/metrics" >&2
+		exit 1
+	}
+done
+if grep -vE '^(# (HELP|TYPE) )|^[a-zA-Z_:][a-zA-Z0-9_:]*({.*})? [^ ]+$' "$tmp/metrics" | grep -q .; then
+	echo "server-smoke: /metrics contains malformed lines:" >&2
+	grep -vE '^(# (HELP|TYPE) )|^[a-zA-Z_:][a-zA-Z0-9_:]*({.*})? [^ ]+$' "$tmp/metrics" >&2
+	exit 1
+fi
+curl -sf "http://$addr/tracez?n=5" | grep -q '"event"' || {
+	echo "server-smoke: /tracez returned no events" >&2
+	exit 1
+}
+echo "server-smoke: /metrics and /tracez OK"
 
 kill -TERM "$pid"
 wait "$pid" 2>/dev/null || true

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"stochsyn/internal/cost"
+	"stochsyn/internal/obs"
 	"stochsyn/internal/prog"
 	"stochsyn/internal/restart"
 	"stochsyn/internal/search"
@@ -180,6 +181,14 @@ type Options struct {
 	// innerouter) ignore this knob under Synthesize; see
 	// SynthesizeParallel for the multi-core naive path.
 	Workers int
+	// Obs, when non-nil, attaches the observability sink (metrics
+	// registry and event tracer, see internal/obs) to the run: the
+	// search loop and the restart strategy publish stochsyn_* series
+	// and structured trace events into it. Attaching Obs never changes
+	// results — instrumentation is flushed in amortized batches off
+	// the random stream — and it does not participate in option
+	// normalization, validation, or result-cache keys.
+	Obs *obs.Obs
 }
 
 // Result reports a synthesis outcome.
@@ -317,19 +326,36 @@ func SynthesizeContext(ctx context.Context, p *Problem, opts Options) (Result, e
 	if sctx != nil && sctx.Done() == nil {
 		sctx = nil // never-cancelled: skip the inner-loop polls entirely
 	}
-	factory := search.NewFactory(p.suite, search.Options{
+	sopts := search.Options{
 		Set:        set,
 		Cost:       kind,
 		Beta:       o.Beta,
 		Redundancy: redundancy,
 		Seed:       o.Seed,
 		Ctx:        sctx,
-	})
+	}
+	if o.Obs != nil {
+		sopts.Obs = search.NewObsHooks(o.Obs.Reg, o.Obs.Tracer)
+		strat = restart.Instrument(strat,
+			restart.NewObsHooks(o.Obs.Reg, o.Obs.Tracer, strat.Name()))
+		o.Obs.Trace().Emit("search_start", map[string]any{
+			"strategy": strat.Name(), "budget": o.Budget, "seed": o.Seed,
+			"cost": string(o.Cost), "dialect": string(o.Dialect),
+		})
+	}
+	factory := search.NewFactory(p.suite, sopts)
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	start := time.Now()
 	res := strat.RunContext(ctx, factory, o.Budget)
+	if o.Obs != nil {
+		o.Obs.Trace().Emit("search_stop", map[string]any{
+			"strategy": strat.Name(), "solved": res.Solved,
+			"iterations": res.Iterations, "searches": res.Searches,
+			"cancelled": res.Cancelled, "seconds": time.Since(start).Seconds(),
+		})
+	}
 	out := Result{
 		Solved:     res.Solved,
 		Iterations: res.Iterations,
