@@ -1,13 +1,28 @@
 # Developer entry points. `make ci` is the gate every change must
-# pass: it builds everything, vets, and runs the full test suite under
-# the race detector (the concurrent tree executor and the parallel
-# naive pool are exercised heavily there).
+# pass: it builds everything, vets, checks formatting, runs the repo
+# linter (cmd/repolint), and runs the full test suite under the race
+# detector (the concurrent tree executor and the parallel naive pool
+# are exercised heavily there). Each gate prints a one-line verdict;
+# the first failing gate stops the run and names itself.
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race short bench-exec bench-obs server-smoke
+.PHONY: ci build vet fmt lint test race short bench-exec bench-obs server-smoke
 
-ci: build vet fmt race
+# gate runs one CI stage, echoing "ci: <name> ok" on success and
+# "ci: FAIL at gate <name>" (then exiting nonzero) on failure, so a
+# red run always ends by naming the gate that broke.
+define gate
+	@echo "ci: $(1)..."; if $(2); then echo "ci: $(1) ok"; else echo "ci: FAIL at gate $(1)"; exit 1; fi
+endef
+
+ci:
+	$(call gate,build,$(GO) build ./...)
+	$(call gate,vet,$(GO) vet ./...)
+	$(call gate,fmt,$(MAKE) -s fmt)
+	$(call gate,lint,$(GO) run ./cmd/repolint)
+	$(call gate,race,$(GO) test -race ./...)
+	@echo "ci: all gates passed (build vet fmt lint race)"
 
 build:
 	$(GO) build ./...
@@ -19,6 +34,11 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt: the following files need formatting:"; echo "$$out"; exit 1; \
 	fi
+
+# lint runs the repository's own static checks: sync/atomic
+# containment and nil-guarded obs hook access (see cmd/repolint).
+lint:
+	$(GO) run ./cmd/repolint
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,418 @@
+// Command repolint enforces repository-wide invariants that go vet
+// cannot express. It is stdlib-only (go/parser + go/types +
+// go/importer) and runs as the "lint" gate of make ci.
+//
+// Checks:
+//
+//  1. atomics: "sync/atomic" may be imported only inside internal/obs
+//     (the designated home for lock-free telemetry primitives) or in
+//     files explicitly whitelisted below with a justification. Ad-hoc
+//     atomics scattered through the tree are how torn counters and
+//     unpublishable metrics happen; new concurrency primitives should
+//     either live in internal/obs or argue their way onto the list.
+//
+//  2. hooks: the obs hook bundles (*obs.SearchHooks,
+//     *obs.RestartHooks) are nil when instrumentation is disabled,
+//     which is the common case. Their metric-handle fields may
+//     therefore only be selected through a local variable that the
+//     enclosing function provably guards: either compared against nil
+//     (`h == nil` / `h != nil`) somewhere in the function, or
+//     assigned from an address-of-composite-literal / new(...). Any
+//     other field selection — in particular chained ones like
+//     `r.cfg.Obs.Passes.Inc()` — is reported, enforcing the
+//     rebind-then-check idiom the hot paths use. Package internal/obs
+//     itself is exempt: that is where the nil-safe wrappers live.
+//
+// Usage:
+//
+//	repolint [-dir module-root]
+//
+// Exit status is 1 if any finding is reported, 2 on operational
+// errors (unparseable files, type-check failures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// atomicWhitelist lists files (module-relative, slash-separated)
+// allowed to import sync/atomic outside internal/obs, each with the
+// reason it needs raw atomics.
+var atomicWhitelist = map[string]string{
+	"internal/restart/treeexec.go":    "concurrent tree executor: lock-free busy/spent accounting on the worker hot path",
+	"internal/search/search.go":       "lock-free published-snapshot pointer so readers never block the search loop",
+	"internal/server/server.go":       "busy-worker gauge and monotonic job-id allocation",
+	"internal/restart/cancel_test.go": "test-only: cross-goroutine progress probe for cancellation timing",
+}
+
+func main() {
+	dir := flag.String("dir", ".", "module root to lint (directory containing go.mod)")
+	flag.Parse()
+	n, err := run(*dir, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stdout, "repolint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// run lints the module rooted at dir, writing findings to out, and
+// returns the number of findings.
+func run(dir string, out io.Writer) (int, error) {
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := collectPackages(dir)
+	if err != nil {
+		return 0, err
+	}
+
+	var findings []string
+	fset := token.NewFileSet()
+
+	// Check 1: sync/atomic containment. Syntactic, covers every file
+	// including tests.
+	for _, p := range pkgs {
+		for _, file := range p.allFiles {
+			f, err := parser.ParseFile(fset, file, nil, parser.ImportsOnly)
+			if err != nil {
+				return 0, err
+			}
+			for _, imp := range f.Imports {
+				if strings.Trim(imp.Path.Value, `"`) != "sync/atomic" {
+					continue
+				}
+				rel := relPath(dir, file)
+				if strings.HasPrefix(rel, "internal/obs/") {
+					continue
+				}
+				if _, ok := atomicWhitelist[rel]; ok {
+					continue
+				}
+				findings = append(findings, fmt.Sprintf(
+					"%s: imports sync/atomic outside internal/obs; use the obs primitives or whitelist the file in cmd/repolint with a justification",
+					fset.Position(imp.Pos())))
+			}
+		}
+	}
+
+	// Check 2: nil-guarded obs hook access. Type-based, non-test files
+	// only (the hot paths under scrutiny are not in tests).
+	ld := &loader{
+		fset:    fset,
+		dir:     dir,
+		modPath: modPath,
+		dirs:    map[string]*pkgDir{},
+		typed:   map[string]*typedPkg{},
+		std:     importer.Default(),
+	}
+	for _, p := range pkgs {
+		ld.dirs[p.importPath] = p
+	}
+	for _, p := range pkgs {
+		if len(p.goFiles) == 0 {
+			continue
+		}
+		tp, err := ld.load(p.importPath)
+		if err != nil {
+			return 0, fmt.Errorf("type-checking %s: %w", p.importPath, err)
+		}
+		if p.importPath == modPath+"/internal/obs" {
+			continue // home of the nil-safe wrappers
+		}
+		findings = append(findings, checkHookAccess(fset, tp, modPath)...)
+	}
+
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	return len(findings), nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// pkgDir is one directory of Go files within the module.
+type pkgDir struct {
+	importPath string
+	goFiles    []string // non-test files, sorted
+	allFiles   []string // including _test.go, sorted
+}
+
+// collectPackages walks the module and lists its package directories.
+func collectPackages(root string) ([]*pkgDir, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	byDir := map[string]*pkgDir{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		p := byDir[dir]
+		if p == nil {
+			rel := relPath(root, dir)
+			ip := modPath
+			if rel != "." {
+				ip = modPath + "/" + rel
+			}
+			p = &pkgDir{importPath: ip}
+			byDir[dir] = p
+		}
+		p.allFiles = append(p.allFiles, path)
+		if !strings.HasSuffix(path, "_test.go") {
+			p.goFiles = append(p.goFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*pkgDir
+	for _, p := range byDir {
+		sort.Strings(p.goFiles)
+		sort.Strings(p.allFiles)
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].importPath < pkgs[j].importPath })
+	return pkgs, nil
+}
+
+func relPath(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return path
+	}
+	return filepath.ToSlash(rel)
+}
+
+// typedPkg is a type-checked package with the syntax and type info
+// the hooks check walks.
+type typedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader type-checks module packages from source, resolving
+// module-internal imports recursively and everything else through the
+// default (compiler export data) importer.
+type loader struct {
+	fset    *token.FileSet
+	dir     string
+	modPath string
+	dirs    map[string]*pkgDir
+	typed   map[string]*typedPkg
+	std     types.Importer
+}
+
+func (l *loader) load(importPath string) (*typedPkg, error) {
+	if tp, ok := l.typed[importPath]; ok {
+		if tp == nil {
+			return nil, fmt.Errorf("import cycle through %s", importPath)
+		}
+		return tp, nil
+	}
+	p, ok := l.dirs[importPath]
+	if !ok {
+		return nil, fmt.Errorf("unknown module package %s", importPath)
+	}
+	l.typed[importPath] = nil // cycle marker
+	var files []*ast.File
+	for _, file := range p.goFiles {
+		f, err := parser.ParseFile(l.fset, file, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+		if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+			tp, err := l.load(path)
+			if err != nil {
+				return nil, err
+			}
+			return tp.pkg, nil
+		}
+		return l.std.Import(path)
+	})}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	tp := &typedPkg{pkg: pkg, files: files, info: info}
+	l.typed[importPath] = tp
+	return tp, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// checkHookAccess reports unguarded field selections through the
+// possibly-nil obs hook bundle pointers.
+func checkHookAccess(fset *token.FileSet, tp *typedPkg, modPath string) []string {
+	var findings []string
+	isHookPtr := func(t types.Type) bool {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != modPath+"/internal/obs" {
+			return false
+		}
+		return obj.Name() == "SearchHooks" || obj.Name() == "RestartHooks"
+	}
+	info := tp.info
+	for _, file := range tp.files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Pass 1: identifiers of hook pointer type the function
+			// proves non-nil — compared against nil anywhere, or bound
+			// to a freshly allocated bundle.
+			guarded := map[types.Object]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+						if !isNilIdent(info, pair[1]) {
+							continue
+						}
+						if id, ok := pair[0].(*ast.Ident); ok && isHookPtr(info.TypeOf(id)) {
+							if obj := info.ObjectOf(id); obj != nil {
+								guarded[obj] = true
+							}
+						}
+					}
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						if i >= len(n.Rhs) {
+							break
+						}
+						id, ok := lhs.(*ast.Ident)
+						if !ok || !isHookPtr(info.TypeOf(id)) || !isFreshAlloc(n.Rhs[i]) {
+							continue
+						}
+						if obj := info.ObjectOf(id); obj != nil {
+							guarded[obj] = true
+						}
+					}
+				}
+				return true
+			})
+			// Pass 2: flag unguarded field selections.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				se, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				sel := info.Selections[se]
+				if sel == nil || sel.Kind() != types.FieldVal || !isHookPtr(info.TypeOf(se.X)) {
+					return true
+				}
+				if id, ok := se.X.(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil && guarded[obj] {
+						return true
+					}
+				}
+				findings = append(findings, fmt.Sprintf(
+					"%s: field %s selected through possibly-nil *obs.%s; rebind to a local and nil-check it first",
+					fset.Position(se.Sel.Pos()), se.Sel.Name, hookName(info.TypeOf(se.X))))
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+func hookName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			return named.Obj().Name()
+		}
+	}
+	return "Hooks"
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// isFreshAlloc reports whether e evaluates to a pointer that cannot
+// be nil: &T{...} or new(T).
+func isFreshAlloc(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, isLit := e.X.(*ast.CompositeLit)
+		return isLit
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}

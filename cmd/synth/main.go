@@ -42,6 +42,7 @@ import (
 	"stochsyn/internal/mutate"
 	"stochsyn/internal/obs"
 	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis"
 	"stochsyn/internal/restart"
 	"stochsyn/internal/search"
 	"stochsyn/internal/server"
@@ -61,6 +62,7 @@ func main() {
 		slFile   = flag.String("sl", "", "SyGuS-IF .sl file (PBE bitvector subset)")
 		problem  = flag.String("problem", "", "built-in benchmark problem name (e.g. hd03)")
 		minimize = flag.Bool("minimize", false, "after solving, keep searching for a smaller program with the remaining budget")
+		lint     = flag.Bool("lint", false, "after solving, report static-analysis findings and the canonical form of the solution (to stderr)")
 		costName = flag.String("cost", "hamming", "cost function: hamming, inctests, logdiff")
 		beta     = flag.Float64("beta", 1, "acceptance temperature (normalized to 100 tests)")
 		strategy = flag.String("strategy", "adaptive", "restart strategy spec (naive, luby, adaptive, pluby, fixed:N, exp:T0:Z, innerouter:T0:Z)")
@@ -87,7 +89,7 @@ func main() {
 			os.Exit(1)
 		}
 		runRemote(ctx, *remote, *expr, *inputs, *cases, *specFile, *slFile, *problem,
-			*costName, *beta, *strategy, *budget, *dialect, *seed, *verbose)
+			*costName, *beta, *strategy, *budget, *dialect, *seed, *verbose, *lint)
 		return
 	}
 
@@ -181,6 +183,24 @@ func main() {
 		}
 	}
 	fmt.Println(sol)
+	if *lint {
+		report := analysis.Run(sol)
+		printLint(os.Stderr, report.Strings())
+		canon := analysis.Canonicalize(sol)
+		fmt.Fprintf(os.Stderr, "canonical (%016x): %s\n", analysis.Hash(canon), canon)
+	}
+}
+
+// printLint renders static-analysis findings, one per line, or a
+// single "clean" line when there are none.
+func printLint(w io.Writer, findings []string) {
+	if len(findings) == 0 {
+		fmt.Fprintln(w, "lint: clean")
+		return
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, "lint:", f)
+	}
 }
 
 // printRunStats renders the -stats report from the run's obs sink:
@@ -341,7 +361,7 @@ func parseWord(s string) (uint64, error) {
 // as raw SyGuS text; spec files and built-in problems are resolved
 // locally and sent as explicit examples. On Ctrl-C the job is
 // cancelled on the server before exiting.
-func runRemote(ctx context.Context, baseURL, expr string, inputs, cases int, specFile, slFile, problem, costName string, beta float64, strategy string, budget int64, dialect string, seed uint64, verbose bool) {
+func runRemote(ctx context.Context, baseURL, expr string, inputs, cases int, specFile, slFile, problem, costName string, beta float64, strategy string, budget int64, dialect string, seed uint64, verbose, lint bool) {
 	pspec, desc, err := remoteProblemSpec(expr, inputs, cases, specFile, slFile, problem, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "synth:", err)
@@ -405,6 +425,14 @@ func runRemote(ctx context.Context, baseURL, expr string, inputs, cases int, spe
 				r.Iterations, r.Searches, r.DurationMS, r.Seed, note)
 		}
 		fmt.Println(r.Program)
+		if lint {
+			// The server audited the solution at completion time; its
+			// findings and canonical form ride along on the result.
+			printLint(os.Stderr, r.Lint)
+			if r.Canonical != "" {
+				fmt.Fprintf(os.Stderr, "canonical (%s): %s\n", r.CanonicalHash, r.Canonical)
+			}
+		}
 	case server.StatusCancelled:
 		fmt.Println("cancelled on server")
 		os.Exit(130)

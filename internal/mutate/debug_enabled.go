@@ -1,0 +1,7 @@
+//go:build stochsyndebug
+
+package mutate
+
+// Building with -tags stochsyndebug turns the post-move invariant gate
+// on for the whole binary; see SetDebugChecks.
+func init() { debugChecks = true }

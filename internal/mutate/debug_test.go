@@ -1,0 +1,71 @@
+package mutate
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stochsyn/internal/prog"
+	"stochsyn/internal/testcase"
+)
+
+// TestDebugGateAcceptsAllMoves runs every move type many times with
+// the invariant gate on: a panic here is a mutator bug.
+func TestDebugGateAcceptsAllMoves(t *testing.T) {
+	SetDebugChecks(true)
+	defer SetDebugChecks(false)
+
+	suite := testcase.Generate(func(in []uint64) uint64 { return in[0] | in[1] },
+		2, 8, rand.New(rand.NewPCG(3, 4)))
+	for _, set := range []*prog.OpSet{prog.FullSet, prog.ModelSet} {
+		m := New(set, suite, set == prog.ModelSet)
+		rng := rand.New(rand.NewPCG(99, 1))
+		p := prog.NewZero(2)
+		for step := 0; step < 3000; step++ {
+			m.Apply(p, rng) // panics on an invariant violation
+		}
+	}
+}
+
+// TestDebugGatePanicsOnViolation plants a corrupted program and checks
+// the gate actually fires: a move that "succeeds" on a program left
+// invalid must panic rather than let the search continue on it.
+func TestDebugGatePanicsOnViolation(t *testing.T) {
+	SetDebugChecks(true)
+	defer SetDebugChecks(false)
+
+	p, err := prog.Parse("notq(x)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: plant an unreachable body node. Mutators never produce
+	// this. The opcode move succeeds (it only rewrites the notq node)
+	// without running GC, so the gate sees the dead node and fires.
+	p.Nodes = append(p.Nodes, prog.Node{Op: prog.OpConst, Val: 7})
+	p.Invalidate()
+
+	m := New(prog.FullSet, nil, false)
+	rng := rand.New(rand.NewPCG(5, 6))
+	defer func() {
+		if recover() == nil {
+			t.Error("debug gate did not panic on a corrupted program")
+		}
+	}()
+	if !m.ApplyMove(p, MoveOpcode, rng) {
+		t.Error("opcode move found no candidate (gate never ran)")
+	}
+	t.Error("gate did not fire after a successful move on a corrupted program")
+}
+
+func TestSetDebugChecksToggle(t *testing.T) {
+	if DebugChecks() {
+		t.Fatal("debug checks unexpectedly on at test start")
+	}
+	SetDebugChecks(true)
+	if !DebugChecks() {
+		t.Error("SetDebugChecks(true) did not stick")
+	}
+	SetDebugChecks(false)
+	if DebugChecks() {
+		t.Error("SetDebugChecks(false) did not stick")
+	}
+}

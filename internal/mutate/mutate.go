@@ -142,18 +142,26 @@ func (m *Mutator) Apply(p *prog.Program, rng *rand.Rand) (Move, bool) {
 
 // ApplyMove proposes one change of the given move type. It returns
 // false (leaving p unchanged) when the move has no valid option.
+//
+// With the debug gate on (SetDebugChecks, or the stochsyndebug build
+// tag), every successful move is followed by a full invariant check of
+// the mutated program; a violation panics, naming the move.
 func (m *Mutator) ApplyMove(p *prog.Program, mv Move, rng *rand.Rand) bool {
+	var ok bool
 	switch mv {
 	case MoveInstruction:
-		return m.instruction(p, rng)
+		ok = m.instruction(p, rng)
 	case MoveOpcode:
-		return m.opcode(p, rng)
+		ok = m.opcode(p, rng)
 	case MoveOperand:
-		return m.operand(p, rng)
+		ok = m.operand(p, rng)
 	case MoveRedundancy:
-		return m.merge(p, rng)
+		ok = m.merge(p, rng)
 	}
-	return false
+	if ok && debugChecks {
+		checkMove(p, mv)
+	}
+	return ok
 }
 
 // slot identifies an argument position: node/arg for instruction

@@ -1,0 +1,102 @@
+// Package analysis is a small static-analysis layer over the dataflow
+// programs of internal/prog: a pass framework with concrete passes for
+// constant folding, algebraic-identity lints, and liveness, plus a
+// semantics-preserving canonicalizer that maps structural variants of
+// the same computation to one canonical form with a 64-bit hash.
+//
+// The layer serves three roles in the system:
+//
+//   - a correctness gate for the move set: Check wraps the structural
+//     invariants and is run after every accepted move when the mutate
+//     package's debug checks are on;
+//   - an auditor for synthesis results: Run reports the rewrite-level
+//     redundancy (foldable constants, identity operations, dead
+//     inputs) that a cost-only stochastic search routinely leaves in
+//     accepted programs;
+//   - a canonicalizer for semantic caching: Canonicalize + Hash give
+//     synthd a cache key under which structurally different but
+//     semantically identical programs collide.
+//
+// Every rewrite applied by the canonicalizer must be sound under the
+// exact evalOp semantics (x86 count-masked shifts, divide-by-zero
+// producing zero, 32-bit ops zero-extending); the rules live in
+// simplify.go and are verified by Eval-equivalence tests and a fuzzer.
+package analysis
+
+import (
+	"fmt"
+
+	"stochsyn/internal/prog"
+)
+
+// Finding is one diagnostic produced by a pass. Node is the index of
+// the offending node, or -1 for program-level findings.
+type Finding struct {
+	Pass string // name of the pass that produced the finding
+	Node int32  // node index, -1 when program-level
+	Msg  string
+}
+
+// String renders the finding as "pass: node N: msg".
+func (f Finding) String() string {
+	if f.Node < 0 {
+		return f.Pass + ": " + f.Msg
+	}
+	return fmt.Sprintf("%s: node %d: %s", f.Pass, f.Node, f.Msg)
+}
+
+// Report collects the findings of one or more passes.
+type Report struct {
+	Findings []Finding
+}
+
+// Add appends a finding.
+func (r *Report) Add(pass string, node int32, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{Pass: pass, Node: node, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Empty reports whether the report holds no findings.
+func (r *Report) Empty() bool { return len(r.Findings) == 0 }
+
+// Strings renders every finding, in pass order.
+func (r *Report) Strings() []string {
+	out := make([]string, len(r.Findings))
+	for i, f := range r.Findings {
+		out[i] = f.String()
+	}
+	return out
+}
+
+// Pass is one analysis over a program. Passes are read-only: they
+// report findings and must not mutate the program.
+type Pass interface {
+	Name() string
+	Run(p *prog.Program, r *Report)
+}
+
+// Passes returns the default pass pipeline: constant folding,
+// algebraic-identity lints, and liveness, in that order.
+func Passes() []Pass {
+	return []Pass{FoldPass{}, LintPass{}, LivenessPass{}}
+}
+
+// Run executes the default passes over p and returns the combined
+// report. The program is not modified.
+func Run(p *prog.Program) Report {
+	var r Report
+	for _, pass := range Passes() {
+		pass.Run(p, &r)
+	}
+	return r
+}
+
+// Check verifies the structural invariants of p (including the
+// stale-operand-slot rule) and returns a descriptive error on the
+// first violation. It is the entry point used by the mutate package's
+// debug gate after every accepted move.
+func Check(p *prog.Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

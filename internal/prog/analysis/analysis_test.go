@@ -1,0 +1,131 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis"
+)
+
+// build parses an expression over numInputs inputs.
+func build(t *testing.T, src string, numInputs int) *prog.Program {
+	t.Helper()
+	p, err := prog.Parse(src, numInputs)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestRunCleanProgram(t *testing.T) {
+	p := build(t, "orq(andq(x, y), andq(notq(x), z))", 3)
+	r := analysis.Run(p)
+	if !r.Empty() {
+		t.Errorf("clean program produced findings: %v", r.Strings())
+	}
+}
+
+func TestFoldPassReportsConstantNode(t *testing.T) {
+	p := build(t, "addq(x, mulq(3, 4))", 1)
+	r := analysis.Run(p)
+	found := false
+	for _, f := range r.Findings {
+		if f.Pass == "fold" && strings.Contains(f.Msg, "12") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fold pass missed mulq(3, 4) = 12; findings: %v", r.Strings())
+	}
+}
+
+func TestLintPassReportsIdentities(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring of some lint finding
+	}{
+		{"andq(x, x)", "x & x"},
+		{"orq(x, 0)", "x | 0"},
+		{"mulq(1, x)", "x * 1"}, // commutative: const on either side
+		{"xorq(x, x)", "x ^ x"},
+		{"shlq(x, 64)", "identity"}, // count masks to zero
+		{"remq(x, x)", "x % x"},
+		{"subq(x, 0)", "x - 0"},
+		{"idivq(x, 1)", "x / 1"},
+	}
+	for _, tc := range cases {
+		p := build(t, tc.src, 1)
+		r := analysis.Run(p)
+		found := false
+		for _, f := range r.Findings {
+			if f.Pass == "lint" && strings.Contains(f.Msg, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: lint pass missed %q; findings: %v", tc.src, tc.want, r.Strings())
+		}
+	}
+}
+
+func TestLintPass32BitShiftReportOnly(t *testing.T) {
+	p := build(t, "shll(x, 32)", 1)
+	r := analysis.Run(p)
+	found := false
+	for _, f := range r.Findings {
+		if f.Pass == "lint" && strings.Contains(f.Msg, "zextlq") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lint pass missed the 32-bit masked shift; findings: %v", r.Strings())
+	}
+	// And crucially the canonicalizer must NOT rewrite it to x: the
+	// zero-extension is semantically significant.
+	c := analysis.Canonicalize(p)
+	in := []uint64{0xdeadbeefcafebabe}
+	if got, want := c.Output(in), p.Output(in); got != want {
+		t.Errorf("canonicalized shll(x, 32) = %#x, want %#x", got, want)
+	}
+	if c.Output(in) == in[0] {
+		t.Error("canonicalizer unsoundly rewrote shll(x, 32) to x")
+	}
+}
+
+func TestLivenessPassReportsDeadInput(t *testing.T) {
+	p := build(t, "notq(x)", 3) // y, z unused
+	r := analysis.Run(p)
+	dead := 0
+	for _, f := range r.Findings {
+		if f.Pass == "liveness" && strings.Contains(f.Msg, "dead") {
+			dead++
+		}
+	}
+	if dead != 2 {
+		t.Errorf("liveness reported %d dead inputs, want 2; findings: %v", dead, r.Strings())
+	}
+}
+
+func TestCheckRejectsInvalid(t *testing.T) {
+	p := prog.NewConst(1, 7)
+	if err := analysis.Check(p); err != nil {
+		t.Fatalf("Check rejected a valid program: %v", err)
+	}
+	p.Nodes[p.Root].Args[0] = 1 // stale operand slot
+	p.Invalidate()
+	if err := analysis.Check(p); err == nil {
+		t.Error("Check accepted a const node with a stale operand slot")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := analysis.Finding{Pass: "lint", Node: 3, Msg: "x & x = x"}
+	if got := f.String(); got != "lint: node 3: x & x = x" {
+		t.Errorf("Finding.String() = %q", got)
+	}
+	g := analysis.Finding{Pass: "liveness", Node: -1, Msg: "whole-program"}
+	if got := g.String(); got != "liveness: whole-program" {
+		t.Errorf("program-level Finding.String() = %q", got)
+	}
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"stochsyn/internal/prog"
+)
+
+// Canonicalize returns a semantics-preserving canonical form of p: the
+// input program is not modified. The canonical form is computed by
+// running the rewrite engine to a fixpoint (constant folding plus the
+// algebraic simplifications of simplify.go), merging structurally
+// duplicate subcomputations, ordering the arguments of commutative
+// operations, garbage-collecting, and renumbering nodes into a
+// deterministic order. Two programs computing the same function by the
+// same modulo-rewrites structure map to the same canonical form, so
+// Hash(Canonicalize(p)) is a semantic (up to the rule set) cache key.
+//
+// Every step preserves Eval on all inputs; this is enforced by the
+// Eval-equivalence tests and FuzzCanonicalize.
+func Canonicalize(p *prog.Program) *prog.Program {
+	q := p.Clone()
+	for changed := true; changed; {
+		changed = false
+		for applyOneRewrite(q) {
+			changed = true
+		}
+		if dedupe(q) {
+			changed = true
+		}
+	}
+	orderCommutativeArgs(q)
+	return renumber(q)
+}
+
+// CanonHash returns the 64-bit hash of p's canonical form.
+func CanonHash(p *prog.Program) uint64 {
+	return Hash(Canonicalize(p))
+}
+
+// Hash returns a structural 64-bit FNV-1a hash of p (node list, root,
+// input count). Structurally equal programs hash equal; apply it to a
+// canonical form to get a semantic key.
+func Hash(p *prog.Program) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for k := 0; k < 8; k++ {
+			buf[k] = byte(v >> (8 * k))
+		}
+		h.Write(buf[:])
+	}
+	w64(uint64(p.NumInputs))
+	w64(uint64(uint32(p.Root)))
+	for i := range p.Nodes {
+		nd := &p.Nodes[i]
+		w64(uint64(nd.Op))
+		for a := 0; a < nd.Op.Arity(); a++ {
+			w64(uint64(uint32(nd.Args[a])))
+		}
+		if nd.Op == prog.OpConst || nd.Op == prog.OpInput {
+			w64(nd.Val)
+		}
+	}
+	return h.Sum64()
+}
+
+// applyOneRewrite finds the first node (in topological order) with an
+// applicable fold or simplification, applies it in place, and restores
+// the invariants. It returns whether a rewrite was applied. Applying
+// one rewrite at a time keeps index management trivial: GC renumbers
+// nodes, so the caller restarts the scan after every application.
+func applyOneRewrite(q *prog.Program) bool {
+	for _, i := range q.TopoOrder() {
+		if v, ok := foldNode(q, i); ok {
+			replaceWithConst(q, i, v)
+			return true
+		}
+		if rw := simplifyNode(q, i); rw.kind != rwNone {
+			switch rw.kind {
+			case rwConst:
+				replaceWithConst(q, i, rw.val)
+			case rwNode:
+				replaceWithNode(q, i, rw.node)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// replaceWithConst overwrites node i with a constant node. Unused
+// operand slots are zeroed (the hardened Validate insists on it) and
+// now-unreferenced arguments are collected.
+func replaceWithConst(q *prog.Program, i int32, v uint64) {
+	q.Nodes[i] = prog.Node{Op: prog.OpConst, Val: v}
+	q.Invalidate()
+	q.GC()
+}
+
+// replaceWithNode redirects every reference to node i (argument edges
+// and the root) to the node at target, then collects i. The rewrite
+// engine only proposes targets that are descendants of i, so no
+// redirect can introduce a cycle: any referrer of i already reached
+// target through i.
+func replaceWithNode(q *prog.Program, i, target int32) {
+	for k := range q.Nodes {
+		nd := &q.Nodes[k]
+		for a := 0; a < nd.Op.Arity(); a++ {
+			if nd.Args[a] == i {
+				nd.Args[a] = target
+			}
+		}
+	}
+	if q.Root == i {
+		q.Root = target
+	}
+	q.Invalidate()
+	q.GC()
+}
+
+// nodeKeys returns an index-independent canonical expansion string for
+// every node: the fully expanded expression with commutative arguments
+// sorted (the per-node generalization of Program.Canon). Two nodes
+// have equal keys exactly when they compute the same expression.
+func nodeKeys(q *prog.Program) []string {
+	keys := make([]string, len(q.Nodes))
+	for _, i := range q.TopoOrder() {
+		nd := &q.Nodes[i]
+		switch nd.Op {
+		case prog.OpInput:
+			keys[i] = prog.InputName(int(nd.Val))
+		case prog.OpConst:
+			keys[i] = prog.FormatConst(nd.Val)
+		default:
+			args := make([]string, nd.Op.Arity())
+			for a := range args {
+				args[a] = keys[nd.Args[a]]
+			}
+			if prog.Commutative(nd.Op) {
+				sort.Strings(args)
+			}
+			keys[i] = nd.Op.String() + "(" + strings.Join(args, ", ") + ")"
+		}
+	}
+	return keys
+}
+
+// dedupe merges nodes with identical canonical keys, keeping the
+// topologically earliest representative of each key, and reports
+// whether anything was merged. Because keys are index-independent, one
+// pass merges every duplicate.
+func dedupe(q *prog.Program) bool {
+	keys := nodeKeys(q)
+	rep := make(map[string]int32, len(keys))
+	for _, i := range q.TopoOrder() {
+		if _, ok := rep[keys[i]]; !ok {
+			rep[keys[i]] = i
+		}
+	}
+	changed := false
+	for k := range q.Nodes {
+		nd := &q.Nodes[k]
+		for a := 0; a < nd.Op.Arity(); a++ {
+			if r := rep[keys[nd.Args[a]]]; r != nd.Args[a] {
+				nd.Args[a] = r
+				changed = true
+			}
+		}
+	}
+	if r := rep[keys[q.Root]]; r != q.Root {
+		q.Root = r
+		changed = true
+	}
+	if changed {
+		q.Invalidate()
+		q.GC()
+	}
+	return changed
+}
+
+// orderCommutativeArgs physically swaps the arguments of commutative
+// operations into canonical (key-sorted) order. Keys are invariant
+// under the swap, so this cannot enable further rewrites or merges.
+func orderCommutativeArgs(q *prog.Program) {
+	keys := nodeKeys(q)
+	changed := false
+	for k := range q.Nodes {
+		nd := &q.Nodes[k]
+		if prog.Commutative(nd.Op) && keys[nd.Args[0]] > keys[nd.Args[1]] {
+			nd.Args[0], nd.Args[1] = nd.Args[1], nd.Args[0]
+			changed = true
+		}
+	}
+	if changed {
+		q.Invalidate()
+	}
+}
+
+// renumber rebuilds q with nodes in a deterministic order: the
+// permanent inputs first, then body nodes in DFS post-order from the
+// root (arguments before users, first argument's subtree first).
+// Instruction Val fields are zeroed so stray scratch data can never
+// reach the structural hash.
+func renumber(q *prog.Program) *prog.Program {
+	out := &prog.Program{NumInputs: q.NumInputs}
+	for i := 0; i < q.NumInputs; i++ {
+		out.Nodes = append(out.Nodes, prog.Node{Op: prog.OpInput, Val: uint64(i)})
+	}
+	remap := make([]int32, len(q.Nodes))
+	for i := range remap {
+		remap[i] = -1
+	}
+	var emit func(int32) int32
+	emit = func(i int32) int32 {
+		if remap[i] >= 0 {
+			return remap[i]
+		}
+		nd := q.Nodes[i]
+		if nd.Op == prog.OpInput {
+			remap[i] = int32(nd.Val)
+			return remap[i]
+		}
+		var args [prog.MaxArity]int32
+		for a := 0; a < nd.Op.Arity(); a++ {
+			args[a] = emit(nd.Args[a])
+		}
+		nn := prog.Node{Op: nd.Op, Args: args}
+		if nd.Op == prog.OpConst {
+			nn.Val = nd.Val
+		}
+		remap[i] = int32(len(out.Nodes))
+		out.Nodes = append(out.Nodes, nn)
+		return remap[i]
+	}
+	out.Root = emit(q.Root)
+	return out
+}

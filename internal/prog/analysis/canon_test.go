@@ -1,0 +1,183 @@
+package analysis_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stochsyn/internal/mutate"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis"
+	"stochsyn/internal/testcase"
+)
+
+// evalEqual checks that two programs agree on a batch of random and
+// corner-case input vectors.
+func evalEqual(t *testing.T, p, q *prog.Program, numInputs int, label string) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(11, 17))
+	in := make([]uint64, numInputs)
+	vecs := [][]uint64{}
+	for k := 0; k < numInputs; k++ {
+		in[k] = 0
+	}
+	vecs = append(vecs, append([]uint64(nil), in...))
+	for k := 0; k < numInputs; k++ {
+		in[k] = ^uint64(0)
+	}
+	vecs = append(vecs, append([]uint64(nil), in...))
+	for r := 0; r < 64; r++ {
+		for k := 0; k < numInputs; k++ {
+			in[k] = rng.Uint64()
+		}
+		vecs = append(vecs, append([]uint64(nil), in...))
+	}
+	for _, v := range vecs {
+		if got, want := q.Output(v), p.Output(v); got != want {
+			t.Fatalf("%s: output differs on %#x: got %#x, want %#x\n  p: %s\n  q: %s",
+				label, v, got, want, p, q)
+		}
+	}
+}
+
+func TestCanonicalizeEquivalencePairs(t *testing.T) {
+	// Pairs of structurally different, semantically equal programs
+	// that must map to the same canonical form (and hash).
+	pairs := []struct {
+		a, b string
+		n    int
+	}{
+		{"addq(x, 0)", "x", 1},
+		{"andq(x, y)", "andq(y, x)", 2},
+		{"addq(1, 2)", "3", 1},
+		{"xorq(x, x)", "0", 1},
+		{"shlq(x, 64)", "x", 1},
+		{"mulq(x, 1)", "orq(x, 0)", 1},
+		{"a = notq(x); andq(a, notq(x))", "notq(x)", 1},
+		{"subq(addq(x, y), addq(y, x))", "0", 2},
+		{"orq(andq(x, y), andq(y, x))", "andq(x, y)", 2},
+		{"divq(x, divq(y, 0))", "0", 2}, // y/0 = 0, then x/0 = 0
+		{"notq(notq(x))", "x", 1},
+		{"zextlq(addl(x, y))", "addl(x, y)", 2},
+		{"iremq(x, -1)", "0", 1},
+	}
+	for _, tc := range pairs {
+		a := build(t, tc.a, tc.n)
+		b := build(t, tc.b, tc.n)
+		ca := analysis.Canonicalize(a)
+		cb := analysis.Canonicalize(b)
+		if !ca.Equal(cb) {
+			t.Errorf("Canonicalize(%q) != Canonicalize(%q):\n  %s\n  %s", tc.a, tc.b, ca, cb)
+		}
+		if analysis.Hash(ca) != analysis.Hash(cb) {
+			t.Errorf("CanonHash(%q) != CanonHash(%q)", tc.a, tc.b)
+		}
+		evalEqual(t, a, ca, tc.n, tc.a)
+		evalEqual(t, b, cb, tc.n, tc.b)
+	}
+}
+
+func TestCanonicalizeDistinguishesInequivalent(t *testing.T) {
+	// Near-miss pairs that the canonicalizer must NOT conflate.
+	pairs := []struct {
+		a, b string
+		n    int
+	}{
+		{"shll(x, 32)", "x", 1}, // 32-bit shift zero-extends
+		{"orl(x, 0)", "x", 1},   // ditto
+		{"divq(x, x)", "1", 1},  // x/x is 0 when x == 0
+		{"subq(x, y)", "subq(y, x)", 2},
+		{"sarq(x, 1)", "shrq(x, 1)", 1},
+	}
+	for _, tc := range pairs {
+		ca := analysis.Canonicalize(build(t, tc.a, tc.n))
+		cb := analysis.Canonicalize(build(t, tc.b, tc.n))
+		if ca.Equal(cb) {
+			t.Errorf("Canonicalize conflated inequivalent %q and %q (both -> %s)", tc.a, tc.b, ca)
+		}
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	for _, src := range []string{
+		"addq(x, 0)",
+		"orq(andq(x, y), andq(notq(x), z))",
+		"a = notq(x); andq(a, notq(x))",
+		"mulq(addq(x, 1), subq(y, y))",
+		"x",
+		"42",
+	} {
+		p := build(t, src, 3)
+		c1 := analysis.Canonicalize(p)
+		c2 := analysis.Canonicalize(c1)
+		if !c1.Equal(c2) {
+			t.Errorf("Canonicalize not idempotent on %q:\n  once:  %s\n  twice: %s", src, c1, c2)
+		}
+	}
+}
+
+func TestCanonicalizeValidAndDoesNotMutate(t *testing.T) {
+	p := build(t, "addq(mulq(x, 1), xorq(y, y))", 2)
+	orig := p.Clone()
+	c := analysis.Canonicalize(p)
+	if err := c.Validate(); err != nil {
+		t.Errorf("canonical form invalid: %v\n  %s", err, c)
+	}
+	if !p.Equal(orig) {
+		t.Error("Canonicalize mutated its input")
+	}
+	// The canonical form should have shed the identity and the
+	// annihilated xor: addq(x, 0) folds no further (x + 0 = x).
+	if want := build(t, "x", 2); !c.Equal(analysis.Canonicalize(want)) {
+		t.Errorf("canonical form %s, want canonical x", c)
+	}
+}
+
+func TestHashStructural(t *testing.T) {
+	a := build(t, "addq(x, y)", 2)
+	b := build(t, "addq(x, y)", 2)
+	if analysis.Hash(a) != analysis.Hash(b) {
+		t.Error("equal programs hash differently")
+	}
+	c := build(t, "addq(x, 1)", 2)
+	if analysis.Hash(a) == analysis.Hash(c) {
+		t.Error("distinct programs collide (suspicious for FNV on 3 nodes)")
+	}
+}
+
+func TestCanonHashMatchesCanonicalizeHash(t *testing.T) {
+	p := build(t, "orq(x, 0)", 1)
+	if analysis.CanonHash(p) != analysis.Hash(analysis.Canonicalize(p)) {
+		t.Error("CanonHash disagrees with Hash∘Canonicalize")
+	}
+}
+
+// TestCanonicalizeRandomPrograms drives the mutator to produce random
+// well-formed programs in both dialects and checks that the
+// canonicalizer is semantics-preserving, idempotent, and produces
+// valid programs on all of them.
+func TestCanonicalizeRandomPrograms(t *testing.T) {
+	suite := testcase.Generate(func(in []uint64) uint64 { return in[0] &^ in[1] },
+		2, 8, rand.New(rand.NewPCG(1, 2)))
+	for _, set := range []*prog.OpSet{prog.FullSet, prog.ModelSet, prog.BaseSet} {
+		m := mutate.New(set, suite, set == prog.ModelSet)
+		rng := rand.New(rand.NewPCG(42, uint64(len(set.Ops()))))
+		p := prog.NewZero(2)
+		for step := 0; step < 400; step++ {
+			m.Apply(p, rng)
+			if step%10 != 0 {
+				continue
+			}
+			c := analysis.Canonicalize(p)
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s step %d: canonical form invalid: %v\n  p: %s\n  c: %s",
+					set.Name(), step, err, p, c)
+			}
+			evalEqual(t, p, c, 2, set.Name()+" random")
+			c2 := analysis.Canonicalize(c)
+			if !c.Equal(c2) {
+				t.Fatalf("%s step %d: not idempotent:\n  once:  %s\n  twice: %s",
+					set.Name(), step, c, c2)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis"
+)
+
+// FuzzCanonicalize feeds arbitrary expression text through the parser
+// (reusing the FuzzParse corpus plumbing from internal/prog) and
+// checks the canonicalizer's contract on everything that parses:
+// the canonical form is a valid program, Eval-equal to the original on
+// a batch of inputs, stable under a second canonicalization
+// (idempotence), and hash-stable.
+func FuzzCanonicalize(f *testing.F) {
+	for _, seed := range []string{
+		"x", "addq(x, y)", "a = notq(x); addq(a, a)",
+		"orq(andq(x, y), andq(notq(x), z))", "0xdeadbeef", "-1",
+		"and(or(x, x), shl(x))", "mulq(in4, in5)",
+		"addq(x, 0)", "xorq(x, x)", "shlq(x, 64)", "shll(x, 32)",
+		"mulq(addq(1, 2), x)", "divq(x, x)", "iremq(x, -1)",
+		"a = andq(x, y); orq(a, andq(y, x))",
+		"sarq(0, x)", "zextlq(addl(x, y))", "notq(notq(notq(x)))",
+	} {
+		f.Add(seed)
+	}
+	inputs := [][]uint64{
+		{0, 0, 0, 0, 0, 0},
+		{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)},
+		{1, 2, 3, 4, 5, 6},
+		{0x8000000000000000, 0x7fffffffffffffff, 63, 64, 0xffffffff, 0x100000000},
+		{0xdeadbeefcafebabe, 0x0123456789abcdef, 0x5555555555555555, 0xaaaaaaaaaaaaaaaa, 1 << 31, 1 << 32},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := prog.Parse(src, 6)
+		if err != nil {
+			return
+		}
+		c := analysis.Canonicalize(p)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("canonical form of %q invalid: %v\n  %s", src, err, c)
+		}
+		for _, in := range inputs {
+			if got, want := c.Output(in), p.Output(in); got != want {
+				t.Fatalf("canonicalization changed semantics of %q on %#x: got %#x, want %#x\n  c: %s",
+					src, in, got, want, c)
+			}
+		}
+		c2 := analysis.Canonicalize(c)
+		if !c.Equal(c2) {
+			t.Fatalf("canonicalization of %q not idempotent:\n  once:  %s\n  twice: %s", src, c, c2)
+		}
+		if analysis.Hash(c) != analysis.CanonHash(p) {
+			t.Fatalf("hash of canonical form differs from CanonHash for %q", src)
+		}
+	})
+}

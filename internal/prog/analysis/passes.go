@@ -1,0 +1,88 @@
+package analysis
+
+import "stochsyn/internal/prog"
+
+// FoldPass reports instruction nodes whose arguments are all constant:
+// the node computes a fixed value the search could have materialized
+// as a single constant node.
+type FoldPass struct{}
+
+// Name implements Pass.
+func (FoldPass) Name() string { return "fold" }
+
+// Run implements Pass.
+func (FoldPass) Run(p *prog.Program, r *Report) {
+	for i := range p.Nodes {
+		if v, ok := foldNode(p, int32(i)); ok {
+			r.Add("fold", int32(i), "%s of constant arguments folds to %s",
+				p.Nodes[i].Op, prog.FormatConst(v))
+		}
+	}
+}
+
+// LintPass reports algebraic identities and annihilators: nodes the
+// rewrite engine would replace with one of their operands or with a
+// constant (x & x, x | 0, x * 1, x ^ x, shift by a masked-to-zero
+// count, and so on). It also flags, report-only, the 32-bit
+// shift-by-masked-zero case that is NOT rewritten because the
+// zero-extension makes the "identity" unsound as a 64-bit rewrite.
+type LintPass struct{}
+
+// Name implements Pass.
+func (LintPass) Name() string { return "lint" }
+
+// Run implements Pass.
+func (LintPass) Run(p *prog.Program, r *Report) {
+	for i := range p.Nodes {
+		nd := &p.Nodes[i]
+		// Folding dominates: an all-constant node is reported by
+		// FoldPass, not double-reported here.
+		if _, ok := foldNode(p, int32(i)); ok {
+			continue
+		}
+		if rw := simplifyNode(p, int32(i)); rw.kind != rwNone {
+			switch rw.kind {
+			case rwConst:
+				r.Add("lint", int32(i), "%s is the constant %s: %s",
+					nd.Op, prog.FormatConst(rw.val), rw.reason)
+			case rwNode:
+				r.Add("lint", int32(i), "%s is redundant: %s", nd.Op, rw.reason)
+			}
+			continue
+		}
+		// Report-only: 32-bit shifts by a masked-to-zero count. These
+		// still truncate to 32 bits (shll(x, 32) = zextlq(x), not x),
+		// so they are suspicious but not rewritable to an operand.
+		switch nd.Op {
+		case prog.OpShl32, prog.OpShr32, prog.OpSar32:
+			if bv, ok := constVal(p, nd.Args[1]); ok && bv&31 == 0 {
+				r.Add("lint", int32(i), "%s count masks to 0: equivalent to zextlq, not the identity", nd.Op)
+			}
+		}
+	}
+}
+
+// LivenessPass reports dead inputs (declared but unreachable from the
+// root: the synthesized program ignores part of its specification's
+// input vector) and, defensively, dead body nodes — the latter should
+// be impossible in a validated program but is cheap to double-check
+// when the pass runs over programs of unknown provenance.
+type LivenessPass struct{}
+
+// Name implements Pass.
+func (LivenessPass) Name() string { return "liveness" }
+
+// Run implements Pass.
+func (LivenessPass) Run(p *prog.Program, r *Report) {
+	mask := p.Reachable()
+	for i := 0; i < p.NumInputs; i++ {
+		if mask&(uint64(1)<<uint(i)) == 0 {
+			r.Add("liveness", int32(i), "input %s is dead: the program ignores it", prog.InputName(i))
+		}
+	}
+	for i := p.NumInputs; i < len(p.Nodes); i++ {
+		if mask&(uint64(1)<<uint(i)) == 0 {
+			r.Add("liveness", int32(i), "dead body node (%s)", p.Nodes[i].Op)
+		}
+	}
+}

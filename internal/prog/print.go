@@ -129,6 +129,11 @@ func FormatConst(v uint64) string {
 	return fmt.Sprintf("%#x", v)
 }
 
+// Commutative reports whether the opcode's arguments may be reordered
+// without changing its value; Canon (and the analysis canonicalizer)
+// sort the arguments of such operations.
+func Commutative(op Op) bool { return commutative(op) }
+
 // commutative reports whether the opcode's arguments may be reordered
 // without changing its value; Canon sorts such arguments.
 func commutative(op Op) bool {

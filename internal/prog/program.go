@@ -324,6 +324,14 @@ func (p *Program) Validate() error {
 				return fmt.Errorf("prog: node %d argument %d index %d out of range", i, a, nd.Args[a])
 			}
 		}
+		// Unused operand slots must stay zero so that structural
+		// comparison and hashing never observe stale wiring left
+		// behind by a mutator that shrank a node's arity.
+		for a := nd.Op.Arity(); a < MaxArity; a++ {
+			if nd.Args[a] != 0 {
+				return fmt.Errorf("prog: node %d (%s) has stale operand index %d in unused slot %d", i, nd.Op, nd.Args[a], a)
+			}
+		}
 	}
 	// Acyclicity: topological sort must cover all nodes.
 	if err := p.checkAcyclic(); err != nil {

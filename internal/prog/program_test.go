@@ -162,6 +162,30 @@ func TestValidateRejectsDuplicateInputNode(t *testing.T) {
 	}
 }
 
+func TestValidateRejectsStaleOperandSlots(t *testing.T) {
+	// A const node whose unused Args carry a leftover index: this is
+	// "dangling wiring" that structural comparison and hashing would
+	// otherwise silently observe.
+	p := NewConst(1, 7)
+	p.Nodes[p.Root].Args[0] = 1
+	p.Invalidate()
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted a const node with a stale operand slot")
+	}
+
+	// Same for the unused second slot of a unary instruction.
+	q := build(t, "notq(x)", 1)
+	for i := range q.Nodes {
+		if q.Nodes[i].Op == OpNot {
+			q.Nodes[i].Args[1] = 1
+		}
+	}
+	q.Invalidate()
+	if err := q.Validate(); err == nil {
+		t.Error("Validate accepted a unary node with a stale second operand")
+	}
+}
+
 func TestValidateRejectsOversizedBody(t *testing.T) {
 	p := NewZero(1)
 	for i := 0; i < MaxBody; i++ {

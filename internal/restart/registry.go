@@ -185,6 +185,78 @@ func (p *specParser) done(s Strategy) (Strategy, error) {
 	return s, nil
 }
 
+// CanonicalSpec maps a strategy spec to a canonical textual form:
+// defaults are made explicit and parameters that cannot change results
+// are dropped. Two specs with the same canonical form configure
+// runs that produce identical Results, so services may use the
+// canonical form in semantic cache keys where the verbatim spec would
+// fragment the cache:
+//
+//	"adaptive", "adaptive:1000", "adaptive:1000:0", and
+//	"adaptive:1000:0:8" all canonicalize to "adaptive:1000:0"
+//
+// (the workers field only selects the concurrent tree executor, which
+// reproduces the sequential schedule bit for bit). Malformed specs
+// return the same ErrBadSpec-wrapped errors as New.
+func CanonicalSpec(spec string) (string, error) {
+	p, err := newParser(spec)
+	if err != nil {
+		return "", err
+	}
+	check := func(s string) (string, error) {
+		if p.next < len(p.args) {
+			return "", fmt.Errorf("restart: %w: %q: surplus field %q (%s takes at most %d parameters)",
+				ErrBadSpec, p.spec, p.args[p.next], p.name, p.next)
+		}
+		return s, nil
+	}
+	switch p.name {
+	case "naive":
+		return check("naive")
+	case "luby":
+		t0, err := p.posInt("t0", DefaultT0)
+		if err != nil {
+			return "", err
+		}
+		return check(fmt.Sprintf("luby:%d", t0))
+	case "adaptive", "pluby":
+		t0, err := p.posInt("t0", DefaultT0)
+		if err != nil {
+			return "", err
+		}
+		max, err := p.nonNegInt("search cap", 0)
+		if err != nil {
+			return "", err
+		}
+		// The workers field is parsed for validation but dropped: it
+		// never changes results.
+		if _, err := p.nonNegInt("worker count", 0); err != nil {
+			return "", err
+		}
+		return check(fmt.Sprintf("%s:%d:%d", p.name, t0, max))
+	case "fixed":
+		if len(p.args) == 0 {
+			return "", fmt.Errorf("restart: %w: %q: fixed requires a cutoff, e.g. fixed:10000", ErrBadSpec, spec)
+		}
+		cut, err := p.posInt("cutoff", 0)
+		if err != nil {
+			return "", err
+		}
+		return check(fmt.Sprintf("fixed:%d", cut))
+	case "exp", "innerouter":
+		t0, err := p.posInt("t0", DefaultT0)
+		if err != nil {
+			return "", err
+		}
+		z, err := p.growthFloat("z", 2)
+		if err != nil {
+			return "", err
+		}
+		return check(fmt.Sprintf("%s:%d:%g", p.name, t0, z))
+	}
+	return "", fmt.Errorf("restart: %w: unknown strategy %q", ErrBadSpec, p.name)
+}
+
 // MustNew is New for tests and internal tables; it panics on error.
 func MustNew(spec string) Strategy {
 	s, err := New(spec)

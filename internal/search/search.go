@@ -203,8 +203,8 @@ func New(suite *testcase.Suite, opts Options) *Run {
 	}
 	r.obsHooks = opts.Obs
 	r.obsIters = -1 // force the first publish even at iteration 0
-	if opts.Obs != nil {
-		r.plateau.Window = opts.Obs.PlateauWindow
+	if h := opts.Obs; h != nil {
+		r.plateau.Window = h.PlateauWindow
 	}
 	if opts.MoveWeights != nil {
 		r.mut.SetWeights(opts.MoveWeights)

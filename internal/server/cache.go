@@ -8,11 +8,16 @@ import (
 )
 
 // resultCache is a fixed-capacity LRU map from canonical job keys
-// (see CacheKey) to completed synthesis results. It is safe for
-// concurrent use. Only completed, non-cancelled results are cached
+// (see CanonicalCacheKey) to completed synthesis results. It is safe
+// for concurrent use. Only completed, non-cancelled results are cached
 // (the scheduler enforces that); a cancelled run's partial counters
 // would not be reproducible and must never satisfy a later identical
 // submission.
+//
+// Each entry remembers the structural key (CacheKey) of the
+// submission that populated it, so the scheduler can distinguish an
+// exact replay from a canonical hit — a structurally different but
+// semantically equal submission — and count the two separately.
 type resultCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -21,8 +26,9 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key string
-	res stochsyn.Result
+	key       string // canonical key (the map key)
+	structKey string // structural key of the populating submission
+	res       stochsyn.Result
 }
 
 // newResultCache returns a cache holding up to capacity results;
@@ -36,36 +42,40 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// get returns the cached result for key, marking it most recently
+// get returns the cached result for key along with the structural key
+// of the submission that populated the entry, marking it most recently
 // used.
-func (c *resultCache) get(key string) (stochsyn.Result, bool) {
+func (c *resultCache) get(key string) (stochsyn.Result, string, bool) {
 	if c.cap <= 0 {
-		return stochsyn.Result{}, false
+		return stochsyn.Result{}, "", false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		return stochsyn.Result{}, false
+		return stochsyn.Result{}, "", false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	e := el.Value.(*cacheEntry)
+	return e.res, e.structKey, true
 }
 
-// put stores a result under key, evicting the least recently used
-// entry when full.
-func (c *resultCache) put(key string, res stochsyn.Result) {
+// put stores a result under key, recording the populating submission's
+// structural key and evicting the least recently used entry when full.
+func (c *resultCache) put(key, structKey string, res stochsyn.Result) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		e := el.Value.(*cacheEntry)
+		e.res = res
+		e.structKey = structKey
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, structKey: structKey, res: res})
 	for len(c.entries) > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

@@ -11,32 +11,33 @@ func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(3)
 	res := func(i int64) stochsyn.Result { return stochsyn.Result{Iterations: i} }
 
-	c.put("a", res(1))
-	c.put("b", res(2))
-	c.put("c", res(3))
+	c.put("a", "sa", res(1))
+	c.put("b", "sb", res(2))
+	c.put("c", "sc", res(3))
 	if c.len() != 3 {
 		t.Fatalf("len = %d, want 3", c.len())
 	}
 
 	// Touch "a" so "b" becomes least recently used, then overflow.
-	if r, ok := c.get("a"); !ok || r.Iterations != 1 {
-		t.Fatalf("get(a) = %+v, %v", r, ok)
+	if r, sk, ok := c.get("a"); !ok || r.Iterations != 1 || sk != "sa" {
+		t.Fatalf("get(a) = %+v, %q, %v", r, sk, ok)
 	}
-	c.put("d", res(4))
-	if _, ok := c.get("b"); ok {
+	c.put("d", "sd", res(4))
+	if _, _, ok := c.get("b"); ok {
 		t.Error("b survived eviction; want LRU evicted")
 	}
 	for _, k := range []string{"a", "c", "d"} {
-		if _, ok := c.get(k); !ok {
+		if _, _, ok := c.get(k); !ok {
 			t.Errorf("%s missing after eviction", k)
 		}
 	}
 
-	// Updating an existing key refreshes both value and recency.
-	c.put("c", res(30))
-	c.put("e", res(5)) // evicts "a" (oldest after the gets above touched a,c,d)
-	if r, ok := c.get("c"); !ok || r.Iterations != 30 {
-		t.Errorf("get(c) after update = %+v, %v", r, ok)
+	// Updating an existing key refreshes value, structural key, and
+	// recency.
+	c.put("c", "sc2", res(30))
+	c.put("e", "se", res(5)) // evicts "a" (oldest after the gets above touched a,c,d)
+	if r, sk, ok := c.get("c"); !ok || r.Iterations != 30 || sk != "sc2" {
+		t.Errorf("get(c) after update = %+v, %q, %v", r, sk, ok)
 	}
 	if c.len() != 3 {
 		t.Errorf("len = %d, want 3", c.len())
@@ -45,8 +46,8 @@ func TestResultCacheLRU(t *testing.T) {
 
 func TestResultCacheDisabled(t *testing.T) {
 	c := newResultCache(-1)
-	c.put("a", stochsyn.Result{Iterations: 1})
-	if _, ok := c.get("a"); ok {
+	c.put("a", "sa", stochsyn.Result{Iterations: 1})
+	if _, _, ok := c.get("a"); ok {
 		t.Error("disabled cache returned a hit")
 	}
 	if c.len() != 0 {
@@ -123,5 +124,90 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	}
 	if k2 == baseKey {
 		t.Error("different problem hashed to the same key")
+	}
+}
+
+// TestCanonicalCacheKeySemantics pins the semantic key's collision
+// rules: example order and duplication never matter, equivalent
+// strategy spellings collide, and everything that fragments the
+// structural key except those two still fragments the canonical one.
+func TestCanonicalCacheKeySemantics(t *testing.T) {
+	cases := []stochsyn.Case{
+		{Inputs: []uint64{3, 5}, Output: 6},
+		{Inputs: []uint64{1, 4}, Output: 5},
+		{Inputs: []uint64{0, 0}, Output: 0},
+	}
+	mk := func(cs []stochsyn.Case) *stochsyn.Problem {
+		t.Helper()
+		p, err := stochsyn.NewProblem(2, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := stochsyn.Options{Budget: 1_000_000, Seed: 3}
+	ckey := func(p *stochsyn.Problem, o stochsyn.Options) string {
+		t.Helper()
+		k, err := CanonicalCacheKey(p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	p := mk(cases)
+	baseKey := ckey(p, base)
+
+	// Reordered examples: canonically equal, structurally distinct.
+	shuffled := mk([]stochsyn.Case{cases[2], cases[0], cases[1]})
+	if ckey(shuffled, base) != baseKey {
+		t.Error("reordered examples changed the canonical key")
+	}
+	sk1, err := CacheKey(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk2, err := CacheKey(shuffled, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk1 == sk2 {
+		t.Error("reordered examples did not change the structural key")
+	}
+
+	// Duplicated examples collapse.
+	dup := mk(append([]stochsyn.Case{cases[1]}, cases...))
+	if ckey(dup, base) != baseKey {
+		t.Error("duplicated examples changed the canonical key")
+	}
+
+	// Equivalent strategy spellings collide; the workers field of the
+	// adaptive spec is results-neutral and must be dropped.
+	for _, spec := range []string{"adaptive", "adaptive:1000", "adaptive:1000:0", "adaptive:1000:0:8"} {
+		o := base
+		o.Strategy = spec
+		if got := ckey(p, o); got != baseKey {
+			t.Errorf("strategy %q fragmented the canonical key", spec)
+		}
+	}
+
+	// Semantically different knobs still fragment.
+	for name, mod := range map[string]func(*stochsyn.Options){
+		"seed":     func(o *stochsyn.Options) { o.Seed = 4 },
+		"budget":   func(o *stochsyn.Options) { o.Budget = 2_000_000 },
+		"strategy": func(o *stochsyn.Options) { o.Strategy = "luby" },
+		"t0":       func(o *stochsyn.Options) { o.Strategy = "adaptive:2000" },
+	} {
+		o := base
+		mod(&o)
+		if ckey(p, o) == baseKey {
+			t.Errorf("variant %s collided with the base canonical key", name)
+		}
+	}
+
+	// A genuinely different example set still fragments.
+	other := mk([]stochsyn.Case{cases[0], cases[1], {Inputs: []uint64{9, 9}, Output: 0}})
+	if ckey(other, base) == baseKey {
+		t.Error("different example set collided with the base canonical key")
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"math"
+	"sort"
 
 	"stochsyn"
+	"stochsyn/internal/restart"
 )
 
 // CacheKey returns the canonical cache key for running opts against
@@ -32,6 +34,54 @@ func CacheKey(p *stochsyn.Problem, opts stochsyn.Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return hashJob("stochsyn-job-v1", p.Cases(), p.NumInputs(), o, o.Strategy), nil
+}
+
+// CanonicalCacheKey is the semantic counterpart of CacheKey: it hashes
+// the job after canonicalization, so structurally distinct but
+// semantically equal submissions collide. On top of CacheKey's
+// normalization it:
+//
+//   - sorts the examples lexicographically (inputs, then output) and
+//     drops exact duplicates — a synthesized program either matches an
+//     example set or it doesn't, regardless of order or repetition;
+//   - canonicalizes the strategy spec via restart.CanonicalSpec, so
+//     "adaptive", "adaptive:1000", and "adaptive:1000:0:8" share a key
+//     (defaults made explicit, the results-neutral workers field
+//     dropped).
+//
+// A hit under this key returns a Result whose Program provably solves
+// the submitted example set. The run counters (Iterations, Searches)
+// are those of the populating run: a fresh run on a reordered suite
+// could walk a different trajectory and report different counters, so
+// canonical hits trade exact counter reproducibility for a higher hit
+// rate on semantically identical work. Servers surface how often that
+// trade fires via the cache_canonical_hits metric.
+func CanonicalCacheKey(p *stochsyn.Problem, opts stochsyn.Options) (string, error) {
+	o, err := opts.Normalized()
+	if err != nil {
+		return "", err
+	}
+	spec, err := restart.CanonicalSpec(o.Strategy)
+	if err != nil {
+		return "", err
+	}
+	cases := p.Cases()
+	sort.Slice(cases, func(i, j int) bool { return lessCase(cases[i], cases[j]) })
+	dedup := cases[:0]
+	for i, c := range cases {
+		if i == 0 || !equalCase(cases[i-1], c) {
+			dedup = append(dedup, c)
+		}
+	}
+	return hashJob("stochsyn-job-v2-canon", dedup, p.NumInputs(), o, spec), nil
+}
+
+// hashJob serializes one job (version tag, example set, normalized
+// options with the given strategy spec) into a SHA-256 hex key.
+// Options.Workers and Options.Obs are deliberately excluded: neither
+// changes results.
+func hashJob(version string, cases []stochsyn.Case, numInputs int, o stochsyn.Options, strategy string) string {
 	h := sha256.New()
 	buf := make([]byte, 8)
 	writeU64 := func(v uint64) {
@@ -43,9 +93,8 @@ func CacheKey(p *stochsyn.Problem, opts stochsyn.Options) (string, error) {
 		h.Write([]byte(s))
 	}
 
-	writeStr("stochsyn-job-v1")
-	writeU64(uint64(p.NumInputs()))
-	cases := p.Cases()
+	writeStr(version)
+	writeU64(uint64(numInputs))
 	writeU64(uint64(len(cases)))
 	for _, c := range cases {
 		writeU64(uint64(len(c.Inputs)))
@@ -62,10 +111,36 @@ func CacheKey(p *stochsyn.Problem, opts stochsyn.Options) (string, error) {
 	} else {
 		writeU64(0)
 	}
-	writeStr(o.Strategy)
+	writeStr(strategy)
 	writeU64(uint64(o.Budget))
 	writeStr(string(o.Dialect))
 	writeU64(o.Seed)
 
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lessCase orders examples lexicographically by inputs, then output.
+func lessCase(a, b stochsyn.Case) bool {
+	for i := 0; i < len(a.Inputs) && i < len(b.Inputs); i++ {
+		if a.Inputs[i] != b.Inputs[i] {
+			return a.Inputs[i] < b.Inputs[i]
+		}
+	}
+	if len(a.Inputs) != len(b.Inputs) {
+		return len(a.Inputs) < len(b.Inputs)
+	}
+	return a.Output < b.Output
+}
+
+// equalCase reports example equality.
+func equalCase(a, b stochsyn.Case) bool {
+	if len(a.Inputs) != len(b.Inputs) || a.Output != b.Output {
+		return false
+	}
+	for i := range a.Inputs {
+		if a.Inputs[i] != b.Inputs[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -37,9 +38,16 @@ type job struct {
 	spec    JobSpec
 	problem *stochsyn.Problem
 	opts    stochsyn.Options // normalized, with Workers already capped
-	key     string           // canonical cache key
-	ctx     context.Context
-	cancel  context.CancelFunc
+	// key is the semantic cache key (CanonicalCacheKey): the cache is
+	// indexed by it, so structurally different but semantically equal
+	// submissions share entries. structKey is the structural key
+	// (CacheKey) of this exact submission; comparing it against the
+	// structKey recorded in a cache entry tells an exact replay apart
+	// from a canonical (semantics-only) hit.
+	key       string
+	structKey string
+	ctx       context.Context
+	cancel    context.CancelFunc
 
 	mu       sync.Mutex
 	status   Status
@@ -117,6 +125,11 @@ func (j *job) snapshot() JobView {
 			Searches:   j.result.Searches,
 			Seed:       j.result.Seed,
 			DurationMS: float64(j.result.Duration) / float64(time.Millisecond),
+			Lint:       j.result.Lint,
+			Canonical:  j.result.Canonical,
+		}
+		if j.result.CanonicalHash != 0 {
+			v.Result.CanonicalHash = fmt.Sprintf("%016x", j.result.CanonicalHash)
 		}
 	}
 	return v
@@ -150,4 +163,15 @@ type ResultView struct {
 	Searches   int     `json:"searches"`
 	Seed       uint64  `json:"seed"`
 	DurationMS float64 `json:"duration_ms"`
+	// Lint holds static-analysis findings for the solved program:
+	// foldable constants, algebraic identities, dead inputs (see
+	// internal/prog/analysis).
+	Lint []string `json:"lint,omitempty"`
+	// Canonical is the canonicalized equivalent of Program (folded,
+	// simplified, deduplicated, renumbered).
+	Canonical string `json:"canonical,omitempty"`
+	// CanonicalHash is the 64-bit semantic hash of the canonical form,
+	// as 16 hex digits (a string, so JSON consumers never round it
+	// through a float64).
+	CanonicalHash string `json:"canonical_hash,omitempty"`
 }

@@ -23,8 +23,15 @@ type serverMetrics struct {
 	rejected    *obs.Counter
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
-	queueWait   *obs.Histogram
-	jobRun      *obs.Histogram
+	// canonicalHits counts the subset of cacheHits where the hit was
+	// semantic: the cached entry was populated by a structurally
+	// different (but canonically equal) submission.
+	canonicalHits *obs.Counter
+	// analysisFindings accumulates the static-analysis findings
+	// (lint/fold/liveness) reported on completed jobs' solutions.
+	analysisFindings *obs.Counter
+	queueWait        *obs.Histogram
+	jobRun           *obs.Histogram
 }
 
 // initObs registers the server's series on the sink and resolves the
@@ -33,17 +40,21 @@ type serverMetrics struct {
 func (s *Server) initObs() {
 	r := s.obs.Reg
 	s.metrics = serverMetrics{
-		submitted:   r.Counter("stochsyn_jobs_submitted_total"),
-		rejected:    r.Counter("stochsyn_jobs_rejected_total"),
-		cacheHits:   r.Counter("stochsyn_cache_hits_total"),
-		cacheMisses: r.Counter("stochsyn_cache_misses_total"),
-		queueWait:   r.Histogram("stochsyn_job_queue_wait_seconds", nil),
-		jobRun:      r.Histogram("stochsyn_job_run_seconds", nil),
+		submitted:        r.Counter("stochsyn_jobs_submitted_total"),
+		rejected:         r.Counter("stochsyn_jobs_rejected_total"),
+		cacheHits:        r.Counter("stochsyn_cache_hits_total"),
+		cacheMisses:      r.Counter("stochsyn_cache_misses_total"),
+		canonicalHits:    r.Counter("stochsyn_cache_canonical_hits_total"),
+		analysisFindings: r.Counter("stochsyn_analysis_findings_total"),
+		queueWait:        r.Histogram("stochsyn_job_queue_wait_seconds", nil),
+		jobRun:           r.Histogram("stochsyn_job_run_seconds", nil),
 	}
 	r.SetHelp("stochsyn_jobs_submitted_total", "Jobs submitted (accepted or not).")
 	r.SetHelp("stochsyn_jobs_rejected_total", "Jobs rejected: queue full or server draining.")
 	r.SetHelp("stochsyn_cache_hits_total", "Result-cache hits (at submit or at claim time).")
 	r.SetHelp("stochsyn_cache_misses_total", "Result-cache misses at submit time.")
+	r.SetHelp("stochsyn_cache_canonical_hits_total", "Cache hits where the entry came from a structurally different, semantically equal submission.")
+	r.SetHelp("stochsyn_analysis_findings_total", "Static-analysis findings (fold/lint/liveness) on completed jobs' solutions.")
 	r.SetHelp("stochsyn_job_queue_wait_seconds", "Time jobs spent queued before a worker claimed them.")
 	r.SetHelp("stochsyn_job_run_seconds", "Wall-clock synthesis time of executed jobs.")
 

@@ -195,9 +195,14 @@ func (s *Server) runJob(j *job) {
 		s.busyWorkers.Add(-1)
 	}()
 
-	// An identical job may have completed while this one waited.
-	if res, ok := s.cache.get(j.key); ok {
+	// A semantically identical job may have completed while this one
+	// waited.
+	if res, populated, ok := s.cache.get(j.key); ok {
 		s.metrics.cacheHits.Inc()
+		if populated != j.structKey {
+			s.metrics.canonicalHits.Inc()
+			s.obs.Trace().Emit("cache_canonical_hit", map[string]any{"key": j.key})
+		}
 		j.mu.Lock()
 		j.cached = true
 		j.mu.Unlock()
@@ -230,7 +235,8 @@ func (s *Server) runJob(j *job) {
 		j.finish(status, &res, "")
 	default:
 		status = StatusCompleted
-		s.cache.put(j.key, res)
+		s.cache.put(j.key, j.structKey, res)
+		s.metrics.analysisFindings.Add(float64(len(res.Lint)))
 		j.finish(status, &res, "")
 	}
 	s.obs.Trace().Emit("job_finished", map[string]any{
@@ -257,16 +263,29 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 			opts.Workers = 1
 		}
 	}
-	key, err := CacheKey(problem, opts)
+	structKey, err := CacheKey(problem, opts)
+	if err != nil {
+		return nil, err
+	}
+	// The cache is indexed by the semantic (canonical) key, so
+	// structurally different but semantically equal submissions —
+	// reordered or duplicated examples, differently spelled strategy
+	// specs — hit the same entry.
+	key, err := CanonicalCacheKey(problem, opts)
 	if err != nil {
 		return nil, err
 	}
 	s.metrics.submitted.Inc()
 
-	if res, ok := s.cache.get(key); ok {
+	if res, populated, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Inc()
-		s.obs.Trace().Emit("cache_hit", map[string]any{"key": key})
-		j := s.newJob(spec, problem, opts, key)
+		canonical := populated != structKey
+		if canonical {
+			s.metrics.canonicalHits.Inc()
+			s.obs.Trace().Emit("cache_canonical_hit", map[string]any{"key": key})
+		}
+		s.obs.Trace().Emit("cache_hit", map[string]any{"key": key, "canonical": canonical})
+		j := s.newJob(spec, problem, opts, key, structKey)
 		j.ctx, j.cancel = nil, func() {}
 		j.cached = true
 		j.status = StatusCompleted
@@ -279,7 +298,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	s.metrics.cacheMisses.Inc()
 	s.obs.Trace().Emit("cache_miss", map[string]any{"key": key})
 
-	j := s.newJob(spec, problem, opts, key)
+	j := s.newJob(spec, problem, opts, key, structKey)
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 
 	s.mu.Lock()
@@ -303,20 +322,21 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	}
 }
 
-func (s *Server) newJob(spec JobSpec, problem *stochsyn.Problem, opts stochsyn.Options, key string) *job {
+func (s *Server) newJob(spec JobSpec, problem *stochsyn.Problem, opts stochsyn.Options, key, structKey string) *job {
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
 	s.mu.Unlock()
 	return &job{
-		id:      id,
-		spec:    spec,
-		problem: problem,
-		opts:    opts,
-		key:     key,
-		status:  StatusQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		id:        id,
+		spec:      spec,
+		problem:   problem,
+		opts:      opts,
+		key:       key,
+		structKey: structKey,
+		status:    StatusQueued,
+		created:   time.Now(),
+		done:      make(chan struct{}),
 	}
 }
 
@@ -370,11 +390,15 @@ type JobCounts struct {
 
 // CacheStats reports result-cache effectiveness.
 type CacheStats struct {
-	Hits     int64   `json:"hits"`
-	Misses   int64   `json:"misses"`
-	Entries  int     `json:"entries"`
-	Capacity int     `json:"capacity"`
-	HitRate  float64 `json:"hit_rate"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// CanonicalHits is the subset of Hits where the cached entry was
+	// populated by a structurally different but semantically equal
+	// submission (the cache is keyed by CanonicalCacheKey).
+	CanonicalHits int64   `json:"canonical_hits"`
+	Entries       int     `json:"entries"`
+	Capacity      int     `json:"capacity"`
+	HitRate       float64 `json:"hit_rate"`
 }
 
 // PoolStats reports scheduler utilization.
@@ -435,10 +459,11 @@ func (s *Server) Snapshot() Stats {
 	}
 
 	st.Cache = CacheStats{
-		Hits:     int64(s.metrics.cacheHits.Value()),
-		Misses:   int64(s.metrics.cacheMisses.Value()),
-		Entries:  s.cache.len(),
-		Capacity: s.cfg.CacheSize,
+		Hits:          int64(s.metrics.cacheHits.Value()),
+		Misses:        int64(s.metrics.cacheMisses.Value()),
+		CanonicalHits: int64(s.metrics.canonicalHits.Value()),
+		Entries:       s.cache.len(),
+		Capacity:      s.cfg.CacheSize,
 	}
 	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
 		st.Cache.HitRate = float64(st.Cache.Hits) / float64(lookups)

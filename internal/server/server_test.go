@@ -3,8 +3,10 @@ package server_test
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -305,6 +307,102 @@ func TestQueueFullAndDrain(t *testing.T) {
 	_, err = c.Submit(ctx, easySpec(1))
 	if !errors.As(err, &ae) || ae.StatusCode != 503 {
 		t.Errorf("submit after shutdown: err = %v, want 503 APIError", err)
+	}
+}
+
+// TestCanonicalCacheHit submits two structurally different but
+// semantically equal jobs — same example set in a different order with
+// a duplicate, equivalent strategy spellings — and expects the second
+// to be served from the cache as a canonical hit, visible in /statsz
+// and /metrics. An exact replay of the first spec then hits without
+// bumping the canonical counter.
+func TestCanonicalCacheHit(t *testing.T) {
+	ctx := context.Background()
+	srv, ts, c := newTestServer(t, server.Config{Workers: 2, WorkerBudget: 4, CacheSize: 8})
+	defer ts.Close()
+	defer srv.Close()
+
+	examples := []server.Example{
+		{Inputs: []uint64{1, 3}, Output: 2},
+		{Inputs: []uint64{0xf, 5}, Output: 0xa},
+		{Inputs: []uint64{0, 0}, Output: 0},
+		{Inputs: []uint64{7, 7}, Output: 0},
+		{Inputs: []uint64{0xff, 0xf0}, Output: 0x0f},
+		{Inputs: []uint64{1 << 40, 1}, Output: 1<<40 | 1},
+	}
+	spec := func(order []int, strategy string) server.JobSpec {
+		ex := make([]server.Example, len(order))
+		for i, j := range order {
+			ex[i] = examples[j]
+		}
+		return server.JobSpec{
+			Problem: server.ProblemSpec{Examples: ex},
+			Options: server.OptionsSpec{Budget: 4_000_000, Seed: 2, Strategy: strategy},
+		}
+	}
+
+	first, err := c.Submit(ctx, spec([]int{0, 1, 2, 3, 4, 5}, "adaptive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	fv, err := c.Wait(wctx, first.ID, 0)
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.Status != server.StatusCompleted || fv.Result == nil || !fv.Result.Solved || fv.Cached {
+		t.Fatalf("first job: %+v", fv)
+	}
+	if fv.Result.Canonical == "" || fv.Result.CanonicalHash == "" {
+		t.Errorf("first result missing canonical form/hash: %+v", fv.Result)
+	}
+
+	// Reordered + duplicated examples, equivalent strategy spelling:
+	// structurally distinct, canonically equal.
+	hit, err := c.Submit(ctx, spec([]int{3, 0, 5, 2, 4, 1, 0}, "adaptive:1000:0:8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Status != server.StatusCompleted || !hit.Cached {
+		t.Fatalf("canonical resubmission not served from cache: %+v", hit)
+	}
+	if hit.Result == nil || hit.Result.Program != fv.Result.Program {
+		t.Errorf("canonical hit program differs:\n%+v\n%+v", hit.Result, fv.Result)
+	}
+
+	// An exact replay also hits, but is not a canonical hit.
+	replay, err := c.Submit(ctx, spec([]int{0, 1, 2, 3, 4, 5}, "adaptive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Status != server.StatusCompleted || !replay.Cached {
+		t.Fatalf("exact replay not served from cache: %+v", replay)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Hits != 2 {
+		t.Errorf("stats.cache.hits = %d, want 2", st.Cache.Hits)
+	}
+	if st.Cache.CanonicalHits != 1 {
+		t.Errorf("stats.cache.canonical_hits = %d, want 1", st.Cache.CanonicalHits)
+	}
+
+	// The counter is also exported on /metrics.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "stochsyn_cache_canonical_hits_total 1") {
+		t.Errorf("/metrics missing stochsyn_cache_canonical_hits_total 1:\n%s", body)
 	}
 }
 

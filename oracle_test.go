@@ -2,8 +2,11 @@ package stochsyn
 
 import (
 	"context"
+	"reflect"
 	"testing"
 	"time"
+
+	"stochsyn/internal/mutate"
 )
 
 // The oracle table below was captured from the library before context
@@ -122,6 +125,52 @@ func TestOracleBitIdentity(t *testing.T) {
 			}
 			checkOracle(t, "SynthesizeContext", res2, e)
 		})
+	}
+}
+
+// TestAnalysisDoesNotPerturbSearch pins the static-analysis layer's
+// core contract: it never changes what the search does.
+//
+// Two properties combine to prove it. First, the oracle table above
+// predates the analysis layer, and TestOracleBitIdentity still
+// reproduces it bit for bit — so the post-search result audit
+// (lint + canonicalization) cannot have touched a trajectory. Second,
+// this test runs the same oracle entry with the mutate debug gate
+// (analysis.Check after every accepted move) switched on and off: the
+// two results must be identical in every field, because the gate only
+// reads accepted programs and either passes or panics.
+func TestAnalysisDoesNotPerturbSearch(t *testing.T) {
+	e := oracleTable()[0] // p1-adaptive: sequential, no Exec stats
+	p, err := ProblemFromFunc(e.prob.f, e.prob.inputs, 50, e.prob.probSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if mutate.DebugChecks() {
+		t.Fatal("debug gate unexpectedly enabled at test start")
+	}
+	base, err := Synthesize(p, e.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, "bare", base, e)
+
+	mutate.SetDebugChecks(true)
+	defer mutate.SetDebugChecks(false)
+	gated, err := Synthesize(p, e.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, "gated", gated, e)
+
+	// Wall clock aside, the two runs must be indistinguishable —
+	// including the audit outputs (Lint, Canonical, CanonicalHash).
+	base.Duration, gated.Duration = 0, 0
+	if !reflect.DeepEqual(base, gated) {
+		t.Errorf("debug gate changed the result:\nbare:  %+v\ngated: %+v", base, gated)
+	}
+	if gated.CanonicalHash == 0 || gated.Canonical == "" {
+		t.Errorf("solved result missing canonical audit: %+v", gated)
 	}
 }
 

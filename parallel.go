@@ -102,7 +102,9 @@ func SynthesizeParallelContext(ctx context.Context, p *Problem, opts Options, wo
 	}
 	if res.Solved {
 		if run, ok := res.Winner.(*search.Run); ok {
-			out.Program = run.Solution().String()
+			sol := run.Solution()
+			out.Program = sol.String()
+			out.Lint, out.Canonical, out.CanonicalHash = auditSolution(sol, p.suite)
 		}
 	}
 	return out, nil

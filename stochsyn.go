@@ -34,6 +34,7 @@ import (
 	"stochsyn/internal/cost"
 	"stochsyn/internal/obs"
 	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis"
 	"stochsyn/internal/restart"
 	"stochsyn/internal/search"
 	"stochsyn/internal/testcase"
@@ -216,6 +217,26 @@ type Result struct {
 	Seed uint64
 	// Duration is the wall-clock time the synthesis call took.
 	Duration time.Duration
+
+	// Lint holds the static-analysis findings for the solution (see
+	// internal/prog/analysis): foldable constant subexpressions,
+	// algebraic identities and annihilators the search left in the
+	// accepted program, and dead inputs. Empty when the program is
+	// clean or the problem was not solved. The audit runs strictly
+	// after the search finishes, so enabling it never changes which
+	// program is found or how many iterations it takes.
+	Lint []string
+	// Canonical is the canonicalized equivalent of Program: constants
+	// folded, identities simplified, duplicate subcomputations merged,
+	// commutative arguments ordered, nodes renumbered. It matches
+	// every example exactly like Program does (this is re-verified
+	// against the problem before it is reported). Empty when not
+	// solved.
+	Canonical string
+	// CanonicalHash is the 64-bit hash of the canonical form: a
+	// semantic cache key under which structurally different but
+	// equivalent programs collide. Zero when not solved.
+	CanonicalHash uint64
 }
 
 // normalize validates o and fills in defaults. Every validation
@@ -366,10 +387,32 @@ func SynthesizeContext(ctx context.Context, p *Problem, opts Options) (Result, e
 	}
 	if res.Solved {
 		if run, ok := res.Winner.(*search.Run); ok {
-			out.Program = run.Solution().String()
+			sol := run.Solution()
+			out.Program = sol.String()
+			out.Lint, out.Canonical, out.CanonicalHash = auditSolution(sol, p.suite)
 		}
 	}
 	return out, nil
+}
+
+// auditSolution runs the static-analysis passes over a solution and
+// computes its canonical form and hash. It is called strictly after
+// the search has finished, so it can never perturb a trajectory. The
+// canonical form is defensively re-verified against the problem: if it
+// ever failed to match (a rewrite-rule bug), the raw solution is
+// reported as its own canonical form along with a finding, rather
+// than surfacing a wrong program.
+func auditSolution(sol *prog.Program, suite *testcase.Suite) (lint []string, canonical string, hash uint64) {
+	report := analysis.Run(sol)
+	canon := analysis.Canonicalize(sol)
+	if !cost.Solves(canon, suite) {
+		report.Add("canon", -1, "canonical form fails the test suite; reporting the raw program (rewrite-rule bug?)")
+		canon = sol
+	}
+	if !report.Empty() {
+		lint = report.Strings()
+	}
+	return lint, canon.String(), analysis.Hash(canon)
 }
 
 // strategy resolves the normalized options to a restart strategy,

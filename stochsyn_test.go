@@ -1,6 +1,7 @@
 package stochsyn
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -376,7 +377,7 @@ func TestSynthesizeWorkersDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	seq.Duration, conc.Duration = 0, 0 // wall-clock time is not deterministic
-	if seq != conc {
+	if !reflect.DeepEqual(seq, conc) {
 		t.Errorf("Workers changed the result:\n  sequential %+v\n  concurrent %+v", seq, conc)
 	}
 }
@@ -446,7 +447,7 @@ func TestSynthesizeParallelMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	seq.Duration, par.Duration = 0, 0 // wall-clock time is not deterministic
-	if seq != par {
+	if !reflect.DeepEqual(seq, par) {
 		t.Errorf("parallel adaptive diverged from sequential:\n  %+v\n  %+v", seq, par)
 	}
 }
