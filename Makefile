@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt lint test race short bench-exec bench-obs server-smoke
+.PHONY: ci build vet fmt lint test race short bench-exec bench-obs bench-eval server-smoke
 
 # gate runs one CI stage, echoing "ci: <name> ok" on success and
 # "ci: FAIL at gate <name>" (then exiting nonzero) on failure, so a
@@ -21,8 +21,9 @@ ci:
 	$(call gate,vet,$(GO) vet ./...)
 	$(call gate,fmt,$(MAKE) -s fmt)
 	$(call gate,lint,$(GO) run ./cmd/repolint)
+	$(call gate,fuzz,$(GO) test -run FuzzIncrementalEval ./internal/search/)
 	$(call gate,race,$(GO) test -race ./...)
-	@echo "ci: all gates passed (build vet fmt lint race)"
+	@echo "ci: all gates passed (build vet fmt lint fuzz race)"
 
 build:
 	$(GO) build ./...
@@ -60,6 +61,13 @@ bench-exec:
 # observability layer is <= 2% overhead on ns/iter.
 bench-obs:
 	$(GO) test ./internal/search/ -run '^$$' -bench BenchmarkSearchLoop -benchtime 2s -count 3
+
+# Compare the incremental evaluation engine against the legacy
+# copy-based path on the standing benchmark problems (same seed, same
+# trajectory) and write BENCH_eval.json. The acceptance bar for the
+# engine is >= 2x geomean iterations/sec.
+bench-eval:
+	$(GO) run ./cmd/bench -exp eval -budget 2000000
 
 # Boot synthd on an ephemeral port, submit a small SyGuS job through
 # `synth -remote`, and assert the server returns a solution.

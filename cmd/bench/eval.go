@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/search"
+	"stochsyn/internal/testcase"
+)
+
+// evalCase is one row of the incremental-evaluation benchmark: a
+// reference expression, its arity, and the suite size.
+type evalCase struct {
+	Name   string `json:"name"`
+	Expr   string `json:"-"`
+	Inputs int    `json:"inputs"`
+	Cases  int    `json:"cases"`
+
+	LegacyItersPerSec float64 `json:"legacy_iters_per_sec"`
+	EngineItersPerSec float64 `json:"engine_iters_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	NodeReuseRate     float64 `json:"node_reuse_rate"`
+	CaseSkipRate      float64 `json:"case_skip_rate"`
+}
+
+// evalReport is the BENCH_eval.json payload.
+type evalReport struct {
+	Date          string      `json:"date"`
+	Budget        int64       `json:"budget_per_path"`
+	Seed          uint64      `json:"seed"`
+	Rows          []*evalCase `json:"rows"`
+	GeomeanSpeedF float64     `json:"geomean_speedup"`
+}
+
+// runEval compares the incremental evaluation engine against the
+// legacy copy-based path on the standing benchmark problems: same
+// seed, same options, so both paths walk the identical (bit-equal)
+// trajectory and the measurement isolates evaluation cost. The report
+// is printed and written to BENCH_eval.json.
+func runEval(cfg benchConfig) {
+	rows := []*evalCase{
+		{Name: "searchloop", Expr: "mulq(mulq(x, x), addq(x, y))", Inputs: 2, Cases: 50},
+		{Name: "hd01", Expr: "andq(x, subq(x, 1))", Inputs: 1, Cases: 100},
+		{Name: "select", Expr: "orq(andq(x, y), andq(notq(x), z))", Inputs: 3, Cases: 50},
+		{Name: "smallsuite", Expr: "xorq(x, shrq(x, 1))", Inputs: 1, Cases: 16},
+	}
+	budget := cfg.budget
+	fmt.Printf("incremental-eval engine vs legacy copy-based path (budget=%d per row, seed=%d)\n",
+		budget, cfg.seed)
+	fmt.Printf("%-12s %6s %6s  %12s %12s %8s  %8s %8s\n",
+		"problem", "inputs", "cases", "legacy it/s", "engine it/s", "speedup", "reuse", "skip")
+	report := evalReport{
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		Budget: budget,
+		Seed:   cfg.seed,
+		Rows:   rows,
+	}
+	logSum, n := 0.0, 0
+	for _, row := range rows {
+		ref := prog.MustParse(row.Expr, row.Inputs)
+		rng := rand.New(rand.NewPCG(cfg.seed, 0xda7a5e7))
+		suite := testcase.Generate(func(in []uint64) uint64 { return ref.Output(in) },
+			row.Inputs, row.Cases, rng)
+		opts := search.Options{Set: prog.FullSet, Cost: cost.Hamming, Beta: 1, Seed: cfg.seed}
+
+		row.LegacyItersPerSec = measureEval(suite, opts, budget, true, nil)
+		var stats prog.EvalStats
+		row.EngineItersPerSec = measureEval(suite, opts, budget, false, &stats)
+		row.Speedup = row.EngineItersPerSec / row.LegacyItersPerSec
+		if stats.NodesTotal > 0 {
+			row.NodeReuseRate = 1 - float64(stats.NodesReevaluated)/float64(stats.NodesTotal)
+		}
+		if stats.CasesTotal > 0 {
+			row.CaseSkipRate = 1 - float64(stats.CasesEvaluated)/float64(stats.CasesTotal)
+		}
+		logSum += math.Log(row.Speedup)
+		n++
+		fmt.Printf("%-12s %6d %6d  %12.0f %12.0f %7.2fx  %7.1f%% %7.1f%%\n",
+			row.Name, row.Inputs, row.Cases,
+			row.LegacyItersPerSec, row.EngineItersPerSec, row.Speedup,
+			100*row.NodeReuseRate, 100*row.CaseSkipRate)
+	}
+	report.GeomeanSpeedF = math.Exp(logSum / float64(n))
+	fmt.Printf("geomean speedup: %.2fx\n", report.GeomeanSpeedF)
+
+	f, err := os.Create("BENCH_eval.json")
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote BENCH_eval.json")
+}
+
+// measureEval times one search trajectory and returns iterations/sec.
+// Solved runs restart with a fresh (reseeded) run until the budget is
+// consumed, so both paths do identical logical work for a fair clock.
+func measureEval(suite *testcase.Suite, opts search.Options, budget int64, legacy bool, stats *prog.EvalStats) float64 {
+	opts.LegacyEval = legacy
+	var done int64
+	reseed := uint64(0)
+	// flush folds the current run's cumulative engine stats into the
+	// caller's accumulator. EvalStats is cumulative per Run, so it is
+	// sampled exactly once per run: just before reseeding, and after
+	// the budget is exhausted.
+	flush := func(r *search.Run) {
+		if stats == nil {
+			return
+		}
+		s := r.EvalStats()
+		stats.NodesReevaluated += s.NodesReevaluated
+		stats.NodesTotal += s.NodesTotal
+		stats.CasesEvaluated += s.CasesEvaluated
+		stats.CasesTotal += s.CasesTotal
+	}
+	start := time.Now()
+	r := search.New(suite, opts)
+	for done < budget {
+		used, solved := r.Step(budget - done)
+		done += used
+		if solved && done < budget {
+			flush(r)
+			reseed++
+			o := opts
+			o.Seed = opts.Seed + reseed*0x9e3779b97f4a7c15
+			r = search.New(suite, o)
+		}
+	}
+	flush(r)
+	return float64(done) / time.Since(start).Seconds()
+}

@@ -12,6 +12,7 @@
 //	bench -exp model                              Figure 10 / Section 5.2.1
 //	bench -exp markov                             Figure 4
 //	bench -exp exec      -workers 8               concurrent tree executor counters
+//	bench -exp eval                               incremental-eval engine vs legacy path
 //	bench -exp all                                everything at smoke scale
 //
 // The defaults are sized to finish in minutes on a laptop; raise
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: betasweep, compare, plateau, fits, model, markov, exec, all")
+		exp      = flag.String("exp", "all", "experiment: betasweep, compare, plateau, fits, model, markov, exec, eval, all")
 		benchSel = flag.String("bench", "sygus", "benchmark: sygus or superopt")
 		problems = flag.Int("problems", 12, "number of benchmark problems")
 		names    = flag.String("names", "", "comma-separated problem names to keep (after loading)")
@@ -109,6 +110,8 @@ func main() {
 		runFailures(cfg)
 	case "exec":
 		runExec(cfg)
+	case "eval":
+		runEval(cfg)
 	case "all":
 		fmt.Println("== model chains (Figure 10) ==")
 		runModel(cfg)

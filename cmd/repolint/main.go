@@ -25,6 +25,20 @@
 //
 // Usage:
 //
+//  3. eval: direct calls to the legacy per-case evaluator
+//     (*prog.Program).Eval are confined to internal/prog (its home),
+//     internal/cost (the copy-based reference path and Solves), and
+//     internal/prog/analysis (constant folding over concrete values).
+//     Everything else must evaluate through the incremental engine
+//     (prog.EvalState) or the cost layer, so the engine stays the
+//     single hot-path door and its reuse telemetry stays honest. The
+//     sanctioned fallback prog.EvalInto may additionally be called
+//     from internal/mutate (the merge move's legacy probe when no
+//     engine is bound). Test files are exempt: differential tests
+//     deliberately compare the engine against Program.Eval.
+//
+// Usage:
+//
 //	repolint [-dir module-root]
 //
 // Exit status is 1 if any finding is reported, 2 on operational
@@ -132,6 +146,7 @@ func run(dir string, out io.Writer) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("type-checking %s: %w", p.importPath, err)
 		}
+		findings = append(findings, checkEvalContainment(fset, tp, modPath, p.importPath)...)
 		if p.importPath == modPath+"/internal/obs" {
 			continue // home of the nil-safe wrappers
 		}
@@ -377,6 +392,74 @@ func checkHookAccess(fset *token.FileSet, tp *typedPkg, modPath string) []string
 				return true
 			})
 		}
+	}
+	return findings
+}
+
+// evalAllowed lists packages (module-relative import suffixes) that
+// may call (*prog.Program).Eval directly; everything else goes
+// through the incremental engine or the cost layer.
+var evalAllowed = map[string]bool{
+	"internal/prog":          true, // home of the evaluator
+	"internal/cost":          true, // copy-based reference path, Solves
+	"internal/prog/analysis": true, // constant folding over concrete values
+}
+
+// evalIntoAllowed lists packages that may call the sanctioned
+// fallback prog.EvalInto.
+var evalIntoAllowed = map[string]bool{
+	"internal/prog":   true, // definition site
+	"internal/mutate": true, // merge probe when no engine is bound
+}
+
+// checkEvalContainment reports calls to (*prog.Program).Eval and
+// prog.EvalInto from packages outside their containment lists. Only
+// non-test files are loaded into tp, so differential tests comparing
+// the engine against Program.Eval are exempt by construction.
+func checkEvalContainment(fset *token.FileSet, tp *typedPkg, modPath, importPath string) []string {
+	rel := strings.TrimPrefix(importPath, modPath+"/")
+	progPath := modPath + "/internal/prog"
+	var findings []string
+	info := tp.info
+	isProgProgram := func(t types.Type) bool {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Name() == "Program" && obj.Pkg() != nil && obj.Pkg().Path() == progPath
+	}
+	for _, file := range tp.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel := info.Selections[se]
+			if sel != nil && sel.Kind() == types.MethodVal &&
+				se.Sel.Name == "Eval" && isProgProgram(info.TypeOf(se.X)) {
+				if !evalAllowed[rel] {
+					findings = append(findings, fmt.Sprintf(
+						"%s: direct (*prog.Program).Eval call outside its containment list; evaluate through prog.EvalState or the cost layer (see cmd/repolint check 3)",
+						fset.Position(se.Sel.Pos())))
+				}
+				return true
+			}
+			// prog.EvalInto shows up as a package-qualified selector
+			// whose Sel resolves to the function object.
+			if se.Sel.Name == "EvalInto" {
+				if obj, ok := info.Uses[se.Sel].(*types.Func); ok &&
+					obj.Pkg() != nil && obj.Pkg().Path() == progPath && !evalIntoAllowed[rel] {
+					findings = append(findings, fmt.Sprintf(
+						"%s: prog.EvalInto call outside internal/mutate; evaluate through prog.EvalState or the cost layer (see cmd/repolint check 3)",
+						fset.Position(se.Sel.Pos())))
+				}
+			}
+			return true
+		})
 	}
 	return findings
 }

@@ -223,6 +223,16 @@ func printRunStats(w io.Writer, o *obs.Obs, res restart.Result, elapsed time.Dur
 	fmt.Fprintf(w, "restarts:   %d searches%s\n", restarts, note)
 	fmt.Fprintf(w, "plateaus:   %.0f\n", o.Reg.Counter("stochsyn_search_plateaus_total").Value())
 
+	// Incremental-evaluation reuse: how much column and case work the
+	// engine skipped relative to full re-evaluation of every proposal.
+	if nt := o.Reg.Counter("stochsyn_eval_nodes_total").Value(); nt > 0 {
+		nr := o.Reg.Counter("stochsyn_eval_nodes_reevaluated_total").Value()
+		ct := o.Reg.Counter("stochsyn_eval_cases_total").Value()
+		ce := o.Reg.Counter("stochsyn_eval_cases_evaluated_total").Value()
+		fmt.Fprintf(w, "eval reuse: %.1f%% of node columns reused, %.1f%% of cases skipped by early abort\n",
+			100*(1-nr/nt), 100*(1-ce/ct))
+	}
+
 	rows := [][]string{{"move", "proposed", "accepted", "rate"}}
 	for m := 0; m < mutate.NumMoves; m++ {
 		name := mutate.Move(m).String()

@@ -86,15 +86,11 @@ func (k Kind) PerCase(got, want uint64) float64 {
 
 // Of evaluates program p on every case of suite s and returns the
 // total cost. vals must have length >= p.Len(); it is scratch space so
-// the hot loop performs no allocation.
+// the hot loop performs no allocation. Of is OfBounded with an
+// infinite bound: the per-case summation order is identical, so the
+// two agree bit-for-bit whenever OfBounded does not abort.
 func (k Kind) Of(p *prog.Program, s *testcase.Suite, vals []uint64) float64 {
-	total := 0.0
-	for i := range s.Cases {
-		c := &s.Cases[i]
-		got := p.Eval(c.Inputs, vals)
-		total += k.PerCase(got, c.Output)
-	}
-	return total
+	return k.OfBounded(p, s, vals, inf)
 }
 
 // OfBounded is Of with an early abort: because per-case costs are
@@ -116,14 +112,53 @@ func (k Kind) OfBounded(p *prog.Program, s *testcase.Suite, vals []uint64, bound
 	return total
 }
 
+// OfColumn sums the cost over a complete root-value column (one value
+// per suite case, in case order), as produced by the evaluation
+// engine's committed matrix. The summation order matches Of exactly,
+// so the results are bit-equal.
+func (k Kind) OfColumn(root []uint64, s *testcase.Suite) float64 {
+	total := 0.0
+	for i := range s.Cases {
+		total += k.PerCase(root[i], s.Cases[i].Output)
+	}
+	return total
+}
+
+// OfState evaluates the engine's active proposal and returns its total
+// cost, aborting with +Inf once the partial sum exceeds bound. It
+// pulls root values from the engine in EvalChunk-case blocks but sums
+// and bound-checks per case in case order, so the returned total (and
+// the abort decision) is bit-identical to OfBounded on the proposal
+// program. A non-Inf return implies every case block was pulled, which
+// is exactly the precondition of EvalState.Commit.
+func (k Kind) OfState(e *prog.EvalState, bound float64) float64 {
+	s := e.Suite()
+	n := s.Len()
+	total := 0.0
+	for c0 := 0; c0 < n; c0 += prog.EvalChunk {
+		c1 := c0 + prog.EvalChunk
+		if c1 > n {
+			c1 = n
+		}
+		root := e.EvalRange(c0, c1)
+		for i, got := range root {
+			total += k.PerCase(got, s.Cases[c0+i].Output)
+			if total > bound {
+				return inf
+			}
+		}
+	}
+	return total
+}
+
 // Solves reports whether p produces the desired output on every case.
 // It is equivalent to Of(...) == 0 for any Kind but short-circuits on
-// the first failing case.
-func Solves(p *prog.Program, s *testcase.Suite) bool {
-	var vals [prog.MaxNodes]uint64
+// the first failing case. vals is caller-provided scratch with length
+// >= p.Len(), mirroring Of, so repeated calls perform no allocation.
+func Solves(p *prog.Program, s *testcase.Suite, vals []uint64) bool {
 	for i := range s.Cases {
 		c := &s.Cases[i]
-		if p.Eval(c.Inputs, vals[:]) != c.Output {
+		if p.Eval(c.Inputs, vals) != c.Output {
 			return false
 		}
 	}

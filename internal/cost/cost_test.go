@@ -108,10 +108,10 @@ func TestOfMatchesSolves(t *testing.T) {
 			t.Errorf("%s cost of wrong program = %g, want > 0", k, c)
 		}
 	}
-	if !Solves(sol, s) {
+	if !Solves(sol, s, vals[:]) {
 		t.Error("Solves rejected the solution")
 	}
-	if Solves(wrong, s) {
+	if Solves(wrong, s, vals[:]) {
 		t.Error("Solves accepted a wrong program")
 	}
 }

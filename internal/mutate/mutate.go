@@ -62,6 +62,11 @@ type Mutator struct {
 	moves      []Move
 	redundancy bool
 
+	// es, when bound (BindEval), serves the redundancy move's
+	// signature probes from the engine's committed value columns
+	// instead of re-evaluating the program per probe. Optional.
+	es *prog.EvalState
+
 	// cum holds the cumulative move-selection distribution aligned
 	// with moves; nil means uniform.
 	cum []float64
@@ -92,6 +97,14 @@ func New(set *prog.OpSet, suite *testcase.Suite, redundancy bool) *Mutator {
 
 // Moves returns the enabled move types.
 func (m *Mutator) Moves() []Move { return m.moves }
+
+// BindEval attaches the incremental evaluation engine whose committed
+// columns describe the programs this mutator will be applied to. The
+// redundancy move then reads its signature probes straight from the
+// value matrix — the values are identical to a fresh evaluation, so
+// binding never changes proposals, only their cost. Pass nil to detach
+// (the legacy reference path evaluates per probe).
+func (m *Mutator) BindEval(es *prog.EvalState) { m.es = es }
 
 // SetWeights installs a non-uniform move-selection distribution (the
 // paper uses uniform; STOKE-style implementations expose this as a
@@ -194,20 +207,23 @@ func randomSlot(p *prog.Program, rng *rand.Rand) slot {
 }
 
 // setSlot points the slot at node v and restores the no-dead-code
-// invariant.
+// invariant. All writes go through the journaling mutators so that an
+// in-place proposal can be rolled back exactly.
 func setSlot(p *prog.Program, s slot, v int32) {
 	if s.node < 0 {
-		p.Root = v
+		p.SetRoot(v)
 	} else {
-		p.Nodes[s.node].Args[s.arg] = v
+		p.SetArg(s.node, s.arg, v)
 	}
-	p.Invalidate()
 	p.GC()
 }
 
 // validTargets appends to dst the indices of nodes that the slot may
 // point at without creating a cycle: for the root slot every node; for
 // an argument slot of node u, every node from which u is unreachable.
+// The ancestor set of u is computed once as a bitmask (one pass over
+// the topological order) rather than one reachability DFS per node;
+// the resulting target list is identical, in the same index order.
 func validTargets(p *prog.Program, s slot, dst []int32) []int32 {
 	if s.node < 0 {
 		for i := range p.Nodes {
@@ -215,8 +231,9 @@ func validTargets(p *prog.Program, s slot, dst []int32) []int32 {
 		}
 		return dst
 	}
+	anc := p.Ancestors(s.node)
 	for i := range p.Nodes {
-		if !p.ReachesFrom(int32(i), s.node) {
+		if anc&(uint64(1)<<uint(i)) == 0 {
 			dst = append(dst, int32(i))
 		}
 	}
@@ -249,10 +266,9 @@ func (m *Mutator) instruction(p *prog.Program, rng *rand.Rand) bool {
 	if p.BodyLen()+1+nconsts > prog.MaxBody {
 		return false
 	}
-	newIdx := int32(len(p.Nodes))
-	p.Nodes = append(p.Nodes, newNode)
+	newIdx := p.AppendNode(newNode)
 	for _, cv := range consts[:nconsts] {
-		p.Nodes = append(p.Nodes, prog.Node{Op: prog.OpConst, Val: cv})
+		p.AppendNode(prog.Node{Op: prog.OpConst, Val: cv})
 	}
 	setSlot(p, s, newIdx)
 	return true
@@ -275,8 +291,9 @@ func (m *Mutator) opcode(p *prog.Program, rng *rand.Rand) bool {
 	if !ok {
 		return false
 	}
-	p.Nodes[i].Op = op
-	p.Invalidate()
+	// SetOp keeps the cached topological order warm: the swap is
+	// arity-preserving, so the edge set is unchanged.
+	p.SetOp(i, op)
 	return true
 }
 
@@ -308,8 +325,15 @@ func (m *Mutator) merge(p *prog.Program, rng *rand.Rand) bool {
 		probes = m.suite.Len()
 	}
 	for k := 0; k < probes; k++ {
-		c := &m.suite.Cases[rng.IntN(m.suite.Len())]
-		p.Eval(c.Inputs, m.vals[:n])
+		ci := rng.IntN(m.suite.Len())
+		if m.es != nil && m.es.Program() == p {
+			// The engine's committed columns hold exactly the values a
+			// fresh evaluation of p would compute; read the probe case's
+			// row instead of re-evaluating the whole program.
+			m.es.CaseValues(ci, m.vals[:n])
+		} else {
+			prog.EvalInto(p, m.suite.Cases[ci].Inputs, m.vals[:n])
+		}
 		for i := 0; i < n; i++ {
 			m.sig[i][k] = m.vals[i]
 		}
@@ -351,11 +375,13 @@ func (m *Mutator) merge(p *prog.Program, rng *rand.Rand) bool {
 	// Redirecting an edge u->from to u->to creates a cycle iff u is
 	// reachable from to; in particular it always does when u is on the
 	// path from "to" down to its arguments. Reject the move in that
-	// case rather than producing an invalid program.
+	// case rather than producing an invalid program. One DFS from
+	// "to" classifies every candidate u at once.
+	reach := p.ReachableFrom(to)
 	for i := 0; i < n; i++ {
 		nd := &p.Nodes[i]
 		for a := 0; a < nd.Op.Arity(); a++ {
-			if nd.Args[a] == from && p.ReachesFrom(to, int32(i)) {
+			if nd.Args[a] == from && reach&(uint64(1)<<uint(i)) != 0 {
 				return false
 			}
 		}
@@ -364,14 +390,13 @@ func (m *Mutator) merge(p *prog.Program, rng *rand.Rand) bool {
 		nd := &p.Nodes[i]
 		for a := 0; a < nd.Op.Arity(); a++ {
 			if nd.Args[a] == from {
-				nd.Args[a] = to
+				p.SetArg(int32(i), a, to)
 			}
 		}
 	}
 	if p.Root == from {
-		p.Root = to
+		p.SetRoot(to)
 	}
-	p.Invalidate()
 	p.GC()
 	return true
 }

@@ -35,6 +35,17 @@ type SearchHooks struct {
 	Plateaus *Counter
 	// PlateauWindow overrides the detector window (0 = default).
 	PlateauWindow int64
+	// EvalNodesReevaluated and EvalNodesTotal count, respectively,
+	// node value columns the incremental evaluation engine actually
+	// recomputed and the columns a full re-evaluation would have
+	// computed; 1 - reevaluated/total is the engine's column reuse
+	// rate. EvalCasesEvaluated and EvalCasesTotal do the same for
+	// suite cases, exposing the early-abort saving. All four stay at
+	// zero under Options.LegacyEval.
+	EvalNodesReevaluated *Counter
+	EvalNodesTotal       *Counter
+	EvalCasesEvaluated   *Counter
+	EvalCasesTotal       *Counter
 	// Tracer receives plateau_enter/plateau_exit events and — when
 	// SampleCosts is set — a search_cost trajectory point per flush.
 	Tracer *Tracer

@@ -1,0 +1,246 @@
+package prog
+
+import mathbits "math/bits"
+
+// This file implements in-place program editing with undo: the core of
+// the incremental evaluation engine. A Journal attached to a Program
+// (BeginEdit) records, for every node the edit overwrites, the node's
+// original contents the first time it is touched (copy-on-write), plus
+// the original root and length. Rollback restores the pre-edit program
+// exactly; Commit-side consumers (prog.EvalState) additionally use the
+// journal's dirty mask and index mapping to know which value columns
+// survived the edit unchanged.
+//
+// The journal replaces the search loop's previous double-buffered
+// proposal scheme (scratch.CopyFrom(cur) + mutate + swap): a move now
+// edits the current program directly and is reverted on rejection.
+// Because the journal only observes writes — it never reorders them,
+// and reverting reproduces the exact pre-edit node array — a
+// journaled apply/rollback sequence is bit-identical to the old
+// copy-and-discard sequence, which the oracle tables pin.
+//
+// Discipline (asserted in debug builds, documented here for editors):
+//
+//   - All writes during an edit must go through the journaling
+//     mutators (SetOp, SetArg, SetRoot, AppendNode) or through GC.
+//   - At most one compacting GC per edit, and no content writes after
+//     it. Every mutate move satisfies this: moves write first and
+//     garbage-collect last. (Non-compacting GC calls — the common
+//     case — are unrestricted.)
+
+// Journal records the undo and dirtiness information of one in-place
+// edit. The zero value is ready for use; a single Journal is reused
+// across iterations by the search loop (BeginEdit resets it in O(1)).
+type Journal struct {
+	saved    [MaxNodes]Node
+	savedSet uint32 // bitmask over pre-edit indices with an entry in saved
+	oldLen   int
+	oldRoot  int32
+
+	// dirty is the bitmask, over the program's *current* node indices,
+	// of nodes whose own content the edit changed: content-written
+	// nodes and appended nodes. GC compaction remaps it. Nodes outside
+	// the mask are guaranteed to hold the same op, val, and (up to
+	// renumbering) argument indices as before the edit — but their
+	// *values* may still change when a transitive argument is dirty,
+	// so value consumers must close the mask over users
+	// (prog.EvalState.Begin does exactly that).
+	dirty uint32
+
+	// compacted records whether a GC compaction ran during the edit;
+	// srcIdx is then the current→pre-edit index map (-1 for nodes
+	// appended during the edit). When compacted is false the map is
+	// the identity on pre-edit indices.
+	compacted bool
+	srcIdx    [MaxNodes]int8
+
+	// savedOrder snapshots the program's topological-order cache at
+	// BeginEdit. Rollback restores the exact pre-edit program, for
+	// which the pre-edit order is again valid, so restoring the cache
+	// saves a rebuild on every rejected proposal.
+	savedOrder    [MaxNodes]int32
+	savedOrderLen int
+	savedOrderOK  bool
+}
+
+// BeginEdit attaches j to p and resets it. Subsequent journaling
+// mutator calls and GC record into j until EndEdit or Rollback.
+// Nested edits are not supported.
+func (p *Program) BeginEdit(j *Journal) {
+	if p.jr != nil {
+		panic("prog: BeginEdit with an edit already active")
+	}
+	j.savedSet = 0
+	j.dirty = 0
+	j.compacted = false
+	j.oldLen = len(p.Nodes)
+	j.oldRoot = p.Root
+	j.savedOrderOK = p.orderOK
+	if p.orderOK {
+		j.savedOrderLen = copy(j.savedOrder[:], p.order)
+	}
+	p.jr = j
+}
+
+// EndEdit detaches the journal, keeping the edit's effects. The
+// journal's dirty mask and index map remain readable until the next
+// BeginEdit.
+func (p *Program) EndEdit() { p.jr = nil }
+
+// Journal returns the active edit journal, or nil outside an edit.
+func (p *Program) Journal() *Journal { return p.jr }
+
+// Mutated reports whether the edit changed anything: any node written
+// or appended, the root moved, or nodes removed. A move that returned
+// invalid leaves the program untouched and Mutated false.
+func (j *Journal) Mutated(p *Program) bool {
+	return j.savedSet != 0 || j.dirty != 0 || j.compacted ||
+		len(p.Nodes) != j.oldLen || p.Root != j.oldRoot
+}
+
+// Dirty returns the bitmask, over current node indices, of nodes whose
+// values may differ from the pre-edit program.
+func (j *Journal) Dirty() uint32 { return j.dirty }
+
+// Src maps a current node index to its pre-edit index, or -1 for a
+// node appended during the edit.
+func (j *Journal) Src(i int) int {
+	if !j.compacted {
+		if i < j.oldLen {
+			return i
+		}
+		return -1
+	}
+	return int(j.srcIdx[i])
+}
+
+// Rollback restores the exact pre-edit program and detaches the
+// journal. The cached topological order is dropped only when the edit
+// actually changed something, so rejected invalid proposals keep the
+// order cache warm.
+func (p *Program) Rollback() {
+	j := p.jr
+	if j == nil {
+		panic("prog: Rollback without an active edit")
+	}
+	p.jr = nil
+	if !j.Mutated(p) {
+		return
+	}
+	p.Nodes = p.Nodes[:j.oldLen]
+	for mask := j.savedSet; mask != 0; {
+		i := mathbits.TrailingZeros32(mask)
+		mask &^= 1 << uint(i)
+		p.Nodes[i] = j.saved[i]
+	}
+	p.Root = j.oldRoot
+	if j.savedOrderOK {
+		// The restored program is bit-identical to the pre-edit one, so
+		// its cached topological order is valid again.
+		p.order = append(p.order[:0], j.savedOrder[:j.savedOrderLen]...)
+		p.orderOK = true
+	} else {
+		p.Invalidate()
+	}
+}
+
+// save copy-on-writes node i (a pre-edit index) into the journal.
+func (j *Journal) save(p *Program, i int32) {
+	if i >= int32(j.oldLen) {
+		return // appended during this edit; truncation undoes it
+	}
+	bit := uint32(1) << uint(i)
+	if j.savedSet&bit != 0 {
+		return
+	}
+	j.savedSet |= bit
+	j.saved[i] = p.Nodes[i]
+}
+
+// noteWrite records a content write to current index i: journal the
+// original and mark the node's value column dirty. Must not be called
+// after a compaction (mutate moves write first, collect last).
+func (j *Journal) noteWrite(p *Program, i int32) {
+	if j.compacted {
+		panic("prog: content write after GC compaction in the same edit")
+	}
+	j.save(p, i)
+	j.dirty |= 1 << uint(i)
+}
+
+// SetOp replaces node i's opcode. With an active journal the original
+// node is saved and the node marked dirty. The cached topological
+// order survives a same-arity swap (the edge set is unchanged) and is
+// invalidated otherwise — a grown arity exposes an Args slot the
+// cached order never accounted for.
+func (p *Program) SetOp(i int32, op Op) {
+	if p.jr != nil {
+		p.jr.noteWrite(p, i)
+	}
+	if p.Nodes[i].Op.Arity() != op.Arity() {
+		p.Invalidate()
+	}
+	p.Nodes[i].Op = op
+}
+
+// SetArg repoints argument slot a of node i at node v and invalidates
+// the cached topological order (the edge set changed; the caller's
+// acyclicity is its own responsibility).
+func (p *Program) SetArg(i int32, a int, v int32) {
+	if p.jr != nil {
+		p.jr.noteWrite(p, i)
+	}
+	p.Nodes[i].Args[a] = v
+	p.Invalidate()
+}
+
+// SetRoot repoints the program root at node v. The root slot carries
+// no value column of its own, so nothing is marked dirty, and the
+// cached topological order (which covers every node regardless of the
+// root) stays valid.
+func (p *Program) SetRoot(v int32) { p.Root = v }
+
+// AppendNode appends a body node and returns its index, invalidating
+// the cached topological order (the new node is not in it). Appended
+// nodes are dirty by construction and are undone by truncation.
+func (p *Program) AppendNode(n Node) int32 {
+	i := int32(len(p.Nodes))
+	if p.jr != nil {
+		if p.jr.compacted {
+			panic("prog: append after GC compaction in the same edit")
+		}
+		p.jr.dirty |= 1 << uint(i)
+	}
+	p.Nodes = append(p.Nodes, n)
+	p.Invalidate()
+	return i
+}
+
+// noteCompact records a GC compaction into the journal: remap maps
+// pre-compaction indices to post-compaction ones (-1 = removed), n is
+// the pre-compaction node count. Called by GC after it has journaled
+// the nodes it overwrote and before it rewrites argument indices.
+func (j *Journal) noteCompact(remap []int32, n int) {
+	if j.compacted {
+		panic("prog: second GC compaction in one edit")
+	}
+	var ns [MaxNodes]int8
+	var nd uint32
+	for i := 0; i < n; i++ {
+		w := remap[i]
+		if w < 0 {
+			continue
+		}
+		if i < j.oldLen {
+			ns[w] = int8(i)
+		} else {
+			ns[w] = -1
+		}
+		if j.dirty&(1<<uint(i)) != 0 {
+			nd |= 1 << uint(w)
+		}
+	}
+	j.srcIdx = ns
+	j.dirty = nd
+	j.compacted = true
+}

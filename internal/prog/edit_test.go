@@ -1,0 +1,153 @@
+package prog_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stochsyn/internal/mutate"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/testcase"
+)
+
+// checkOrder asserts that the program's (possibly cached) topological
+// order covers every node and places arguments before their users.
+// After a Rollback this validates the journal's restored order cache.
+func checkOrder(t *testing.T, p *prog.Program) {
+	t.Helper()
+	order := p.TopoOrder()
+	if len(order) != p.Len() {
+		t.Fatalf("topo order covers %d of %d nodes", len(order), p.Len())
+	}
+	var pos [prog.MaxNodes]int
+	for k, i := range order {
+		pos[i] = k
+	}
+	for _, i := range order {
+		nd := &p.Nodes[i]
+		for a := 0; a < nd.Op.Arity(); a++ {
+			if pos[nd.Args[a]] >= pos[i] {
+				t.Fatalf("node %d ordered before its argument %d", i, nd.Args[a])
+			}
+		}
+	}
+}
+
+// TestJournalRollbackUnderMoves drives the real mutation moves through
+// journaled in-place edits, accepting a third of the valid proposals
+// (so the walk explores program space) and rejecting the rest: after
+// every Rollback the program must be bit-identical to its pre-edit
+// snapshot and its restored topological-order cache must still be a
+// valid order; after every accept the program must still Validate.
+func TestJournalRollbackUnderMoves(t *testing.T) {
+	dialects := []struct {
+		name       string
+		set        *prog.OpSet
+		redundancy bool
+	}{
+		{"full", prog.FullSet, false},
+		{"model", prog.ModelSet, true},
+	}
+	for _, d := range dialects {
+		t.Run(d.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(42, 0xed17))
+			suite := testcase.Generate(func(in []uint64) uint64 { return in[0] &^ in[1] }, 2, 33, rng)
+			mut := mutate.New(d.set, suite, d.redundancy)
+			p := prog.NewZero(2)
+			var j prog.Journal
+			accepted := 0
+			for iter := 0; iter < 2000; iter++ {
+				snap := p.Clone()
+				p.BeginEdit(&j)
+				_, ok := mut.Apply(p, rng)
+				if ok && rng.IntN(3) == 0 {
+					p.EndEdit()
+					accepted++
+					if err := p.Validate(); err != nil {
+						t.Fatalf("iter %d: accepted program invalid: %v\n%s", iter, err, p)
+					}
+					continue
+				}
+				p.Rollback()
+				if !p.Equal(snap) {
+					t.Fatalf("iter %d: rollback diverged:\n got %s\nwant %s", iter, p, snap)
+				}
+				checkOrder(t, p)
+			}
+			if accepted == 0 {
+				t.Fatal("no proposal was ever accepted; the walk never moved")
+			}
+		})
+	}
+}
+
+// TestJournalDirtyMaskSoundness pins the contract the evaluation
+// engine builds on: the journal's dirty mask names every node whose
+// own content an accepted move changed, so after closing the mask over
+// transitive users (exactly what prog.EvalState.Begin does), every
+// node outside the closure maps to a pre-edit source node (journal
+// Src) and computes exactly the value that source computed, on every
+// suite input.
+func TestJournalDirtyMaskSoundness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0xd127))
+	suite := testcase.Generate(func(in []uint64) uint64 { return in[0] * in[1] }, 2, 9, rng)
+	mut := mutate.New(prog.FullSet, suite, false)
+	p := prog.NewZero(2)
+	var j prog.Journal
+	var valsNew, valsOld [prog.MaxNodes]uint64
+	for iter := 0; iter < 2000; iter++ {
+		snap := p.Clone()
+		p.BeginEdit(&j)
+		if _, ok := mut.Apply(p, rng); !ok {
+			p.Rollback()
+			continue
+		}
+		p.EndEdit()
+		// Close the dirty mask over users, in topological order.
+		dirty := j.Dirty()
+		for _, i := range p.TopoOrder() {
+			nd := &p.Nodes[i]
+			for a := 0; a < nd.Op.Arity(); a++ {
+				if dirty&(1<<uint(nd.Args[a])) != 0 {
+					dirty |= 1 << uint(i)
+					break
+				}
+			}
+		}
+		for _, tc := range suite.Cases {
+			p.Eval(tc.Inputs, valsNew[:])
+			snap.Eval(tc.Inputs, valsOld[:])
+			for i := 0; i < p.Len(); i++ {
+				if dirty&(1<<uint(i)) != 0 {
+					continue
+				}
+				s := j.Src(i)
+				if s < 0 {
+					t.Fatalf("iter %d: clean node %d has no pre-edit source", iter, i)
+				}
+				if valsNew[i] != valsOld[s] {
+					t.Fatalf("iter %d inputs %v: clean node %d (pre-edit %d) changed value: %#x -> %#x",
+						iter, tc.Inputs, i, s, valsOld[s], valsNew[i])
+				}
+			}
+		}
+	}
+}
+
+// TestJournalNoopEdit checks the cheap-detach path: an edit that never
+// writes (an invalid proposal) rolls back for free, leaving both the
+// program and its cached order untouched.
+func TestJournalNoopEdit(t *testing.T) {
+	p := prog.MustParse("andq(x, subq(x, 1))", 1)
+	snap := p.Clone()
+	p.TopoOrder() // warm the cache
+	var j prog.Journal
+	p.BeginEdit(&j)
+	if j.Mutated(p) {
+		t.Fatal("fresh journal reports a mutation")
+	}
+	p.Rollback()
+	if !p.Equal(snap) {
+		t.Fatalf("no-op rollback changed the program: %s", p)
+	}
+	checkOrder(t, p)
+}

@@ -56,9 +56,16 @@ type Program struct {
 	NumInputs int
 
 	// order caches a topological order (arguments before users),
-	// recomputed lazily after structural changes. A nil slice means
-	// the cache is invalid.
-	order []int32
+	// recomputed lazily after structural changes. orderOK marks the
+	// cache valid; the slice's backing array is retained across
+	// invalidations so rebuilds are allocation-free.
+	order   []int32
+	orderOK bool
+
+	// jr, when non-nil, is the active in-place edit journal (see
+	// edit.go): mutating helpers and GC record undo and dirtiness
+	// information into it. Clones never inherit an active edit.
+	jr *Journal
 }
 
 // newBase returns a program containing only the permanent input nodes.
@@ -110,8 +117,9 @@ func (p *Program) Clone() *Program {
 		Root:      p.Root,
 		NumInputs: p.NumInputs,
 	}
-	if p.order != nil {
+	if p.orderOK {
 		q.order = append([]int32(nil), p.order...)
+		q.orderOK = true
 	}
 	return q
 }
@@ -123,24 +131,25 @@ func (p *Program) CopyFrom(src *Program) {
 	p.Nodes = append(p.Nodes[:0], src.Nodes...)
 	p.Root = src.Root
 	p.NumInputs = src.NumInputs
-	if src.order != nil {
+	if src.orderOK {
 		p.order = append(p.order[:0], src.order...)
+		p.orderOK = true
 	} else {
-		p.order = p.order[:0]
-		p.order = nil
+		p.orderOK = false
 	}
 }
 
 // Invalidate drops the cached topological order. Mutators must call it
-// after any structural change.
-func (p *Program) Invalidate() { p.order = nil }
+// after any structural change. The slice's backing memory is retained
+// for the next rebuild.
+func (p *Program) Invalidate() { p.orderOK = false }
 
 // TopoOrder returns a topological order of the node indices with
 // arguments ordered before their users. The returned slice is owned by
 // p and valid until the next structural change. It panics if the graph
 // contains a cycle (which Validate reports as an error instead).
 func (p *Program) TopoOrder() []int32 {
-	if p.order != nil {
+	if p.orderOK {
 		return p.order
 	}
 	// With at most MaxNodes (16) nodes, a quadratic ready-scan is both
@@ -179,6 +188,7 @@ func (p *Program) TopoOrder() []int32 {
 		}
 	}
 	p.order = order
+	p.orderOK = true
 	return order
 }
 
@@ -254,10 +264,49 @@ func (p *Program) ReachesFrom(from, to int32) bool {
 	return p.reachableFrom(from)&(uint64(1)<<uint(to)) != 0
 }
 
+// ReachableFrom computes the set of nodes reachable from start
+// (inclusive) following argument edges, as a bitmask. It is the
+// exported form of reachableFrom for callers that test many
+// memberships against one source (one DFS instead of one per test).
+func (p *Program) ReachableFrom(start int32) uint64 {
+	return p.reachableFrom(start)
+}
+
+// Ancestors returns the bitmask of nodes from which node to is
+// reachable along argument edges (including to itself) — exactly the
+// set {u : ReachesFrom(u, to)} — computed in one pass over the
+// topological order instead of one DFS per node. The mutator's
+// cycle-avoidance checks use it to classify every node at once.
+func (p *Program) Ancestors(to int32) uint64 {
+	order := p.TopoOrder()
+	mask := uint64(1) << uint(to)
+	for _, i := range order {
+		bit := uint64(1) << uint(i)
+		if mask&bit != 0 {
+			continue
+		}
+		nd := &p.Nodes[i]
+		for a := 0; a < nd.Op.Arity(); a++ {
+			if mask&(uint64(1)<<uint(nd.Args[a])) != 0 {
+				mask |= bit
+				break
+			}
+		}
+	}
+	return mask
+}
+
 // GC removes body nodes unreachable from the root, compacting Nodes
 // and remapping indices; the permanent input nodes are always kept. It
 // returns the number of nodes removed. Mutators call it after
 // redirecting edges so the no-dead-code invariant holds.
+//
+// With an active edit journal, GC copy-on-writes every slot it
+// overwrites (so Rollback restores the pre-edit program exactly) and
+// records the index remap, which the incremental evaluation engine
+// uses to re-home surviving value columns. Moved and arg-remapped
+// nodes are not marked value-dirty: compaction renumbers the DAG but
+// never changes what any surviving node computes.
 func (p *Program) GC() int {
 	mask := p.Reachable()
 	n := len(p.Nodes)
@@ -267,12 +316,18 @@ func (p *Program) GC() int {
 	if mask == full {
 		return 0
 	}
+	j := p.jr
 	var remap [maxTransient]int32
 	w := 0
 	for i := 0; i < n; i++ {
 		if mask&(uint64(1)<<uint(i)) != 0 {
 			remap[i] = int32(w)
-			p.Nodes[w] = p.Nodes[i]
+			if w != i {
+				if j != nil {
+					j.save(p, int32(w))
+				}
+				p.Nodes[w] = p.Nodes[i]
+			}
 			w++
 		} else {
 			remap[i] = -1
@@ -283,10 +338,18 @@ func (p *Program) GC() int {
 	for i := 0; i < w; i++ {
 		nd := &p.Nodes[i]
 		for a := 0; a < nd.Op.Arity(); a++ {
-			nd.Args[a] = remap[nd.Args[a]]
+			if na := remap[nd.Args[a]]; na != nd.Args[a] {
+				if j != nil {
+					j.save(p, int32(i))
+				}
+				nd.Args[a] = na
+			}
 		}
 	}
 	p.Root = remap[p.Root]
+	if j != nil {
+		j.noteCompact(remap[:n], n)
+	}
 	p.Invalidate()
 	return removed
 }

@@ -78,6 +78,12 @@ func (r *Run) Restore(rd io.Reader) error {
 	}
 	r.cur = cj.Program
 	r.scratch = cj.Program.Clone()
+	if r.eng != nil {
+		// The engine's committed columns must describe the restored
+		// program; a full recompute rebinds them (and the mutator's
+		// probe source follows the engine automatically).
+		r.eng.Reset(r.cur)
+	}
 	r.cost = cj.Cost
 	r.iters = cj.Iterations
 	r.done = cj.Done

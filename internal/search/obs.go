@@ -16,6 +16,10 @@ import (
 //	stochsyn_search_cost          (last flushed cost, any search)
 //	stochsyn_search_best_cost     (process-lifetime minimum)
 //	stochsyn_search_plateaus_total
+//	stochsyn_eval_nodes_reevaluated_total
+//	stochsyn_eval_nodes_total
+//	stochsyn_eval_cases_evaluated_total
+//	stochsyn_eval_cases_total
 //
 // All searches share these series regardless of restart id — per-search
 // cardinality lives in the trace stream, not the registry. Both
@@ -24,11 +28,15 @@ import (
 // unconditionally.
 func NewObsHooks(reg *obs.Registry, tracer *obs.Tracer) *obs.SearchHooks {
 	h := &obs.SearchHooks{
-		Iterations: reg.Counter("stochsyn_search_iterations_total"),
-		CurCost:    reg.Gauge("stochsyn_search_cost"),
-		BestCost:   reg.Gauge("stochsyn_search_best_cost"),
-		Plateaus:   reg.Counter("stochsyn_search_plateaus_total"),
-		Tracer:     tracer,
+		Iterations:           reg.Counter("stochsyn_search_iterations_total"),
+		CurCost:              reg.Gauge("stochsyn_search_cost"),
+		BestCost:             reg.Gauge("stochsyn_search_best_cost"),
+		Plateaus:             reg.Counter("stochsyn_search_plateaus_total"),
+		EvalNodesReevaluated: reg.Counter("stochsyn_eval_nodes_reevaluated_total"),
+		EvalNodesTotal:       reg.Counter("stochsyn_eval_nodes_total"),
+		EvalCasesEvaluated:   reg.Counter("stochsyn_eval_cases_evaluated_total"),
+		EvalCasesTotal:       reg.Counter("stochsyn_eval_cases_total"),
+		Tracer:               tracer,
 		// Cost samples arrive at flush granularity (every
 		// CancelCheckEvery iterations), which is cheap enough to leave
 		// on whenever a tracer is attached.
@@ -48,5 +56,13 @@ func NewObsHooks(reg *obs.Registry, tracer *obs.Tracer) *obs.SearchHooks {
 	reg.SetHelp("stochsyn_search_cost", "Cost at the most recent flush of any search.")
 	reg.SetHelp("stochsyn_search_best_cost", "Minimum cost observed by any search in this process.")
 	reg.SetHelp("stochsyn_search_plateaus_total", "Plateau entries detected by the windowed cost-delta detector.")
+	reg.SetHelp("stochsyn_eval_nodes_reevaluated_total",
+		"Node value columns recomputed by the incremental evaluation engine.")
+	reg.SetHelp("stochsyn_eval_nodes_total",
+		"Node value columns a full re-evaluation would have computed; the ratio to reevaluated is the reuse rate.")
+	reg.SetHelp("stochsyn_eval_cases_evaluated_total",
+		"Suite cases actually evaluated before the bounded cost sum aborted.")
+	reg.SetHelp("stochsyn_eval_cases_total",
+		"Suite cases a full evaluation of every proposal would have covered.")
 	return h
 }

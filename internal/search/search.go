@@ -112,6 +112,14 @@ type Options struct {
 	// paper's uniform choice). Keys are mutate.Move values; moves with
 	// missing or non-positive weight are never proposed.
 	MoveWeights map[mutate.Move]float64
+	// LegacyEval disables the incremental evaluation engine and runs
+	// the original copy-based proposal path (scratch copy + full
+	// re-evaluation per proposal). The two paths are bit-identical by
+	// construction — same RNG draw sequence, same case-order float
+	// summation, same accept/reject decisions — which the differential
+	// fuzz test (FuzzIncrementalEval) checks continuously. This is a
+	// debugging and verification knob, not a performance option.
+	LegacyEval bool
 	// Obs, when non-nil, attaches observability hooks to the run:
 	// iteration and per-move counters, cost gauges, plateau
 	// detection, and sampled cost-trajectory trace events. Updates
@@ -147,11 +155,17 @@ type Run struct {
 	mut    *mutate.Mutator
 
 	cur     *prog.Program
-	scratch *prog.Program
-	cost    float64 // correctness cost, plus the size term in MinimizeSize mode
+	scratch *prog.Program // legacy path only: the proposal copy
+	cost    float64       // correctness cost, plus the size term in MinimizeSize mode
 	iters   int64
 	done    bool
 	sol     *prog.Program
+
+	// eng is the incremental evaluation engine (nil under
+	// Options.LegacyEval); jr is the per-iteration edit journal it
+	// consumes, reused across iterations.
+	eng *prog.EvalState
+	jr  prog.Journal
 
 	minimize   bool
 	sizeWeight float64
@@ -170,6 +184,7 @@ type Run struct {
 	obsHooks *obs.SearchHooks
 	obsIters int64 // counters already flushed to the registry
 	obsStats Stats
+	obsEval  prog.EvalStats // engine work counters already flushed
 	plateau  obs.PlateauDetector
 
 	vals  [prog.MaxNodes]uint64
@@ -220,7 +235,18 @@ func New(suite *testcase.Suite, opts Options) *Run {
 	if r.minimize && r.sizeWeight <= 0 {
 		r.sizeWeight = 1
 	}
-	c := r.kind.Of(r.cur, r.suite, r.vals[:])
+	var c float64
+	if opts.LegacyEval {
+		c = r.kind.Of(r.cur, r.suite, r.vals[:])
+	} else {
+		// The engine's committed columns are kept exact for r.cur for
+		// the whole run; the initial cost is the root column summed in
+		// case order, bit-equal to Of.
+		r.eng = prog.NewEvalState(suite)
+		r.eng.Reset(r.cur)
+		r.mut.BindEval(r.eng)
+		c = r.kind.OfColumn(r.eng.RootColumn(), suite)
+	}
 	if r.minimize {
 		if c == 0 {
 			r.noteBest(r.cur)
@@ -274,47 +300,121 @@ func (r *Run) Step(budget int64) (int64, bool) {
 		}
 		used++
 		r.iters++
-		r.scratch.CopyFrom(r.cur)
-		mv, ok := r.mut.Apply(r.scratch, r.rng)
-		r.stats.Proposed[mv]++
-		if ok {
-			// Draw the acceptance threshold before evaluating so the
-			// cost computation can abort early (exactly) once the
-			// partial sum exceeds it. In minimize mode the size term
-			// is known up front, so it tightens the correctness bound.
-			bound := r.threshold()
-			if r.minimize {
-				bound -= r.sizeWeight * float64(r.scratch.BodyLen())
-			}
-			c := r.kind.OfBounded(r.scratch, r.suite, r.vals[:], bound)
-			if c <= bound {
-				r.stats.Accepted[mv]++
-				r.cur, r.scratch = r.scratch, r.cur
-				eff := c
-				if r.minimize {
-					eff = r.effective(c, r.cur)
-					if c == 0 {
-						r.noteBest(r.cur)
-					}
-				}
-				if eff != r.cost {
-					r.cost = eff
-					r.recordTrace()
-				}
-				if c == 0 && !r.minimize {
-					r.finish()
-					if r.opts.StateHook != nil {
-						r.opts.StateHook(r.cur)
-					}
-					return used, true
-				}
-			}
+		var solved bool
+		if r.eng != nil {
+			solved = r.iterateEngine()
+		} else {
+			solved = r.iterateLegacy()
 		}
-		if r.opts.StateHook != nil {
-			r.opts.StateHook(r.cur)
+		if solved {
+			return used, true
 		}
 	}
 	return used, false
+}
+
+// iterateLegacy runs one iteration of the copy-based reference path
+// (Options.LegacyEval): copy the current program into scratch, mutate
+// the copy, re-evaluate it from scratch with OfBounded, and swap the
+// buffers on accept. It is retained verbatim as the differential
+// baseline for the engine path. It returns true when the iteration
+// solved the problem.
+func (r *Run) iterateLegacy() bool {
+	r.scratch.CopyFrom(r.cur)
+	mv, ok := r.mut.Apply(r.scratch, r.rng)
+	r.stats.Proposed[mv]++
+	if ok {
+		// Draw the acceptance threshold before evaluating so the
+		// cost computation can abort early (exactly) once the
+		// partial sum exceeds it. In minimize mode the size term
+		// is known up front, so it tightens the correctness bound.
+		bound := r.threshold()
+		if r.minimize {
+			bound -= r.sizeWeight * float64(r.scratch.BodyLen())
+		}
+		c := r.kind.OfBounded(r.scratch, r.suite, r.vals[:], bound)
+		if c <= bound {
+			r.stats.Accepted[mv]++
+			r.cur, r.scratch = r.scratch, r.cur
+			if r.accept(c) {
+				return true
+			}
+		}
+	}
+	if r.opts.StateHook != nil {
+		r.opts.StateHook(r.cur)
+	}
+	return false
+}
+
+// iterateEngine runs one iteration through the incremental evaluation
+// engine: the move edits the current program in place under the edit
+// journal, the engine recomputes only the dirty value columns (pulled
+// chunk by chunk so bad proposals still abort early), and a rejected
+// proposal is undone exactly via the journal. The RNG draw sequence,
+// the per-case float summation order, and the accept/reject rule are
+// identical to iterateLegacy, so the two trajectories are bit-equal.
+// It returns true when the iteration solved the problem.
+func (r *Run) iterateEngine() bool {
+	r.cur.BeginEdit(&r.jr)
+	mv, ok := r.mut.Apply(r.cur, r.rng)
+	r.stats.Proposed[mv]++
+	if ok {
+		bound := r.threshold()
+		if r.minimize {
+			bound -= r.sizeWeight * float64(r.cur.BodyLen())
+		}
+		r.eng.Begin(&r.jr)
+		c := r.kind.OfState(r.eng, bound)
+		if c <= bound {
+			// A non-Inf cost means every case block was pulled, which
+			// is exactly Commit's precondition.
+			r.stats.Accepted[mv]++
+			r.eng.Commit()
+			r.cur.EndEdit()
+			if r.accept(c) {
+				return true
+			}
+		} else {
+			r.eng.Abort()
+			r.cur.Rollback()
+		}
+	} else {
+		// Invalid proposals leave the program untouched (every move
+		// checks validity before its first write), so this rollback is
+		// a cheap journal detach that keeps the topo-order cache warm.
+		r.cur.Rollback()
+	}
+	if r.opts.StateHook != nil {
+		r.opts.StateHook(r.cur)
+	}
+	return false
+}
+
+// accept performs the post-acceptance bookkeeping shared by both
+// iteration paths, with c the proposal's correctness cost; the current
+// program is already the accepted proposal. It returns true when the
+// search finished.
+func (r *Run) accept(c float64) bool {
+	eff := c
+	if r.minimize {
+		eff = r.effective(c, r.cur)
+		if c == 0 {
+			r.noteBest(r.cur)
+		}
+	}
+	if eff != r.cost {
+		r.cost = eff
+		r.recordTrace()
+	}
+	if c == 0 && !r.minimize {
+		r.finish()
+		if r.opts.StateHook != nil {
+			r.opts.StateHook(r.cur)
+		}
+		return true
+	}
+	return false
 }
 
 // threshold draws the acceptance threshold c - beta*ln(U) with U
@@ -375,6 +475,16 @@ func (r *Run) publish() {
 		}
 	}
 	r.obsStats = r.stats
+	if r.eng != nil {
+		es := r.eng.Stats()
+		if d := es.Sub(r.obsEval); d != (prog.EvalStats{}) {
+			h.EvalNodesReevaluated.Add(float64(d.NodesReevaluated))
+			h.EvalNodesTotal.Add(float64(d.NodesTotal))
+			h.EvalCasesEvaluated.Add(float64(d.CasesEvaluated))
+			h.EvalCasesTotal.Add(float64(d.CasesTotal))
+			r.obsEval = es
+		}
+	}
 	h.CurCost.Set(r.cost)
 	h.BestCost.SetMin(r.cost)
 	entered, exited, dwell := r.plateau.Observe(r.iters, r.cost)
@@ -443,6 +553,18 @@ func (r *Run) Iterations() int64 {
 		return s.iters
 	}
 	return 0
+}
+
+// EvalStats returns the incremental evaluation engine's cumulative
+// work counters (all zero under Options.LegacyEval). Unlike
+// Iterations, it reads the engine directly, so callers must hold a
+// happens-before edge after the last Step (the synth CLI and the
+// benchmark harness read it strictly after the search returns).
+func (r *Run) EvalStats() prog.EvalStats {
+	if r.eng == nil {
+		return prog.EvalStats{}
+	}
+	return r.eng.Stats()
 }
 
 // Program returns the current program. The caller must not mutate it.

@@ -10,6 +10,9 @@ import (
 	"stochsyn/internal/testcase"
 )
 
+// solveVals is shared scratch for cost.Solves checks in tests.
+var solveVals [prog.MaxNodes]uint64
+
 // suiteFor builds a deterministic suite for the reference expression.
 func suiteFor(t *testing.T, expr string, numInputs, cases int) *testcase.Suite {
 	t.Helper()
@@ -37,7 +40,7 @@ func TestSolvesModelProblem(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The solution must actually solve the suite.
-	if !cost.Solves(sol, suite) {
+	if !cost.Solves(sol, suite, solveVals[:]) {
 		t.Error("recorded solution does not match the suite")
 	}
 }
@@ -48,7 +51,7 @@ func TestSolvesFullDialect(t *testing.T) {
 	if _, done := r.Step(3_000_000); !done {
 		t.Fatal("hd01 not solved within 3M iterations")
 	}
-	if !cost.Solves(r.Solution(), suite) {
+	if !cost.Solves(r.Solution(), suite, solveVals[:]) {
 		t.Error("solution does not match the suite")
 	}
 }
@@ -267,7 +270,7 @@ func TestMinimizeSizeMode(t *testing.T) {
 	if best == nil {
 		t.Fatal("no best program")
 	}
-	if !cost.Solves(best, suite) {
+	if !cost.Solves(best, suite, solveVals[:]) {
 		t.Error("best program is incorrect")
 	}
 	if best.BodyLen() > init.BodyLen() {
@@ -286,7 +289,7 @@ func TestMinimizeFromScratch(t *testing.T) {
 	if r.Best() == nil {
 		t.Fatal("never found a correct program")
 	}
-	if !cost.Solves(r.Best(), suite) {
+	if !cost.Solves(r.Best(), suite, solveVals[:]) {
 		t.Error("best program incorrect")
 	}
 }

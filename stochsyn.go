@@ -405,7 +405,8 @@ func SynthesizeContext(ctx context.Context, p *Problem, opts Options) (Result, e
 func auditSolution(sol *prog.Program, suite *testcase.Suite) (lint []string, canonical string, hash uint64) {
 	report := analysis.Run(sol)
 	canon := analysis.Canonicalize(sol)
-	if !cost.Solves(canon, suite) {
+	var vals [prog.MaxNodes]uint64
+	if !cost.Solves(canon, suite, vals[:]) {
 		report.Add("canon", -1, "canonical form fails the test suite; reporting the raw program (rewrite-rule bug?)")
 		canon = sol
 	}
@@ -441,6 +442,16 @@ type OptimizeResult struct {
 	Improved bool
 	// Iterations is the number of search iterations consumed.
 	Iterations int64
+	// Cancelled reports that the context was cancelled before the
+	// budget was exhausted; Iterations then counts only the work
+	// actually done, and Program is the best program found so far.
+	Cancelled bool
+	// Seed echoes the seed the run used (after normalization),
+	// mirroring Result.Seed so optimization outcomes are reproducible
+	// from their report alone.
+	Seed uint64
+	// Duration is the wall-clock time spent searching.
+	Duration time.Duration
 }
 
 // Optimize performs STOKE-style superoptimization: starting from a
@@ -449,6 +460,17 @@ type OptimizeResult struct {
 // matches every example, using the same Metropolis search with a size
 // term added to the cost. The start program must match the problem.
 func Optimize(p *Problem, start string, opts Options) (OptimizeResult, error) {
+	return OptimizeContext(context.Background(), p, start, opts)
+}
+
+// OptimizeContext is Optimize under a context: cancelling ctx (or
+// exceeding its deadline) stops the search promptly mid-Step — the run
+// polls the context every search.CancelCheckEvery iterations — and
+// returns the best program found so far with Cancelled set and exact
+// iteration accounting. The error remains nil on cancellation; errors
+// report invalid inputs only. With a context that never expires the
+// result is bit-identical to Optimize's for the same Options.
+func OptimizeContext(ctx context.Context, p *Problem, start string, opts Options) (OptimizeResult, error) {
 	o, err := opts.normalize()
 	if err != nil {
 		return OptimizeResult{}, err
@@ -465,8 +487,13 @@ func Optimize(p *Problem, start string, opts Options) (OptimizeResult, error) {
 	if err != nil {
 		return OptimizeResult{}, fmt.Errorf("stochsyn: bad start program: %w", err)
 	}
-	if !cost.Solves(init, p.suite) {
+	var vals [prog.MaxNodes]uint64
+	if !cost.Solves(init, p.suite, vals[:]) {
 		return OptimizeResult{}, errors.New("stochsyn: start program does not match the problem")
+	}
+	sctx := ctx
+	if sctx != nil && sctx.Done() == nil {
+		sctx = nil // never-cancelled: skip the inner-loop polls entirely
 	}
 	run := search.New(p.suite, search.Options{
 		Set:          set,
@@ -476,7 +503,9 @@ func Optimize(p *Problem, start string, opts Options) (OptimizeResult, error) {
 		Seed:         o.Seed,
 		Init:         init,
 		MinimizeSize: true,
+		Ctx:          sctx,
 	})
+	began := time.Now()
 	used, _ := run.Step(o.Budget)
 	best := run.Best()
 	res := OptimizeResult{
@@ -484,6 +513,9 @@ func Optimize(p *Problem, start string, opts Options) (OptimizeResult, error) {
 		Size:       best.BodyLen(),
 		StartSize:  init.BodyLen(),
 		Iterations: used,
+		Cancelled:  sctx != nil && sctx.Err() != nil,
+		Seed:       o.Seed,
+		Duration:   time.Since(began),
 	}
 	res.Improved = res.Size < res.StartSize
 	return res, nil
@@ -525,5 +557,6 @@ func (pr *Program) Matches(p *Problem) bool {
 	if pr.p.NumInputs != p.suite.NumInputs {
 		return false
 	}
-	return cost.Solves(pr.p, p.suite)
+	var vals [prog.MaxNodes]uint64
+	return cost.Solves(pr.p, p.suite, vals[:])
 }

@@ -1,6 +1,7 @@
 package stochsyn
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -276,6 +277,63 @@ func TestOptimizeShrinksProgram(t *testing.T) {
 	}
 	if res.Improved && res.Size >= 4 {
 		t.Error("Improved flag inconsistent with sizes")
+	}
+}
+
+func TestOptimizeContextCancel(t *testing.T) {
+	// A pre-cancelled context must stop the optimization almost
+	// immediately (at the first CancelCheckEvery poll), report
+	// Cancelled, and still return a correct program.
+	p, err := ProblemFromFunc(func(in []uint64) uint64 { return in[0] * 3 }, 1, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := OptimizeContext(ctx, p, "addq(addq(x, x), mulq(x, 1))",
+		Options{Beta: 1, Budget: 50_000_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cancelled {
+		t.Error("Cancelled not set for a cancelled context")
+	}
+	if res.Iterations >= 50_000_000 {
+		t.Errorf("cancelled run consumed the whole budget (%d iterations)", res.Iterations)
+	}
+	if res.Seed != 3 {
+		t.Errorf("Seed = %d, want 3", res.Seed)
+	}
+	if res.Duration <= 0 {
+		t.Error("Duration not recorded")
+	}
+	best, err := ParseProgram(res.Program, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Matches(p) {
+		t.Error("cancelled optimization returned a non-matching program")
+	}
+}
+
+func TestOptimizeContextNeverCancelledMatchesOptimize(t *testing.T) {
+	// With a context that never expires, OptimizeContext must be
+	// bit-identical to Optimize.
+	p, err := ProblemFromFunc(func(in []uint64) uint64 { return in[0] * 3 }, 1, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Beta: 1, Budget: 300_000, Seed: 3}
+	a, err := Optimize(p, "addq(addq(x, x), mulq(x, 1))", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OptimizeContext(context.Background(), p, "addq(addq(x, x), mulq(x, 1))", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Program != b.Program || a.Size != b.Size || a.Iterations != b.Iterations {
+		t.Errorf("OptimizeContext diverged from Optimize: %+v vs %+v", a, b)
 	}
 }
 
