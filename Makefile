@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt lint test race short bench-exec bench-obs bench-eval server-smoke
+.PHONY: ci build vet fmt lint test race short bench-exec bench-obs bench-eval server-smoke fleet-smoke
 
 # gate runs one CI stage, echoing "ci: <name> ok" on success and
 # "ci: FAIL at gate <name>" (then exiting nonzero) on failure, so a
@@ -23,7 +23,8 @@ ci:
 	$(call gate,lint,$(GO) run ./cmd/repolint)
 	$(call gate,fuzz,$(GO) test -run FuzzIncrementalEval ./internal/search/)
 	$(call gate,race,$(GO) test -race ./...)
-	@echo "ci: all gates passed (build vet fmt lint fuzz race)"
+	$(call gate,fleet-smoke,sh scripts/fleet_smoke.sh)
+	@echo "ci: all gates passed (build vet fmt lint fuzz race fleet-smoke)"
 
 build:
 	$(GO) build ./...
@@ -73,3 +74,9 @@ bench-eval:
 # `synth -remote`, and assert the server returns a solution.
 server-smoke:
 	sh scripts/server_smoke.sh
+
+# Boot a 1-coordinator / 2-worker fleet, solve through the
+# coordinator, kill a worker mid-run, and assert the job fails over to
+# the survivor (see internal/server/fleet).
+fleet-smoke:
+	sh scripts/fleet_smoke.sh

@@ -5,6 +5,17 @@
 //
 //	synthd -addr :8731 -workers 8
 //
+// With -fleet, synthd runs as a coordinator instead: it owns no
+// scheduler of its own but shards submissions over the listed worker
+// synthd instances by canonical cache key (rendezvous hashing), with
+// health-checked failover, re-dispatch off dead workers, and
+// backpressure propagation (see internal/server/fleet):
+//
+//	synthd -addr :8730 -fleet http://10.0.0.1:8731,http://10.0.0.2:8731
+//
+// The coordinator serves the same /v1 API, so synth -remote and the
+// Go client work against either topology unchanged.
+//
 // Endpoints:
 //
 //	POST   /v1/jobs      submit a job (problem + options + budget)
@@ -35,11 +46,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"stochsyn/internal/obs"
 	"stochsyn/internal/server"
+	"stochsyn/internal/server/fleet"
 )
 
 func main() {
@@ -51,6 +64,7 @@ func main() {
 		cacheSz = flag.Int("cache", 1024, "result cache entries (negative disables)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
 		traceTo = flag.String("trace", "", "tee trace events to this file as JSONL")
+		fleetWk = flag.String("fleet", "", "comma-separated worker synthd URLs; run as a fleet coordinator instead of a worker")
 		verbose = flag.Bool("v", false, "log requests")
 	)
 	flag.Parse()
@@ -68,23 +82,47 @@ func main() {
 		o.Tracer.SetSink(f)
 	}
 
-	srv := server.New(server.Config{
-		Workers:      *workers,
-		WorkerBudget: *budget,
-		QueueDepth:   *queue,
-		CacheSize:    *cacheSz,
-		DrainTimeout: *drain,
-		Obs:          o,
-	})
+	// Coordinator mode: no local scheduler, just sharded forwarding.
+	var srv *server.Server
+	var co *fleet.Coordinator
+	var apiHandler http.Handler
+	if *fleetWk != "" {
+		var urls []string
+		for _, u := range strings.Split(*fleetWk, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		var err error
+		co, err = fleet.New(fleet.Config{Workers: urls, Obs: o})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synthd:", err)
+			os.Exit(1)
+		}
+		apiHandler = co.Handler()
+	} else {
+		srv = server.New(server.Config{
+			Workers:      *workers,
+			WorkerBudget: *budget,
+			QueueDepth:   *queue,
+			CacheSize:    *cacheSz,
+			DrainTimeout: *drain,
+			Obs:          o,
+		})
+		apiHandler = srv.Handler()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "synthd:", err)
 		os.Exit(1)
 	}
+	if co != nil {
+		fmt.Printf("synthd: coordinating %d workers\n", len(co.Snapshot().Workers))
+	}
 	fmt.Printf("synthd: listening on %s\n", ln.Addr())
 
-	var handler http.Handler = srv.Handler()
+	handler := apiHandler
 	if *verbose {
 		handler = logRequests(handler)
 	}
@@ -109,8 +147,15 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	// Stop taking requests, then drain the job scheduler.
+	// Stop taking requests, then drain the job scheduler (worker
+	// mode) or stop the health prober (coordinator mode; its jobs
+	// live on the workers and need no drain here).
 	_ = hs.Shutdown(ctx)
+	if co != nil {
+		_ = co.Close()
+		fmt.Println("synthd: coordinator stopped")
+		return
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Printf("synthd: drain deadline hit, cancelled remaining jobs (%v)\n", err)
 		return

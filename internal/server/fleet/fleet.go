@@ -1,0 +1,630 @@
+// Package fleet implements synthd's coordinator mode: an HTTP front
+// end that speaks the same /v1 job API as a single synthd
+// (internal/server) but owns no scheduler of its own. Submissions are
+// sharded over a static set of worker synthd instances by rendezvous
+// hashing of the canonical cache key (see hrw.go), forwarded through
+// the standard Go client, and tracked so polls, cancels, and worker
+// failures route to the right place.
+//
+// Robustness model:
+//
+//   - Health: a background prober pings every worker's /healthz on an
+//     interval; forwarding prefers healthy workers but will try
+//     unhealthy ones as a last resort (stale probe state must not
+//     reject work a live worker could take).
+//   - Failover: a worker that cannot be reached at submit time is
+//     marked unhealthy and the next shard in the key's rendezvous
+//     order is tried, with backoff between attempts. A worker that
+//     dies while running a job is detected at poll time and the job
+//     is re-dispatched to the next shard under the same coordinator
+//     id. The positional-grant tree executor is schedule-
+//     deterministic, so the re-run returns the bit-identical result
+//     the dead worker would have produced.
+//   - Backpressure: a 503 from a worker (queue full) is not retried
+//     against that worker; if every candidate is full or down, the
+//     coordinator answers 503 with a Retry-After hint instead of
+//     hanging or queueing unboundedly.
+//   - Dedup: identical in-flight submissions shard to the same worker
+//     by construction, where the server's singleflight joins them to
+//     one search; the coordinator adds no second dedup layer.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"stochsyn/internal/obs"
+	"stochsyn/internal/server"
+	"stochsyn/internal/server/client"
+)
+
+// Config sizes the coordinator. Workers is required; the zero value
+// of everything else selects defaults.
+type Config struct {
+	// Workers lists the base URLs of the worker synthd instances,
+	// e.g. ["http://10.0.0.1:8731", "http://10.0.0.2:8731"]. The set
+	// is static for the coordinator's lifetime; position i is named
+	// "w<i>" in ids, metrics, and traces.
+	Workers []string
+	// HealthInterval is the period of the background health prober
+	// (default 1s).
+	HealthInterval time.Duration
+	// RetryBackoff is the pause before each failover attempt after
+	// the first (default 50ms, growing linearly per attempt).
+	RetryBackoff time.Duration
+	// HTTPClient is the transport used for all worker calls; nil uses
+	// http.DefaultClient.
+	HTTPClient *http.Client
+	// Obs, when non-nil, is the observability sink the coordinator
+	// publishes into; nil creates a private one. The Handler serves
+	// /metrics, /tracez, and /debug/pprof either way.
+	Obs *obs.Obs
+}
+
+// Coordinator fronts a fleet of worker synthds. Create with New,
+// serve Handler, stop with Close.
+type Coordinator struct {
+	cfg     Config
+	obs     *obs.Obs
+	workers []*workerRef
+
+	mu     sync.Mutex
+	subs   map[string]*submission
+	order  []*submission
+	nextID int
+
+	metrics coordMetrics
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// workerRef is one worker shard. The health flag is written by the
+// prober and by forwarding failures, read by shard selection.
+type workerRef struct {
+	name   string
+	base   string
+	client *client.Client
+
+	mu      sync.Mutex
+	healthy bool
+}
+
+func (w *workerRef) isHealthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+// setHealthy updates the flag and reports whether it changed.
+func (w *workerRef) setHealthy(v bool) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	changed := w.healthy != v
+	w.healthy = v
+	return changed
+}
+
+// submission is the coordinator-side record of one forwarded job. mu
+// serializes polls and re-dispatches of the same submission (held
+// across the worker round trip, so two pollers cannot double-dispatch
+// a dead worker's job).
+type submission struct {
+	id      string
+	spec    server.JobSpec
+	key     string
+	created time.Time
+
+	mu       sync.Mutex
+	worker   *workerRef
+	remoteID string
+	last     server.JobView // last seen view, already rewritten
+	terminal bool
+}
+
+type coordMetrics struct {
+	forwards     map[string]*obs.Counter // by worker name
+	failovers    map[string]*obs.Counter // by worker name (the worker failed away from)
+	redispatches *obs.Counter
+	backpressure *obs.Counter
+}
+
+// New validates cfg, builds the worker set, and starts the health
+// prober.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	for _, u := range cfg.Workers {
+		if strings.TrimSpace(u) == "" {
+			return nil, errors.New("fleet: empty worker URL in worker list")
+		}
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	co := &Coordinator{
+		cfg:  cfg,
+		obs:  cfg.Obs,
+		subs: make(map[string]*submission),
+		stop: make(chan struct{}),
+	}
+	if co.obs == nil {
+		co.obs = obs.New()
+	}
+	co.metrics = coordMetrics{
+		forwards:     make(map[string]*obs.Counter),
+		failovers:    make(map[string]*obs.Counter),
+		redispatches: co.obs.Reg.Counter("stochsyn_fleet_redispatches_total"),
+		backpressure: co.obs.Reg.Counter("stochsyn_fleet_backpressure_total"),
+	}
+	co.obs.Reg.SetHelp("stochsyn_fleet_redispatches_total", "Jobs re-dispatched to another shard after their worker became unreachable mid-run.")
+	co.obs.Reg.SetHelp("stochsyn_fleet_backpressure_total", "Submissions answered 503 because every candidate worker was full or down.")
+	for i, base := range cfg.Workers {
+		w := &workerRef{
+			name:   fmt.Sprintf("w%d", i),
+			base:   base,
+			client: client.New(base),
+		}
+		w.client.HTTPClient = cfg.HTTPClient
+		w.healthy = true // optimistic until the first probe says otherwise
+		co.workers = append(co.workers, w)
+		co.metrics.forwards[w.name] = co.obs.Reg.Counter("stochsyn_fleet_forwards_total", "worker", w.name)
+		co.metrics.failovers[w.name] = co.obs.Reg.Counter("stochsyn_fleet_failovers_total", "worker", w.name)
+		co.obs.Reg.GaugeFunc("stochsyn_fleet_worker_healthy", func() float64 {
+			if w.isHealthy() {
+				return 1
+			}
+			return 0
+		}, "worker", w.name)
+	}
+	co.obs.Reg.SetHelp("stochsyn_fleet_forwards_total", "Jobs forwarded to each worker shard.")
+	co.obs.Reg.SetHelp("stochsyn_fleet_failovers_total", "Forwarding attempts that failed against each worker and moved to the next shard.")
+	co.obs.Reg.SetHelp("stochsyn_fleet_worker_healthy", "1 if the last health probe of the worker succeeded, else 0.")
+
+	co.wg.Add(1)
+	go co.healthLoop()
+	return co, nil
+}
+
+// Close stops the health prober. In-flight jobs keep running on their
+// workers; the coordinator holds no queue of its own.
+func (co *Coordinator) Close() error {
+	close(co.stop)
+	co.wg.Wait()
+	return nil
+}
+
+// healthLoop probes every worker's /healthz each interval.
+func (co *Coordinator) healthLoop() {
+	defer co.wg.Done()
+	t := time.NewTicker(co.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		co.probeAll()
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (co *Coordinator) probeAll() {
+	var wg sync.WaitGroup
+	for _, w := range co.workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), co.cfg.HealthInterval)
+			defer cancel()
+			err := w.client.Health(ctx)
+			if w.setHealthy(err == nil) {
+				co.obs.Trace().Emit("fleet_worker_health", map[string]any{
+					"worker": w.name, "healthy": err == nil,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// forward submits spec to the best available shard for key, walking
+// the rendezvous order with backoff. exclude, when non-nil, is
+// skipped (the worker a re-dispatch is fleeing). It returns the
+// worker that accepted the job and its initial view.
+func (co *Coordinator) forward(r *http.Request, spec server.JobSpec, key string, exclude *workerRef) (*workerRef, *server.JobView, error) {
+	ranked := shardOrder(co.workers, key)
+	// Healthy shards first in rank order, then the unhealthy ones as
+	// a last resort: a stale probe must not turn capacity away.
+	candidates := make([]*workerRef, 0, len(ranked))
+	for _, w := range ranked {
+		if w != exclude && w.isHealthy() {
+			candidates = append(candidates, w)
+		}
+	}
+	for _, w := range ranked {
+		if w != exclude && !w.isHealthy() {
+			candidates = append(candidates, w)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, nil, &fleetError{code: http.StatusServiceUnavailable, retryAfter: 1, msg: "no workers available"}
+	}
+
+	sawBusy := false
+	for i, w := range candidates {
+		if i > 0 {
+			select {
+			case <-r.Context().Done():
+				return nil, nil, r.Context().Err()
+			case <-time.After(co.cfg.RetryBackoff * time.Duration(i)):
+			}
+		}
+		v, err := w.client.Submit(r.Context(), spec)
+		if err == nil {
+			co.metrics.forwards[w.name].Inc()
+			return w, v, nil
+		}
+		var ae *client.APIError
+		if errors.As(err, &ae) {
+			if ae.StatusCode == http.StatusServiceUnavailable {
+				// Worker is up but full: backpressure, not failure.
+				sawBusy = true
+				co.obs.Trace().Emit("fleet_backpressure", map[string]any{"worker": w.name})
+				continue
+			}
+			// Any other API error (400 bad spec, ...) is not going to
+			// improve on another shard; surface it as-is.
+			return nil, nil, err
+		}
+		// Transport-level failure: the worker is unreachable.
+		w.setHealthy(false)
+		co.metrics.failovers[w.name].Inc()
+		co.obs.Trace().Emit("fleet_failover", map[string]any{
+			"worker": w.name, "error": err.Error(),
+		})
+	}
+	co.metrics.backpressure.Inc()
+	if sawBusy {
+		return nil, nil, &fleetError{code: http.StatusServiceUnavailable, retryAfter: 1, msg: "all workers are at capacity"}
+	}
+	return nil, nil, &fleetError{code: http.StatusServiceUnavailable, retryAfter: 1, msg: "no worker reachable"}
+}
+
+// view rewrites a worker-local JobView into the coordinator's wire
+// form: the coordinator id replaces the worker-local one, and the
+// shard is named. Callers hold sub.mu.
+func (sub *submission) view(v server.JobView) server.JobView {
+	v.ID = sub.id
+	if sub.worker != nil {
+		v.Worker = sub.worker.name
+	}
+	return v
+}
+
+// record stores the latest view. Callers hold sub.mu.
+func (sub *submission) record(v server.JobView) server.JobView {
+	v = sub.view(v)
+	sub.last = v
+	sub.terminal = v.Status.Terminal()
+	return v
+}
+
+// Handler returns the coordinator's HTTP API — the same surface a
+// single synthd serves, so clients (synth -remote, the Go client) are
+// oblivious to the topology:
+//
+//	POST   /v1/jobs      validate, shard by canonical key, forward
+//	GET    /v1/jobs      merged list of forwarded jobs
+//	GET    /v1/jobs/{id} poll (re-dispatching off dead workers)
+//	DELETE /v1/jobs/{id} cancel on the owning worker
+//	GET    /healthz      coordinator liveness + healthy worker count
+//	GET    /statsz       fleet snapshot (per-worker health/forwards)
+//	GET    /metrics      Prometheus text exposition
+//	GET    /tracez       recent trace events as JSONL
+//	GET    /debug/pprof/ runtime profiles
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", co.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", co.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", co.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", co.handleCancel)
+	mux.HandleFunc("GET /healthz", co.handleHealthz)
+	mux.HandleFunc("GET /statsz", co.handleStatsz)
+	mux.Handle("GET /metrics", co.obs.Reg.Handler())
+	mux.Handle("GET /tracez", co.obs.Tracer.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec server.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	// Validate here and compute the shard key; a spec the workers
+	// would reject never leaves the coordinator.
+	problem, opts, err := spec.Build()
+	if err != nil {
+		writeError(w, server.ErrorStatus(err), err.Error())
+		return
+	}
+	key, err := server.CanonicalCacheKey(problem, opts)
+	if err != nil {
+		writeError(w, server.ErrorStatus(err), err.Error())
+		return
+	}
+
+	worker, v, err := co.forward(r, spec, key, nil)
+	if err != nil {
+		writeFleetError(w, err)
+		return
+	}
+
+	co.mu.Lock()
+	co.nextID++
+	sub := &submission{
+		id:       fmt.Sprintf("c%06d", co.nextID),
+		spec:     spec,
+		key:      key,
+		created:  time.Now(),
+		worker:   worker,
+		remoteID: v.ID,
+	}
+	co.subs[sub.id] = sub
+	co.order = append(co.order, sub)
+	co.mu.Unlock()
+
+	sub.mu.Lock()
+	out := sub.record(*v)
+	sub.mu.Unlock()
+	co.obs.Trace().Emit("fleet_forward", map[string]any{
+		"id": sub.id, "worker": worker.name, "remote_id": v.ID, "key": key,
+	})
+	code := http.StatusAccepted
+	if out.Status.Terminal() {
+		code = http.StatusOK // served from the worker's cache
+	}
+	writeJSON(w, code, out)
+}
+
+// refresh polls the submission's worker for a fresh view,
+// re-dispatching to another shard if the worker is gone. It returns
+// the freshest view it can get; a stale last-known view with a nil
+// error is returned only when the job already reached a terminal
+// state (then the worker no longer matters).
+func (co *Coordinator) refresh(r *http.Request, sub *submission) (server.JobView, error) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.terminal {
+		return sub.last, nil
+	}
+	v, err := sub.worker.client.Job(r.Context(), sub.remoteID)
+	if err == nil {
+		return sub.record(*v), nil
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) && ae.StatusCode != http.StatusNotFound {
+		// The worker answered: the job is there, the request was bad
+		// some other way. Pass it through.
+		return server.JobView{}, err
+	}
+	// Transport failure (worker dead) or 404 (worker restarted and
+	// forgot the job): the search is lost, but it is deterministic —
+	// re-dispatch the original spec to the next shard and keep the
+	// coordinator id.
+	dead := sub.worker
+	dead.setHealthy(false)
+	worker, v, ferr := co.forward(r, sub.spec, sub.key, dead)
+	if ferr != nil {
+		return server.JobView{}, ferr
+	}
+	sub.worker = worker
+	sub.remoteID = v.ID
+	co.metrics.redispatches.Inc()
+	co.obs.Trace().Emit("fleet_redispatch", map[string]any{
+		"id": sub.id, "from": dead.name, "to": worker.name, "remote_id": v.ID,
+	})
+	return sub.record(*v), nil
+}
+
+func (co *Coordinator) lookup(id string) *submission {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.subs[id]
+}
+
+func (co *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
+	sub := co.lookup(r.PathValue("id"))
+	if sub == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	v, err := co.refresh(r, sub)
+	if err != nil {
+		writeFleetError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (co *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	sub := co.lookup(r.PathValue("id"))
+	if sub == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.terminal {
+		writeJSON(w, http.StatusOK, sub.last)
+		return
+	}
+	v, err := sub.worker.client.Cancel(r.Context(), sub.remoteID)
+	if err != nil {
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.StatusCode != http.StatusNotFound {
+			writeError(w, ae.StatusCode, ae.Message)
+			return
+		}
+		// The worker is gone, and with it the job: honor the cancel
+		// locally instead of resurrecting the search elsewhere.
+		sub.worker.setHealthy(false)
+		now := time.Now()
+		out := sub.record(server.JobView{
+			Status: server.StatusCancelled, CreatedAt: sub.created, FinishedAt: &now,
+		})
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	writeJSON(w, http.StatusOK, sub.record(*v))
+}
+
+func (co *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := server.Status(r.URL.Query().Get("status"))
+	if filter != "" && !filter.Known() {
+		known := server.KnownStatuses()
+		names := make([]string, len(known))
+		for i, st := range known {
+			names[i] = string(st)
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"unknown status %q (want one of %s)", filter, strings.Join(names, ", ")))
+		return
+	}
+	co.mu.Lock()
+	subs := make([]*submission, len(co.order))
+	copy(subs, co.order)
+	co.mu.Unlock()
+	views := make([]server.JobView, 0, len(subs))
+	for _, sub := range subs {
+		v, err := co.refresh(r, sub)
+		if err != nil {
+			// Unreachable job: report the last thing we knew rather
+			// than failing the whole listing.
+			sub.mu.Lock()
+			v = sub.last
+			sub.mu.Unlock()
+		}
+		if filter != "" && v.Status != filter {
+			continue
+		}
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (co *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	healthy := 0
+	for _, wr := range co.workers {
+		if wr.isHealthy() {
+			healthy++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "workers": len(co.workers), "healthy_workers": healthy,
+	})
+}
+
+// Stats is the coordinator's /statsz snapshot.
+type Stats struct {
+	Workers      []WorkerStats `json:"workers"`
+	Submissions  int           `json:"submissions"`
+	Redispatches int64         `json:"redispatches"`
+	Backpressure int64         `json:"backpressure"`
+}
+
+// WorkerStats is one shard's view in Stats.
+type WorkerStats struct {
+	Name      string `json:"name"`
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Forwards  int64  `json:"forwards"`
+	Failovers int64  `json:"failovers"`
+}
+
+// Snapshot assembles the current Stats.
+func (co *Coordinator) Snapshot() Stats {
+	st := Stats{
+		Redispatches: int64(co.metrics.redispatches.Value()),
+		Backpressure: int64(co.metrics.backpressure.Value()),
+	}
+	for _, w := range co.workers {
+		st.Workers = append(st.Workers, WorkerStats{
+			Name:      w.name,
+			URL:       w.base,
+			Healthy:   w.isHealthy(),
+			Forwards:  int64(co.metrics.forwards[w.name].Value()),
+			Failovers: int64(co.metrics.failovers[w.name].Value()),
+		})
+	}
+	co.mu.Lock()
+	st.Submissions = len(co.order)
+	co.mu.Unlock()
+	return st
+}
+
+func (co *Coordinator) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, co.Snapshot())
+}
+
+// fleetError is a coordinator-detected failure with an HTTP status
+// and an optional Retry-After hint.
+type fleetError struct {
+	code       int
+	retryAfter int
+	msg        string
+}
+
+func (e *fleetError) Error() string { return e.msg }
+
+func writeFleetError(w http.ResponseWriter, err error) {
+	var fe *fleetError
+	if errors.As(err, &fe) {
+		if fe.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(fe.retryAfter))
+		}
+		writeError(w, fe.code, fe.msg)
+		return
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		if ae.StatusCode == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, ae.StatusCode, ae.Message)
+		return
+	}
+	writeError(w, http.StatusBadGateway, err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, server.APIError{Error: msg})
+}

@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) hashing assigns each canonical
+// cache key a total order over the workers: the key's home shard is
+// the highest-scoring worker, and failover walks the same order. Two
+// properties make it the right sharding function for the fleet:
+//
+//   - No coordination: every coordinator (and every retry) computes
+//     the same order from nothing but the key and the worker names,
+//     so identical submissions always land on the same worker — its
+//     local result cache and singleflight table see every duplicate,
+//     and the sharded cache needs no cross-node invalidation.
+//   - Minimal disruption: removing a worker reassigns only the keys
+//     it owned (each to its second-ranked worker); every other key's
+//     order is untouched. A static worker set plus failover-to-next
+//     therefore behaves like consistent hashing without a ring.
+func hrwScore(key, worker string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(worker))
+	return h.Sum64()
+}
+
+// shardOrder returns workers ranked for key, best first. Ties (never
+// expected from a 64-bit hash, but the order must be total) break by
+// name so every coordinator agrees.
+func shardOrder(workers []*workerRef, key string) []*workerRef {
+	ranked := make([]*workerRef, len(workers))
+	copy(ranked, workers)
+	score := make(map[*workerRef]uint64, len(workers))
+	for _, w := range ranked {
+		score[w] = hrwScore(key, w.name)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := score[ranked[i]], score[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].name < ranked[j].name
+	})
+	return ranked
+}

@@ -30,6 +30,21 @@ func (s Status) Terminal() bool {
 	return s == StatusCompleted || s == StatusCancelled || s == StatusFailed
 }
 
+// KnownStatuses lists every lifecycle state, in transition order. The
+// HTTP layer uses it to validate ?status= filters.
+func KnownStatuses() []Status {
+	return []Status{StatusQueued, StatusRunning, StatusCompleted, StatusCancelled, StatusFailed}
+}
+
+// Known reports whether s is one of the lifecycle states.
+func (s Status) Known() bool {
+	switch s {
+	case StatusQueued, StatusRunning, StatusCompleted, StatusCancelled, StatusFailed:
+		return true
+	}
+	return false
+}
+
 // job is the server-side state of one submission. The mutable fields
 // are guarded by mu; the identity fields (id, spec, problem, opts,
 // key, ctx/cancel) are set once at submission and read-only after.
@@ -48,10 +63,16 @@ type job struct {
 	structKey string
 	ctx       context.Context
 	cancel    context.CancelFunc
+	// onTerminal, when set, is invoked exactly once, after the job
+	// enters a terminal state (outside j.mu). The server uses it to
+	// resolve the job's singleflight flight; it must not call back
+	// into finish/adopt on this job.
+	onTerminal func(*job)
 
 	mu       sync.Mutex
 	status   Status
 	cached   bool
+	deduped  bool
 	errMsg   string
 	result   *stochsyn.Result
 	created  time.Time
@@ -74,18 +95,42 @@ func (j *job) claim() bool {
 }
 
 // finish moves the job to a terminal state; it is a no-op if the job
-// already is terminal.
-func (j *job) finish(status Status, res *stochsyn.Result, errMsg string) {
+// already is terminal. It reports whether this call performed the
+// transition, and fires onTerminal (outside the lock) when it did.
+func (j *job) finish(status Status, res *stochsyn.Result, errMsg string) bool {
+	return j.finishWith(status, res, errMsg, false)
+}
+
+// adopt is finish for a singleflight follower taking over its
+// leader's outcome: same transition, but the job is marked deduped so
+// the wire view shows the result was shared, not searched for.
+func (j *job) adopt(status Status, res *stochsyn.Result, errMsg string) bool {
+	return j.finishWith(status, res, errMsg, true)
+}
+
+func (j *job) finishWith(status Status, res *stochsyn.Result, errMsg string, deduped bool) bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.status.Terminal() {
-		return
+		j.mu.Unlock()
+		return false
 	}
 	j.status = status
 	j.result = res
 	j.errMsg = errMsg
+	j.deduped = deduped
 	j.finished = time.Now()
+	// A follower adopting a result never ran; stamp started so its
+	// view, like a cache-born job's, has a zero-length run rather
+	// than a FinishedAt with no StartedAt.
+	if deduped && j.started.IsZero() {
+		j.started = j.finished
+	}
 	close(j.done)
+	j.mu.Unlock()
+	if j.onTerminal != nil {
+		j.onTerminal(j)
+	}
+	return true
 }
 
 // requestCancel cancels the job's context and, if the job has not
@@ -108,6 +153,7 @@ func (j *job) snapshot() JobView {
 		ID:        j.id,
 		Status:    j.status,
 		Cached:    j.cached,
+		Deduped:   j.deduped,
 		Error:     j.errMsg,
 		CreatedAt: j.created,
 	}
@@ -142,7 +188,15 @@ type JobView struct {
 	Status Status `json:"status"`
 	// Cached marks a job whose result was served from the result
 	// cache without running a search.
-	Cached bool   `json:"cached,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// Deduped marks a singleflight follower: an identical submission
+	// was already in flight, so this job adopted its outcome instead
+	// of running a second search.
+	Deduped bool `json:"deduped,omitempty"`
+	// Worker names the worker shard a fleet coordinator dispatched
+	// the job to (see internal/server/fleet). Single-node servers
+	// leave it empty.
+	Worker string `json:"worker,omitempty"`
 	Error  string `json:"error,omitempty"`
 	// Result is set once the job completes (and for cancelled jobs
 	// that got far enough to have partial counters).

@@ -27,6 +27,15 @@ type serverMetrics struct {
 	// semantic: the cached entry was populated by a structurally
 	// different (but canonically equal) submission.
 	canonicalHits *obs.Counter
+	// workerHits counts late cache hits at claim time — jobs that
+	// missed at submit and hit when a worker picked them up. Kept out
+	// of cacheHits so hits+misses equals submit-time lookups.
+	workerHits *obs.Counter
+	// dedupJoins/dedupPromotions are the singleflight counters: joins
+	// of an in-flight identical job, and follower re-dispatches after
+	// a leader ended without a usable result.
+	dedupJoins      *obs.Counter
+	dedupPromotions *obs.Counter
 	// analysisFindings accumulates the static-analysis findings
 	// (lint/fold/liveness) reported on completed jobs' solutions.
 	analysisFindings *obs.Counter
@@ -45,19 +54,31 @@ func (s *Server) initObs() {
 		cacheHits:        r.Counter("stochsyn_cache_hits_total"),
 		cacheMisses:      r.Counter("stochsyn_cache_misses_total"),
 		canonicalHits:    r.Counter("stochsyn_cache_canonical_hits_total"),
+		workerHits:       r.Counter("stochsyn_cache_worker_hits_total"),
+		dedupJoins:       r.Counter("stochsyn_singleflight_joins_total"),
+		dedupPromotions:  r.Counter("stochsyn_singleflight_promotions_total"),
 		analysisFindings: r.Counter("stochsyn_analysis_findings_total"),
 		queueWait:        r.Histogram("stochsyn_job_queue_wait_seconds", nil),
 		jobRun:           r.Histogram("stochsyn_job_run_seconds", nil),
 	}
 	r.SetHelp("stochsyn_jobs_submitted_total", "Jobs submitted (accepted or not).")
 	r.SetHelp("stochsyn_jobs_rejected_total", "Jobs rejected: queue full or server draining.")
-	r.SetHelp("stochsyn_cache_hits_total", "Result-cache hits (at submit or at claim time).")
+	r.SetHelp("stochsyn_cache_hits_total", "Result-cache hits at submit time; each submission's lookup is counted exactly once, as a hit or a miss.")
 	r.SetHelp("stochsyn_cache_misses_total", "Result-cache misses at submit time.")
+	r.SetHelp("stochsyn_cache_worker_hits_total", "Late cache hits at claim time (job missed at submit, hit when a worker picked it up); not part of the hit/miss lookup accounting.")
+	r.SetHelp("stochsyn_singleflight_joins_total", "Submissions that joined an identical in-flight job instead of searching.")
+	r.SetHelp("stochsyn_singleflight_promotions_total", "Singleflight followers re-dispatched after their leader ended cancelled or failed.")
 	r.SetHelp("stochsyn_cache_canonical_hits_total", "Cache hits where the entry came from a structurally different, semantically equal submission.")
 	r.SetHelp("stochsyn_analysis_findings_total", "Static-analysis findings (fold/lint/liveness) on completed jobs' solutions.")
 	r.SetHelp("stochsyn_job_queue_wait_seconds", "Time jobs spent queued before a worker claimed them.")
 	r.SetHelp("stochsyn_job_run_seconds", "Wall-clock synthesis time of executed jobs.")
 
+	r.GaugeFunc("stochsyn_singleflight_inflight", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.flights))
+	})
+	r.SetHelp("stochsyn_singleflight_inflight", "Currently open singleflight flights (distinct canonical keys in flight).")
 	r.GaugeFunc("stochsyn_queue_depth", func() float64 { return float64(len(s.queue)) })
 	r.GaugeFunc("stochsyn_queue_capacity", func() float64 { return float64(s.cfg.QueueDepth) })
 	r.GaugeFunc("stochsyn_busy_workers", func() float64 { return float64(s.busyWorkers.Load()) })

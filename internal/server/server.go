@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +78,7 @@ type Server struct {
 	mu        sync.Mutex
 	jobs      map[string]*job
 	order     []*job
+	flights   map[string]*flight // open singleflight entries by canonical key
 	nextID    int
 	accepting bool
 
@@ -104,6 +106,7 @@ func New(cfg Config) *Server {
 		cache:      newResultCache(cfg.CacheSize),
 		started:    time.Now(),
 		jobs:       make(map[string]*job),
+		flights:    make(map[string]*flight),
 		accepting:  true,
 		obs:        cfg.Obs,
 	}
@@ -196,13 +199,15 @@ func (s *Server) runJob(j *job) {
 	}()
 
 	// A semantically identical job may have completed while this one
-	// waited.
+	// waited. This submission's lookup outcome was already counted (a
+	// miss) at submit time, so this late hit goes to its own counter —
+	// bumping cacheHits here would make hits+misses exceed lookups and
+	// skew Stats.HitRate's denominator.
 	if res, populated, ok := s.cache.get(j.key); ok {
-		s.metrics.cacheHits.Inc()
-		if populated != j.structKey {
-			s.metrics.canonicalHits.Inc()
-			s.obs.Trace().Emit("cache_canonical_hit", map[string]any{"key": j.key})
-		}
+		s.metrics.workerHits.Inc()
+		s.obs.Trace().Emit("cache_worker_hit", map[string]any{
+			"key": j.key, "canonical": populated != j.structKey,
+		})
 		j.mu.Lock()
 		j.cached = true
 		j.mu.Unlock()
@@ -239,10 +244,20 @@ func (s *Server) runJob(j *job) {
 		s.metrics.analysisFindings.Add(float64(len(res.Lint)))
 		j.finish(status, &res, "")
 	}
-	s.obs.Trace().Emit("job_finished", map[string]any{
-		"id": j.id, "status": string(status), "solved": res.Solved,
-		"iterations": res.Iterations, "seconds": time.Since(begin).Seconds(),
-	})
+	// On the failed path res is the zero Result; reporting its
+	// solved/iterations fields would fabricate "solved:false
+	// iterations:0" telemetry for a run that never produced either.
+	attrs := map[string]any{
+		"id": j.id, "status": string(status),
+		"seconds": time.Since(begin).Seconds(),
+	}
+	if err != nil {
+		attrs["error"] = err.Error()
+	} else {
+		attrs["solved"] = res.Solved
+		attrs["iterations"] = res.Iterations
+	}
+	s.obs.Trace().Emit("job_finished", attrs)
 }
 
 // submit registers a new job for the spec, serving it from the cache
@@ -290,7 +305,12 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		j.cached = true
 		j.status = StatusCompleted
 		j.result = &res
-		j.finished = time.Now()
+		// A cache-born job starts and finishes at birth: both stamps
+		// are set (to the same instant) so client-side duration math
+		// never sees a FinishedAt without a StartedAt.
+		now := time.Now()
+		j.started = now
+		j.finished = now
 		close(j.done)
 		s.register(j)
 		return j, nil
@@ -300,6 +320,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 
 	j := s.newJob(spec, problem, opts, key, structKey)
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	j.onTerminal = s.jobTerminal
 
 	s.mu.Lock()
 	if !s.accepting {
@@ -308,6 +329,18 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		j.cancel()
 		return nil, &httpError{code: http.StatusServiceUnavailable, msg: "server is draining"}
 	}
+	// An identical job may already be in flight: join it as a follower
+	// instead of burning a second search (see singleflight.go).
+	if s.joinOrLeadLocked(j) {
+		s.registerLocked(j)
+		leader := s.flights[key].leader
+		s.mu.Unlock()
+		s.metrics.dedupJoins.Inc()
+		s.obs.Trace().Emit("singleflight_join", map[string]any{
+			"id": j.id, "leader": leader.id, "key": key,
+		})
+		return j, nil
+	}
 	select {
 	case s.queue <- j:
 		s.registerLocked(j)
@@ -315,6 +348,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		s.obs.Trace().Emit("job_submitted", map[string]any{"id": j.id})
 		return j, nil
 	default:
+		delete(s.flights, key)
 		s.mu.Unlock()
 		s.metrics.rejected.Inc()
 		j.cancel()
@@ -375,6 +409,7 @@ type Stats struct {
 	// the stochsyn_jobs{state=...} gauge series.
 	JobsByState map[string]int `json:"jobs_by_state"`
 	Cache       CacheStats     `json:"cache"`
+	Dedup       DedupStats     `json:"dedup"`
 	Workers     PoolStats      `json:"workers"`
 }
 
@@ -395,10 +430,30 @@ type CacheStats struct {
 	// CanonicalHits is the subset of Hits where the cached entry was
 	// populated by a structurally different but semantically equal
 	// submission (the cache is keyed by CanonicalCacheKey).
-	CanonicalHits int64   `json:"canonical_hits"`
-	Entries       int     `json:"entries"`
-	Capacity      int     `json:"capacity"`
-	HitRate       float64 `json:"hit_rate"`
+	CanonicalHits int64 `json:"canonical_hits"`
+	// WorkerHits counts late hits at claim time: a job that missed at
+	// submit but found its result cached when a worker picked it up.
+	// These are deliberately excluded from Hits so that Hits+Misses
+	// equals the number of submit-time lookups and HitRate's
+	// denominator stays honest.
+	WorkerHits int     `json:"worker_hits"`
+	Entries    int     `json:"entries"`
+	Capacity   int     `json:"capacity"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+// DedupStats reports singleflight effectiveness: identical
+// submissions that joined an in-flight search instead of running
+// their own.
+type DedupStats struct {
+	// Joins is the number of submissions that became followers of an
+	// already-in-flight identical job.
+	Joins int64 `json:"joins"`
+	// Promotions counts flights whose leader ended cancelled/failed
+	// and a follower was re-dispatched in its place.
+	Promotions int64 `json:"promotions"`
+	// InFlight is the number of currently open flights.
+	InFlight int `json:"in_flight"`
 }
 
 // PoolStats reports scheduler utilization.
@@ -462,11 +517,20 @@ func (s *Server) Snapshot() Stats {
 		Hits:          int64(s.metrics.cacheHits.Value()),
 		Misses:        int64(s.metrics.cacheMisses.Value()),
 		CanonicalHits: int64(s.metrics.canonicalHits.Value()),
+		WorkerHits:    int(s.metrics.workerHits.Value()),
 		Entries:       s.cache.len(),
 		Capacity:      s.cfg.CacheSize,
 	}
 	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
 		st.Cache.HitRate = float64(st.Cache.Hits) / float64(lookups)
+	}
+	s.mu.Lock()
+	inFlight := len(s.flights)
+	s.mu.Unlock()
+	st.Dedup = DedupStats{
+		Joins:      int64(s.metrics.dedupJoins.Value()),
+		Promotions: int64(s.metrics.dedupPromotions.Value()),
+		InFlight:   inFlight,
 	}
 	st.Workers = PoolStats{
 		Total:        s.cfg.Workers,
@@ -488,10 +552,21 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.msg }
 
-// errorStatus maps an error to its HTTP status: spec and validation
+// statusNames renders the known lifecycle states for error messages.
+func statusNames() string {
+	names := make([]string, 0, 5)
+	for _, st := range KnownStatuses() {
+		names = append(names, string(st))
+	}
+	return strings.Join(names, ", ")
+}
+
+// ErrorStatus maps an error to its HTTP status: spec and validation
 // errors are the client's fault (400), scheduling rejections carry
-// their own code, everything else is a 500.
-func errorStatus(err error) int {
+// their own code, everything else is a 500. Exported for the fleet
+// coordinator, which validates specs with the same machinery before
+// forwarding them.
+func ErrorStatus(err error) int {
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
@@ -543,7 +618,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.submit(spec)
 	if err != nil {
-		writeError(w, errorStatus(err), err.Error())
+		writeError(w, ErrorStatus(err), err.Error())
 		return
 	}
 	v := j.snapshot()
@@ -556,6 +631,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	filter := Status(r.URL.Query().Get("status"))
+	if filter != "" && !filter.Known() {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"unknown status %q (want one of %s)", filter, statusNames()))
+		return
+	}
 	s.mu.Lock()
 	jobs := make([]*job, len(s.order))
 	copy(jobs, s.order)
