@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt lint test race short bench-exec bench-obs bench-eval server-smoke fleet-smoke
+.PHONY: ci build vet fmt lint test race short bench-exec bench-obs bench-eval bench-eqsat server-smoke fleet-smoke
 
 # gate runs one CI stage, echoing "ci: <name> ok" on success and
 # "ci: FAIL at gate <name>" (then exiting nonzero) on failure, so a
@@ -21,10 +21,11 @@ ci:
 	$(call gate,vet,$(GO) vet ./...)
 	$(call gate,fmt,$(MAKE) -s fmt)
 	$(call gate,lint,$(GO) run ./cmd/repolint)
-	$(call gate,fuzz,$(GO) test -run FuzzIncrementalEval ./internal/search/)
+	$(call gate,fuzz,$(GO) test -run FuzzIncrementalEval ./internal/search/ && $(GO) test -run FuzzEqSat ./internal/eqsat/)
+	$(call gate,eqsat-smoke,$(GO) test -run TestEqSatSmoke -count=1 ./internal/eqsat/)
 	$(call gate,race,$(GO) test -race ./...)
 	$(call gate,fleet-smoke,sh scripts/fleet_smoke.sh)
-	@echo "ci: all gates passed (build vet fmt lint fuzz race fleet-smoke)"
+	@echo "ci: all gates passed (build vet fmt lint fuzz eqsat-smoke race fleet-smoke)"
 
 build:
 	$(GO) build ./...
@@ -69,6 +70,13 @@ bench-obs:
 # engine is >= 2x geomean iterations/sec.
 bench-eval:
 	$(GO) run ./cmd/bench -exp eval -budget 2000000
+
+# Compare stochastic size minimization, equality-saturation extraction,
+# and their hybrid on both suites (superopt references + expression
+# fixtures) and write BENCH_eqsat.json. Every row is computed twice;
+# the bench refuses to write the report on any divergence.
+bench-eqsat:
+	$(GO) run ./cmd/bench -exp eqsat -budget 2000000 -problems 8
 
 # Boot synthd on an ephemeral port, submit a small SyGuS job through
 # `synth -remote`, and assert the server returns a solution.

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"stochsyn/internal/experiment"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/testcase"
+)
+
+// eqsatReport is the BENCH_eqsat.json payload. Every field below Date
+// is deterministic in (seed, problems, budget): the experiment
+// recomputes each row and refuses to report if the repeat disagrees.
+type eqsatReport struct {
+	Date          string                `json:"date"`
+	Budget        int64                 `json:"budget_per_arm"`
+	Seed          uint64                `json:"seed"`
+	Deterministic bool                  `json:"deterministic"`
+	Rows          []experiment.EqSatRow `json:"rows"`
+	StochMeanRed  float64               `json:"stoch_mean_reduction"`
+	EqSatMeanRed  float64               `json:"eqsat_mean_reduction"`
+	HybridMeanRed float64               `json:"hybrid_mean_reduction"`
+	HybridWins    int                   `json:"hybrid_wins"`
+}
+
+// fixtureRows are the sygus-style side of the comparison: named
+// reference expressions (Hacker's Delight flavored) whose suites are
+// sampled from the expression itself, mirroring how expr-based server
+// jobs are built.
+var fixtureRows = []struct {
+	name, expr string
+	inputs     int
+}{
+	{"hd01-pad", "andq(andq(x, subq(x, 1)), orq(x, x))", 1},
+	{"offset-chain", "addq(addq(addq(x, 1), 2), 3)", 1},
+	{"xor-cancel", "xorq(xorq(x, y), y)", 2},
+	{"mul-ladder", "mulq(mulq(x, 2), 4)", 1},
+	{"select-redun", "orq(andq(x, y), andq(x, y))", 2},
+	{"shift-mask", "shlq(x, andq(y, 63))", 2},
+	{"double-not", "notq(notq(addq(x, y)))", 2},
+	{"sub-self", "subq(addq(x, y), subq(addq(x, y), x))", 2},
+}
+
+// runEqSat compares stochastic size minimization, equality-saturation
+// extraction, and their hybrid on both suites (the superopt pipeline's
+// reference-carrying problems plus the expression fixtures) and writes
+// BENCH_eqsat.json.
+func runEqSat(cfg benchConfig) {
+	var probs []experiment.EqSatProblem
+
+	// Fixture suite: deterministic expression-derived problems.
+	for _, f := range fixtureRows {
+		ref := prog.MustParse(f.expr, f.inputs)
+		rng := rand.New(rand.NewPCG(cfg.seed, 0xe95a7e95a7))
+		suite := testcase.Generate(func(in []uint64) uint64 { return ref.Output(in) },
+			f.inputs, 50, rng)
+		probs = append(probs, experiment.EqSatProblem{
+			Name: f.name, SuiteName: "fixture", Suite: suite, Ref: ref,
+		})
+	}
+
+	// Superopt suite: scraped fragments with translated references.
+	n := cfg.problems
+	if n > 8 {
+		n = 8 // two stochastic arms per row; keep the default run short
+	}
+	sprobs, stats, err := experiment.SuperoptBenchmarkWithRefs(cfg.seed, n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("superopt pipeline:", stats)
+	probs = append(probs, sprobs...)
+
+	fmt.Printf("stochastic vs eqsat-extraction vs hybrid: %d problems, budget=%d per arm, seed=%d\n",
+		len(probs), cfg.budget, cfg.seed)
+	res := experiment.EqSat(experiment.EqSatConfig{
+		Problems:    probs,
+		Budget:      cfg.budget,
+		Seed:        cfg.seed,
+		Parallelism: cfg.par,
+	})
+	res.Report(os.Stdout)
+	if !res.Deterministic {
+		fatal(fmt.Errorf("eqsat bench: recomputed rows diverged; refusing to write BENCH_eqsat.json"))
+	}
+
+	stoch, eq, hy, wins := res.Summary()
+	report := eqsatReport{
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		Budget:        cfg.budget,
+		Seed:          cfg.seed,
+		Deterministic: res.Deterministic,
+		Rows:          res.Rows,
+		StochMeanRed:  stoch,
+		EqSatMeanRed:  eq,
+		HybridMeanRed: hy,
+		HybridWins:    wins,
+	}
+	f, err := os.Create("BENCH_eqsat.json")
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote BENCH_eqsat.json")
+}

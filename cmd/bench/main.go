@@ -13,6 +13,7 @@
 //	bench -exp markov                             Figure 4
 //	bench -exp exec      -workers 8               concurrent tree executor counters
 //	bench -exp eval                               incremental-eval engine vs legacy path
+//	bench -exp eqsat                              stochastic vs eqsat-extraction vs hybrid
 //	bench -exp all                                everything at smoke scale
 //
 // The defaults are sized to finish in minutes on a laptop; raise
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: betasweep, compare, plateau, fits, model, markov, exec, eval, all")
+		exp      = flag.String("exp", "all", "experiment: betasweep, compare, plateau, fits, model, markov, exec, eval, eqsat, all")
 		benchSel = flag.String("bench", "sygus", "benchmark: sygus or superopt")
 		problems = flag.Int("problems", 12, "number of benchmark problems")
 		names    = flag.String("names", "", "comma-separated problem names to keep (after loading)")
@@ -112,6 +113,8 @@ func main() {
 		runExec(cfg)
 	case "eval":
 		runEval(cfg)
+	case "eqsat":
+		runEqSat(cfg)
 	case "all":
 		fmt.Println("== model chains (Figure 10) ==")
 		runModel(cfg)

@@ -37,6 +37,13 @@
 //     engine is bound). Test files are exempt: differential tests
 //     deliberately compare the engine against Program.Eval.
 //
+//  4. rules: every internal/prog/analysis Rule composite literal must
+//     carry a literal, unique Name string. The name is the join key
+//     between the simplifier, the lints, eqsat's rewrite engine, and
+//     the severity table; a duplicate would silently shadow a rule in
+//     any consumer that indexes by name. Loop-built or computed names
+//     defeat the static check and are reported outright.
+//
 // Usage:
 //
 //	repolint [-dir module-root]
@@ -57,6 +64,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -138,6 +146,7 @@ func run(dir string, out io.Writer) (int, error) {
 	for _, p := range pkgs {
 		ld.dirs[p.importPath] = p
 	}
+	ruleNames := map[string][]string{}
 	for _, p := range pkgs {
 		if len(p.goFiles) == 0 {
 			continue
@@ -147,10 +156,22 @@ func run(dir string, out io.Writer) (int, error) {
 			return 0, fmt.Errorf("type-checking %s: %w", p.importPath, err)
 		}
 		findings = append(findings, checkEvalContainment(fset, tp, modPath, p.importPath)...)
+		findings = append(findings, collectRuleNames(fset, tp, modPath, ruleNames)...)
 		if p.importPath == modPath+"/internal/obs" {
 			continue // home of the nil-safe wrappers
 		}
 		findings = append(findings, checkHookAccess(fset, tp, modPath)...)
+	}
+
+	// Check 4 (second half): duplicate rule names, across every package
+	// that builds a Rule literal.
+	for name, positions := range ruleNames {
+		if len(positions) > 1 {
+			sort.Strings(positions)
+			findings = append(findings, fmt.Sprintf(
+				"%s: analysis.Rule name %q also declared at %s; rule names must be unique (they key the simplifier, lints, and eqsat)",
+				positions[0], name, strings.Join(positions[1:], ", ")))
+		}
 	}
 
 	sort.Strings(findings)
@@ -308,6 +329,62 @@ func (l *loader) load(importPath string) (*typedPkg, error) {
 type importerFunc func(path string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// collectRuleNames records the position of every analysis.Rule
+// composite literal's Name into names (keyed by the name string) and
+// reports literals whose Name is missing or not a plain string literal
+// — those defeat the static duplicate check. Test files are not loaded
+// by the type-checker, so test-local Rule literals are exempt.
+func collectRuleNames(fset *token.FileSet, tp *typedPkg, modPath string, names map[string][]string) []string {
+	var findings []string
+	rulePath := modPath + "/internal/prog/analysis"
+	for _, f := range tp.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := tp.info.Types[cl]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Name() != "Rule" || obj.Pkg() == nil || obj.Pkg().Path() != rulePath {
+				return true
+			}
+			pos := fset.Position(cl.Pos()).String()
+			for _, el := range cl.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Name" {
+					continue
+				}
+				lit, ok := kv.Value.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					findings = append(findings, fmt.Sprintf(
+						"%s: analysis.Rule Name must be a literal string (computed names defeat the duplicate check)", pos))
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true // unreachable on type-checked source
+				}
+				names[name] = append(names[name], pos)
+				return true
+			}
+			findings = append(findings, fmt.Sprintf(
+				"%s: analysis.Rule literal without a Name field", pos))
+			return true
+		})
+	}
+	return findings
+}
 
 // checkHookAccess reports unguarded field selections through the
 // possibly-nil obs hook bundle pointers.

@@ -138,6 +138,59 @@ func badChain(c cfg) {
 	}
 }
 
+// analysisSrc is a minimal stand-in for internal/prog/analysis: just
+// the Rule type the duplicate-name check keys on.
+const analysisSrc = `package analysis
+
+type Rule struct {
+	Name   string
+	Reason string
+}
+`
+
+func TestRuleNameUniqueness(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":                             "module fakemod\n\ngo 1.22\n",
+		"internal/obs/obs.go":                obsSrc,
+		"internal/prog/analysis/analysis.go": analysisSrc,
+		"internal/prog/analysis/rules.go": `package analysis
+
+var rules = []Rule{
+	{Name: "fold-const", Reason: "ok"},
+	{Name: "xor-self", Reason: "ok"},
+	{Name: "fold-const", Reason: "duplicate"},
+}
+`,
+		// A duplicate in another package is caught too, as is a computed
+		// name and a literal with no name at all.
+		"internal/use/use.go": `package use
+
+import "fakemod/internal/prog/analysis"
+
+var name = "xor" + "-self"
+
+var extra = []analysis.Rule{
+	{Name: "xor-self"},
+	{Name: name},
+	{Reason: "anonymous"},
+}
+`,
+	})
+	n, out := lint(t, dir)
+	if n != 4 {
+		t.Fatalf("findings = %d, want 4\n%s", n, out)
+	}
+	for _, want := range []string{
+		`"fold-const"`, `"xor-self"`,
+		"must be a literal string",
+		"without a Name field",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestRepoIsClean pins the acceptance criterion: the linter reports
 // zero findings on this repository itself. make ci runs the same
 // check; this test keeps it enforced under plain go test.

@@ -1,0 +1,367 @@
+// Package eqsat is a small equality-saturation engine over the
+// dataflow programs of internal/prog: a hashconsed e-graph with
+// union-find e-classes and congruence closure, a budgeted saturation
+// driver that reuses the exported algebraic rule table from
+// internal/prog/analysis (plus associativity expansion rules of its
+// own), and a cost-minimal, deterministic extraction.
+//
+// The package serves three consumers (DESIGN.md §12):
+//
+//   - EClassHash keys *rewrite equivalence*: programs that the rule
+//     set can prove equal hash identically, strictly coarser than the
+//     canonicalizer's syntactic hash (which cannot cross, e.g., an
+//     associativity respelling);
+//   - Dedup lets the restart and search layers skip rewrite-equivalent
+//     restart seeds and plateau states (stochsyn.Options.EqSat);
+//   - the synthd cache uses EClassHash as a second-level key so
+//     rewrite-equivalent submissions hit fleet-wide.
+//
+// Everything is deterministic: classes are stored in a slice and
+// visited in id order, node lists are kept sorted, worklists are
+// sorted before draining, and the only map (the hashcons) is used for
+// lookup, never iterated. Saturation is budgeted by an e-node cap and
+// an iteration cap; when the cap bites, the engine degrades to "fewer
+// equalities discovered", never to nondeterminism or unsoundness.
+package eqsat
+
+import (
+	"sort"
+
+	"stochsyn/internal/prog"
+)
+
+// classID identifies an e-class. It aliases the rule table's Ref type
+// (int32) so e-classes can be fed to analysis.Rule matchers directly.
+type classID = int32
+
+// enode is one operator application over e-classes: op applied to the
+// classes a and b (b unused below arity 2, always zero there so enode
+// stays a well-behaved comparable map key). For OpInput val is the
+// input index; for OpConst it is the constant value.
+type enode struct {
+	op   prog.Op
+	a, b classID
+	val  uint64
+}
+
+// parentEdge records that enode n (a member of class c) uses the class
+// the edge is stored on as an argument; congruence repair
+// re-canonicalizes these after merges.
+type parentEdge struct {
+	n enode
+	c classID
+}
+
+// eclass is the data of one representative class: its member enodes
+// (kept sorted between saturation passes), the parent edges of classes
+// that use it, and the class's constant value once one is known.
+type eclass struct {
+	nodes    []enode
+	parents  []parentEdge
+	cval     uint64
+	hasConst bool
+}
+
+// EGraph is a hashconsed e-graph. The zero value is not usable; call
+// New.
+type EGraph struct {
+	budget Budget
+	// uf is the union-find forest over class ids; the representative
+	// of a merged set is always its minimum id, so determinism never
+	// depends on merge order.
+	uf []classID
+	// classes is indexed by class id; absorbed (non-representative)
+	// ids hold nil. Iterating this slice in index order is the
+	// deterministic replacement for iterating a map.
+	classes []*eclass
+	// memo is the hashcons: canonical enode → class id (possibly
+	// stale; resolve through find). Lookup-only — never iterated.
+	memo map[enode]classID
+	// worklist holds classes whose parents need congruence repair.
+	worklist []classID
+	// capped records that Add refused an enode on the node budget;
+	// the graph is still sound, just less saturated.
+	capped    bool
+	saturated bool
+	stats     Stats
+}
+
+// New returns an empty e-graph operating under b (normalized; zero
+// fields get defaults).
+func New(b Budget) *EGraph {
+	return &EGraph{
+		budget: b.normalized(),
+		memo:   make(map[enode]classID),
+	}
+}
+
+// find returns the representative of c, compressing paths as it goes.
+func (g *EGraph) find(c classID) classID {
+	for g.uf[c] != c {
+		g.uf[c] = g.uf[g.uf[c]]
+		c = g.uf[c]
+	}
+	return c
+}
+
+// canonicalize rewrites n's argument classes to their representatives
+// and sorts the arguments of commutative operators by class id.
+func (g *EGraph) canonicalize(n enode) enode {
+	if !n.op.IsInstruction() {
+		return n
+	}
+	n.a = g.find(n.a)
+	if n.op.Arity() == 2 {
+		n.b = g.find(n.b)
+		if prog.Commutative(n.op) && n.a > n.b {
+			n.a, n.b = n.b, n.a
+		}
+	}
+	return n
+}
+
+// Add inserts n (hashconsed: an existing equal enode returns its
+// class). It reports false — without modifying the graph — when the
+// node budget is exhausted; saturation rules treat that as "rule does
+// not fire", keeping budgeted runs deterministic and sound.
+func (g *EGraph) Add(n enode) (classID, bool) {
+	n = g.canonicalize(n)
+	if id, ok := g.memo[n]; ok {
+		return g.find(id), true
+	}
+	if len(g.classes) >= g.budget.MaxNodes {
+		g.capped = true
+		return -1, false
+	}
+	id := classID(len(g.classes))
+	cls := &eclass{nodes: []enode{n}}
+	if n.op == prog.OpConst {
+		cls.cval, cls.hasConst = n.val, true
+	}
+	g.classes = append(g.classes, cls)
+	g.uf = append(g.uf, id)
+	g.memo[n] = id
+	if n.op.IsInstruction() {
+		g.classes[n.a].parents = append(g.classes[n.a].parents, parentEdge{n: n, c: id})
+		if n.op.Arity() == 2 && n.b != n.a {
+			g.classes[n.b].parents = append(g.classes[n.b].parents, parentEdge{n: n, c: id})
+		}
+	}
+	return id, true
+}
+
+// union merges the classes of x and y, keeping the smaller id as
+// representative, and queues the merged class for congruence repair.
+// It reports whether a merge actually happened.
+func (g *EGraph) union(x, y classID) bool {
+	rx, ry := g.find(x), g.find(y)
+	if rx == ry {
+		return false
+	}
+	if rx > ry {
+		rx, ry = ry, rx
+	}
+	g.uf[ry] = rx
+	cx, cy := g.classes[rx], g.classes[ry]
+	cx.nodes = append(cx.nodes, cy.nodes...)
+	cx.parents = append(cx.parents, cy.parents...)
+	if cy.hasConst {
+		if !cx.hasConst {
+			cx.cval, cx.hasConst = cy.cval, true
+		} else if cx.cval != cy.cval {
+			// Two distinct constants proved equal would mean an
+			// unsound rule; record it (extraction's Eval-equality
+			// check is the safety net) rather than panicking in
+			// production paths.
+			g.stats.ConstConflicts++
+		}
+	}
+	g.classes[ry] = nil
+	g.worklist = append(g.worklist, rx)
+	g.stats.Merges++
+	return true
+}
+
+// rebuild restores the congruence invariant after a batch of unions:
+// parents of merged classes are re-canonicalized through the hashcons,
+// and colliding parents are themselves unioned, to a fixpoint. The
+// worklist is sorted and deduplicated before each drain so repair
+// order is a function of graph content only.
+func (g *EGraph) rebuild() {
+	for len(g.worklist) > 0 {
+		todo := g.worklist
+		g.worklist = nil
+		for i := range todo {
+			todo[i] = g.find(todo[i])
+		}
+		sort.Slice(todo, func(i, j int) bool { return todo[i] < todo[j] })
+		prev := classID(-1)
+		for _, c := range todo {
+			if c == prev {
+				continue
+			}
+			prev = c
+			g.repair(c)
+		}
+	}
+	g.normalize()
+}
+
+// repair re-canonicalizes every parent of class c. Parents whose
+// canonical form now collides in the hashcons are congruent — their
+// classes are unioned (which may grow the worklist).
+func (g *EGraph) repair(c classID) {
+	rep := g.find(c)
+	cls := g.classes[rep]
+	if cls == nil {
+		return
+	}
+	parents := cls.parents
+	cls.parents = nil
+	fresh := make([]parentEdge, 0, len(parents))
+	for _, pe := range parents {
+		delete(g.memo, pe.n)
+		pn := g.canonicalize(pe.n)
+		pc := g.find(pe.c)
+		if existing, ok := g.memo[pn]; ok {
+			g.union(pc, existing)
+			pc = g.find(pc)
+		}
+		g.memo[pn] = pc
+		fresh = append(fresh, parentEdge{n: pn, c: pc})
+	}
+	// The repairs above may have merged rep itself into a smaller
+	// class; reattach the rebuilt parent list wherever it lives now.
+	target := g.classes[g.find(rep)]
+	target.parents = append(target.parents, fresh...)
+}
+
+// normalize re-canonicalizes, sorts, and dedupes every class's node
+// list so that rule matching and extraction iterate identical
+// sequences regardless of the union history that produced the class.
+func (g *EGraph) normalize() {
+	for id := range g.classes {
+		cls := g.classes[id]
+		if cls == nil || g.find(classID(id)) != classID(id) {
+			continue
+		}
+		for i, n := range cls.nodes {
+			cls.nodes[i] = g.canonicalize(n)
+		}
+		sort.Slice(cls.nodes, func(i, j int) bool { return lessNode(cls.nodes[i], cls.nodes[j]) })
+		w := 0
+		for i, n := range cls.nodes {
+			if i == 0 || n != cls.nodes[i-1] {
+				cls.nodes[w] = n
+				w++
+			}
+		}
+		cls.nodes = cls.nodes[:w]
+	}
+}
+
+func lessNode(x, y enode) bool {
+	if x.op != y.op {
+		return x.op < y.op
+	}
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	if x.b != y.b {
+		return x.b < y.b
+	}
+	return x.val < y.val
+}
+
+// classConst resolves class c to a constant value when one is known.
+func (g *EGraph) classConst(c classID) (uint64, bool) {
+	cls := g.classes[g.find(c)]
+	return cls.cval, cls.hasConst
+}
+
+// AddProgram inserts every node of p, returning the class of p's root.
+// It reports false only when the node budget cannot even hold the
+// program itself (callers should then fall back to the program as-is).
+func (g *EGraph) AddProgram(p *prog.Program) (classID, bool) {
+	cls := make([]classID, len(p.Nodes))
+	for _, i := range p.TopoOrder() {
+		nd := &p.Nodes[i]
+		var n enode
+		switch {
+		case nd.Op == prog.OpInput:
+			n = enode{op: prog.OpInput, val: nd.Val}
+		case nd.Op == prog.OpConst:
+			n = enode{op: prog.OpConst, val: nd.Val}
+		default:
+			n = enode{op: nd.Op, a: cls[nd.Args[0]]}
+			if nd.Op.Arity() == 2 {
+				n.b = cls[nd.Args[1]]
+			}
+		}
+		id, ok := g.Add(n)
+		if !ok {
+			return -1, false
+		}
+		cls[i] = id
+	}
+	g.rebuild()
+	return g.find(cls[p.Root]), true
+}
+
+// Stats returns the graph's counters plus the current live class and
+// e-node totals.
+func (g *EGraph) Stats() Stats {
+	st := g.stats
+	for id, cls := range g.classes {
+		if cls == nil || g.find(classID(id)) != classID(id) {
+			continue
+		}
+		st.Classes++
+		st.Nodes += len(cls.nodes)
+	}
+	st.Saturated = g.saturated && !g.capped
+	return st
+}
+
+// Stats are the observable counters of one e-graph's lifetime. The
+// server aggregates them into the stochsyn_eqsat_* metric series.
+type Stats struct {
+	// Saturations counts Saturate calls (one per EClassHash).
+	Saturations int
+	// Iters counts saturation passes actually run.
+	Iters int
+	// Merges counts e-class unions (stochsyn_eqsat_eclass_merges_total).
+	Merges int
+	// Extractions counts cost-minimal extractions performed.
+	Extractions int
+	// Fallbacks counts extractions that failed validation or the
+	// Eval-equality check and fell back to the input program.
+	Fallbacks int
+	// Nodes and Classes are the live totals at Stats() time.
+	Nodes   int
+	Classes int
+	// ConstConflicts counts two distinct constants proved equal — an
+	// unsound rule; always zero unless a rule is broken.
+	ConstConflicts int
+	// Saturated reports that saturation reached a fixpoint without
+	// the node budget refusing any addition.
+	Saturated bool
+}
+
+// Accumulate adds o's counters into st (Saturated is ANDed: a batch is
+// saturated only if every member was).
+func (st *Stats) Accumulate(o Stats) {
+	if st.Saturations == 0 {
+		st.Saturated = o.Saturated
+	} else {
+		st.Saturated = st.Saturated && o.Saturated
+	}
+	st.Saturations += o.Saturations
+	st.Iters += o.Iters
+	st.Merges += o.Merges
+	st.Extractions += o.Extractions
+	st.Fallbacks += o.Fallbacks
+	st.Nodes += o.Nodes
+	st.Classes += o.Classes
+	st.ConstConflicts += o.ConstConflicts
+}

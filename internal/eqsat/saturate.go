@@ -1,0 +1,257 @@
+package eqsat
+
+import (
+	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis"
+)
+
+// Budget bounds one saturation run. Saturation cost is capped twice
+// over: MaxNodes bounds the e-nodes (and therefore classes) ever
+// created, MaxIters bounds the rule passes. Hitting either cap leaves
+// a sound, deterministic — just less saturated — graph.
+type Budget struct {
+	// MaxNodes caps e-nodes created over the graph's lifetime.
+	// 0 means the default (512); values below 64 are raised to 64 so
+	// AddProgram can always hold a full program (prog.MaxNodes = 24).
+	MaxNodes int
+	// MaxIters caps saturation passes. 0 means the default (8).
+	MaxIters int
+}
+
+// DefaultBudget is the budget used when callers pass Budget{}.
+func DefaultBudget() Budget { return Budget{}.normalized() }
+
+func (b Budget) normalized() Budget {
+	if b.MaxNodes <= 0 {
+		b.MaxNodes = 512
+	}
+	if b.MaxNodes < 64 {
+		b.MaxNodes = 64
+	}
+	if b.MaxIters <= 0 {
+		b.MaxIters = 8
+	}
+	return b
+}
+
+// assocOps lists the operators the expansion rules treat as
+// associative. All are also commutative, so together with the
+// hashcons's commutative argument sorting the two rotations below
+// reach every reassociation over a few passes. The 32-bit operators
+// are deliberately excluded: their zero-extension makes mixed-width
+// reasoning easy to get wrong, and the shared rule table already
+// covers their profitable identities.
+var assocOps = [prog.NumOps]bool{
+	prog.OpAdd:  true,
+	prog.OpMul:  true,
+	prog.OpAnd:  true,
+	prog.OpOr:   true,
+	prog.OpXor:  true,
+	prog.OpMAnd: true,
+	prog.OpMOr:  true,
+	prog.OpMXor: true,
+}
+
+// Saturate runs rule passes until fixpoint or the iteration budget.
+// Each pass visits classes in id order and, per class: folds constant
+// applications, matches the shared algebraic rule table, and applies
+// the associativity expansion rules; congruence is repaired between
+// passes. A pass that changes nothing is a fixpoint.
+func (g *EGraph) Saturate() {
+	g.stats.Saturations++
+	for it := 0; it < g.budget.MaxIters; it++ {
+		g.stats.Iters++
+		changed := g.step()
+		g.rebuild()
+		if !changed {
+			g.saturated = true
+			break
+		}
+	}
+}
+
+// step runs one saturation pass. Classes created during the pass are
+// deliberately not visited until the next pass (the snapshot bound),
+// so a pass's work is a function of the pass-start graph only.
+func (g *EGraph) step() bool {
+	changed := false
+	limit := classID(len(g.classes))
+	for c := classID(0); c < limit; c++ {
+		if g.classes[c] == nil || g.find(c) != c {
+			continue
+		}
+		if g.foldClass(c) {
+			changed = true
+		}
+		if g.applyRules(c) {
+			changed = true
+		}
+		if g.expandAssoc(c) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// foldClass merges c with a constant class when any member enode has
+// all-constant argument classes. One fold per pass suffices: the
+// resulting constant propagates through parents via congruence.
+func (g *EGraph) foldClass(c classID) bool {
+	cls := g.classes[g.find(c)]
+	if cls.hasConst {
+		return false
+	}
+	nodes := append([]enode(nil), cls.nodes...)
+	for _, n := range nodes {
+		if !n.op.IsInstruction() {
+			continue
+		}
+		av, ok := g.classConst(n.a)
+		if !ok {
+			continue
+		}
+		var bv uint64
+		if n.op.Arity() == 2 {
+			if bv, ok = g.classConst(n.b); !ok {
+				continue
+			}
+		}
+		id, added := g.Add(enode{op: prog.OpConst, val: prog.EvalOp(n.op, av, bv)})
+		if !added {
+			return false
+		}
+		return g.union(c, id)
+	}
+	return false
+}
+
+// applyRules matches the shared rule table against every member of c,
+// unioning c with each rule's replacement. Rules are additive here:
+// all matches fire (the simplifier applies only the first).
+func (g *EGraph) applyRules(c classID) bool {
+	cls := g.classes[g.find(c)]
+	nodes := append([]enode(nil), cls.nodes...)
+	changed := false
+	for _, n := range nodes {
+		if !n.op.IsInstruction() {
+			continue
+		}
+		s := egSubject{g: g, n: n}
+		for _, r := range analysis.RulesFor(n.op) {
+			switch act := r.Match(s); act.Kind {
+			case analysis.ActConst:
+				if id, ok := g.Add(enode{op: prog.OpConst, val: act.Val}); ok && g.union(c, id) {
+					changed = true
+				}
+			case analysis.ActRef:
+				if g.union(c, act.Ref) {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// expandAssoc applies the two associativity rotations to every member
+// of c whose operator is in assocOps:
+//
+//	(x ∘ y) ∘ z  =  x ∘ (y ∘ z)        (left rotation)
+//	x ∘ (y ∘ z)  =  (x ∘ y) ∘ z        (right rotation)
+//
+// These are the expansion rules that make EClassHash strictly coarser
+// than the canonical hash: the destructive simplifier cannot cross an
+// associativity respelling, the e-graph can.
+func (g *EGraph) expandAssoc(c classID) bool {
+	cls := g.classes[g.find(c)]
+	nodes := append([]enode(nil), cls.nodes...)
+	changed := false
+	for _, n := range nodes {
+		if int(n.op) >= prog.NumOps || !assocOps[n.op] {
+			continue
+		}
+		// A member m = P∘Q inside either argument class turns n into an
+		// expression over three operands {P, Q, other}; since every
+		// assoc op is also commutative (and the hashcons sorts
+		// commutative arguments, erasing left/right distinctions), BOTH
+		// regroupings must be added or the rotation can regenerate the
+		// node it started from:
+		//
+		//	(P∘Q)∘B  =  P∘(Q∘B)  =  Q∘(P∘B)
+		la := append([]enode(nil), g.classes[g.find(n.a)].nodes...)
+		for _, m := range la {
+			if m.op != n.op {
+				continue
+			}
+			if g.regroup(c, n.op, m.a, m.b, n.b) {
+				changed = true
+			}
+		}
+		rb := append([]enode(nil), g.classes[g.find(n.b)].nodes...)
+		for _, m := range rb {
+			if m.op != n.op {
+				continue
+			}
+			if g.regroup(c, n.op, m.a, m.b, n.a) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// regroup unions c with both regroupings of the commutative-
+// associative expression p ∘ q ∘ r, where (p∘q) was the existing
+// grouping and r the remaining operand.
+func (g *EGraph) regroup(c classID, op prog.Op, p, q, r classID) bool {
+	changed := false
+	for _, pair := range [2][2]classID{{q, p}, {p, q}} {
+		inner, ok := g.Add(enode{op: op, a: pair[0], b: r})
+		if !ok {
+			continue
+		}
+		outer, ok := g.Add(enode{op: op, a: pair[1], b: inner})
+		if !ok {
+			continue
+		}
+		if g.union(c, outer) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// egSubject adapts one enode to the rule table's Subject interface:
+// Refs are representative class ids, constants are class-level values
+// established by folding.
+type egSubject struct {
+	g *EGraph
+	n enode
+}
+
+func (s egSubject) Op() prog.Op { return s.n.op }
+
+func (s egSubject) Arg(k int) analysis.Ref {
+	if k == 0 {
+		return s.g.find(s.n.a)
+	}
+	return s.g.find(s.n.b)
+}
+
+func (s egSubject) Const(r analysis.Ref) (uint64, bool) {
+	return s.g.classConst(r)
+}
+
+// ArgOf scans r's members (sorted order) for an application of op,
+// returning its first argument's class. Unlike the program-node
+// adapter this matches any member, which is what makes rules like the
+// involutions fire across previously-merged classes.
+func (s egSubject) ArgOf(r analysis.Ref, op prog.Op) (analysis.Ref, bool) {
+	cls := s.g.classes[s.g.find(r)]
+	for _, m := range cls.nodes {
+		if m.op == op {
+			return s.g.find(m.a), true
+		}
+	}
+	return 0, false
+}

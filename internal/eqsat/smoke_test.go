@@ -1,0 +1,54 @@
+package eqsat
+
+import (
+	"testing"
+)
+
+// TestEqSatSmoke is the `make ci` eqsat gate: saturate and extract a
+// fixed fixture suite and assert the e-class counts, e-node counts,
+// extraction spellings, and EClassHash values are byte-stable — both
+// against the committed goldens (cross-run stability) and between two
+// in-process runs (no map-iteration or allocation-order leaks). Any
+// intentional rule-table or extraction change must update the goldens;
+// an unintentional diff here is a determinism regression.
+func TestEqSatSmoke(t *testing.T) {
+	golden := []struct {
+		expr    string
+		inputs  int
+		extract string
+		hash    uint64
+		classes int
+		nodes   int
+	}{
+		{"addq(addq(x, 1), 2)", 1, "addq(3, x)", 0x65ec9ae8695e7924, 7, 10},
+		{"andq(andq(x, y), z)", 3, "andq(andq(x, y), z)", 0x28da5eb99e10f800, 7, 9},
+		{"xorq(xorq(x, y), y)", 2, "x", 0x5d3b85692a575606, 4, 10},
+		{"mulq(mulq(x, 2), 4)", 1, "mulq(8, x)", 0x8eb705d80e9cc3a9, 7, 10},
+		{"orq(orq(x, y), orq(x, z))", 3, "orq(orq(y, z), x)", 0x86716cf3131edbc0, 7, 14},
+		{"subq(x, subq(x, x))", 1, "x", 0x56277359bda9cd65, 2, 4},
+		{"notq(notq(addq(x, y)))", 2, "addq(x, y)", 0xbb7dbf4f2b240746, 4, 5},
+		{"shlq(x, andq(y, 63))", 2, "shlq(x, andq(63, y))", 0x885ad665a529bb98, 5, 5},
+		{"zextlq(addl(x, y))", 2, "addl(x, y)", 0x4323944f5d8d7ea4, 3, 4},
+		{"popcntq(andq(x, subq(x, 1)))", 1, "popcntq(andq(subq(x, 1), x))", 0x02e76d1b817d9db4, 5, 5},
+	}
+	for run := 0; run < 2; run++ {
+		for _, tc := range golden {
+			p := parse(t, tc.expr, tc.inputs)
+			h, st := EClassHash(p, Budget{})
+			q, _ := Simplify(p, Budget{})
+			if h != tc.hash {
+				t.Errorf("run %d: EClassHash(%q) = %016x, want %016x", run, tc.expr, h, tc.hash)
+			}
+			if got := q.String(); got != tc.extract {
+				t.Errorf("run %d: Simplify(%q) = %q, want %q", run, tc.expr, got, tc.extract)
+			}
+			if st.Classes != tc.classes || st.Nodes != tc.nodes {
+				t.Errorf("run %d: %q: %d classes / %d e-nodes, want %d / %d",
+					run, tc.expr, st.Classes, st.Nodes, tc.classes, tc.nodes)
+			}
+			if !st.Saturated {
+				t.Errorf("run %d: %q did not reach an uncapped fixpoint", run, tc.expr)
+			}
+		}
+	}
+}

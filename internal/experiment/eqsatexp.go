@@ -1,0 +1,251 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/eqsat"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis"
+	"stochsyn/internal/search"
+	"stochsyn/internal/superopt"
+	"stochsyn/internal/testcase"
+)
+
+// This file implements the stochastic-vs-EqSat superoptimization
+// comparison: given a known-correct reference program, how small a
+// correct program does each approach find?
+//
+//   - stochastic: MCMC size minimization (search.Options.MinimizeSize)
+//     seeded with the reference, the paper's optimization mode;
+//   - eqsat: bounded equality saturation over the reference followed by
+//     cost-minimal extraction (internal/eqsat.Simplify) — deterministic
+//     and budget-free, but limited to the rule set;
+//   - hybrid: the eqsat extraction used as the stochastic search's
+//     starting point, so saturation's algebraic wins compose with the
+//     sampler's ability to leave the rule closure.
+//
+// Everything reported is deterministic in the seed: each row is
+// computed twice and the repeat must agree bit for bit.
+
+// EqSatProblem is one comparison row's input: a suite and a
+// known-correct reference program for it.
+type EqSatProblem struct {
+	Name string
+	// SuiteName tags the originating benchmark ("superopt", "fixture").
+	SuiteName string
+	Suite     *testcase.Suite
+	Ref       *prog.Program
+}
+
+// EqSatConfig configures the comparison.
+type EqSatConfig struct {
+	Problems []EqSatProblem
+	// Budget is the iteration budget of each stochastic arm (the eqsat
+	// arm uses none).
+	Budget int64
+	Seed   uint64
+	// Parallelism bounds concurrent rows (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// EqSatRow is one problem's outcome across the three arms.
+type EqSatRow struct {
+	Name      string `json:"name"`
+	SuiteName string `json:"suite"`
+	Inputs    int    `json:"inputs"`
+	RefSize   int    `json:"ref_size"`
+
+	// Arm outcomes: the smallest correct program size each arm reached.
+	StochSize  int `json:"stoch_size"`
+	EqSatSize  int `json:"eqsat_size"`
+	HybridSize int `json:"hybrid_size"`
+
+	// E-graph shape after saturating the reference.
+	EClasses  int  `json:"eclasses"`
+	ENodes    int  `json:"enodes"`
+	Saturated bool `json:"saturated"`
+
+	// ExtractionHash is the canonical semantic hash of the eqsat
+	// extraction (16 hex digits); with EClasses/ENodes it pins the
+	// engine's determinism in the committed report.
+	ExtractionHash string `json:"extraction_hash"`
+
+	// Verified reports that every arm's winning program matched the
+	// whole suite (always true; a false value is an engine bug).
+	Verified bool `json:"verified"`
+}
+
+// EqSatResult is the full comparison.
+type EqSatResult struct {
+	Rows []EqSatRow
+	// Deterministic reports that recomputing every row reproduced it
+	// exactly.
+	Deterministic bool
+}
+
+// SuperoptBenchmarkWithRefs builds the superopt benchmark like
+// SuperoptBenchmark but keeps each problem's translated reference,
+// which the EqSat comparison needs as its starting point.
+func SuperoptBenchmarkWithRefs(seed uint64, n int) ([]EqSatProblem, superopt.Stats, error) {
+	opts := superopt.DefaultOptions(seed)
+	if n > 0 {
+		opts.SampleSize = n
+		opts.CorpusFunctions = 60 + 8*n
+	}
+	probs, stats, err := superopt.Build(opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]EqSatProblem, 0, len(probs))
+	for _, p := range probs {
+		if p.Reference == nil {
+			continue // DefaultOptions requires references; belt and braces
+		}
+		out = append(out, EqSatProblem{
+			Name: p.Name, SuiteName: "superopt", Suite: p.Suite, Ref: p.Reference,
+		})
+	}
+	return out, stats, nil
+}
+
+// EqSat runs the three-arm comparison. Each row is computed twice;
+// Deterministic reports whether the repeats agreed on every row.
+func EqSat(cfg EqSatConfig) *EqSatResult {
+	res := &EqSatResult{Rows: make([]EqSatRow, len(cfg.Problems)), Deterministic: true}
+	repeat := make([]EqSatRow, len(cfg.Problems))
+	tasks := make([]task, 0, 2*len(cfg.Problems))
+	for i := range cfg.Problems {
+		i := i
+		tasks = append(tasks,
+			func() { res.Rows[i] = eqsatRow(cfg.Problems[i], cfg.Budget, cfg.Seed) },
+			func() { repeat[i] = eqsatRow(cfg.Problems[i], cfg.Budget, cfg.Seed) },
+		)
+	}
+	runParallel(cfg.Parallelism, tasks)
+	for i := range res.Rows {
+		if res.Rows[i] != repeat[i] {
+			res.Deterministic = false
+		}
+	}
+	return res
+}
+
+// eqsatRow runs all three arms on one problem.
+func eqsatRow(p EqSatProblem, budget int64, seed uint64) EqSatRow {
+	row := EqSatRow{
+		Name:      p.Name,
+		SuiteName: p.SuiteName,
+		Inputs:    p.Suite.NumInputs,
+		RefSize:   p.Ref.BodyLen(),
+		Verified:  true,
+	}
+
+	// EqSat arm: saturate + extract. Simplify already proves the
+	// extraction Eval-equal to the reference on its fixed batteries; the
+	// suite check below is a second, independent witness.
+	ex, st := eqsat.Simplify(p.Ref, eqsat.Budget{})
+	row.EClasses, row.ENodes, row.Saturated = st.Classes, st.Nodes, st.Saturated
+	row.ExtractionHash = fmt.Sprintf("%016x", analysis.Hash(ex))
+	row.EqSatSize = ex.BodyLen()
+
+	// Stochastic arm: size-minimizing MCMC from the reference.
+	stoch := minimizeFrom(p, p.Ref, budget, trialSeed(seed, p.Name, "stoch", cost.Hamming, 0))
+	row.StochSize = stoch.BodyLen()
+
+	// Hybrid arm: the same sampler started from the extraction.
+	hybrid := minimizeFrom(p, ex, budget, trialSeed(seed, p.Name, "hybrid", cost.Hamming, 0))
+	if ex.BodyLen() < hybrid.BodyLen() {
+		hybrid = ex
+	}
+	row.HybridSize = hybrid.BodyLen()
+
+	for _, q := range []*prog.Program{ex, stoch, hybrid} {
+		if !matchesSuite(q, p.Suite) {
+			row.Verified = false
+		}
+	}
+	return row
+}
+
+// minimizeFrom runs one size-minimizing search seeded with init and
+// returns the smallest correct program observed (init itself if the
+// search never improved on it).
+func minimizeFrom(p EqSatProblem, init *prog.Program, budget int64, seed uint64) *prog.Program {
+	r := search.New(p.Suite, search.Options{
+		Set:          prog.FullSet,
+		Cost:         cost.Hamming,
+		Beta:         1,
+		Seed:         seed,
+		Init:         init.Clone(),
+		MinimizeSize: true,
+	})
+	r.Step(budget)
+	best := r.Best()
+	if best == nil || init.BodyLen() < best.BodyLen() {
+		return init
+	}
+	return best
+}
+
+// matchesSuite checks q against every case of the suite.
+func matchesSuite(q *prog.Program, s *testcase.Suite) bool {
+	for _, c := range s.Cases {
+		if q.Output(c.Inputs) != c.Output {
+			return false
+		}
+	}
+	return true
+}
+
+// Report prints the comparison table and summary reductions.
+func (r *EqSatResult) Report(w io.Writer) {
+	rows := append([]EqSatRow(nil), r.Rows...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].SuiteName != rows[j].SuiteName {
+			return rows[i].SuiteName < rows[j].SuiteName
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	fmt.Fprintf(w, "%-16s %-9s %4s  %6s %6s %6s  %8s %7s %4s  %-16s\n",
+		"problem", "suite", "ref", "stoch", "eqsat", "hybrid",
+		"eclasses", "enodes", "sat", "extraction")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-16s %-9s %4d  %6d %6d %6d  %8d %7d %4v  %-16s\n",
+			row.Name, row.SuiteName, row.RefSize,
+			row.StochSize, row.EqSatSize, row.HybridSize,
+			row.EClasses, row.ENodes, row.Saturated, row.ExtractionHash)
+		if !row.Verified {
+			fmt.Fprintf(w, "  !! %s: an arm's program failed suite verification\n", row.Name)
+		}
+	}
+	stoch, eq, hy, wins := r.Summary()
+	fmt.Fprintf(w, "mean size reduction vs reference: stoch %.1f%%  eqsat %.1f%%  hybrid %.1f%%\n",
+		100*stoch, 100*eq, 100*hy)
+	fmt.Fprintf(w, "hybrid at least as small as both single arms on %d/%d problems\n",
+		wins, len(r.Rows))
+	if !r.Deterministic {
+		fmt.Fprintln(w, "!! NONDETERMINISM: a recomputed row differed")
+	}
+}
+
+// Summary returns the mean fractional size reduction of each arm and
+// the number of rows where the hybrid matched or beat both single arms.
+func (r *EqSatResult) Summary() (stoch, eq, hybrid float64, hybridWins int) {
+	if len(r.Rows) == 0 {
+		return 0, 0, 0, 0
+	}
+	for _, row := range r.Rows {
+		ref := float64(row.RefSize)
+		stoch += 1 - float64(row.StochSize)/ref
+		eq += 1 - float64(row.EqSatSize)/ref
+		hybrid += 1 - float64(row.HybridSize)/ref
+		if row.HybridSize <= row.StochSize && row.HybridSize <= row.EqSatSize {
+			hybridWins++
+		}
+	}
+	n := float64(len(r.Rows))
+	return stoch / n, eq / n, hybrid / n, hybridWins
+}

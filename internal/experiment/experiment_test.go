@@ -2,11 +2,13 @@ package experiment
 
 import (
 	"math"
+	"math/rand/v2"
 	"strings"
 	"testing"
 
 	"stochsyn/internal/cost"
 	"stochsyn/internal/prog"
+	"stochsyn/internal/testcase"
 )
 
 func TestSyGuSBenchmark(t *testing.T) {
@@ -369,5 +371,61 @@ func TestCutoffAblation(t *testing.T) {
 	ReportCutoff(&sb, results)
 	if !strings.Contains(sb.String(), "fixed(t*)") {
 		t.Error("report incomplete")
+	}
+}
+
+func TestEqSatExperiment(t *testing.T) {
+	mk := func(name, expr string, inputs int) EqSatProblem {
+		t.Helper()
+		ref := prog.MustParse(expr, inputs)
+		rng := rand.New(rand.NewPCG(7, 0xe95a7))
+		suite := testcase.Generate(func(in []uint64) uint64 { return ref.Output(in) },
+			inputs, 30, rng)
+		return EqSatProblem{Name: name, SuiteName: "fixture", Suite: suite, Ref: ref}
+	}
+	res := EqSat(EqSatConfig{
+		Problems: []EqSatProblem{
+			mk("offset", "addq(addq(x, 1), 2)", 1),
+			mk("xor-cancel", "xorq(xorq(x, y), y)", 2),
+		},
+		Budget: 50_000,
+		Seed:   3,
+	})
+	if !res.Deterministic {
+		t.Fatal("recomputed rows diverged")
+	}
+	for _, row := range res.Rows {
+		if !row.Verified {
+			t.Errorf("%s: an arm's program failed suite verification", row.Name)
+		}
+		// No arm may report a larger program than the reference: the
+		// reference itself is always a candidate.
+		for arm, size := range map[string]int{
+			"stoch": row.StochSize, "eqsat": row.EqSatSize, "hybrid": row.HybridSize,
+		} {
+			if size > row.RefSize {
+				t.Errorf("%s/%s: size %d exceeds reference %d", row.Name, arm, size, row.RefSize)
+			}
+		}
+		// The hybrid starts from the extraction and keeps the better of
+		// the two, so it can never lose to the eqsat arm.
+		if row.HybridSize > row.EqSatSize {
+			t.Errorf("%s: hybrid %d worse than eqsat %d", row.Name, row.HybridSize, row.EqSatSize)
+		}
+		if len(row.ExtractionHash) != 16 {
+			t.Errorf("%s: extraction hash %q not 16 hex digits", row.Name, row.ExtractionHash)
+		}
+	}
+	// The eqsat arm alone collapses both fixtures (pure rule wins).
+	if got := res.Rows[0].EqSatSize; got != 2 {
+		t.Errorf("offset eqsat size = %d, want 2 (addq(3, x): const + add)", got)
+	}
+	if got := res.Rows[1].EqSatSize; got != 0 {
+		t.Errorf("xor-cancel eqsat size = %d, want 0 (bare input)", got)
+	}
+	var sb strings.Builder
+	res.Report(&sb)
+	if !strings.Contains(sb.String(), "mean size reduction") {
+		t.Errorf("report missing summary:\n%s", sb.String())
 	}
 }

@@ -29,30 +29,60 @@ import (
 	"stochsyn/internal/prog"
 )
 
+// Severity classifies a finding. The zero value is SevWarn so that
+// passes which never set the field keep their historical rendering.
+type Severity string
+
+// Severity levels. SevWarn findings are actionable: the reported
+// redundancy can be rewritten away (the canonicalizer does exactly
+// that). SevInfo findings are report-only: they describe a property of
+// the program the rewriter deliberately leaves alone (e.g. a 32-bit
+// shift whose count masks to zero, which is zextlq, not the identity).
+const (
+	SevWarn Severity = "" // actionable; renders untagged for stability
+	SevInfo Severity = "info"
+)
+
 // Finding is one diagnostic produced by a pass. Node is the index of
 // the offending node, or -1 for program-level findings.
 type Finding struct {
-	Pass string // name of the pass that produced the finding
-	Node int32  // node index, -1 when program-level
-	Msg  string
+	Pass     string   // name of the pass that produced the finding
+	Node     int32    // node index, -1 when program-level
+	Severity Severity // SevWarn (actionable, the default) or SevInfo (report-only)
+	Msg      string
 }
 
-// String renders the finding as "pass: node N: msg".
+// String renders the finding as "pass: node N: msg"; report-only
+// findings carry the severity tag after the pass name, as in
+// "pass[info]: node N: msg".
 func (f Finding) String() string {
-	if f.Node < 0 {
-		return f.Pass + ": " + f.Msg
+	pass := f.Pass
+	if f.Severity != SevWarn {
+		pass += "[" + string(f.Severity) + "]"
 	}
-	return fmt.Sprintf("%s: node %d: %s", f.Pass, f.Node, f.Msg)
+	if f.Node < 0 {
+		return pass + ": " + f.Msg
+	}
+	return fmt.Sprintf("%s: node %d: %s", pass, f.Node, f.Msg)
 }
+
+// Actionable reports whether the finding calls for a rewrite (SevWarn)
+// rather than being informational only.
+func (f Finding) Actionable() bool { return f.Severity == SevWarn }
 
 // Report collects the findings of one or more passes.
 type Report struct {
 	Findings []Finding
 }
 
-// Add appends a finding.
+// Add appends an actionable (SevWarn) finding.
 func (r *Report) Add(pass string, node int32, format string, args ...any) {
-	r.Findings = append(r.Findings, Finding{Pass: pass, Node: node, Msg: fmt.Sprintf(format, args...)})
+	r.AddSev(pass, SevWarn, node, format, args...)
+}
+
+// AddSev appends a finding with an explicit severity.
+func (r *Report) AddSev(pass string, sev Severity, node int32, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{Pass: pass, Node: node, Severity: sev, Msg: fmt.Sprintf(format, args...)})
 }
 
 // Empty reports whether the report holds no findings.

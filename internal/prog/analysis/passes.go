@@ -56,7 +56,7 @@ func (LintPass) Run(p *prog.Program, r *Report) {
 		switch nd.Op {
 		case prog.OpShl32, prog.OpShr32, prog.OpSar32:
 			if bv, ok := constVal(p, nd.Args[1]); ok && bv&31 == 0 {
-				r.Add("lint", int32(i), "%s count masks to 0: equivalent to zextlq, not the identity", nd.Op)
+				r.AddSev("lint", SevInfo, int32(i), "%s count masks to 0: equivalent to zextlq, not the identity", nd.Op)
 			}
 		}
 	}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"stochsyn/internal/prog"
+)
+
+// The rule table must have pairwise-distinct names (cmd/repolint also
+// checks this statically) and every rule must declare at least one
+// opcode and a reason.
+func TestRuleTableWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Rules {
+		if r.Name == "" {
+			t.Fatal("rule with empty name")
+		}
+		if seen[r.Name] {
+			t.Fatalf("rule %q defined twice", r.Name)
+		}
+		seen[r.Name] = true
+		if len(r.Ops) == 0 {
+			t.Errorf("rule %q declares no opcodes", r.Name)
+		}
+		if r.Reason == "" {
+			t.Errorf("rule %q has no semantics justification", r.Name)
+		}
+		if r.Match == nil {
+			t.Errorf("rule %q has no matcher", r.Name)
+		}
+	}
+}
+
+// Every rule must be reachable through the per-op dispatch index, and
+// dispatch must preserve table order per opcode.
+func TestRulesForDispatch(t *testing.T) {
+	for i := range Rules {
+		r := &Rules[i]
+		for _, op := range r.Ops {
+			found := false
+			for _, got := range RulesFor(op) {
+				if got == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("rule %q not dispatched for %s", r.Name, op)
+			}
+		}
+	}
+	if RulesFor(prog.OpInput) != nil || RulesFor(prog.OpConst) != nil {
+		t.Error("non-instruction opcodes must have no rules")
+	}
+}
+
+// Every rule, applied destructively through the canonicalizer path,
+// must preserve Eval semantics. This drives each rule's Ops through a
+// program that triggers it and checks the canonical form agrees with
+// the original on a battery of inputs (the canon fuzz covers random
+// programs; this pins one witness per rule family).
+func TestRuleWitnessesEvalEqual(t *testing.T) {
+	exprs := []string{
+		"andq(x, x)", "orq(x, x)", "xorq(x, x)", "xorl(x, x)",
+		"subq(x, x)", "subl(x, x)", "eqq(x, x)", "ultq(x, x)", "sltq(x, x)",
+		"remq(x, x)", "iremq(x, x)",
+		"andq(x, 0)", "andq(0xffffffffffffffff, x)", "orq(0, x)",
+		"orq(x, 0xffffffffffffffff)", "xorq(0, x)", "addq(0, x)",
+		"subq(x, 0)", "mulq(x, 0)", "mulq(1, x)", "divq(x, 0)",
+		"idivq(x, 1)", "remq(x, 1)", "iremq(x, 0xffffffffffffffff)",
+		"shlq(x, 64)", "sarq(x, 0)", "rolq(x, 128)",
+		"andl(x, 0)", "mull(0x100000000, x)", "orl(x, 0xffffffff)",
+		"ultq(x, 0)", "sltq(x, 0x8000000000000000)",
+		"shlq(0, x)", "sarq(0, x)", "sarq(0xffffffffffffffff, x)",
+		"ultq(0xffffffffffffffff, x)", "sltq(0x7fffffffffffffff, x)",
+		"divq(0, x)", "iremq(0, x)",
+		"notq(notq(x))", "negq(negq(x))", "bswapq(bswapq(x))",
+		"sextbq(sextbq(x))", "zextlq(zextlq(x))", "zextlq(addl(x, x))",
+		"zextlq(zextbq(x))",
+	}
+	cases := []uint64{0, 1, 2, 63, 64, ^uint64(0), 0x8000000000000000,
+		0x7fffffffffffffff, 0xffffffff, 0x100000000, 12345}
+	for _, e := range exprs {
+		p, err := prog.Parse(e, 1)
+		if err != nil {
+			t.Fatalf("parse %q: %v", e, err)
+		}
+		c := Canonicalize(p)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("canon of %q invalid: %v", e, err)
+		}
+		for _, v := range cases {
+			in := []uint64{v}
+			if got, want := c.Output(in), p.Output(in); got != want {
+				t.Fatalf("%q: canon %q disagrees on x=%#x: got %#x want %#x",
+					e, c, v, got, want)
+			}
+		}
+	}
+}
+
+// Severity rendering: the zero value (SevWarn) keeps the historical
+// untagged format; SevInfo inserts the tag after the pass name.
+func TestFindingSeverity(t *testing.T) {
+	warn := Finding{Pass: "lint", Node: 3, Msg: "x & x = x"}
+	if got, want := warn.String(), "lint: node 3: x & x = x"; got != want {
+		t.Errorf("warn rendering: got %q want %q", got, want)
+	}
+	if !warn.Actionable() {
+		t.Error("SevWarn finding must be actionable")
+	}
+	info := Finding{Pass: "lint", Node: 2, Severity: SevInfo, Msg: "report only"}
+	if got, want := info.String(), "lint[info]: node 2: report only"; got != want {
+		t.Errorf("info rendering: got %q want %q", got, want)
+	}
+	if info.Actionable() {
+		t.Error("SevInfo finding must not be actionable")
+	}
+}
+
+// The 32-bit masked-shift lint is report-only: it must come out of the
+// default pipeline tagged SevInfo, while rewritable findings stay
+// SevWarn.
+func TestMaskedShiftLintIsInfo(t *testing.T) {
+	p, err := prog.Parse("shll(x, 32)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(p)
+	found := false
+	for _, f := range rep.Findings {
+		if strings.Contains(f.Msg, "count masks to 0") {
+			found = true
+			if f.Severity != SevInfo {
+				t.Errorf("masked-shift finding severity = %q, want info", f.Severity)
+			}
+			if !strings.Contains(f.String(), "lint[info]:") {
+				t.Errorf("masked-shift finding renders %q, want lint[info] tag", f.String())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("masked-shift lint not reported")
+	}
+
+	q, err := prog.Parse("andq(x, x)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(q).Findings {
+		if strings.Contains(f.Msg, "x & x") && f.Severity != SevWarn {
+			t.Errorf("rewritable finding severity = %q, want warn", f.Severity)
+		}
+	}
+}

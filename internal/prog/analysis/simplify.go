@@ -73,208 +73,40 @@ func foldNode(p *prog.Program, i int32) (uint64, bool) {
 // simplifyNode returns the algebraic rewrite for node i, or a rwNone
 // rewrite when no rule applies. Constant folding is handled separately
 // by foldNode; simplifyNode only covers rules with at least one
-// non-constant operand.
+// non-constant operand. The rules themselves live in the exported
+// table in rules.go; this function is the program-node adapter.
 func simplifyNode(p *prog.Program, i int32) rewrite {
 	nd := &p.Nodes[i]
 	if !nd.Op.IsInstruction() {
 		return rewrite{}
 	}
-	if nd.Op.Arity() == 2 {
-		if rw := simplifyBinary(p, i); rw.kind != rwNone {
-			return rw
-		}
-		return rewrite{}
-	}
-	return simplifyUnary(p, i)
-}
-
-// simplifyBinary covers the binary rules: equal-argument identities
-// and annihilators, then constant-operand identities and annihilators.
-func simplifyBinary(p *prog.Program, i int32) rewrite {
-	nd := &p.Nodes[i]
-	a, b := nd.Args[0], nd.Args[1]
-
-	// Equal arguments. These hold for every value of the shared
-	// argument, including the division edge cases (x % x is zero both
-	// when x == 0, by the trap rule, and otherwise).
-	if a == b {
-		switch nd.Op {
-		case prog.OpAnd, prog.OpMAnd:
-			return rewrite{kind: rwNode, node: a, reason: "x & x = x"}
-		case prog.OpOr, prog.OpMOr:
-			return rewrite{kind: rwNode, node: a, reason: "x | x = x"}
-		case prog.OpXor, prog.OpMXor:
-			return rewrite{kind: rwConst, val: 0, reason: "x ^ x = 0"}
-		case prog.OpXor32:
-			return rewrite{kind: rwConst, val: 0, reason: "xorl(x, x) = 0"}
-		case prog.OpSub:
-			return rewrite{kind: rwConst, val: 0, reason: "x - x = 0"}
-		case prog.OpSub32:
-			return rewrite{kind: rwConst, val: 0, reason: "subl(x, x) = 0"}
-		case prog.OpEq:
-			return rewrite{kind: rwConst, val: 1, reason: "x == x is 1"}
-		case prog.OpUlt, prog.OpSlt:
-			return rewrite{kind: rwConst, val: 0, reason: "x < x is 0"}
-		case prog.OpRemU, prog.OpRemS:
-			return rewrite{kind: rwConst, val: 0, reason: "x % x = 0 (incl. x = 0)"}
+	s := progSubject{p: p, i: i}
+	for _, r := range RulesFor(nd.Op) {
+		switch act := r.Match(s); act.Kind {
+		case ActConst:
+			return rewrite{kind: rwConst, val: act.Val, reason: r.Reason}
+		case ActRef:
+			return rewrite{kind: rwNode, node: act.Ref, reason: r.Reason}
 		}
 	}
-
-	av, aConst := constVal(p, a)
-	bv, bConst := constVal(p, b)
-
-	// Commutative ops: normalize so the constant (if exactly one) is
-	// bv and the non-constant operand is a.
-	if aConst && !bConst {
-		switch nd.Op {
-		case prog.OpAdd, prog.OpMul, prog.OpAnd, prog.OpOr, prog.OpXor,
-			prog.OpMul32, prog.OpAnd32, prog.OpOr32,
-			prog.OpMAnd, prog.OpMOr, prog.OpMXor:
-			a, b = b, a
-			av, aConst, bv, bConst = bv, bConst, av, aConst
-		}
-	}
-
-	if bConst && !aConst {
-		switch nd.Op {
-		case prog.OpAnd, prog.OpMAnd:
-			if bv == 0 {
-				return rewrite{kind: rwConst, val: 0, reason: "x & 0 = 0"}
-			}
-			if bv == ^uint64(0) {
-				return rewrite{kind: rwNode, node: a, reason: "x & ~0 = x"}
-			}
-		case prog.OpOr, prog.OpMOr:
-			if bv == 0 {
-				return rewrite{kind: rwNode, node: a, reason: "x | 0 = x"}
-			}
-			if bv == ^uint64(0) {
-				return rewrite{kind: rwConst, val: ^uint64(0), reason: "x | ~0 = ~0"}
-			}
-		case prog.OpXor, prog.OpMXor:
-			if bv == 0 {
-				return rewrite{kind: rwNode, node: a, reason: "x ^ 0 = x"}
-			}
-		case prog.OpAdd:
-			if bv == 0 {
-				return rewrite{kind: rwNode, node: a, reason: "x + 0 = x"}
-			}
-		case prog.OpSub:
-			if bv == 0 {
-				return rewrite{kind: rwNode, node: a, reason: "x - 0 = x"}
-			}
-		case prog.OpMul:
-			if bv == 0 {
-				return rewrite{kind: rwConst, val: 0, reason: "x * 0 = 0"}
-			}
-			if bv == 1 {
-				return rewrite{kind: rwNode, node: a, reason: "x * 1 = x"}
-			}
-		case prog.OpDivU, prog.OpDivS:
-			if bv == 0 {
-				return rewrite{kind: rwConst, val: 0, reason: "x / 0 = 0 (trap rule)"}
-			}
-			if bv == 1 {
-				return rewrite{kind: rwNode, node: a, reason: "x / 1 = x"}
-			}
-		case prog.OpRemU:
-			if bv == 0 || bv == 1 {
-				return rewrite{kind: rwConst, val: 0, reason: "x % c = 0 for c in {0, 1}"}
-			}
-		case prog.OpRemS:
-			if bv == 0 || bv == 1 || bv == ^uint64(0) {
-				return rewrite{kind: rwConst, val: 0, reason: "x rem c = 0 for c in {0, 1, -1}"}
-			}
-		case prog.OpShl, prog.OpShr, prog.OpSar, prog.OpRol, prog.OpRor:
-			if bv&63 == 0 {
-				// x86 count masking: shifting by any multiple of 64
-				// (including 64 itself) is the identity, never zero.
-				return rewrite{kind: rwNode, node: a, reason: "shift count masks to 0 (b & 63 == 0): identity"}
-			}
-		case prog.OpAnd32:
-			if uint32(bv) == 0 {
-				return rewrite{kind: rwConst, val: 0, reason: "andl(x, 0) = 0"}
-			}
-		case prog.OpMul32:
-			if uint32(bv) == 0 {
-				return rewrite{kind: rwConst, val: 0, reason: "mull(x, 0) = 0"}
-			}
-		case prog.OpOr32:
-			if uint32(bv) == 0xffffffff {
-				return rewrite{kind: rwConst, val: 0xffffffff, reason: "orl(x, ~0) = 0xffffffff"}
-			}
-		case prog.OpUlt:
-			if bv == 0 {
-				return rewrite{kind: rwConst, val: 0, reason: "x <u 0 is 0"}
-			}
-		case prog.OpSlt:
-			if int64(bv) == -1<<63 {
-				return rewrite{kind: rwConst, val: 0, reason: "x <s MinInt64 is 0"}
-			}
-		}
-	}
-
-	if aConst && !bConst {
-		switch nd.Op {
-		case prog.OpShl, prog.OpShr, prog.OpRol, prog.OpRor:
-			if av == 0 {
-				return rewrite{kind: rwConst, val: 0, reason: "0 shifted/rotated is 0"}
-			}
-		case prog.OpSar:
-			if av == 0 {
-				return rewrite{kind: rwConst, val: 0, reason: "sar of 0 is 0"}
-			}
-			if av == ^uint64(0) {
-				return rewrite{kind: rwConst, val: ^uint64(0), reason: "sar of ~0 is ~0"}
-			}
-		case prog.OpUlt:
-			if av == ^uint64(0) {
-				return rewrite{kind: rwConst, val: 0, reason: "~0 <u x is 0"}
-			}
-		case prog.OpSlt:
-			if int64(av) == 1<<63-1 {
-				return rewrite{kind: rwConst, val: 0, reason: "MaxInt64 <s x is 0"}
-			}
-		case prog.OpDivU, prog.OpDivS, prog.OpRemU, prog.OpRemS:
-			if av == 0 {
-				return rewrite{kind: rwConst, val: 0, reason: "0 div/rem x is 0 (incl. x = 0)"}
-			}
-		}
-	}
-
 	return rewrite{}
 }
 
-// simplifyUnary covers the unary rules: involutions, idempotent
-// extensions, and zero-extension of already-zero-extended values.
-func simplifyUnary(p *prog.Program, i int32) rewrite {
-	nd := &p.Nodes[i]
-	arg := nd.Args[0]
-	inner := &p.Nodes[arg]
+// progSubject adapts one program node to the rule table's Subject
+// interface: Refs are node indices, constants are OpConst nodes.
+type progSubject struct {
+	p *prog.Program
+	i int32
+}
 
-	// Involutions: op(op(x)) = x.
-	if inner.Op == nd.Op {
-		switch nd.Op {
-		case prog.OpNot, prog.OpNeg, prog.OpBswap, prog.OpMNot:
-			return rewrite{kind: rwNode, node: inner.Args[0], reason: nd.Op.String() + " is an involution"}
-		case prog.OpSext8, prog.OpSext16, prog.OpSext32,
-			prog.OpZext8, prog.OpZext16, prog.OpZext32:
-			// Idempotent: the second application is the identity.
-			return rewrite{kind: rwNode, node: arg, reason: nd.Op.String() + " is idempotent"}
-		}
+func (s progSubject) Op() prog.Op                { return s.p.Nodes[s.i].Op }
+func (s progSubject) Arg(k int) Ref              { return s.p.Nodes[s.i].Args[k] }
+func (s progSubject) Const(r Ref) (uint64, bool) { return constVal(s.p, r) }
+
+func (s progSubject) ArgOf(r Ref, op prog.Op) (Ref, bool) {
+	nd := &s.p.Nodes[r]
+	if nd.Op != op {
+		return 0, false
 	}
-
-	// zextlq of a value that is already zero-extended to 32 bits is
-	// the identity: every 32-bit operation zero-extends its result.
-	if nd.Op == prog.OpZext32 {
-		switch inner.Op {
-		case prog.OpAdd32, prog.OpSub32, prog.OpMul32, prog.OpAnd32,
-			prog.OpOr32, prog.OpXor32, prog.OpShl32, prog.OpShr32,
-			prog.OpSar32, prog.OpNot32, prog.OpNeg32,
-			prog.OpZext8, prog.OpZext16:
-			return rewrite{kind: rwNode, node: arg, reason: "zextlq of a zero-extended value"}
-		}
-	}
-
-	return rewrite{}
+	return nd.Args[0], true
 }

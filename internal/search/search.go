@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"stochsyn/internal/cost"
+	"stochsyn/internal/eqsat"
 	"stochsyn/internal/mutate"
 	"stochsyn/internal/obs"
 	"stochsyn/internal/prog"
@@ -120,6 +121,15 @@ type Options struct {
 	// fuzz test (FuzzIncrementalEval) checks continuously. This is a
 	// debugging and verification knob, not a performance option.
 	LegacyEval bool
+	// EqSat, when non-nil, is a shared rewrite-equivalence memo: a
+	// sampled fraction of cost-neutral accepted proposals is hashed by
+	// e-class (eqsat.EClassHash) and rejected when the walk has already
+	// visited a rewrite-equivalent program at the same or lower cost,
+	// pushing plateau wandering toward genuinely new states. The memo
+	// never touches the run's random stream, so a nil EqSat run is
+	// bit-identical to the pre-knob search (the oracle tables pin
+	// this). Deliberately a trajectory-changing knob when set.
+	EqSat *eqsat.Dedup
 	// Obs, when non-nil, attaches observability hooks to the run:
 	// iteration and per-move counters, cost gauges, plateau
 	// detection, and sampled cost-trajectory trace events. Updates
@@ -153,6 +163,8 @@ type Run struct {
 	rng    *rand.Rand
 	rngSrc *rand.PCG
 	mut    *mutate.Mutator
+
+	dedup *eqsat.Dedup // nil unless Options.EqSat
 
 	cur     *prog.Program
 	scratch *prog.Program // legacy path only: the proposal copy
@@ -214,6 +226,7 @@ func New(suite *testcase.Suite, opts Options) *Run {
 		rng:    rand.New(src),
 		rngSrc: src,
 		mut:    mutate.New(opts.Set, suite, opts.Redundancy),
+		dedup:  opts.EqSat,
 		gap:    1,
 	}
 	r.obsHooks = opts.Obs
@@ -334,10 +347,15 @@ func (r *Run) iterateLegacy() bool {
 		}
 		c := r.kind.OfBounded(r.scratch, r.suite, r.vals[:], bound)
 		if c <= bound {
-			r.stats.Accepted[mv]++
-			r.cur, r.scratch = r.scratch, r.cur
-			if r.accept(c) {
-				return true
+			if r.rejectRevisit(c, r.scratch) {
+				// Rewrite-equivalent plateau revisit: fall through
+				// without swapping, as if the proposal were rejected.
+			} else {
+				r.stats.Accepted[mv]++
+				r.cur, r.scratch = r.scratch, r.cur
+				if r.accept(c) {
+					return true
+				}
 			}
 		}
 	}
@@ -367,13 +385,20 @@ func (r *Run) iterateEngine() bool {
 		r.eng.Begin(&r.jr)
 		c := r.kind.OfState(r.eng, bound)
 		if c <= bound {
-			// A non-Inf cost means every case block was pulled, which
-			// is exactly Commit's precondition.
-			r.stats.Accepted[mv]++
-			r.eng.Commit()
-			r.cur.EndEdit()
-			if r.accept(c) {
-				return true
+			if r.rejectRevisit(c, r.cur) {
+				// Rewrite-equivalent plateau revisit: reject the move
+				// exactly as if the threshold had failed.
+				r.eng.Abort()
+				r.cur.Rollback()
+			} else {
+				// A non-Inf cost means every case block was pulled,
+				// which is exactly Commit's precondition.
+				r.stats.Accepted[mv]++
+				r.eng.Commit()
+				r.cur.EndEdit()
+				if r.accept(c) {
+					return true
+				}
 			}
 		} else {
 			r.eng.Abort()
@@ -389,6 +414,29 @@ func (r *Run) iterateEngine() bool {
 		r.opts.StateHook(r.cur)
 	}
 	return false
+}
+
+// rejectRevisit reports whether an about-to-be-accepted proposal p
+// with correctness cost c should instead be rejected as a
+// rewrite-equivalent plateau revisit (Options.EqSat). Only exactly
+// cost-neutral, non-solving proposals are ever checked: strict
+// improvements and solutions must never be vetoed, and
+// cost-increasing acceptances are precisely the escape moves the memo
+// exists to encourage. With no memo attached this is a nil check, and
+// the memo itself never draws from the random stream, so the nil path
+// stays bit-identical to the pre-knob search.
+func (r *Run) rejectRevisit(c float64, p *prog.Program) bool {
+	if r.dedup == nil || c == 0 {
+		return false
+	}
+	eff := c
+	if r.minimize {
+		eff = r.effective(c, p)
+	}
+	if eff != r.cost {
+		return false
+	}
+	return r.dedup.Visited(p, eff)
 }
 
 // accept performs the post-acceptance bookkeeping shared by both

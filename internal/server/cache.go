@@ -18,16 +18,28 @@ import (
 // submission that populated it, so the scheduler can distinguish an
 // exact replay from a canonical hit — a structurally different but
 // semantically equal submission — and count the two separately.
+//
+// Solved expr-based entries additionally carry their rewrite-
+// equivalence key (EqSatCacheKey) and are indexed by it, giving the
+// scheduler a second-level lookup: a submission whose reference
+// expression is rewrite-equivalent to a cached one finds the entry
+// even though the two canonical keys differ. The eqsat index never
+// extends an entry's lifetime — it is a view over the same LRU
+// entries, maintained on put and eviction.
 type resultCache struct {
 	mu      sync.Mutex
 	cap     int
 	order   *list.List // front = most recently used; values are *cacheEntry
 	entries map[string]*list.Element
+	// eqsat maps EqSatCacheKey → the entry that most recently carried
+	// it (newer entries win; at most one index slot per key).
+	eqsat map[string]*list.Element
 }
 
 type cacheEntry struct {
 	key       string // canonical key (the map key)
 	structKey string // structural key of the populating submission
+	eqKey     string // rewrite-equivalence key ("" when not indexed)
 	res       stochsyn.Result
 }
 
@@ -39,6 +51,7 @@ func newResultCache(capacity int) *resultCache {
 		cap:     capacity,
 		order:   list.New(),
 		entries: make(map[string]*list.Element),
+		eqsat:   make(map[string]*list.Element),
 	}
 }
 
@@ -60,26 +73,69 @@ func (c *resultCache) get(key string) (stochsyn.Result, string, bool) {
 	return e.res, e.structKey, true
 }
 
+// getEq is the second-level lookup: it returns the result most
+// recently stored under the rewrite-equivalence key eqKey, marking the
+// owning entry most recently used. Callers must re-verify the program
+// against their own problem before serving it — the entry was
+// populated against a different example set.
+func (c *resultCache) getEq(eqKey string) (stochsyn.Result, bool) {
+	if c.cap <= 0 || eqKey == "" {
+		return stochsyn.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.eqsat[eqKey]
+	if !ok {
+		return stochsyn.Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
 // put stores a result under key, recording the populating submission's
-// structural key and evicting the least recently used entry when full.
-func (c *resultCache) put(key, structKey string, res stochsyn.Result) {
+// structural key, indexing solved results by their rewrite-equivalence
+// key (pass "" to skip), and evicting the least recently used entry
+// when full.
+func (c *resultCache) put(key, structKey, eqKey string, res stochsyn.Result) {
 	if c.cap <= 0 {
 		return
+	}
+	if !res.Solved {
+		// Unsolved results are legitimate level-1 entries (an exhausted
+		// budget reproduces exactly for the identical submission) but
+		// must never satisfy a rewrite-equivalent submission with a
+		// different example set.
+		eqKey = ""
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
+		if e.eqKey != "" && e.eqKey != eqKey && c.eqsat[e.eqKey] == el {
+			delete(c.eqsat, e.eqKey)
+		}
 		e.res = res
 		e.structKey = structKey
+		e.eqKey = eqKey
+		if eqKey != "" {
+			c.eqsat[eqKey] = el
+		}
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, structKey: structKey, res: res})
+	el := c.order.PushFront(&cacheEntry{key: key, structKey: structKey, eqKey: eqKey, res: res})
+	c.entries[key] = el
+	if eqKey != "" {
+		c.eqsat[eqKey] = el
+	}
 	for len(c.entries) > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.entries, e.key)
+		if e.eqKey != "" && c.eqsat[e.eqKey] == oldest {
+			delete(c.eqsat, e.eqKey)
+		}
 	}
 }
 

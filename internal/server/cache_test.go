@@ -11,9 +11,9 @@ func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(3)
 	res := func(i int64) stochsyn.Result { return stochsyn.Result{Iterations: i} }
 
-	c.put("a", "sa", res(1))
-	c.put("b", "sb", res(2))
-	c.put("c", "sc", res(3))
+	c.put("a", "sa", "", res(1))
+	c.put("b", "sb", "", res(2))
+	c.put("c", "sc", "", res(3))
 	if c.len() != 3 {
 		t.Fatalf("len = %d, want 3", c.len())
 	}
@@ -22,7 +22,7 @@ func TestResultCacheLRU(t *testing.T) {
 	if r, sk, ok := c.get("a"); !ok || r.Iterations != 1 || sk != "sa" {
 		t.Fatalf("get(a) = %+v, %q, %v", r, sk, ok)
 	}
-	c.put("d", "sd", res(4))
+	c.put("d", "sd", "", res(4))
 	if _, _, ok := c.get("b"); ok {
 		t.Error("b survived eviction; want LRU evicted")
 	}
@@ -34,8 +34,8 @@ func TestResultCacheLRU(t *testing.T) {
 
 	// Updating an existing key refreshes value, structural key, and
 	// recency.
-	c.put("c", "sc2", res(30))
-	c.put("e", "se", res(5)) // evicts "a" (oldest after the gets above touched a,c,d)
+	c.put("c", "sc2", "", res(30))
+	c.put("e", "se", "", res(5)) // evicts "a" (oldest after the gets above touched a,c,d)
 	if r, sk, ok := c.get("c"); !ok || r.Iterations != 30 || sk != "sc2" {
 		t.Errorf("get(c) after update = %+v, %q, %v", r, sk, ok)
 	}
@@ -46,12 +46,64 @@ func TestResultCacheLRU(t *testing.T) {
 
 func TestResultCacheDisabled(t *testing.T) {
 	c := newResultCache(-1)
-	c.put("a", "sa", stochsyn.Result{Iterations: 1})
+	c.put("a", "sa", "", stochsyn.Result{Iterations: 1})
 	if _, _, ok := c.get("a"); ok {
 		t.Error("disabled cache returned a hit")
 	}
 	if c.len() != 0 {
 		t.Errorf("disabled cache len = %d", c.len())
+	}
+}
+
+// TestResultCacheEqSatIndex pins the second-level index's contract:
+// solved entries are findable by rewrite-equivalence key, unsolved
+// ones never are, overwrites retarget the index, and eviction removes
+// the slot together with the entry.
+func TestResultCacheEqSatIndex(t *testing.T) {
+	c := newResultCache(2)
+	solved := func(i int64) stochsyn.Result { return stochsyn.Result{Solved: true, Iterations: i} }
+
+	c.put("a", "sa", "eq1", solved(1))
+	if r, ok := c.getEq("eq1"); !ok || r.Iterations != 1 {
+		t.Fatalf("getEq(eq1) = %+v, %v; want hit with Iterations=1", r, ok)
+	}
+	if _, ok := c.getEq(""); ok {
+		t.Error(`getEq("") returned a hit; empty key must disable the lookup`)
+	}
+	if _, ok := c.getEq("missing"); ok {
+		t.Error("getEq(missing) returned a hit")
+	}
+
+	// Unsolved results must not be indexed: a rewrite-equivalent
+	// submission with a different example set could still be solvable.
+	c.put("b", "sb", "eq2", stochsyn.Result{Solved: false, Iterations: 2})
+	if _, ok := c.getEq("eq2"); ok {
+		t.Error("unsolved result reachable through the eqsat index")
+	}
+
+	// Overwriting an entry with a new eqKey drops the stale slot.
+	c.put("a", "sa2", "eq1b", solved(10))
+	if _, ok := c.getEq("eq1"); ok {
+		t.Error("stale eqsat slot survived an overwrite")
+	}
+	if r, ok := c.getEq("eq1b"); !ok || r.Iterations != 10 {
+		t.Errorf("getEq(eq1b) = %+v, %v; want the overwritten entry", r, ok)
+	}
+
+	// A getEq hit refreshes recency: after touching "a" via eq1b,
+	// overflowing evicts "b", and "a" stays findable both ways.
+	c.put("c", "sc", "eq3", solved(3))
+	if _, _, ok := c.get("b"); ok {
+		t.Error("b survived eviction; want LRU evicted")
+	}
+	if r, ok := c.getEq("eq1b"); !ok || r.Iterations != 10 {
+		t.Errorf("getEq(eq1b) after eviction = %+v, %v", r, ok)
+	}
+
+	// Evicting an indexed entry removes its slot.
+	c.put("d", "sd", "eq4", solved(4)) // evicts "c" (a was just touched)
+	if _, ok := c.getEq("eq3"); ok {
+		t.Error("eqsat slot outlived its evicted entry")
 	}
 }
 

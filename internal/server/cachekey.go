@@ -8,6 +8,8 @@ import (
 	"sort"
 
 	"stochsyn"
+	"stochsyn/internal/eqsat"
+	"stochsyn/internal/prog"
 	"stochsyn/internal/restart"
 )
 
@@ -115,8 +117,51 @@ func hashJob(version string, cases []stochsyn.Case, numInputs int, o stochsyn.Op
 	writeU64(uint64(o.Budget))
 	writeStr(string(o.Dialect))
 	writeU64(o.Seed)
+	// EqSat deliberately changes the search trajectory (unlike Workers
+	// and Obs), so it must fragment the cache.
+	if o.EqSat {
+		writeU64(1)
+	} else {
+		writeU64(0)
+	}
 
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// EqSatCacheKey is the second-level, rewrite-equivalence cache key for
+// expr-based submissions: it hashes the reference expression's e-class
+// (eqsat.EClassHash under the default saturation budget) instead of the
+// sampled example set, so two submissions whose reference expressions
+// the rewrite rules can prove equal — e.g. "addq(addq(x, 1), 2)" and
+// "addq(x, 3)" — collide even when their generated suites differ
+// (different num_cases or case_seed, which are deliberately excluded).
+//
+// A hit under this key is only a candidate: the cached Program was
+// synthesized against a different example set, so the scheduler
+// re-verifies it against the submitted problem before serving it (a
+// solved program either matches the new suite or the hit is discarded).
+// Options that change what a run would produce (cost, beta, greedy,
+// canonical strategy, budget, dialect, seed, the EqSat flag itself)
+// participate exactly as in CanonicalCacheKey.
+func EqSatCacheKey(expr string, numInputs int, opts stochsyn.Options) (string, error) {
+	o, err := opts.Normalized()
+	if err != nil {
+		return "", err
+	}
+	spec, err := restart.CanonicalSpec(o.Strategy)
+	if err != nil {
+		return "", err
+	}
+	ref, err := prog.Parse(expr, numInputs)
+	if err != nil {
+		return "", err
+	}
+	eh, _ := eqsat.EClassHash(ref, eqsat.Budget{})
+	// One synthetic "case" carries the e-class hash through the shared
+	// serializer; the version tag keeps the namespace disjoint from the
+	// example-set keys.
+	carrier := []stochsyn.Case{{Inputs: []uint64{eh}, Output: 0}}
+	return hashJob("stochsyn-job-v3-eqsat", carrier, numInputs, o, spec), nil
 }
 
 // lessCase orders examples lexicographically by inputs, then output.

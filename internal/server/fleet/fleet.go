@@ -373,6 +373,16 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, server.ErrorStatus(err), err.Error())
 		return
 	}
+	// Expr-based submissions shard by their rewrite-equivalence key
+	// instead: rewrite-equivalent references then land on the same
+	// worker, whose second-level cache index can serve one from the
+	// other. Example-set submissions keep the canonical key (they have
+	// no reference expression to saturate).
+	if spec.Problem.Expr != "" {
+		if ek, err := server.EqSatCacheKey(spec.Problem.Expr, spec.Problem.Inputs, opts); err == nil {
+			key = ek
+		}
+	}
 
 	worker, v, err := co.forward(r, spec, key, nil)
 	if err != nil {

@@ -357,3 +357,61 @@ func TestFleetBadSpec(t *testing.T) {
 		t.Errorf("coordinator ?status=bogus = %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestFleetEqSatCacheHit checks that rewrite-equivalence caching works
+// fleet-wide: expr submissions shard by EqSatCacheKey, so a reference
+// expression rewrite-equivalent to an earlier one — over a different
+// sampled example set — lands on the same worker, whose second-level
+// cache index serves it born-completed.
+func TestFleetEqSatCacheHit(t *testing.T) {
+	ctx := context.Background()
+	w0 := newWorker(t, server.Config{Workers: 2, WorkerBudget: 4, CacheSize: 8})
+	w1 := newWorker(t, server.Config{Workers: 2, WorkerBudget: 4, CacheSize: 8})
+	defer w0.stop()
+	defer w1.stop()
+	co, ts, c := newFleet(t, w0, w1)
+	defer ts.Close()
+	defer co.Close()
+
+	spec := func(expr string, caseSeed uint64) server.JobSpec {
+		return server.JobSpec{
+			Problem: server.ProblemSpec{Expr: expr, Inputs: 1, NumCases: 40, CaseSeed: caseSeed},
+			Options: server.OptionsSpec{Budget: 4_000_000, Seed: 2},
+		}
+	}
+
+	first, err := c.Submit(ctx, spec("addq(addq(x, 1), 2)", 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	fv, err := c.Wait(wctx, first.ID, 0)
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.Status != server.StatusCompleted || fv.Result == nil || !fv.Result.Solved {
+		t.Fatalf("first job: %+v", fv)
+	}
+
+	// The respelling samples a different suite (different case seed),
+	// so only the rewrite-equivalence shard key can co-locate it.
+	second, err := c.Submit(ctx, spec("addq(x, 3)", 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Worker != first.Worker {
+		t.Fatalf("rewrite-equivalent submissions sharded apart: %s vs %s", first.Worker, second.Worker)
+	}
+	if second.Status != server.StatusCompleted || !second.Cached {
+		t.Fatalf("rewrite-equivalent submission not served from the worker cache: %+v", second)
+	}
+	if second.Result == nil || !second.Result.Solved || second.Result.Program != fv.Result.Program {
+		t.Errorf("eqsat hit result differs:\n%+v\n%+v", second.Result, fv.Result)
+	}
+
+	hits := w0.srv.Snapshot().Cache.EqSatHits + w1.srv.Snapshot().Cache.EqSatHits
+	if hits != 1 {
+		t.Errorf("worker eqsat cache hits = %d, want 1", hits)
+	}
+}

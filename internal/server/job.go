@@ -61,8 +61,12 @@ type job struct {
 	// from a canonical (semantics-only) hit.
 	key       string
 	structKey string
-	ctx       context.Context
-	cancel    context.CancelFunc
+	// eqKey is the second-level rewrite-equivalence key
+	// (EqSatCacheKey), set only for expr-based submissions; "" disables
+	// the level-2 lookup and indexing for this job.
+	eqKey  string
+	ctx    context.Context
+	cancel context.CancelFunc
 	// onTerminal, when set, is invoked exactly once, after the job
 	// enters a terminal state (outside j.mu). The server uses it to
 	// resolve the job's singleflight flight; it must not call back

@@ -31,6 +31,12 @@ type serverMetrics struct {
 	// missed at submit and hit when a worker picked them up. Kept out
 	// of cacheHits so hits+misses equals submit-time lookups.
 	workerHits *obs.Counter
+	// eqsatHits counts hits served through the second-level rewrite-
+	// equivalence index (EqSatCacheKey): the submitted reference
+	// expression was rewrite-equivalent to a cached one and the cached
+	// program re-verified against the new example set. A subset of
+	// cacheHits (submit path) or workerHits (claim path).
+	eqsatHits *obs.Counter
 	// dedupJoins/dedupPromotions are the singleflight counters: joins
 	// of an in-flight identical job, and follower re-dispatches after
 	// a leader ended without a usable result.
@@ -55,6 +61,7 @@ func (s *Server) initObs() {
 		cacheMisses:      r.Counter("stochsyn_cache_misses_total"),
 		canonicalHits:    r.Counter("stochsyn_cache_canonical_hits_total"),
 		workerHits:       r.Counter("stochsyn_cache_worker_hits_total"),
+		eqsatHits:        r.Counter("stochsyn_eqsat_cache_hits_total"),
 		dedupJoins:       r.Counter("stochsyn_singleflight_joins_total"),
 		dedupPromotions:  r.Counter("stochsyn_singleflight_promotions_total"),
 		analysisFindings: r.Counter("stochsyn_analysis_findings_total"),
@@ -69,6 +76,19 @@ func (s *Server) initObs() {
 	r.SetHelp("stochsyn_singleflight_joins_total", "Submissions that joined an identical in-flight job instead of searching.")
 	r.SetHelp("stochsyn_singleflight_promotions_total", "Singleflight followers re-dispatched after their leader ended cancelled or failed.")
 	r.SetHelp("stochsyn_cache_canonical_hits_total", "Cache hits where the entry came from a structurally different, semantically equal submission.")
+	r.SetHelp("stochsyn_eqsat_cache_hits_total", "Cache hits served through the rewrite-equivalence (e-class) index after re-verification against the submitted examples.")
+	// The per-run eqsat series are populated by the library
+	// (stochsyn.Options.EqSat flushes them after each run); registering
+	// their help here keeps /metrics self-describing even before the
+	// first EqSat job runs.
+	r.SetHelp("stochsyn_eqsat_saturations_total", "Equality-saturation runs performed (one per e-class hash).")
+	r.SetHelp("stochsyn_eqsat_eclass_merges_total", "E-class unions performed during saturation.")
+	r.SetHelp("stochsyn_eqsat_extractions_total", "Cost-minimal extractions performed on saturated e-graphs.")
+	r.SetHelp("stochsyn_eqsat_fallbacks_total", "Extractions discarded by the Eval-equality safety net (fell back to the input program).")
+	r.SetHelp("stochsyn_eqsat_plateau_checks_total", "Cost-neutral plateau moves hashed by the rewrite-equivalence memo (post-sampling).")
+	r.SetHelp("stochsyn_eqsat_plateau_hits_total", "Plateau moves rejected as rewrite-equivalent revisits.")
+	r.SetHelp("stochsyn_eqsat_seeds_total", "Restart seeds hashed by the rewrite-equivalence memo.")
+	r.SetHelp("stochsyn_eqsat_seed_dups_total", "Restart seeds rewrite-equivalent to an earlier seed of the same run.")
 	r.SetHelp("stochsyn_analysis_findings_total", "Static-analysis findings (fold/lint/liveness) on completed jobs' solutions.")
 	r.SetHelp("stochsyn_job_queue_wait_seconds", "Time jobs spent queued before a worker claimed them.")
 	r.SetHelp("stochsyn_job_run_seconds", "Wall-clock synthesis time of executed jobs.")

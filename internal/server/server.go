@@ -217,6 +217,24 @@ func (s *Server) runJob(j *job) {
 		})
 		return
 	}
+	// Claim-time level-2 recheck: a rewrite-equivalent expr job may
+	// have completed while this one queued.
+	if res, ok := s.lookupEqSat(j.eqKey, j.problem); ok {
+		s.metrics.workerHits.Inc()
+		s.metrics.eqsatHits.Inc()
+		s.obs.Trace().Emit("cache_worker_hit", map[string]any{
+			"key": j.key, "eqsat": true,
+		})
+		s.cache.put(j.key, j.structKey, j.eqKey, res)
+		j.mu.Lock()
+		j.cached = true
+		j.mu.Unlock()
+		j.finish(StatusCompleted, &res, "")
+		s.obs.Trace().Emit("job_finished", map[string]any{
+			"id": j.id, "status": string(StatusCompleted), "cached": true,
+		})
+		return
+	}
 
 	ctx := j.ctx
 	if j.spec.TimeoutMS > 0 {
@@ -240,7 +258,7 @@ func (s *Server) runJob(j *job) {
 		j.finish(status, &res, "")
 	default:
 		status = StatusCompleted
-		s.cache.put(j.key, j.structKey, res)
+		s.cache.put(j.key, j.structKey, j.eqKey, res)
 		s.metrics.analysisFindings.Add(float64(len(res.Lint)))
 		j.finish(status, &res, "")
 	}
@@ -290,6 +308,15 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Expr-based submissions additionally get the second-level
+	// rewrite-equivalence key; spec.Build already validated the expr,
+	// so key construction cannot fail here.
+	var eqKey string
+	if spec.Problem.Expr != "" {
+		if k, err := EqSatCacheKey(spec.Problem.Expr, spec.Problem.Inputs, opts); err == nil {
+			eqKey = k
+		}
+	}
 	s.metrics.submitted.Inc()
 
 	if res, populated, ok := s.cache.get(key); ok {
@@ -300,25 +327,30 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 			s.obs.Trace().Emit("cache_canonical_hit", map[string]any{"key": key})
 		}
 		s.obs.Trace().Emit("cache_hit", map[string]any{"key": key, "canonical": canonical})
-		j := s.newJob(spec, problem, opts, key, structKey)
-		j.ctx, j.cancel = nil, func() {}
-		j.cached = true
-		j.status = StatusCompleted
-		j.result = &res
-		// A cache-born job starts and finishes at birth: both stamps
-		// are set (to the same instant) so client-side duration math
-		// never sees a FinishedAt without a StartedAt.
-		now := time.Now()
-		j.started = now
-		j.finished = now
-		close(j.done)
+		j := s.newJob(spec, problem, opts, key, structKey, eqKey)
+		s.finishFromCache(j, res)
+		s.register(j)
+		return j, nil
+	}
+	// Level-2: a rewrite-equivalent reference expression's cached
+	// solution, re-verified against this submission's own example set
+	// before it is served (the entry was populated against different
+	// examples). A verified hit is promoted into this submission's
+	// canonical slot so exact resubmissions hit level 1 directly.
+	if res, ok := s.lookupEqSat(eqKey, problem); ok {
+		s.metrics.cacheHits.Inc()
+		s.metrics.eqsatHits.Inc()
+		s.obs.Trace().Emit("cache_eqsat_hit", map[string]any{"key": key, "eqsat_key": eqKey})
+		j := s.newJob(spec, problem, opts, key, structKey, eqKey)
+		s.finishFromCache(j, res)
+		s.cache.put(key, structKey, eqKey, res)
 		s.register(j)
 		return j, nil
 	}
 	s.metrics.cacheMisses.Inc()
 	s.obs.Trace().Emit("cache_miss", map[string]any{"key": key})
 
-	j := s.newJob(spec, problem, opts, key, structKey)
+	j := s.newJob(spec, problem, opts, key, structKey, eqKey)
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 	j.onTerminal = s.jobTerminal
 
@@ -356,7 +388,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	}
 }
 
-func (s *Server) newJob(spec JobSpec, problem *stochsyn.Problem, opts stochsyn.Options, key, structKey string) *job {
+func (s *Server) newJob(spec JobSpec, problem *stochsyn.Problem, opts stochsyn.Options, key, structKey, eqKey string) *job {
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
@@ -368,10 +400,42 @@ func (s *Server) newJob(spec JobSpec, problem *stochsyn.Problem, opts stochsyn.O
 		opts:      opts,
 		key:       key,
 		structKey: structKey,
+		eqKey:     eqKey,
 		status:    StatusQueued,
 		created:   time.Now(),
 		done:      make(chan struct{}),
 	}
+}
+
+// finishFromCache marks a freshly created job as born-completed with a
+// cached result. A cache-born job starts and finishes at birth: both
+// stamps are set (to the same instant) so client-side duration math
+// never sees a FinishedAt without a StartedAt.
+func (s *Server) finishFromCache(j *job, res stochsyn.Result) {
+	j.ctx, j.cancel = nil, func() {}
+	j.cached = true
+	j.status = StatusCompleted
+	j.result = &res
+	now := time.Now()
+	j.started = now
+	j.finished = now
+	close(j.done)
+}
+
+// lookupEqSat performs the second-level cache lookup: the result most
+// recently stored under the rewrite-equivalence key, served only if
+// its program re-verifies against this submission's example set. An
+// empty key, a miss, or a verification failure all report false.
+func (s *Server) lookupEqSat(eqKey string, problem *stochsyn.Problem) (stochsyn.Result, bool) {
+	res, ok := s.cache.getEq(eqKey)
+	if !ok || !res.Solved {
+		return stochsyn.Result{}, false
+	}
+	pr, err := stochsyn.ParseProgram(res.Program, problem.NumInputs())
+	if err != nil || !pr.Matches(problem) {
+		return stochsyn.Result{}, false
+	}
+	return res, true
 }
 
 func (s *Server) register(j *job) {
@@ -436,10 +500,17 @@ type CacheStats struct {
 	// These are deliberately excluded from Hits so that Hits+Misses
 	// equals the number of submit-time lookups and HitRate's
 	// denominator stays honest.
-	WorkerHits int     `json:"worker_hits"`
-	Entries    int     `json:"entries"`
-	Capacity   int     `json:"capacity"`
-	HitRate    float64 `json:"hit_rate"`
+	WorkerHits int `json:"worker_hits"`
+	// EqSatHits counts hits served through the second-level rewrite-
+	// equivalence index: the submitted reference expression was
+	// rewrite-equivalent to a cached one (EqSatCacheKey collision) and
+	// the cached program re-verified against the submitted examples.
+	// Submit-path eqsat hits are a subset of Hits; claim-path ones a
+	// subset of WorkerHits.
+	EqSatHits int64   `json:"eqsat_hits"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 // DedupStats reports singleflight effectiveness: identical
@@ -518,6 +589,7 @@ func (s *Server) Snapshot() Stats {
 		Misses:        int64(s.metrics.cacheMisses.Value()),
 		CanonicalHits: int64(s.metrics.canonicalHits.Value()),
 		WorkerHits:    int(s.metrics.workerHits.Value()),
+		EqSatHits:     int64(s.metrics.eqsatHits.Value()),
 		Entries:       s.cache.len(),
 		Capacity:      s.cfg.CacheSize,
 	}

@@ -406,6 +406,99 @@ func TestCanonicalCacheHit(t *testing.T) {
 	}
 }
 
+// TestEqSatCacheHit submits two expr jobs whose reference expressions
+// are rewrite-equivalent but canonically distinct — "addq(addq(x, 1),
+// 2)" and "addq(x, 3)" — with different case seeds, so their sampled
+// example sets (and hence both the structural and canonical cache
+// keys) differ. The second submission must be served born-completed
+// through the second-level rewrite-equivalence index, counted by
+// stochsyn_eqsat_cache_hits_total, after its program re-verified
+// against the new example set.
+func TestEqSatCacheHit(t *testing.T) {
+	ctx := context.Background()
+	srv, ts, c := newTestServer(t, server.Config{Workers: 2, WorkerBudget: 4, CacheSize: 8})
+	defer ts.Close()
+	defer srv.Close()
+
+	spec := func(expr string, caseSeed uint64) server.JobSpec {
+		return server.JobSpec{
+			Problem: server.ProblemSpec{Expr: expr, Inputs: 1, NumCases: 40, CaseSeed: caseSeed},
+			Options: server.OptionsSpec{Budget: 4_000_000, Seed: 2},
+		}
+	}
+
+	first, err := c.Submit(ctx, spec("addq(addq(x, 1), 2)", 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	fv, err := c.Wait(wctx, first.ID, 0)
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.Status != server.StatusCompleted || fv.Result == nil || !fv.Result.Solved || fv.Cached {
+		t.Fatalf("first job: %+v", fv)
+	}
+
+	// A rewrite-equivalent respelling over a different sampled suite:
+	// level-1 misses (different examples), level-2 hits.
+	hit, err := c.Submit(ctx, spec("addq(x, 3)", 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Status != server.StatusCompleted || !hit.Cached {
+		t.Fatalf("rewrite-equivalent resubmission not served from cache: %+v", hit)
+	}
+	if hit.Result == nil || !hit.Result.Solved || hit.Result.Program != fv.Result.Program {
+		t.Errorf("eqsat hit result differs from original:\n%+v\n%+v", hit.Result, fv.Result)
+	}
+
+	// A rewrite-INequivalent expr over yet another suite must miss and
+	// run its own search (pinning that the index can't serve wrong
+	// programs: xorq(x, 3) is in a different e-class).
+	miss, err := c.Submit(ctx, spec("xorq(x, 3)", 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Status.Terminal() {
+		t.Fatalf("inequivalent expr served at submit: %+v", miss)
+	}
+	wctx, cancel = context.WithTimeout(ctx, 60*time.Second)
+	mv, err := c.Wait(wctx, miss.ID, 0)
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Status != server.StatusCompleted || mv.Result == nil || !mv.Result.Solved || mv.Cached {
+		t.Fatalf("inequivalent job: %+v", mv)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.EqSatHits != 1 {
+		t.Errorf("stats.cache.eqsat_hits = %d, want 1", st.Cache.EqSatHits)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 2 {
+		t.Errorf("stats.cache = hits %d misses %d, want 1/2", st.Cache.Hits, st.Cache.Misses)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "stochsyn_eqsat_cache_hits_total 1") {
+		t.Errorf("/metrics missing stochsyn_eqsat_cache_hits_total 1:\n%s", body)
+	}
+}
+
 // TestSygusJob exercises the third problem source end to end.
 func TestSygusJob(t *testing.T) {
 	ctx := context.Background()

@@ -79,6 +79,10 @@ type OptionsSpec struct {
 	// Config.WorkerBudget). Results are bit-identical regardless of
 	// the cap, so caching stays sound.
 	Workers int `json:"workers,omitempty"`
+	// EqSat enables rewrite-aware restarts (stochsyn.Options.EqSat).
+	// Unlike Workers it deliberately changes the search trajectory, so
+	// it participates in every cache key.
+	EqSat bool `json:"eqsat,omitempty"`
 }
 
 // options converts the wire form to stochsyn.Options.
@@ -92,6 +96,7 @@ func (s OptionsSpec) options() stochsyn.Options {
 		Dialect:  stochsyn.Dialect(s.Dialect),
 		Seed:     s.Seed,
 		Workers:  s.Workers,
+		EqSat:    s.EqSat,
 	}
 }
 

@@ -57,6 +57,12 @@ func SynthesizeParallelContext(ctx context.Context, p *Problem, opts Options, wo
 	if err != nil {
 		return Result{}, err
 	}
+	if o.EqSat {
+		// EqSat runs are sequential by contract (the shared memo's
+		// sampling order must not depend on worker interleaving), so
+		// the parallel entry point degrades to the sequential one.
+		return SynthesizeContext(ctx, p, opts)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -64,7 +70,7 @@ func SynthesizeParallelContext(ctx context.Context, p *Problem, opts Options, wo
 		workers = 64
 	}
 	o.Workers = workers
-	strat, err := o.strategy()
+	strat, err := o.strategy(nil)
 	if err != nil {
 		return Result{}, err
 	}
