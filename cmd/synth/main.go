@@ -70,6 +70,7 @@ func main() {
 		dialect  = flag.String("dialect", "full", "instruction dialect: full, base, model")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		remote   = flag.String("remote", "", "synthd base URL; submit the job to a server instead of solving locally")
+		follow   = flag.Bool("follow", false, "with -remote: stream the job's live telemetry and render a cost sparkline to stderr while it runs")
 		stats    = flag.Bool("stats", false, "print end-of-run telemetry (move acceptance rates, restarts, plateaus, cost sparkline) to stderr")
 		traceTo  = flag.String("trace", "", "write trace events to this file as JSONL")
 		verbose  = flag.Bool("v", false, "print progress and the solution's details")
@@ -89,8 +90,12 @@ func main() {
 			os.Exit(1)
 		}
 		runRemote(ctx, *remote, *expr, *inputs, *cases, *specFile, *slFile, *problem,
-			*costName, *beta, *strategy, *budget, *dialect, *seed, *verbose, *lint)
+			*costName, *beta, *strategy, *budget, *dialect, *seed, *verbose, *lint, *follow)
 		return
+	}
+	if *follow {
+		fmt.Fprintln(os.Stderr, "synth: -follow requires -remote (local runs report with -stats)")
+		os.Exit(1)
 	}
 
 	suite, desc, err := loadProblem(*expr, *inputs, *cases, *specFile, *slFile, *problem, *seed)
@@ -371,7 +376,7 @@ func parseWord(s string) (uint64, error) {
 // as raw SyGuS text; spec files and built-in problems are resolved
 // locally and sent as explicit examples. On Ctrl-C the job is
 // cancelled on the server before exiting.
-func runRemote(ctx context.Context, baseURL, expr string, inputs, cases int, specFile, slFile, problem, costName string, beta float64, strategy string, budget int64, dialect string, seed uint64, verbose, lint bool) {
+func runRemote(ctx context.Context, baseURL, expr string, inputs, cases int, specFile, slFile, problem, costName string, beta float64, strategy string, budget int64, dialect string, seed uint64, verbose, lint, follow bool) {
 	pspec, desc, err := remoteProblemSpec(expr, inputs, cases, specFile, slFile, problem, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "synth:", err)
@@ -399,6 +404,15 @@ func runRemote(ctx context.Context, baseURL, expr string, inputs, cases int, spe
 		fmt.Printf("problem: %s\nsubmitted as job %s to %s (status %s)\n", desc, v.ID, baseURL, v.Status)
 	}
 	if !v.Status.Terminal() {
+		if follow {
+			// Best-effort: the live stream drives the progress display,
+			// but the verdict below always comes from the final poll, so
+			// a torn stream degrades the rendering, never the result.
+			if ferr := followJob(ctx, c, v.ID); ferr != nil && ctx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "synth: follow stream:", ferr)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 		v, err = c.Wait(ctx, v.ID, 0)
 		if ctx.Err() != nil {
 			// Interrupted: cancel the job server-side with a fresh
@@ -453,6 +467,45 @@ func runRemote(ctx context.Context, baseURL, expr string, inputs, cases int, spe
 		fmt.Fprintln(os.Stderr, "synth: unexpected job status:", v.Status)
 		os.Exit(1)
 	}
+}
+
+// followJob consumes the job's live telemetry stream (the server's
+// /v1/jobs/{id}/events feed; through a fleet coordinator the same
+// stream survives worker failover) and renders a one-line progress
+// display on stderr: a sparkline of the cost samples so far, the
+// current and best cost, and the iteration count. Redraws are
+// throttled so a fast search does not flood the terminal. Returns when
+// the terminal event arrives, the stream tears, or ctx ends.
+func followJob(ctx context.Context, c *client.Client, id string) error {
+	var costs []float64
+	lastDraw := time.Now()
+	draw := func(best, cur, iter float64, force bool) {
+		if !force && time.Since(lastDraw) < 100*time.Millisecond {
+			return
+		}
+		lastDraw = time.Now()
+		fmt.Fprintf(os.Stderr, "\r%-60s cost %5.0f best %5.0f %12.0f iters",
+			textplot.Spark(costs, 60), cur, best, iter)
+	}
+	var best, cur, iter float64
+	return c.Events(ctx, id, 0, func(ev obs.Event) error {
+		switch ev.Name {
+		case "search_cost":
+			cur, _ = ev.Attrs["cost"].(float64)
+			if b, ok := ev.Attrs["best"].(float64); ok {
+				best = b
+			}
+			if it, ok := ev.Attrs["iteration"].(float64); ok {
+				iter = it
+			}
+			costs = append(costs, cur)
+			draw(best, cur, iter, false)
+		case "job_finished":
+			draw(best, cur, iter, true)
+			return client.StopStreaming
+		}
+		return nil
+	})
 }
 
 // remoteProblemSpec maps the problem-source flags to a wire

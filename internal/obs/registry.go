@@ -63,12 +63,20 @@ type family struct {
 
 	mu     sync.RWMutex
 	help   string
-	series map[string]any // label key → *Counter | *Gauge | *Histogram | gaugeFn
+	series map[string]any // label key → *Counter | *Gauge | *Histogram | gaugeFn | counterFn
 }
 
 // gaugeFn is a gauge series whose value is computed at collection
 // time (used for cheap "current state" metrics like queue depth).
 type gaugeFn struct {
+	labels string
+	fn     func() float64
+}
+
+// counterFn is the counter analog of gaugeFn: a monotone total whose
+// source of truth lives elsewhere (e.g. the tracer's drop counters)
+// and is read at collection time.
+type counterFn struct {
 	labels string
 	fn     func() float64
 }
@@ -124,6 +132,21 @@ func (r *Registry) GaugeFunc(name string, fn func() float64, labelPairs ...strin
 	key := renderLabels(labelPairs)
 	f.mu.Lock()
 	f.series[key] = &gaugeFn{labels: key, fn: fn}
+	f.mu.Unlock()
+}
+
+// CounterFunc registers a counter series whose value is fn(),
+// evaluated at every collection. fn must be monotone non-decreasing
+// (counter semantics are the caller's contract). Re-registering the
+// same series replaces fn.
+func (r *Registry) CounterFunc(name string, fn func() float64, labelPairs ...string) {
+	if r == nil {
+		return
+	}
+	f := r.family(name, counterType, nil)
+	key := renderLabels(labelPairs)
+	f.mu.Lock()
+	f.series[key] = &counterFn{labels: key, fn: fn}
 	f.mu.Unlock()
 }
 
@@ -434,6 +457,8 @@ func (f *family) write(sb *strings.Builder) {
 		case *Gauge:
 			writeSample(sb, f.name, keys[i], m.Value())
 		case *gaugeFn:
+			writeSample(sb, f.name, keys[i], m.fn())
+		case *counterFn:
 			writeSample(sb, f.name, keys[i], m.fn())
 		case *Histogram:
 			m.write(sb, f.name, keys[i])

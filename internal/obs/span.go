@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies a node in a trace tree: TraceID names the
+// whole tree (one per job, stable across processes — it rides the
+// traceparent header when the fleet coordinator forwards to a
+// worker), SpanID names this node. The zero value means "no span".
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether sc carries both identifiers.
+func (sc SpanContext) Valid() bool {
+	return sc.TraceID != "" && sc.SpanID != ""
+}
+
+// Span identities only need process-wide uniqueness, not
+// cryptographic strength: a counter mixed through splitmix64, seeded
+// from the clock at startup. Deliberately independent of the search
+// RNG — span generation never touches a seed a search draws from, so
+// tracing stays strictly passive.
+var (
+	spanCounter atomic.Uint64
+	spanSeed    = uint64(time.Now().UnixNano())
+)
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewTraceID returns a fresh 32-hex-digit trace identifier.
+func NewTraceID() string {
+	a := mix64(spanSeed + spanCounter.Add(1))
+	b := mix64(a ^ spanSeed)
+	return fmt.Sprintf("%016x%016x", a, b)
+}
+
+// NewSpanID returns a fresh 16-hex-digit span identifier.
+func NewSpanID() string {
+	return fmt.Sprintf("%016x", mix64(spanSeed+spanCounter.Add(1)))
+}
+
+// FormatTraceParent renders sc as a W3C-traceparent-style header
+// value: "00-<trace-id>-<span-id>-01". Empty when sc is not valid.
+func FormatTraceParent(sc SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceParent parses a traceparent-style header value. It is
+// tolerant of unknown versions and flags but strict about shape:
+// four dash-separated fields with hex identifiers of the standard
+// widths (32 for the trace, 16 for the span). Reports false on
+// anything else — callers then mint a fresh trace.
+func ParseTraceParent(s string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 4 {
+		return SpanContext{}, false
+	}
+	if len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return SpanContext{}, false
+	}
+	for _, p := range parts[:3] {
+		if !isHex(p) {
+			return SpanContext{}, false
+		}
+	}
+	sc := SpanContext{TraceID: parts[1], SpanID: parts[2]}
+	if allZero(sc.TraceID) || allZero(sc.SpanID) {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// Span is an in-progress operation: created by StartSpan, finished by
+// End, which emits one event named after the span carrying its
+// duration. The span's context is available immediately (Context), so
+// child operations can parent under it before it ends — trace trees
+// are assembled from parent_id links, not from nesting in time.
+type Span struct {
+	t      *Tracer
+	name   string
+	sc     SpanContext
+	parent string
+	start  time.Time
+}
+
+// StartSpan begins a span named name under the given trace and
+// parent. An empty traceID mints a fresh trace (a root span). Works
+// on a nil tracer too: identifiers are still generated so context can
+// propagate, only the End event is dropped.
+func (t *Tracer) StartSpan(name, traceID, parentID string) *Span {
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	return &Span{
+		t:      t,
+		name:   name,
+		sc:     SpanContext{TraceID: traceID, SpanID: NewSpanID()},
+		parent: parentID,
+		start:  time.Now(),
+	}
+}
+
+// Context returns the span's identity for propagation to children.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// End emits the span's event with a duration_seconds attribute merged
+// into attrs (which may be nil and is retained). Nil-safe; a span may
+// be ended once — further calls emit duplicate events.
+func (s *Span) End(attrs map[string]any) {
+	if s == nil || s.t == nil {
+		return
+	}
+	out := make(map[string]any, len(attrs)+1)
+	for k, v := range attrs {
+		out[k] = v
+	}
+	out["duration_seconds"] = time.Since(s.start).Seconds()
+	s.t.EmitSpan(s.name, s.sc, s.parent, out)
+}

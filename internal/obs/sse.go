@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// DefaultSubscriberBuf is the channel buffer ServeEventStream gives
+// its subscription: enough to ride out a slow client's TCP stall for
+// a burst of events without blocking the emitter.
+const DefaultSubscriberBuf = 256
+
+// ServeEventStream streams t's events to w as Server-Sent Events
+// (text/event-stream): each event is written as an `id:` line (the
+// tracer Seq), an `event:` line (the event name), and a `data:` line
+// (the Event as JSON). The stream starts with a replay of the ring
+// buffer — resumable: a `Last-Event-ID` request header (a Seq) skips
+// everything at or before it, so a reconnecting client sees no
+// duplicates — then follows the live feed. It ends when an event
+// named terminal is sent (after sending it), when the client
+// disconnects, or when the subscription is closed; the subscription
+// is always released on return. A malformed Last-Event-ID is a 400.
+//
+// Events the ring has already overwritten at replay time are gone
+// (Seq gaps tell the client); events the live buffer cannot absorb
+// are dropped, never blocking the emitter (the tracer counts them).
+func ServeEventStream(w http.ResponseWriter, r *http.Request, t *Tracer, terminal string) {
+	var after uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "events: malformed Last-Event-ID: want a sequence number", http.StatusBadRequest)
+			return
+		}
+		after = n
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "events: streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// Subscribe before snapshotting the ring: an event emitted between
+	// the two shows up in both, and the Seq watermark dedupes it; the
+	// reverse order would lose it entirely.
+	sub := t.Subscribe(DefaultSubscriberBuf)
+	defer t.Unsubscribe(sub)
+
+	last := after
+	send := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return true
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Name, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		last = ev.Seq
+		return terminal == "" || ev.Name != terminal
+	}
+	for _, ev := range t.Events() {
+		if ev.Seq <= after {
+			continue
+		}
+		if !send(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			if ev.Seq <= last {
+				continue
+			}
+			if !send(ev) {
+				return
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"math"
 	"math/rand/v2"
 	"runtime"
 	"sync"
@@ -43,6 +44,57 @@ func TestObsBitIdentical(t *testing.T) {
 	}
 	if run.MoveStats() != bare.MoveStats() {
 		t.Fatalf("move stats diverged: %+v vs %+v", run.MoveStats(), bare.MoveStats())
+	}
+
+	// Streamed variant: tracer attached (cost sampling on) plus a live
+	// SSE-style subscriber draining the event feed. Still bit-identical
+	// — the push side never touches the random stream.
+	so := obs.New()
+	sub := so.Tracer.Subscribe(64)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range sub.Events() {
+		}
+	}()
+	str := base
+	str.Obs = NewObsHooks(so.Reg, so.Tracer)
+	streamed := New(suite, str)
+	usedStr, doneStr := streamed.Step(500_000)
+	so.Tracer.Unsubscribe(sub)
+	<-drained
+	if usedStr != usedBare || doneStr != doneBare {
+		t.Fatalf("streamed run diverged: used=%d done=%v, bare used=%d done=%v",
+			usedStr, doneStr, usedBare, doneBare)
+	}
+	if streamed.Cost() != bare.Cost() || streamed.Program().String() != bare.Program().String() {
+		t.Fatalf("streamed trajectory diverged: cost %g vs %g", streamed.Cost(), bare.Cost())
+	}
+	if streamed.MoveStats() != bare.MoveStats() {
+		t.Fatalf("streamed move stats diverged")
+	}
+	// The sampled trajectory carries the monotone best-so-far envelope.
+	prevBest := math.Inf(1)
+	samples := 0
+	for _, ev := range so.Tracer.Events() {
+		if ev.Name != "search_cost" {
+			continue
+		}
+		samples++
+		best, ok := ev.Attrs["best"].(float64)
+		if !ok {
+			t.Fatalf("search_cost missing best attr: %+v", ev.Attrs)
+		}
+		if best > prevBest {
+			t.Fatalf("best-so-far went up: %g then %g", prevBest, best)
+		}
+		if c := ev.Attrs["cost"].(float64); best > c {
+			t.Fatalf("best %g above sampled cost %g", best, c)
+		}
+		prevBest = best
+	}
+	if samples == 0 {
+		t.Fatal("no search_cost samples streamed")
 	}
 
 	// The registry saw the run: iteration counter matches exactly
@@ -142,9 +194,26 @@ func BenchmarkSearchLoop(b *testing.B) {
 	rng := rand.New(rand.NewPCG(100, 200))
 	suite := testcase.Generate(func(in []uint64) uint64 { return ref.Output(in) },
 		2, 50, rng)
-	run := func(b *testing.B, o *obs.Obs) {
+	run := func(b *testing.B, o *obs.Obs, stream bool) {
 		opts := Options{Set: prog.FullSet, Cost: cost.Hamming, Beta: 1, Seed: 1}
-		if o != nil {
+		switch {
+		case stream:
+			// The full push path: tracer with cost sampling on and a
+			// live subscriber draining the feed, like an attached SSE
+			// client (see obs.ServeEventStream).
+			opts.Obs = NewObsHooks(o.Reg, o.Tracer)
+			sub := o.Tracer.Subscribe(obs.DefaultSubscriberBuf)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for range sub.Events() {
+				}
+			}()
+			defer func() {
+				o.Tracer.Unsubscribe(sub)
+				<-done
+			}()
+		case o != nil:
 			opts.Obs = NewObsHooks(o.Reg, nil) // metrics only: the server path
 		}
 		r := New(suite, opts)
@@ -161,6 +230,7 @@ func BenchmarkSearchLoop(b *testing.B) {
 		}
 		b.StopTimer()
 	}
-	b.Run("baseline", func(b *testing.B) { run(b, nil) })
-	b.Run("instrumented", func(b *testing.B) { run(b, obs.New()) })
+	b.Run("baseline", func(b *testing.B) { run(b, nil, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, obs.New(), false) })
+	b.Run("streamed", func(b *testing.B) { run(b, obs.New(), true) })
 }

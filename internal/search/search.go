@@ -197,6 +197,7 @@ type Run struct {
 	obsIters int64 // counters already flushed to the registry
 	obsStats Stats
 	obsEval  prog.EvalStats // engine work counters already flushed
+	obsBest  float64        // best sampled cost so far (NaN until the first flush)
 	plateau  obs.PlateauDetector
 
 	vals  [prog.MaxNodes]uint64
@@ -231,6 +232,7 @@ func New(suite *testcase.Suite, opts Options) *Run {
 	}
 	r.obsHooks = opts.Obs
 	r.obsIters = -1 // force the first publish even at iteration 0
+	r.obsBest = math.NaN()
 	if h := opts.Obs; h != nil {
 		r.plateau.Window = h.PlateauWindow
 	}
@@ -535,6 +537,9 @@ func (r *Run) publish() {
 	}
 	h.CurCost.Set(r.cost)
 	h.BestCost.SetMin(r.cost)
+	if math.IsNaN(r.obsBest) || r.cost < r.obsBest {
+		r.obsBest = r.cost
+	}
 	entered, exited, dwell := r.plateau.Observe(r.iters, r.cost)
 	if h.Tracer != nil {
 		if entered {
@@ -549,9 +554,19 @@ func (r *Run) publish() {
 			})
 		}
 		if h.SampleCosts {
-			h.Tracer.Emit("search_cost", map[string]any{
-				"search": h.ID, "iteration": r.iters, "cost": r.cost,
-			})
+			// "best" is the best-so-far of the sampled trajectory, so a
+			// live follower can draw the monotone envelope without
+			// replaying from the start; the eval counters are cumulative
+			// engine totals, from which consumers derive the reuse rate.
+			attrs := map[string]any{
+				"search": h.ID, "iteration": r.iters, "cost": r.cost, "best": r.obsBest,
+			}
+			if r.eng != nil {
+				es := r.obsEval
+				attrs["eval_nodes_reevaluated"] = es.NodesReevaluated
+				attrs["eval_nodes_total"] = es.NodesTotal
+			}
+			h.Tracer.Emit("search_cost", attrs)
 		}
 	} else if entered {
 		h.Plateaus.Inc()

@@ -5,16 +5,20 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
+	"stochsyn/internal/obs"
 	"stochsyn/internal/server"
 )
 
@@ -76,11 +80,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		var ae server.APIError
-		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			return &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
-		}
-		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		return apiErr(resp.StatusCode, data)
 	}
 	if out == nil {
 		return nil
@@ -91,11 +91,112 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 // Submit enqueues a job and returns its initial view (status "queued",
 // or "completed" when served from the result cache).
 func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (*server.JobView, error) {
+	return c.SubmitTraced(ctx, spec, obs.SpanContext{})
+}
+
+// SubmitTraced is Submit carrying the caller's span context as a
+// traceparent-style header, so the job's telemetry is parented under
+// the caller's trace (the fleet coordinator submits this way). The
+// zero SpanContext degrades to a plain Submit.
+func (c *Client) SubmitTraced(ctx context.Context, spec server.JobSpec, parent obs.SpanContext) (*server.JobView, error) {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if hdr := obs.FormatTraceParent(parent); hdr != "" {
+		req.Header.Set("Traceparent", hdr)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, apiErr(resp.StatusCode, body)
+	}
 	var v server.JobView
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &v); err != nil {
+	if err := json.Unmarshal(body, &v); err != nil {
 		return nil, err
 	}
 	return &v, nil
+}
+
+// StopStreaming is the sentinel an Events callback returns to end the
+// stream early; Events then returns nil.
+var StopStreaming = errors.New("client: stop streaming")
+
+// Events consumes the job's live telemetry feed (GET
+// /v1/jobs/{id}/events, Server-Sent Events), invoking fn for every
+// event. lastSeq > 0 resumes after that sequence number (the server
+// replays the rest of its ring, never duplicating ids at or below
+// it). Events returns nil when the server ends the stream (it does so
+// after the terminal job_finished event), when fn returns
+// StopStreaming, or with the first error otherwise: fn's, the
+// transport's, or ctx's.
+func (c *Client) Events(ctx context.Context, id string, lastSeq uint64, fn func(obs.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastSeq, 10))
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(resp.Body)
+		return apiErr(resp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // id:/event: lines and keep-alive blanks
+		}
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("client: bad event payload: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			if errors.Is(err, StopStreaming) {
+				return nil
+			}
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Prefer the cancellation cause over the transport's rendering
+		// of the torn connection.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return nil
+}
+
+// apiErr decodes a non-2xx response body into an APIError.
+func apiErr(code int, body []byte) error {
+	var ae server.APIError
+	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+		return &APIError{StatusCode: code, Message: ae.Error}
+	}
+	return &APIError{StatusCode: code, Message: strings.TrimSpace(string(body))}
 }
 
 // Job polls one job.

@@ -84,6 +84,10 @@ type Coordinator struct {
 	metrics coordMetrics
 	stop    chan struct{}
 	wg      sync.WaitGroup
+	// relayCtx bounds the per-submission event-relay goroutines (see
+	// relayLoop); Close cancels it.
+	relayCtx    context.Context
+	relayCancel context.CancelFunc
 }
 
 // workerRef is one worker shard. The health flag is written by the
@@ -121,6 +125,18 @@ type submission struct {
 	spec    server.JobSpec
 	key     string
 	created time.Time
+	// tracer is the submission's trace fork: forward, failover, and
+	// redispatch spans land here (parented under the submit span), as
+	// do the owning worker's events once the relay mirrors them in —
+	// it backs the coordinator's GET /v1/jobs/{id}/events stream.
+	tracer *obs.Tracer
+	// submit is the submission's root span; the worker-side job and
+	// every coordinator-side operation span parent under it, sharing
+	// its trace id across the fleet (propagated via traceparent).
+	submit obs.SpanContext
+	// relay starts the worker event-stream mirror at most once, on the
+	// first /events request for this submission.
+	relay sync.Once
 
 	mu       sync.Mutex
 	worker   *workerRef
@@ -128,6 +144,12 @@ type submission struct {
 	last     server.JobView // last seen view, already rewritten
 	terminal bool
 }
+
+// SubTraceCap is the ring capacity of each submission's trace fork.
+// It is larger than the worker-side server.JobTraceCap: a redispatched
+// submission relays up to two runs' worth of events plus its own
+// forward/redispatch spans.
+const SubTraceCap = 4096
 
 type coordMetrics struct {
 	forwards     map[string]*obs.Counter // by worker name
@@ -159,6 +181,7 @@ func New(cfg Config) (*Coordinator, error) {
 		subs: make(map[string]*submission),
 		stop: make(chan struct{}),
 	}
+	co.relayCtx, co.relayCancel = context.WithCancel(context.Background())
 	if co.obs == nil {
 		co.obs = obs.New()
 	}
@@ -197,10 +220,12 @@ func New(cfg Config) (*Coordinator, error) {
 	return co, nil
 }
 
-// Close stops the health prober. In-flight jobs keep running on their
-// workers; the coordinator holds no queue of its own.
+// Close stops the health prober and the event relays. In-flight jobs
+// keep running on their workers; the coordinator holds no queue of
+// its own.
 func (co *Coordinator) Close() error {
 	close(co.stop)
+	co.relayCancel()
 	co.wg.Wait()
 	return nil
 }
@@ -240,12 +265,18 @@ func (co *Coordinator) probeAll() {
 	wg.Wait()
 }
 
-// forward submits spec to the best available shard for key, walking
-// the rendezvous order with backoff. exclude, when non-nil, is
-// skipped (the worker a re-dispatch is fleeing). It returns the
-// worker that accepted the job and its initial view.
-func (co *Coordinator) forward(r *http.Request, spec server.JobSpec, key string, exclude *workerRef) (*workerRef, *server.JobView, error) {
-	ranked := shardOrder(co.workers, key)
+// forward submits the submission's spec to the best available shard
+// for its key, walking the rendezvous order with backoff. exclude,
+// when non-nil, is skipped (the worker a re-dispatch is fleeing). The
+// whole walk is one fleet_forward span on sub.tracer, parented under
+// parentID (the submit span, or a redispatch span); per-candidate
+// failures become fleet_failover / fleet_backpressure events under
+// it, and the accepting worker receives the span's context as a
+// traceparent header, so the worker-side job joins the same trace. It
+// returns the worker that accepted the job and its initial view.
+func (co *Coordinator) forward(ctx context.Context, sub *submission, parentID string, exclude *workerRef) (*workerRef, *server.JobView, error) {
+	span := sub.tracer.StartSpan("fleet_forward", sub.submit.TraceID, parentID)
+	ranked := shardOrder(co.workers, sub.key)
 	// Healthy shards first in rank order, then the unhealthy ones as
 	// a last resort: a stale probe must not turn capacity away.
 	candidates := make([]*workerRef, 0, len(ranked))
@@ -260,6 +291,7 @@ func (co *Coordinator) forward(r *http.Request, spec server.JobSpec, key string,
 		}
 	}
 	if len(candidates) == 0 {
+		span.End(map[string]any{"error": "no workers available"})
 		return nil, nil, &fleetError{code: http.StatusServiceUnavailable, retryAfter: 1, msg: "no workers available"}
 	}
 
@@ -267,14 +299,18 @@ func (co *Coordinator) forward(r *http.Request, spec server.JobSpec, key string,
 	for i, w := range candidates {
 		if i > 0 {
 			select {
-			case <-r.Context().Done():
-				return nil, nil, r.Context().Err()
+			case <-ctx.Done():
+				span.End(map[string]any{"error": ctx.Err().Error()})
+				return nil, nil, ctx.Err()
 			case <-time.After(co.cfg.RetryBackoff * time.Duration(i)):
 			}
 		}
-		v, err := w.client.Submit(r.Context(), spec)
+		v, err := w.client.SubmitTraced(ctx, sub.spec, span.Context())
 		if err == nil {
 			co.metrics.forwards[w.name].Inc()
+			span.End(map[string]any{
+				"worker": w.name, "remote_id": v.ID, "key": sub.key, "attempts": i + 1,
+			})
 			return w, v, nil
 		}
 		var ae *client.APIError
@@ -282,25 +318,30 @@ func (co *Coordinator) forward(r *http.Request, spec server.JobSpec, key string,
 			if ae.StatusCode == http.StatusServiceUnavailable {
 				// Worker is up but full: backpressure, not failure.
 				sawBusy = true
-				co.obs.Trace().Emit("fleet_backpressure", map[string]any{"worker": w.name})
+				sub.tracer.EmitSpan("fleet_backpressure",
+					obs.SpanContext{TraceID: sub.submit.TraceID, SpanID: obs.NewSpanID()},
+					span.Context().SpanID, map[string]any{"worker": w.name})
 				continue
 			}
 			// Any other API error (400 bad spec, ...) is not going to
 			// improve on another shard; surface it as-is.
+			span.End(map[string]any{"error": ae.Message})
 			return nil, nil, err
 		}
 		// Transport-level failure: the worker is unreachable.
 		w.setHealthy(false)
 		co.metrics.failovers[w.name].Inc()
-		co.obs.Trace().Emit("fleet_failover", map[string]any{
-			"worker": w.name, "error": err.Error(),
-		})
+		sub.tracer.EmitSpan("fleet_failover",
+			obs.SpanContext{TraceID: sub.submit.TraceID, SpanID: obs.NewSpanID()},
+			span.Context().SpanID, map[string]any{"worker": w.name, "error": err.Error()})
 	}
 	co.metrics.backpressure.Inc()
+	msg := "no worker reachable"
 	if sawBusy {
-		return nil, nil, &fleetError{code: http.StatusServiceUnavailable, retryAfter: 1, msg: "all workers are at capacity"}
+		msg = "all workers are at capacity"
 	}
-	return nil, nil, &fleetError{code: http.StatusServiceUnavailable, retryAfter: 1, msg: "no worker reachable"}
+	span.End(map[string]any{"error": msg})
+	return nil, nil, &fleetError{code: http.StatusServiceUnavailable, retryAfter: 1, msg: msg}
 }
 
 // view rewrites a worker-local JobView into the coordinator's wire
@@ -326,24 +367,30 @@ func (sub *submission) record(v server.JobView) server.JobView {
 // single synthd serves, so clients (synth -remote, the Go client) are
 // oblivious to the topology:
 //
-//	POST   /v1/jobs      validate, shard by canonical key, forward
-//	GET    /v1/jobs      merged list of forwarded jobs
-//	GET    /v1/jobs/{id} poll (re-dispatching off dead workers)
-//	DELETE /v1/jobs/{id} cancel on the owning worker
-//	GET    /healthz      coordinator liveness + healthy worker count
-//	GET    /statsz       fleet snapshot (per-worker health/forwards)
-//	GET    /metrics      Prometheus text exposition
-//	GET    /tracez       recent trace events as JSONL
-//	GET    /debug/pprof/ runtime profiles
+//	POST   /v1/jobs             validate, shard by canonical key, forward
+//	GET    /v1/jobs             merged list of forwarded jobs
+//	GET    /v1/jobs/{id}        poll (re-dispatching off dead workers)
+//	GET    /v1/jobs/{id}/events live telemetry stream (SSE), relayed from
+//	                            the owning worker and surviving redispatch
+//	DELETE /v1/jobs/{id}        cancel on the owning worker
+//	GET    /healthz             coordinator liveness + healthy worker count
+//	GET    /statsz              fleet snapshot (per-worker health/forwards,
+//	                            rolled-up worker stats)
+//	GET    /metrics             federated Prometheus exposition: the
+//	                            coordinator's own series plus every
+//	                            reachable worker's, labeled worker="wN"
+//	GET    /tracez              recent trace events as JSONL
+//	GET    /debug/pprof/        runtime profiles
 func (co *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", co.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", co.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", co.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", co.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", co.handleCancel)
 	mux.HandleFunc("GET /healthz", co.handleHealthz)
 	mux.HandleFunc("GET /statsz", co.handleStatsz)
-	mux.Handle("GET /metrics", co.obs.Reg.Handler())
+	mux.HandleFunc("GET /metrics", co.handleMetrics)
 	mux.Handle("GET /tracez", co.obs.Tracer.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -384,22 +431,39 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	worker, v, err := co.forward(r, spec, key, nil)
+	// The submission record — id, trace fork, submit span — exists
+	// before the first forward attempt, so the forward/failover walk is
+	// already traced under the submit span. A submitter's Traceparent
+	// header parents the whole fleet-side trace under its span; without
+	// one the submission roots a fresh trace. On forward failure the
+	// record is discarded (its id is burned, never registered).
+	parent, _ := obs.ParseTraceParent(r.Header.Get("Traceparent"))
+	co.mu.Lock()
+	co.nextID++
+	id := fmt.Sprintf("c%06d", co.nextID)
+	co.mu.Unlock()
+	sc := obs.SpanContext{TraceID: parent.TraceID, SpanID: obs.NewSpanID()}
+	if sc.TraceID == "" {
+		sc.TraceID = obs.NewTraceID()
+	}
+	sub := &submission{
+		id:      id,
+		spec:    spec,
+		key:     key,
+		created: time.Now(),
+		submit:  sc,
+		tracer:  co.obs.Trace().Fork(SubTraceCap, sc, parent.SpanID, map[string]any{"job": id}),
+	}
+
+	worker, v, err := co.forward(r.Context(), sub, sc.SpanID, nil)
 	if err != nil {
 		writeFleetError(w, err)
 		return
 	}
 
+	sub.worker = worker
+	sub.remoteID = v.ID
 	co.mu.Lock()
-	co.nextID++
-	sub := &submission{
-		id:       fmt.Sprintf("c%06d", co.nextID),
-		spec:     spec,
-		key:      key,
-		created:  time.Now(),
-		worker:   worker,
-		remoteID: v.ID,
-	}
 	co.subs[sub.id] = sub
 	co.order = append(co.order, sub)
 	co.mu.Unlock()
@@ -407,9 +471,6 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	sub.mu.Lock()
 	out := sub.record(*v)
 	sub.mu.Unlock()
-	co.obs.Trace().Emit("fleet_forward", map[string]any{
-		"id": sub.id, "worker": worker.name, "remote_id": v.ID, "key": key,
-	})
 	code := http.StatusAccepted
 	if out.Status.Terminal() {
 		code = http.StatusOK // served from the worker's cache
@@ -422,13 +483,13 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // the freshest view it can get; a stale last-known view with a nil
 // error is returned only when the job already reached a terminal
 // state (then the worker no longer matters).
-func (co *Coordinator) refresh(r *http.Request, sub *submission) (server.JobView, error) {
+func (co *Coordinator) refresh(ctx context.Context, sub *submission) (server.JobView, error) {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
 	if sub.terminal {
 		return sub.last, nil
 	}
-	v, err := sub.worker.client.Job(r.Context(), sub.remoteID)
+	v, err := sub.worker.client.Job(ctx, sub.remoteID)
 	if err == nil {
 		return sub.record(*v), nil
 	}
@@ -441,18 +502,21 @@ func (co *Coordinator) refresh(r *http.Request, sub *submission) (server.JobView
 	// Transport failure (worker dead) or 404 (worker restarted and
 	// forgot the job): the search is lost, but it is deterministic —
 	// re-dispatch the original spec to the next shard and keep the
-	// coordinator id.
+	// coordinator id. The redispatch span parents the new forward walk,
+	// so the trace shows submit → redispatch → forward → new run.
 	dead := sub.worker
 	dead.setHealthy(false)
-	worker, v, ferr := co.forward(r, sub.spec, sub.key, dead)
+	span := sub.tracer.StartSpan("fleet_redispatch", sub.submit.TraceID, sub.submit.SpanID)
+	worker, v, ferr := co.forward(ctx, sub, span.Context().SpanID, dead)
 	if ferr != nil {
+		span.End(map[string]any{"from": dead.name, "error": ferr.Error()})
 		return server.JobView{}, ferr
 	}
 	sub.worker = worker
 	sub.remoteID = v.ID
 	co.metrics.redispatches.Inc()
-	co.obs.Trace().Emit("fleet_redispatch", map[string]any{
-		"id": sub.id, "from": dead.name, "to": worker.name, "remote_id": v.ID,
+	span.End(map[string]any{
+		"from": dead.name, "to": worker.name, "remote_id": v.ID,
 	})
 	return sub.record(*v), nil
 }
@@ -469,12 +533,125 @@ func (co *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	v, err := co.refresh(r, sub)
+	v, err := co.refresh(r.Context(), sub)
 	if err != nil {
 		writeFleetError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+// handleEvents serves the coordinator-side live telemetry stream for a
+// submission. The stream is backed by the submission's own tracer, fed
+// by a relay goroutine that mirrors the owning worker's event stream —
+// so a client streaming through the coordinator survives a mid-run
+// worker death: the relay notices the torn stream, re-dispatches, and
+// re-attaches to the replacement worker under the same trace id.
+func (co *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sub := co.lookup(r.PathValue("id"))
+	if sub == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	co.ensureRelay(sub)
+	obs.ServeEventStream(w, r, sub.tracer, "job_finished")
+}
+
+// ensureRelay starts the submission's worker-stream relay exactly
+// once, lazily: submissions nobody watches cost no extra connection.
+func (co *Coordinator) ensureRelay(sub *submission) {
+	sub.relay.Do(func() {
+		co.wg.Add(1)
+		go co.relayLoop(sub)
+	})
+}
+
+// relayLoop mirrors the owning worker's event stream into the
+// submission tracer until the terminal job_finished event arrives (or
+// the coordinator shuts down). Worker events pass through Ingest, so
+// they keep their timestamps, span identity, and attrs but are
+// re-sequenced into the submission's own stream — /events consumers
+// resume against coordinator sequence numbers, never worker-local
+// ones.
+//
+// When the stream tears mid-run the loop re-dispatches via refresh and
+// reconnects. On the same worker (transient blip) it resumes after the
+// last relayed worker sequence number, so nothing duplicates; on a
+// replacement worker it replays the re-run from zero — the re-run's
+// lifecycle events are genuinely new events on this submission's
+// stream, and the dead worker never emitted a terminal event, so
+// watchers still see exactly one job_finished.
+func (co *Coordinator) relayLoop(sub *submission) {
+	defer co.wg.Done()
+	ctx := co.relayCtx
+	var (
+		w          *workerRef
+		remoteID   string
+		lastRemote uint64
+		finished   bool
+	)
+	// pump mirrors one worker event into the submission stream. Like
+	// the coordinator's JobView rewriting, the worker-local job id is
+	// replaced by the coordinator id and the shard is named, so
+	// watchers see one coherent stream across redispatches.
+	pump := func(ev obs.Event) error {
+		lastRemote = ev.Seq
+		if ev.Attrs == nil {
+			ev.Attrs = make(map[string]any, 2)
+		}
+		ev.Attrs["job"] = sub.id
+		ev.Attrs["worker"] = w.name
+		sub.tracer.Ingest(ev)
+		if ev.Name == "job_finished" {
+			finished = true
+		}
+		return nil
+	}
+	// owner re-reads the current placement and zeroes the resume point
+	// when the job moved (a redispatched run is a fresh sequence
+	// space); on the same worker the relay resumes after lastRemote, so
+	// a transient blip duplicates nothing.
+	owner := func(prevW *workerRef, prevID string) (*workerRef, string) {
+		sub.mu.Lock()
+		cw, id := sub.worker, sub.remoteID
+		sub.mu.Unlock()
+		if cw != prevW || id != prevID {
+			lastRemote = 0
+		}
+		return cw, id
+	}
+	w, remoteID = owner(nil, "")
+	for !finished {
+		_ = w.client.Events(ctx, remoteID, lastRemote, pump)
+		if finished || ctx.Err() != nil {
+			return
+		}
+		// The stream ended without a terminal event: the worker died or
+		// the connection tore. refresh re-dispatches if the worker is
+		// really gone; on any error, back off and retry.
+		v, rerr := co.refresh(ctx, sub)
+		if rerr == nil && v.Status.Terminal() {
+			// The job finished before its stream could: either the poll
+			// raced ahead of the relay, or the worker died along with its
+			// event ring. Drain whatever ring the current owner still
+			// holds; if no terminal event surfaces, synthesize one so
+			// watchers are released instead of left hanging.
+			w, remoteID = owner(w, remoteID)
+			_ = w.client.Events(ctx, remoteID, lastRemote, pump)
+			if !finished && ctx.Err() == nil {
+				sub.tracer.Emit("job_finished", map[string]any{
+					"id": sub.id, "status": string(v.Status), "synthetic": true,
+				})
+			}
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(co.cfg.RetryBackoff):
+		}
+		w, remoteID = owner(w, remoteID)
+	}
 }
 
 func (co *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -527,7 +704,7 @@ func (co *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
 	co.mu.Unlock()
 	views := make([]server.JobView, 0, len(subs))
 	for _, sub := range subs {
-		v, err := co.refresh(r, sub)
+		v, err := co.refresh(r.Context(), sub)
 		if err != nil {
 			// Unreachable job: report the last thing we knew rather
 			// than failing the whole listing.
@@ -561,6 +738,12 @@ type Stats struct {
 	Submissions  int           `json:"submissions"`
 	Redispatches int64         `json:"redispatches"`
 	Backpressure int64         `json:"backpressure"`
+	// Fleet rolls worker-side /statsz snapshots up into fleet-wide
+	// totals (populated by SnapshotFleet; zero in a plain Snapshot).
+	Fleet FleetTotals `json:"fleet"`
+	// Trace reports the coordinator's own trace-event loss (the relay
+	// forks included).
+	Trace server.TraceStats `json:"trace"`
 }
 
 // WorkerStats is one shard's view in Stats.
@@ -570,13 +753,39 @@ type WorkerStats struct {
 	Healthy   bool   `json:"healthy"`
 	Forwards  int64  `json:"forwards"`
 	Failovers int64  `json:"failovers"`
+	// Stats is the worker's own /statsz snapshot, scraped live by
+	// SnapshotFleet; nil when the worker was unreachable.
+	Stats *server.Stats `json:"stats,omitempty"`
 }
 
-// Snapshot assembles the current Stats.
+// FleetTotals is the fleet-wide rollup of worker-side stats.
+type FleetTotals struct {
+	// WorkersReachable counts workers whose /statsz scrape succeeded;
+	// the totals below sum over exactly those.
+	WorkersReachable int              `json:"workers_reachable"`
+	Submitted        int64            `json:"submitted"`
+	Rejected         int64            `json:"rejected"`
+	Jobs             server.JobCounts `json:"jobs"`
+	CacheHits        int64            `json:"cache_hits"`
+	CacheMisses      int64            `json:"cache_misses"`
+	CacheEntries     int              `json:"cache_entries"`
+	DedupJoins       int64            `json:"dedup_joins"`
+	PoolTotal        int              `json:"pool_total"`
+	PoolBusy         int64            `json:"pool_busy"`
+}
+
+// Snapshot assembles the coordinator-local Stats (no worker round
+// trips; Fleet stays zero).
 func (co *Coordinator) Snapshot() Stats {
+	tr := co.obs.Trace()
 	st := Stats{
 		Redispatches: int64(co.metrics.redispatches.Value()),
 		Backpressure: int64(co.metrics.backpressure.Value()),
+		Trace: server.TraceStats{
+			RingOverwrites:  tr.RingOverwrites(),
+			SinkErrors:      tr.SinkErrors(),
+			SubscriberDrops: tr.SubscriberDrops(),
+		},
 	}
 	for _, w := range co.workers {
 		st.Workers = append(st.Workers, WorkerStats{
@@ -593,8 +802,54 @@ func (co *Coordinator) Snapshot() Stats {
 	return st
 }
 
-func (co *Coordinator) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, co.Snapshot())
+// SnapshotFleet is Snapshot plus a concurrent scrape of every worker's
+// /statsz, attached per worker and rolled up into Fleet. Unreachable
+// workers are skipped (their last-known health flag already says so).
+func (co *Coordinator) SnapshotFleet(ctx context.Context) Stats {
+	st := co.Snapshot()
+	scraped := make([]*server.Stats, len(co.workers))
+	var wg sync.WaitGroup
+	for i, w := range co.workers {
+		i, w := i, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			if ws, err := w.client.Stats(sctx); err == nil {
+				scraped[i] = ws
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range st.Workers {
+		ws := scraped[i]
+		if ws == nil {
+			continue
+		}
+		st.Workers[i].Stats = ws
+		ft := &st.Fleet
+		ft.WorkersReachable++
+		ft.Submitted += ws.Submitted
+		ft.Rejected += ws.Rejected
+		ft.Jobs.Queued += ws.Jobs.Queued
+		ft.Jobs.Running += ws.Jobs.Running
+		ft.Jobs.Completed += ws.Jobs.Completed
+		ft.Jobs.Cancelled += ws.Jobs.Cancelled
+		ft.Jobs.Failed += ws.Jobs.Failed
+		ft.Jobs.Total += ws.Jobs.Total
+		ft.CacheHits += ws.Cache.Hits
+		ft.CacheMisses += ws.Cache.Misses
+		ft.CacheEntries += ws.Cache.Entries
+		ft.DedupJoins += ws.Dedup.Joins
+		ft.PoolTotal += ws.Workers.Total
+		ft.PoolBusy += ws.Workers.Busy
+	}
+	return st
+}
+
+func (co *Coordinator) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, co.SnapshotFleet(r.Context()))
 }
 
 // fleetError is a coordinator-detected failure with an HTTP status

@@ -51,8 +51,12 @@ func newWorker(t *testing.T, cfg server.Config) *worker {
 }
 
 // stop tears the worker down hard: HTTP first, then an already-
-// expired drain so running jobs are cancelled, not awaited.
+// expired drain so running jobs are cancelled, not awaited. Open
+// client connections (e.g. a relay's SSE stream) are severed first —
+// ts.Close would otherwise block on them, which is exactly the
+// opposite of the worker-crash this simulates.
 func (w *worker) stop() {
+	w.ts.CloseClientConnections()
 	w.ts.Close()
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now())
 	defer cancel()

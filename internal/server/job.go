@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"stochsyn"
+	"stochsyn/internal/obs"
 )
 
 // Status is a job's lifecycle state. Transitions:
@@ -67,6 +68,13 @@ type job struct {
 	eqKey  string
 	ctx    context.Context
 	cancel context.CancelFunc
+	// tracer is the job-scoped trace fork (see obs.Tracer.Fork): every
+	// lifecycle and search event for this job flows through it — into
+	// the job's own ring (the GET /v1/jobs/{id}/events SSE stream) and
+	// onward to the server's global tracer. Its span context carries
+	// the job's trace id, propagated from the submitter's traceparent
+	// header when one was sent.
+	tracer *obs.Tracer
 	// onTerminal, when set, is invoked exactly once, after the job
 	// enters a terminal state (outside j.mu). The server uses it to
 	// resolve the job's singleflight flight; it must not call back
@@ -131,10 +139,44 @@ func (j *job) finishWith(status Status, res *stochsyn.Result, errMsg string, ded
 	}
 	close(j.done)
 	j.mu.Unlock()
+	// The terminal trace event is emitted here — the single choke
+	// point every terminal transition passes through — so SSE streams
+	// always see exactly one job_finished, whatever path ended the job
+	// (run, cache hit at claim time, cancel while queued, adoption).
+	j.emitFinished()
 	if j.onTerminal != nil {
 		j.onTerminal(j)
 	}
 	return true
+}
+
+// emitFinished emits the job's terminal job_finished event on its
+// tracer. On the failed path the result is absent; reporting
+// solved/iterations there would fabricate telemetry for a run that
+// never produced either.
+func (j *job) emitFinished() {
+	if j.tracer == nil {
+		return
+	}
+	j.mu.Lock()
+	attrs := map[string]any{"id": j.id, "status": string(j.status)}
+	if j.cached {
+		attrs["cached"] = true
+	}
+	if j.deduped {
+		attrs["deduped"] = true
+	}
+	if j.errMsg != "" {
+		attrs["error"] = j.errMsg
+	} else if j.result != nil {
+		attrs["solved"] = j.result.Solved
+		attrs["iterations"] = j.result.Iterations
+	}
+	if !j.started.IsZero() && !j.finished.IsZero() {
+		attrs["seconds"] = j.finished.Sub(j.started).Seconds()
+	}
+	j.mu.Unlock()
+	j.tracer.Emit("job_finished", attrs)
 }
 
 // requestCancel cancels the job's context and, if the job has not

@@ -99,6 +99,14 @@ func (s *Server) initObs() {
 		return float64(len(s.flights))
 	})
 	r.SetHelp("stochsyn_singleflight_inflight", "Currently open singleflight flights (distinct canonical keys in flight).")
+	// Trace-event loss, split by reason. The source of truth is the
+	// tracer's own atomic counters (shared across every per-job fork),
+	// read at scrape time.
+	tr := s.obs.Tracer
+	r.CounterFunc("stochsyn_trace_dropped_total", func() float64 { return float64(tr.RingOverwrites()) }, "reason", "ring")
+	r.CounterFunc("stochsyn_trace_dropped_total", func() float64 { return float64(tr.SinkErrors()) }, "reason", "sink")
+	r.CounterFunc("stochsyn_trace_dropped_total", func() float64 { return float64(tr.SubscriberDrops()) }, "reason", "subscriber")
+	r.SetHelp("stochsyn_trace_dropped_total", "Trace events lost, by reason: ring (overwritten before a drain), sink (write failure or backlog overflow), subscriber (SSE consumer too slow).")
 	r.GaugeFunc("stochsyn_queue_depth", func() float64 { return float64(len(s.queue)) })
 	r.GaugeFunc("stochsyn_queue_capacity", func() float64 { return float64(s.cfg.QueueDepth) })
 	r.GaugeFunc("stochsyn_busy_workers", func() float64 { return float64(s.busyWorkers.Load()) })

@@ -190,7 +190,7 @@ func (s *Server) runJob(j *job) {
 	begin := time.Now()
 	wait := begin.Sub(j.created)
 	s.metrics.queueWait.Observe(wait.Seconds())
-	s.obs.Trace().Emit("job_started", map[string]any{
+	j.tracer.Emit("job_started", map[string]any{
 		"id": j.id, "wait_seconds": wait.Seconds(),
 	})
 	defer func() {
@@ -205,16 +205,13 @@ func (s *Server) runJob(j *job) {
 	// skew Stats.HitRate's denominator.
 	if res, populated, ok := s.cache.get(j.key); ok {
 		s.metrics.workerHits.Inc()
-		s.obs.Trace().Emit("cache_worker_hit", map[string]any{
+		j.tracer.Emit("cache_worker_hit", map[string]any{
 			"key": j.key, "canonical": populated != j.structKey,
 		})
 		j.mu.Lock()
 		j.cached = true
 		j.mu.Unlock()
 		j.finish(StatusCompleted, &res, "")
-		s.obs.Trace().Emit("job_finished", map[string]any{
-			"id": j.id, "status": string(StatusCompleted), "cached": true,
-		})
 		return
 	}
 	// Claim-time level-2 recheck: a rewrite-equivalent expr job may
@@ -222,7 +219,7 @@ func (s *Server) runJob(j *job) {
 	if res, ok := s.lookupEqSat(j.eqKey, j.problem); ok {
 		s.metrics.workerHits.Inc()
 		s.metrics.eqsatHits.Inc()
-		s.obs.Trace().Emit("cache_worker_hit", map[string]any{
+		j.tracer.Emit("cache_worker_hit", map[string]any{
 			"key": j.key, "eqsat": true,
 		})
 		s.cache.put(j.key, j.structKey, j.eqKey, res)
@@ -230,9 +227,6 @@ func (s *Server) runJob(j *job) {
 		j.cached = true
 		j.mu.Unlock()
 		j.finish(StatusCompleted, &res, "")
-		s.obs.Trace().Emit("job_finished", map[string]any{
-			"id": j.id, "status": string(StatusCompleted), "cached": true,
-		})
 		return
 	}
 
@@ -242,47 +236,37 @@ func (s *Server) runJob(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.spec.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	// Attach the server's observability sink to the run. The sink is
-	// deliberately not part of the cache key: it never changes results.
+	// Attach the observability sink to the run — the shared metrics
+	// registry, but the job's own trace fork, so restart fires,
+	// plateau transitions, and sampled costs stream per job on
+	// /v1/jobs/{id}/events (and still reach the global ring via the
+	// fork's forwarding). The sink is deliberately not part of the
+	// cache key: it never changes results.
 	opts := j.opts
-	opts.Obs = s.obs
+	opts.Obs = &obs.Obs{Reg: s.obs.Reg, Tracer: j.tracer}
 	res, err := stochsyn.SynthesizeContext(ctx, j.problem, opts)
 	s.metrics.jobRun.Observe(time.Since(begin).Seconds())
-	var status Status
+	// The terminal job_finished event is emitted by finishWith, the
+	// choke point every terminal transition passes through.
 	switch {
 	case err != nil:
-		status = StatusFailed
-		j.finish(status, nil, err.Error())
+		j.finish(StatusFailed, nil, err.Error())
 	case res.Cancelled:
-		status = StatusCancelled
-		j.finish(status, &res, "")
+		j.finish(StatusCancelled, &res, "")
 	default:
-		status = StatusCompleted
 		s.cache.put(j.key, j.structKey, j.eqKey, res)
 		s.metrics.analysisFindings.Add(float64(len(res.Lint)))
-		j.finish(status, &res, "")
+		j.finish(StatusCompleted, &res, "")
 	}
-	// On the failed path res is the zero Result; reporting its
-	// solved/iterations fields would fabricate "solved:false
-	// iterations:0" telemetry for a run that never produced either.
-	attrs := map[string]any{
-		"id": j.id, "status": string(status),
-		"seconds": time.Since(begin).Seconds(),
-	}
-	if err != nil {
-		attrs["error"] = err.Error()
-	} else {
-		attrs["solved"] = res.Solved
-		attrs["iterations"] = res.Iterations
-	}
-	s.obs.Trace().Emit("job_finished", attrs)
 }
 
 // submit registers a new job for the spec, serving it from the cache
 // when possible. It returns the job and whether it was accepted;
 // rejections (queue full or server draining) are reported as an
-// httpError.
-func (s *Server) submit(spec JobSpec) (*job, error) {
+// httpError. parent is the submitter's span context (from a
+// traceparent header — the fleet coordinator's submit span); the zero
+// value starts a fresh trace.
+func (s *Server) submit(spec JobSpec, parent obs.SpanContext) (*job, error) {
 	problem, opts, err := spec.Build()
 	if err != nil {
 		return nil, err
@@ -327,7 +311,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 			s.obs.Trace().Emit("cache_canonical_hit", map[string]any{"key": key})
 		}
 		s.obs.Trace().Emit("cache_hit", map[string]any{"key": key, "canonical": canonical})
-		j := s.newJob(spec, problem, opts, key, structKey, eqKey)
+		j := s.newJob(spec, problem, opts, key, structKey, eqKey, parent)
 		s.finishFromCache(j, res)
 		s.register(j)
 		return j, nil
@@ -341,7 +325,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		s.metrics.cacheHits.Inc()
 		s.metrics.eqsatHits.Inc()
 		s.obs.Trace().Emit("cache_eqsat_hit", map[string]any{"key": key, "eqsat_key": eqKey})
-		j := s.newJob(spec, problem, opts, key, structKey, eqKey)
+		j := s.newJob(spec, problem, opts, key, structKey, eqKey, parent)
 		s.finishFromCache(j, res)
 		s.cache.put(key, structKey, eqKey, res)
 		s.register(j)
@@ -350,7 +334,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	s.metrics.cacheMisses.Inc()
 	s.obs.Trace().Emit("cache_miss", map[string]any{"key": key})
 
-	j := s.newJob(spec, problem, opts, key, structKey, eqKey)
+	j := s.newJob(spec, problem, opts, key, structKey, eqKey, parent)
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 	j.onTerminal = s.jobTerminal
 
@@ -368,7 +352,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		leader := s.flights[key].leader
 		s.mu.Unlock()
 		s.metrics.dedupJoins.Inc()
-		s.obs.Trace().Emit("singleflight_join", map[string]any{
+		j.tracer.Emit("singleflight_join", map[string]any{
 			"id": j.id, "leader": leader.id, "key": key,
 		})
 		return j, nil
@@ -377,7 +361,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	case s.queue <- j:
 		s.registerLocked(j)
 		s.mu.Unlock()
-		s.obs.Trace().Emit("job_submitted", map[string]any{"id": j.id})
+		j.tracer.Emit("job_submitted", map[string]any{"id": j.id})
 		return j, nil
 	default:
 		delete(s.flights, key)
@@ -388,11 +372,23 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	}
 }
 
-func (s *Server) newJob(spec JobSpec, problem *stochsyn.Problem, opts stochsyn.Options, key, structKey, eqKey string) *job {
+// JobTraceCap is the ring capacity of each job's trace fork: enough
+// for a full-budget run's sampled cost trajectory plus its restart
+// and plateau events, allocated lazily so cheap jobs stay cheap.
+const JobTraceCap = 2048
+
+func (s *Server) newJob(spec JobSpec, problem *stochsyn.Problem, opts stochsyn.Options, key, structKey, eqKey string, parent obs.SpanContext) *job {
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
 	s.mu.Unlock()
+	// The job's events live in its own span, parented under the
+	// submitter's span (the fleet coordinator's forward) when a
+	// traceparent was propagated; otherwise the job roots a new trace.
+	sc := obs.SpanContext{TraceID: parent.TraceID, SpanID: obs.NewSpanID()}
+	if sc.TraceID == "" {
+		sc.TraceID = obs.NewTraceID()
+	}
 	return &job{
 		id:        id,
 		spec:      spec,
@@ -401,6 +397,7 @@ func (s *Server) newJob(spec JobSpec, problem *stochsyn.Problem, opts stochsyn.O
 		key:       key,
 		structKey: structKey,
 		eqKey:     eqKey,
+		tracer:    s.obs.Trace().Fork(JobTraceCap, sc, parent.SpanID, map[string]any{"job": id}),
 		status:    StatusQueued,
 		created:   time.Now(),
 		done:      make(chan struct{}),
@@ -420,6 +417,9 @@ func (s *Server) finishFromCache(j *job, res stochsyn.Result) {
 	j.started = now
 	j.finished = now
 	close(j.done)
+	// Born-completed jobs never pass through finishWith, so the
+	// terminal event for their SSE stream is emitted here.
+	j.emitFinished()
 }
 
 // lookupEqSat performs the second-level cache lookup: the result most
@@ -475,6 +475,22 @@ type Stats struct {
 	Cache       CacheStats     `json:"cache"`
 	Dedup       DedupStats     `json:"dedup"`
 	Workers     PoolStats      `json:"workers"`
+	Trace       TraceStats     `json:"trace"`
+}
+
+// TraceStats reports trace-event loss, totaled across the global
+// tracer and every per-job fork (the stochsyn_trace_dropped_total
+// series, split by reason).
+type TraceStats struct {
+	// RingOverwrites counts events overwritten in a ring buffer; a
+	// consumer that drained in time would have seen them.
+	RingOverwrites uint64 `json:"ring_overwrites"`
+	// SinkErrors counts events that failed to reach the -trace sink
+	// (write errors or pending-buffer overflow behind a stalled sink).
+	SinkErrors uint64 `json:"sink_errors"`
+	// SubscriberDrops counts events a live subscriber (an SSE stream)
+	// was too slow to take.
+	SubscriberDrops uint64 `json:"subscriber_drops"`
 }
 
 // JobCounts breaks the registered jobs down by status.
@@ -612,6 +628,11 @@ func (s *Server) Snapshot() Stats {
 	if up := time.Since(s.started); up > 0 {
 		st.Workers.Utilization = float64(s.busyNanos.Load()) / (float64(up) * float64(s.cfg.Workers))
 	}
+	st.Trace = TraceStats{
+		RingOverwrites:  s.obs.Trace().RingOverwrites(),
+		SinkErrors:      s.obs.Trace().SinkErrors(),
+		SubscriberDrops: s.obs.Trace().SubscriberDrops(),
+	}
 	return st
 }
 
@@ -654,25 +675,29 @@ func ErrorStatus(err error) int {
 
 // Handler returns the server's HTTP API:
 //
-//	POST   /v1/jobs      submit a job (JobSpec body) → JobView
-//	GET    /v1/jobs      list jobs (optional ?status= filter) → []JobView
-//	GET    /v1/jobs/{id} poll one job → JobView
-//	DELETE /v1/jobs/{id} cancel a job → JobView
-//	GET    /healthz      liveness probe
-//	GET    /statsz       Stats snapshot
-//	GET    /metrics      Prometheus text exposition
-//	GET    /tracez       recent trace events as JSONL (?n= caps the count)
-//	GET    /debug/pprof/ runtime profiles (net/http/pprof)
+//	POST   /v1/jobs             submit a job (JobSpec body) → JobView
+//	GET    /v1/jobs             list jobs (optional ?status= filter) → []JobView
+//	GET    /v1/jobs/{id}        poll one job → JobView
+//	GET    /v1/jobs/{id}/events live job telemetry as SSE (resumable via Last-Event-ID)
+//	DELETE /v1/jobs/{id}        cancel a job → JobView
+//	GET    /healthz             liveness probe
+//	GET    /statsz              Stats snapshot
+//	GET    /metrics             Prometheus text exposition
+//	GET    /tracez              recent trace events as JSONL (?n= caps, ?event= filters)
+//	GET    /debug/pprof/        runtime profiles (net/http/pprof)
 //
 // The /v1, /healthz, and /statsz routes are wrapped with per-route
 // latency histograms and request counters (stochsyn_http_*); the
 // telemetry routes themselves are left unwrapped so scraping does not
-// feed back into the scraped series.
+// feed back into the scraped series — that includes the SSE route,
+// whose open-ended connection lifetime would poison the latency
+// histogram.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleSubmit))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleCancel))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /statsz", s.instrument("/statsz", s.handleStatsz))
@@ -688,7 +713,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
 		return
 	}
-	j, err := s.submit(spec)
+	// A traceparent-style header links the job's spans under the
+	// submitter's trace (the fleet coordinator propagates its submit
+	// span this way); absent or malformed, the job roots a new trace.
+	parent, _ := obs.ParseTraceParent(r.Header.Get("Traceparent"))
+	j, err := s.submit(spec, parent)
 	if err != nil {
 		writeError(w, ErrorStatus(err), err.Error())
 		return
@@ -730,6 +759,20 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleEvents streams one job's telemetry as Server-Sent Events:
+// a replay of the job's trace ring (resumable — Last-Event-ID skips
+// already-seen sequence numbers) followed by the live feed, ending
+// with the terminal job_finished event. Slow consumers lose events
+// rather than ever stalling the search (the tracer counts drops).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	obs.ServeEventStream(w, r, j.tracer, "job_finished")
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -116,6 +116,21 @@ while [ $i -lt 100 ]; do
 done
 [ "$status" = running ] || fail "long job never started running (status: $status)"
 
+# Attach a live event stream through the coordinator BEFORE the kill:
+# the one connection must survive the failover, carrying events from
+# both workers and exactly one terminal event.
+curl -sN --max-time 180 "http://$coord/v1/jobs/$id/events" > "$tmp/stream" &
+stream_pid=$!
+pids="$pids $stream_pid"
+i=0
+while [ $i -lt 100 ]; do
+	grep -q "\"worker\":\"$shard\"" "$tmp/stream" 2>/dev/null && break
+	i=$((i + 1))
+	sleep 0.1
+done
+grep -q "\"worker\":\"$shard\"" "$tmp/stream" ||
+	fail "no events from the owning worker arrived on the stream"
+
 case "$shard" in
 w0) kill -9 "$w0_pid" ;;
 w1) kill -9 "$w1_pid" ;;
@@ -141,6 +156,18 @@ new_shard=$(printf '%s\n' "$final" | sed -n 's/^ *"worker": "\([^"]*\)".*/\1/p' 
 curl -sf "http://$coord/statsz" | grep -q '"redispatches": 1' ||
 	fail "coordinator statsz does not show the re-dispatch"
 echo "fleet-smoke: $shard died, job re-dispatched to $new_shard and completed"
+
+# The stream attached before the kill must have re-attached to the
+# survivor and terminated itself on the (single) terminal event.
+wait "$stream_pid" 2>/dev/null || true
+grep -q "\"worker\":\"$shard\"" "$tmp/stream" ||
+	fail "stream lost the pre-kill events from $shard"
+grep -q "\"worker\":\"$new_shard\"" "$tmp/stream" ||
+	fail "stream carried no events from the survivor $new_shard after redispatch"
+finishes=$(grep -c '^event: job_finished$' "$tmp/stream" || true)
+[ "$finishes" = 1 ] ||
+	fail "stream saw $finishes terminal events across the failover, want exactly 1"
+echo "fleet-smoke: event stream survived the failover ($shard -> $new_shard, one terminal event)"
 
 # 4. New work still solves on the surviving worker, and the fleet
 # series are exported.

@@ -88,6 +88,45 @@ curl -sf "http://$addr/tracez?n=5" | grep -q '"event"' || {
 }
 echo "server-smoke: /metrics and /tracez OK"
 
+# The live telemetry stream: submit a job and consume its SSE feed.
+# The server ends the stream at the terminal event, so curl exits on
+# its own; the feed must carry the lifecycle and exactly one
+# job_finished.
+cat > "$tmp/job.json" <<'EOF'
+{
+  "problem": {"expr": "xorq(x, y)", "inputs": 2, "num_cases": 40, "case_seed": 11},
+  "options": {"budget": 4000000, "seed": 5, "workers": 2}
+}
+EOF
+resp=$(curl -sf -X POST --data-binary @"$tmp/job.json" "http://$addr/v1/jobs") || {
+	echo "server-smoke: event-stream job submission failed" >&2
+	exit 1
+}
+id=$(printf '%s\n' "$resp" | sed -n 's/^ *"id": "\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "$id" ] || { echo "server-smoke: submission response lacked an id: $resp" >&2; exit 1; }
+curl -sN --max-time 120 "http://$addr/v1/jobs/$id/events" > "$tmp/stream" || {
+	echo "server-smoke: SSE stream failed or did not terminate" >&2
+	exit 1
+}
+for ev in job_started search_start job_finished; do
+	grep -q "^event: $ev\$" "$tmp/stream" || {
+		echo "server-smoke: event stream is missing $ev:" >&2
+		cat "$tmp/stream" >&2
+		exit 1
+	}
+done
+finishes=$(grep -c '^event: job_finished$' "$tmp/stream")
+[ "$finishes" = 1 ] || {
+	echo "server-smoke: expected exactly one terminal event, got $finishes" >&2
+	exit 1
+}
+tail -n 3 "$tmp/stream" | grep -q '^event: job_finished$' || {
+	echo "server-smoke: stream did not end on the terminal event" >&2
+	cat "$tmp/stream" >&2
+	exit 1
+}
+echo "server-smoke: /v1/jobs/$id/events streamed and terminated OK"
+
 kill -TERM "$pid"
 wait "$pid" 2>/dev/null || true
 pid=
