@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt lint test race short bench-exec bench-obs bench-eval bench-eqsat server-smoke fleet-smoke
+.PHONY: ci build vet fmt lint test race short bench-exec bench-obs bench-eval bench-eqsat bench-prune server-smoke fleet-smoke
 
 # gate runs one CI stage, echoing "ci: <name> ok" on success and
 # "ci: FAIL at gate <name>" (then exiting nonzero) on failure, so a
@@ -21,11 +21,12 @@ ci:
 	$(call gate,vet,$(GO) vet ./...)
 	$(call gate,fmt,$(MAKE) -s fmt)
 	$(call gate,lint,$(GO) run ./cmd/repolint)
-	$(call gate,fuzz,$(GO) test -run FuzzIncrementalEval ./internal/search/ && $(GO) test -run FuzzEqSat ./internal/eqsat/)
+	$(call gate,fuzz,$(GO) test -run FuzzIncrementalEval ./internal/search/ && $(GO) test -run FuzzEqSat ./internal/eqsat/ && $(GO) test -run FuzzAbstractDomains ./internal/prog/analysis/absint/)
 	$(call gate,eqsat-smoke,$(GO) test -run TestEqSatSmoke -count=1 ./internal/eqsat/)
+	$(call gate,bench-prune,$(MAKE) -s bench-prune)
 	$(call gate,race,$(GO) test -race ./...)
 	$(call gate,fleet-smoke,sh scripts/fleet_smoke.sh)
-	@echo "ci: all gates passed (build vet fmt lint fuzz eqsat-smoke race fleet-smoke)"
+	@echo "ci: all gates passed (build vet fmt lint fuzz eqsat-smoke bench-prune race fleet-smoke)"
 
 build:
 	$(GO) build ./...
@@ -77,6 +78,15 @@ bench-eval:
 # the bench refuses to write the report on any divergence.
 bench-eqsat:
 	$(GO) run ./cmd/bench -exp eqsat -budget 2000000 -problems 8
+
+# Compare the plain search against the same seeded search with
+# abstract-interpretation pruning (Options.Prune) on the expression
+# fixtures and write BENCH_prune.json. The on arm runs with PruneVerify;
+# the bench refuses to write the report on trajectory divergence, any
+# unsound prune decision, or reduction on fewer than half the rows —
+# which is why it doubles as a ci gate.
+bench-prune:
+	$(GO) run ./cmd/bench -exp prune -budget 2000000
 
 # Boot synthd on an ephemeral port, submit a small SyGuS job through
 # `synth -remote`, and assert the server returns a solution.

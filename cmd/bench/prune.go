@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"stochsyn/internal/experiment"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/testcase"
+)
+
+// pruneReport is the BENCH_prune.json payload. Every field below Date
+// is deterministic in (seed, budget): the experiment recomputes each
+// row and the writer below refuses to emit the file if the repeat
+// disagrees, if any prune decision was unsound, or if fewer than half
+// the rows show a measurable proposal-space reduction.
+type pruneReport struct {
+	Date          string                `json:"date"`
+	Budget        int64                 `json:"budget_per_arm"`
+	Seed          uint64                `json:"seed"`
+	Deterministic bool                  `json:"deterministic"`
+	Rows          []experiment.PruneRow `json:"rows"`
+	ReducedRows   int                   `json:"reduced_rows"`
+	Unsound       int64                 `json:"unsound"`
+}
+
+// runPrune compares the plain search against the same seeded search
+// with abstract-interpretation pruning on the expression fixtures and
+// writes BENCH_prune.json. The on arm runs with PruneVerify so every
+// pruned proposal is concretely re-checked: a nonzero unsound count
+// means the abstract domains proved something false and the report
+// must not ship.
+func runPrune(cfg benchConfig) {
+	var probs []experiment.PruneProblem
+	for _, f := range fixtureRows {
+		ref := prog.MustParse(f.expr, f.inputs)
+		rng := rand.New(rand.NewPCG(cfg.seed, 0xe95a7e95a7))
+		suite := testcase.Generate(func(in []uint64) uint64 { return ref.Output(in) },
+			f.inputs, 50, rng)
+		probs = append(probs, experiment.PruneProblem{
+			Name: f.name, Suite: suite, RefSize: ref.BodyLen(),
+		})
+	}
+
+	fmt.Printf("plain vs pruned search: %d problems, budget=%d per arm, seed=%d\n",
+		len(probs), cfg.budget, cfg.seed)
+	res := experiment.Prune(experiment.PruneConfig{
+		Problems:    probs,
+		Budget:      cfg.budget,
+		Seed:        cfg.seed,
+		Parallelism: cfg.par,
+	})
+	res.Report(os.Stdout)
+
+	if !res.Deterministic {
+		fatal(fmt.Errorf("prune bench: recomputed rows diverged; refusing to write BENCH_prune.json"))
+	}
+	reduced, unsound := res.Summary()
+	if unsound != 0 {
+		fatal(fmt.Errorf("prune bench: %d unsound prune decision(s); refusing to write BENCH_prune.json", unsound))
+	}
+	if reduced*2 < len(res.Rows) {
+		fatal(fmt.Errorf("prune bench: only %d/%d rows reduced; refusing to write BENCH_prune.json",
+			reduced, len(res.Rows)))
+	}
+
+	report := pruneReport{
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		Budget:        cfg.budget,
+		Seed:          cfg.seed,
+		Deterministic: res.Deterministic,
+		Rows:          res.Rows,
+		ReducedRows:   reduced,
+		Unsound:       unsound,
+	}
+	f, err := os.Create("BENCH_prune.json")
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote BENCH_prune.json")
+}

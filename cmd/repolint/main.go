@@ -23,8 +23,6 @@
 //     rebind-then-check idiom the hot paths use. Package internal/obs
 //     itself is exempt: that is where the nil-safe wrappers live.
 //
-// Usage:
-//
 //  3. eval: direct calls to the legacy per-case evaluator
 //     (*prog.Program).Eval are confined to internal/prog (its home),
 //     internal/cost (the copy-based reference path and Solves), and
@@ -43,6 +41,17 @@
 //     the severity table; a duplicate would silently shadow a rule in
 //     any consumer that indexes by name. Loop-built or computed names
 //     defeat the static check and are reported outright.
+//
+//  5. absint: every prog.Op constant must appear as an explicit key in
+//     BOTH abstract-domain transfer tables of
+//     internal/prog/analysis/absint (the known-bits table, element
+//     type BitsTransfer, and the interval table, element type
+//     SpanTransfer). The tables are [prog.NumOps]-indexed arrays, so a
+//     missing entry is a nil function that panics only when the new
+//     opcode is first analyzed; ops with no useful transfer must
+//     register ⊤ (topB/topS) deliberately. The check classifies table
+//     literals by element signature, so renaming the variables cannot
+//     silently retire it.
 //
 // Usage:
 //
@@ -157,6 +166,13 @@ func run(dir string, out io.Writer) (int, error) {
 		}
 		findings = append(findings, checkEvalContainment(fset, tp, modPath, p.importPath)...)
 		findings = append(findings, collectRuleNames(fset, tp, modPath, ruleNames)...)
+		if p.importPath == modPath+"/internal/prog/analysis/absint" {
+			fs, err := checkAbsintTables(ld, tp, modPath)
+			if err != nil {
+				return 0, err
+			}
+			findings = append(findings, fs...)
+		}
 		if p.importPath == modPath+"/internal/obs" {
 			continue // home of the nil-safe wrappers
 		}
@@ -539,6 +555,105 @@ func checkEvalContainment(fset *token.FileSet, tp *typedPkg, modPath, importPath
 		})
 	}
 	return findings
+}
+
+// checkAbsintTables enforces check 5: every prog.Op constant appears
+// as an explicit key in both abstract-domain transfer tables. Table
+// composite literals are identified by element signature (an array of
+// BitsTransfer or SpanTransfer declared in the absint package), not by
+// variable name, and keys are resolved through the type-checker, so
+// neither renaming a table nor spelling a key through an alias evades
+// the check.
+func checkAbsintTables(ld *loader, tp *typedPkg, modPath string) ([]string, error) {
+	progPkg, err := ld.load(modPath + "/internal/prog")
+	if err != nil {
+		return nil, err
+	}
+	isOp := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Name() == "Op" && obj.Pkg() != nil && obj.Pkg().Path() == modPath+"/internal/prog"
+	}
+	var ops []string
+	scope := progPkg.pkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && c.Exported() && isOp(c.Type()) {
+			ops = append(ops, name)
+		}
+	}
+	sort.Strings(ops)
+
+	// Element type name → set of opcode names keyed in that table.
+	tables := map[string]map[string]bool{}
+	for _, f := range tp.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := tp.info.Types[cl]
+			if !ok {
+				return true
+			}
+			arr, ok := tv.Type.Underlying().(*types.Array)
+			if !ok {
+				return true
+			}
+			elem, ok := arr.Elem().(*types.Named)
+			if !ok {
+				return true
+			}
+			en := elem.Obj().Name()
+			if en != "BitsTransfer" && en != "SpanTransfer" {
+				return true
+			}
+			keys := tables[en]
+			if keys == nil {
+				keys = map[string]bool{}
+				tables[en] = keys
+			}
+			for _, el := range cl.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				var id *ast.Ident
+				switch k := kv.Key.(type) {
+				case *ast.SelectorExpr:
+					id = k.Sel
+				case *ast.Ident:
+					id = k
+				default:
+					continue
+				}
+				if c, ok := tp.info.Uses[id].(*types.Const); ok && isOp(c.Type()) {
+					keys[c.Name()] = true
+				}
+			}
+			return true
+		})
+	}
+
+	var findings []string
+	for _, tbl := range []string{"BitsTransfer", "SpanTransfer"} {
+		keys, ok := tables[tbl]
+		if !ok {
+			findings = append(findings, fmt.Sprintf(
+				"internal/prog/analysis/absint: no transfer table with element type %s found (see cmd/repolint check 5)", tbl))
+			continue
+		}
+		for _, op := range ops {
+			if !keys[op] {
+				findings = append(findings, fmt.Sprintf(
+					"internal/prog/analysis/absint: prog.%s missing from the %s table; every opcode needs an explicit entry in both domains (register topB/topS deliberately — see cmd/repolint check 5)",
+					op, tbl))
+			}
+		}
+	}
+	return findings, nil
 }
 
 func hookName(t types.Type) string {

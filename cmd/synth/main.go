@@ -43,6 +43,7 @@ import (
 	"stochsyn/internal/obs"
 	"stochsyn/internal/prog"
 	"stochsyn/internal/prog/analysis"
+	"stochsyn/internal/prog/analysis/absint"
 	"stochsyn/internal/restart"
 	"stochsyn/internal/search"
 	"stochsyn/internal/server"
@@ -191,6 +192,7 @@ func main() {
 	if *lint {
 		report := analysis.Run(sol)
 		printLint(os.Stderr, report.Strings())
+		printFacts(os.Stderr, absint.Describe(sol, absint.Analyze(sol, absint.InputFacts(suite), nil)))
 		canon := analysis.Canonicalize(sol)
 		fmt.Fprintf(os.Stderr, "canonical (%016x): %s\n", analysis.Hash(canon), canon)
 	}
@@ -205,6 +207,15 @@ func printLint(w io.Writer, findings []string) {
 	}
 	for _, f := range findings {
 		fmt.Fprintln(w, "lint:", f)
+	}
+}
+
+// printFacts renders the abstract-interpretation facts derived for the
+// solution from the example inputs, one node per line; nothing is
+// printed when no node has a nontrivial fact.
+func printFacts(w io.Writer, facts []string) {
+	for _, f := range facts {
+		fmt.Fprintln(w, "fact:", f)
 	}
 }
 
@@ -451,8 +462,10 @@ func runRemote(ctx context.Context, baseURL, expr string, inputs, cases int, spe
 		fmt.Println(r.Program)
 		if lint {
 			// The server audited the solution at completion time; its
-			// findings and canonical form ride along on the result.
+			// findings, abstract facts, and canonical form ride along on
+			// the result.
 			printLint(os.Stderr, r.Lint)
+			printFacts(os.Stderr, r.Facts)
 			if r.Canonical != "" {
 				fmt.Fprintf(os.Stderr, "canonical (%s): %s\n", r.CanonicalHash, r.Canonical)
 			}

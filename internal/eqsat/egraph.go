@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis/absint"
 )
 
 // classID identifies an e-class. It aliases the rule table's Ref type
@@ -54,12 +55,23 @@ type parentEdge struct {
 
 // eclass is the data of one representative class: its member enodes
 // (kept sorted between saturation passes), the parent edges of classes
-// that use it, and the class's constant value once one is known.
+// that use it, the class's constant value once one is known, and the
+// class's abstract value (the e-class analysis).
+//
+// fact is maintained as the MEET over every member's transfer result:
+// all members of a class compute the same value on every input, and
+// each member's abstract value contains that value, so the
+// intersection still does — merging classes can only tighten facts,
+// never lose soundness. An Empty fact is therefore a contradiction:
+// no value can inhabit the class, which (for classes built from real
+// programs) can only mean an unsound rule or transfer function. Such
+// classes are counted and cut before extraction.
 type eclass struct {
 	nodes    []enode
 	parents  []parentEdge
 	cval     uint64
 	hasConst bool
+	fact     absint.Value
 }
 
 // EGraph is a hashconsed e-graph. The zero value is not usable; call
@@ -134,7 +146,7 @@ func (g *EGraph) Add(n enode) (classID, bool) {
 		return -1, false
 	}
 	id := classID(len(g.classes))
-	cls := &eclass{nodes: []enode{n}}
+	cls := &eclass{nodes: []enode{n}, fact: g.nodeFact(n)}
 	if n.op == prog.OpConst {
 		cls.cval, cls.hasConst = n.val, true
 	}
@@ -176,6 +188,15 @@ func (g *EGraph) union(x, y classID) bool {
 			g.stats.ConstConflicts++
 		}
 	}
+	// Members of a merged class are provably equal, so the class value
+	// lies in both facts: meet them. An empty meet is the abstract
+	// analogue of a constant conflict — count it, never panic.
+	if m := cx.fact.Meet(cy.fact); m.Empty() && !cx.fact.Empty() && !cy.fact.Empty() {
+		g.stats.FactConflicts++
+		cx.fact = m
+	} else {
+		cx.fact = m
+	}
 	g.classes[ry] = nil
 	g.worklist = append(g.worklist, rx)
 	g.stats.Merges++
@@ -205,6 +226,7 @@ func (g *EGraph) rebuild() {
 		}
 	}
 	g.normalize()
+	g.refineFacts()
 }
 
 // repair re-canonicalizes every parent of class c. Parents whose
@@ -271,6 +293,77 @@ func lessNode(x, y enode) bool {
 		return x.b < y.b
 	}
 	return x.val < y.val
+}
+
+// nodeFact computes one enode's abstract value from its argument
+// classes' facts: exact for constants, Top for inputs (e-graph facts
+// must hold for every input vector — the rules consume them), and the
+// absint transfer function for instructions.
+func (g *EGraph) nodeFact(n enode) absint.Value {
+	switch n.op {
+	case prog.OpConst:
+		return absint.Exact(n.val)
+	case prog.OpInput:
+		return absint.Top()
+	}
+	a := g.classes[g.find(n.a)].fact
+	b := absint.Top()
+	if n.op.Arity() == 2 {
+		b = g.classes[g.find(n.b)].fact
+	}
+	return absint.Transfer(n.op, a, b)
+}
+
+// refineFacts re-meets every class's fact with its members' transfer
+// results until nothing changes — the e-class analysis fixpoint run
+// after congruence repair, where merges may have tightened argument
+// facts. Facts only descend in the lattice, so the loop terminates;
+// the pass cap is a belt-and-suspenders bound against slow interval
+// narrowing (any sound intermediate value is a valid stopping point).
+func (g *EGraph) refineFacts() {
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		for id := range g.classes {
+			cls := g.classes[id]
+			if cls == nil || g.find(classID(id)) != classID(id) {
+				continue
+			}
+			for _, n := range cls.nodes {
+				m := cls.fact.Meet(g.nodeFact(n))
+				if m != cls.fact {
+					if m.Empty() && !cls.fact.Empty() {
+						g.stats.FactConflicts++
+					}
+					cls.fact = m
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// factConst merges c with the constant class its fact pins down: the
+// analysis can decide a value from partial knowledge of the member
+// arguments (e.g. ranges deciding a comparison through an unknown
+// operand), which the all-constant-arguments folder can never reach.
+func (g *EGraph) factConst(c classID) bool {
+	cls := g.classes[g.find(c)]
+	if cls.hasConst {
+		return false
+	}
+	v, ok := cls.fact.Exact()
+	if !ok {
+		return false
+	}
+	id, added := g.Add(enode{op: prog.OpConst, val: v})
+	if !added {
+		return false
+	}
+	g.stats.FactConsts++
+	return g.union(c, id)
 }
 
 // classConst resolves class c to a constant value when one is known.
@@ -343,6 +436,18 @@ type Stats struct {
 	// ConstConflicts counts two distinct constants proved equal — an
 	// unsound rule; always zero unless a rule is broken.
 	ConstConflicts int
+	// FactConsts counts classes proved constant by the e-class
+	// analysis alone (fact narrowed to a singleton with non-constant
+	// member arguments — out of the constant folder's reach).
+	FactConsts int
+	// FactConflicts counts class merges or refinements whose fact meet
+	// came out empty — the abstract analogue of ConstConflicts; always
+	// zero unless a rule or transfer function is unsound.
+	FactConflicts int
+	// EmptyClasses counts classes cut before extraction because their
+	// fact was empty (uninhabitable); always zero when FactConflicts
+	// is.
+	EmptyClasses int
 	// Saturated reports that saturation reached a fixpoint without
 	// the node budget refusing any addition.
 	Saturated bool
@@ -364,4 +469,7 @@ func (st *Stats) Accumulate(o Stats) {
 	st.Nodes += o.Nodes
 	st.Classes += o.Classes
 	st.ConstConflicts += o.ConstConflicts
+	st.FactConsts += o.FactConsts
+	st.FactConflicts += o.FactConflicts
+	st.EmptyClasses += o.EmptyClasses
 }

@@ -29,16 +29,25 @@ func (g *EGraph) Extract(root classID, numInputs int) (*prog.Program, bool) {
 	root = g.find(root)
 	n := len(g.classes)
 
-	// Fixpoint the per-class minimum tree cost.
+	// Fixpoint the per-class minimum tree cost. Classes whose fact is
+	// empty are cut up front: an empty fact means no concrete value can
+	// inhabit the class (an unsoundness canary — see FactConflicts), so
+	// nothing may be extracted from or through it.
 	cost := make([]int, n)
 	for i := range cost {
 		cost[i] = infCost
+	}
+	for c := 0; c < n; c++ {
+		cls := g.classes[c]
+		if cls != nil && g.find(classID(c)) == classID(c) && cls.fact.Empty() {
+			g.stats.EmptyClasses++
+		}
 	}
 	for {
 		changed := false
 		for c := 0; c < n; c++ {
 			cls := g.classes[c]
-			if cls == nil || g.find(classID(c)) != classID(c) {
+			if cls == nil || g.find(classID(c)) != classID(c) || cls.fact.Empty() {
 				continue
 			}
 			for _, nd := range cls.nodes {

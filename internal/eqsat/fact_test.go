@@ -1,0 +1,66 @@
+package eqsat
+
+import (
+	"testing"
+)
+
+// The e-class analysis must prove constants the folder cannot reach:
+// classes with non-constant members whose abstract fact (known-bits ⊓
+// interval, met over all members) narrows to a singleton.
+func TestFactProvedConstants(t *testing.T) {
+	cases := []struct {
+		expr   string
+		inputs int
+		want   string
+	}{
+		// shlq(x, 3) has its low three bits provably zero, so the mask
+		// to 7 is provably 0 — no syntactic rule covers a disjoint
+		// mask, only the known-bits fact does.
+		{"andq(shlq(x, 3), 7)", 1, "0"},
+		// popcntq is interval-bounded to [0, 64], so the comparison is
+		// range-decided to 1 for every x.
+		{"ultq(popcntq(x), 65)", 1, "1"},
+		// orq(x, 1) has its low bit provably one: and with 1 is 1.
+		{"andq(orq(x, 1), 1)", 1, "1"},
+	}
+	for _, tc := range cases {
+		p := parse(t, tc.expr, tc.inputs)
+		q, st := Simplify(p, Budget{})
+		if got := q.String(); got != tc.want {
+			t.Errorf("Simplify(%q) = %q, want %q (stats %+v)", tc.expr, got, tc.want, st)
+		}
+		if st.FactConsts == 0 {
+			t.Errorf("%q: expected the e-class analysis to prove the constant (FactConsts = 0, stats %+v)", tc.expr, st)
+		}
+		if st.FactConflicts != 0 || st.EmptyClasses != 0 {
+			t.Errorf("%q: unsoundness canaries tripped: %+v", tc.expr, st)
+		}
+	}
+}
+
+// Fact-conditioned rules must also fire through the e-graph's Subject
+// adapter, where the fact comes from the class rather than a program
+// node: a redundant mask collapses to its operand even though the
+// operand is not constant.
+func TestFactConditionedRulesInEGraph(t *testing.T) {
+	cases := []struct {
+		expr   string
+		inputs int
+		want   string
+	}{
+		// popcntq(x) ≤ 64 < 128, so the mask to 127 is redundant.
+		{"andq(popcntq(x), 127)", 1, "popcntq(x)"},
+		// The count mask covers the hardware's own 6-bit mask.
+		{"shlq(x, andq(y, 63))", 2, "shlq(x, y)"},
+	}
+	for _, tc := range cases {
+		p := parse(t, tc.expr, tc.inputs)
+		q, st := Simplify(p, Budget{})
+		if got := q.String(); got != tc.want {
+			t.Errorf("Simplify(%q) = %q, want %q (stats %+v)", tc.expr, got, tc.want, st)
+		}
+		if st.FactConflicts != 0 || st.EmptyClasses != 0 {
+			t.Errorf("%q: unsoundness canaries tripped: %+v", tc.expr, st)
+		}
+	}
+}

@@ -6,21 +6,13 @@ import (
 
 	"stochsyn/internal/mutate"
 	"stochsyn/internal/prog"
-	"stochsyn/internal/testcase"
 )
 
 // randomProgram builds a program by walking the mutator from the zero
 // program — the same move set the search uses, so the fuzzed
 // distribution matches what Dedup hashes in production.
 func randomProgram(seed uint64, numInputs, steps int) *prog.Program {
-	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
-	suite := testcase.Generate(func(in []uint64) uint64 { return in[0] }, numInputs, 8, rng)
-	m := mutate.New(prog.FullSet, suite, false)
-	p := prog.NewZero(numInputs)
-	for i := 0; i < steps; i++ {
-		m.Apply(p, rng)
-	}
-	return p
+	return mutate.RandomProgram(seed, numInputs, steps)
 }
 
 // FuzzEqSat is the differential gate for the tentpole invariant: for
@@ -77,6 +69,14 @@ func FuzzEqSat(f *testing.F) {
 		// Unsoundness canary: no rule may prove two constants equal.
 		if st.ConstConflicts != 0 {
 			t.Fatalf("constant conflict during saturation of %s", p)
+		}
+		// Abstract analogue: no class's fact meet may come out empty,
+		// and no inhabited class may be cut before extraction.
+		if st.FactConflicts != 0 {
+			t.Fatalf("fact conflict during saturation of %s", p)
+		}
+		if st.EmptyClasses != 0 {
+			t.Fatalf("empty-fact class cut during extraction of %s", p)
 		}
 
 		// Idempotence: when saturation reached an uncapped fixpoint,

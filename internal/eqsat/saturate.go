@@ -3,6 +3,7 @@ package eqsat
 import (
 	"stochsyn/internal/prog"
 	"stochsyn/internal/prog/analysis"
+	"stochsyn/internal/prog/analysis/absint"
 )
 
 // Budget bounds one saturation run. Saturation cost is capped twice
@@ -81,6 +82,9 @@ func (g *EGraph) step() bool {
 			continue
 		}
 		if g.foldClass(c) {
+			changed = true
+		}
+		if g.factConst(c) {
 			changed = true
 		}
 		if g.applyRules(c) {
@@ -254,4 +258,11 @@ func (s egSubject) ArgOf(r analysis.Ref, op prog.Op) (analysis.Ref, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Fact returns the class-level abstract value maintained by the
+// e-class analysis (the meet over every member's transfer result) —
+// this is what lets the fact-conditioned rules fire across classes.
+func (s egSubject) Fact(r analysis.Ref) (absint.Value, bool) {
+	return s.g.classes[s.g.find(r)].fact, true
 }

@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"stochsyn/internal/cost"
+	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis"
+	"stochsyn/internal/search"
+	"stochsyn/internal/testcase"
+)
+
+// This file implements the abstract-interpretation pruning experiment:
+// for each fixture problem, the same seeded search is run twice — once
+// plain, once with Options.Prune — and the per-move statistics are
+// compared. The pruner is designed so the RNG stream is untouched
+// (threshold drawn before the prune gate), so the off arm doubles as a
+// determinism oracle: two off runs must agree bit for bit, and the on
+// arm must differ from it only by proposals that were rejected
+// abstractly instead of evaluated concretely. The on arm runs with
+// PruneVerify, re-evaluating every pruned proposal concretely; any
+// pruned proposal that actually solves the suite is an unsoundness in
+// the abstract domains and is counted, never masked.
+
+// PruneProblem is one experiment row's input.
+type PruneProblem struct {
+	Name  string
+	Suite *testcase.Suite
+	// RefSize is the reference program's size, carried into the report
+	// for context only.
+	RefSize int
+}
+
+// PruneConfig configures the experiment.
+type PruneConfig struct {
+	Problems []PruneProblem
+	// Budget is the iteration budget of each arm.
+	Budget int64
+	Seed   uint64
+	// Parallelism bounds concurrent rows (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// PruneRow is one problem's outcome across both arms. The struct is
+// comparable: determinism is checked by recomputing every row and
+// requiring ==.
+type PruneRow struct {
+	Name    string `json:"name"`
+	Inputs  int    `json:"inputs"`
+	RefSize int    `json:"ref_size"`
+
+	// Base arm: the identically-seeded search without pruning.
+	BaseSolved    bool   `json:"base_solved"`
+	BaseIters     int64  `json:"base_iters"`
+	BaseProposed  int64  `json:"base_proposed"`
+	BaseEvaluated int64  `json:"base_evaluated"`
+	BaseHash      string `json:"base_hash,omitempty"` // canonical hash of the solution, solved rows only
+
+	// Prune arm.
+	PruneSolved    bool   `json:"prune_solved"`
+	PruneIters     int64  `json:"prune_iters"`
+	PruneProposed  int64  `json:"prune_proposed"`
+	PruneEvaluated int64  `json:"prune_evaluated"`
+	PruneChecked   int64  `json:"prune_checked"`
+	PruneRejected  int64  `json:"prune_rejected"`
+	PruneUnsound   int64  `json:"prune_unsound"`
+	PruneHash      string `json:"prune_hash,omitempty"`
+
+	// Reduced reports a measurable proposal-space reduction: the pruner
+	// rejected at least one proposal AND the arm evaluated a strictly
+	// smaller fraction of its proposals than the base arm did.
+	Reduced bool `json:"reduced"`
+}
+
+// PruneResult is the full experiment.
+type PruneResult struct {
+	Rows []PruneRow
+	// Deterministic reports that recomputing every row (both arms)
+	// reproduced it exactly; a false value means the search trajectory
+	// diverged between identically-seeded runs and the report cannot be
+	// trusted.
+	Deterministic bool
+}
+
+// Prune runs the two-arm comparison. Each row is computed twice;
+// Deterministic reports whether the repeats agreed on every row.
+func Prune(cfg PruneConfig) *PruneResult {
+	res := &PruneResult{Rows: make([]PruneRow, len(cfg.Problems)), Deterministic: true}
+	repeat := make([]PruneRow, len(cfg.Problems))
+	tasks := make([]task, 0, 2*len(cfg.Problems))
+	for i := range cfg.Problems {
+		i := i
+		tasks = append(tasks,
+			func() { res.Rows[i] = pruneRow(cfg.Problems[i], cfg.Budget, cfg.Seed) },
+			func() { repeat[i] = pruneRow(cfg.Problems[i], cfg.Budget, cfg.Seed) },
+		)
+	}
+	runParallel(cfg.Parallelism, tasks)
+	for i := range res.Rows {
+		if res.Rows[i] != repeat[i] {
+			res.Deterministic = false
+		}
+	}
+	return res
+}
+
+// pruneRow runs both arms on one problem with the same derived seed.
+func pruneRow(p PruneProblem, budget int64, seed uint64) PruneRow {
+	row := PruneRow{Name: p.Name, Inputs: p.Suite.NumInputs, RefSize: p.RefSize}
+	armSeed := trialSeed(seed, p.Name, "prune", cost.Hamming, 0)
+
+	arm := func(prune bool) (search.Stats, int64, bool, string) {
+		r := search.New(p.Suite, search.Options{
+			Set:         prog.FullSet,
+			Cost:        cost.Hamming,
+			Beta:        1,
+			Seed:        armSeed,
+			Prune:       prune,
+			PruneVerify: prune,
+		})
+		used, done := r.Step(budget)
+		hash := ""
+		if done {
+			hash = fmt.Sprintf("%016x", analysis.CanonHash(r.Solution()))
+		}
+		return r.MoveStats(), used, done, hash
+	}
+
+	base, bIters, bDone, bHash := arm(false)
+	row.BaseSolved, row.BaseIters, row.BaseHash = bDone, bIters, bHash
+	row.BaseProposed, row.BaseEvaluated = base.TotalProposed(), base.Evaluated
+
+	on, pIters, pDone, pHash := arm(true)
+	row.PruneSolved, row.PruneIters, row.PruneHash = pDone, pIters, pHash
+	row.PruneProposed, row.PruneEvaluated = on.TotalProposed(), on.Evaluated
+	row.PruneChecked, row.PruneRejected, row.PruneUnsound =
+		on.PruneChecked, on.PruneRejected, on.PruneUnsound
+
+	// Evaluated/proposed must drop as a fraction, not just absolutely:
+	// a solved arm stops early, shrinking both numbers without the
+	// pruner deserving credit. Cross-multiplied to stay in integers.
+	row.Reduced = row.PruneRejected > 0 &&
+		row.PruneEvaluated*row.BaseProposed < row.BaseEvaluated*row.PruneProposed
+	return row
+}
+
+// Report prints the per-row table and the gate summary.
+func (r *PruneResult) Report(w io.Writer) {
+	rows := append([]PruneRow(nil), r.Rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	fmt.Fprintf(w, "%-16s %4s  %10s %10s  %10s %10s %10s %8s  %7s %7s\n",
+		"problem", "ref", "base-prop", "base-eval",
+		"prune-prop", "prune-eval", "rejected", "unsound", "reduced", "solved")
+	for _, row := range rows {
+		solved := fmt.Sprintf("%v/%v", row.BaseSolved, row.PruneSolved)
+		fmt.Fprintf(w, "%-16s %4d  %10d %10d  %10d %10d %10d %8d  %7v %7s\n",
+			row.Name, row.RefSize, row.BaseProposed, row.BaseEvaluated,
+			row.PruneProposed, row.PruneEvaluated, row.PruneRejected,
+			row.PruneUnsound, row.Reduced, solved)
+	}
+	reduced, unsound := r.Summary()
+	fmt.Fprintf(w, "proposal-space reduction on %d/%d rows; %d unsound prune decisions\n",
+		reduced, len(r.Rows), unsound)
+	if !r.Deterministic {
+		fmt.Fprintln(w, "!! NONDETERMINISM: a recomputed row differed")
+	}
+}
+
+// Summary returns the number of rows with a measurable reduction and
+// the total count of unsound prune decisions across all rows.
+func (r *PruneResult) Summary() (reduced int, unsound int64) {
+	for _, row := range r.Rows {
+		if row.Reduced {
+			reduced++
+		}
+		unsound += row.PruneUnsound
+	}
+	return reduced, unsound
+}

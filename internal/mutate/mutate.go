@@ -403,3 +403,19 @@ func (m *Mutator) merge(p *prog.Program, rng *rand.Rand) bool {
 
 // NumMoves is the number of defined move types.
 const NumMoves = int(numMoves)
+
+// RandomProgram builds a program by walking the mutator from the zero
+// program for steps moves — the same move distribution the search
+// proposes from, so fuzz harnesses and benchmarks that need "random
+// but realistic" programs sample the production distribution instead
+// of a hand-rolled one. The walk is deterministic in seed.
+func RandomProgram(seed uint64, numInputs, steps int) *prog.Program {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	suite := testcase.Generate(func(in []uint64) uint64 { return in[0] }, numInputs, 8, rng)
+	m := New(prog.FullSet, suite, false)
+	p := prog.NewZero(numInputs)
+	for i := 0; i < steps; i++ {
+		m.Apply(p, rng)
+	}
+	return p
+}

@@ -1,0 +1,333 @@
+// Package absint is a forward abstract-interpretation framework over
+// prog nodes. It tracks two abstract domains per value:
+//
+//   - known-bits (Bits): each of the 64 bit positions is provably 0,
+//     provably 1, or unknown;
+//   - intervals (Span): an unsigned range [Lo, Hi] and a signed range
+//     [SLo, SHi], tracked together so comparisons in either order are
+//     decidable when the ranges permit.
+//
+// Every opcode has a transfer function in both domains (transfer.go),
+// each sound against the exact evalOp x86 semantics in
+// internal/prog/eval.go — including the flag-free shift-count masking
+// (b&63, b&31 for the 32-bit forms), divide-by-zero-yields-zero, and
+// the zero-extension of every 32-bit result. Soundness is the single
+// invariant everything else rests on:
+//
+//	for every concrete input assignment, the concrete value of a node
+//	is contained in its abstract Value.
+//
+// FuzzAbstractDomains checks it differentially against prog.EvalOp on
+// random mutator-driven programs.
+//
+// The product of the two domains is Value; Reduce exchanges
+// information between them (known leading bits tighten ranges, tight
+// ranges pin leading bits), so each domain benefits from facts the
+// other derived. Join (set union) merges facts across control paths
+// or example cases; Meet (set intersection) combines facts about the
+// same value, e.g. across the members of an e-class, and can expose a
+// contradiction (Empty), which downstream consumers treat as an
+// unsoundness canary.
+package absint
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+const (
+	signBit = uint64(1) << 63
+	mask32  = uint64(0xffffffff)
+	high32  = ^mask32
+)
+
+// Bits is the known-bits domain: a bit set in Zero is provably 0 in
+// the concrete value, a bit set in One is provably 1, and bits in
+// neither mask are unknown. A bit set in both masks is a
+// contradiction, making the abstract set empty.
+type Bits struct {
+	Zero uint64 // bits provably 0
+	One  uint64 // bits provably 1
+}
+
+// TopBits is the no-information element: every bit unknown.
+func TopBits() Bits { return Bits{} }
+
+// ExactBits is the singleton abstraction of v: every bit known.
+func ExactBits(v uint64) Bits { return Bits{Zero: ^v, One: v} }
+
+// Known returns the mask of bit positions with a known value.
+func (b Bits) Known() uint64 { return b.Zero | b.One }
+
+// Exact returns the single concrete value b describes, if all 64 bits
+// are known.
+func (b Bits) Exact() (uint64, bool) {
+	if b.Zero|b.One == ^uint64(0) && b.Zero&b.One == 0 {
+		return b.One, true
+	}
+	return 0, false
+}
+
+// Empty reports whether b is contradictory (some bit provably both 0
+// and 1), describing no concrete value.
+func (b Bits) Empty() bool { return b.Zero&b.One != 0 }
+
+// Contains reports whether the concrete value v is described by b.
+func (b Bits) Contains(v uint64) bool {
+	return v&b.Zero == 0 && ^v&b.One == 0
+}
+
+// Join returns the union: a bit stays known only when both sides
+// agree on it.
+func (b Bits) Join(o Bits) Bits {
+	return Bits{Zero: b.Zero & o.Zero, One: b.One & o.One}
+}
+
+// Meet returns the intersection: everything either side knows. The
+// result is Empty when the two sides contradict.
+func (b Bits) Meet(o Bits) Bits {
+	return Bits{Zero: b.Zero | o.Zero, One: b.One | o.One}
+}
+
+// uminFromBits / umaxFromBits are the extreme unsigned values
+// consistent with the known bits (unknown bits all-0 resp. all-1).
+func (b Bits) umin() uint64 { return b.One }
+func (b Bits) umax() uint64 { return ^b.Zero }
+
+// smin / smax are the extreme signed values consistent with the known
+// bits: the sign bit, when unknown, is set for the minimum and clear
+// for the maximum; all lower unknown bits go to 0 resp. 1.
+func (b Bits) smin() int64 {
+	unknown := ^b.Known()
+	return int64(b.One | unknown&signBit)
+}
+func (b Bits) smax() int64 {
+	unknown := ^b.Known()
+	return int64(b.One | unknown&^signBit)
+}
+
+// Span is the interval domain: the concrete value lies in [Lo, Hi]
+// unsigned and in [SLo, SHi] signed. An inverted range (Lo > Hi or
+// SLo > SHi) is empty.
+type Span struct {
+	Lo, Hi   uint64
+	SLo, SHi int64
+}
+
+// TopSpan is the no-information element: full unsigned and signed
+// ranges.
+func TopSpan() Span {
+	return Span{Lo: 0, Hi: ^uint64(0), SLo: math.MinInt64, SHi: math.MaxInt64}
+}
+
+// ExactSpan is the singleton abstraction of v.
+func ExactSpan(v uint64) Span {
+	return Span{Lo: v, Hi: v, SLo: int64(v), SHi: int64(v)}
+}
+
+// boolSpan describes a comparison result: {0, 1}.
+func boolSpan() Span { return Span{Lo: 0, Hi: 1, SLo: 0, SHi: 1} }
+
+// Empty reports whether s describes no concrete value.
+func (s Span) Empty() bool { return s.Lo > s.Hi || s.SLo > s.SHi }
+
+// Exact returns the single concrete value s describes, if any.
+func (s Span) Exact() (uint64, bool) {
+	if s.Lo == s.Hi && !s.Empty() {
+		return s.Lo, true
+	}
+	return 0, false
+}
+
+// Contains reports whether the concrete value v is described by s.
+func (s Span) Contains(v uint64) bool {
+	return s.Lo <= v && v <= s.Hi && s.SLo <= int64(v) && int64(v) <= s.SHi
+}
+
+// Join returns the union (interval hull).
+func (s Span) Join(o Span) Span {
+	if s.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return s
+	}
+	return Span{
+		Lo: minU(s.Lo, o.Lo), Hi: maxU(s.Hi, o.Hi),
+		SLo: minS(s.SLo, o.SLo), SHi: maxS(s.SHi, o.SHi),
+	}
+}
+
+// Meet returns the intersection; the result may be Empty.
+func (s Span) Meet(o Span) Span {
+	return Span{
+		Lo: maxU(s.Lo, o.Lo), Hi: minU(s.Hi, o.Hi),
+		SLo: maxS(s.SLo, o.SLo), SHi: minS(s.SHi, o.SHi),
+	}
+}
+
+// Value is the product domain: known bits and intervals about the
+// same concrete value.
+type Value struct {
+	B Bits
+	S Span
+}
+
+// Top is the no-information Value. Note that Value's zero value is
+// NOT Top (a zero Span describes exactly {0}); always construct
+// through Top, Exact, or a transfer function.
+func Top() Value { return Value{B: TopBits(), S: TopSpan()} }
+
+// Exact is the singleton abstraction of v.
+func Exact(v uint64) Value { return Value{B: ExactBits(v), S: ExactSpan(v)} }
+
+// Bool is the abstraction of a comparison result: {0, 1}.
+func Bool() Value {
+	return Value{B: Bits{Zero: ^uint64(1)}, S: boolSpan()}
+}
+
+// Empty reports whether v describes no concrete value at all — a
+// contradiction. Sound transfer functions never produce it from
+// non-empty inputs; a Meet of facts about genuinely different values
+// can.
+func (v Value) Empty() bool { return v.B.Empty() || v.S.Empty() }
+
+// Contains reports whether the concrete value c is described by v.
+// This is the soundness predicate: concrete evaluation must satisfy
+// Contains at every node.
+func (v Value) Contains(c uint64) bool {
+	return v.B.Contains(c) && v.S.Contains(c)
+}
+
+// Exact returns the single concrete value v describes, if v pins one.
+func (v Value) Exact() (uint64, bool) {
+	if c, ok := v.B.Exact(); ok && v.S.Contains(c) {
+		return c, true
+	}
+	if c, ok := v.S.Exact(); ok && v.B.Contains(c) {
+		return c, true
+	}
+	return 0, false
+}
+
+// Join returns the union of the two abstract sets.
+func (v Value) Join(o Value) Value {
+	return Value{B: v.B.Join(o.B), S: v.S.Join(o.S)}
+}
+
+// Meet returns the intersection, reduced; it may be Empty.
+func (v Value) Meet(o Value) Value {
+	return Value{B: v.B.Meet(o.B), S: v.S.Meet(o.S)}.Reduce()
+}
+
+// Reduce exchanges information between the two domains until neither
+// can tighten the other: known bits bound the ranges, and the shared
+// leading bits of a tight unsigned range become known bits. Reduction
+// only ever shrinks the abstract set, so it preserves soundness.
+func (v Value) Reduce() Value {
+	for i := 0; i < 4; i++ {
+		if v.Empty() {
+			return v
+		}
+		prev := v
+		// Bits → unsigned range.
+		v.S.Lo = maxU(v.S.Lo, v.B.umin())
+		v.S.Hi = minU(v.S.Hi, v.B.umax())
+		// Bits → signed range.
+		v.S.SLo = maxS(v.S.SLo, v.B.smin())
+		v.S.SHi = minS(v.S.SHi, v.B.smax())
+		// Unsigned range ↔ signed range, when the range does not
+		// straddle the sign boundary (then the two orders agree).
+		if v.S.Lo > v.S.Hi { // emptied above; bail before the casts below
+			return v
+		}
+		if v.S.Hi < signBit || v.S.Lo >= signBit {
+			v.S.SLo = maxS(v.S.SLo, int64(v.S.Lo))
+			v.S.SHi = minS(v.S.SHi, int64(v.S.Hi))
+		}
+		if v.S.SLo <= v.S.SHi && (v.S.SLo >= 0 || v.S.SHi < 0) {
+			v.S.Lo = maxU(v.S.Lo, uint64(v.S.SLo))
+			v.S.Hi = minU(v.S.Hi, uint64(v.S.SHi))
+		}
+		// Unsigned range → bits: the common leading bits of Lo and Hi
+		// are shared by every value in between.
+		if !v.S.Empty() {
+			prefix := commonPrefixMask(v.S.Lo, v.S.Hi)
+			v.B.Zero |= prefix &^ v.S.Lo
+			v.B.One |= prefix & v.S.Lo
+		}
+		if v == prev {
+			return v
+		}
+	}
+	return v
+}
+
+// commonPrefixMask returns the mask of leading bit positions on which
+// lo and hi agree; every value in [lo, hi] shares those bits.
+func commonPrefixMask(lo, hi uint64) uint64 {
+	x := lo ^ hi
+	if x == 0 {
+		return ^uint64(0)
+	}
+	k := bits.LeadingZeros64(x)
+	return ^uint64(0) << (64 - k) // k < 64 here, so the shift is defined
+}
+
+// String renders the value compactly: "top" for no information,
+// "const 0x…" for singletons, otherwise the non-trivial components.
+func (v Value) String() string {
+	if v.Empty() {
+		return "empty"
+	}
+	if c, ok := v.Exact(); ok {
+		return fmt.Sprintf("const %#x", c)
+	}
+	s := ""
+	if k := v.B.Known(); k != 0 {
+		s += fmt.Sprintf("zero=%#x one=%#x", v.B.Zero, v.B.One)
+	}
+	full := TopSpan()
+	if v.S.Lo != full.Lo || v.S.Hi != full.Hi {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("u=[%#x,%#x]", v.S.Lo, v.S.Hi)
+	}
+	if v.S.SLo != full.SLo || v.S.SHi != full.SHi {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("s=[%d,%d]", v.S.SLo, v.S.SHi)
+	}
+	if s == "" {
+		return "top"
+	}
+	return s
+}
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minS(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxS(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package absint
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"stochsyn/internal/prog"
+)
+
+// TestTablesTotal pins the runtime side of repolint check 5: every
+// opcode (pseudo-ops included) has a non-nil transfer function in
+// both domains, so no node can ever dereference a nil table entry.
+func TestTablesTotal(t *testing.T) {
+	for op := 0; op < prog.NumOps; op++ {
+		if bitsTable[op] == nil {
+			t.Errorf("bitsTable[%s] is nil", prog.Op(op))
+		}
+		if spanTable[op] == nil {
+			t.Errorf("spanTable[%s] is nil", prog.Op(op))
+		}
+	}
+}
+
+func TestDomainBasics(t *testing.T) {
+	v := Exact(42)
+	if c, ok := v.Exact(); !ok || c != 42 {
+		t.Fatalf("Exact(42).Exact() = %v, %v", c, ok)
+	}
+	if !v.Contains(42) || v.Contains(43) {
+		t.Fatalf("Exact(42) containment wrong")
+	}
+	j := v.Join(Exact(40))
+	if !j.Contains(40) || !j.Contains(42) {
+		t.Fatalf("join lost a member")
+	}
+	if j.Contains(50) {
+		t.Fatalf("join of 40 and 42 should exclude 50 (range [40,42])")
+	}
+	m := Exact(1).Meet(Exact(2))
+	if !m.Empty() {
+		t.Fatalf("meet of distinct singletons must be empty, got %v", m)
+	}
+	if Top().Empty() || !Top().Contains(0) || !Top().Contains(^uint64(0)) {
+		t.Fatalf("Top must contain everything")
+	}
+}
+
+// TestReduceExchangesDomains checks the two reduction directions:
+// known bits tighten ranges and tight ranges pin leading bits.
+func TestReduceExchangesDomains(t *testing.T) {
+	// Bits → range: low byte known to be 0x80, rest unknown.
+	v := Value{B: Bits{Zero: 0x7f, One: 0x80}, S: TopSpan()}.Reduce()
+	if v.S.Lo != 0x80 {
+		t.Errorf("reduce: unsigned lo = %#x, want 0x80", v.S.Lo)
+	}
+	// Range → bits: [0x100, 0x1ff] pins every bit above bit 8.
+	v = Value{B: TopBits(), S: Span{Lo: 0x100, Hi: 0x1ff, SLo: 0x100, SHi: 0x1ff}}.Reduce()
+	if v.B.One&0x100 == 0 {
+		t.Errorf("reduce: bit 8 should be known one, bits=%+v", v.B)
+	}
+	if v.B.Zero&^uint64(0x1ff) != ^uint64(0x1ff) {
+		t.Errorf("reduce: bits above 8 should be known zero, bits=%+v", v.B)
+	}
+}
+
+// TestTransferPrecision spot-checks the facts downstream layers rely
+// on (rule side-conditions, comparison deciding, shift-mask lints).
+func TestTransferPrecision(t *testing.T) {
+	top := Top()
+
+	// andq with a constant mask bounds both domains.
+	v := Transfer(prog.OpAnd, top, Exact(0xff))
+	if v.B.Zero&^uint64(0xff) != ^uint64(0xff) {
+		t.Errorf("and 0xff: high bits not known zero: %v", v)
+	}
+	if v.S.Hi > 0xff {
+		t.Errorf("and 0xff: unsigned hi %#x > 0xff", v.S.Hi)
+	}
+
+	// popcnt lands in [0, 64], which decides ultq(popcnt(x), 65).
+	pc := Transfer(prog.OpPopcnt, top, top)
+	if pc.S.Hi != 64 || pc.S.Lo != 0 {
+		t.Errorf("popcnt range = %v, want [0, 64]", pc.S)
+	}
+	cmp := Transfer(prog.OpUlt, pc, Exact(65))
+	if c, ok := cmp.Exact(); !ok || c != 1 {
+		t.Errorf("ult(popcnt, 65) = %v, want const 1", cmp)
+	}
+
+	// Shift counts are consumed mod width: shll by 32 is shll by 0,
+	// i.e. a zero-extension.
+	v = Transfer(prog.OpShl32, top, Exact(32))
+	if v.B.Zero&high32 != high32 {
+		t.Errorf("shl32 by 32: high half not provably zero: %v", v)
+	}
+
+	// zextlq output proves the high half zero...
+	z := Transfer(prog.OpZext32, top, top)
+	if z.B.Zero&high32 != high32 {
+		t.Errorf("zext32: high half not provably zero: %v", z)
+	}
+	// ...which known-bits carries through an andq.
+	v = Transfer(prog.OpAnd, z, top)
+	if v.B.Zero&high32 != high32 {
+		t.Errorf("and(zext32, top): high half not provably zero: %v", v)
+	}
+
+	// Signed comparison decided by sign facts: sarq(x, 63) is in
+	// {-1, 0}, so sltq(sar, 1) is always 1.
+	sar := Transfer(prog.OpSar, top, Exact(63))
+	if sar.S.SLo != -1 || sar.S.SHi != 0 {
+		t.Errorf("sar 63 signed range = %v, want [-1, 0]", sar.S)
+	}
+	cmp = Transfer(prog.OpSlt, sar, Exact(1))
+	if c, ok := cmp.Exact(); !ok || c != 1 {
+		t.Errorf("slt(sar63, 1) = %v, want const 1", cmp)
+	}
+
+	// Exact folding goes through prog.EvalOp, corner cases included.
+	if v, ok := Transfer(prog.OpDivU, Exact(7), Exact(0)).Exact(); !ok || v != 0 {
+		t.Errorf("divu by zero: want const 0")
+	}
+}
+
+// arbValue builds a random abstraction guaranteed to contain c: a
+// random subset of c's bits becomes known, and the range is the hull
+// of c and a second random point, occasionally widened to Top.
+func arbValue(rng *rand.Rand, c uint64) Value {
+	if rng.IntN(4) == 0 {
+		return Top()
+	}
+	mask := rng.Uint64() & rng.Uint64() // sparse known mask
+	b := Bits{Zero: ^c & mask, One: c & mask}
+	s := ExactSpan(c).Join(ExactSpan(rng.Uint64()))
+	if rng.IntN(2) == 0 {
+		s = TopSpan()
+	}
+	return Value{B: b, S: s}.Reduce()
+}
+
+// TestTransferSoundnessRandom differentially checks every opcode's
+// transfer functions against prog.EvalOp under randomly partial
+// operand knowledge — the per-op complement of the program-level
+// FuzzAbstractDomains.
+func TestTransferSoundnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xab51de7, 0x5eed))
+	interesting := []uint64{0, 1, 2, 31, 32, 63, 64, 0x7f, 0xff, ^uint64(0), signBit, signBit - 1, mask32, mask32 + 1}
+	draw := func() uint64 {
+		if rng.IntN(2) == 0 {
+			return interesting[rng.IntN(len(interesting))]
+		}
+		return rng.Uint64()
+	}
+	for op := prog.Op(0); int(op) < prog.NumOps; op++ {
+		if !op.IsInstruction() {
+			continue
+		}
+		for trial := 0; trial < 2000; trial++ {
+			a, b := draw(), draw()
+			va, vb := arbValue(rng, a), arbValue(rng, b)
+			if op.Arity() == 1 {
+				vb = Top()
+			}
+			got := prog.EvalOp(op, a, b)
+			r := Transfer(op, va, vb)
+			if !r.B.Contains(got) {
+				t.Fatalf("%s: bits unsound: a=%#x b=%#x va=%v vb=%v got=%#x abstract=%+v",
+					op, a, b, va, vb, got, r.B)
+			}
+			if !r.S.Contains(got) {
+				t.Fatalf("%s: span unsound: a=%#x b=%#x va=%v vb=%v got=%#x abstract=%+v",
+					op, a, b, va, vb, got, r.S)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package absint
+
+import (
+	"stochsyn/internal/prog"
+	"stochsyn/internal/testcase"
+)
+
+// Pruner decides, from abstract facts alone, that a candidate program
+// provably cannot solve a problem — before any concrete evaluation is
+// paid for.
+//
+// The argument: the per-input facts are joins over every example
+// case's input (InputFacts), so for each case i the concrete inputs
+// satisfy the input facts, and by transfer-function soundness the
+// concrete root value of case i is contained in the abstract root
+// value V. If some case's target output t_i is NOT contained in V,
+// that case's output cannot equal t_i, so the program misses case i
+// and is provably not a solution. Rejection is therefore sound by
+// construction; bench -exp prune re-verifies it empirically by
+// re-running every rejected proposal through the concrete evaluator.
+//
+// A Pruner is cheap (one abstract pass over at most prog.MaxNodes
+// nodes plus one containment check per distinct target) but owns its
+// scratch space, so it is single-goroutine state like the search Run
+// that embeds it; distinct Pruners over the same suite are
+// independent.
+type Pruner struct {
+	in      []Value
+	targets []uint64 // distinct target outputs, one containment probe each
+	scratch []Value
+}
+
+// NewPruner builds a pruner for the problem's example suite.
+func NewPruner(s *testcase.Suite) *Pruner {
+	pr := &Pruner{in: InputFacts(s)}
+	seen := make(map[uint64]bool, len(s.Cases))
+	for _, c := range s.Cases {
+		if !seen[c.Output] {
+			seen[c.Output] = true
+			pr.targets = append(pr.targets, c.Output)
+		}
+	}
+	return pr
+}
+
+// Rejects reports whether p provably cannot match the example set:
+// some target output lies outside the abstract root value. A false
+// return says nothing (the proposal may still miss); a true return is
+// a proof of a miss.
+func (pr *Pruner) Rejects(p *prog.Program) bool {
+	pr.scratch = Analyze(p, pr.in, pr.scratch)
+	root := pr.scratch[p.Root]
+	for _, t := range pr.targets {
+		if !root.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Root returns the abstract root value of the last Rejects call's
+// analysis — diagnostic output for the bench report.
+func (pr *Pruner) Root(p *prog.Program) Value {
+	pr.scratch = Analyze(p, pr.in, pr.scratch)
+	return pr.scratch[p.Root]
+}

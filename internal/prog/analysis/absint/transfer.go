@@ -1,0 +1,746 @@
+package absint
+
+import (
+	"math/bits"
+
+	"stochsyn/internal/prog"
+)
+
+// BitsTransfer is a known-bits transfer function: given abstractions
+// of the (up to) two operands it returns a sound abstraction of the
+// result. Unary opcodes receive TopBits as b.
+type BitsTransfer func(a, b Bits) Bits
+
+// SpanTransfer is the interval-domain counterpart. Unary opcodes
+// receive TopSpan as b.
+type SpanTransfer func(a, b Span) Span
+
+// topB / topS are the explicit no-information transfer functions.
+// Opcodes mapped to them have been reviewed and genuinely carry no
+// cheap per-domain fact (the driver still folds them exactly when
+// both operands are singletons); cmd/repolint check 5 enforces that
+// every opcode appears in both tables, so a new opcode cannot land as
+// an accidental ⊤.
+func topB(a, b Bits) Bits { return TopBits() }
+func topS(a, b Span) Span { return TopSpan() }
+
+// bitsTable maps every opcode to its known-bits transfer function.
+// Soundness is always argued against the exact evalOp semantics in
+// internal/prog/eval.go: shift counts are masked (&63, &31), division
+// by zero yields zero, and every 32-bit result is zero-extended.
+//
+// The three pseudo-ops are registered as explicit ⊤: the analysis
+// driver intercepts them (inputs get caller-provided facts, constants
+// get exact singletons) before the table is ever consulted.
+var bitsTable = [prog.NumOps]BitsTransfer{
+	prog.OpInvalid: topB,
+	prog.OpInput:   topB,
+	prog.OpConst:   topB,
+
+	prog.OpAdd:    bitsAdd,
+	prog.OpSub:    bitsSub,
+	prog.OpMul:    bitsMul,
+	prog.OpDivU:   topB,
+	prog.OpRemU:   topB,
+	prog.OpDivS:   topB,
+	prog.OpRemS:   topB,
+	prog.OpAnd:    bitsAnd,
+	prog.OpOr:     bitsOr,
+	prog.OpXor:    bitsXor,
+	prog.OpShl:    bitsShl,
+	prog.OpShr:    bitsShr,
+	prog.OpSar:    bitsSar,
+	prog.OpRol:    bitsRol,
+	prog.OpRor:    bitsRor,
+	prog.OpEq:     bitsEq,
+	prog.OpUlt:    bitsUlt,
+	prog.OpSlt:    bitsSlt,
+	prog.OpNot:    bitsNot,
+	prog.OpNeg:    bitsNeg,
+	prog.OpBswap:  bitsBswap,
+	prog.OpPopcnt: bitsPopcnt,
+	prog.OpClz:    bitsCount,
+	prog.OpCtz:    bitsCount,
+	prog.OpSext8:  bitsSext(8),
+	prog.OpSext16: bitsSext(16),
+	prog.OpSext32: bitsSext(32),
+	prog.OpZext8:  bitsZext(8),
+	prog.OpZext16: bitsZext(16),
+	prog.OpZext32: bitsZext(32),
+
+	prog.OpAdd32: bits32(bitsAdd),
+	prog.OpSub32: bits32(bitsSub),
+	prog.OpMul32: bits32(bitsMul),
+	prog.OpAnd32: bits32(bitsAnd),
+	prog.OpOr32:  bits32(bitsOr),
+	prog.OpXor32: bits32(bitsXor),
+	prog.OpShl32: bitsShl32,
+	prog.OpShr32: bitsShr32,
+	prog.OpSar32: bitsSar32,
+	prog.OpNot32: bitsNot32,
+	prog.OpNeg32: bits32(bitsNeg),
+
+	prog.OpMAnd: bitsAnd,
+	prog.OpMOr:  bitsOr,
+	prog.OpMXor: bitsXor,
+	prog.OpMNot: bitsNot,
+	prog.OpMShl: bitsMShl,
+	prog.OpMShr: bitsMShr,
+}
+
+// spanTable maps every opcode to its interval transfer function.
+var spanTable = [prog.NumOps]SpanTransfer{
+	prog.OpInvalid: topS,
+	prog.OpInput:   topS,
+	prog.OpConst:   topS,
+
+	prog.OpAdd:    spanAdd,
+	prog.OpSub:    spanSub,
+	prog.OpMul:    spanMul,
+	prog.OpDivU:   spanDivU,
+	prog.OpRemU:   spanRemU,
+	prog.OpDivS:   topS,
+	prog.OpRemS:   topS,
+	prog.OpAnd:    spanAnd,
+	prog.OpOr:     spanOr,
+	prog.OpXor:    spanXor,
+	prog.OpShl:    spanShl,
+	prog.OpShr:    spanShr,
+	prog.OpSar:    spanSar,
+	prog.OpRol:    topS,
+	prog.OpRor:    topS,
+	prog.OpEq:     spanEq,
+	prog.OpUlt:    spanUlt,
+	prog.OpSlt:    spanSlt,
+	prog.OpNot:    spanNot,
+	prog.OpNeg:    spanNeg,
+	prog.OpBswap:  topS,
+	prog.OpPopcnt: spanPopcnt,
+	prog.OpClz:    spanClz,
+	prog.OpCtz:    spanCtz,
+	prog.OpSext8:  spanSext(8),
+	prog.OpSext16: spanSext(16),
+	prog.OpSext32: spanSext(32),
+	prog.OpZext8:  spanZext(8),
+	prog.OpZext16: spanZext(16),
+	prog.OpZext32: spanZext(32),
+
+	prog.OpAdd32: span32(spanAdd),
+	prog.OpSub32: span32(spanSub),
+	prog.OpMul32: span32(spanMul),
+	prog.OpAnd32: span32(spanAnd),
+	prog.OpOr32:  span32(spanOr),
+	prog.OpXor32: span32(spanXor),
+	prog.OpShl32: spanShl32,
+	prog.OpShr32: spanShr32,
+	prog.OpSar32: spanSar32,
+	prog.OpNot32: spanNot32,
+	prog.OpNeg32: spanNeg32,
+
+	prog.OpMAnd: spanAnd,
+	prog.OpMOr:  spanOr,
+	prog.OpMXor: spanXor,
+	prog.OpMNot: spanNot,
+	prog.OpMShl: spanMShl,
+	prog.OpMShr: spanMShr,
+}
+
+// Transfer applies op's transfer functions in both domains and
+// reduces the product. When the operands pin single concrete values
+// it folds through prog.EvalOp instead, which is maximally precise
+// and sound by construction (it IS the concrete semantics). Unary
+// opcodes ignore b; pass Top.
+func Transfer(op prog.Op, a, b Value) Value {
+	if av, ok := a.Exact(); ok {
+		if op.Arity() == 1 {
+			return Exact(prog.EvalOp(op, av, 0))
+		}
+		if bv, ok := b.Exact(); ok {
+			return Exact(prog.EvalOp(op, av, bv))
+		}
+	}
+	v := Value{B: bitsTable[op](a.B, b.B), S: spanTable[op](a.S, b.S)}
+	return v.Reduce()
+}
+
+// lowMaskLen returns a mask of the n lowest bits, handling n == 64.
+func lowMaskLen(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// highMaskN returns a mask of the n highest bits, handling n == 0.
+func highMaskN(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return ^(^uint64(0) >> n)
+}
+
+// --- known-bits transfers, 64-bit ---
+
+// lowCarry implements the shared trick for add/sub/mul: the low t
+// bits of the result depend only on the low t bits of the operands
+// (carries, borrows, and partial products propagate strictly upward),
+// so with the low t bits of both operands known the low t bits of
+// f(aOnes, bOnes) are exact.
+func lowCarry(a, b Bits, f func(x, y uint64) uint64) Bits {
+	t := bits.TrailingZeros64(^(a.Known() & b.Known()))
+	if t == 0 {
+		return TopBits()
+	}
+	r := f(a.One, b.One)
+	m := lowMaskLen(t)
+	return Bits{Zero: ^r & m, One: r & m}
+}
+
+func bitsAdd(a, b Bits) Bits { return lowCarry(a, b, func(x, y uint64) uint64 { return x + y }) }
+func bitsSub(a, b Bits) Bits { return lowCarry(a, b, func(x, y uint64) uint64 { return x - y }) }
+func bitsMul(a, b Bits) Bits { return lowCarry(a, b, func(x, y uint64) uint64 { return x * y }) }
+
+func bitsAnd(a, b Bits) Bits {
+	return Bits{Zero: a.Zero | b.Zero, One: a.One & b.One}
+}
+func bitsOr(a, b Bits) Bits {
+	return Bits{Zero: a.Zero & b.Zero, One: a.One | b.One}
+}
+func bitsXor(a, b Bits) Bits {
+	k := a.Known() & b.Known()
+	v := a.One ^ b.One
+	return Bits{Zero: k &^ v, One: k & v}
+}
+func bitsNot(a, b Bits) Bits { return Bits{Zero: a.One, One: a.Zero} }
+func bitsNeg(a, b Bits) Bits { return bitsSub(ExactBits(0), a) }
+
+// shiftCount extracts the exact masked shift count from b when the
+// low bits that the hardware actually consumes (b & widthMask) are
+// all known; higher bits of b are irrelevant.
+func shiftCount(b Bits, widthMask uint64) (uint64, bool) {
+	if b.Known()&widthMask == widthMask {
+		return b.One & widthMask, true
+	}
+	return 0, false
+}
+
+func bitsShl(a, b Bits) Bits {
+	if c, ok := shiftCount(b, 63); ok {
+		return Bits{Zero: a.Zero<<c | lowMaskLen(int(c)), One: a.One << c}
+	}
+	// Any left shift preserves the provably-zero low bits.
+	return Bits{Zero: lowMaskLen(bits.TrailingZeros64(^a.Zero))}
+}
+
+func bitsShr(a, b Bits) Bits {
+	if c, ok := shiftCount(b, 63); ok {
+		return Bits{Zero: a.Zero>>c | highMaskN(c), One: a.One >> c}
+	}
+	// The result of any right shift fits in as many bits as the
+	// possibly-one mask of the operand.
+	return Bits{Zero: ^lowMaskLen(bits.Len64(^a.Zero))}
+}
+
+func bitsSar(a, b Bits) Bits {
+	if c, ok := shiftCount(b, 63); ok {
+		r := Bits{Zero: a.Zero >> c, One: a.One >> c}
+		switch {
+		case a.Zero&signBit != 0:
+			r.Zero |= highMaskN(c)
+		case a.One&signBit != 0:
+			r.One |= highMaskN(c)
+		default:
+			// Sign unknown: the c duplicated top bits are unknown.
+			r.Zero &^= highMaskN(c)
+			r.One &^= highMaskN(c)
+		}
+		return r
+	}
+	switch {
+	case a.Zero&signBit != 0:
+		// Non-negative operand: behaves exactly like a logical shift.
+		return Bits{Zero: ^lowMaskLen(bits.Len64(^a.Zero))}
+	case a.One&signBit != 0:
+		// Negative operand: the provably-one leading bits survive any
+		// arithmetic right shift.
+		return Bits{One: highMaskN(uint64(bits.LeadingZeros64(^a.One)))}
+	}
+	return TopBits()
+}
+
+func bitsRol(a, b Bits) Bits {
+	if c, ok := shiftCount(b, 63); ok {
+		return Bits{Zero: bits.RotateLeft64(a.Zero, int(c)), One: bits.RotateLeft64(a.One, int(c))}
+	}
+	return TopBits()
+}
+func bitsRor(a, b Bits) Bits {
+	if c, ok := shiftCount(b, 63); ok {
+		return Bits{Zero: bits.RotateLeft64(a.Zero, -int(c)), One: bits.RotateLeft64(a.One, -int(c))}
+	}
+	return TopBits()
+}
+
+func boolBits() Bits { return Bits{Zero: ^uint64(1)} }
+
+func bitsEq(a, b Bits) Bits {
+	// A position where one side is provably 0 and the other provably 1
+	// decides the comparison.
+	if a.Zero&b.One != 0 || a.One&b.Zero != 0 {
+		return ExactBits(0)
+	}
+	if _, aok := a.Exact(); aok {
+		if _, bok := b.Exact(); bok {
+			return ExactBits(1) // fully known with no differing bit
+		}
+	}
+	return boolBits()
+}
+
+func bitsUlt(a, b Bits) Bits {
+	if av, ok := a.Exact(); ok {
+		if bv, ok := b.Exact(); ok {
+			if av < bv {
+				return ExactBits(1)
+			}
+			return ExactBits(0)
+		}
+	}
+	return boolBits()
+}
+
+func bitsSlt(a, b Bits) Bits {
+	if av, ok := a.Exact(); ok {
+		if bv, ok := b.Exact(); ok {
+			if int64(av) < int64(bv) {
+				return ExactBits(1)
+			}
+			return ExactBits(0)
+		}
+	}
+	return boolBits()
+}
+
+func bitsBswap(a, b Bits) Bits {
+	return Bits{Zero: bits.ReverseBytes64(a.Zero), One: bits.ReverseBytes64(a.One)}
+}
+
+func bitsPopcnt(a, b Bits) Bits {
+	lo := bits.OnesCount64(a.One)
+	hi := 64 - bits.OnesCount64(a.Zero)
+	if lo == hi {
+		return ExactBits(uint64(lo))
+	}
+	return bitsCount(a, b)
+}
+
+// bitsCount covers results that are bit counts in [0, 64]: only the
+// low 7 bits can ever be set.
+func bitsCount(a, b Bits) Bits { return Bits{Zero: ^uint64(0x7f)} }
+
+func bitsSext(width uint) BitsTransfer {
+	m := uint64(1)<<width - 1
+	sign := uint64(1) << (width - 1)
+	return func(a, b Bits) Bits {
+		r := Bits{Zero: a.Zero & m, One: a.One & m}
+		if a.Zero&sign != 0 {
+			r.Zero |= ^m
+		} else if a.One&sign != 0 {
+			r.One |= ^m
+		}
+		return r
+	}
+}
+
+func bitsZext(width uint) BitsTransfer {
+	m := uint64(1)<<width - 1
+	return func(a, b Bits) Bits {
+		return Bits{Zero: a.Zero&m | ^m, One: a.One & m}
+	}
+}
+
+// --- known-bits transfers, 32-bit forms ---
+
+// trunc32b is the abstraction of uint32(x): low-lane knowledge kept,
+// high bits provably zero.
+func trunc32b(a Bits) Bits {
+	return Bits{Zero: a.Zero&mask32 | high32, One: a.One & mask32}
+}
+
+// bits32 lifts a 64-bit transfer to the 32-bit form: compute on the
+// truncated operands, keep only the low lane of the result (the lane
+// agrees with arithmetic mod 2^32 for every lifted op), and pin the
+// zero-extended high half.
+func bits32(f BitsTransfer) BitsTransfer {
+	return func(a, b Bits) Bits {
+		r := f(trunc32b(a), trunc32b(b))
+		return Bits{Zero: r.Zero&mask32 | high32, One: r.One & mask32}
+	}
+}
+
+func bitsShl32(a, b Bits) Bits {
+	if c, ok := shiftCount(b, 31); ok {
+		az, ao := a.Zero&mask32, a.One&mask32
+		return Bits{Zero: (az<<c|lowMaskLen(int(c)))&mask32 | high32, One: ao << c & mask32}
+	}
+	tz := bits.TrailingZeros64(^a.Zero)
+	if tz > 32 {
+		tz = 32
+	}
+	return Bits{Zero: lowMaskLen(tz) | high32}
+}
+
+func bitsShr32(a, b Bits) Bits {
+	if c, ok := shiftCount(b, 31); ok {
+		a32 := trunc32b(a)
+		return Bits{Zero: a32.Zero>>c | highMaskN(c), One: a32.One >> c}
+	}
+	return Bits{Zero: ^lowMaskLen(bits.Len64(^a.Zero & mask32))}
+}
+
+func bitsSar32(a, b Bits) Bits {
+	if c, ok := shiftCount(b, 31); ok {
+		az, ao := a.Zero&mask32, a.One&mask32
+		r := Bits{Zero: az>>c | high32, One: ao >> c}
+		laneHigh := (mask32 >> c) ^ mask32 // the c sign-duplicated lane bits
+		if az&(1<<31) != 0 {
+			r.Zero |= laneHigh
+		} else if ao&(1<<31) != 0 {
+			r.One |= laneHigh
+		} else {
+			r.Zero &^= laneHigh
+			r.One &^= laneHigh
+			r.Zero |= high32
+		}
+		return r
+	}
+	return Bits{Zero: high32}
+}
+
+func bitsNot32(a, b Bits) Bits {
+	return Bits{Zero: a.One&mask32 | high32, One: a.Zero & mask32}
+}
+
+func bitsMShl(a, b Bits) Bits {
+	return Bits{Zero: a.Zero<<1 | 1, One: a.One << 1}
+}
+func bitsMShr(a, b Bits) Bits {
+	return Bits{Zero: a.Zero>>1 | signBit, One: a.One >> 1}
+}
+
+// --- interval transfers, 64-bit ---
+
+// uspan builds a Span from unsigned bounds only; Reduce derives the
+// signed range when the unsigned one does not straddle the sign bit.
+func uspan(lo, hi uint64) Span {
+	s := TopSpan()
+	s.Lo, s.Hi = lo, hi
+	return s
+}
+
+// sspan builds a Span from signed bounds only.
+func sspan(lo, hi int64) Span {
+	s := TopSpan()
+	s.SLo, s.SHi = lo, hi
+	return s
+}
+
+func addOvfS(x, y int64) (int64, bool) {
+	s := x + y
+	if (x >= 0) == (y >= 0) && (s >= 0) != (x >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subOvfS(x, y int64) (int64, bool) {
+	s := x - y
+	if (x >= 0) != (y >= 0) && (s >= 0) != (x >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func spanAdd(a, b Span) Span {
+	r := TopSpan()
+	if a.Hi <= ^uint64(0)-b.Hi {
+		r.Lo, r.Hi = a.Lo+b.Lo, a.Hi+b.Hi
+	}
+	if lo, ok := addOvfS(a.SLo, b.SLo); ok {
+		if hi, ok := addOvfS(a.SHi, b.SHi); ok {
+			r.SLo, r.SHi = lo, hi
+		}
+	}
+	return r
+}
+
+func spanSub(a, b Span) Span {
+	r := TopSpan()
+	if a.Lo >= b.Hi {
+		r.Lo, r.Hi = a.Lo-b.Hi, a.Hi-b.Lo
+	}
+	if lo, ok := subOvfS(a.SLo, b.SHi); ok {
+		if hi, ok := subOvfS(a.SHi, b.SLo); ok {
+			r.SLo, r.SHi = lo, hi
+		}
+	}
+	return r
+}
+
+func spanMul(a, b Span) Span {
+	if hi, _ := bits.Mul64(a.Hi, b.Hi); hi == 0 {
+		return uspan(a.Lo*b.Lo, a.Hi*b.Hi)
+	}
+	return TopSpan()
+}
+
+func spanDivU(a, b Span) Span {
+	if b.Hi == 0 {
+		return ExactSpan(0) // division by zero is defined as zero
+	}
+	if b.Lo > 0 {
+		return uspan(a.Lo/b.Hi, a.Hi/b.Lo)
+	}
+	// The divisor may be zero (result 0) or not (result <= a).
+	return uspan(0, a.Hi)
+}
+
+func spanRemU(a, b Span) Span {
+	if b.Hi == 0 {
+		return ExactSpan(0)
+	}
+	// a % b <= a, and < b when b > 0; b == 0 yields 0, also in range.
+	return uspan(0, minU(a.Hi, b.Hi-1))
+}
+
+func spanAnd(a, b Span) Span { return uspan(0, minU(a.Hi, b.Hi)) }
+
+func spanOr(a, b Span) Span {
+	l := bits.Len64(a.Hi)
+	if lb := bits.Len64(b.Hi); lb > l {
+		l = lb
+	}
+	return uspan(maxU(a.Lo, b.Lo), lowMaskLen(l))
+}
+
+func spanXor(a, b Span) Span {
+	l := bits.Len64(a.Hi)
+	if lb := bits.Len64(b.Hi); lb > l {
+		l = lb
+	}
+	return uspan(0, lowMaskLen(l))
+}
+
+func spanShl(a, b Span) Span {
+	if b.Lo == b.Hi {
+		c := b.Lo & 63
+		if bits.Len64(a.Hi)+int(c) <= 64 {
+			return uspan(a.Lo<<c, a.Hi<<c)
+		}
+	}
+	return TopSpan()
+}
+
+func spanShr(a, b Span) Span {
+	if b.Hi <= 63 {
+		// Every possible count equals b itself (the &63 mask is a
+		// no-op), and x>>c is monotone in x and antitone in c.
+		return uspan(a.Lo>>b.Hi, a.Hi>>b.Lo)
+	}
+	return uspan(0, a.Hi) // a logical right shift never grows the value
+}
+
+func spanSar(a, b Span) Span {
+	if b.Lo == b.Hi {
+		c := b.Lo & 63
+		return sspan(a.SLo>>c, a.SHi>>c)
+	}
+	if b.Hi <= 63 {
+		lo := minS(a.SLo>>b.Lo, a.SLo>>b.Hi)
+		hi := maxS(a.SHi>>b.Lo, a.SHi>>b.Hi)
+		return sspan(lo, hi)
+	}
+	// Unknown count in [0, 63]: the result moves from x toward 0/-1.
+	return sspan(minS(a.SLo, 0), maxS(a.SHi, -1))
+}
+
+func spanEq(a, b Span) Span {
+	if a.Lo == a.Hi && b.Lo == b.Hi && a.Lo == b.Lo {
+		return ExactSpan(1)
+	}
+	if a.Hi < b.Lo || b.Hi < a.Lo || a.SHi < b.SLo || b.SHi < a.SLo {
+		return ExactSpan(0)
+	}
+	return boolSpan()
+}
+
+func spanUlt(a, b Span) Span {
+	if a.Hi < b.Lo {
+		return ExactSpan(1)
+	}
+	if a.Lo >= b.Hi {
+		return ExactSpan(0)
+	}
+	return boolSpan()
+}
+
+func spanSlt(a, b Span) Span {
+	if a.SHi < b.SLo {
+		return ExactSpan(1)
+	}
+	if a.SLo >= b.SHi {
+		return ExactSpan(0)
+	}
+	return boolSpan()
+}
+
+func spanNot(a, b Span) Span {
+	// ^x is a monotone-decreasing bijection in both orders.
+	return Span{Lo: ^a.Hi, Hi: ^a.Lo, SLo: ^a.SHi, SHi: ^a.SLo}
+}
+
+func spanNeg(a, b Span) Span {
+	r := TopSpan()
+	switch {
+	case a.Hi == 0:
+		r.Lo, r.Hi = 0, 0
+	case a.Lo > 0:
+		r.Lo, r.Hi = -a.Hi, -a.Lo // 0 excluded: no wraparound inside the range
+	}
+	if a.SLo != minInt64 {
+		r.SLo, r.SHi = -a.SHi, -a.SLo
+	}
+	return r
+}
+
+const minInt64 = -1 << 63
+
+func spanPopcnt(a, b Span) Span {
+	lo := uint64(0)
+	if a.Lo > 0 {
+		lo = 1
+	}
+	hi := uint64(bits.Len64(a.Hi)) // popcnt(x) <= bit length of x <= bit length of Hi
+	s := uspan(lo, hi)
+	s.SLo, s.SHi = int64(lo), int64(hi)
+	return s
+}
+
+func spanClz(a, b Span) Span {
+	// clz is antitone: x in [Lo, Hi] pins clz(x) in [clz(Hi), clz(Lo)].
+	lo := uint64(bits.LeadingZeros64(a.Hi))
+	hi := uint64(bits.LeadingZeros64(a.Lo))
+	s := uspan(lo, hi)
+	s.SLo, s.SHi = int64(lo), int64(hi)
+	return s
+}
+
+func spanCtz(a, b Span) Span {
+	hi := uint64(64)
+	if a.Lo > 0 {
+		hi = uint64(bits.Len64(a.Hi)) - 1 // 2^ctz(x) <= x <= Hi
+	}
+	s := uspan(0, hi)
+	s.SLo, s.SHi = 0, int64(hi)
+	return s
+}
+
+func spanSext(width uint) SpanTransfer {
+	half := uint64(1) << (width - 1)
+	return func(a, b Span) Span {
+		if a.Hi < half {
+			// The value fits the narrow width with a clear sign bit, so
+			// the extension is the identity.
+			return Span{Lo: a.Lo, Hi: a.Hi, SLo: int64(a.Lo), SHi: int64(a.Hi)}
+		}
+		return sspan(-int64(half), int64(half)-1)
+	}
+}
+
+func spanZext(width uint) SpanTransfer {
+	m := uint64(1)<<width - 1
+	return func(a, b Span) Span {
+		if a.Hi <= m {
+			return Span{Lo: a.Lo, Hi: a.Hi, SLo: int64(a.Lo), SHi: int64(a.Hi)}
+		}
+		return Span{Lo: 0, Hi: m, SLo: 0, SHi: int64(m)}
+	}
+}
+
+// --- interval transfers, 32-bit forms ---
+
+func span32Top() Span {
+	return Span{Lo: 0, Hi: mask32, SLo: 0, SHi: int64(mask32)}
+}
+
+// span32 lifts a 64-bit interval transfer to the 32-bit form. It is
+// sound only when no concrete operand or result truncates: both
+// operand ranges and the computed result range must fit in 32 bits,
+// otherwise it falls back to the full zero-extended lane.
+func span32(f SpanTransfer) SpanTransfer {
+	return func(a, b Span) Span {
+		if a.Hi <= mask32 && b.Hi <= mask32 {
+			if r := f(a, b); !r.Empty() && r.Hi <= mask32 {
+				return Span{Lo: r.Lo, Hi: r.Hi, SLo: int64(r.Lo), SHi: int64(r.Hi)}
+			}
+		}
+		return span32Top()
+	}
+}
+
+func spanShl32(a, b Span) Span {
+	if b.Lo == b.Hi && a.Hi <= mask32 {
+		c := b.Lo & 31
+		if bits.Len64(a.Hi)+int(c) <= 32 {
+			return Span{Lo: a.Lo << c, Hi: a.Hi << c, SLo: int64(a.Lo << c), SHi: int64(a.Hi << c)}
+		}
+	}
+	return span32Top()
+}
+
+func spanShr32(a, b Span) Span {
+	if a.Hi > mask32 {
+		return span32Top()
+	}
+	lo, hi := uint64(0), a.Hi
+	if b.Hi <= 31 {
+		lo, hi = a.Lo>>b.Hi, a.Hi>>b.Lo
+	}
+	return Span{Lo: lo, Hi: hi, SLo: int64(lo), SHi: int64(hi)}
+}
+
+func spanSar32(a, b Span) Span {
+	if a.Hi < 1<<31 {
+		// Non-negative int32 operand: identical to the logical shift.
+		return spanShr32(a, b)
+	}
+	return span32Top()
+}
+
+func spanNot32(a, b Span) Span {
+	if a.Hi <= mask32 {
+		lo, hi := mask32-a.Hi, mask32-a.Lo
+		return Span{Lo: lo, Hi: hi, SLo: int64(lo), SHi: int64(hi)}
+	}
+	return span32Top()
+}
+
+func spanNeg32(a, b Span) Span {
+	if a.Hi == 0 {
+		return ExactSpan(0)
+	}
+	if a.Lo > 0 && a.Hi <= mask32 {
+		lo, hi := (mask32+1)-a.Hi, (mask32+1)-a.Lo
+		return Span{Lo: lo, Hi: hi, SLo: int64(lo), SHi: int64(hi)}
+	}
+	return span32Top()
+}
+
+func spanMShl(a, b Span) Span {
+	if bits.Len64(a.Hi) <= 63 {
+		return uspan(a.Lo<<1, a.Hi<<1)
+	}
+	return TopSpan()
+}
+
+func spanMShr(a, b Span) Span { return uspan(a.Lo>>1, a.Hi>>1) }

@@ -25,6 +25,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"stochsyn/internal/prog"
 )
@@ -88,6 +89,23 @@ func (r *Report) AddSev(pass string, sev Severity, node int32, format string, ar
 // Empty reports whether the report holds no findings.
 func (r *Report) Empty() bool { return len(r.Findings) == 0 }
 
+// Sort orders the findings deterministically: by node id (program-
+// level findings first), then pass name, then message. Rendered
+// reports are thereby diff-stable across runs and refactorings of the
+// pass pipeline — synth -lint and the job API both depend on that.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := &r.Findings[i], &r.Findings[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Msg < b.Msg
+	})
+}
+
 // Strings renders every finding, in pass order.
 func (r *Report) Strings() []string {
 	out := make([]string, len(r.Findings))
@@ -111,12 +129,14 @@ func Passes() []Pass {
 }
 
 // Run executes the default passes over p and returns the combined
-// report. The program is not modified.
+// report, sorted into the deterministic order of Report.Sort. The
+// program is not modified.
 func Run(p *prog.Program) Report {
 	var r Report
 	for _, pass := range Passes() {
 		pass.Run(p, &r)
 	}
+	r.Sort()
 	return r
 }
 

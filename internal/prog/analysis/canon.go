@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis/absint"
 )
 
 // Canonicalize returns a semantics-preserving canonical form of p: the
@@ -71,19 +72,26 @@ func Hash(p *prog.Program) uint64 {
 // applicable fold or simplification, applies it in place, and restores
 // the invariants. It returns whether a rewrite was applied. Applying
 // one rewrite at a time keeps index management trivial: GC renumbers
-// nodes, so the caller restarts the scan after every application.
+// nodes, so the caller restarts the scan after every application —
+// which also keeps the abstract facts fresh: they are recomputed at
+// every scan start and the scan stops at the first rewrite.
 func applyOneRewrite(q *prog.Program) bool {
+	facts := absint.Analyze(q, nil, nil)
 	for _, i := range q.TopoOrder() {
 		if v, ok := foldNode(q, i); ok {
 			replaceWithConst(q, i, v)
 			return true
 		}
-		if rw := simplifyNode(q, i); rw.kind != rwNone {
+		if rw := simplifyNode(q, i, facts); rw.kind != rwNone {
 			switch rw.kind {
 			case rwConst:
 				replaceWithConst(q, i, rw.val)
 			case rwNode:
 				replaceWithNode(q, i, rw.node)
+			case rwArg:
+				q.Nodes[i].Args[rw.arg] = rw.node
+				q.Invalidate()
+				q.GC()
 			}
 			return true
 		}

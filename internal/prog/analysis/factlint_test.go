@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"stochsyn/internal/prog"
+)
+
+func mustParse(t *testing.T, expr string, inputs int) *prog.Program {
+	t.Helper()
+	p, err := prog.Parse(expr, inputs)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	return p
+}
+
+// Fact-backed lints must fire on programs whose redundancy is only
+// provable by the abstract interpretation (known-bits / intervals), and
+// each must be actionable: the canonicalizer rewrites it away.
+func TestFactLintFindings(t *testing.T) {
+	cases := []struct {
+		expr   string
+		inputs int
+		substr string // expected fragment of the finding message
+		canon  string // expected canonical form after the rewrite
+	}{
+		// popcntq(x) ∈ [0, 64]: the mask to 127 keeps every bit that
+		// can be set, so the and is redundant.
+		{"andq(popcntq(x), 127)", 1, "every bit the mask clears", "popcntq(x)"},
+		// popcntq(x) < 65 always: interval-decided comparison.
+		{"ultq(popcntq(x), 65)", 1, "ranges decide the unsigned", "1"},
+		// sarq(x, 63) ∈ [-1, 0] < 1 always.
+		{"sltq(sarq(x, 63), 1)", 1, "ranges decide the signed", "1"},
+		// orq(x, 1) has its low bit forced to one; 0 does not.
+		{"eqq(orq(x, 1), 0)", 1, "known bits", "0"},
+		// The explicit count mask duplicates the hardware's own 6-bit
+		// count mask.
+		{"shlq(x, andq(x, 63))", 1, "count mask is redundant", "shlq(x, x)"},
+		// zextlq(x) provably fits 32 bits, so the masked-to-zero 32-bit
+		// shift really is the identity (not merely zextlq).
+		{"shll(zextlq(x), 32)", 1, "redundant", "zextlq(x)"},
+	}
+	for _, tc := range cases {
+		p := mustParse(t, tc.expr, tc.inputs)
+		rep := Run(p)
+		found := false
+		for _, f := range rep.Findings {
+			if f.Pass == "lint" && strings.Contains(f.Msg, tc.substr) {
+				found = true
+				if !f.Actionable() {
+					t.Errorf("%q: finding %q is not actionable", tc.expr, f)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%q: no lint finding containing %q; report: %v",
+				tc.expr, tc.substr, rep.Strings())
+		}
+		if got := Canonicalize(p).String(); got != tc.canon {
+			t.Errorf("Canonicalize(%q) = %q, want %q", tc.expr, got, tc.canon)
+		}
+	}
+}
+
+// The unprovable 32-bit masked shift must stay report-only: shll(x, 32)
+// on a raw input truncates (it is zextlq, not the identity), so the
+// promotion rule must not fire without the high-32-zero fact.
+func TestMaskedShiftPromotionNeedsFact(t *testing.T) {
+	p := mustParse(t, "shll(x, 32)", 1)
+	for _, f := range Run(p).Findings {
+		if f.Pass == "lint" && f.Actionable() {
+			t.Errorf("shll(x, 32) produced actionable lint %q; must be report-only", f)
+		}
+	}
+	if got := Canonicalize(p).String(); got != "shll(x, 32)" {
+		t.Errorf("Canonicalize(shll(x, 32)) = %q; must not rewrite", got)
+	}
+}
+
+// Reports must come out of Run in the deterministic Sort order: by node
+// id (program-level first), then pass, then message.
+func TestReportSortDeterministic(t *testing.T) {
+	r := Report{Findings: []Finding{
+		{Pass: "liveness", Node: 4, Msg: "dead"},
+		{Pass: "lint", Node: 2, Msg: "b"},
+		{Pass: "fold", Node: 2, Msg: "a"},
+		{Pass: "lint", Node: -1, Msg: "program-level"},
+		{Pass: "lint", Node: 2, Msg: "a"},
+	}}
+	r.Sort()
+	want := []string{
+		"lint: program-level",
+		"fold: node 2: a",
+		"lint: node 2: a",
+		"lint: node 2: b",
+		"liveness: node 4: dead",
+	}
+	got := r.Strings()
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+
+	// A program with several findings must render identically across
+	// repeated runs.
+	p := mustParse(t, "andq(popcntq(x), shlq(x, andq(x, 63)))", 1)
+	rep := Run(p)
+	first := strings.Join(rep.Strings(), "\n")
+	for i := 0; i < 5; i++ {
+		rep = Run(p)
+		if again := strings.Join(rep.Strings(), "\n"); again != first {
+			t.Fatalf("report not stable:\n%s\nvs\n%s", first, again)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package analysis
 
-import "stochsyn/internal/prog"
+import (
+	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis/absint"
+)
 
 // FoldPass reports instruction nodes whose arguments are all constant:
 // the node computes a fixed value the search could have materialized
@@ -23,9 +26,13 @@ func (FoldPass) Run(p *prog.Program, r *Report) {
 // LintPass reports algebraic identities and annihilators: nodes the
 // rewrite engine would replace with one of their operands or with a
 // constant (x & x, x | 0, x * 1, x ^ x, shift by a masked-to-zero
-// count, and so on). It also flags, report-only, the 32-bit
-// shift-by-masked-zero case that is NOT rewritten because the
-// zero-extension makes the "identity" unsound as a 64-bit rewrite.
+// count, and so on), including the fact-conditioned rules backed by
+// the known-bits/interval analysis (redundant masks, range-decided
+// comparisons, 32-bit masked shifts whose operand provably fits 32
+// bits) and redundant shift-count masks. It also flags, report-only,
+// the 32-bit shift-by-masked-zero case whose operand the analysis
+// CANNOT prove 32-bit: that one is zextlq, not the identity, so it is
+// not rewritable to an operand.
 type LintPass struct{}
 
 // Name implements Pass.
@@ -33,6 +40,7 @@ func (LintPass) Name() string { return "lint" }
 
 // Run implements Pass.
 func (LintPass) Run(p *prog.Program, r *Report) {
+	facts := absint.Analyze(p, nil, nil)
 	for i := range p.Nodes {
 		nd := &p.Nodes[i]
 		// Folding dominates: an all-constant node is reported by
@@ -40,19 +48,23 @@ func (LintPass) Run(p *prog.Program, r *Report) {
 		if _, ok := foldNode(p, int32(i)); ok {
 			continue
 		}
-		if rw := simplifyNode(p, int32(i)); rw.kind != rwNone {
+		if rw := simplifyNode(p, int32(i), facts); rw.kind != rwNone {
 			switch rw.kind {
 			case rwConst:
 				r.Add("lint", int32(i), "%s is the constant %s: %s",
 					nd.Op, prog.FormatConst(rw.val), rw.reason)
 			case rwNode:
 				r.Add("lint", int32(i), "%s is redundant: %s", nd.Op, rw.reason)
+			case rwArg:
+				r.Add("lint", int32(i), "%s count mask is redundant: %s", nd.Op, rw.reason)
 			}
 			continue
 		}
-		// Report-only: 32-bit shifts by a masked-to-zero count. These
-		// still truncate to 32 bits (shll(x, 32) = zextlq(x), not x),
-		// so they are suspicious but not rewritable to an operand.
+		// Report-only: 32-bit shifts by a masked-to-zero count whose
+		// operand is not provably 32-bit. These still truncate (shll(x,
+		// 32) = zextlq(x), not x), so they are suspicious but not
+		// rewritable to an operand; the provable case is rewritten by
+		// the shift32-masked-zero rule above and never reaches here.
 		switch nd.Op {
 		case prog.OpShl32, prog.OpShr32, prog.OpSar32:
 			if bv, ok := constVal(p, nd.Args[1]); ok && bv&31 == 0 {

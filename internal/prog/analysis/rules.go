@@ -1,6 +1,9 @@
 package analysis
 
-import "stochsyn/internal/prog"
+import (
+	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis/absint"
+)
 
 // This file is the exported algebraic rule table. Each Rule carries a
 // unique name, the opcodes it fires on, a human-readable semantics
@@ -60,6 +63,13 @@ type Subject interface {
 	// ArgOf reports whether r is (or, for e-classes, contains) an
 	// application of op, returning that application's first operand.
 	ArgOf(r Ref, op prog.Op) (Ref, bool)
+	// Fact returns the abstract value of r (known bits and ranges,
+	// see internal/prog/analysis/absint) when the host tracks facts;
+	// ok=false means nothing is known (treat as Top). Facts presented
+	// here MUST be universally sound — derived with all inputs
+	// unconstrained — because rules fire for every input vector.
+	// Suite-derived facts are reserved for the search pruner.
+	Fact(r Ref) (absint.Value, bool)
 }
 
 // Rule is one named algebraic rewrite.
@@ -480,6 +490,69 @@ var Rules = []Rule{
 			}
 			return Action{}
 		}},
+
+	// ---- fact-conditioned rules (abstract interpretation) ----------------
+	// These fire on side conditions proved by the known-bits/interval
+	// analysis (Subject.Fact). The facts are computed with all inputs
+	// unconstrained, so every rewrite below holds for every input
+	// vector — same soundness bar as the syntactic rules above.
+	{Name: "and-redundant-mask", Ops: []prog.Op{prog.OpAnd, prog.OpMAnd},
+		Reason: "known bits prove every bit the mask clears is already zero",
+		Match: func(s Subject) Action {
+			x, c, ok := constEither(s)
+			if !ok {
+				return Action{}
+			}
+			if f, ok := s.Fact(x); ok && ^c&^f.B.Zero == 0 {
+				return replaceWith(x)
+			}
+			return Action{}
+		}},
+	{Name: "ult-decided", Ops: []prog.Op{prog.OpUlt}, Reason: "value ranges decide the unsigned comparison",
+		Match: factDecided},
+	{Name: "slt-decided", Ops: []prog.Op{prog.OpSlt}, Reason: "value ranges decide the signed comparison",
+		Match: factDecided},
+	{Name: "eq-decided", Ops: []prog.Op{prog.OpEq}, Reason: "known bits or ranges decide the equality",
+		Match: factDecided},
+	// Promotion of the old report-only 32-bit masked-shift lint: a
+	// 32-bit shift by a count that masks to zero (b & 31 == 0) is
+	// zextlq of its operand, and when known bits prove the operand's
+	// high half zero, zextlq is the identity — so the whole shift is.
+	{Name: "shift32-masked-zero", Ops: []prog.Op{prog.OpShl32, prog.OpShr32, prog.OpSar32},
+		Reason: "count masks to 0 and known bits prove the operand fits 32 bits: identity",
+		Match: func(s Subject) Action {
+			_, c, ok := constArg1(s)
+			if !ok || c&31 != 0 {
+				return Action{}
+			}
+			x := s.Arg(0)
+			if f, ok := s.Fact(x); ok && f.B.Zero>>32 == 0xffffffff {
+				return replaceWith(x)
+			}
+			return Action{}
+		}},
+}
+
+// factDecided resolves a comparison through the abstract transfer
+// function of its own opcode: when the operand facts pin the result to
+// a single value (ranges disjoint, bit conflict, both exact), the
+// comparison is that constant. Both-constant operands are left to the
+// constant folder, keeping the fold/lint report split clean.
+func factDecided(s Subject) Action {
+	if _, aConst := s.Const(s.Arg(0)); aConst {
+		if _, bConst := s.Const(s.Arg(1)); bConst {
+			return Action{}
+		}
+	}
+	fa, oka := s.Fact(s.Arg(0))
+	fb, okb := s.Fact(s.Arg(1))
+	if !oka || !okb {
+		return Action{}
+	}
+	if v, ok := absint.Transfer(s.Op(), fa, fb).Exact(); ok {
+		return replaceConst(v)
+	}
+	return Action{}
 }
 
 // rulesByOp indexes Rules by opcode (an array, not a map, so dispatch

@@ -78,6 +78,14 @@ func TestRuleWitnessesEvalEqual(t *testing.T) {
 		"notq(notq(x))", "negq(negq(x))", "bswapq(bswapq(x))",
 		"sextbq(sextbq(x))", "zextlq(zextlq(x))", "zextlq(addl(x, x))",
 		"zextlq(zextbq(x))",
+		// Fact-conditioned rules (known-bits / interval side conditions).
+		"andq(zextlq(x), 0xffffffff)",  // and-redundant-mask
+		"ultq(zextbq(x), 0x100)",       // ult-decided
+		"sltq(zextlq(x), 0x100000000)", // slt-decided
+		"eqq(orq(x, 1), 0)",            // eq-decided (low bit forced one)
+		"shll(zextlq(x), 32)",          // shift32-masked-zero
+		"shlq(x, andq(x, 63))",         // redundant shift-count mask
+		"shrl(x, andl(x, 31))",         // 32-bit shift-count mask
 	}
 	cases := []uint64{0, 1, 2, 63, 64, ^uint64(0), 0x8000000000000000,
 		0x7fffffffffffffff, 0xffffffff, 0x100000000, 12345}

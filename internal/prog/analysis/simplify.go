@@ -1,6 +1,9 @@
 package analysis
 
-import "stochsyn/internal/prog"
+import (
+	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis/absint"
+)
 
 // The rewrite engine is the single source of truth for algebraic
 // simplification: the lint pass reports what it would rewrite, and the
@@ -29,16 +32,20 @@ const (
 	rwNone  rwKind = iota
 	rwConst        // replace the node with the constant val
 	rwNode         // replace the node with the existing node at index node
+	rwArg          // retarget one argument slot of the node to node
 )
 
 // rewrite describes one semantics-preserving replacement of a single
 // node. For rwNode the target is always a descendant of the rewritten
 // node (an argument or an argument's argument), so redirecting
-// references to it cannot create a cycle.
+// references to it cannot create a cycle; for rwArg only the node's
+// own argument slot arg is redirected (to a descendant of the old
+// argument), which likewise cannot create a cycle.
 type rewrite struct {
 	kind   rwKind
 	val    uint64 // rwConst: the folded value
-	node   int32  // rwNode: the replacement node index
+	node   int32  // rwNode/rwArg: the replacement node index
+	arg    int    // rwArg: the argument slot to retarget
 	reason string
 }
 
@@ -75,12 +82,17 @@ func foldNode(p *prog.Program, i int32) (uint64, bool) {
 // by foldNode; simplifyNode only covers rules with at least one
 // non-constant operand. The rules themselves live in the exported
 // table in rules.go; this function is the program-node adapter.
-func simplifyNode(p *prog.Program, i int32) rewrite {
+//
+// facts optionally carries the per-node abstract values of p (from
+// absint.Analyze with unconstrained inputs); nil disables the
+// fact-conditioned rules. Both callers (the canonicalizer and the
+// lint pass) compute facts fresh per scan, so indices are never stale.
+func simplifyNode(p *prog.Program, i int32, facts []absint.Value) rewrite {
 	nd := &p.Nodes[i]
 	if !nd.Op.IsInstruction() {
 		return rewrite{}
 	}
-	s := progSubject{p: p, i: i}
+	s := progSubject{p: p, i: i, facts: facts}
 	for _, r := range RulesFor(nd.Op) {
 		switch act := r.Match(s); act.Kind {
 		case ActConst:
@@ -89,14 +101,53 @@ func simplifyNode(p *prog.Program, i int32) rewrite {
 			return rewrite{kind: rwNode, node: act.Ref, reason: r.Reason}
 		}
 	}
+	return maskedCountRewrite(p, i)
+}
+
+// maskedCountRewrite detects a redundant shift-count mask: node i is a
+// count-masking shift and its count operand is andq(y, c) (or the
+// model dialect's and) whose constant covers the width mask. The
+// hardware consumes only the count's low 6 bits (5 for the 32-bit
+// shifts), and those bits pass through the and unchanged when
+// c & widthMask == widthMask, so the count can read y directly — an
+// argument retarget, which the whole-node rule table cannot express.
+// The known-bits justification: after the and, the count is provably
+// < width already, so masking it again proves nothing new.
+func maskedCountRewrite(p *prog.Program, i int32) rewrite {
+	nd := &p.Nodes[i]
+	var widthMask uint64
+	switch nd.Op {
+	case prog.OpShl, prog.OpShr, prog.OpSar, prog.OpRol, prog.OpRor:
+		widthMask = 63
+	case prog.OpShl32, prog.OpShr32, prog.OpSar32:
+		widthMask = 31
+	default:
+		return rewrite{}
+	}
+	cnt := &p.Nodes[nd.Args[1]]
+	if cnt.Op != prog.OpAnd && cnt.Op != prog.OpMAnd {
+		return rewrite{}
+	}
+	for k := 0; k < 2; k++ {
+		if c, ok := constVal(p, cnt.Args[k]); ok && c&widthMask == widthMask {
+			y := cnt.Args[1-k]
+			if _, yConst := constVal(p, y); yConst {
+				return rewrite{} // all-constant count: folding's job
+			}
+			return rewrite{kind: rwArg, node: y, arg: 1,
+				reason: "shift consumes only the count's low bits, which the mask provably preserves"}
+		}
+	}
 	return rewrite{}
 }
 
 // progSubject adapts one program node to the rule table's Subject
-// interface: Refs are node indices, constants are OpConst nodes.
+// interface: Refs are node indices, constants are OpConst nodes, and
+// facts (when supplied) are the node-indexed abstract values.
 type progSubject struct {
-	p *prog.Program
-	i int32
+	p     *prog.Program
+	i     int32
+	facts []absint.Value
 }
 
 func (s progSubject) Op() prog.Op                { return s.p.Nodes[s.i].Op }
@@ -109,4 +160,11 @@ func (s progSubject) ArgOf(r Ref, op prog.Op) (Ref, bool) {
 		return 0, false
 	}
 	return nd.Args[0], true
+}
+
+func (s progSubject) Fact(r Ref) (absint.Value, bool) {
+	if int(r) >= len(s.facts) {
+		return absint.Value{}, false
+	}
+	return s.facts[r], true
 }

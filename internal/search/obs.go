@@ -20,6 +20,9 @@ import (
 //	stochsyn_eval_nodes_total
 //	stochsyn_eval_cases_evaluated_total
 //	stochsyn_eval_cases_total
+//	stochsyn_prune_checked_total
+//	stochsyn_prune_rejected_total
+//	stochsyn_prune_unsound_check_total
 //
 // All searches share these series regardless of restart id — per-search
 // cardinality lives in the trace stream, not the registry. Both
@@ -36,6 +39,9 @@ func NewObsHooks(reg *obs.Registry, tracer *obs.Tracer) *obs.SearchHooks {
 		EvalNodesTotal:       reg.Counter("stochsyn_eval_nodes_total"),
 		EvalCasesEvaluated:   reg.Counter("stochsyn_eval_cases_evaluated_total"),
 		EvalCasesTotal:       reg.Counter("stochsyn_eval_cases_total"),
+		PruneChecked:         reg.Counter("stochsyn_prune_checked_total"),
+		PruneRejected:        reg.Counter("stochsyn_prune_rejected_total"),
+		PruneUnsound:         reg.Counter("stochsyn_prune_unsound_check_total"),
 		Tracer:               tracer,
 		// Cost samples arrive at flush granularity (every
 		// CancelCheckEvery iterations), which is cheap enough to leave
@@ -64,5 +70,11 @@ func NewObsHooks(reg *obs.Registry, tracer *obs.Tracer) *obs.SearchHooks {
 		"Suite cases actually evaluated before the bounded cost sum aborted.")
 	reg.SetHelp("stochsyn_eval_cases_total",
 		"Suite cases a full evaluation of every proposal would have covered.")
+	reg.SetHelp("stochsyn_prune_checked_total",
+		"Proposals probed by the abstract-interpretation pruner (Options.Prune).")
+	reg.SetHelp("stochsyn_prune_rejected_total",
+		"Proposals the pruner proved unable to match the example set, skipped before evaluation.")
+	reg.SetHelp("stochsyn_prune_unsound_check_total",
+		"Pruned proposals the concrete re-check (PruneVerify) found to solve the suite; nonzero means an unsound abstract domain.")
 	return h
 }

@@ -21,6 +21,7 @@ import (
 	"stochsyn/internal/mutate"
 	"stochsyn/internal/obs"
 	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/analysis/absint"
 	"stochsyn/internal/testcase"
 )
 
@@ -130,6 +131,23 @@ type Options struct {
 	// bit-identical to the pre-knob search (the oracle tables pin
 	// this). Deliberately a trajectory-changing knob when set.
 	EqSat *eqsat.Dedup
+	// Prune enables abstract-interpretation proposal pruning: before a
+	// proposal is evaluated, a forward known-bits + interval pass under
+	// the suite's per-input facts computes the abstract root value, and
+	// proposals whose abstract output provably cannot equal some target
+	// output are rejected without touching the concrete evaluator. The
+	// pruner runs strictly after the acceptance threshold is drawn and
+	// never draws from the random stream itself, so the RNG sequence is
+	// identical with the knob on or off and a Prune=false run is
+	// bit-identical to the pre-knob search (the oracle tables pin
+	// this). Like EqSat, Prune deliberately changes the trajectory when
+	// set: pruned proposals never enter the chain.
+	Prune bool
+	// PruneVerify additionally re-runs every pruned proposal through
+	// the concrete evaluator and counts any that actually solve the
+	// suite (Stats.PruneUnsound) — an unsoundness canary for bench -exp
+	// prune. Expensive; only meaningful with Prune set.
+	PruneVerify bool
 	// Obs, when non-nil, attaches observability hooks to the run:
 	// iteration and per-move counters, cost gauges, plateau
 	// detection, and sampled cost-trajectory trace events. Updates
@@ -164,7 +182,8 @@ type Run struct {
 	rngSrc *rand.PCG
 	mut    *mutate.Mutator
 
-	dedup *eqsat.Dedup // nil unless Options.EqSat
+	dedup  *eqsat.Dedup   // nil unless Options.EqSat
+	pruner *absint.Pruner // nil unless Options.Prune
 
 	cur     *prog.Program
 	scratch *prog.Program // legacy path only: the proposal copy
@@ -229,6 +248,9 @@ func New(suite *testcase.Suite, opts Options) *Run {
 		mut:    mutate.New(opts.Set, suite, opts.Redundancy),
 		dedup:  opts.EqSat,
 		gap:    1,
+	}
+	if opts.Prune {
+		r.pruner = absint.NewPruner(suite)
 	}
 	r.obsHooks = opts.Obs
 	r.obsIters = -1 // force the first publish even at iteration 0
@@ -347,6 +369,19 @@ func (r *Run) iterateLegacy() bool {
 		if r.minimize {
 			bound -= r.sizeWeight * float64(r.scratch.BodyLen())
 		}
+		if r.pruned(r.scratch) {
+			// Provably cannot match the example set: skip evaluation.
+			// The threshold above was still drawn, so the RNG sequence
+			// matches an unpruned run; only the trajectory differs.
+			if r.opts.PruneVerify && r.kind.Of(r.scratch, r.suite, r.vals[:]) == 0 {
+				r.stats.PruneUnsound++
+			}
+			if r.opts.StateHook != nil {
+				r.opts.StateHook(r.cur)
+			}
+			return false
+		}
+		r.stats.Evaluated++
 		c := r.kind.OfBounded(r.scratch, r.suite, r.vals[:], bound)
 		if c <= bound {
 			if r.rejectRevisit(c, r.scratch) {
@@ -384,6 +419,25 @@ func (r *Run) iterateEngine() bool {
 		if r.minimize {
 			bound -= r.sizeWeight * float64(r.cur.BodyLen())
 		}
+		if r.pruned(r.cur) {
+			// Provably cannot match the example set: skip evaluation and
+			// undo the edit, exactly as if the threshold had failed. The
+			// threshold draw above keeps the RNG sequence identical to an
+			// unpruned run.
+			if r.opts.PruneVerify {
+				r.eng.Begin(&r.jr)
+				if r.kind.OfState(r.eng, math.Inf(1)) == 0 {
+					r.stats.PruneUnsound++
+				}
+				r.eng.Abort()
+			}
+			r.cur.Rollback()
+			if r.opts.StateHook != nil {
+				r.opts.StateHook(r.cur)
+			}
+			return false
+		}
+		r.stats.Evaluated++
 		r.eng.Begin(&r.jr)
 		c := r.kind.OfState(r.eng, bound)
 		if c <= bound {
@@ -439,6 +493,25 @@ func (r *Run) rejectRevisit(c float64, p *prog.Program) bool {
 		return false
 	}
 	return r.dedup.Visited(p, eff)
+}
+
+// pruned reports whether proposal p is provably unable to match the
+// example set (Options.Prune), bumping the prune counters. With
+// pruning off this is a nil check and the counters stay zero, so the
+// off path is bit-identical to the pre-knob search; the pruner itself
+// never draws from the random stream. The increments are shared by
+// both iteration paths, keeping the differential fuzz test's stats
+// comparison exact.
+func (r *Run) pruned(p *prog.Program) bool {
+	if r.pruner == nil {
+		return false
+	}
+	r.stats.PruneChecked++
+	if !r.pruner.Rejects(p) {
+		return false
+	}
+	r.stats.PruneRejected++
+	return true
 }
 
 // accept performs the post-acceptance bookkeeping shared by both
@@ -523,6 +596,15 @@ func (r *Run) publish() {
 		if d := r.stats.Accepted[i] - r.obsStats.Accepted[i]; d > 0 {
 			h.AcceptedFor(i).Add(float64(d))
 		}
+	}
+	if d := r.stats.PruneChecked - r.obsStats.PruneChecked; d > 0 {
+		h.PruneChecked.Add(float64(d))
+	}
+	if d := r.stats.PruneRejected - r.obsStats.PruneRejected; d > 0 {
+		h.PruneRejected.Add(float64(d))
+	}
+	if d := r.stats.PruneUnsound - r.obsStats.PruneUnsound; d > 0 {
+		h.PruneUnsound.Add(float64(d))
 	}
 	r.obsStats = r.stats
 	if r.eng != nil {

@@ -117,9 +117,14 @@ func hashJob(version string, cases []stochsyn.Case, numInputs int, o stochsyn.Op
 	writeU64(uint64(o.Budget))
 	writeStr(string(o.Dialect))
 	writeU64(o.Seed)
-	// EqSat deliberately changes the search trajectory (unlike Workers
-	// and Obs), so it must fragment the cache.
+	// EqSat and Prune deliberately change the search trajectory (unlike
+	// Workers and Obs), so they must fragment the cache.
 	if o.EqSat {
+		writeU64(1)
+	} else {
+		writeU64(0)
+	}
+	if o.Prune {
 		writeU64(1)
 	} else {
 		writeU64(0)

@@ -218,6 +218,7 @@ func (j *job) snapshot() JobView {
 			Seed:       j.result.Seed,
 			DurationMS: float64(j.result.Duration) / float64(time.Millisecond),
 			Lint:       j.result.Lint,
+			Facts:      j.result.Facts,
 			Canonical:  j.result.Canonical,
 		}
 		if j.result.CanonicalHash != 0 {
@@ -267,6 +268,10 @@ type ResultView struct {
 	// foldable constants, algebraic identities, dead inputs (see
 	// internal/prog/analysis).
 	Lint []string `json:"lint,omitempty"`
+	// Facts holds the abstract-interpretation facts (known bits and
+	// value intervals, per node) derived for the solved program from
+	// the job's example inputs (see internal/prog/analysis/absint).
+	Facts []string `json:"facts,omitempty"`
 	// Canonical is the canonicalized equivalent of Program (folded,
 	// simplified, deduplicated, renumbered).
 	Canonical string `json:"canonical,omitempty"`

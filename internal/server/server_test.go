@@ -499,6 +499,63 @@ func TestEqSatCacheHit(t *testing.T) {
 	}
 }
 
+// TestPruneJobExportsFacts runs a prune-enabled job end to end: the
+// search must still solve the problem, the result view must carry the
+// per-node abstract facts derived from the example inputs, and the
+// stochsyn_prune_* series must show proposals actually being checked —
+// with the unsound-check audit counter at zero.
+func TestPruneJobExportsFacts(t *testing.T) {
+	ctx := context.Background()
+	srv, ts, c := newTestServer(t, server.Config{Workers: 2, WorkerBudget: 4, CacheSize: 8})
+	defer ts.Close()
+	defer srv.Close()
+
+	spec := server.JobSpec{
+		Problem: server.ProblemSpec{Expr: "andq(x, subq(x, 1))", Inputs: 1, NumCases: 60, CaseSeed: 7},
+		Options: server.OptionsSpec{Budget: 8_000_000, Seed: 3, Prune: true},
+	}
+	v, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	fv, err := c.Wait(wctx, v.ID, 0)
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.Status != server.StatusCompleted || fv.Result == nil || !fv.Result.Solved {
+		t.Fatalf("prune job: %+v", fv)
+	}
+	if len(fv.Result.Facts) == 0 {
+		t.Errorf("prune job result carries no abstract facts: %+v", fv.Result)
+	}
+	for _, f := range fv.Result.Facts {
+		if !strings.Contains(f, "node ") {
+			t.Errorf("fact %q not in per-node form", f)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	if strings.Contains(metrics, "stochsyn_prune_checked_total 0\n") ||
+		!strings.Contains(metrics, "stochsyn_prune_checked_total") {
+		t.Errorf("/metrics missing nonzero stochsyn_prune_checked_total:\n%s", metrics)
+	}
+	if strings.Contains(metrics, "stochsyn_prune_unsound_check_total") &&
+		!strings.Contains(metrics, "stochsyn_prune_unsound_check_total 0") {
+		t.Errorf("/metrics reports unsound prune checks:\n%s", metrics)
+	}
+}
+
 // TestSygusJob exercises the third problem source end to end.
 func TestSygusJob(t *testing.T) {
 	ctx := context.Background()

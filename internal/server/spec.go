@@ -83,6 +83,11 @@ type OptionsSpec struct {
 	// Unlike Workers it deliberately changes the search trajectory, so
 	// it participates in every cache key.
 	EqSat bool `json:"eqsat,omitempty"`
+	// Prune enables abstract-interpretation proposal pruning
+	// (stochsyn.Options.Prune). Like EqSat it changes the search
+	// trajectory (pruned proposals are never evaluated), so it
+	// participates in every cache key.
+	Prune bool `json:"prune,omitempty"`
 }
 
 // options converts the wire form to stochsyn.Options.
@@ -97,6 +102,7 @@ func (s OptionsSpec) options() stochsyn.Options {
 		Seed:     s.Seed,
 		Workers:  s.Workers,
 		EqSat:    s.EqSat,
+		Prune:    s.Prune,
 	}
 }
 

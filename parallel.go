@@ -92,6 +92,7 @@ func SynthesizeParallelContext(ctx context.Context, p *Problem, opts Options, wo
 		Redundancy: redundancy,
 		Seed:       o.Seed,
 		Ctx:        sctx,
+		Prune:      o.Prune,
 	})
 	if ctx == nil {
 		ctx = context.Background()
@@ -110,7 +111,7 @@ func SynthesizeParallelContext(ctx context.Context, p *Problem, opts Options, wo
 		if run, ok := res.Winner.(*search.Run); ok {
 			sol := run.Solution()
 			out.Program = sol.String()
-			out.Lint, out.Canonical, out.CanonicalHash = auditSolution(sol, p.suite)
+			out.Lint, out.Facts, out.Canonical, out.CanonicalHash = auditSolution(sol, p.suite)
 		}
 	}
 	return out, nil

@@ -36,6 +36,7 @@ import (
 	"stochsyn/internal/obs"
 	"stochsyn/internal/prog"
 	"stochsyn/internal/prog/analysis"
+	"stochsyn/internal/prog/analysis/absint"
 	"stochsyn/internal/restart"
 	"stochsyn/internal/search"
 	"stochsyn/internal/testcase"
@@ -196,6 +197,18 @@ type Options struct {
 	// sequentially (the shared memo's sampling order must not depend
 	// on worker interleaving), so Workers is ignored when it is set.
 	EqSat bool
+	// Prune enables abstract-interpretation proposal pruning
+	// (internal/prog/analysis/absint): each valid proposal is first run
+	// through a forward known-bits + interval dataflow pass under facts
+	// derived from the problem's example inputs, and proposals whose
+	// abstract output provably cannot equal some example output are
+	// rejected without a concrete evaluation. Rejection is sound (a
+	// proof of a miss), but skipping evaluations deliberately changes
+	// the search trajectory, exactly like EqSat — so the flag
+	// participates in result-cache keys, and with Prune false (the
+	// default) results are bit-identical to builds that predate the
+	// knob (the oracle tables pin this).
+	Prune bool
 	// Obs, when non-nil, attaches the observability sink (metrics
 	// registry and event tracer, see internal/obs) to the run: the
 	// search loop and the restart strategy publish stochsyn_* series
@@ -252,6 +265,12 @@ type Result struct {
 	// semantic cache key under which structurally different but
 	// equivalent programs collide. Zero when not solved.
 	CanonicalHash uint64
+	// Facts holds the non-trivial abstract-interpretation facts of the
+	// solution's nodes (known bits and value ranges, computed under the
+	// problem's example inputs), one rendered line per node. Like Lint
+	// it is produced strictly after the search finishes. Empty when
+	// nothing non-trivial is known or the problem was not solved.
+	Facts []string
 }
 
 // normalize validates o and fills in defaults. Every validation
@@ -374,6 +393,7 @@ func SynthesizeContext(ctx context.Context, p *Problem, opts Options) (Result, e
 		Seed:       o.Seed,
 		Ctx:        sctx,
 		EqSat:      dedup,
+		Prune:      o.Prune,
 	}
 	if o.Obs != nil {
 		sopts.Obs = search.NewObsHooks(o.Obs.Reg, o.Obs.Tracer)
@@ -412,7 +432,7 @@ func SynthesizeContext(ctx context.Context, p *Problem, opts Options) (Result, e
 		if run, ok := res.Winner.(*search.Run); ok {
 			sol := run.Solution()
 			out.Program = sol.String()
-			out.Lint, out.Canonical, out.CanonicalHash = auditSolution(sol, p.suite)
+			out.Lint, out.Facts, out.Canonical, out.CanonicalHash = auditSolution(sol, p.suite)
 		}
 	}
 	return out, nil
@@ -425,7 +445,7 @@ func SynthesizeContext(ctx context.Context, p *Problem, opts Options) (Result, e
 // ever failed to match (a rewrite-rule bug), the raw solution is
 // reported as its own canonical form along with a finding, rather
 // than surfacing a wrong program.
-func auditSolution(sol *prog.Program, suite *testcase.Suite) (lint []string, canonical string, hash uint64) {
+func auditSolution(sol *prog.Program, suite *testcase.Suite) (lint, facts []string, canonical string, hash uint64) {
 	report := analysis.Run(sol)
 	canon := analysis.Canonicalize(sol)
 	var vals [prog.MaxNodes]uint64
@@ -436,7 +456,8 @@ func auditSolution(sol *prog.Program, suite *testcase.Suite) (lint []string, can
 	if !report.Empty() {
 		lint = report.Strings()
 	}
-	return lint, canon.String(), analysis.Hash(canon)
+	facts = absint.Describe(sol, absint.Analyze(sol, absint.InputFacts(suite), nil))
+	return lint, facts, canon.String(), analysis.Hash(canon)
 }
 
 // strategy resolves the normalized options to a restart strategy,
@@ -477,10 +498,14 @@ func flushEqSatStats(o *obs.Obs, st eqsat.DedupStats) {
 	reg.Counter("stochsyn_eqsat_plateau_hits_total").Add(float64(st.Hits))
 	reg.Counter("stochsyn_eqsat_seeds_total").Add(float64(st.Seeds))
 	reg.Counter("stochsyn_eqsat_seed_dups_total").Add(float64(st.SeedDups))
+	reg.Counter("stochsyn_eqsat_fact_consts_total").Add(float64(st.EqSat.FactConsts))
+	reg.Counter("stochsyn_eqsat_fact_conflicts_total").Add(float64(st.EqSat.FactConflicts))
+	reg.Counter("stochsyn_eqsat_empty_classes_total").Add(float64(st.EqSat.EmptyClasses))
 	o.Trace().Emit("eqsat_stats", map[string]any{
 		"checks": st.Checks, "hits": st.Hits,
 		"seeds": st.Seeds, "seed_dups": st.SeedDups,
 		"saturations": st.EqSat.Saturations, "merges": st.EqSat.Merges,
+		"fact_consts": st.EqSat.FactConsts, "fact_conflicts": st.EqSat.FactConflicts,
 	})
 }
 
