@@ -24,25 +24,62 @@ type evalCase struct {
 
 	LegacyItersPerSec float64 `json:"legacy_iters_per_sec"`
 	EngineItersPerSec float64 `json:"engine_iters_per_sec"`
-	Speedup           float64 `json:"speedup"`
+	PlanItersPerSec   float64 `json:"plan_iters_per_sec"`
+	EngineSpeedup     float64 `json:"engine_speedup"`
+	PlanSpeedup       float64 `json:"plan_speedup"`
+	PlanVsEngine      float64 `json:"plan_vs_engine"`
 	NodeReuseRate     float64 `json:"node_reuse_rate"`
 	CaseSkipRate      float64 `json:"case_skip_rate"`
 }
 
 // evalReport is the BENCH_eval.json payload.
 type evalReport struct {
-	Date          string      `json:"date"`
-	Budget        int64       `json:"budget_per_path"`
-	Seed          uint64      `json:"seed"`
-	Rows          []*evalCase `json:"rows"`
-	GeomeanSpeedF float64     `json:"geomean_speedup"`
+	Date                 string      `json:"date"`
+	Budget               int64       `json:"budget_per_path"`
+	Seed                 uint64      `json:"seed"`
+	Rows                 []*evalCase `json:"rows"`
+	GeomeanEngineSpeedup float64     `json:"geomean_engine_speedup"`
+	GeomeanPlanSpeedup   float64     `json:"geomean_plan_speedup"`
+	GeomeanPlanVsEngine  float64     `json:"geomean_plan_vs_engine"`
 }
 
-// runEval compares the incremental evaluation engine against the
-// legacy copy-based path on the standing benchmark problems: same
-// seed, same options, so both paths walk the identical (bit-equal)
-// trajectory and the measurement isolates evaluation cost. The report
-// is printed and written to BENCH_eval.json.
+// evalArm selects which evaluation path measureEval drives.
+type evalArm uint8
+
+const (
+	armLegacy evalArm = iota // copy-based per-case tree walk
+	armEngine                // interpreted incremental engine
+	armPlan                  // compiled plan engine (the default path)
+)
+
+func (a evalArm) String() string {
+	switch a {
+	case armLegacy:
+		return "legacy"
+	case armEngine:
+		return "engine"
+	}
+	return "plan"
+}
+
+// evalPrint is the trajectory fingerprint of one measured path: the
+// restart count plus the cumulative evaluation-work counters. Two runs
+// of the same arm must reproduce it exactly, and the engine and plan
+// arms must agree with each other — the three paths are required to
+// walk bit-identical trajectories, so any divergence voids the
+// comparison and the benchmark refuses to write a report.
+type evalPrint struct {
+	restarts uint64
+	stats    prog.EvalStats
+}
+
+// runEval compares the compiled plan engine and the interpreted
+// incremental engine against the legacy copy-based path on the
+// standing benchmark problems: same seed, same options, so all paths
+// walk the identical (bit-equal) trajectory and the measurement
+// isolates evaluation cost. Every row is measured twice per arm; the
+// benchmark aborts if the repeats or the engine/plan fingerprints
+// diverge. The report is printed and written to BENCH_eval.json.
 func runEval(cfg benchConfig) {
 	rows := []*evalCase{
 		{Name: "searchloop", Expr: "mulq(mulq(x, x), addq(x, y))", Inputs: 2, Cases: 50},
@@ -51,17 +88,18 @@ func runEval(cfg benchConfig) {
 		{Name: "smallsuite", Expr: "xorq(x, shrq(x, 1))", Inputs: 1, Cases: 16},
 	}
 	budget := cfg.budget
-	fmt.Printf("incremental-eval engine vs legacy copy-based path (budget=%d per row, seed=%d)\n",
+	fmt.Printf("plan + incremental engines vs legacy copy-based path (budget=%d per row, seed=%d)\n",
 		budget, cfg.seed)
-	fmt.Printf("%-12s %6s %6s  %12s %12s %8s  %8s %8s\n",
-		"problem", "inputs", "cases", "legacy it/s", "engine it/s", "speedup", "reuse", "skip")
+	fmt.Printf("%-12s %6s %6s  %11s %11s %11s %7s %7s %7s  %7s %7s\n",
+		"problem", "inputs", "cases", "legacy it/s", "engine it/s", "plan it/s",
+		"eng/leg", "pln/leg", "pln/eng", "reuse", "skip")
 	report := evalReport{
 		Date:   time.Now().UTC().Format(time.RFC3339),
 		Budget: budget,
 		Seed:   cfg.seed,
 		Rows:   rows,
 	}
-	logSum, n := 0.0, 0
+	logEng, logPlan, logPvE, n := 0.0, 0.0, 0.0, 0
 	for _, row := range rows {
 		ref := prog.MustParse(row.Expr, row.Inputs)
 		rng := rand.New(rand.NewPCG(cfg.seed, 0xda7a5e7))
@@ -69,25 +107,45 @@ func runEval(cfg benchConfig) {
 			row.Inputs, row.Cases, rng)
 		opts := search.Options{Set: prog.FullSet, Cost: cost.Hamming, Beta: 1, Seed: cfg.seed}
 
-		row.LegacyItersPerSec = measureEval(suite, opts, budget, true, nil)
-		var stats prog.EvalStats
-		row.EngineItersPerSec = measureEval(suite, opts, budget, false, &stats)
-		row.Speedup = row.EngineItersPerSec / row.LegacyItersPerSec
+		var prints [3]evalPrint
+		row.LegacyItersPerSec = measureTwice(row.Name, suite, opts, budget, armLegacy, &prints[armLegacy])
+		row.EngineItersPerSec = measureTwice(row.Name, suite, opts, budget, armEngine, &prints[armEngine])
+		row.PlanItersPerSec = measureTwice(row.Name, suite, opts, budget, armPlan, &prints[armPlan])
+		// The legacy arm reports no eval-work counters, but its restart
+		// count must still match: all three arms replay one trajectory.
+		if prints[armLegacy].restarts != prints[armPlan].restarts {
+			fatal(fmt.Errorf("bench eval: %s: legacy walked %d restarts, plan %d — trajectories diverged",
+				row.Name, prints[armLegacy].restarts, prints[armPlan].restarts))
+		}
+		if prints[armEngine] != prints[armPlan] {
+			fatal(fmt.Errorf("bench eval: %s: engine and plan fingerprints diverged\nengine: %+v\nplan:   %+v",
+				row.Name, prints[armEngine], prints[armPlan]))
+		}
+		row.EngineSpeedup = row.EngineItersPerSec / row.LegacyItersPerSec
+		row.PlanSpeedup = row.PlanItersPerSec / row.LegacyItersPerSec
+		row.PlanVsEngine = row.PlanItersPerSec / row.EngineItersPerSec
+		stats := prints[armPlan].stats
 		if stats.NodesTotal > 0 {
 			row.NodeReuseRate = 1 - float64(stats.NodesReevaluated)/float64(stats.NodesTotal)
 		}
 		if stats.CasesTotal > 0 {
 			row.CaseSkipRate = 1 - float64(stats.CasesEvaluated)/float64(stats.CasesTotal)
 		}
-		logSum += math.Log(row.Speedup)
+		logEng += math.Log(row.EngineSpeedup)
+		logPlan += math.Log(row.PlanSpeedup)
+		logPvE += math.Log(row.PlanVsEngine)
 		n++
-		fmt.Printf("%-12s %6d %6d  %12.0f %12.0f %7.2fx  %7.1f%% %7.1f%%\n",
+		fmt.Printf("%-12s %6d %6d  %11.0f %11.0f %11.0f %6.2fx %6.2fx %6.2fx  %6.1f%% %6.1f%%\n",
 			row.Name, row.Inputs, row.Cases,
-			row.LegacyItersPerSec, row.EngineItersPerSec, row.Speedup,
+			row.LegacyItersPerSec, row.EngineItersPerSec, row.PlanItersPerSec,
+			row.EngineSpeedup, row.PlanSpeedup, row.PlanVsEngine,
 			100*row.NodeReuseRate, 100*row.CaseSkipRate)
 	}
-	report.GeomeanSpeedF = math.Exp(logSum / float64(n))
-	fmt.Printf("geomean speedup: %.2fx\n", report.GeomeanSpeedF)
+	report.GeomeanEngineSpeedup = math.Exp(logEng / float64(n))
+	report.GeomeanPlanSpeedup = math.Exp(logPlan / float64(n))
+	report.GeomeanPlanVsEngine = math.Exp(logPvE / float64(n))
+	fmt.Printf("geomean speedup: engine %.2fx, plan %.2fx (plan vs engine %.2fx)\n",
+		report.GeomeanEngineSpeedup, report.GeomeanPlanSpeedup, report.GeomeanPlanVsEngine)
 
 	f, err := os.Create("BENCH_eval.json")
 	if err != nil {
@@ -102,26 +160,42 @@ func runEval(cfg benchConfig) {
 	fmt.Println("wrote BENCH_eval.json")
 }
 
-// measureEval times one search trajectory and returns iterations/sec.
-// Solved runs restart with a fresh (reseeded) run until the budget is
-// consumed, so both paths do identical logical work for a fair clock.
-func measureEval(suite *testcase.Suite, opts search.Options, budget int64, legacy bool, stats *prog.EvalStats) float64 {
-	opts.LegacyEval = legacy
+// measureTwice runs measureEval twice and checks the two passes
+// produce the same trajectory fingerprint; a mismatch means the path
+// is nondeterministic and the measurement is meaningless, so the
+// benchmark aborts. The reported rate is the faster of the two passes
+// (both passes do identical logical work, so taking the better clock
+// only sheds scheduler noise).
+func measureTwice(name string, suite *testcase.Suite, opts search.Options, budget int64, arm evalArm, out *evalPrint) float64 {
+	r1 := measureEval(suite, opts, budget, arm, out)
+	var second evalPrint
+	r2 := measureEval(suite, opts, budget, arm, &second)
+	if *out != second {
+		fatal(fmt.Errorf("bench eval: %s: %s arm diverged between repeat runs\nfirst:  %+v\nsecond: %+v",
+			name, arm, *out, second))
+	}
+	return math.Max(r1, r2)
+}
+
+// measureEval times one search trajectory and returns iterations/sec,
+// recording the trajectory fingerprint into print. Solved runs restart
+// with a fresh (reseeded) run until the budget is consumed, so all
+// paths do identical logical work for a fair clock.
+func measureEval(suite *testcase.Suite, opts search.Options, budget int64, arm evalArm, print *evalPrint) float64 {
+	opts.LegacyEval = arm == armLegacy
+	opts.InterpEval = arm == armEngine
 	var done int64
-	reseed := uint64(0)
+	*print = evalPrint{}
 	// flush folds the current run's cumulative engine stats into the
-	// caller's accumulator. EvalStats is cumulative per Run, so it is
-	// sampled exactly once per run: just before reseeding, and after
-	// the budget is exhausted.
+	// fingerprint. EvalStats is cumulative per Run, so it is sampled
+	// exactly once per run: just before reseeding, and after the budget
+	// is exhausted.
 	flush := func(r *search.Run) {
-		if stats == nil {
-			return
-		}
 		s := r.EvalStats()
-		stats.NodesReevaluated += s.NodesReevaluated
-		stats.NodesTotal += s.NodesTotal
-		stats.CasesEvaluated += s.CasesEvaluated
-		stats.CasesTotal += s.CasesTotal
+		print.stats.NodesReevaluated += s.NodesReevaluated
+		print.stats.NodesTotal += s.NodesTotal
+		print.stats.CasesEvaluated += s.CasesEvaluated
+		print.stats.CasesTotal += s.CasesTotal
 	}
 	start := time.Now()
 	r := search.New(suite, opts)
@@ -130,9 +204,9 @@ func measureEval(suite *testcase.Suite, opts search.Options, budget int64, legac
 		done += used
 		if solved && done < budget {
 			flush(r)
-			reseed++
+			print.restarts++
 			o := opts
-			o.Seed = opts.Seed + reseed*0x9e3779b97f4a7c15
+			o.Seed = opts.Seed + print.restarts*0x9e3779b97f4a7c15
 			r = search.New(suite, o)
 		}
 	}

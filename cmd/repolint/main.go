@@ -53,6 +53,14 @@
 //     literals by element signature, so renaming the variables cannot
 //     silently retire it.
 //
+//  6. plan: every prog.Op constant must appear as an explicit key in
+//     the plan compiler's fusion table (internal/prog/plan, the
+//     [prog.NumOps]Kernels array). As with check 5, a missing row is a
+//     nil kernel that panics only when the opcode is first compiled;
+//     pseudo-ops and ops lowered through the generic fill/copy kernels
+//     must take the zero Kernels row deliberately. Tables are again
+//     classified by element signature, not variable name.
+//
 // Usage:
 //
 //	repolint [-dir module-root]
@@ -168,6 +176,13 @@ func run(dir string, out io.Writer) (int, error) {
 		findings = append(findings, collectRuleNames(fset, tp, modPath, ruleNames)...)
 		if p.importPath == modPath+"/internal/prog/analysis/absint" {
 			fs, err := checkAbsintTables(ld, tp, modPath)
+			if err != nil {
+				return 0, err
+			}
+			findings = append(findings, fs...)
+		}
+		if p.importPath == modPath+"/internal/prog/plan" {
+			fs, err := checkPlanTable(ld, tp, modPath)
 			if err != nil {
 				return 0, err
 			}
@@ -557,17 +572,18 @@ func checkEvalContainment(fset *token.FileSet, tp *typedPkg, modPath, importPath
 	return findings
 }
 
-// checkAbsintTables enforces check 5: every prog.Op constant appears
-// as an explicit key in both abstract-domain transfer tables. Table
-// composite literals are identified by element signature (an array of
-// BitsTransfer or SpanTransfer declared in the absint package), not by
-// variable name, and keys are resolved through the type-checker, so
-// neither renaming a table nor spelling a key through an alias evades
-// the check.
-func checkAbsintTables(ld *loader, tp *typedPkg, modPath string) ([]string, error) {
+// opKeyedTables is the shared machinery of the table-totality checks
+// (5 and 6): it returns the sorted exported prog.Op constant names and,
+// for each requested element type name, the set of opcode names that
+// appear as explicit keys in some [...]Elem array composite literal of
+// tp. Tables are identified by element signature, not by variable
+// name, and keys are resolved through the type-checker, so neither
+// renaming a table nor spelling a key through an alias evades a check
+// built on this.
+func opKeyedTables(ld *loader, tp *typedPkg, modPath string, elems ...string) ([]string, map[string]map[string]bool, error) {
 	progPkg, err := ld.load(modPath + "/internal/prog")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	isOp := func(t types.Type) bool {
 		named, ok := t.(*types.Named)
@@ -586,6 +602,10 @@ func checkAbsintTables(ld *loader, tp *typedPkg, modPath string) ([]string, erro
 	}
 	sort.Strings(ops)
 
+	wanted := map[string]bool{}
+	for _, e := range elems {
+		wanted[e] = true
+	}
 	// Element type name → set of opcode names keyed in that table.
 	tables := map[string]map[string]bool{}
 	for _, f := range tp.files {
@@ -607,7 +627,7 @@ func checkAbsintTables(ld *loader, tp *typedPkg, modPath string) ([]string, erro
 				return true
 			}
 			en := elem.Obj().Name()
-			if en != "BitsTransfer" && en != "SpanTransfer" {
+			if !wanted[en] {
 				return true
 			}
 			keys := tables[en]
@@ -636,7 +656,17 @@ func checkAbsintTables(ld *loader, tp *typedPkg, modPath string) ([]string, erro
 			return true
 		})
 	}
+	return ops, tables, nil
+}
 
+// checkAbsintTables enforces check 5: every prog.Op constant appears
+// as an explicit key in both abstract-domain transfer tables (element
+// types BitsTransfer and SpanTransfer).
+func checkAbsintTables(ld *loader, tp *typedPkg, modPath string) ([]string, error) {
+	ops, tables, err := opKeyedTables(ld, tp, modPath, "BitsTransfer", "SpanTransfer")
+	if err != nil {
+		return nil, err
+	}
 	var findings []string
 	for _, tbl := range []string{"BitsTransfer", "SpanTransfer"} {
 		keys, ok := tables[tbl]
@@ -651,6 +681,35 @@ func checkAbsintTables(ld *loader, tp *typedPkg, modPath string) ([]string, erro
 					"internal/prog/analysis/absint: prog.%s missing from the %s table; every opcode needs an explicit entry in both domains (register topB/topS deliberately — see cmd/repolint check 5)",
 					op, tbl))
 			}
+		}
+	}
+	return findings, nil
+}
+
+// checkPlanTable enforces check 6: every prog.Op constant appears as
+// an explicit key in the plan compiler's fusion table (the
+// [prog.NumOps]Kernels array of internal/prog/plan). A missing row is
+// a nil kernel that panics only when the new opcode is first compiled
+// into a plan; ops with no kernels of their own (pseudo-ops, ops the
+// compiler lowers through the fill/copy kernels) must take the zero
+// Kernels row deliberately.
+func checkPlanTable(ld *loader, tp *typedPkg, modPath string) ([]string, error) {
+	ops, tables, err := opKeyedTables(ld, tp, modPath, "Kernels")
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	keys, ok := tables["Kernels"]
+	if !ok {
+		findings = append(findings, fmt.Sprintf(
+			"internal/prog/plan: no fusion table with element type Kernels found (see cmd/repolint check 6)"))
+		return findings, nil
+	}
+	for _, op := range ops {
+		if !keys[op] {
+			findings = append(findings, fmt.Sprintf(
+				"internal/prog/plan: prog.%s missing from the Kernels fusion table; every opcode needs an explicit row (pseudo-ops take the zero row deliberately — see cmd/repolint check 6)",
+				op))
 		}
 	}
 	return findings, nil

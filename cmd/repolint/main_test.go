@@ -256,6 +256,62 @@ var _ = spanTable
 	}
 }
 
+// TestPlanTableTotality exercises check 6 on a shrunken stand-in: the
+// fake prog package declares three opcodes, but the plan package's
+// fusion table covers only two — the missing row must be reported, and
+// an explicit zero row (OpInvalid's) must count as covered.
+func TestPlanTableTotality(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":              "module fakemod\n\ngo 1.22\n",
+		"internal/obs/obs.go": obsSrc,
+		"internal/prog/prog.go": `package prog
+
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+	OpAdd
+	OpSub
+	numOps
+)
+
+const NumOps = int(numOps)
+`,
+		"internal/prog/plan/plan.go": `package plan
+
+import "fakemod/internal/prog"
+
+type kernel func(dst, a, b []uint64, imm uint64, c0, c1 int)
+
+type Kernels struct {
+	VV kernel
+	VI kernel
+	IV kernel
+}
+
+func vvAdd(dst, a, b []uint64, _ uint64, c0, c1 int) {}
+
+var fusion = [prog.NumOps]Kernels{
+	prog.OpInvalid: {},
+	prog.OpAdd:     {VV: vvAdd},
+	// prog.OpSub deliberately missing.
+}
+
+var _ = fusion
+`,
+	})
+	n, out := lint(t, dir)
+	if n != 1 {
+		t.Fatalf("findings = %d, want 1\n%s", n, out)
+	}
+	if !strings.Contains(out, "prog.OpSub missing from the Kernels fusion table") {
+		t.Errorf("output missing the OpSub finding:\n%s", out)
+	}
+	if strings.Contains(out, "OpInvalid") || strings.Contains(out, "OpAdd") {
+		t.Errorf("covered rows wrongly flagged:\n%s", out)
+	}
+}
+
 // TestRepoIsClean pins the acceptance criterion: the linter reports
 // zero findings on this repository itself. make ci runs the same
 // check; this test keeps it enforced under plain go test.

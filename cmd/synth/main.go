@@ -249,6 +249,17 @@ func printRunStats(w io.Writer, o *obs.Obs, res restart.Result, elapsed time.Dur
 			100*(1-nr/nt), 100*(1-ce/ct))
 	}
 
+	// Plan compiler: how the compiled evaluation path got its plans.
+	// Skipped entirely when the run never compiled one (reference
+	// evaluation arms, or a search that solved before its first reset).
+	if pc := o.Reg.Counter("stochsyn_plan_compiles_total").Value(); pc > 0 {
+		ch := o.Reg.Counter("stochsyn_plan_cache_hits_total").Value()
+		pp := o.Reg.Counter("stochsyn_plan_patches_total").Value()
+		pf := o.Reg.Counter("stochsyn_plan_fused_nodes_total").Value()
+		fmt.Fprintf(w, "plan:       %.0f compiles (%.1f%% recipe-cache hits), %.0f patched tape entries, %.0f constant-fused nodes\n",
+			pc, 100*ch/(pc+ch), pp, pf)
+	}
+
 	rows := [][]string{{"move", "proposed", "accepted", "rate"}}
 	for m := 0; m < mutate.NumMoves; m++ {
 		name := mutate.Move(m).String()

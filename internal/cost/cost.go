@@ -11,6 +11,7 @@ import (
 
 	"stochsyn/internal/bits"
 	"stochsyn/internal/prog"
+	"stochsyn/internal/prog/plan"
 	"stochsyn/internal/testcase"
 )
 
@@ -115,13 +116,44 @@ func (k Kind) OfBounded(p *prog.Program, s *testcase.Suite, vals []uint64, bound
 // OfColumn sums the cost over a complete root-value column (one value
 // per suite case, in case order), as produced by the evaluation
 // engine's committed matrix. The summation order matches Of exactly,
-// so the results are bit-equal.
+// so the results are bit-equal. The Kind dispatch is hoisted out of
+// the per-case loop: each arm is PerCase's body applied in the same
+// case order, so hoisting cannot change the float sum.
 func (k Kind) OfColumn(root []uint64, s *testcase.Suite) float64 {
+	cases := s.Cases
 	total := 0.0
-	for i := range s.Cases {
-		total += k.PerCase(root[i], s.Cases[i].Output)
+	switch k {
+	case Hamming:
+		for i := range cases {
+			total += float64(bits.Distance(root[i], cases[i].Output))
+		}
+	case IncorrectTests:
+		for i := range cases {
+			if root[i] != cases[i].Output {
+				total++
+			}
+		}
+	case LogDiff:
+		for i := range cases {
+			total += bits.LogDiff(root[i], cases[i].Output)
+		}
+	default:
+		panic("cost: invalid kind")
 	}
 	return total
+}
+
+// Source is the column producer OfState consumes: an incremental
+// evaluation engine with an active proposal. Both the interpreted
+// engine (prog.EvalState) and the compiled plan engine (plan.State)
+// satisfy it; the cost layer is indifferent to how the root column
+// gets computed as long as blocks arrive in case order.
+type Source interface {
+	// Suite returns the test suite the proposal is evaluated against.
+	Suite() *testcase.Suite
+	// EvalRange computes the proposal for suite cases [c0, c1) and
+	// returns the root values for that range.
+	EvalRange(c0, c1 int) []uint64
 }
 
 // OfState evaluates the engine's active proposal and returns its total
@@ -130,23 +162,135 @@ func (k Kind) OfColumn(root []uint64, s *testcase.Suite) float64 {
 // and bound-checks per case in case order, so the returned total (and
 // the abort decision) is bit-identical to OfBounded on the proposal
 // program. A non-Inf return implies every case block was pulled, which
-// is exactly the precondition of EvalState.Commit.
-func (k Kind) OfState(e *prog.EvalState, bound float64) float64 {
+// is exactly the precondition of the engines' Commit. As in OfColumn,
+// the Kind dispatch runs once per call instead of once per case; the
+// per-arm bodies and summation order are unchanged.
+func (k Kind) OfState(e Source, bound float64) float64 {
 	s := e.Suite()
-	n := s.Len()
+	cases := s.Cases
+	n := len(cases)
 	total := 0.0
-	for c0 := 0; c0 < n; c0 += prog.EvalChunk {
-		c1 := c0 + prog.EvalChunk
-		if c1 > n {
-			c1 = n
+	switch k {
+	case Hamming:
+		for c0 := 0; c0 < n; c0 += prog.EvalChunk {
+			c1 := c0 + prog.EvalChunk
+			if c1 > n {
+				c1 = n
+			}
+			root := e.EvalRange(c0, c1)
+			for i, got := range root {
+				total += float64(bits.Distance(got, cases[c0+i].Output))
+				if total > bound {
+					return inf
+				}
+			}
 		}
-		root := e.EvalRange(c0, c1)
-		for i, got := range root {
-			total += k.PerCase(got, s.Cases[c0+i].Output)
+	case IncorrectTests:
+		for c0 := 0; c0 < n; c0 += prog.EvalChunk {
+			c1 := c0 + prog.EvalChunk
+			if c1 > n {
+				c1 = n
+			}
+			root := e.EvalRange(c0, c1)
+			for i, got := range root {
+				if got != cases[c0+i].Output {
+					total++
+				}
+				if total > bound {
+					return inf
+				}
+			}
+		}
+	case LogDiff:
+		for c0 := 0; c0 < n; c0 += prog.EvalChunk {
+			c1 := c0 + prog.EvalChunk
+			if c1 > n {
+				c1 = n
+			}
+			root := e.EvalRange(c0, c1)
+			for i, got := range root {
+				total += bits.LogDiff(got, cases[c0+i].Output)
+				if total > bound {
+					return inf
+				}
+			}
+		}
+	default:
+		panic("cost: invalid kind")
+	}
+	return total
+}
+
+// OfPlan is OfState specialized to the compiled plan engine: the same
+// chunked pulls, the same per-case summation order, and the same
+// abort decisions, with two plan-only savings. The tape runs through
+// direct calls (no interface dispatch, no per-chunk root reslicing —
+// the root column is resolved once), and the bound check runs once
+// per chunk instead of once per case. Per-case costs are
+// non-negative, so the partial sum is monotone: a sum that crosses
+// bound mid-chunk has still crossed it at the chunk boundary, the
+// same chunks get pulled either way, and the same +Inf comes back.
+// Trajectories and eval-work stats are bit-identical to OfState on
+// the same engine.
+func (k Kind) OfPlan(e *plan.State, bound float64) float64 {
+	cases := e.Suite().Cases
+	n := len(cases)
+	root := e.ProposalRoot()[:n]
+	total := 0.0
+	switch k {
+	case Hamming:
+		// Per-case distances are small integers, so accumulating them in
+		// an int and converting once per chunk is exact (every partial
+		// sum is far below 2^53) and bit-identical to the per-case
+		// float adds of OfState — it just trades EvalChunk int→float
+		// conversions and float adds for integer adds.
+		d := 0
+		for c0 := 0; c0 < n; c0 += prog.EvalChunk {
+			c1 := c0 + prog.EvalChunk
+			if c1 > n {
+				c1 = n
+			}
+			e.RunTape(c0, c1)
+			for c := c0; c < c1; c++ {
+				d += bits.Distance(root[c], cases[c].Output)
+			}
+			if total = float64(d); total > bound {
+				return inf
+			}
+		}
+	case IncorrectTests:
+		d := 0
+		for c0 := 0; c0 < n; c0 += prog.EvalChunk {
+			c1 := c0 + prog.EvalChunk
+			if c1 > n {
+				c1 = n
+			}
+			e.RunTape(c0, c1)
+			for c := c0; c < c1; c++ {
+				if root[c] != cases[c].Output {
+					d++
+				}
+			}
+			if total = float64(d); total > bound {
+				return inf
+			}
+		}
+	case LogDiff:
+		for c0 := 0; c0 < n; c0 += prog.EvalChunk {
+			c1 := c0 + prog.EvalChunk
+			if c1 > n {
+				c1 = n
+			}
+			e.RunTape(c0, c1)
+			for c := c0; c < c1; c++ {
+				total += bits.LogDiff(root[c], cases[c].Output)
+			}
 			if total > bound {
 				return inf
 			}
 		}
+	default:
+		panic("cost: invalid kind")
 	}
 	return total
 }

@@ -19,6 +19,7 @@
 package mutate
 
 import (
+	"math/bits"
 	"math/rand/v2"
 
 	"stochsyn/internal/prog"
@@ -65,7 +66,7 @@ type Mutator struct {
 	// es, when bound (BindEval), serves the redundancy move's
 	// signature probes from the engine's committed value columns
 	// instead of re-evaluating the program per probe. Optional.
-	es *prog.EvalState
+	es Eval
 
 	// cum holds the cumulative move-selection distribution aligned
 	// with moves; nil means uniform.
@@ -98,13 +99,26 @@ func New(set *prog.OpSet, suite *testcase.Suite, redundancy bool) *Mutator {
 // Moves returns the enabled move types.
 func (m *Mutator) Moves() []Move { return m.moves }
 
+// Eval is the committed-value-matrix view the redundancy move reads
+// its signature probes from. Both the interpreted engine
+// (prog.EvalState) and the compiled plan engine (plan.State) satisfy
+// it.
+type Eval interface {
+	// Program returns the program the committed columns describe.
+	Program() *prog.Program
+	// CaseValues writes the committed value of every program node on
+	// suite case c into dst.
+	CaseValues(c int, dst []uint64)
+}
+
 // BindEval attaches the incremental evaluation engine whose committed
 // columns describe the programs this mutator will be applied to. The
 // redundancy move then reads its signature probes straight from the
 // value matrix — the values are identical to a fresh evaluation, so
 // binding never changes proposals, only their cost. Pass nil to detach
-// (the legacy reference path evaluates per probe).
-func (m *Mutator) BindEval(es *prog.EvalState) { m.es = es }
+// (the legacy reference path evaluates per probe); callers must pass
+// an untyped nil, never a nil concrete engine pointer.
+func (m *Mutator) BindEval(es Eval) { m.es = es }
 
 // SetWeights installs a non-uniform move-selection distribution (the
 // paper uses uniform; STOKE-style implementations expose this as a
@@ -187,10 +201,7 @@ type slot struct {
 // randomSlot picks a uniformly random argument slot including the root
 // slot. There is always at least one slot (the root).
 func randomSlot(p *prog.Program, rng *rand.Rand) slot {
-	total := 1 // root slot
-	for i := range p.Nodes {
-		total += p.Nodes[i].Op.Arity()
-	}
+	total := 1 + p.ArityTotal() // arg slots plus the root slot
 	k := rng.IntN(total)
 	if k == 0 {
 		return slot{node: -1}
@@ -218,26 +229,29 @@ func setSlot(p *prog.Program, s slot, v int32) {
 	p.GC()
 }
 
-// validTargets appends to dst the indices of nodes that the slot may
+// validTargetMask returns the bitmask of nodes that the slot may
 // point at without creating a cycle: for the root slot every node; for
-// an argument slot of node u, every node from which u is unreachable.
-// The ancestor set of u is computed once as a bitmask (one pass over
-// the topological order) rather than one reachability DFS per node;
-// the resulting target list is identical, in the same index order.
-func validTargets(p *prog.Program, s slot, dst []int32) []int32 {
+// an argument slot of node u, every node from which u is unreachable —
+// the complement of u's ancestor mask. Moves draw uniformly from the
+// mask via nthSetBit; because set bits enumerate in ascending index
+// order, the selection matches indexing the old sorted target slice
+// exactly, with the same RNG draws.
+func validTargetMask(p *prog.Program, s slot) uint64 {
+	all := uint64(1)<<uint(len(p.Nodes)) - 1
 	if s.node < 0 {
-		for i := range p.Nodes {
-			dst = append(dst, int32(i))
-		}
-		return dst
+		return all
 	}
-	anc := p.Ancestors(s.node)
-	for i := range p.Nodes {
-		if anc&(uint64(1)<<uint(i)) == 0 {
-			dst = append(dst, int32(i))
-		}
+	return all &^ p.Ancestors(s.node)
+}
+
+// nthSetBit returns the index of the k-th set bit of mask (k zero-
+// based, counting from the least significant bit). mask must have more
+// than k bits set.
+func nthSetBit(mask uint64, k int) int32 {
+	for ; k > 0; k-- {
+		mask &= mask - 1
 	}
-	return dst
+	return int32(bits.TrailingZeros64(mask))
 }
 
 // instruction implements the instruction move.
@@ -245,8 +259,8 @@ func (m *Mutator) instruction(p *prog.Program, rng *rand.Rand) bool {
 	s := randomSlot(p, rng)
 	op := m.set.RandomOp(rng)
 
-	var targets [prog.MaxNodes]int32
-	valid := validTargets(p, s, targets[:0])
+	valid := validTargetMask(p, s)
+	nvalid := bits.OnesCount64(valid)
 
 	// Build the new node, materializing constants as needed. Each
 	// argument independently chooses between a random existing node
@@ -255,8 +269,8 @@ func (m *Mutator) instruction(p *prog.Program, rng *rand.Rand) bool {
 	var consts [prog.MaxArity]uint64
 	nconsts := 0
 	for a := 0; a < op.Arity(); a++ {
-		if len(valid) > 0 && rng.IntN(2) == 0 {
-			newNode.Args[a] = valid[rng.IntN(len(valid))]
+		if nvalid > 0 && rng.IntN(2) == 0 {
+			newNode.Args[a] = nthSetBit(valid, rng.IntN(nvalid))
 		} else {
 			newNode.Args[a] = int32(len(p.Nodes) + 1 + nconsts) // placeholder past new node
 			consts[nconsts] = m.set.RandomConst(rng)
@@ -300,12 +314,12 @@ func (m *Mutator) opcode(p *prog.Program, rng *rand.Rand) bool {
 // operand implements the operand move.
 func (m *Mutator) operand(p *prog.Program, rng *rand.Rand) bool {
 	s := randomSlot(p, rng)
-	var targets [prog.MaxNodes]int32
-	valid := validTargets(p, s, targets[:0])
-	if len(valid) == 0 {
+	valid := validTargetMask(p, s)
+	nvalid := bits.OnesCount64(valid)
+	if nvalid == 0 {
 		return false
 	}
-	setSlot(p, s, valid[rng.IntN(len(valid))])
+	setSlot(p, s, nthSetBit(valid, rng.IntN(nvalid)))
 	return true
 }
 

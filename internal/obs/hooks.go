@@ -46,6 +46,19 @@ type SearchHooks struct {
 	EvalNodesTotal       *Counter
 	EvalCasesEvaluated   *Counter
 	EvalCasesTotal       *Counter
+	// PlanCompiles and PlanCacheHits count, respectively, full tape
+	// compiles the plan engine performed and the full compiles it
+	// avoided by re-binding a cached recipe (restarts and checkpoint
+	// restores re-seed from previously seen shapes constantly).
+	// PlanPatches counts dirty tape entries re-lowered incrementally
+	// across proposals, and PlanFusedNodes counts nodes lowered to a
+	// fused form (constant-folded whole or an immediate-operand kernel
+	// variant). All four stay at zero unless the compiled plan engine
+	// is in use (the default; see search.Options.InterpEval).
+	PlanCompiles   *Counter
+	PlanCacheHits  *Counter
+	PlanPatches    *Counter
+	PlanFusedNodes *Counter
 	// PruneChecked and PruneRejected count abstract-interpretation
 	// prune probes and the proposals they rejected before evaluation;
 	// PruneUnsound counts rejections the concrete re-check disproved

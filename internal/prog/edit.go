@@ -61,6 +61,12 @@ type Journal struct {
 	savedOrder    [MaxNodes]int32
 	savedOrderLen int
 	savedOrderOK  bool
+
+	// savedAritySum snapshots the arity-sum cache at BeginEdit;
+	// Rollback restores it (the restored program is exactly the
+	// pre-edit one, for which the snapshot is exact).
+	savedAritySum   int
+	savedAritySumOK bool
 }
 
 // BeginEdit attaches j to p and resets it. Subsequent journaling
@@ -79,6 +85,8 @@ func (p *Program) BeginEdit(j *Journal) {
 	if p.orderOK {
 		j.savedOrderLen = copy(j.savedOrder[:], p.order)
 	}
+	j.savedAritySum = p.aritySum
+	j.savedAritySumOK = p.aritySumOK
 	p.jr = j
 }
 
@@ -101,6 +109,11 @@ func (j *Journal) Mutated(p *Program) bool {
 // Dirty returns the bitmask, over current node indices, of nodes whose
 // values may differ from the pre-edit program.
 func (j *Journal) Dirty() uint32 { return j.dirty }
+
+// Compacted reports whether a GC compaction ran during the edit, i.e.
+// whether Src is a non-identity renumbering that commit-side column
+// consumers must re-home through.
+func (j *Journal) Compacted() bool { return j.compacted }
 
 // Src maps a current node index to its pre-edit index, or -1 for a
 // node appended during the edit.
@@ -127,6 +140,40 @@ func (p *Program) Rollback() {
 	if !j.Mutated(p) {
 		return
 	}
+	if j.compacted {
+		// The masks (if any) describe the compacted numbering, which
+		// the restore is about to undo; there is no cheap inverse.
+		p.usersOK = false
+	}
+	if p.usersOK {
+		// The masks describe the current (end-of-edit) program — the
+		// journaling mutators maintain them through every write — so
+		// they can be repaired instead of rebuilt: remove every edge the
+		// edit's surviving nodes own (appended nodes and overwritten
+		// nodes), restore the nodes, then re-add the restored edges.
+		// Untouched nodes' edges were never disturbed.
+		for i := j.oldLen; i < len(p.Nodes); i++ {
+			nd := &p.Nodes[i]
+			bit := uint32(1) << uint(i)
+			for a := 0; a < nd.Op.Arity(); a++ {
+				p.users[nd.Args[a]] &^= bit
+			}
+		}
+		for mask := j.savedSet; mask != 0; {
+			i := mathbits.TrailingZeros32(mask)
+			mask &^= 1 << uint(i)
+			nd := &p.Nodes[i]
+			bit := uint32(1) << uint(i)
+			for a := 0; a < nd.Op.Arity(); a++ {
+				p.users[nd.Args[a]] &^= bit
+			}
+		}
+		// Keep the invariant that mask slots at or past the node count
+		// are zero (AppendNode relies on it).
+		for i := j.oldLen; i < len(p.Nodes); i++ {
+			p.users[i] = 0
+		}
+	}
 	p.Nodes = p.Nodes[:j.oldLen]
 	for mask := j.savedSet; mask != 0; {
 		i := mathbits.TrailingZeros32(mask)
@@ -134,14 +181,27 @@ func (p *Program) Rollback() {
 		p.Nodes[i] = j.saved[i]
 	}
 	p.Root = j.oldRoot
+	if p.usersOK {
+		for mask := j.savedSet; mask != 0; {
+			i := mathbits.TrailingZeros32(mask)
+			mask &^= 1 << uint(i)
+			nd := &p.Nodes[i]
+			bit := uint32(1) << uint(i)
+			for a := 0; a < nd.Op.Arity(); a++ {
+				p.users[nd.Args[a]] |= bit
+			}
+		}
+	}
 	if j.savedOrderOK {
 		// The restored program is bit-identical to the pre-edit one, so
 		// its cached topological order is valid again.
 		p.order = append(p.order[:0], j.savedOrder[:j.savedOrderLen]...)
 		p.orderOK = true
 	} else {
-		p.Invalidate()
+		p.orderOK = false
 	}
+	p.aritySum = j.savedAritySum
+	p.aritySumOK = j.savedAritySumOK
 }
 
 // save copy-on-writes node i (a pre-edit index) into the journal.
@@ -172,26 +232,68 @@ func (j *Journal) noteWrite(p *Program, i int32) {
 // node is saved and the node marked dirty. The cached topological
 // order survives a same-arity swap (the edge set is unchanged) and is
 // invalidated otherwise — a grown arity exposes an Args slot the
-// cached order never accounted for.
+// cached order never accounted for. The cached user masks are
+// maintained in place: an arity change adds or removes exactly node
+// i's edges through the slots it exposes or hides.
 func (p *Program) SetOp(i int32, op Op) {
 	if p.jr != nil {
 		p.jr.noteWrite(p, i)
 	}
-	if p.Nodes[i].Op.Arity() != op.Arity() {
-		p.Invalidate()
+	nd := &p.Nodes[i]
+	oldAr, newAr := nd.Op.Arity(), op.Arity()
+	if oldAr != newAr {
+		p.orderOK = false
+		p.aritySum += newAr - oldAr
+		if p.usersOK {
+			bit := uint32(1) << uint(i)
+			for a := newAr; a < oldAr; a++ { // edges the shrink hides
+				t := nd.Args[a]
+				keep := false
+				for s := 0; s < newAr; s++ {
+					if nd.Args[s] == t {
+						keep = true
+					}
+				}
+				if !keep {
+					p.users[t] &^= bit
+				}
+			}
+			for a := oldAr; a < newAr; a++ { // edges the growth exposes
+				p.users[nd.Args[a]] |= bit
+			}
+		}
 	}
-	p.Nodes[i].Op = op
+	nd.Op = op
 }
 
 // SetArg repoints argument slot a of node i at node v and invalidates
 // the cached topological order (the edge set changed; the caller's
-// acyclicity is its own responsibility).
+// acyclicity is its own responsibility). The cached user masks are
+// maintained in place — node i stops using the old target (unless
+// another live slot still reads it) and starts using v — so the
+// mutation layer's per-proposal Ancestors queries never trigger a
+// full mask rebuild.
 func (p *Program) SetArg(i int32, a int, v int32) {
 	if p.jr != nil {
 		p.jr.noteWrite(p, i)
 	}
-	p.Nodes[i].Args[a] = v
-	p.Invalidate()
+	nd := &p.Nodes[i]
+	old := nd.Args[a]
+	nd.Args[a] = v
+	if p.usersOK && a < nd.Op.Arity() {
+		bit := uint32(1) << uint(i)
+		keep := false
+		for s := 0; s < nd.Op.Arity(); s++ {
+			if s != a && nd.Args[s] == old {
+				keep = true
+			}
+		}
+		if !keep {
+			p.users[old] &^= bit
+		}
+		p.users[v] |= bit
+	}
+	p.orderOK = false
 }
 
 // SetRoot repoints the program root at node v. The root slot carries
@@ -202,7 +304,10 @@ func (p *Program) SetRoot(v int32) { p.Root = v }
 
 // AppendNode appends a body node and returns its index, invalidating
 // the cached topological order (the new node is not in it). Appended
-// nodes are dirty by construction and are undone by truncation.
+// nodes are dirty by construction and are undone by truncation. The
+// cached user masks are maintained in place: the new node's slot is
+// cleared (it may hold bits from a node truncated at that index) and
+// its own edges added.
 func (p *Program) AppendNode(n Node) int32 {
 	i := int32(len(p.Nodes))
 	if p.jr != nil {
@@ -212,7 +317,19 @@ func (p *Program) AppendNode(n Node) int32 {
 		p.jr.dirty |= 1 << uint(i)
 	}
 	p.Nodes = append(p.Nodes, n)
-	p.Invalidate()
+	p.aritySum += n.Op.Arity()
+	if p.usersOK {
+		// users[i] needs no clearing: mask slots past the node count are
+		// zero by invariant (full rebuilds zero the whole array and
+		// Rollback zeroes the slots it truncates). It may legitimately
+		// be non-zero already — the instruction move appends nodes whose
+		// arguments point forward at constants it appends right after.
+		bit := uint32(1) << uint(i)
+		for a := 0; a < n.Op.Arity(); a++ {
+			p.users[n.Args[a]] |= bit
+		}
+	}
+	p.orderOK = false
 	return i
 }
 

@@ -142,10 +142,12 @@ func EvalOp(op Op, a, b uint64) uint64 { return evalOp(op, a, b) }
 // EvalInto is the sanctioned non-engine evaluation door for the
 // legacy (copy-based) reference path: it evaluates p on one input
 // vector, filling every node's value into vals, exactly like
-// Program.Eval. Direct Program.Eval calls are confined to
+// Program.Eval — both routes share the bounds-checked evalChecked
+// body, so the fallback seam validates its buffers the same way the
+// primary path does. Direct Program.Eval calls are confined to
 // internal/prog, internal/cost, and internal/prog/analysis by
 // cmd/repolint so that hot paths flow through the evaluation engine
 // or the cost layer; EvalInto exists for internal/mutate's
 // differential-testing fallback and is likewise linted against use
 // anywhere else.
-func EvalInto(p *Program, inputs, vals []uint64) uint64 { return p.Eval(inputs, vals) }
+func EvalInto(p *Program, inputs, vals []uint64) uint64 { return p.evalChecked(inputs, vals) }

@@ -11,7 +11,7 @@ import (
 // cost consumer that aborts early (bound exceeded) skips the remaining
 // blocks entirely while the per-column inner loops stay long enough to
 // amortize dispatch (and leave a seam for future vectorization).
-const EvalChunk = 8
+const EvalChunk = 16
 
 // EvalStats counts the engine's work, exposing the reuse the
 // incremental scheme achieves over full re-evaluation. All counts

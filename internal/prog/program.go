@@ -3,6 +3,7 @@ package prog
 import (
 	"errors"
 	"fmt"
+	mathbits "math/bits"
 )
 
 // MaxBody is the maximum number of body nodes (instructions and
@@ -61,6 +62,23 @@ type Program struct {
 	// invalidations so rebuilds are allocation-free.
 	order   []int32
 	orderOK bool
+
+	// users caches, per node, the bitmask of nodes reading it through
+	// an argument edge. Ancestors runs as a bitmask worklist over these
+	// masks. Unlike order, the journaling mutators (SetOp, SetArg,
+	// AppendNode) maintain the masks in place and Rollback repairs them
+	// from the journal, so in the steady state of the search loop
+	// (edit, query Ancestors, roll back, repeat) the cache never
+	// rebuilds; only GC compaction and raw builders drop it.
+	users   [MaxNodes]uint32
+	usersOK bool
+
+	// aritySum caches the total argument-slot count over all nodes
+	// (the mutation layer's slot-enumeration denominator), maintained
+	// through the journaling mutators like users and restored from the
+	// journal on Rollback.
+	aritySum   int
+	aritySumOK bool
 
 	// jr, when non-nil, is the active in-place edit journal (see
 	// edit.go): mutating helpers and GC record undo and dirtiness
@@ -137,12 +155,50 @@ func (p *Program) CopyFrom(src *Program) {
 	} else {
 		p.orderOK = false
 	}
+	p.usersOK = false
+	p.aritySum = src.aritySum
+	p.aritySumOK = src.aritySumOK
 }
 
-// Invalidate drops the cached topological order. Mutators must call it
-// after any structural change. The slice's backing memory is retained
-// for the next rebuild.
-func (p *Program) Invalidate() { p.orderOK = false }
+// Invalidate drops the cached topological order, user masks, and
+// arity sum. Mutators must call it after any structural change. The
+// slices' backing memory is retained for the next rebuild.
+func (p *Program) Invalidate() {
+	p.orderOK = false
+	p.usersOK = false
+	p.aritySumOK = false
+}
+
+// ArityTotal returns the total number of argument slots across all
+// nodes, rebuilding the cached sum if needed. The mutation layer uses
+// it as the denominator of uniform slot selection.
+func (p *Program) ArityTotal() int {
+	if !p.aritySumOK {
+		s := 0
+		for i := range p.Nodes {
+			s += p.Nodes[i].Op.Arity()
+		}
+		p.aritySum = s
+		p.aritySumOK = true
+	}
+	return p.aritySum
+}
+
+// userMasks returns the per-node user bitmasks, rebuilding the cache
+// if a structural change invalidated it.
+func (p *Program) userMasks() *[MaxNodes]uint32 {
+	if !p.usersOK {
+		p.users = [MaxNodes]uint32{}
+		for i := range p.Nodes {
+			nd := &p.Nodes[i]
+			for a := 0; a < nd.Op.Arity(); a++ {
+				p.users[nd.Args[a]] |= 1 << uint(i)
+			}
+		}
+		p.usersOK = true
+	}
+	return &p.users
+}
 
 // TopoOrder returns a topological order of the node indices with
 // arguments ordered before their users. The returned slice is owned by
@@ -197,6 +253,21 @@ func (p *Program) TopoOrder() []int32 {
 // root value. It performs no heap allocation once the topological
 // order is cached.
 func (p *Program) Eval(inputs []uint64, vals []uint64) uint64 {
+	return p.evalChecked(inputs, vals)
+}
+
+// evalChecked is the single shared evaluation body behind Program.Eval
+// and EvalInto: every non-engine evaluation, hot or fallback, goes
+// through the same explicit bounds validation so a short buffer fails
+// loudly at the seam instead of as an index panic mid-loop (or, worse,
+// silently when a longer backing array happens to absorb the write).
+func (p *Program) evalChecked(inputs, vals []uint64) uint64 {
+	if len(inputs) < p.NumInputs {
+		panic("prog: Eval input vector shorter than the program's input arity")
+	}
+	if len(vals) < len(p.Nodes) {
+		panic("prog: Eval value buffer shorter than the program's node count")
+	}
 	order := p.TopoOrder()
 	for _, i := range order {
 		nd := &p.Nodes[i]
@@ -274,26 +345,22 @@ func (p *Program) ReachableFrom(start int32) uint64 {
 
 // Ancestors returns the bitmask of nodes from which node to is
 // reachable along argument edges (including to itself) — exactly the
-// set {u : ReachesFrom(u, to)} — computed in one pass over the
-// topological order instead of one DFS per node. The mutator's
-// cycle-avoidance checks use it to classify every node at once.
+// set {u : ReachesFrom(u, to)} — as the transitive-user closure of to
+// over the cached user masks. The bitmask worklist touches only the
+// ancestors themselves instead of scanning the whole program (or
+// running one DFS per node). The mutator's cycle-avoidance checks use
+// it to classify every node at once.
 func (p *Program) Ancestors(to int32) uint64 {
-	order := p.TopoOrder()
-	mask := uint64(1) << uint(to)
-	for _, i := range order {
-		bit := uint64(1) << uint(i)
-		if mask&bit != 0 {
-			continue
-		}
-		nd := &p.Nodes[i]
-		for a := 0; a < nd.Op.Arity(); a++ {
-			if mask&(uint64(1)<<uint(nd.Args[a])) != 0 {
-				mask |= bit
-				break
-			}
-		}
+	users := p.userMasks()
+	mask := uint32(1) << uint(to)
+	for work := mask; work != 0; {
+		i := mathbits.TrailingZeros32(work)
+		work &^= 1 << uint(i)
+		nu := users[i] &^ mask
+		mask |= nu
+		work |= nu
 	}
-	return mask
+	return uint64(mask)
 }
 
 // GC removes body nodes unreachable from the root, compacting Nodes
@@ -308,8 +375,26 @@ func (p *Program) Ancestors(to int32) uint64 {
 // nodes are not marked value-dirty: compaction renumbers the DAG but
 // never changes what any surviving node computes.
 func (p *Program) GC() int {
-	mask := p.Reachable()
 	n := len(p.Nodes)
+	if p.usersOK {
+		// Exact no-dead-code test, no graph walk: in a DAG, a nonempty
+		// dead set always contains a topologically maximal node, and
+		// nothing at all reads that node (a reader would be dead and
+		// later), so its user mask is empty. Conversely an unread
+		// non-root body node is trivially dead. Most moves leave no
+		// dead nodes, so this skips the reachability DFS entirely.
+		hasDead := false
+		for i := p.NumInputs; i < n; i++ {
+			if p.users[i] == 0 && int32(i) != p.Root {
+				hasDead = true
+				break
+			}
+		}
+		if !hasDead {
+			return 0
+		}
+	}
+	mask := p.Reachable()
 	full := (uint64(1) << uint(n)) - 1
 	inputMask := (uint64(1) << uint(p.NumInputs)) - 1
 	mask |= inputMask // inputs are permanent

@@ -34,10 +34,11 @@ func fuzzSuite(sel uint8, suiteSeed uint64) *testcase.Suite {
 	}
 }
 
-// FuzzIncrementalEval is the differential test pinning the incremental
-// evaluation engine to the legacy copy-based reference path: two runs
-// with identical options — one engine-backed, one LegacyEval — are
-// stepped in lockstep and must agree bit-for-bit at every Step
+// FuzzIncrementalEval is the differential test pinning all three
+// evaluation arms to one another in three-way lockstep: the compiled
+// plan engine (the default), the interpreted incremental engine
+// (InterpEval), and the legacy copy-based path (LegacyEval) run with
+// identical options and must agree bit-for-bit at every Step
 // boundary: identical iteration counts, identical costs (float
 // bit-equality, including logdiff sums), identical accept/reject
 // tallies, identical current programs, and identical solutions.
@@ -65,53 +66,74 @@ func FuzzIncrementalEval(f *testing.F) {
 			set, redundancy = prog.ModelSet, true
 		}
 		opts := Options{Set: set, Cost: kind, Beta: beta, Redundancy: redundancy, Seed: seed}
+		iopts := opts
+		iopts.InterpEval = true
 		lopts := opts
 		lopts.LegacyEval = true
 
-		eng := New(suite, opts)
-		leg := New(suite, lopts)
-		if eng.Cost() != leg.Cost() {
-			t.Fatalf("initial cost: engine %v, legacy %v", eng.Cost(), leg.Cost())
+		arms := []struct {
+			name string
+			run  *Run
+		}{
+			{"plan", New(suite, opts)},
+			{"engine", New(suite, iopts)},
+			{"legacy", New(suite, lopts)},
+		}
+		plan, rest := arms[0], arms[1:]
+		for _, o := range rest {
+			if plan.run.Cost() != o.run.Cost() {
+				t.Fatalf("initial cost: %s %v, %s %v",
+					plan.name, plan.run.Cost(), o.name, o.run.Cost())
+			}
 		}
 		// Uneven chunk sizes exercise Step boundaries at varying phases.
 		for _, chunk := range []int64{1, 137, 1000, 7, 2048, 911} {
-			usedE, doneE := eng.Step(chunk)
-			usedL, doneL := leg.Step(chunk)
-			if usedE != usedL || doneE != doneL {
-				t.Fatalf("step(%d): engine (%d, %v), legacy (%d, %v)",
-					chunk, usedE, doneE, usedL, doneL)
+			usedP, doneP := plan.run.Step(chunk)
+			for _, o := range rest {
+				usedO, doneO := o.run.Step(chunk)
+				if usedP != usedO || doneP != doneO {
+					t.Fatalf("step(%d): %s (%d, %v), %s (%d, %v)",
+						chunk, plan.name, usedP, doneP, o.name, usedO, doneO)
+				}
+				if plan.run.Cost() != o.run.Cost() {
+					t.Fatalf("cost diverged after step(%d): %s %v, %s %v",
+						chunk, plan.name, plan.run.Cost(), o.name, o.run.Cost())
+				}
+				if !plan.run.Program().Equal(o.run.Program()) {
+					t.Fatalf("programs diverged after step(%d):\n%s: %s\n%s: %s",
+						chunk, plan.name, plan.run.Program(), o.name, o.run.Program())
+				}
+				if plan.run.MoveStats() != o.run.MoveStats() {
+					t.Fatalf("move stats diverged after step(%d): %s %+v, %s %+v",
+						chunk, plan.name, plan.run.MoveStats(), o.name, o.run.MoveStats())
+				}
 			}
-			if eng.Cost() != leg.Cost() {
-				t.Fatalf("cost diverged after step(%d): engine %v, legacy %v",
-					chunk, eng.Cost(), leg.Cost())
-			}
-			if !eng.Program().Equal(leg.Program()) {
-				t.Fatalf("programs diverged after step(%d):\nengine: %s\nlegacy: %s",
-					chunk, eng.Program(), leg.Program())
-			}
-			if eng.MoveStats() != leg.MoveStats() {
-				t.Fatalf("move stats diverged after step(%d): engine %+v, legacy %+v",
-					chunk, eng.MoveStats(), leg.MoveStats())
-			}
-			if doneE {
-				if eng.Solution() == nil || leg.Solution() == nil ||
-					!eng.Solution().Equal(leg.Solution()) {
-					t.Fatalf("solutions diverged: engine %v, legacy %v",
-						eng.Solution(), leg.Solution())
+			if doneP {
+				for _, o := range rest {
+					if plan.run.Solution() == nil || o.run.Solution() == nil ||
+						!plan.run.Solution().Equal(o.run.Solution()) {
+						t.Fatalf("solutions diverged: %s %v, %s %v",
+							plan.name, plan.run.Solution(), o.name, o.run.Solution())
+					}
 				}
 				break
 			}
 		}
-		// The engine's committed columns must describe the final
-		// program exactly: compare the root column against a fresh
-		// legacy evaluation of the same program.
-		if st := eng.EvalStats(); st.NodesTotal > 0 && st.NodesReevaluated > st.NodesTotal {
+		// Both engines must have done identical incremental work — the
+		// plan layer changes how columns are computed, never which ones.
+		if ps, es := plan.run.EvalStats(), arms[1].run.EvalStats(); ps != es {
+			t.Fatalf("eval stats diverged: plan %+v, engine %+v", ps, es)
+		}
+		if st := plan.run.EvalStats(); st.NodesTotal > 0 && st.NodesReevaluated > st.NodesTotal {
 			t.Fatalf("impossible reuse stats: %+v", st)
 		}
+		// The engines' committed columns must describe the final
+		// program exactly: compare against a fresh legacy evaluation of
+		// the same program.
 		var vals [prog.MaxNodes]uint64
-		finalLegacy := kind.Of(eng.Program(), suite, vals[:])
-		if finalLegacy != eng.Cost() && !eng.minimize {
-			t.Fatalf("engine cost %v disagrees with fresh evaluation %v", eng.Cost(), finalLegacy)
+		finalLegacy := kind.Of(plan.run.Program(), suite, vals[:])
+		if finalLegacy != plan.run.Cost() && !plan.run.minimize {
+			t.Fatalf("plan cost %v disagrees with fresh evaluation %v", plan.run.Cost(), finalLegacy)
 		}
 	})
 }

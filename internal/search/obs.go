@@ -20,6 +20,10 @@ import (
 //	stochsyn_eval_nodes_total
 //	stochsyn_eval_cases_evaluated_total
 //	stochsyn_eval_cases_total
+//	stochsyn_plan_compiles_total
+//	stochsyn_plan_cache_hits_total
+//	stochsyn_plan_patches_total
+//	stochsyn_plan_fused_nodes_total
 //	stochsyn_prune_checked_total
 //	stochsyn_prune_rejected_total
 //	stochsyn_prune_unsound_check_total
@@ -39,6 +43,10 @@ func NewObsHooks(reg *obs.Registry, tracer *obs.Tracer) *obs.SearchHooks {
 		EvalNodesTotal:       reg.Counter("stochsyn_eval_nodes_total"),
 		EvalCasesEvaluated:   reg.Counter("stochsyn_eval_cases_evaluated_total"),
 		EvalCasesTotal:       reg.Counter("stochsyn_eval_cases_total"),
+		PlanCompiles:         reg.Counter("stochsyn_plan_compiles_total"),
+		PlanCacheHits:        reg.Counter("stochsyn_plan_cache_hits_total"),
+		PlanPatches:          reg.Counter("stochsyn_plan_patches_total"),
+		PlanFusedNodes:       reg.Counter("stochsyn_plan_fused_nodes_total"),
 		PruneChecked:         reg.Counter("stochsyn_prune_checked_total"),
 		PruneRejected:        reg.Counter("stochsyn_prune_rejected_total"),
 		PruneUnsound:         reg.Counter("stochsyn_prune_unsound_check_total"),
@@ -70,6 +78,14 @@ func NewObsHooks(reg *obs.Registry, tracer *obs.Tracer) *obs.SearchHooks {
 		"Suite cases actually evaluated before the bounded cost sum aborted.")
 	reg.SetHelp("stochsyn_eval_cases_total",
 		"Suite cases a full evaluation of every proposal would have covered.")
+	reg.SetHelp("stochsyn_plan_compiles_total",
+		"Full evaluation-plan compiles performed by the plan engine (recipe cache misses).")
+	reg.SetHelp("stochsyn_plan_cache_hits_total",
+		"Full compiles avoided by re-binding a cached recipe at Reset (restarts/restores).")
+	reg.SetHelp("stochsyn_plan_patches_total",
+		"Dirty tape entries re-lowered by the incremental recompile path, one per dirty node per proposal.")
+	reg.SetHelp("stochsyn_plan_fused_nodes_total",
+		"Nodes lowered to a fused form: constant-folded whole or compiled to an immediate-operand kernel.")
 	reg.SetHelp("stochsyn_prune_checked_total",
 		"Proposals probed by the abstract-interpretation pruner (Options.Prune).")
 	reg.SetHelp("stochsyn_prune_rejected_total",

@@ -22,7 +22,36 @@ import (
 	"stochsyn/internal/obs"
 	"stochsyn/internal/prog"
 	"stochsyn/internal/prog/analysis/absint"
+	"stochsyn/internal/prog/plan"
 	"stochsyn/internal/testcase"
+)
+
+// engine is the incremental evaluation engine the search loop drives:
+// committed value columns kept exact for the current program, a
+// journaled proposal path (Begin / EvalRange / Commit / Abort), and a
+// full rebind for restarts and checkpoint restores (Reset). Two
+// implementations exist — the compiled plan engine (plan.State, the
+// default) and the interpreted engine (prog.EvalState,
+// Options.InterpEval) — and the loop treats them identically: both
+// produce bit-identical columns, which FuzzIncrementalEval pins. The
+// method set is a superset of cost.Source and mutate.Eval, so an
+// engine value flows to those layers directly.
+type engine interface {
+	Reset(p *prog.Program)
+	Begin(j *prog.Journal)
+	EvalRange(c0, c1 int) []uint64
+	Commit()
+	Abort()
+	RootColumn() []uint64
+	CaseValues(c int, dst []uint64)
+	Program() *prog.Program
+	Suite() *testcase.Suite
+	Stats() prog.EvalStats
+}
+
+var (
+	_ engine = (*prog.EvalState)(nil)
+	_ engine = (*plan.State)(nil)
 )
 
 // Search is one restartable randomized search. Restart strategies
@@ -122,6 +151,14 @@ type Options struct {
 	// fuzz test (FuzzIncrementalEval) checks continuously. This is a
 	// debugging and verification knob, not a performance option.
 	LegacyEval bool
+	// InterpEval selects the interpreted incremental engine
+	// (prog.EvalState) instead of the default compiled plan engine
+	// (plan.State). Like LegacyEval it is a reference arm: the two
+	// engines produce bit-identical trajectories (the three-way
+	// differential fuzz pins legacy, interpreted, and plan against each
+	// other), so this is a verification and benchmarking knob, not a
+	// performance option. Ignored when LegacyEval is set.
+	InterpEval bool
 	// EqSat, when non-nil, is a shared rewrite-equivalence memo: a
 	// sampled fraction of cost-neutral accepted proposals is hashed by
 	// e-class (eqsat.EClassHash) and rejected when the walk has already
@@ -192,11 +229,16 @@ type Run struct {
 	done    bool
 	sol     *prog.Program
 
-	// eng is the incremental evaluation engine (nil under
-	// Options.LegacyEval); jr is the per-iteration edit journal it
-	// consumes, reused across iterations.
-	eng *prog.EvalState
-	jr  prog.Journal
+	// eng is the incremental evaluation engine — the compiled plan
+	// engine by default, the interpreted one under Options.InterpEval,
+	// nil under Options.LegacyEval; jr is the per-iteration edit
+	// journal it consumes, reused across iterations. planEng is eng's
+	// concrete type when the plan engine is active (nil otherwise),
+	// resolved once so the hot loop takes cost.Kind.OfPlan — the fused
+	// tape-execution cost path — without a per-iteration assertion.
+	eng     engine
+	planEng *plan.State
+	jr      prog.Journal
 
 	minimize   bool
 	sizeWeight float64
@@ -216,6 +258,7 @@ type Run struct {
 	obsIters int64 // counters already flushed to the registry
 	obsStats Stats
 	obsEval  prog.EvalStats // engine work counters already flushed
+	obsPlan  plan.Stats     // plan compiler counters already flushed
 	obsBest  float64        // best sampled cost so far (NaN until the first flush)
 	plateau  obs.PlateauDetector
 
@@ -279,7 +322,12 @@ func New(suite *testcase.Suite, opts Options) *Run {
 		// The engine's committed columns are kept exact for r.cur for
 		// the whole run; the initial cost is the root column summed in
 		// case order, bit-equal to Of.
-		r.eng = prog.NewEvalState(suite)
+		if opts.InterpEval {
+			r.eng = prog.NewEvalState(suite)
+		} else {
+			r.planEng = plan.New(suite)
+			r.eng = r.planEng
+		}
 		r.eng.Reset(r.cur)
 		r.mut.BindEval(r.eng)
 		c = r.kind.OfColumn(r.eng.RootColumn(), suite)
@@ -439,7 +487,12 @@ func (r *Run) iterateEngine() bool {
 		}
 		r.stats.Evaluated++
 		r.eng.Begin(&r.jr)
-		c := r.kind.OfState(r.eng, bound)
+		var c float64
+		if r.planEng != nil {
+			c = r.kind.OfPlan(r.planEng, bound)
+		} else {
+			c = r.kind.OfState(r.eng, bound)
+		}
 		if c <= bound {
 			if r.rejectRevisit(c, r.cur) {
 				// Rewrite-equivalent plateau revisit: reject the move
@@ -617,6 +670,16 @@ func (r *Run) publish() {
 			r.obsEval = es
 		}
 	}
+	if ps, ok := r.eng.(*plan.State); ok {
+		st := ps.PlanStats()
+		if d := st.Sub(r.obsPlan); d != (plan.Stats{}) {
+			h.PlanCompiles.Add(float64(d.Compiles))
+			h.PlanCacheHits.Add(float64(d.CacheHits))
+			h.PlanPatches.Add(float64(d.Patches))
+			h.PlanFusedNodes.Add(float64(d.FusedNodes))
+			r.obsPlan = st
+		}
+	}
 	h.CurCost.Set(r.cost)
 	h.BestCost.SetMin(r.cost)
 	if math.IsNaN(r.obsBest) || r.cost < r.obsBest {
@@ -710,6 +773,16 @@ func (r *Run) EvalStats() prog.EvalStats {
 		return prog.EvalStats{}
 	}
 	return r.eng.Stats()
+}
+
+// PlanStats returns the plan compiler's cumulative counters (all zero
+// unless the run uses the compiled engine). Same happens-before
+// caveat as EvalStats.
+func (r *Run) PlanStats() plan.Stats {
+	if ps, ok := r.eng.(*plan.State); ok {
+		return ps.PlanStats()
+	}
+	return plan.Stats{}
 }
 
 // Program returns the current program. The caller must not mutate it.
